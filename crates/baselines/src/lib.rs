@@ -1,0 +1,35 @@
+//! Baseline consensus protocols the paper compares against.
+//!
+//! * [`Paxos`] — classic single-decree, leader-driven Paxos
+//!   (`n ≥ 2f+1`). Decides in two message delays only when the
+//!   (pre-established) leader is correct; a leader crash costs a
+//!   failure-detection timeout plus a full ballot. Not e-two-step for
+//!   any `e > 0`.
+//! * [`FastPaxos`] — Lamport's Fast Paxos (`n ≥ max{2e+f+1, 2f+1}`):
+//!   uncoordinated fast rounds with fast quorums of `n-e`, recovery via
+//!   the O4 observation rule. The extra process (compared to the paper's
+//!   protocol) is what makes O4 unambiguous without proposer exclusion
+//!   or tie-breaks.
+//! * [`EPaxosLite`] — a single-shot reduction of Egalitarian Paxos's
+//!   per-command commit: PreAccept to a fast quorum of
+//!   `f + ⌊(f+1)/2⌋` out of `n = 2f+1`, falling back to an Accept round
+//!   under interference. This reproduces the process-count/latency
+//!   datapoint that motivated the paper (two-step decisions with
+//!   `2f+1 = 2e+f-1` processes for `e = ⌈(f+1)/2⌉`). Command-leader
+//!   crash recovery is out of scope (see `DESIGN.md`).
+//!
+//! All three implement the same event-driven
+//! [`Protocol`](twostep_types::protocol::Protocol) abstraction as the
+//! core protocol, so every experiment drives them through identical
+//! engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epaxos;
+pub mod fastpaxos;
+pub mod paxos;
+
+pub use epaxos::EPaxosLite;
+pub use fastpaxos::FastPaxos;
+pub use paxos::Paxos;

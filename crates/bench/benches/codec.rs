@@ -1,0 +1,67 @@
+//! Microbench: the binary wire codec on representative protocol
+//! messages.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use twostep_core::Msg;
+use twostep_runtime::codec::{from_bytes, to_bytes};
+use twostep_types::{Ballot, ProcessId};
+
+fn messages() -> Vec<Msg<u64>> {
+    vec![
+        Msg::Propose(0xDEAD_BEEF),
+        Msg::OneA(Ballot::new(42)),
+        Msg::OneB {
+            bal: Ballot::new(42),
+            vbal: Ballot::new(7),
+            val: Some(123_456),
+            proposer: Some(ProcessId::new(3)),
+            decided: None,
+        },
+        Msg::TwoA(Ballot::new(42), 99),
+        Msg::TwoB(Ballot::FAST, 99),
+        Msg::Decide(99),
+        Msg::Heartbeat,
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msgs = messages();
+    let encoded: Vec<Vec<u8>> = msgs.iter().map(|m| to_bytes(m).unwrap()).collect();
+
+    c.bench_function("codec/encode_all_message_kinds", |b| {
+        b.iter(|| {
+            for m in &msgs {
+                std::hint::black_box(to_bytes(m).unwrap());
+            }
+        })
+    });
+
+    c.bench_function("codec/decode_all_message_kinds", |b| {
+        b.iter(|| {
+            for bytes in &encoded {
+                std::hint::black_box(from_bytes::<Msg<u64>>(bytes).unwrap());
+            }
+        })
+    });
+
+    c.bench_function("codec/roundtrip_oneb", |b| {
+        let oneb = &msgs[2];
+        b.iter_batched(
+            || oneb.clone(),
+            |m| {
+                let bytes = to_bytes(&m).unwrap();
+                std::hint::black_box(from_bytes::<Msg<u64>>(&bytes).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("codec/encode_string_payload", |b| {
+        let msg: Msg<String> = Msg::Propose("a realistic replicated command payload".into());
+        b.iter(|| std::hint::black_box(to_bytes(&msg).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

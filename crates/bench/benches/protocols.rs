@@ -1,0 +1,106 @@
+//! Microbench: one complete simulated decision per protocol, at each
+//! protocol's minimal process count for (e, f) = (2, 2) — compares the
+//! full code-path cost (message handling + quorum tracking + recovery
+//! machinery), not wall-clock network latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use twostep_baselines::{EPaxosLite, FastPaxos, Paxos};
+use twostep_core::{ObjectConsensus, TaskConsensus};
+use twostep_sim::SyncRunner;
+use twostep_types::{Duration, ProcessId, SystemConfig, Time};
+
+const E: usize = 2;
+const F: usize = 2;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_decision");
+
+    {
+        let cfg = SystemConfig::minimal_task(E, F).unwrap();
+        let witness = ProcessId::new((cfg.n() - 1) as u32);
+        group.bench_function("twostep_task_fast_path", |b| {
+            b.iter(|| {
+                let outcome = SyncRunner::new(cfg)
+                    .favoring(witness)
+                    .horizon(Duration::deltas(4))
+                    .run(|q| TaskConsensus::new(cfg, q, 100 + u64::from(q.as_u32())));
+                std::hint::black_box(outcome.decision_of(witness).copied())
+            })
+        });
+    }
+
+    {
+        let cfg = SystemConfig::minimal_object(E, F).unwrap();
+        let proposer = ProcessId::new((cfg.n() - 1) as u32);
+        group.bench_function("twostep_object_fast_path", |b| {
+            b.iter(|| {
+                let outcome = SyncRunner::new(cfg).horizon(Duration::deltas(4)).run_object(
+                    |q| ObjectConsensus::<u64>::new(cfg, q),
+                    vec![(proposer, 42, Time::ZERO)],
+                );
+                std::hint::black_box(outcome.decision_of(proposer).copied())
+            })
+        });
+    }
+
+    {
+        let cfg = SystemConfig::minimal_fast_paxos(E, F).unwrap();
+        let witness = ProcessId::new((cfg.n() - 1) as u32);
+        group.bench_function("fast_paxos_fast_path", |b| {
+            b.iter(|| {
+                let outcome = SyncRunner::new(cfg)
+                    .favoring(witness)
+                    .horizon(Duration::deltas(4))
+                    .run(|q| FastPaxos::new(cfg, q, 100 + u64::from(q.as_u32())));
+                std::hint::black_box(outcome.decision_of(witness).copied())
+            })
+        });
+    }
+
+    {
+        let cfg = SystemConfig::new(2 * F + 1, E, F).unwrap();
+        group.bench_function("paxos_stable_leader", |b| {
+            b.iter(|| {
+                let outcome = SyncRunner::new(cfg)
+                    .horizon(Duration::deltas(4))
+                    .run(|q| Paxos::new(cfg, q, 100 + u64::from(q.as_u32())));
+                std::hint::black_box(outcome.decision_of(ProcessId::new(0)).copied())
+            })
+        });
+    }
+
+    {
+        let cfg = SystemConfig::new(2 * F + 1, E, F).unwrap();
+        let leader = ProcessId::new(0);
+        group.bench_function("epaxos_lite_fast_commit", |b| {
+            b.iter(|| {
+                let outcome = SyncRunner::new(cfg).horizon(Duration::deltas(4)).run_object(
+                    |q| EPaxosLite::<u64>::new(cfg, q),
+                    vec![(leader, 42, Time::ZERO)],
+                );
+                std::hint::black_box(outcome.decision_of(leader).copied())
+            })
+        });
+    }
+
+    // Slow path: full recovery after a silent fast round.
+    {
+        let cfg = SystemConfig::minimal_task(E, F).unwrap();
+        group.bench_function("twostep_task_slow_path", |b| {
+            b.iter(|| {
+                // Ascending proposals + send order: no fast quorum forms,
+                // p0 recovers via ballot.
+                let outcome = SyncRunner::new(cfg)
+                    .horizon(Duration::deltas(12))
+                    .run(|q| TaskConsensus::new(cfg, q, u64::from(q.as_u32())));
+                std::hint::black_box(outcome.decided_values().len())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

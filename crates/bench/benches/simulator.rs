@@ -1,0 +1,67 @@
+//! Microbench: discrete-event engine throughput (events/second) — the
+//! substrate every experiment stands on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use serde::{Deserialize, Serialize};
+
+use twostep_sim::SimulationBuilder;
+use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::{Duration, ProcessId, SystemConfig, Time};
+
+/// Gossip storm: every process re-broadcasts each received token until a
+/// hop budget is exhausted — a pure event-pump workload.
+#[derive(Debug, Clone)]
+struct Storm {
+    me: ProcessId,
+    n: usize,
+    budget: u32,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Token(u32);
+
+impl Protocol<u64> for Storm {
+    type Message = Token;
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+    fn on_start(&mut self, eff: &mut Effects<u64, Token>) {
+        if self.me == ProcessId::new(0) {
+            eff.broadcast_others(Token(0), self.n, self.me);
+        }
+    }
+    fn on_propose(&mut self, _: u64, _: &mut Effects<u64, Token>) {}
+    fn on_message(&mut self, _: ProcessId, t: Token, eff: &mut Effects<u64, Token>) {
+        if t.0 < self.budget {
+            eff.broadcast_others(Token(t.0 + 1), self.n, self.me);
+        }
+    }
+    fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, Token>) {}
+    fn decision(&self) -> Option<u64> {
+        None
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for n in [3usize, 5, 9] {
+        let cfg = SystemConfig::new(n, 1, (n - 1) / 2).unwrap();
+        // Measure events executed in a fixed 6-hop storm.
+        let probe = SimulationBuilder::new(cfg)
+            .build(|p| Storm { me: p, n, budget: 4 })
+            .run(Time::ZERO + Duration::deltas(10));
+        group.throughput(Throughput::Elements(probe.events_executed));
+        group.bench_function(format!("storm_n{n}"), |b| {
+            b.iter(|| {
+                let outcome = SimulationBuilder::new(cfg)
+                    .build(|p| Storm { me: p, n, budget: 4 })
+                    .run(Time::ZERO + Duration::deltas(10));
+                std::hint::black_box(outcome.events_executed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

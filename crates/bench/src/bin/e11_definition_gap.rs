@@ -1,0 +1,112 @@
+//! E11 (Table 5): the definitional gap that resolves the conundrum.
+//!
+//! Lamport's fast-consensus definition requires that for every proposer
+//! `p` and **every** correct process `q` there is a lone-proposer run in
+//! which `q` decides within two message delays. The paper's e-two-step
+//! definition only requires the *proxy* (`p` itself) to be fast unless
+//! proposals agree. This experiment measures, per protocol at its own
+//! minimal `n`, who actually decides by `2Δ` in a lone-proposer run:
+//!
+//! * Fast Paxos (n = 2e+f+1): acceptors broadcast votes to all learners
+//!   — **everyone** decides at 2Δ. It satisfies Lamport's definition,
+//!   and pays for it with the extra process.
+//! * The object protocol (n = 2e+f-1): fast votes flow only to the
+//!   proposer — **only the proxy** decides at 2Δ; the rest learn at 3Δ.
+//!   It satisfies Definition A.1 but *not* Lamport's definition — which
+//!   is exactly why it can exist below Lamport's bound.
+
+use twostep_baselines::FastPaxos;
+use twostep_bench::{fmt_deltas, Table};
+use twostep_core::ObjectConsensus;
+use twostep_sim::SyncRunner;
+use twostep_types::{Duration, ProcessId, SystemConfig, Time};
+
+const E: usize = 2;
+const F: usize = 2;
+
+fn main() {
+    let mut table = Table::new(&[
+        "protocol",
+        "n",
+        "proposer latency",
+        "non-proposer latencies",
+        "2Δ-deciders",
+        "Lamport-fast run?",
+        "A.1(1)-fast run?",
+    ]);
+
+    // Object protocol at n = 2e+f-1.
+    {
+        let cfg = SystemConfig::minimal_object(E, F).unwrap();
+        let proposer = ProcessId::new((cfg.n() - 1) as u32);
+        let outcome = SyncRunner::new(cfg)
+            .horizon(Duration::deltas(10))
+            .run_object(
+                |q| ObjectConsensus::<u64>::new(cfg, q),
+                vec![(proposer, 7, Time::ZERO)],
+            );
+        push(&mut table, "TwoStep(object)", cfg, proposer, &outcome.decisions);
+    }
+
+    // Fast Paxos at n = 2e+f+1 (lone proposer via passive instances).
+    {
+        let cfg = SystemConfig::minimal_fast_paxos(E, F).unwrap();
+        let proposer = ProcessId::new((cfg.n() - 1) as u32);
+        let mut sim = twostep_sim::SimulationBuilder::new(cfg)
+            .build(|q| FastPaxos::<u64>::passive(cfg, q));
+        sim.schedule_propose(proposer, 7, Time::ZERO);
+        let outcome = sim.run_until_all_decided(Time::ZERO + Duration::deltas(10));
+        push(&mut table, "FastPaxos", cfg, proposer, &outcome.decisions);
+    }
+
+    table.print(&format!(
+        "E11: who decides by 2Δ in a lone-proposer run (e={E}, f={F}, each protocol at \
+         its own minimal n)"
+    ));
+    println!(
+        "\nReading: Fast Paxos is fast *everywhere* (Lamport's definition) and needs\n\
+         n = 2e+f+1 = {} processes; the paper's protocol is fast *at the proxy*\n\
+         (Definition A.1) and needs only n = 2e+f-1 = {}. The decision a client waits\n\
+         for is its proxy's — so in the deployment pattern of §1 the weaker guarantee\n\
+         costs nothing and saves two processes. This is the paper's resolution of the\n\
+         EPaxos conundrum, measured.",
+        SystemConfig::minimal_fast_paxos(E, F).unwrap().n(),
+        SystemConfig::minimal_object(E, F).unwrap().n(),
+    );
+}
+
+fn push(
+    table: &mut Table,
+    name: &str,
+    cfg: SystemConfig,
+    proposer: ProcessId,
+    decisions: &[Option<(u64, Time)>],
+) {
+    let deadline = Time::ZERO + Duration::deltas(2);
+    let proposer_latency = decisions[proposer.index()].as_ref().map(|(_, t)| t.as_deltas());
+    let mut others: Vec<String> = Vec::new();
+    let mut fast = 0usize;
+    for (i, d) in decisions.iter().enumerate() {
+        if let Some((_, t)) = d {
+            if *t <= deadline {
+                fast += 1;
+            }
+            if i != proposer.index() {
+                others.push(format!("{:.0}Δ", t.as_deltas()));
+            }
+        } else if i != proposer.index() {
+            others.push("-".into());
+        }
+    }
+    let lamport_fast = fast == decisions.len();
+    let a11_fast = proposer_latency.is_some_and(|l| l <= 2.0);
+    table.row(&[
+        name.to_string(),
+        cfg.n().to_string(),
+        fmt_deltas(proposer_latency),
+        others.join(","),
+        format!("{fast}/{}", decisions.len()),
+        if lamport_fast { "yes".into() } else { "NO".to_string() },
+        if a11_fast { "yes".into() } else { "NO".to_string() },
+    ]);
+}

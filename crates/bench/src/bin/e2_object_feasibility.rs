@@ -1,0 +1,82 @@
+//! E2 (Table 2): Theorem 6 "if" — the object protocol is f-resilient
+//! and e-two-step at exactly `n = max{2e+f-1, 2f+1}` (one process fewer
+//! than the task bound), per Definition A.1.
+
+use twostep_bench::Table;
+use twostep_core::ObjectConsensus;
+use twostep_sim::SyncRunner;
+use twostep_types::{Duration, SystemConfig, Time};
+
+fn main() {
+    let grid = [(1usize, 1usize), (1, 2), (2, 2), (2, 3), (3, 3), (3, 4)];
+    let mut table = Table::new(&[
+        "e",
+        "f",
+        "n=max{2e+f-1,2f+1}",
+        "task needs",
+        "FastPaxos needs",
+        "|E| sets",
+        "A.1(1) lone proposer",
+        "A.1(2) unanimous",
+        "agreement",
+    ]);
+
+    for (e, f) in grid {
+        let cfg = SystemConfig::minimal_object(e, f).expect("valid grid point");
+        let mut sets = 0usize;
+        let mut a11 = true;
+        let mut a12 = true;
+        let mut agreement = true;
+
+        for crashed in cfg.failure_sets() {
+            sets += 1;
+            let correct = cfg.all_processes().difference(crashed);
+
+            // A.1(1): only p proposes; p decides by 2Δ.
+            for proposer in correct.iter() {
+                let outcome = SyncRunner::new(cfg)
+                    .crashed(crashed)
+                    .horizon(Duration::deltas(60))
+                    .run_object(
+                        |q| ObjectConsensus::<u64>::new(cfg, q),
+                        vec![(proposer, 42, Time::ZERO)],
+                    );
+                let (fast, v) = outcome.fast_deciders();
+                a11 &= fast.contains(proposer) && v == Some(42);
+                agreement &= outcome.agreement();
+            }
+
+            // A.1(2): all correct propose the same value at round start;
+            // each correct process has a run two-step for it.
+            for witness in correct.iter() {
+                let proposals: Vec<_> = correct.iter().map(|q| (q, 7u64, Time::ZERO)).collect();
+                let outcome = SyncRunner::new(cfg)
+                    .crashed(crashed)
+                    .favoring(witness)
+                    .horizon(Duration::deltas(60))
+                    .run_object(|q| ObjectConsensus::<u64>::new(cfg, q), proposals);
+                let (fast, v) = outcome.fast_deciders();
+                a12 &= fast.contains(witness) && v == Some(7);
+                agreement &= outcome.agreement();
+            }
+        }
+
+        table.row(&[
+            e.to_string(),
+            f.to_string(),
+            cfg.n().to_string(),
+            SystemConfig::minimal_task(e, f).unwrap().n().to_string(),
+            SystemConfig::minimal_fast_paxos(e, f).unwrap().n().to_string(),
+            sets.to_string(),
+            pass(a11),
+            pass(a12),
+            pass(agreement),
+        ]);
+    }
+
+    table.print("E2: object protocol at the Theorem 6 bound (Definition A.1, all failure sets)");
+}
+
+fn pass(ok: bool) -> String {
+    if ok { "yes".into() } else { "VIOLATED".into() }
+}

@@ -1,0 +1,161 @@
+//! E4 (Figure 1): minimal process counts per protocol family — the
+//! paper's introduction as a table, with each of our own bounds
+//! validated empirically (protocol achieves two-step at its `n`) and
+//! the EPaxos datapoint that motivated the paper.
+
+use twostep_baselines::EPaxosLite;
+use twostep_bench::Table;
+use twostep_core::{ObjectConsensus, TaskConsensus};
+use twostep_sim::SyncRunner;
+use twostep_types::{ProcessId, ProtocolKind, SystemConfig, Time};
+
+/// Empirical check: the task protocol reaches a two-step decision at
+/// its minimal n with e crashes.
+fn task_two_step_at(cfg: SystemConfig) -> bool {
+    let crashed: twostep_types::ProcessSet =
+        (0..cfg.e() as u32).map(ProcessId::new).collect();
+    let witness = ProcessId::new((cfg.n() - 1) as u32);
+    let props: Vec<u64> = (0..cfg.n() as u64).collect();
+    let outcome = SyncRunner::new(cfg)
+        .crashed(crashed)
+        .favoring(witness)
+        .run(|q| TaskConsensus::new(cfg, q, props[q.index()]));
+    outcome.fast_deciders().0.contains(witness)
+}
+
+fn object_two_step_at(cfg: SystemConfig) -> bool {
+    let crashed: twostep_types::ProcessSet =
+        (0..cfg.e() as u32).map(ProcessId::new).collect();
+    let proposer = ProcessId::new((cfg.n() - 1) as u32);
+    let outcome = SyncRunner::new(cfg).crashed(crashed).run_object(
+        |q| ObjectConsensus::<u64>::new(cfg, q),
+        vec![(proposer, 9, Time::ZERO)],
+    );
+    outcome.fast_deciders().0.contains(proposer)
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "e",
+        "f",
+        "Paxos (2f+1)",
+        "FastPaxos (2e+f+1)",
+        "Task (2e+f)",
+        "Object (2e+f-1)",
+        "task 2-step@n",
+        "object 2-step@n",
+    ]);
+
+    for f in 1..=5usize {
+        for e in 1..=f {
+            let paxos = ProtocolKind::Paxos.min_processes(e, f);
+            let fp = ProtocolKind::FastPaxos.min_processes(e, f);
+            let task = ProtocolKind::TaskTwoStep.min_processes(e, f);
+            let object = ProtocolKind::ObjectTwoStep.min_processes(e, f);
+            let task_cfg = SystemConfig::minimal_task(e, f).unwrap();
+            let object_cfg = SystemConfig::minimal_object(e, f).unwrap();
+            table.row(&[
+                e.to_string(),
+                f.to_string(),
+                paxos.to_string(),
+                fp.to_string(),
+                task.to_string(),
+                object.to_string(),
+                if task_two_step_at(task_cfg) { "yes".into() } else { "NO".to_string() },
+                if object_two_step_at(object_cfg) { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+    }
+    table.print("E4: minimal processes for f-resilient e-two-step consensus");
+
+    // The paper's headline datapoint: e = ceil((f+1)/2).
+    let mut headline = Table::new(&[
+        "f",
+        "e=⌈(f+1)/2⌉",
+        "Object needs",
+        "=2f+1?",
+        "FastPaxos needs",
+        "EPaxos n",
+        "EPaxos fast quorum",
+        "EPaxos fast tolerance",
+    ]);
+    for f in 1..=5usize {
+        let e = (f + 1).div_ceil(2);
+        let object = ProtocolKind::ObjectTwoStep.min_processes(e, f);
+        let fp = ProtocolKind::FastPaxos.min_processes(e, f);
+        let ep_cfg = SystemConfig::new(2 * f + 1, e.min(f), f).unwrap();
+        headline.row(&[
+            f.to_string(),
+            e.to_string(),
+            object.to_string(),
+            if object == 2 * f + 1 { "yes".into() } else { "no".to_string() },
+            fp.to_string(),
+            (2 * f + 1).to_string(),
+            EPaxosLite::<u64>::fast_quorum(&ep_cfg).to_string(),
+            EPaxosLite::<u64>::fast_tolerance(&ep_cfg).to_string(),
+        ]);
+    }
+    headline.print("E4b: the EPaxos conundrum resolved (intro, §1)");
+    println!(
+        "\nReading: for e = ⌈(f+1)/2⌉ the object bound collapses to bare resilience 2f+1 —\n\
+         exactly EPaxos's deployment (fast tolerance = ⌈(f+1)/2⌉ with 2f+1 processes) —\n\
+         while Lamport's Fast Paxos bound demands up to two more processes."
+    );
+
+    // Message complexity of one conflict-free fast decision: the paper's
+    // protocol sends fast votes only to the proposer (O(n) per
+    // proposal), Fast Paxos broadcasts every vote to every learner
+    // (O(n²)).
+    let mut complexity = Table::new(&[
+        "e",
+        "f",
+        "Object msgs ≤ 2Δ (lone proposer)",
+        "FastPaxos msgs ≤ 2Δ (lone proposer)",
+    ]);
+    for (e, f) in [(1usize, 1usize), (2, 2), (3, 3)] {
+        use twostep_baselines::FastPaxos;
+        use twostep_sim::{SimulationBuilder, TraceEvent};
+        use twostep_types::{Duration, Time};
+
+        let count_early_sends = |trace: &twostep_sim::Trace<u64>| {
+            trace
+                .events()
+                .iter()
+                .filter(|ev| {
+                    ev.time() <= Time::ZERO + Duration::deltas(2)
+                        && matches!(
+                            ev,
+                            TraceEvent::MessageSent { kind, .. }
+                                if kind == "Propose" || kind == "TwoB" || kind == "Decide"
+                        )
+                })
+                .count()
+        };
+
+        let cfg = SystemConfig::minimal_object(e, f).unwrap();
+        let proposer = ProcessId::new((cfg.n() - 1) as u32);
+        let mut sim = SimulationBuilder::new(cfg).build(|q| ObjectConsensus::<u64>::new(cfg, q));
+        sim.schedule_propose(proposer, 7, Time::ZERO);
+        let outcome = sim.run(Time::ZERO + Duration::deltas(2));
+        let object_msgs = count_early_sends(&outcome.trace);
+
+        let cfg_fp = SystemConfig::minimal_fast_paxos(e, f).unwrap();
+        let mut sim = SimulationBuilder::new(cfg_fp).build(|q| FastPaxos::<u64>::passive(cfg_fp, q));
+        sim.schedule_propose(proposer, 7, Time::ZERO);
+        let outcome = sim.run(Time::ZERO + Duration::deltas(2));
+        let fp_msgs = count_early_sends(&outcome.trace);
+
+        complexity.row(&[
+            e.to_string(),
+            f.to_string(),
+            format!("{object_msgs} (n={})", cfg.n()),
+            format!("{fp_msgs} (n={})", cfg_fp.n()),
+        ]);
+    }
+    complexity.print("E4c: protocol messages within 2Δ for one conflict-free decision");
+    println!(
+        "\nReading: beyond needing fewer processes, the paper's protocol sends fast votes\n\
+         only to the proposer (O(n)); Fast Paxos acceptors broadcast votes to all\n\
+         learners (O(n²))."
+    );
+}

@@ -1,0 +1,135 @@
+//! E5 (Figure 2): decision latency (in message delays Δ) versus the
+//! number of initial crashes `k`, for each protocol at its own minimal
+//! process count for `(e, f) = (2, 2)`.
+//!
+//! Expected shape: the fast protocols (Fast Paxos, Task, Object,
+//! EPaxos-lite) hold 2Δ at the proxy for every `k ≤ e`; Paxos holds 2Δ
+//! at its leader only while the leader survives (`k = 0`) and pays a
+//! failure-detection timeout plus a full ballot once `p0 ∈ E`.
+
+use twostep_baselines::{EPaxosLite, FastPaxos, Paxos};
+use twostep_bench::{fmt_deltas, Table};
+use twostep_core::{ObjectConsensus, TaskConsensus};
+use twostep_sim::{RunOutcome, SyncRunner};
+use twostep_types::{Duration, ProcessId, ProcessSet, SystemConfig, Time, Value};
+
+const E: usize = 2;
+const F: usize = 2;
+
+fn crash_set(k: usize) -> ProcessSet {
+    (0..k as u32).map(ProcessId::new).collect()
+}
+
+struct Measurement {
+    proxy_latency: Option<f64>,
+    first_latency: Option<f64>,
+    agreement: bool,
+}
+
+fn measure<V: Value, P>(outcome: &RunOutcome<V, P>, proxy: ProcessId) -> Measurement {
+    let first = outcome
+        .decisions
+        .iter()
+        .flatten()
+        .map(|(_, t)| t.as_deltas())
+        .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))));
+    Measurement {
+        proxy_latency: outcome.latency_in_deltas(proxy),
+        first_latency: first,
+        agreement: outcome.agreement(),
+    }
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "protocol",
+        "n",
+        "crashes k",
+        "proxy latency",
+        "first decision",
+        "agreement",
+    ]);
+
+    for k in 0..=E {
+        let crashed = crash_set(k);
+
+        // Paxos at n = 2f+1; proxy = last process (learns via Decide).
+        {
+            let cfg = SystemConfig::new(2 * F + 1, E, F).unwrap();
+            let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let outcome = SyncRunner::new(cfg)
+                .crashed(crashed)
+                .horizon(Duration::deltas(60))
+                .run(|q| Paxos::new(cfg, q, 100 + u64::from(q.as_u32())));
+            push(&mut table, "Paxos", cfg.n(), k, measure(&outcome, proxy));
+        }
+
+        // Fast Paxos at n = 2e+f+1; favored proxy.
+        {
+            let cfg = SystemConfig::minimal_fast_paxos(E, F).unwrap();
+            let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let outcome = SyncRunner::new(cfg)
+                .crashed(crashed)
+                .favoring(proxy)
+                .horizon(Duration::deltas(60))
+                .run(|q| FastPaxos::new(cfg, q, 100 + u64::from(q.as_u32())));
+            push(&mut table, "FastPaxos", cfg.n(), k, measure(&outcome, proxy));
+        }
+
+        // Task at n = 2e+f; favored max-value proxy.
+        {
+            let cfg = SystemConfig::minimal_task(E, F).unwrap();
+            let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let outcome = SyncRunner::new(cfg)
+                .crashed(crashed)
+                .favoring(proxy)
+                .horizon(Duration::deltas(60))
+                .run(|q| TaskConsensus::new(cfg, q, 100 + u64::from(q.as_u32())));
+            push(&mut table, "TwoStep(task)", cfg.n(), k, measure(&outcome, proxy));
+        }
+
+        // Object at n = 2e+f-1; lone proposer proxy.
+        {
+            let cfg = SystemConfig::minimal_object(E, F).unwrap();
+            let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let outcome = SyncRunner::new(cfg)
+                .crashed(crashed)
+                .horizon(Duration::deltas(60))
+                .run_object(
+                    |q| ObjectConsensus::<u64>::new(cfg, q),
+                    vec![(proxy, 42, Time::ZERO)],
+                );
+            push(&mut table, "TwoStep(object)", cfg.n(), k, measure(&outcome, proxy));
+        }
+
+        // EPaxos-lite at n = 2f+1; lone command leader proxy.
+        {
+            let cfg = SystemConfig::new(2 * F + 1, E, F).unwrap();
+            let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let outcome = SyncRunner::new(cfg)
+                .crashed(crashed)
+                .horizon(Duration::deltas(60))
+                .run_object(
+                    |q| EPaxosLite::<u64>::new(cfg, q),
+                    vec![(proxy, 42, Time::ZERO)],
+                );
+            push(&mut table, "EPaxos-lite", cfg.n(), k, measure(&outcome, proxy));
+        }
+    }
+
+    table.print(&format!(
+        "E5: proxy decision latency vs initial crashes (e={E}, f={F}; crashes hit p0..p_k-1, \
+         including Paxos's leader)"
+    ));
+}
+
+fn push(table: &mut Table, name: &str, n: usize, k: usize, m: Measurement) {
+    table.row(&[
+        name.to_string(),
+        n.to_string(),
+        k.to_string(),
+        fmt_deltas(m.proxy_latency),
+        fmt_deltas(m.first_latency),
+        if m.agreement { "yes".into() } else { "VIOLATED".to_string() },
+    ]);
+}

@@ -1,0 +1,139 @@
+//! E6 (Figure 3): fast-path success and decision latency as proposal
+//! contention grows.
+//!
+//! All `n` processes propose simultaneously; `c` distinct values are
+//! spread round-robin over the proposers. Delivery order is randomized
+//! per seed. For each protocol we report how often *some* process
+//! decided within 2Δ (the paper's Definition 4(1) requires exactly
+//! this) and the mean latency of the first decision.
+//!
+//! Expected shape: with unanimous proposals (`c = 1`) everyone is fast;
+//! as `c` grows, the task protocol keeps a single fast winner alive in
+//! most schedules (the max-value proposal still gathers votes), while
+//! Fast Paxos's leaderless fast round splits and falls back to
+//! coordinated recovery, and the object variant's red line deliberately
+//! surrenders the fast path under conflict — the price of running with
+//! one process fewer.
+
+use twostep_baselines::FastPaxos;
+use twostep_bench::{mean, Table};
+use twostep_core::{ObjectConsensus, TaskConsensus};
+use twostep_sim::{DeliveryOrder, SimulationBuilder, SynchronousRounds};
+use twostep_types::{Duration, ProcessId, SystemConfig, Time};
+
+const E: usize = 2;
+const F: usize = 2;
+const SEEDS: u64 = 30;
+
+struct Series {
+    fast_runs: usize,
+    latencies: Vec<f64>,
+}
+
+fn value_of(i: u32, c: usize) -> u64 {
+    100 + u64::from(i) % c as u64
+}
+
+fn run_task(c: usize, seed: u64) -> (bool, Option<f64>) {
+    let cfg = SystemConfig::minimal_task(E, F).unwrap();
+    let outcome = SimulationBuilder::new(cfg)
+        .delay_model(SynchronousRounds)
+        .delivery_order(DeliveryOrder::randomized(seed))
+        .build(|q| TaskConsensus::new(cfg, q, value_of(q.as_u32(), c)))
+        .run_until_all_decided(Time::ZERO + Duration::deltas(80));
+    summarize(outcome.decisions.iter())
+}
+
+fn run_object(c: usize, seed: u64) -> (bool, Option<f64>) {
+    let cfg = SystemConfig::minimal_object(E, F).unwrap();
+    let mut sim = SimulationBuilder::new(cfg)
+        .delay_model(SynchronousRounds)
+        .delivery_order(DeliveryOrder::randomized(seed))
+        .build(|q| ObjectConsensus::<u64>::new(cfg, q));
+    for i in 0..cfg.n() as u32 {
+        sim.schedule_propose(ProcessId::new(i), value_of(i, c), Time::ZERO);
+    }
+    let outcome = sim.run_until_all_decided(Time::ZERO + Duration::deltas(80));
+    summarize(outcome.decisions.iter())
+}
+
+fn run_fastpaxos(c: usize, seed: u64) -> (bool, Option<f64>) {
+    let cfg = SystemConfig::minimal_fast_paxos(E, F).unwrap();
+    let outcome = SimulationBuilder::new(cfg)
+        .delay_model(SynchronousRounds)
+        .delivery_order(DeliveryOrder::randomized(seed))
+        .build(|q| FastPaxos::new(cfg, q, value_of(q.as_u32(), c)))
+        .run_until_all_decided(Time::ZERO + Duration::deltas(80));
+    summarize(outcome.decisions.iter())
+}
+
+fn summarize<'a, V: 'a>(
+    decisions: impl Iterator<Item = &'a Option<(V, Time)>>,
+) -> (bool, Option<f64>) {
+    let first = decisions
+        .flatten()
+        .map(|(_, t)| t.as_deltas())
+        .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))));
+    (first.is_some_and(|t| t <= 2.0), first)
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "protocol",
+        "n",
+        "distinct values c",
+        "fast-path runs",
+        "mean first-decision",
+    ]);
+
+    for c in [1usize, 2, 3, 6] {
+        for (name, n, runner) in [
+            (
+                "TwoStep(task)",
+                SystemConfig::minimal_task(E, F).unwrap().n(),
+                run_task as fn(usize, u64) -> (bool, Option<f64>),
+            ),
+            (
+                "TwoStep(object)",
+                SystemConfig::minimal_object(E, F).unwrap().n(),
+                run_object,
+            ),
+            (
+                "FastPaxos",
+                SystemConfig::minimal_fast_paxos(E, F).unwrap().n(),
+                run_fastpaxos,
+            ),
+        ] {
+            let mut series = Series { fast_runs: 0, latencies: Vec::new() };
+            for seed in 0..SEEDS {
+                let (fast, latency) = runner(c, seed);
+                series.fast_runs += usize::from(fast);
+                if let Some(l) = latency {
+                    series.latencies.push(l);
+                }
+            }
+            table.row(&[
+                name.to_string(),
+                n.to_string(),
+                c.to_string(),
+                format!("{}/{}", series.fast_runs, SEEDS),
+                format!("{:.2}Δ", mean(&series.latencies)),
+            ]);
+        }
+    }
+
+    table.print(&format!(
+        "E6: contention vs fast path (e={E}, f={F}; all n processes propose, {SEEDS} random \
+         schedules per point)"
+    ));
+    println!(
+        "\nReading: these are *random* schedules, not the witness runs of Definitions 4/A.1\n\
+         (those always exist — see E1/E2). A fast decision needs n-e-1 same-target votes,\n\
+         so smaller deployments concentrate votes more easily: the object protocol (n=5)\n\
+         out-fasts the task protocol (n=6) at low contention, until its red line\n\
+         deliberately surrenders the fast path once proposals conflict (c ≥ 3) — the\n\
+         price of running with max{{2e+f-1, 2f+1}} processes. Fast Paxos keeps a fast\n\
+         path under mild conflict but needs n=7 to do so. When the fast path misses,\n\
+         everyone falls back to the ~4-6Δ slow ballot."
+    );
+}

@@ -1,0 +1,55 @@
+//! Ablation switches.
+
+/// Switches that *disable* individual ingredients of the protocol, used
+/// by experiment E9 to demonstrate that each ingredient is necessary at
+/// the paper's minimal process counts.
+///
+/// All flags default to `false` (the correct protocol). Never enable any
+/// of these outside experiments: each one re-introduces a safety bug the
+/// paper's design rules out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ablations {
+    /// Skip the proposer-exclusion filter: the recovery rule counts
+    /// votes over the whole `1B` quorum `Q` instead of
+    /// `R = {q ∈ Q | proposer_q ∉ Q}` (Figure 1 line 47).
+    pub no_proposer_exclusion: bool,
+    /// Replace the max-value tie-break of the `|S| = n-f-e` recovery
+    /// case (line 58) with a min-value choice.
+    pub no_max_tiebreak: bool,
+    /// Drop the object variant's red-line precondition
+    /// `initial_val ≠ ⊥ ⟹ v = initial_val` on accepting a `Propose`
+    /// (line 10).
+    pub no_object_guard: bool,
+}
+
+impl Ablations {
+    /// The unablated (correct) protocol.
+    pub const NONE: Ablations = Ablations {
+        no_proposer_exclusion: false,
+        no_max_tiebreak: false,
+        no_object_guard: false,
+    };
+
+    /// Whether any ablation is active.
+    pub fn any(&self) -> bool {
+        self.no_proposer_exclusion || self.no_max_tiebreak || self.no_object_guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_correct_protocol() {
+        assert_eq!(Ablations::default(), Ablations::NONE);
+        assert!(!Ablations::NONE.any());
+    }
+
+    #[test]
+    fn any_detects_each_flag() {
+        assert!(Ablations { no_proposer_exclusion: true, ..Ablations::NONE }.any());
+        assert!(Ablations { no_max_tiebreak: true, ..Ablations::NONE }.any());
+        assert!(Ablations { no_object_guard: true, ..Ablations::NONE }.any());
+    }
+}

@@ -1,0 +1,88 @@
+//! Wire messages of the two-step protocol (Figure 1).
+
+use serde::{Deserialize, Serialize};
+
+use twostep_types::{Ballot, ProcessId};
+
+/// Messages exchanged by [`crate::TwoStep`].
+///
+/// The names follow the paper (which follows Paxos): `1A`/`1B` prepare a
+/// slow ballot, `2A`/`2B` vote in it; `Propose` and the fast-ballot `2B`
+/// form the fast path; `Decide` disseminates decisions; `Heartbeat`
+/// implements the Ω failure-detector substrate (§C.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Msg<V> {
+    /// Fast-path proposal broadcast by a proposer (Figure 1 line 5).
+    Propose(V),
+    /// Ballot-joining request from a would-be leader (line 39).
+    OneA(Ballot),
+    /// State report answering a `1A` (line 31).
+    OneB {
+        /// The ballot being joined.
+        bal: Ballot,
+        /// Last ballot in which the sender voted.
+        vbal: Ballot,
+        /// The sender's current vote (`⊥` if none).
+        val: Option<V>,
+        /// Proposer of `val` (`⊥` if none) — drives the recovery rule's
+        /// proposer-exclusion set `R`.
+        proposer: Option<ProcessId>,
+        /// The sender's decision (`⊥` if undecided).
+        decided: Option<V>,
+    },
+    /// The leader's proposal for a slow ballot (line 63).
+    TwoA(Ballot, V),
+    /// A vote: in ballot 0 it answers a `Propose` (line 13); in slow
+    /// ballots it answers a `2A` (line 69).
+    TwoB(Ballot, V),
+    /// Decision dissemination (line 20).
+    Decide(V),
+    /// Ω liveness beacon (§C.1 substrate).
+    Heartbeat,
+}
+
+impl<V> Msg<V> {
+    /// Whether this message belongs to the fast path.
+    pub fn is_fast_path(&self) -> bool {
+        matches!(self, Msg::Propose(_) | Msg::TwoB(Ballot::FAST, _))
+    }
+
+    /// The ballot carried by the message, if any.
+    pub fn ballot(&self) -> Option<Ballot> {
+        match self {
+            Msg::OneA(b) | Msg::TwoA(b, _) | Msg::TwoB(b, _) => Some(*b),
+            Msg::OneB { bal, .. } => Some(*bal),
+            Msg::Propose(_) | Msg::Decide(_) | Msg::Heartbeat => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_classification() {
+        assert!(Msg::Propose(1u64).is_fast_path());
+        assert!(Msg::<u64>::TwoB(Ballot::FAST, 1).is_fast_path());
+        assert!(!Msg::<u64>::TwoB(Ballot::new(3), 1).is_fast_path());
+        assert!(!Msg::<u64>::OneA(Ballot::new(1)).is_fast_path());
+        assert!(!Msg::<u64>::Heartbeat.is_fast_path());
+    }
+
+    #[test]
+    fn ballot_extraction() {
+        assert_eq!(Msg::<u64>::OneA(Ballot::new(4)).ballot(), Some(Ballot::new(4)));
+        assert_eq!(Msg::<u64>::TwoA(Ballot::new(2), 9).ballot(), Some(Ballot::new(2)));
+        assert_eq!(Msg::Propose(9u64).ballot(), None);
+        assert_eq!(Msg::<u64>::Heartbeat.ballot(), None);
+        let oneb = Msg::<u64>::OneB {
+            bal: Ballot::new(7),
+            vbal: Ballot::FAST,
+            val: None,
+            proposer: None,
+            decided: None,
+        };
+        assert_eq!(oneb.ballot(), Some(Ballot::new(7)));
+    }
+}

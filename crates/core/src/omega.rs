@@ -1,0 +1,190 @@
+//! The Ω leader-election service (§C.1).
+//!
+//! Under partial synchrony Ω is implementable with heartbeats (Chandra &
+//! Toueg): every process periodically broadcasts a beacon; a process
+//! suspects the peers it has not heard from recently and trusts the
+//! lowest-id unsuspected process. After GST all correct processes hear
+//! each other within `Δ`, so they converge on the same correct leader —
+//! which is all the protocol needs for Termination.
+//!
+//! For deterministic unit tests, [`OmegaMode::Static`] pins the leader
+//! and suppresses heartbeat traffic.
+
+use twostep_types::{ProcessId, ProcessSet};
+
+/// How the Ω service obtains its leader estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OmegaMode {
+    /// Heartbeat-based failure detection (the real mechanism).
+    Heartbeats,
+    /// A fixed leader; no heartbeats are exchanged. Only for tests and
+    /// experiments that control crashes explicitly.
+    Static(ProcessId),
+}
+
+/// Per-process Ω state.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_core::{Omega, OmegaMode};
+/// use twostep_types::ProcessId;
+///
+/// let mut omega = Omega::new(ProcessId::new(2), 4, OmegaMode::Heartbeats);
+/// assert_eq!(omega.leader(), ProcessId::new(0)); // everyone trusted at start
+///
+/// // One sweep with only p2 (self) and p3 heard: p0, p1 become suspects.
+/// omega.observe(ProcessId::new(3));
+/// omega.sweep();
+/// assert_eq!(omega.leader(), ProcessId::new(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Omega {
+    me: ProcessId,
+    n: usize,
+    mode: OmegaMode,
+    heard: ProcessSet,
+    suspected: ProcessSet,
+}
+
+impl Omega {
+    /// Creates the Ω state for process `me` in a system of `n`.
+    pub fn new(me: ProcessId, n: usize, mode: OmegaMode) -> Self {
+        Omega {
+            me,
+            n,
+            mode,
+            heard: ProcessSet::new(),
+            suspected: ProcessSet::new(),
+        }
+    }
+
+    /// The mode this instance runs in.
+    pub fn mode(&self) -> OmegaMode {
+        self.mode
+    }
+
+    /// Whether heartbeat traffic should be generated.
+    pub fn uses_heartbeats(&self) -> bool {
+        matches!(self.mode, OmegaMode::Heartbeats)
+    }
+
+    /// Records evidence that `q` is alive (any message counts, not just
+    /// heartbeats).
+    pub fn observe(&mut self, q: ProcessId) {
+        self.heard.insert(q);
+    }
+
+    /// Periodic suspicion sweep: peers not heard from since the previous
+    /// sweep become suspects; the evidence window resets.
+    pub fn sweep(&mut self) {
+        if let OmegaMode::Static(_) = self.mode {
+            return;
+        }
+        let mut trusted = self.heard;
+        trusted.insert(self.me);
+        self.suspected = trusted.complement(self.n);
+        self.heard = ProcessSet::new();
+    }
+
+    /// The current leader estimate: the lowest-id unsuspected process.
+    pub fn leader(&self) -> ProcessId {
+        match self.mode {
+            OmegaMode::Static(p) => p,
+            OmegaMode::Heartbeats => self
+                .suspected
+                .complement(self.n)
+                .min()
+                .unwrap_or(self.me),
+        }
+    }
+
+    /// Whether this process currently believes itself to be the leader.
+    pub fn is_leader(&self) -> bool {
+        self.leader() == self.me
+    }
+
+    /// The currently suspected processes.
+    pub fn suspected(&self) -> ProcessSet {
+        self.suspected
+    }
+
+    /// Overrides the pinned leader of a [`OmegaMode::Static`] instance.
+    ///
+    /// Used by layers that run their own failure detection (e.g. the SMR
+    /// replica, which maintains one Ω for all its consensus instances)
+    /// and feed the elected leader down to statically-configured
+    /// instances. No-op in heartbeat mode.
+    pub fn set_static_leader(&mut self, leader: ProcessId) {
+        if let OmegaMode::Static(p) = &mut self.mode {
+            *p = leader;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn initial_leader_is_p0() {
+        let omega = Omega::new(p(3), 5, OmegaMode::Heartbeats);
+        assert_eq!(omega.leader(), p(0));
+        assert!(!omega.is_leader());
+        assert!(omega.suspected().is_empty());
+    }
+
+    #[test]
+    fn static_mode_pins_leader_and_ignores_sweeps() {
+        let mut omega = Omega::new(p(0), 5, OmegaMode::Static(p(4)));
+        assert_eq!(omega.leader(), p(4));
+        assert!(!omega.uses_heartbeats());
+        omega.sweep();
+        omega.sweep();
+        assert_eq!(omega.leader(), p(4));
+        assert!(omega.suspected().is_empty());
+    }
+
+    #[test]
+    fn sweep_suspects_silent_peers() {
+        let mut omega = Omega::new(p(2), 4, OmegaMode::Heartbeats);
+        omega.observe(p(0));
+        omega.observe(p(3));
+        omega.sweep();
+        // p1 silent → suspected; leader is lowest unsuspected = p0.
+        assert!(omega.suspected().contains(p(1)));
+        assert_eq!(omega.leader(), p(0));
+
+        // Next window: p0 goes silent too.
+        omega.observe(p(3));
+        omega.sweep();
+        assert!(omega.suspected().contains(p(0)));
+        assert_eq!(omega.leader(), p(2), "self is never suspected");
+        assert!(omega.is_leader());
+    }
+
+    #[test]
+    fn recovery_after_silence() {
+        let mut omega = Omega::new(p(1), 3, OmegaMode::Heartbeats);
+        omega.sweep(); // nobody heard: suspect all others
+        assert_eq!(omega.leader(), p(1));
+        omega.observe(p(0));
+        omega.sweep();
+        assert_eq!(omega.leader(), p(0), "p0 trusted again after beacon");
+    }
+
+    #[test]
+    fn evidence_window_resets_each_sweep() {
+        let mut omega = Omega::new(p(0), 3, OmegaMode::Heartbeats);
+        omega.observe(p(1));
+        omega.sweep();
+        assert!(!omega.suspected().contains(p(1)));
+        // No new evidence in this window.
+        omega.sweep();
+        assert!(omega.suspected().contains(p(1)));
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration tests: the object variant satisfies Definition A.1 at the
+//! Theorem 6 bound `n = max{2e+f-1, 2f+1}` — one process fewer than the
+//! task bound — plus safety under contention.
+
+use twostep_core::ObjectConsensus;
+use twostep_sim::{DeliveryOrder, SimulationBuilder, SyncRunner};
+use twostep_types::{Duration, ProcessId, SystemConfig, Time};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+const GRID: [(usize, usize); 5] = [(1, 1), (1, 2), (2, 2), (2, 3), (3, 3)];
+
+#[test]
+fn object_bound_is_strictly_below_task_bound_where_claimed() {
+    // Sanity on the configurations exercised here: for 2e+f-1 >= 2f+1 the
+    // object protocol runs with exactly one process fewer.
+    let cfg_obj = SystemConfig::minimal_object(2, 2).unwrap();
+    let cfg_task = SystemConfig::minimal_task(2, 2).unwrap();
+    assert_eq!(cfg_obj.n() + 1, cfg_task.n());
+}
+
+#[test]
+fn definition_a1_item_1_lone_proposer_decides_two_step() {
+    // For every failure set E and every correct proposer p: if only p
+    // proposes, p decides by 2Δ.
+    for (e, f) in GRID {
+        let cfg = SystemConfig::minimal_object(e, f).unwrap();
+        for crashed in cfg.failure_sets() {
+            for proposer in cfg.all_processes().difference(crashed).iter() {
+                let outcome = SyncRunner::new(cfg).crashed(crashed).run_object(
+                    |q| ObjectConsensus::<u64>::new(cfg, q),
+                    vec![(proposer, 42, Time::ZERO)],
+                );
+                let (fast, value) = outcome.fast_deciders();
+                assert!(
+                    fast.contains(proposer),
+                    "cfg={cfg} E={crashed:?}: lone proposer {proposer} not two-step"
+                );
+                assert_eq!(value, Some(42));
+                assert!(outcome.agreement());
+            }
+        }
+    }
+}
+
+#[test]
+fn definition_a1_item_2_same_value_everyone_two_step() {
+    // All correct processes propose the same v at the beginning of round
+    // 1; every correct process has a run two-step for it.
+    for (e, f) in GRID {
+        let cfg = SystemConfig::minimal_object(e, f).unwrap();
+        for crashed in cfg.failure_sets().take(5) {
+            let correct = cfg.all_processes().difference(crashed);
+            for witness in correct.iter() {
+                let proposals: Vec<_> =
+                    correct.iter().map(|q| (q, 7u64, Time::ZERO)).collect();
+                let outcome = SyncRunner::new(cfg)
+                    .crashed(crashed)
+                    .favoring(witness)
+                    .run_object(|q| ObjectConsensus::<u64>::new(cfg, q), proposals);
+                let (fast, value) = outcome.fast_deciders();
+                assert!(
+                    fast.contains(witness),
+                    "cfg={cfg} E={crashed:?}: {witness} not two-step on unanimous config"
+                );
+                assert_eq!(value, Some(7));
+                assert!(outcome.agreement());
+            }
+        }
+    }
+}
+
+#[test]
+fn conflicting_proposals_stay_safe_and_terminate() {
+    // Two distinct proposals at the object bound: the red line blocks
+    // cross-votes; decisions come via the slow path but must agree.
+    for (e, f) in GRID {
+        let cfg = SystemConfig::minimal_object(e, f).unwrap();
+        let a = p(0);
+        let b = p((cfg.n() - 1) as u32);
+        let outcome = SyncRunner::new(cfg)
+            .horizon(Duration::deltas(80))
+            .run_object(
+                |q| ObjectConsensus::<u64>::new(cfg, q),
+                vec![(a, 10, Time::ZERO), (b, 20, Time::ZERO)],
+            );
+        assert!(outcome.agreement(), "cfg={cfg}");
+        assert!(outcome.all_correct_decided(), "cfg={cfg}: stalled under conflict");
+        let v = *outcome.decided_values()[0];
+        assert!(v == 10 || v == 20, "cfg={cfg}: invalid decision {v}");
+    }
+}
+
+#[test]
+fn late_proposal_after_slow_ballots_still_terminates() {
+    // The liveness extension: a proposal arriving after slow ballots have
+    // started would be rejected by every `bal = 0` precondition; the
+    // retransmission + observed-proposal fallback must still decide it.
+    let cfg = SystemConfig::minimal_object(2, 2).unwrap();
+    let proposer = p(3);
+    let outcome = SyncRunner::new(cfg)
+        .horizon(Duration::deltas(120))
+        .run_object(
+            |q| ObjectConsensus::<u64>::new(cfg, q),
+            // Propose only at 9Δ, well after the first new-ballot timeout
+            // (2Δ) has pushed everyone into slow ballots.
+            vec![(proposer, 5, Time::ZERO + Duration::deltas(9))],
+        );
+    assert!(
+        outcome.decision_of(proposer).is_some(),
+        "late proposer starved: wait-freedom violated"
+    );
+    assert_eq!(outcome.decision_of(proposer), Some(&5));
+    assert!(outcome.agreement());
+}
+
+#[test]
+fn nobody_proposes_nobody_decides() {
+    let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+    let outcome = SyncRunner::new(cfg)
+        .horizon(Duration::deltas(30))
+        .run_object(|q| ObjectConsensus::<u64>::new(cfg, q), vec![]);
+    assert!(outcome.decisions.iter().all(|d| d.is_none()));
+    // Validity in the degenerate sense: no value invented.
+    assert!(outcome.trace.decisions().is_empty());
+}
+
+#[test]
+fn proposer_crashing_mid_broadcast_is_safe() {
+    // The proposer crashes right after its proposal is in flight; the
+    // rest must either decide its value or nothing conflicting.
+    for seed in 0u64..10 {
+        let cfg = SystemConfig::minimal_object(2, 2).unwrap();
+        let proposer = p(0);
+        let mut sim = SimulationBuilder::new(cfg)
+            .delivery_order(DeliveryOrder::randomized(seed))
+            .crash_at(proposer, Time::from_units(1))
+            .build(|q| ObjectConsensus::<u64>::new(cfg, q));
+        sim.schedule_propose(proposer, 11, Time::ZERO);
+        let outcome = sim.run_until_all_decided(Time::ZERO + Duration::deltas(100));
+        let decisions = outcome.trace.decisions();
+        for (_, v, _) in &decisions {
+            assert_eq!(*v, 11, "seed {seed}: only 11 was ever proposed");
+        }
+        // Liveness: survivors decide (the proposal reached them before
+        // the crash since effects are applied atomically at t=0).
+        assert!(outcome.all_correct_decided(), "seed {seed}");
+    }
+}
+
+#[test]
+fn contending_proposals_under_random_schedules_agree() {
+    for seed in 0u64..15 {
+        let cfg = SystemConfig::minimal_object(2, 3).unwrap();
+        let n = cfg.n();
+        let mut sim = SimulationBuilder::new(cfg)
+            .delay_model(twostep_sim::RandomDelay::sub_delta(seed))
+            .delivery_order(DeliveryOrder::randomized(seed))
+            .build(|q| ObjectConsensus::<u64>::new(cfg, q));
+        // Half the processes propose, at staggered times.
+        for (k, i) in (0..n as u32).step_by(2).enumerate() {
+            sim.schedule_propose(p(i), 50 + u64::from(i), Time::from_units(k as u64 * 300));
+        }
+        let outcome = sim.run_until_all_decided(Time::ZERO + Duration::deltas(150));
+        let decisions = outcome.trace.decisions();
+        if let Some((_, first, _)) = decisions.first() {
+            for (q, v, _) in &decisions {
+                assert_eq!(v, first, "seed {seed}: {q} diverged");
+            }
+        }
+        assert!(outcome.all_correct_decided(), "seed {seed}");
+    }
+}

@@ -1,0 +1,302 @@
+//! A whole deployment: `n` nodes, a transport, and client-side helpers.
+
+use std::time::{Duration as WallDuration, Instant};
+
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+
+use twostep_types::protocol::Protocol;
+use twostep_types::{ProcessId, SystemConfig, Value};
+
+use crate::node::{spawn, NodeHandle};
+use crate::transport::{InMemoryTransport, TcpTransport};
+use crate::RuntimeError;
+
+/// A running cluster of protocol instances.
+///
+/// # Example
+///
+/// ```rust,no_run
+/// use std::time::Duration;
+/// use twostep_core::ObjectConsensus;
+/// use twostep_runtime::Cluster;
+/// use twostep_types::{ProcessId, SystemConfig};
+///
+/// let cfg = SystemConfig::minimal_object(1, 1)?;
+/// let cluster = Cluster::in_memory(cfg, Duration::from_millis(20), |p| {
+///     ObjectConsensus::<u64>::new(cfg, p)
+/// });
+/// cluster.propose(ProcessId::new(0), 7);
+/// let decided = cluster.await_decision(ProcessId::new(0), Duration::from_secs(5));
+/// assert_eq!(decided, Some(7));
+/// # Ok::<(), twostep_types::ConfigError>(())
+/// ```
+pub struct Cluster<V: Value> {
+    cfg: SystemConfig,
+    nodes: Vec<NodeHandle<V>>,
+    decisions_rx: Receiver<(ProcessId, V, Instant)>,
+    observed: Mutex<Vec<Option<(V, Instant)>>>,
+    started: Instant,
+}
+
+impl<V: Value> Cluster<V> {
+    /// Spawns the cluster over the in-memory transport.
+    ///
+    /// `wall_delta` is the wall-clock duration of one `Δ`; it bounds the
+    /// protocol's timeouts (fast-path window `2Δ`, ballot retry `5Δ`).
+    pub fn in_memory<P, F>(cfg: SystemConfig, wall_delta: WallDuration, mut make: F) -> Self
+    where
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        let n = cfg.n();
+        let (transport, inboxes) = InMemoryTransport::new(n);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let mut nodes = Vec::with_capacity(n);
+        for (i, inbox) in inboxes.into_iter().enumerate() {
+            let p = ProcessId::new(i as u32);
+            nodes.push(spawn(make(p), inbox, transport.clone(), wall_delta, dtx.clone()));
+        }
+        Cluster {
+            cfg,
+            nodes,
+            decisions_rx: drx,
+            observed: Mutex::new(vec![None; n]),
+            started: Instant::now(),
+        }
+    }
+
+    /// Spawns the cluster over localhost TCP (real sockets, framing and
+    /// the binary codec on every hop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures.
+    pub fn tcp<P, F>(
+        cfg: SystemConfig,
+        wall_delta: WallDuration,
+        mut make: F,
+    ) -> Result<Self, RuntimeError>
+    where
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        let n = cfg.n();
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (listener, addr) = TcpTransport::bind_ephemeral()?;
+            listeners.push(listener);
+            addrs.push(addr);
+        }
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let mut nodes = Vec::with_capacity(n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let p = ProcessId::new(i as u32);
+            let (inbox_tx, inbox_rx) = crossbeam::channel::unbounded();
+            let transport = TcpTransport::new(p, addrs.clone(), listener, inbox_tx);
+            nodes.push(spawn(make(p), inbox_rx, transport, wall_delta, dtx.clone()));
+        }
+        Ok(Cluster {
+            cfg,
+            nodes,
+            decisions_rx: drx,
+            observed: Mutex::new(vec![None; n]),
+            started: Instant::now(),
+        })
+    }
+
+    /// The deployed configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// When the cluster was spawned.
+    pub fn started_at(&self) -> Instant {
+        self.started
+    }
+
+    /// Submits a client proposal at node `p` (the proxy).
+    pub fn propose(&self, p: ProcessId, value: V) {
+        self.nodes[p.index()].propose(value);
+    }
+
+    /// Crashes node `p`: it stops participating immediately.
+    pub fn crash(&mut self, p: ProcessId) {
+        self.nodes[p.index()].crash();
+    }
+
+    fn drain(&self) {
+        let mut observed = self.observed.lock();
+        while let Ok((p, v, at)) = self.decisions_rx.try_recv() {
+            let slot = &mut observed[p.index()];
+            if slot.is_none() {
+                *slot = Some((v, at));
+            }
+        }
+    }
+
+    /// The first decision of `p` observed so far, without blocking.
+    pub fn decision_of(&self, p: ProcessId) -> Option<V> {
+        self.drain();
+        self.observed.lock()[p.index()].as_ref().map(|(v, _)| v.clone())
+    }
+
+    /// Waits until `p` decides or `timeout` elapses; returns the value.
+    pub fn await_decision(&self, p: ProcessId, timeout: WallDuration) -> Option<V> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(v) = self.decision_of(p) {
+                return Some(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.decisions_rx.recv_timeout(deadline - now) {
+                Ok((q, v, at)) => {
+                    let mut observed = self.observed.lock();
+                    if observed[q.index()].is_none() {
+                        observed[q.index()] = Some((v, at));
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Waits until every process in `who` has decided; returns whether
+    /// that happened before the timeout.
+    pub fn await_decisions(
+        &self,
+        who: impl IntoIterator<Item = ProcessId>,
+        timeout: WallDuration,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        who.into_iter().all(|p| {
+            let now = Instant::now();
+            if now >= deadline {
+                return self.decision_of(p).is_some();
+            }
+            self.await_decision(p, deadline - now).is_some()
+        })
+    }
+
+    /// The decision latency of `p` relative to cluster start, if decided.
+    pub fn decision_latency(&self, p: ProcessId) -> Option<WallDuration> {
+        self.drain();
+        self.observed.lock()[p.index()]
+            .as_ref()
+            .map(|(_, at)| at.duration_since(self.started))
+    }
+
+    /// All first decisions observed so far, by process.
+    pub fn decisions(&self) -> Vec<Option<V>> {
+        self.drain();
+        self.observed
+            .lock()
+            .iter()
+            .map(|slot| slot.as_ref().map(|(v, _)| v.clone()))
+            .collect()
+    }
+
+    /// Whether all observed decisions agree on a single value.
+    pub fn agreement(&self) -> bool {
+        let decisions = self.decisions();
+        let mut iter = decisions.iter().flatten();
+        match iter.next() {
+            None => true,
+            Some(first) => iter.all(|v| v == first),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_types::protocol::{Effects, TimerId};
+    use serde::{Deserialize, Serialize};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Gossip(u64);
+
+    /// Decides the first value it hears (own proposal or gossip).
+    #[derive(Debug)]
+    struct Relay {
+        me: ProcessId,
+        n: usize,
+        decided: Option<u64>,
+    }
+
+    impl Protocol<u64> for Relay {
+        type Message = Gossip;
+        fn id(&self) -> ProcessId {
+            self.me
+        }
+        fn on_start(&mut self, _: &mut Effects<u64, Gossip>) {}
+        fn on_propose(&mut self, v: u64, eff: &mut Effects<u64, Gossip>) {
+            if self.decided.is_none() {
+                self.decided = Some(v);
+                eff.decide(v);
+                eff.broadcast_others(Gossip(v), self.n, self.me);
+            }
+        }
+        fn on_message(&mut self, _: ProcessId, m: Gossip, eff: &mut Effects<u64, Gossip>) {
+            if self.decided.is_none() {
+                self.decided = Some(m.0);
+                eff.decide(m.0);
+            }
+        }
+        fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, Gossip>) {}
+        fn decision(&self) -> Option<u64> {
+            self.decided
+        }
+    }
+
+    #[test]
+    fn in_memory_cluster_propagates_decision() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let n = cfg.n();
+        let cluster =
+            Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay { me: q, n, decided: None });
+        cluster.propose(p(1), 55);
+        assert!(cluster.await_decisions(cfg.process_ids(), WallDuration::from_secs(5)));
+        assert_eq!(cluster.decisions(), vec![Some(55), Some(55), Some(55)]);
+        assert!(cluster.agreement());
+        assert!(cluster.decision_latency(p(1)).is_some());
+    }
+
+    #[test]
+    fn crash_is_silent() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let n = cfg.n();
+        let mut cluster =
+            Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay { me: q, n, decided: None });
+        cluster.crash(p(0));
+        cluster.propose(p(0), 1); // swallowed
+        assert_eq!(cluster.await_decision(p(1), WallDuration::from_millis(300)), None);
+        cluster.propose(p(1), 2);
+        assert_eq!(cluster.await_decision(p(2), WallDuration::from_secs(5)), Some(2));
+        assert_eq!(cluster.decision_of(p(0)), None);
+    }
+
+    #[test]
+    fn tcp_cluster_end_to_end() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let n = cfg.n();
+        let cluster = Cluster::tcp(cfg, WallDuration::from_millis(10), |q| Relay {
+            me: q,
+            n,
+            decided: None,
+        })
+        .expect("tcp cluster");
+        cluster.propose(p(2), 77);
+        assert!(cluster.await_decisions(cfg.process_ids(), WallDuration::from_secs(10)));
+        assert!(cluster.agreement());
+        assert_eq!(cluster.decision_of(p(0)), Some(77));
+    }
+}

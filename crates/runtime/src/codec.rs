@@ -1,0 +1,711 @@
+//! A compact, non-self-describing binary serde format for wire messages.
+//!
+//! The sanctioned dependency set contains `serde` but no serialization
+//! *format* crate, so the TCP transport carries messages in this
+//! hand-rolled encoding (in the spirit of `bincode`):
+//!
+//! * fixed-width little-endian integers;
+//! * `u8` tags for `Option` / `bool`;
+//! * `u32` variant indices for enums;
+//! * `u64` element counts for sequences, maps, strings and byte blobs;
+//! * structs and tuples are field concatenations with no framing.
+//!
+//! Like any non-self-describing format it only round-trips through
+//! `Deserialize` implementations that mirror the `Serialize` side (true
+//! for all derived impls, which is all this workspace uses);
+//! `deserialize_any` is unsupported.
+
+use std::fmt;
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer};
+use serde::ser::{self, Serialize};
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// Trailing bytes remained after a complete value.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A `bool`/`Option` tag byte was neither 0 nor 1.
+    InvalidTag(u8),
+    /// A char was not a valid Unicode scalar value.
+    InvalidChar(u32),
+    /// The type requires a self-describing format.
+    NotSelfDescribing,
+    /// Error bubbled up from a `Serialize`/`Deserialize` impl.
+    Custom(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            CodecError::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
+            CodecError::InvalidChar(c) => write!(f, "invalid char scalar {c}"),
+            CodecError::NotSelfDescribing => {
+                write!(f, "this format is not self-describing")
+            }
+            CodecError::Custom(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Custom(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Custom(msg.to_string())
+    }
+}
+
+/// Serializes `value` into a fresh byte vector.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if the value's `Serialize` impl fails (the
+/// format itself never rejects a value).
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(64);
+    value.serialize(&mut Encoder { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserializes a value from `bytes`, requiring all input be consumed.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed or trailing input.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut d = Decoder { input: bytes };
+    let value = T::deserialize(&mut d)?;
+    if d.input.is_empty() {
+        Ok(value)
+    } else {
+        Err(CodecError::TrailingBytes { remaining: d.input.len() })
+    }
+}
+
+struct Encoder<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl Encoder<'_> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+}
+
+macro_rules! ser_int {
+    ($method:ident, $ty:ty) => {
+        fn $method(self, v: $ty) -> Result<(), CodecError> {
+            self.put(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl ser::Serializer for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.put(&[u8::from(v)]);
+        Ok(())
+    }
+
+    ser_int!(serialize_i8, i8);
+    ser_int!(serialize_i16, i16);
+    ser_int!(serialize_i32, i32);
+    ser_int!(serialize_i64, i64);
+    ser_int!(serialize_u8, u8);
+    ser_int!(serialize_u16, u16);
+    ser_int!(serialize_u32, u32);
+    ser_int!(serialize_u64, u64);
+    ser_int!(serialize_f32, f32);
+    ser_int!(serialize_f64, f64);
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.serialize_bytes(v.as_bytes())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put(&(v.len() as u64).to_le_bytes());
+        self.put(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.put(&[0]);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.put(&[1]);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| {
+            ser::Error::custom("sequences must have a known length in this format")
+        })?;
+        self.put(&(len as u64).to_le_bytes());
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len =
+            len.ok_or_else(|| ser::Error::custom("maps must have a known length in this format"))?;
+        self.put(&(len as u64).to_le_bytes());
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+}
+
+macro_rules! ser_compound {
+    ($trait_:path, $method:ident $(, $key:ident)?) => {
+        impl $trait_ for &mut Encoder<'_> {
+            type Ok = ();
+            type Error = CodecError;
+
+            $(fn $key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+                key.serialize(&mut **self)
+            })?
+
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+ser_compound!(ser::SerializeSeq, serialize_element);
+ser_compound!(ser::SerializeTuple, serialize_element);
+ser_compound!(ser::SerializeTupleStruct, serialize_field);
+ser_compound!(ser::SerializeTupleVariant, serialize_field);
+ser_compound!(ser::SerializeMap, serialize_value, serialize_key);
+
+impl ser::SerializeStruct for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+struct Decoder<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+
+    fn take_len(&mut self) -> Result<usize, CodecError> {
+        let len = u64::from_le_bytes(self.take_array()?);
+        usize::try_from(len).map_err(|_| CodecError::UnexpectedEof)
+    }
+
+    fn take_tag(&mut self) -> Result<bool, CodecError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+            visitor.$visit(<$ty>::from_le_bytes(self.take_array()?))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<W: de::Visitor<'de>>(self, _visitor: W) -> Result<W::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn deserialize_bool<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        visitor.visit_bool(self.take_tag()?)
+    }
+
+    de_int!(deserialize_i8, visit_i8, i8);
+    de_int!(deserialize_i16, visit_i16, i16);
+    de_int!(deserialize_i32, visit_i32, i32);
+    de_int!(deserialize_i64, visit_i64, i64);
+    de_int!(deserialize_u8, visit_u8, u8);
+    de_int!(deserialize_u16, visit_u16, u16);
+    de_int!(deserialize_u32, visit_u32, u32);
+    de_int!(deserialize_u64, visit_u64, u64);
+    de_int!(deserialize_f32, visit_f32, f32);
+    de_int!(deserialize_f64, visit_f64, f64);
+
+    fn deserialize_char<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        let raw = u32::from_le_bytes(self.take_array()?);
+        visitor.visit_char(char::from_u32(raw).ok_or(CodecError::InvalidChar(raw))?)
+    }
+
+    fn deserialize_str<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        visitor.visit_borrowed_str(std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)?)
+    }
+
+    fn deserialize_string<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        if self.take_tag()? {
+            visitor.visit_some(self)
+        } else {
+            visitor.visit_none()
+        }
+    }
+
+    fn deserialize_unit<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<W: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<W: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<W: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<W: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<W: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<W: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<W: de::Visitor<'de>>(
+        self,
+        _visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn deserialize_ignored_any<W: de::Visitor<'de>>(
+        self,
+        _visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<S: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: S,
+    ) -> Result<Option<S::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<S: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: S,
+    ) -> Result<Option<S::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<S: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: S,
+    ) -> Result<S::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = CodecError;
+    type Variant = Self;
+
+    fn variant_seed<S: de::DeserializeSeed<'de>>(
+        self,
+        seed: S,
+    ) -> Result<(S::Value, Self), CodecError> {
+        let index = u32::from_le_bytes(self.de.take_array()?);
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<S: de::DeserializeSeed<'de>>(
+        self,
+        seed: S,
+    ) -> Result<S::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<W: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<W: de::Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: W,
+    ) -> Result<W::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value).expect("encode");
+        let back: T = from_bytes(&bytes).expect("decode");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip('λ');
+        roundtrip(String::from("héllo"));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Option::<u64>::None);
+        roundtrip(Some(9u64));
+        roundtrip((1u8, String::from("x"), vec![true, false]));
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u64, 2]);
+        m.insert("b".to_string(), vec![]);
+        roundtrip(m);
+        roundtrip(std::collections::BTreeSet::from([5u64, 1, 9]));
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Sample {
+        Unit,
+        Newtype(u64),
+        Tuple(u32, String),
+        Struct { a: Option<u64>, b: Vec<u8> },
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(Sample::Unit);
+        roundtrip(Sample::Newtype(7));
+        roundtrip(Sample::Tuple(1, "two".into()));
+        roundtrip(Sample::Struct { a: Some(3), b: vec![4, 5] });
+        roundtrip(vec![Sample::Unit, Sample::Newtype(1)]);
+    }
+
+    #[test]
+    fn protocol_messages_roundtrip() {
+        use twostep_types::{Ballot, ProcessId};
+
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        struct OneB {
+            bal: Ballot,
+            vbal: Ballot,
+            val: Option<u64>,
+            proposer: Option<ProcessId>,
+            decided: Option<u64>,
+        }
+        roundtrip(OneB {
+            bal: Ballot::new(7),
+            vbal: Ballot::FAST,
+            val: Some(9),
+            proposer: Some(ProcessId::new(3)),
+            decided: None,
+        });
+    }
+
+    #[test]
+    fn eof_detected() {
+        let bytes = to_bytes(&12345u64).unwrap();
+        let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
+        assert_eq!(err, CodecError::UnexpectedEof);
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = to_bytes(&1u32).unwrap();
+        bytes.push(0xFF);
+        let err = from_bytes::<u32>(&bytes).unwrap_err();
+        assert_eq!(err, CodecError::TrailingBytes { remaining: 1 });
+    }
+
+    #[test]
+    fn bad_bool_tag_detected() {
+        let err = from_bytes::<bool>(&[7]).unwrap_err();
+        assert_eq!(err, CodecError::InvalidTag(7));
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        // len=1, byte 0xFF.
+        let mut bytes = (1u64).to_le_bytes().to_vec();
+        bytes.push(0xFF);
+        let err = from_bytes::<String>(&bytes).unwrap_err();
+        assert_eq!(err, CodecError::InvalidUtf8);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // A u64 is exactly 8 bytes; an Option<u64> 9; a small enum
+        // variant 4 (+payload).
+        assert_eq!(to_bytes(&1u64).unwrap().len(), 8);
+        assert_eq!(to_bytes(&Some(1u64)).unwrap().len(), 9);
+        assert_eq!(to_bytes(&Sample::Unit).unwrap().len(), 4);
+    }
+}

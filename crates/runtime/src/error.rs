@@ -1,0 +1,65 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use crate::codec::CodecError;
+
+/// Errors surfaced by the deployment runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Wire encoding/decoding failure.
+    Codec(CodecError),
+    /// A node thread is no longer running.
+    NodeGone {
+        /// Which node.
+        process: twostep_types::ProcessId,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Io(e) => write!(f, "io error: {e}"),
+            RuntimeError::Codec(e) => write!(f, "codec error: {e}"),
+            RuntimeError::NodeGone { process } => write!(f, "node {process} is gone"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Io(e) => Some(e),
+            RuntimeError::Codec(e) => Some(e),
+            RuntimeError::NodeGone { .. } => None,
+        }
+    }
+}
+
+impl From<CodecError> for RuntimeError {
+    fn from(e: CodecError) -> Self {
+        RuntimeError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RuntimeError::from(CodecError::UnexpectedEof);
+        assert!(e.to_string().contains("codec error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = RuntimeError::NodeGone { process: twostep_types::ProcessId::new(2) };
+        assert!(e.to_string().contains("p2"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Thread-per-process deployment harness.
+//!
+//! This crate runs the *same* protocol state machines that the
+//! simulator and model checker drive, but on real OS threads with real
+//! time and (optionally) real TCP sockets:
+//!
+//! * [`codec`] — a compact binary serde format for wire messages (the
+//!   sanctioned dependency set has no serialization-format crate).
+//! * [`Transport`] — pluggable byte transport: [`InMemoryTransport`]
+//!   (crossbeam channels) and [`TcpTransport`] (length-prefixed frames
+//!   over localhost or the network).
+//! * [`node`] — one protocol instance per thread: an event loop
+//!   multiplexing network traffic, client proposals and wall-clock
+//!   timers (protocol timer delays are virtual `Δ` units scaled by a
+//!   configurable wall-clock `Δ`).
+//! * [`Cluster`] — spawns `n` nodes, wires the transport, and exposes
+//!   the client's view: `propose` at a proxy, await decisions, observe
+//!   latency, crash nodes.
+//!
+//! Design note: the runtime deliberately contains *no protocol logic* —
+//! crash injection is thread shutdown, timeouts are the protocol's own
+//! timers, and all ordering comes from the transport. Anything verified
+//! about the state machines in `twostep-verify` therefore carries over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod cluster;
+mod error;
+pub mod node;
+mod transport;
+
+pub use cluster::Cluster;
+pub use error::RuntimeError;
+pub use node::{Control, NodeHandle};
+pub use transport::{InMemoryTransport, TcpTransport, Transport};

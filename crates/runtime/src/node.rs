@@ -1,0 +1,336 @@
+//! One protocol instance on one OS thread.
+
+use std::collections::HashMap;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration as WallDuration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::{ProcessId, Value, DELTA};
+
+use crate::codec;
+use crate::transport::Transport;
+
+/// Control events a node accepts besides network traffic.
+#[derive(Debug)]
+pub enum Control<V> {
+    /// A client proposal submitted at this node (the *proxy* role from
+    /// the paper's introduction).
+    Propose(V),
+    /// Stop the node immediately — models a crash (no clean handover).
+    Shutdown,
+}
+
+/// Handle to a spawned node.
+#[derive(Debug)]
+pub struct NodeHandle<V> {
+    id: ProcessId,
+    control: Sender<Control<V>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl<V> NodeHandle<V> {
+    /// The node's process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Submits a client proposal; silently dropped if the node crashed.
+    pub fn propose(&self, value: V) {
+        let _ = self.control.send(Control::Propose(value));
+    }
+
+    /// Crashes the node: it stops processing immediately.
+    pub fn crash(&mut self) {
+        let _ = self.control.send(Control::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Whether the node thread has been shut down via this handle.
+    pub fn is_crashed(&self) -> bool {
+        self.join.is_none()
+    }
+}
+
+impl<V> Drop for NodeHandle<V> {
+    fn drop(&mut self) {
+        let _ = self.control.send(Control::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawns `protocol` on its own thread.
+///
+/// * `inbox` — encoded messages from the transport's receive side.
+/// * `transport` — used for this node's sends (self-sends included).
+/// * `wall_delta` — the wall-clock duration of one `Δ`; protocol timer
+///   delays (expressed in virtual units where `Δ` = [`DELTA`]) are
+///   scaled by `wall_delta / Δ`.
+/// * `decisions` — every `decide(v)` event is reported as
+///   `(id, v, wall time)`.
+pub fn spawn<V, P, T>(
+    mut protocol: P,
+    inbox: Receiver<(ProcessId, Bytes)>,
+    transport: T,
+    wall_delta: WallDuration,
+    decisions: Sender<(ProcessId, V, Instant)>,
+) -> NodeHandle<V>
+where
+    V: Value,
+    P: Protocol<V> + 'static,
+    T: Transport,
+{
+    let id = protocol.id();
+    let (control_tx, control_rx) = crossbeam::channel::unbounded::<Control<V>>();
+    let join = thread::Builder::new()
+        .name(format!("twostep-node-{id}"))
+        .spawn(move || {
+            let mut timers: HashMap<TimerId, Instant> = HashMap::new();
+            let mut eff = Effects::new();
+            protocol.on_start(&mut eff);
+            apply(id, &mut protocol, eff.drain(), &transport, wall_delta, &mut timers, &decisions);
+
+            loop {
+                // Fire due timers first.
+                let now = Instant::now();
+                let due: Vec<TimerId> = timers
+                    .iter()
+                    .filter(|(_, deadline)| **deadline <= now)
+                    .map(|(t, _)| *t)
+                    .collect();
+                for t in due {
+                    timers.remove(&t);
+                    let mut eff = Effects::new();
+                    protocol.on_timer(t, &mut eff);
+                    apply(id, &mut protocol, eff, &transport, wall_delta, &mut timers, &decisions);
+                }
+                let wait = timers
+                    .values()
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .min()
+                    .unwrap_or(WallDuration::from_millis(50));
+
+                crossbeam::channel::select! {
+                    recv(inbox) -> msg => match msg {
+                        Ok((from, payload)) => {
+                            match codec::from_bytes::<P::Message>(&payload) {
+                                Ok(decoded) => {
+                                    let mut eff = Effects::new();
+                                    protocol.on_message(from, decoded, &mut eff);
+                                    apply(id, &mut protocol, eff, &transport, wall_delta, &mut timers, &decisions);
+                                }
+                                Err(_) => {
+                                    // A malformed frame is dropped; the
+                                    // sender's retransmissions recover.
+                                }
+                            }
+                        }
+                        Err(_) => break, // transport torn down
+                    },
+                    recv(control_rx) -> ctl => match ctl {
+                        Ok(Control::Propose(v)) => {
+                            let mut eff = Effects::new();
+                            protocol.on_propose(v, &mut eff);
+                            apply(id, &mut protocol, eff, &transport, wall_delta, &mut timers, &decisions);
+                        }
+                        Ok(Control::Shutdown) | Err(_) => break,
+                    },
+                    default(wait) => {}
+                }
+            }
+        })
+        .expect("spawn node thread");
+
+    NodeHandle { id, control: control_tx, join: Some(join) }
+}
+
+fn apply<V, P, T>(
+    id: ProcessId,
+    _protocol: &mut P,
+    eff: Effects<V, P::Message>,
+    transport: &T,
+    wall_delta: WallDuration,
+    timers: &mut HashMap<TimerId, Instant>,
+    decisions: &Sender<(ProcessId, V, Instant)>,
+) where
+    V: Value,
+    P: Protocol<V>,
+    T: Transport,
+{
+    for v in eff.decisions {
+        let _ = decisions.send((id, v, Instant::now()));
+    }
+    for (to, msg) in eff.sends {
+        match codec::to_bytes(&msg) {
+            Ok(bytes) => transport.send(id, to, Bytes::from(bytes)),
+            Err(_) => {
+                // Unencodable messages indicate a bug in the value type;
+                // drop rather than poison the node.
+                debug_assert!(false, "failed to encode outgoing message");
+            }
+        }
+    }
+    for (timer, delay) in eff.timer_sets {
+        let wall = wall_delta.mul_f64(delay.units() as f64 / DELTA.units() as f64);
+        timers.insert(timer, Instant::now() + wall);
+    }
+    for timer in eff.timer_cancels {
+        timers.remove(&timer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InMemoryTransport;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Echo(u64);
+
+    /// Decides any proposed value; echoes messages back to the sender;
+    /// decides 999 when its timer fires.
+    #[derive(Debug)]
+    struct Toy {
+        me: ProcessId,
+        decided: Option<u64>,
+    }
+
+    impl Protocol<u64> for Toy {
+        type Message = Echo;
+        fn id(&self) -> ProcessId {
+            self.me
+        }
+        fn on_start(&mut self, eff: &mut Effects<u64, Echo>) {
+            eff.set_timer(TimerId(9), twostep_types::Duration::deltas(4));
+        }
+        fn on_propose(&mut self, v: u64, eff: &mut Effects<u64, Echo>) {
+            self.decided = Some(v);
+            eff.decide(v);
+        }
+        fn on_message(&mut self, from: ProcessId, m: Echo, eff: &mut Effects<u64, Echo>) {
+            if m.0 < 10 {
+                eff.send(from, Echo(m.0 + 100));
+            } else {
+                self.decided = Some(m.0);
+                eff.decide(m.0);
+            }
+        }
+        fn on_timer(&mut self, _: TimerId, eff: &mut Effects<u64, Echo>) {
+            if self.decided.is_none() {
+                self.decided = Some(999);
+                eff.decide(999);
+            }
+        }
+        fn decision(&self) -> Option<u64> {
+            self.decided
+        }
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn propose_reaches_protocol_and_decision_reported() {
+        let (transport, mut inboxes) = InMemoryTransport::new(1);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let node = spawn(
+            Toy { me: p(0), decided: None },
+            inboxes.remove(0),
+            transport,
+            WallDuration::from_millis(10),
+            dtx,
+        );
+        node.propose(42);
+        let (who, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((who, v), (p(0), 42));
+    }
+
+    #[test]
+    fn messages_roundtrip_through_codec_and_transport() {
+        let (transport, mut inboxes) = InMemoryTransport::new(2);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let rx1 = inboxes.pop().unwrap();
+        let rx0 = inboxes.pop().unwrap();
+        let _n0 = spawn(
+            Toy { me: p(0), decided: None },
+            rx0,
+            transport.clone(),
+            WallDuration::from_millis(10),
+            dtx.clone(),
+        );
+        let _n1 = spawn(
+            Toy { me: p(1), decided: None },
+            rx1,
+            transport.clone(),
+            WallDuration::from_millis(10),
+            dtx,
+        );
+        // Inject Echo(5) to node 1 as if from node 0: node 1 replies
+        // Echo(105) to node 0, which decides 105.
+        let bytes = codec::to_bytes(&Echo(5)).unwrap();
+        transport.send(p(0), p(1), Bytes::from(bytes));
+        let (who, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((who, v), (p(0), 105));
+    }
+
+    #[test]
+    fn timer_fires_at_wall_deadline() {
+        let (transport, mut inboxes) = InMemoryTransport::new(1);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let started = Instant::now();
+        let _node = spawn(
+            Toy { me: p(0), decided: None },
+            inboxes.remove(0),
+            transport,
+            WallDuration::from_millis(5), // Δ = 5ms → timer at 20ms
+            dtx,
+        );
+        let (_, v, at) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!(v, 999);
+        let elapsed = at.duration_since(started);
+        assert!(elapsed >= WallDuration::from_millis(15), "fired too early: {elapsed:?}");
+    }
+
+    #[test]
+    fn crash_stops_processing() {
+        let (transport, mut inboxes) = InMemoryTransport::new(1);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let mut node = spawn(
+            Toy { me: p(0), decided: None },
+            inboxes.remove(0),
+            transport,
+            WallDuration::from_millis(10),
+            dtx,
+        );
+        node.crash();
+        assert!(node.is_crashed());
+        node.propose(42);
+        assert!(drx.recv_timeout(WallDuration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn malformed_frames_are_dropped() {
+        let (transport, mut inboxes) = InMemoryTransport::new(1);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let _node = spawn(
+            Toy { me: p(0), decided: None },
+            inboxes.remove(0),
+            transport.clone(),
+            WallDuration::from_millis(10),
+            dtx,
+        );
+        transport.send(p(0), p(0), Bytes::from_static(b"\xFF\xFF"));
+        // Node survives garbage and still handles proposals.
+        _node.propose(7);
+        let (_, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!(v, 7);
+    }
+}

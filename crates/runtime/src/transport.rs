@@ -1,0 +1,247 @@
+//! Byte transports between runtime nodes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use twostep_types::ProcessId;
+
+use crate::RuntimeError;
+
+/// A way to move encoded messages between processes.
+///
+/// Implementations must be cheap to clone (handles to shared state) and
+/// tolerate sends to crashed/closed destinations by dropping the message
+/// (the failure model is crash-stop; a crashed process simply stops
+/// receiving).
+pub trait Transport: Send + Sync + 'static {
+    /// Delivers `payload` from `from` to `to`'s inbox, best-effort.
+    fn send(&self, from: ProcessId, to: ProcessId, payload: Bytes);
+}
+
+/// In-memory transport: each node's inbox is a crossbeam channel.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_runtime::{InMemoryTransport, Transport};
+/// use twostep_types::ProcessId;
+/// use bytes::Bytes;
+///
+/// let (transport, inboxes) = InMemoryTransport::new(3);
+/// transport.send(ProcessId::new(0), ProcessId::new(2), Bytes::from_static(b"hi"));
+/// let (from, payload) = inboxes[2].recv().unwrap();
+/// assert_eq!(from, ProcessId::new(0));
+/// assert_eq!(&payload[..], b"hi");
+/// ```
+#[derive(Clone)]
+pub struct InMemoryTransport {
+    inboxes: Arc<Vec<Sender<(ProcessId, Bytes)>>>,
+}
+
+impl InMemoryTransport {
+    /// Creates a transport for `n` processes, returning the receiving
+    /// ends of the inboxes in process order.
+    pub fn new(n: usize) -> (Self, Vec<crossbeam::channel::Receiver<(ProcessId, Bytes)>>) {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        (InMemoryTransport { inboxes: Arc::new(senders) }, receivers)
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&self, from: ProcessId, to: ProcessId, payload: Bytes) {
+        if let Some(tx) = self.inboxes.get(to.index()) {
+            // A closed inbox means the destination crashed: drop.
+            let _ = tx.send((from, payload));
+        }
+    }
+}
+
+/// TCP transport over localhost (or any reachable addresses): one
+/// listener per process, lazily-established outgoing connections, and
+/// length-prefixed frames.
+///
+/// Wire format per connection: a 4-byte little-endian sender id
+/// handshake, then frames of `[len: u32 LE][payload]`.
+pub struct TcpTransport {
+    me: ProcessId,
+    peers: Vec<SocketAddr>,
+    connections: Mutex<Vec<Option<TcpStream>>>,
+}
+
+impl TcpTransport {
+    /// Binds a listener on an OS-assigned localhost port and returns its
+    /// address, for assembling the peer list before [`TcpTransport::new`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_ephemeral() -> Result<(TcpListener, SocketAddr), RuntimeError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(RuntimeError::Io)?;
+        let addr = listener.local_addr().map_err(RuntimeError::Io)?;
+        Ok((listener, addr))
+    }
+
+    /// Creates the transport for process `me` given everyone's
+    /// listening addresses, and spawns the accept loop feeding `inbox`.
+    ///
+    /// The accept thread runs until the listener is closed (process
+    /// drop) or the inbox receiver goes away.
+    pub fn new(
+        me: ProcessId,
+        peers: Vec<SocketAddr>,
+        listener: TcpListener,
+        inbox: Sender<(ProcessId, Bytes)>,
+    ) -> Arc<Self> {
+        let transport = Arc::new(TcpTransport {
+            me,
+            connections: Mutex::new((0..peers.len()).map(|_| None).collect()),
+            peers,
+        });
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let inbox = inbox.clone();
+                thread::spawn(move || read_loop(stream, inbox));
+            }
+        });
+        transport
+    }
+
+    fn connection_to(&self, to: ProcessId) -> Option<TcpStream> {
+        let mut conns = self.connections.lock();
+        let slot = conns.get_mut(to.index())?;
+        if slot.is_none() {
+            let stream = TcpStream::connect(self.peers[to.index()]).ok()?;
+            let mut s = stream.try_clone().ok()?;
+            // Handshake: announce who we are.
+            s.write_all(&self.me.as_u32().to_le_bytes()).ok()?;
+            *slot = Some(s);
+        }
+        slot.as_ref().and_then(|s| s.try_clone().ok())
+    }
+}
+
+fn read_loop(mut stream: TcpStream, inbox: Sender<(ProcessId, Bytes)>) {
+    let mut id_buf = [0u8; 4];
+    if stream.read_exact(&mut id_buf).is_err() {
+        return;
+    }
+    let from = ProcessId::new(u32::from_le_bytes(id_buf));
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut payload = vec![0u8; len];
+        if stream.read_exact(&mut payload).is_err() {
+            return;
+        }
+        if inbox.send((from, Bytes::from(payload))).is_err() {
+            return;
+        }
+    }
+}
+
+impl Transport for Arc<TcpTransport> {
+    fn send(&self, _from: ProcessId, to: ProcessId, payload: Bytes) {
+        let Some(mut stream) = self.connection_to(to) else {
+            return; // peer unreachable: crash-stop semantics
+        };
+        let len = (payload.len() as u32).to_le_bytes();
+        if stream.write_all(&len).is_err() || stream.write_all(&payload).is_err() {
+            // Connection broke: forget it so the next send redials.
+            self.connections.lock()[to.index()] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use std::time::Duration;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn memory_transport_routes_by_destination() {
+        let (t, inboxes) = InMemoryTransport::new(3);
+        t.send(p(0), p(1), Bytes::from_static(b"a"));
+        t.send(p(2), p(1), Bytes::from_static(b"b"));
+        t.send(p(1), p(0), Bytes::from_static(b"c"));
+        let got1: Vec<_> = (0..2).map(|_| inboxes[1].recv().unwrap()).collect();
+        assert_eq!(got1[0], (p(0), Bytes::from_static(b"a")));
+        assert_eq!(got1[1], (p(2), Bytes::from_static(b"b")));
+        assert_eq!(inboxes[0].recv().unwrap().0, p(1));
+        assert!(inboxes[2].is_empty());
+    }
+
+    #[test]
+    fn memory_transport_tolerates_closed_inbox() {
+        let (t, inboxes) = InMemoryTransport::new(2);
+        drop(inboxes);
+        // Must not panic.
+        t.send(p(0), p(1), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn memory_transport_out_of_range_destination_is_dropped() {
+        let (t, _inboxes) = InMemoryTransport::new(2);
+        t.send(p(0), p(9), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn tcp_transport_end_to_end() {
+        // Two processes, full handshake + framing.
+        let (l0, a0) = TcpTransport::bind_ephemeral().unwrap();
+        let (l1, a1) = TcpTransport::bind_ephemeral().unwrap();
+        let peers = vec![a0, a1];
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let t0 = TcpTransport::new(p(0), peers.clone(), l0, tx0);
+        let t1 = TcpTransport::new(p(1), peers, l1, tx1);
+
+        t0.send(p(0), p(1), Bytes::from_static(b"hello"));
+        let (from, payload) = rx1.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, p(0));
+        assert_eq!(&payload[..], b"hello");
+
+        // Reply on the reverse direction (separate connection).
+        t1.send(p(1), p(0), Bytes::from_static(b"world"));
+        let (from, payload) = rx0.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, p(1));
+        assert_eq!(&payload[..], b"world");
+
+        // Multiple frames on one connection keep their boundaries.
+        t0.send(p(0), p(1), Bytes::from_static(b"one"));
+        t0.send(p(0), p(1), Bytes::from_static(b"two"));
+        assert_eq!(&rx1.recv_timeout(Duration::from_secs(5)).unwrap().1[..], b"one");
+        assert_eq!(&rx1.recv_timeout(Duration::from_secs(5)).unwrap().1[..], b"two");
+    }
+
+    #[test]
+    fn tcp_send_to_dead_peer_does_not_panic() {
+        let (l0, a0) = TcpTransport::bind_ephemeral().unwrap();
+        // Reserve then drop a second address so nothing listens there.
+        let (l1, a1) = TcpTransport::bind_ephemeral().unwrap();
+        drop(l1);
+        let (tx0, _rx0) = unbounded();
+        let t0 = TcpTransport::new(p(0), vec![a0, a1], l0, tx0);
+        t0.send(p(0), p(1), Bytes::from_static(b"into the void"));
+    }
+}

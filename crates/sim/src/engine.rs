@@ -1,0 +1,774 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::{Duration, ProcessId, ProcessSet, SystemConfig, Time, Value};
+
+use crate::delay::{DelayModel, LinkBehavior};
+use crate::event::{EventKind, QueuedEvent};
+use crate::trace::{msg_kind, Trace, TraceEvent};
+
+/// Policy deciding the relative order of messages delivered at the same
+/// virtual time.
+///
+/// The paper's definitions quantify existentially over runs ("there
+/// exists an E-faulty synchronous run …"); delivery order is the main
+/// remaining degree of freedom in a synchronous run, so experiments pick
+/// the order that witnesses the claim, and stress tests randomize it.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // StdRng is big; DeliveryOrder is held once per simulation
+pub enum DeliveryOrder {
+    /// First-sent, first-delivered (deterministic default).
+    SendOrder,
+    /// Messages from the given process are delivered before any other
+    /// message arriving at the same time.
+    Favor(ProcessId),
+    /// Uniformly random order, deterministic for the seed.
+    Randomized(StdRng),
+}
+
+impl DeliveryOrder {
+    /// Randomized ordering with the given seed.
+    pub fn randomized(seed: u64) -> Self {
+        DeliveryOrder::Randomized(StdRng::seed_from_u64(seed))
+    }
+
+    fn key(&mut self, from: ProcessId) -> u64 {
+        match self {
+            DeliveryOrder::SendOrder => 0,
+            DeliveryOrder::Favor(p) => {
+                if from == *p {
+                    0
+                } else {
+                    1 + u64::from(from.as_u32())
+                }
+            }
+            DeliveryOrder::Randomized(rng) => rng.gen(),
+        }
+    }
+}
+
+/// Builder for a [`Simulation`].
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_sim::{SimulationBuilder, SynchronousRounds};
+/// use twostep_types::{SystemConfig, Time, Duration, ProcessId};
+/// # use twostep_types::protocol::{Effects, Protocol, TimerId};
+/// # #[derive(Debug, Clone)] struct Noop(ProcessId);
+/// # impl Protocol<u64> for Noop {
+/// #     type Message = u8;
+/// #     fn id(&self) -> ProcessId { self.0 }
+/// #     fn on_start(&mut self, _: &mut Effects<u64, u8>) {}
+/// #     fn on_propose(&mut self, _: u64, _: &mut Effects<u64, u8>) {}
+/// #     fn on_message(&mut self, _: ProcessId, _: u8, _: &mut Effects<u64, u8>) {}
+/// #     fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, u8>) {}
+/// #     fn decision(&self) -> Option<u64> { None }
+/// # }
+///
+/// let cfg = SystemConfig::new(3, 1, 1)?;
+/// let outcome = SimulationBuilder::new(cfg)
+///     .delay_model(SynchronousRounds)
+///     .crash_at(ProcessId::new(2), Time::ZERO)
+///     .build(|p| Noop(p))
+///     .run(Time::ZERO + Duration::deltas(10));
+/// assert!(outcome.crashed.contains(ProcessId::new(2)));
+/// # Ok::<(), twostep_types::ConfigError>(())
+/// ```
+pub struct SimulationBuilder {
+    cfg: SystemConfig,
+    delay_model: Box<dyn DelayModel>,
+    order: DeliveryOrder,
+    crashes: Vec<(ProcessId, Time)>,
+    proposals_by_time: Vec<(ProcessId, u64)>, // (process, time units); values added at build
+}
+
+impl SimulationBuilder {
+    /// Starts building a simulation over `cfg`, defaulting to
+    /// [`crate::SynchronousRounds`] delays and send-order delivery.
+    pub fn new(cfg: SystemConfig) -> Self {
+        SimulationBuilder {
+            cfg,
+            delay_model: Box::new(crate::SynchronousRounds),
+            order: DeliveryOrder::SendOrder,
+            crashes: Vec::new(),
+            proposals_by_time: Vec::new(),
+        }
+    }
+
+    /// Sets the network delay model.
+    pub fn delay_model(mut self, model: impl DelayModel + 'static) -> Self {
+        self.delay_model = Box::new(model);
+        self
+    }
+
+    /// Sets the same-time delivery ordering policy.
+    pub fn delivery_order(mut self, order: DeliveryOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Schedules `p` to crash at `time` (before taking any step at that
+    /// time).
+    pub fn crash_at(mut self, p: ProcessId, time: Time) -> Self {
+        self.crashes.push((p, time));
+        self
+    }
+
+    /// Finishes the builder, constructing each process with `make`.
+    pub fn build<V, P, F>(self, make: F) -> Simulation<V, P>
+    where
+        V: Value,
+        P: Protocol<V>,
+        F: FnMut(ProcessId) -> P,
+    {
+        let _ = self.proposals_by_time;
+        let mut sim = Simulation::new(self.cfg, make, self.delay_model, self.order);
+        for (p, t) in self.crashes {
+            sim.schedule_crash(p, t);
+        }
+        sim
+    }
+}
+
+/// A deterministic discrete-event simulation of `n` protocol instances.
+pub struct Simulation<V: Value, P: Protocol<V>> {
+    cfg: SystemConfig,
+    procs: Vec<P>,
+    alive: ProcessSet,
+    now: Time,
+    queue: BinaryHeap<Reverse<QueuedEvent<V, P::Message>>>,
+    seq: u64,
+    timers: Vec<HashMap<TimerId, u64>>,
+    timer_generation: u64,
+    delay_model: Box<dyn DelayModel>,
+    order: DeliveryOrder,
+    trace: Trace<V>,
+    decisions: Vec<Option<(V, Time)>>,
+    events_executed: u64,
+}
+
+impl<V: Value, P: Protocol<V>> Simulation<V, P> {
+    /// Creates a simulation; every process's `on_start` is scheduled at
+    /// time 0.
+    pub fn new<F>(
+        cfg: SystemConfig,
+        mut make: F,
+        delay_model: Box<dyn DelayModel>,
+        order: DeliveryOrder,
+    ) -> Self
+    where
+        F: FnMut(ProcessId) -> P,
+    {
+        let n = cfg.n();
+        let procs: Vec<P> = (0..n as u32).map(|i| make(ProcessId::new(i))).collect();
+        let mut sim = Simulation {
+            cfg,
+            procs,
+            alive: ProcessSet::full(n),
+            now: Time::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            timers: vec![HashMap::new(); n],
+            timer_generation: 0,
+            delay_model,
+            order,
+            trace: Trace::new(),
+            decisions: vec![None; n],
+            events_executed: 0,
+        };
+        for i in 0..n as u32 {
+            let p = ProcessId::new(i);
+            sim.enqueue(Time::ZERO, 0, EventKind::Start(p));
+        }
+        sim
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Processes still alive.
+    pub fn alive(&self) -> ProcessSet {
+        self.alive
+    }
+
+    /// Read access to a protocol instance (e.g. for assertions).
+    pub fn process(&self, p: ProcessId) -> &P {
+        &self.procs[p.index()]
+    }
+
+    /// The decisions made so far: `decision[i]` is `Some((v, t))` once
+    /// `p_i` first decided `v` at time `t`.
+    pub fn decisions(&self) -> &[Option<(V, Time)>] {
+        &self.decisions
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace<V> {
+        &self.trace
+    }
+
+    /// Schedules `p` to crash at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_crash(&mut self, p: ProcessId, time: Time) {
+        assert!(time >= self.now, "cannot schedule a crash in the past");
+        self.enqueue(time, 0, EventKind::Crash(p));
+    }
+
+    /// Schedules a client proposal of `value` at process `p` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_propose(&mut self, p: ProcessId, value: V, time: Time) {
+        assert!(time >= self.now, "cannot schedule a proposal in the past");
+        self.enqueue(time, 0, EventKind::Propose(p, value));
+    }
+
+    fn enqueue(&mut self, time: Time, order_key: u64, kind: EventKind<V, P::Message>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, order_key, seq, kind }));
+    }
+
+    /// Executes the next event, if any; returns whether one was executed.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "event queue went backwards");
+        self.now = event.time;
+        self.events_executed += 1;
+        match event.kind {
+            EventKind::Crash(p) => {
+                if self.alive.remove(p) {
+                    self.trace.push(TraceEvent::Crashed { time: self.now, process: p });
+                }
+            }
+            EventKind::Start(p) => {
+                if self.alive.contains(p) {
+                    let mut eff = Effects::new();
+                    self.procs[p.index()].on_start(&mut eff);
+                    self.apply_effects(p, eff);
+                }
+            }
+            EventKind::Propose(p, v) => {
+                if self.alive.contains(p) {
+                    self.trace.push(TraceEvent::Proposed {
+                        time: self.now,
+                        process: p,
+                        value: v.clone(),
+                    });
+                    let mut eff = Effects::new();
+                    self.procs[p.index()].on_propose(v, &mut eff);
+                    self.apply_effects(p, eff);
+                }
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if self.alive.contains(to) {
+                    self.trace.push(TraceEvent::MessageDelivered {
+                        time: self.now,
+                        from,
+                        to,
+                        kind: msg_kind(&msg),
+                    });
+                    let mut eff = Effects::new();
+                    self.procs[to.index()].on_message(from, msg, &mut eff);
+                    self.apply_effects(to, eff);
+                }
+            }
+            EventKind::Timer { at, timer, generation } => {
+                let armed = self.timers[at.index()].get(&timer) == Some(&generation);
+                if armed && self.alive.contains(at) {
+                    self.timers[at.index()].remove(&timer);
+                    self.trace.push(TraceEvent::TimerFired {
+                        time: self.now,
+                        process: at,
+                        timer,
+                    });
+                    let mut eff = Effects::new();
+                    self.procs[at.index()].on_timer(timer, &mut eff);
+                    self.apply_effects(at, eff);
+                }
+            }
+        }
+        true
+    }
+
+    fn apply_effects(&mut self, p: ProcessId, eff: Effects<V, P::Message>) {
+        for v in eff.decisions {
+            self.trace.push(TraceEvent::Decided { time: self.now, process: p, value: v.clone() });
+            if self.decisions[p.index()].is_none() {
+                self.decisions[p.index()] = Some((v, self.now));
+            }
+        }
+        for (to, msg) in eff.sends {
+            self.trace.push(TraceEvent::MessageSent {
+                time: self.now,
+                from: p,
+                to,
+                kind: msg_kind(&msg),
+            });
+            // Self-addressed messages go through the delay model like any
+            // other message: in the paper's round model a process's
+            // message to itself arrives next round, and the existential
+            // two-step runs of e.g. Fast Paxos rely on self-deliveries
+            // being ordered alongside peers' messages.
+            match self.delay_model.delay(p, to, self.now) {
+                LinkBehavior::Drop => {
+                    self.trace.push(TraceEvent::MessageDropped {
+                        time: self.now,
+                        from: p,
+                        to,
+                        kind: msg_kind(&msg),
+                    });
+                }
+                LinkBehavior::Deliver(d) => {
+                    let key = self.order.key(p);
+                    self.enqueue(self.now + d, key, EventKind::Deliver { from: p, to, msg });
+                }
+            }
+        }
+        for (timer, delay) in eff.timer_sets {
+            self.timer_generation += 1;
+            let generation = self.timer_generation;
+            self.timers[p.index()].insert(timer, generation);
+            self.enqueue(self.now + delay, 0, EventKind::Timer { at: p, timer, generation });
+        }
+        for timer in eff.timer_cancels {
+            self.timers[p.index()].remove(&timer);
+        }
+    }
+
+    /// Runs until the queue is exhausted or virtual time would exceed
+    /// `limit`, then returns the outcome.
+    pub fn run(self, limit: Time) -> RunOutcome<V, P> {
+        self.run_until(limit, |_| false)
+    }
+
+    /// Runs until the queue is exhausted, virtual time would exceed
+    /// `limit`, or `stop` returns true (checked after each event).
+    pub fn run_until<F>(mut self, limit: Time, mut stop: F) -> RunOutcome<V, P>
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        loop {
+            match self.queue.peek() {
+                None => break,
+                Some(Reverse(e)) if e.time > limit => break,
+                Some(_) => {}
+            }
+            self.step();
+            if stop(&self) {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Runs until every live process has decided (or `limit`/quiescence).
+    pub fn run_until_all_decided(self, limit: Time) -> RunOutcome<V, P> {
+        self.run_until(limit, |sim| {
+            sim.alive.iter().all(|p| sim.decisions[p.index()].is_some())
+        })
+    }
+
+    fn finish(self) -> RunOutcome<V, P> {
+        RunOutcome {
+            cfg: self.cfg,
+            decisions: self.decisions,
+            crashed: self.alive.complement(self.cfg.n()),
+            trace: self.trace,
+            end_time: self.now,
+            events_executed: self.events_executed,
+            procs: self.procs,
+        }
+    }
+}
+
+/// The result of a completed simulation run.
+#[derive(Debug)]
+pub struct RunOutcome<V: Value, P> {
+    /// The configuration that was simulated.
+    pub cfg: SystemConfig,
+    /// `decisions[i]` is `Some((v, t))` if `p_i` first decided `v` at `t`.
+    pub decisions: Vec<Option<(V, Time)>>,
+    /// Processes that crashed during the run.
+    pub crashed: ProcessSet,
+    /// Full event trace.
+    pub trace: Trace<V>,
+    /// Virtual time when the run stopped.
+    pub end_time: Time,
+    /// Number of events executed.
+    pub events_executed: u64,
+    /// The final protocol states (for white-box assertions).
+    pub procs: Vec<P>,
+}
+
+impl<V: Value, P> RunOutcome<V, P> {
+    /// The decision of `p`, if it decided.
+    pub fn decision_of(&self, p: ProcessId) -> Option<&V> {
+        self.decisions[p.index()].as_ref().map(|(v, _)| v)
+    }
+
+    /// The time at which `p` first decided.
+    pub fn decision_time_of(&self, p: ProcessId) -> Option<Time> {
+        self.decisions[p.index()].as_ref().map(|(_, t)| *t)
+    }
+
+    /// All distinct decided values.
+    pub fn decided_values(&self) -> Vec<&V> {
+        let mut vals: Vec<&V> = self.decisions.iter().flatten().map(|(v, _)| v).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Whether Agreement holds over first decisions: at most one distinct
+    /// decided value. (The verification crate additionally checks *every*
+    /// decide event in the trace.)
+    pub fn agreement(&self) -> bool {
+        self.decided_values().len() <= 1
+    }
+
+    /// Whether every process outside `crashed` decided.
+    pub fn all_correct_decided(&self) -> bool {
+        self.crashed
+            .complement(self.cfg.n())
+            .iter()
+            .all(|p| self.decisions[p.index()].is_some())
+    }
+
+    /// Processes whose run was *two-step* (Definition 3: decided by `2Δ`),
+    /// with the single decided value among them if any.
+    pub fn fast_deciders(&self) -> (ProcessSet, Option<V>)
+    where
+        V: Clone,
+    {
+        let deadline = Time::ZERO + Duration::deltas(2);
+        let mut set = ProcessSet::new();
+        let mut value = None;
+        for (i, d) in self.decisions.iter().enumerate() {
+            if let Some((v, t)) = d {
+                if *t <= deadline {
+                    set.insert(ProcessId::new(i as u32));
+                    value.get_or_insert_with(|| v.clone());
+                }
+            }
+        }
+        (set, value)
+    }
+
+    /// Latency (time from 0) of `p`'s decision, in `Δ` units.
+    pub fn latency_in_deltas(&self, p: ProcessId) -> Option<f64> {
+        self.decision_time_of(p).map(|t| t.as_deltas())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    /// A trivial flooding protocol used to exercise the engine: every
+    /// process broadcasts its value at start and decides the max of all
+    /// values seen once it has heard from everyone alive... simplified:
+    /// decides its own value on a timer.
+    #[derive(Debug, Clone)]
+    struct Flood {
+        me: ProcessId,
+        n: usize,
+        value: u64,
+        best: u64,
+        heard: ProcessSet,
+        decided: Option<u64>,
+    }
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Share(u64);
+
+    const DECIDE_TIMER: TimerId = TimerId(10);
+
+    impl Protocol<u64> for Flood {
+        type Message = Share;
+
+        fn id(&self) -> ProcessId {
+            self.me
+        }
+
+        fn on_start(&mut self, eff: &mut Effects<u64, Share>) {
+            self.best = self.value;
+            self.heard.insert(self.me);
+            eff.broadcast_others(Share(self.value), self.n, self.me);
+            eff.set_timer(DECIDE_TIMER, Duration::deltas(2));
+        }
+
+        fn on_propose(&mut self, _value: u64, _eff: &mut Effects<u64, Share>) {}
+
+        fn on_message(&mut self, from: ProcessId, msg: Share, eff: &mut Effects<u64, Share>) {
+            self.heard.insert(from);
+            self.best = self.best.max(msg.0);
+            if self.heard.len() == self.n && self.decided.is_none() {
+                self.decided = Some(self.best);
+                eff.decide(self.best);
+            }
+        }
+
+        fn on_timer(&mut self, timer: TimerId, eff: &mut Effects<u64, Share>) {
+            if timer == DECIDE_TIMER && self.decided.is_none() {
+                self.decided = Some(self.best);
+                eff.decide(self.best);
+            }
+        }
+
+        fn decision(&self) -> Option<u64> {
+            self.decided
+        }
+    }
+
+    fn flood(cfg: SystemConfig) -> impl FnMut(ProcessId) -> Flood {
+        move |p| Flood {
+            me: p,
+            n: cfg.n(),
+            value: 10 * (u64::from(p.as_u32()) + 1),
+            best: 0,
+            heard: ProcessSet::new(),
+            decided: None,
+        }
+    }
+
+    fn cfg3() -> SystemConfig {
+        SystemConfig::new(3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn all_correct_flood_decides_max_in_one_round() {
+        let cfg = cfg3();
+        let outcome = SimulationBuilder::new(cfg)
+            .build(flood(cfg))
+            .run(Time::ZERO + Duration::deltas(5));
+        assert!(outcome.all_correct_decided());
+        assert!(outcome.agreement());
+        assert_eq!(outcome.decision_of(ProcessId::new(0)), Some(&30));
+        // Shares sent at t=0 arrive at Δ; everyone decides at Δ.
+        assert_eq!(
+            outcome.decision_time_of(ProcessId::new(1)),
+            Some(Time::ZERO + Duration::deltas(1))
+        );
+        let (fast, v) = outcome.fast_deciders();
+        assert_eq!(fast.len(), 3);
+        assert_eq!(v, Some(30));
+    }
+
+    #[test]
+    fn crashed_process_takes_no_steps() {
+        let cfg = cfg3();
+        let p2 = ProcessId::new(2);
+        let outcome = SimulationBuilder::new(cfg)
+            .crash_at(p2, Time::ZERO)
+            .build(flood(cfg))
+            .run(Time::ZERO + Duration::deltas(5));
+        // p2 crashed before start: its Share was never sent; the others
+        // fall back to the 2Δ timer and decide max(10, 20) = 20.
+        assert_eq!(outcome.decision_of(p2), None);
+        assert_eq!(outcome.decision_of(ProcessId::new(0)), Some(&20));
+        assert_eq!(outcome.decision_of(ProcessId::new(1)), Some(&20));
+        assert!(outcome.crashed.contains(p2));
+        assert_eq!(outcome.trace.crashes().len(), 1);
+        // p2 sent nothing.
+        assert_eq!(outcome.trace.messages_sent(), 4); // 2 procs × 2 peers
+    }
+
+    #[test]
+    fn late_crash_after_send_still_delivers() {
+        let cfg = cfg3();
+        let p2 = ProcessId::new(2);
+        let mid_round = Time::from_units(1);
+        let outcome = SimulationBuilder::new(cfg)
+            .crash_at(p2, mid_round)
+            .build(flood(cfg))
+            .run(Time::ZERO + Duration::deltas(5));
+        // p2 started (t=0) and sent Share(30) before crashing at t=1:
+        // messages already in flight are delivered.
+        assert_eq!(outcome.decision_of(ProcessId::new(0)), Some(&30));
+        assert_eq!(outcome.decision_of(p2), None);
+    }
+
+    #[test]
+    fn timer_reset_supersedes_old_deadline() {
+        // A protocol that re-arms its timer at startup; the timer must
+        // fire only at the final deadline.
+        #[derive(Debug)]
+        struct Resetter2 {
+            me: ProcessId,
+            decided: Option<u64>,
+        }
+        impl Protocol<u64> for Resetter2 {
+            type Message = Share;
+            fn id(&self) -> ProcessId {
+                self.me
+            }
+            fn on_start(&mut self, eff: &mut Effects<u64, Share>) {
+                eff.set_timer(TimerId(0), Duration::deltas(1));
+                eff.set_timer(TimerId(0), Duration::deltas(3));
+            }
+            fn on_propose(&mut self, _: u64, _: &mut Effects<u64, Share>) {}
+            fn on_message(&mut self, _: ProcessId, _: Share, _: &mut Effects<u64, Share>) {}
+            fn on_timer(&mut self, _: TimerId, eff: &mut Effects<u64, Share>) {
+                self.decided = Some(1);
+                eff.decide(1);
+            }
+            fn decision(&self) -> Option<u64> {
+                self.decided
+            }
+        }
+
+        let cfg = cfg3();
+        let outcome = SimulationBuilder::new(cfg)
+            .build(|p| Resetter2 { me: p, decided: None })
+            .run(Time::ZERO + Duration::deltas(10));
+        // One firing per process, at 3Δ (the reset deadline), not 1Δ.
+        for i in 0..3 {
+            assert_eq!(
+                outcome.decision_time_of(ProcessId::new(i)),
+                Some(Time::ZERO + Duration::deltas(3))
+            );
+        }
+        let firings = outcome
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TimerFired { .. }))
+            .count();
+        assert_eq!(firings, 3);
+    }
+
+    #[test]
+    fn favored_delivery_order_comes_first() {
+        // Two processes send to p2 at the same time; Favor(p1) must make
+        // p1's message arrive first even though p0 sent first.
+        #[derive(Debug)]
+        struct FirstWins {
+            me: ProcessId,
+            n: usize,
+            first: Option<u64>,
+        }
+        impl Protocol<u64> for FirstWins {
+            type Message = Share;
+            fn id(&self) -> ProcessId {
+                self.me
+            }
+            fn on_start(&mut self, eff: &mut Effects<u64, Share>) {
+                if self.me != ProcessId::new(2) {
+                    eff.broadcast_others(Share(u64::from(self.me.as_u32())), self.n, self.me);
+                }
+            }
+            fn on_propose(&mut self, _: u64, _: &mut Effects<u64, Share>) {}
+            fn on_message(&mut self, _: ProcessId, m: Share, eff: &mut Effects<u64, Share>) {
+                if self.me == ProcessId::new(2) && self.first.is_none() {
+                    self.first = Some(m.0);
+                    eff.decide(m.0);
+                }
+            }
+            fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, Share>) {}
+            fn decision(&self) -> Option<u64> {
+                self.first
+            }
+        }
+        let cfg = cfg3();
+        let outcome = SimulationBuilder::new(cfg)
+            .delivery_order(DeliveryOrder::Favor(ProcessId::new(1)))
+            .build(|p| FirstWins { me: p, n: 3, first: None })
+            .run(Time::ZERO + Duration::deltas(3));
+        assert_eq!(outcome.decision_of(ProcessId::new(2)), Some(&1));
+
+        let outcome = SimulationBuilder::new(cfg)
+            .delivery_order(DeliveryOrder::SendOrder)
+            .build(|p| FirstWins { me: p, n: 3, first: None })
+            .run(Time::ZERO + Duration::deltas(3));
+        assert_eq!(outcome.decision_of(ProcessId::new(2)), Some(&0));
+    }
+
+    #[test]
+    fn randomized_order_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let cfg = cfg3();
+            let outcome = SimulationBuilder::new(cfg)
+                .delivery_order(DeliveryOrder::randomized(seed))
+                .build(flood(cfg))
+                .run(Time::ZERO + Duration::deltas(5));
+            outcome.events_executed
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn scheduled_proposal_reaches_protocol() {
+        #[derive(Debug)]
+        struct Echo {
+            me: ProcessId,
+            got: Option<u64>,
+        }
+        impl Protocol<u64> for Echo {
+            type Message = Share;
+            fn id(&self) -> ProcessId {
+                self.me
+            }
+            fn on_start(&mut self, _: &mut Effects<u64, Share>) {}
+            fn on_propose(&mut self, v: u64, eff: &mut Effects<u64, Share>) {
+                self.got = Some(v);
+                eff.decide(v);
+            }
+            fn on_message(&mut self, _: ProcessId, _: Share, _: &mut Effects<u64, Share>) {}
+            fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, Share>) {}
+            fn decision(&self) -> Option<u64> {
+                self.got
+            }
+        }
+        let cfg = cfg3();
+        let mut sim = SimulationBuilder::new(cfg).build(|p| Echo { me: p, got: None });
+        sim.schedule_propose(ProcessId::new(1), 77, Time::ZERO + Duration::deltas(1));
+        let outcome = sim.run(Time::ZERO + Duration::deltas(2));
+        assert_eq!(outcome.decision_of(ProcessId::new(1)), Some(&77));
+        assert_eq!(outcome.trace.proposals(), vec![(ProcessId::new(1), 77)]);
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let cfg = cfg3();
+        let outcome = SimulationBuilder::new(cfg)
+            .build(flood(cfg))
+            .run_until(Time::ZERO + Duration::deltas(50), |sim| {
+                sim.decisions().iter().any(|d| d.is_some())
+            });
+        // Stopped as soon as the first decision landed.
+        assert!(outcome.decisions.iter().any(|d| d.is_some()));
+        assert!(outcome.end_time <= Time::ZERO + Duration::deltas(1));
+    }
+
+    #[test]
+    fn time_limit_respected() {
+        let cfg = cfg3();
+        let outcome = SimulationBuilder::new(cfg)
+            .build(flood(cfg))
+            .run(Time::from_units(1)); // before the Δ deliveries
+        assert!(outcome.decisions.iter().all(|d| d.is_none()));
+        assert!(outcome.end_time <= Time::from_units(1));
+    }
+}

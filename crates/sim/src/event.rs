@@ -1,0 +1,138 @@
+//! Event queue internals.
+
+use std::cmp::Ordering;
+
+use twostep_types::protocol::TimerId;
+use twostep_types::{ProcessId, Time};
+
+/// Priority class of a simulation event.
+///
+/// At equal virtual time, events execute in class order. The ordering is
+/// chosen to match the paper's run structure:
+///
+/// * crashes "at the beginning of the round" happen before any step
+///   ([`EventClass::Crash`] first) — Definition 2(2);
+/// * protocol startup precedes client proposals at time 0;
+/// * message deliveries precede timer expirations, so a fast-path
+///   decision landing exactly at `2Δ` is processed before the
+///   `new_ballot_timer` armed for `2Δ`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum EventClass {
+    /// A process crashes.
+    Crash = 0,
+    /// A process executes its startup handler.
+    Start = 1,
+    /// A client proposal arrives at a process.
+    Propose = 2,
+    /// A message is delivered.
+    Deliver = 3,
+    /// A timer fires.
+    Timer = 4,
+}
+
+/// What a queued event does when it executes.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind<V, M> {
+    Crash(ProcessId),
+    Start(ProcessId),
+    Propose(ProcessId, V),
+    Deliver { from: ProcessId, to: ProcessId, msg: M },
+    Timer { at: ProcessId, timer: TimerId, generation: u64 },
+}
+
+impl<V, M> EventKind<V, M> {
+    pub(crate) fn class(&self) -> EventClass {
+        match self {
+            EventKind::Crash(_) => EventClass::Crash,
+            EventKind::Start(_) => EventClass::Start,
+            EventKind::Propose(..) => EventClass::Propose,
+            EventKind::Deliver { .. } => EventClass::Deliver,
+            EventKind::Timer { .. } => EventClass::Timer,
+        }
+    }
+}
+
+/// A queued event. Ordered by `(time, class, order_key, seq)`; the
+/// payload does not participate in ordering, so `V`/`M` need no `Ord`.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedEvent<V, M> {
+    pub time: Time,
+    pub order_key: u64,
+    pub seq: u64,
+    pub kind: EventKind<V, M>,
+}
+
+impl<V, M> QueuedEvent<V, M> {
+    fn key(&self) -> (Time, EventClass, u64, u64) {
+        (self.time, self.kind.class(), self.order_key, self.seq)
+    }
+}
+
+impl<V, M> PartialEq for QueuedEvent<V, M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<V, M> Eq for QueuedEvent<V, M> {}
+
+impl<V, M> PartialOrd for QueuedEvent<V, M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<V, M> Ord for QueuedEvent<V, M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use twostep_types::Duration;
+
+    fn ev(time: u64, class_probe: EventKind<u64, u8>, order_key: u64, seq: u64) -> QueuedEvent<u64, u8> {
+        QueuedEvent { time: Time::from_units(time), order_key, seq, kind: class_probe }
+    }
+
+    #[test]
+    fn ordering_time_then_class_then_key_then_seq() {
+        let p = ProcessId::new(0);
+        let mut heap: BinaryHeap<Reverse<QueuedEvent<u64, u8>>> = BinaryHeap::new();
+        heap.push(Reverse(ev(5, EventKind::Timer { at: p, timer: TimerId(0), generation: 0 }, 0, 0)));
+        heap.push(Reverse(ev(5, EventKind::Deliver { from: p, to: p, msg: 1 }, 9, 9)));
+        heap.push(Reverse(ev(5, EventKind::Crash(p), 9, 9)));
+        heap.push(Reverse(ev(1, EventKind::Timer { at: p, timer: TimerId(0), generation: 0 }, 0, 0)));
+        heap.push(Reverse(ev(5, EventKind::Deliver { from: p, to: p, msg: 2 }, 0, 3)));
+        heap.push(Reverse(ev(5, EventKind::Deliver { from: p, to: p, msg: 3 }, 0, 1)));
+
+        let order: Vec<EventClass> = std::iter::from_fn(|| heap.pop().map(|Reverse(e)| e.kind.class())).collect();
+        assert_eq!(
+            order,
+            vec![
+                EventClass::Timer,   // t=1
+                EventClass::Crash,   // t=5 class 0
+                EventClass::Deliver, // t=5 key 0 seq 1
+                EventClass::Deliver, // t=5 key 0 seq 3
+                EventClass::Deliver, // t=5 key 9
+                EventClass::Timer,   // t=5 class 4
+            ]
+        );
+    }
+
+    #[test]
+    fn deliver_before_timer_at_two_delta() {
+        // The scenario that motivates class ordering: at exactly 2Δ the
+        // fast-path 2B arrives and the new-ballot timer fires; delivery
+        // must win.
+        let t = Time::ZERO + Duration::deltas(2);
+        let p = ProcessId::new(0);
+        let deliver = ev(t.units(), EventKind::Deliver { from: p, to: p, msg: 0 }, u64::MAX, u64::MAX);
+        let timer = ev(t.units(), EventKind::Timer { at: p, timer: TimerId(0), generation: 0 }, 0, 0);
+        assert!(deliver < timer);
+    }
+}

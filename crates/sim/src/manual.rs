@@ -1,0 +1,449 @@
+//! Step-level manual execution.
+//!
+//! [`ManualExecutor`] gives the caller explicit control over every source
+//! of nondeterminism: which pending message is delivered next, who
+//! crashes when, which timers fire. The bounded model checker and the
+//! mechanized lower-bound adversary in `twostep-verify` are built on it —
+//! the adversarial interleavings `σ0`/`σ1` of the paper's §B.1 and §B.2
+//! are literally sequences of [`ManualExecutor`] calls.
+//!
+//! Unlike [`crate::Simulation`], there is no clock: steps are untimed,
+//! which matches the proofs' round-step granularity.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::{ProcessId, ProcessSet, SystemConfig, Value};
+
+/// Identifier of an in-flight message within a [`ManualExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub usize);
+
+/// A message sitting in the network soup.
+#[derive(Debug, Clone)]
+pub struct InFlight<M> {
+    /// Stable identifier.
+    pub id: MsgId,
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Payload.
+    pub msg: M,
+    /// Payload hash, precomputed at send time so that global-state
+    /// fingerprints (used heavily by the model checker) do not re-format
+    /// the message on every visit.
+    payload_hash: u64,
+}
+
+/// An executor in which every delivery, crash and timer firing is an
+/// explicit call.
+#[derive(Debug, Clone)]
+pub struct ManualExecutor<V: Value, P: Protocol<V>> {
+    cfg: SystemConfig,
+    procs: Vec<P>,
+    alive: ProcessSet,
+    started: Vec<bool>,
+    inflight: Vec<Option<InFlight<P::Message>>>,
+    armed: Vec<BTreeSet<TimerId>>,
+    decisions: Vec<Option<V>>,
+    decide_log: Vec<(ProcessId, V)>,
+}
+
+impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
+    /// Creates an executor; no process has started yet.
+    pub fn new<F>(cfg: SystemConfig, mut make: F) -> Self
+    where
+        F: FnMut(ProcessId) -> P,
+    {
+        let n = cfg.n();
+        ManualExecutor {
+            cfg,
+            procs: (0..n as u32).map(|i| make(ProcessId::new(i))).collect(),
+            alive: ProcessSet::full(n),
+            started: vec![false; n],
+            inflight: Vec::new(),
+            armed: vec![BTreeSet::new(); n],
+            decisions: vec![None; n],
+            decide_log: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Processes still alive.
+    pub fn alive(&self) -> ProcessSet {
+        self.alive
+    }
+
+    /// Read access to a protocol instance.
+    pub fn process(&self, p: ProcessId) -> &P {
+        &self.procs[p.index()]
+    }
+
+    /// First decision of each process.
+    pub fn decisions(&self) -> &[Option<V>] {
+        &self.decisions
+    }
+
+    /// The decision of `p`, if any.
+    pub fn decision_of(&self, p: ProcessId) -> Option<&V> {
+        self.decisions[p.index()].as_ref()
+    }
+
+    /// Every `decide` event observed, in execution order (used to check
+    /// Agreement over *all* decisions, not just first ones).
+    pub fn decide_log(&self) -> &[(ProcessId, V)] {
+        &self.decide_log
+    }
+
+    /// Whether all decide events so far agree on one value.
+    pub fn agreement(&self) -> bool {
+        let mut values = self.decide_log.iter().map(|(_, v)| v);
+        match values.next() {
+            None => true,
+            Some(first) => values.all(|v| v == first),
+        }
+    }
+
+    /// Starts `p` (runs its `on_start`), if alive and not started.
+    /// Returns whether the handler ran.
+    pub fn start(&mut self, p: ProcessId) -> bool {
+        if !self.alive.contains(p) || self.started[p.index()] {
+            return false;
+        }
+        self.started[p.index()] = true;
+        let mut eff = Effects::new();
+        self.procs[p.index()].on_start(&mut eff);
+        self.apply(p, eff);
+        true
+    }
+
+    /// Starts every alive process in id order.
+    pub fn start_all(&mut self) {
+        for i in 0..self.cfg.n() as u32 {
+            self.start(ProcessId::new(i));
+        }
+    }
+
+    /// Submits a client proposal at `p`. Returns whether the handler ran.
+    pub fn propose(&mut self, p: ProcessId, value: V) -> bool {
+        if !self.alive.contains(p) {
+            return false;
+        }
+        let mut eff = Effects::new();
+        self.procs[p.index()].on_propose(value, &mut eff);
+        self.apply(p, eff);
+        true
+    }
+
+    /// Crashes `p`: it takes no further steps. Messages already in flight
+    /// from `p` remain deliverable (they were sent before the crash).
+    pub fn crash(&mut self, p: ProcessId) {
+        self.alive.remove(p);
+    }
+
+    /// The messages currently in flight.
+    pub fn pending(&self) -> Vec<&InFlight<P::Message>> {
+        self.inflight.iter().flatten().collect()
+    }
+
+    /// The ids of pending messages addressed to `p`.
+    pub fn pending_to(&self, p: ProcessId) -> Vec<MsgId> {
+        self.inflight
+            .iter()
+            .flatten()
+            .filter(|m| m.to == p)
+            .map(|m| m.id)
+            .collect()
+    }
+
+    /// The ids of pending messages matching `pred`.
+    pub fn pending_matching<F>(&self, mut pred: F) -> Vec<MsgId>
+    where
+        F: FnMut(&InFlight<P::Message>) -> bool,
+    {
+        self.inflight
+            .iter()
+            .flatten()
+            .filter(|m| pred(m))
+            .map(|m| m.id)
+            .collect()
+    }
+
+    /// Delivers the message with id `id`. Returns `false` if the message
+    /// no longer exists or its receiver is crashed (the message is
+    /// consumed either way, matching a crash swallowing a delivery).
+    pub fn deliver(&mut self, id: MsgId) -> bool {
+        let Some(slot) = self.inflight.get_mut(id.0) else {
+            return false;
+        };
+        let Some(m) = slot.take() else {
+            return false;
+        };
+        if !self.alive.contains(m.to) {
+            return false;
+        }
+        let mut eff = Effects::new();
+        self.procs[m.to.index()].on_message(m.from, m.msg, &mut eff);
+        self.apply(m.to, eff);
+        true
+    }
+
+    /// Delivers every pending message addressed to `p`, in send order.
+    /// Returns how many handlers ran.
+    pub fn deliver_all_to(&mut self, p: ProcessId) -> usize {
+        let ids = self.pending_to(p);
+        ids.into_iter().filter(|&id| self.deliver(id)).count()
+    }
+
+    /// Removes a pending message without delivering it.
+    pub fn drop_message(&mut self, id: MsgId) -> bool {
+        self.inflight
+            .get_mut(id.0)
+            .and_then(Option::take)
+            .is_some()
+    }
+
+    /// The timers currently armed at `p`.
+    pub fn armed_timers(&self, p: ProcessId) -> Vec<TimerId> {
+        self.armed[p.index()].iter().copied().collect()
+    }
+
+    /// Fires an armed timer at `p`. Returns whether the handler ran.
+    pub fn fire_timer(&mut self, p: ProcessId, timer: TimerId) -> bool {
+        if !self.alive.contains(p) || !self.armed[p.index()].remove(&timer) {
+            return false;
+        }
+        let mut eff = Effects::new();
+        self.procs[p.index()].on_timer(timer, &mut eff);
+        self.apply(p, eff);
+        true
+    }
+
+    fn apply(&mut self, p: ProcessId, eff: Effects<V, P::Message>) {
+        for v in eff.decisions {
+            self.decide_log.push((p, v.clone()));
+            if self.decisions[p.index()].is_none() {
+                self.decisions[p.index()] = Some(v);
+            }
+        }
+        for (to, msg) in eff.sends {
+            let id = MsgId(self.inflight.len());
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            to.hash(&mut h);
+            format!("{msg:?}").hash(&mut h);
+            let payload_hash = h.finish();
+            self.inflight.push(Some(InFlight { id, from: p, to, msg, payload_hash }));
+        }
+        for (timer, _delay) in eff.timer_sets {
+            self.armed[p.index()].insert(timer);
+        }
+        for timer in eff.timer_cancels {
+            self.armed[p.index()].remove(&timer);
+        }
+    }
+
+    /// A fingerprint of the *global* state: process states, liveness,
+    /// pending messages, armed timers and decisions. Used by the model
+    /// checker to prune revisited states.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.alive.bits().hash(&mut h);
+        self.started.hash(&mut h);
+        for p in &self.procs {
+            p.state_fingerprint().hash(&mut h);
+        }
+        // Pending messages as a multiset, order-independent: combine the
+        // precomputed per-message hashes commutatively.
+        let mut msg_acc: u64 = 0;
+        for m in self.inflight.iter().flatten() {
+            msg_acc = msg_acc.wrapping_add(m.payload_hash);
+        }
+        msg_acc.hash(&mut h);
+        for t in &self.armed {
+            t.hash(&mut h);
+        }
+        for d in &self.decisions {
+            format!("{d:?}").hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    /// Ping protocol: p0 sends Ping to everyone at start; receivers
+    /// decide 1 on Ping; p0 arms a timer at start and decides 2 when it
+    /// fires.
+    #[derive(Debug, Clone)]
+    struct Ping {
+        me: ProcessId,
+        n: usize,
+        decided: Option<u64>,
+    }
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct P;
+
+    impl Protocol<u64> for Ping {
+        type Message = P;
+        fn id(&self) -> ProcessId {
+            self.me
+        }
+        fn on_start(&mut self, eff: &mut Effects<u64, P>) {
+            if self.me == ProcessId::new(0) {
+                eff.broadcast_others(P, self.n, self.me);
+                eff.set_timer(TimerId(5), twostep_types::Duration::deltas(1));
+            }
+        }
+        fn on_propose(&mut self, v: u64, eff: &mut Effects<u64, P>) {
+            self.decided = Some(v);
+            eff.decide(v);
+        }
+        fn on_message(&mut self, _: ProcessId, _: P, eff: &mut Effects<u64, P>) {
+            if self.decided.is_none() {
+                self.decided = Some(1);
+                eff.decide(1);
+            }
+        }
+        fn on_timer(&mut self, _: TimerId, eff: &mut Effects<u64, P>) {
+            if self.decided.is_none() {
+                self.decided = Some(2);
+                eff.decide(2);
+            }
+        }
+        fn decision(&self) -> Option<u64> {
+            self.decided
+        }
+    }
+
+    fn exec() -> ManualExecutor<u64, Ping> {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        ManualExecutor::new(cfg, |p| Ping { me: p, n: 3, decided: None })
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn start_produces_messages_and_timer() {
+        let mut ex = exec();
+        assert!(ex.start(p(0)));
+        assert!(!ex.start(p(0)), "second start is a no-op");
+        assert_eq!(ex.pending().len(), 2);
+        assert_eq!(ex.armed_timers(p(0)), vec![TimerId(5)]);
+        assert_eq!(ex.pending_to(p(1)).len(), 1);
+    }
+
+    #[test]
+    fn deliver_runs_handler_once() {
+        let mut ex = exec();
+        ex.start_all();
+        let ids = ex.pending_to(p(1));
+        assert!(ex.deliver(ids[0]));
+        assert!(!ex.deliver(ids[0]), "consumed message cannot be redelivered");
+        assert_eq!(ex.decision_of(p(1)), Some(&1));
+        assert_eq!(ex.decide_log().len(), 1);
+        assert!(ex.agreement());
+    }
+
+    #[test]
+    fn crash_blocks_delivery_and_consumes() {
+        let mut ex = exec();
+        ex.start_all();
+        let ids = ex.pending_to(p(2));
+        ex.crash(p(2));
+        assert!(!ex.deliver(ids[0]));
+        assert_eq!(ex.decision_of(p(2)), None);
+        assert!(ex.pending_to(p(2)).is_empty(), "delivery attempt consumed it");
+    }
+
+    #[test]
+    fn drop_message_removes_silently() {
+        let mut ex = exec();
+        ex.start_all();
+        let ids = ex.pending_to(p(1));
+        assert!(ex.drop_message(ids[0]));
+        assert!(!ex.drop_message(ids[0]));
+        assert_eq!(ex.decision_of(p(1)), None);
+    }
+
+    #[test]
+    fn timers_fire_once() {
+        let mut ex = exec();
+        ex.start_all();
+        assert!(ex.fire_timer(p(0), TimerId(5)));
+        assert_eq!(ex.decision_of(p(0)), Some(&2));
+        assert!(!ex.fire_timer(p(0), TimerId(5)), "timer disarmed after firing");
+        assert!(!ex.fire_timer(p(1), TimerId(5)), "p1 never armed it");
+    }
+
+    #[test]
+    fn propose_routed() {
+        let mut ex = exec();
+        ex.start_all();
+        assert!(ex.propose(p(1), 42));
+        assert_eq!(ex.decision_of(p(1)), Some(&42));
+        ex.crash(p(2));
+        assert!(!ex.propose(p(2), 43), "crashed process ignores proposals");
+    }
+
+    #[test]
+    fn agreement_detects_divergence() {
+        let mut ex = exec();
+        ex.start_all();
+        ex.propose(p(1), 7); // decides 7
+        let ids = ex.pending_to(p(2));
+        ex.deliver(ids[0]); // decides 1
+        assert!(!ex.agreement());
+    }
+
+    #[test]
+    fn clone_branches_independently() {
+        let mut ex = exec();
+        ex.start_all();
+        let fork = ex.clone();
+        let ids = ex.pending_to(p(1));
+        ex.deliver(ids[0]);
+        assert_eq!(ex.decision_of(p(1)), Some(&1));
+        assert_eq!(fork.decision_of(p(1)), None, "fork unaffected");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states_and_matches_self() {
+        let mut a = exec();
+        let mut b = exec();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.start_all();
+        b.start_all();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let ids = a.pending_to(p(1));
+        a.deliver(ids[0]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Deliver the same message in b: states converge again.
+        let ids_b = b.pending_to(p(1));
+        b.deliver(ids_b[0]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn pending_matching_filters() {
+        let mut ex = exec();
+        ex.start_all();
+        let to_p1 = ex.pending_matching(|m| m.to == p(1));
+        assert_eq!(to_p1.len(), 1);
+        let from_p0 = ex.pending_matching(|m| m.from == p(0));
+        assert_eq!(from_p0.len(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! E-faulty synchronous runs (Definition 2).
+
+use twostep_types::protocol::Protocol;
+use twostep_types::{Duration, ProcessId, ProcessSet, SystemConfig, Time, Value};
+
+use crate::engine::{DeliveryOrder, RunOutcome, SimulationBuilder};
+use crate::SynchronousRounds;
+
+/// The outcome of an E-faulty synchronous run; see [`RunOutcome`] for the
+/// accessors (notably [`RunOutcome::fast_deciders`], which implements
+/// Definition 3's "decided by `2Δ`").
+pub type SyncOutcome<V, P> = RunOutcome<V, P>;
+
+/// Builds and executes the paper's *E-faulty synchronous runs*
+/// (Definition 2):
+///
+/// 1. processes in `E` are faulty, all others correct;
+/// 2. processes in `E` crash at the beginning of the first round;
+/// 3. all messages sent during a round are delivered precisely at the
+///    beginning of the next round;
+/// 4. local computation is instantaneous.
+///
+/// The definitions of e-two-step protocols (Definitions 4 and A.1)
+/// quantify *existentially* over such runs; the residual freedom is the
+/// order in which same-round messages are processed, controlled here via
+/// [`SyncRunner::favoring`] (deliver one process's messages first).
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_sim::SyncRunner;
+/// use twostep_types::{ProcessId, ProcessSet, SystemConfig};
+/// # use twostep_types::protocol::{Effects, Protocol, TimerId};
+/// # #[derive(Debug, Clone)] struct Noop(ProcessId);
+/// # impl Protocol<u64> for Noop {
+/// #     type Message = u8;
+/// #     fn id(&self) -> ProcessId { self.0 }
+/// #     fn on_start(&mut self, _: &mut Effects<u64, u8>) {}
+/// #     fn on_propose(&mut self, _: u64, _: &mut Effects<u64, u8>) {}
+/// #     fn on_message(&mut self, _: ProcessId, _: u8, _: &mut Effects<u64, u8>) {}
+/// #     fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, u8>) {}
+/// #     fn decision(&self) -> Option<u64> { None }
+/// # }
+///
+/// let cfg = SystemConfig::new(4, 1, 1)?;
+/// let faulty: ProcessSet = [ProcessId::new(0)].into_iter().collect();
+/// let outcome = SyncRunner::new(cfg)
+///     .crashed(faulty)
+///     .favoring(ProcessId::new(3))
+///     .run(|p| Noop(p));
+/// assert!(outcome.crashed.contains(ProcessId::new(0)));
+/// # Ok::<(), twostep_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct SyncRunner {
+    cfg: SystemConfig,
+    crashed: ProcessSet,
+    favor: Option<ProcessId>,
+    horizon: Duration,
+}
+
+impl SyncRunner {
+    /// Creates a runner with no crashes, send-order delivery and a 50Δ
+    /// horizon (ample for slow-path recovery).
+    pub fn new(cfg: SystemConfig) -> Self {
+        SyncRunner {
+            cfg,
+            crashed: ProcessSet::new(),
+            favor: None,
+            horizon: Duration::deltas(50),
+        }
+    }
+
+    /// The failure set `E`: these processes crash at the beginning of the
+    /// first round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is not a subset of `Π`.
+    pub fn crashed(mut self, set: ProcessSet) -> Self {
+        assert!(
+            set.is_subset(self.cfg.all_processes()),
+            "failure set must be a subset of the process set"
+        );
+        self.crashed = set;
+        self
+    }
+
+    /// Delivers messages from `p` before other same-time messages; this
+    /// picks the existential witness run in which `p` wins the fast path.
+    pub fn favoring(mut self, p: ProcessId) -> Self {
+        self.favor = Some(p);
+        self
+    }
+
+    /// Sets the virtual-time horizon of the run.
+    pub fn horizon(mut self, horizon: Duration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    fn builder(&self) -> SimulationBuilder {
+        let mut b = SimulationBuilder::new(self.cfg).delay_model(SynchronousRounds);
+        if let Some(p) = self.favor {
+            b = b.delivery_order(DeliveryOrder::Favor(p));
+        }
+        for p in self.crashed.iter() {
+            b = b.crash_at(p, Time::ZERO);
+        }
+        b
+    }
+
+    /// Runs a *task*-style protocol (initial values fixed at
+    /// construction) until all correct processes decide or the horizon is
+    /// reached.
+    pub fn run<V, P, F>(self, make: F) -> SyncOutcome<V, P>
+    where
+        V: Value,
+        P: Protocol<V>,
+        F: FnMut(ProcessId) -> P,
+    {
+        let horizon = self.horizon;
+        self.builder()
+            .build(make)
+            .run_until_all_decided(Time::ZERO + horizon)
+    }
+
+    /// Runs an *object*-style protocol: `proposals` are `propose(v)`
+    /// invocations scheduled at given times (time 0 = the beginning of
+    /// the first round, as in Definition A.1(2)).
+    pub fn run_object<V, P, F>(
+        self,
+        make: F,
+        proposals: Vec<(ProcessId, V, Time)>,
+    ) -> SyncOutcome<V, P>
+    where
+        V: Value,
+        P: Protocol<V>,
+        F: FnMut(ProcessId) -> P,
+    {
+        let horizon = self.horizon;
+        let mut sim = self.builder().build(make);
+        for (p, v, t) in proposals {
+            sim.schedule_propose(p, v, t);
+        }
+        sim.run_until_all_decided(Time::ZERO + horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use twostep_types::protocol::{Effects, TimerId};
+
+    /// One-round "echo max" toy protocol: broadcast value, decide the
+    /// max of own + received values after hearing from all alive peers
+    /// is impossible to know, so decide on first message (enough to test
+    /// synchronous-round delivery timing).
+    #[derive(Debug, Clone)]
+    struct Toy {
+        me: ProcessId,
+        n: usize,
+        value: u64,
+        decided: Option<u64>,
+    }
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct M(u64);
+
+    impl Protocol<u64> for Toy {
+        type Message = M;
+        fn id(&self) -> ProcessId {
+            self.me
+        }
+        fn on_start(&mut self, eff: &mut Effects<u64, M>) {
+            eff.broadcast_others(M(self.value), self.n, self.me);
+        }
+        fn on_propose(&mut self, v: u64, eff: &mut Effects<u64, M>) {
+            self.value = v;
+            eff.broadcast_others(M(v), self.n, self.me);
+        }
+        fn on_message(&mut self, _: ProcessId, m: M, eff: &mut Effects<u64, M>) {
+            if self.decided.is_none() {
+                self.decided = Some(m.0);
+                eff.decide(m.0);
+            }
+        }
+        fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, M>) {}
+        fn decision(&self) -> Option<u64> {
+            self.decided
+        }
+    }
+
+    #[test]
+    fn deliveries_land_exactly_on_round_boundaries() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = SyncRunner::new(cfg).run(|p| Toy {
+            me: p,
+            n: 3,
+            value: u64::from(p.as_u32()),
+            decided: None,
+        });
+        for i in 0..3u32 {
+            assert_eq!(
+                outcome.decision_time_of(ProcessId::new(i)),
+                Some(Time::ZERO + Duration::deltas(1)),
+                "p{i} must decide exactly at Δ"
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_set_never_acts() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let e: ProcessSet = [ProcessId::new(1)].into_iter().collect();
+        let outcome = SyncRunner::new(cfg).crashed(e).run(|p| Toy {
+            me: p,
+            n: 3,
+            value: u64::from(p.as_u32()),
+            decided: None,
+        });
+        assert_eq!(outcome.decision_of(ProcessId::new(1)), None);
+        // p0 hears only from p2 and vice versa.
+        assert_eq!(outcome.decision_of(ProcessId::new(0)), Some(&2));
+        assert_eq!(outcome.decision_of(ProcessId::new(2)), Some(&0));
+    }
+
+    #[test]
+    fn favoring_controls_who_wins() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        for favored in 0..3u32 {
+            let outcome = SyncRunner::new(cfg)
+                .favoring(ProcessId::new(favored))
+                .run(|p| Toy { me: p, n: 3, value: u64::from(p.as_u32()), decided: None });
+            for i in 0..3u32 {
+                if i != favored {
+                    assert_eq!(
+                        outcome.decision_of(ProcessId::new(i)),
+                        Some(&u64::from(favored)),
+                        "favoring p{favored}: p{i} must see p{favored}'s message first"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn object_proposals_scheduled() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = SyncRunner::new(cfg).run_object(
+            |p| Toy { me: p, n: 3, value: 0, decided: None },
+            vec![(ProcessId::new(0), 99u64, Time::ZERO)],
+        );
+        // Only p0 proposes; others decide 99 at Δ... but p0's startup
+        // also broadcast 0 first, so receivers see 0 then 99; first wins.
+        // What matters here: proposals flow through and are traced.
+        assert_eq!(outcome.trace.proposals(), vec![(ProcessId::new(0), 99)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset")]
+    fn rejects_out_of_range_failure_set() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let bad: ProcessSet = [ProcessId::new(7)].into_iter().collect();
+        let _ = SyncRunner::new(cfg).crashed(bad);
+    }
+}

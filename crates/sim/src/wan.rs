@@ -1,0 +1,192 @@
+//! Realistic wide-area latency presets.
+//!
+//! The paper's introduction motivates the lower bounds practically:
+//! *"contacting an additional process may incur a cost of hundreds of
+//! milliseconds per command"* in wide-area deployments. Experiment E7
+//! quantifies this with a synthetic but realistic 5-region latency
+//! matrix modelled on public-cloud inter-region RTTs (one virtual time
+//! unit = 1 ms).
+//!
+//! These numbers are a *substitution* for a real geo-distributed
+//! deployment (documented in `DESIGN.md`): decision latency depends only
+//! on pairwise latencies and quorum geometry, both captured here.
+
+use twostep_types::{Duration, ProcessId};
+
+use crate::delay::WanMatrix;
+
+/// A named deployment region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// N. Virginia.
+    UsEast,
+    /// Oregon.
+    UsWest,
+    /// Ireland.
+    EuWest,
+    /// Tokyo.
+    ApNortheast,
+    /// São Paulo.
+    SaEast,
+    /// Mumbai.
+    ApSouth,
+    /// Sydney.
+    ApSoutheast,
+}
+
+impl Region {
+    /// The five core regions, in canonical order.
+    pub const ALL: [Region; 5] = [
+        Region::UsEast,
+        Region::UsWest,
+        Region::EuWest,
+        Region::ApNortheast,
+        Region::SaEast,
+    ];
+
+    /// All seven regions — used when a protocol needs more processes
+    /// than the core five regions offer and failure independence forbids
+    /// co-location (experiment E7).
+    pub const ALL7: [Region; 7] = [
+        Region::UsEast,
+        Region::UsWest,
+        Region::EuWest,
+        Region::ApNortheast,
+        Region::SaEast,
+        Region::ApSouth,
+        Region::ApSoutheast,
+    ];
+
+    /// Short region label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::UsEast => "us-east",
+            Region::UsWest => "us-west",
+            Region::EuWest => "eu-west",
+            Region::ApNortheast => "ap-northeast",
+            Region::SaEast => "sa-east",
+            Region::ApSouth => "ap-south",
+            Region::ApSoutheast => "ap-southeast",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Region::UsEast => 0,
+            Region::UsWest => 1,
+            Region::EuWest => 2,
+            Region::ApNortheast => 3,
+            Region::SaEast => 4,
+            Region::ApSouth => 5,
+            Region::ApSoutheast => 6,
+        }
+    }
+}
+
+/// One-way latency between two regions, in milliseconds (≈ half the
+/// typical public-cloud RTT).
+pub fn one_way_ms(a: Region, b: Region) -> u64 {
+    // Symmetric matrix; diagonal ≈ intra-region.
+    const MS: [[u64; 7]; 7] = [
+        //          ue   uw   euw  apne  sae  aps  apse
+        /* ue  */ [1, 35, 40, 75, 60, 95, 100],
+        /* uw  */ [35, 1, 70, 55, 85, 110, 70],
+        /* euw */ [40, 70, 1, 110, 95, 60, 125],
+        /* apne*/ [75, 55, 110, 1, 130, 65, 55],
+        /* sae */ [60, 85, 95, 130, 1, 150, 160],
+        /* aps */ [95, 110, 60, 65, 150, 1, 75],
+        /* apse*/ [100, 70, 125, 55, 160, 75, 1],
+    ];
+    MS[a.index()][b.index()]
+}
+
+/// Builds a [`WanMatrix`] for `n` processes assigned to `regions`
+/// round-robin (process `p_i` lives in `regions[i % regions.len()]`).
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_sim::wan::{wan_matrix, Region};
+/// use twostep_types::ProcessId;
+///
+/// let m = wan_matrix(5, &Region::ALL);
+/// // p0 (us-east) → p3 (ap-northeast): 75 ms one way.
+/// assert_eq!(m.latency(ProcessId::new(0), ProcessId::new(3)).units(), 75);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `regions` is empty.
+pub fn wan_matrix(n: usize, regions: &[Region]) -> WanMatrix {
+    assert!(!regions.is_empty(), "at least one region required");
+    let region_of = |i: usize| regions[i % regions.len()];
+    let matrix = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| Duration::from_units(one_way_ms(region_of(i), region_of(j))))
+                .collect()
+        })
+        .collect();
+    WanMatrix::new(matrix)
+}
+
+/// The region hosting process `p` under the round-robin assignment used
+/// by [`wan_matrix`].
+pub fn region_of(p: ProcessId, regions: &[Region]) -> Region {
+    regions[p.index() % regions.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for a in Region::ALL7 {
+            for b in Region::ALL7 {
+                assert_eq!(one_way_ms(a, b), one_way_ms(b, a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_region_is_fast() {
+        for r in Region::ALL {
+            assert_eq!(one_way_ms(r, r), 1);
+        }
+    }
+
+    #[test]
+    fn cross_region_is_hundreds_of_ms_round_trip() {
+        // The paper's "hundreds of milliseconds" claim needs at least one
+        // pair whose RTT exceeds 200ms.
+        let worst = Region::ALL
+            .iter()
+            .flat_map(|&a| Region::ALL.iter().map(move |&b| 2 * one_way_ms(a, b)))
+            .max()
+            .unwrap();
+        assert!(worst >= 200, "worst RTT {worst}ms");
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let m = wan_matrix(7, &Region::ALL);
+        assert_eq!(m.len(), 7);
+        // p5 wraps to us-east, p6 to us-west.
+        assert_eq!(region_of(ProcessId::new(5), &Region::ALL), Region::UsEast);
+        assert_eq!(region_of(ProcessId::new(6), &Region::ALL), Region::UsWest);
+        assert_eq!(
+            m.latency(ProcessId::new(0), ProcessId::new(5)).units(),
+            1,
+            "p0 and p5 are co-located"
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = Region::ALL.iter().map(|r| r.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the simulator substrate: determinism (identical
+//! seeds replay identical runs) and round-structure invariants
+//! (Definition 2 semantics hold for every generated schedule).
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use twostep_sim::{
+    DeliveryOrder, RandomDelay, SimulationBuilder, SyncRunner, TraceEvent,
+};
+use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::{Duration, ProcessId, SystemConfig, Time, DELTA};
+
+/// A protocol with rich, deterministic behavior for exercising the
+/// engine: every process gossips a counter, re-broadcasting increments
+/// until a bound, decides the first value ≥ a threshold it sees, and
+/// runs a periodic timer.
+#[derive(Debug, Clone)]
+struct Chatter {
+    me: ProcessId,
+    n: usize,
+    bound: u32,
+    threshold: u32,
+    decided: Option<u64>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Gossip(u32);
+
+impl Protocol<u64> for Chatter {
+    type Message = Gossip;
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+    fn on_start(&mut self, eff: &mut Effects<u64, Gossip>) {
+        eff.broadcast_others(Gossip(self.me.as_u32()), self.n, self.me);
+        eff.set_timer(TimerId(0), Duration::deltas(1));
+    }
+    fn on_propose(&mut self, _: u64, _: &mut Effects<u64, Gossip>) {}
+    fn on_message(&mut self, _: ProcessId, g: Gossip, eff: &mut Effects<u64, Gossip>) {
+        if g.0 < self.bound {
+            eff.broadcast_others(Gossip(g.0 + 1), self.n, self.me);
+        }
+        if g.0 >= self.threshold && self.decided.is_none() {
+            self.decided = Some(u64::from(g.0));
+            eff.decide(u64::from(g.0));
+        }
+    }
+    fn on_timer(&mut self, _: TimerId, eff: &mut Effects<u64, Gossip>) {
+        eff.set_timer(TimerId(0), Duration::deltas(1));
+    }
+    fn decision(&self) -> Option<u64> {
+        self.decided
+    }
+}
+
+fn run_once(seed: u64, n: usize, bound: u32, threshold: u32) -> (u64, Vec<String>) {
+    let cfg = SystemConfig::new(n, 1, (n - 1) / 2).unwrap();
+    let outcome = SimulationBuilder::new(cfg)
+        .delay_model(RandomDelay::sub_delta(seed))
+        .delivery_order(DeliveryOrder::randomized(seed))
+        .build(|p| Chatter { me: p, n, bound, threshold, decided: None })
+        .run(Time::ZERO + Duration::deltas(8));
+    let summary: Vec<String> = outcome
+        .trace
+        .events()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    (outcome.events_executed, summary)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed + same parameters ⇒ byte-identical trace.
+    #[test]
+    fn identical_seeds_replay_identically(
+        seed in 0u64..1_000_000,
+        n in 3usize..7,
+        bound in 1u32..5,
+    ) {
+        let (e1, t1) = run_once(seed, n, bound, bound);
+        let (e2, t2) = run_once(seed, n, bound, bound);
+        prop_assert_eq!(e1, e2);
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Under the synchronous-rounds model, every delivery lands exactly
+    /// on a round boundary one round after its send (Definition 2(3)).
+    #[test]
+    fn synchronous_deliveries_on_boundaries(n in 3usize..7, bound in 1u32..4) {
+        let cfg = SystemConfig::new(n, 1, (n - 1) / 2).unwrap();
+        let outcome = SyncRunner::new(cfg)
+            .horizon(Duration::deltas(8))
+            .run(|p| Chatter { me: p, n, bound, threshold: u32::MAX, decided: None });
+        let mut sends: std::collections::HashMap<(u32, u32, String), Vec<Time>> =
+            std::collections::HashMap::new();
+        for ev in outcome.trace.events() {
+            match ev {
+                TraceEvent::MessageSent { time, from, to, kind } => sends
+                    .entry((from.as_u32(), to.as_u32(), kind.clone()))
+                    .or_default()
+                    .push(*time),
+                TraceEvent::MessageDelivered { time, .. } => {
+                    prop_assert_eq!(
+                        time.units() % DELTA.units(),
+                        0,
+                        "delivery off-boundary at {:?}",
+                        time
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Every send leaves on a boundary too (instantaneous handlers at
+        // boundary-aligned deliveries/timers).
+        for times in sends.values() {
+            for t in times {
+                prop_assert_eq!(t.units() % DELTA.units(), 0);
+            }
+        }
+    }
+
+    /// Crashed processes take no action after their crash time.
+    #[test]
+    fn crashed_processes_are_silent(
+        seed in 0u64..100_000,
+        victim in 0u32..5,
+        crash_units in 0u64..4000,
+    ) {
+        let n = 5;
+        let cfg = SystemConfig::new(n, 1, 2).unwrap();
+        let crash_at = Time::from_units(crash_units);
+        let outcome = SimulationBuilder::new(cfg)
+            .delay_model(RandomDelay::sub_delta(seed))
+            .crash_at(ProcessId::new(victim), crash_at)
+            .build(|p| Chatter { me: p, n, bound: 3, threshold: u32::MAX, decided: None })
+            .run(Time::ZERO + Duration::deltas(8));
+        for ev in outcome.trace.events() {
+            let acted = match ev {
+                TraceEvent::MessageSent { time, from, .. } => Some((*from, *time)),
+                TraceEvent::MessageDelivered { time, to, .. } => Some((*to, *time)),
+                TraceEvent::TimerFired { time, process, .. } => Some((*process, *time)),
+                _ => None,
+            };
+            if let Some((who, when)) = acted {
+                if who == ProcessId::new(victim) {
+                    prop_assert!(
+                        when <= crash_at,
+                        "crashed {who} acted at {when} (crash at {crash_at})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Trace decisions and the outcome decision table agree.
+    #[test]
+    fn trace_and_outcome_decisions_agree(seed in 0u64..100_000, n in 3usize..6) {
+        let cfg = SystemConfig::new(n, 1, (n - 1) / 2).unwrap();
+        let outcome = SimulationBuilder::new(cfg)
+            .delay_model(RandomDelay::sub_delta(seed))
+            .build(|p| Chatter { me: p, n, bound: 4, threshold: 2, decided: None })
+            .run(Time::ZERO + Duration::deltas(8));
+        for (i, slot) in outcome.decisions.iter().enumerate() {
+            let p = ProcessId::new(i as u32);
+            let first_in_trace = outcome.trace.first_decision(p);
+            prop_assert_eq!(*slot, first_in_trace, "{}", p);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Replicated commands and the state-machine abstraction.
+
+use std::fmt::Debug;
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic state machine driven by committed commands.
+///
+/// Every replica applies the same commands in the same (log) order, so
+/// any deterministic `apply` keeps replicas identical — the classic
+/// state-machine replication argument (Schneider 1990), which is the
+/// paper's motivating use case for consensus.
+pub trait StateMachine<C>: Debug + Default + Send + 'static {
+    /// The result of applying one command.
+    type Output: Debug;
+
+    /// Applies `cmd`, mutating the state.
+    fn apply(&mut self, cmd: &C) -> Self::Output;
+}
+
+/// Commands of the replicated key-value store.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum KvCommand {
+    /// Bind `key` to `value`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value.
+        value: String,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key.
+        key: String,
+    },
+    /// No effect; useful for liveness probes and slot filling.
+    Noop,
+}
+
+impl KvCommand {
+    /// Convenience constructor for a `Put`.
+    pub fn put(key: impl Into<String>, value: impl Into<String>) -> Self {
+        KvCommand::Put { key: key.into(), value: value.into() }
+    }
+
+    /// Convenience constructor for a `Delete`.
+    pub fn delete(key: impl Into<String>) -> Self {
+        KvCommand::Delete { key: key.into() }
+    }
+}
+
+/// Result of applying a [`KvCommand`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvOutput {
+    /// The previous binding of the touched key, if any.
+    pub previous: Option<String>,
+}
+
+/// An in-memory key-value store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    entries: std::collections::BTreeMap<String, String>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Reads a key (local read; not linearizable across replicas unless
+    /// the caller serializes it through the log).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl StateMachine<KvCommand> for KvStore {
+    type Output = KvOutput;
+
+    fn apply(&mut self, cmd: &KvCommand) -> KvOutput {
+        match cmd {
+            KvCommand::Put { key, value } => KvOutput {
+                previous: self.entries.insert(key.clone(), value.clone()),
+            },
+            KvCommand::Delete { key } => KvOutput { previous: self.entries.remove(key) },
+            KvCommand::Noop => KvOutput { previous: None },
+        }
+    }
+}
+
+/// A state machine that just counts applied commands — handy in tests
+/// and benchmarks where the payload is irrelevant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Number of commands applied so far.
+    pub applied: u64,
+}
+
+impl<C> StateMachine<C> for Counter
+where
+    C: 'static,
+{
+    type Output = u64;
+
+    fn apply(&mut self, _cmd: &C) -> u64 {
+        self.applied += 1;
+        self.applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_put_get_delete() {
+        let mut kv = KvStore::new();
+        assert!(kv.is_empty());
+        let out = kv.apply(&KvCommand::put("a", "1"));
+        assert_eq!(out.previous, None);
+        assert_eq!(kv.get("a"), Some("1"));
+
+        let out = kv.apply(&KvCommand::put("a", "2"));
+        assert_eq!(out.previous, Some("1".to_string()));
+        assert_eq!(kv.get("a"), Some("2"));
+        assert_eq!(kv.len(), 1);
+
+        let out = kv.apply(&KvCommand::delete("a"));
+        assert_eq!(out.previous, Some("2".to_string()));
+        assert_eq!(kv.get("a"), None);
+
+        let out = kv.apply(&KvCommand::delete("missing"));
+        assert_eq!(out.previous, None);
+        kv.apply(&KvCommand::Noop);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn determinism_identical_logs_identical_states() {
+        let log = vec![
+            KvCommand::put("x", "1"),
+            KvCommand::put("y", "2"),
+            KvCommand::delete("x"),
+            KvCommand::put("y", "3"),
+        ];
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        for c in &log {
+            a.apply(c);
+        }
+        for c in &log {
+            b.apply(c);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![("y", "3")]);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::default();
+        assert_eq!(StateMachine::<KvCommand>::apply(&mut c, &KvCommand::Noop), 1);
+        assert_eq!(StateMachine::<KvCommand>::apply(&mut c, &KvCommand::Noop), 2);
+        assert_eq!(c.applied, 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! The SMR replica: a log of consensus instances plus a state machine.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use twostep_core::{Msg, ObjectConsensus, Omega, OmegaMode};
+use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::{Duration, ProcessId, SystemConfig, Value, DELTA};
+
+use crate::command::StateMachine;
+
+/// Wire messages of the SMR layer: per-slot consensus traffic plus the
+/// replica-level Ω beacon.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmrMsg<C> {
+    /// Consensus message of the instance deciding slot `.0`.
+    Slot(u64, Msg<C>),
+    /// Replica-level liveness beacon (one Ω for all instances).
+    Beacon,
+}
+
+/// Replica-level timers (instance timers are namespaced above these).
+const SMR_HEARTBEAT: TimerId = TimerId(1);
+const SMR_SUSPECT: TimerId = TimerId(2);
+const SMR_PUMP: TimerId = TimerId(3);
+/// First timer id available to instance namespacing.
+const INNER_BASE: u32 = 4;
+/// Ids per instance (the inner protocol uses timers 0..3).
+const INNER_STRIDE: u32 = 4;
+
+fn inner_timer(slot: u64, t: TimerId) -> TimerId {
+    debug_assert!(t.0 < INNER_STRIDE);
+    TimerId(INNER_BASE + (slot as u32) * INNER_STRIDE + t.0)
+}
+
+fn split_timer(t: TimerId) -> Option<(u64, TimerId)> {
+    if t.0 >= INNER_BASE {
+        let rel = t.0 - INNER_BASE;
+        Some((u64::from(rel / INNER_STRIDE), TimerId(rel % INNER_STRIDE)))
+    } else {
+        None
+    }
+}
+
+/// A state-machine-replication replica built on the paper's consensus
+/// *object* (one [`ObjectConsensus`] instance per log slot).
+///
+/// Roles, following the paper's introduction: clients submit commands to
+/// any replica (their *proxy*); the proxy assigns the command a free
+/// slot and proposes it there; commands commit in slot order and are
+/// applied to the deterministic state machine `S`. A command that loses
+/// its slot to a contending proxy is transparently re-proposed in a
+/// fresh slot.
+///
+/// One replica-level Ω (heartbeats) serves all instances: instances run
+/// with a static leader hint that the replica refreshes on every
+/// suspicion sweep.
+///
+/// `decide` events are emitted per *applied* command, in log order, so
+/// the decision stream of any engine is exactly the committed prefix.
+#[derive(Debug)]
+pub struct SmrReplica<C: Ord, S> {
+    cfg: SystemConfig,
+    me: ProcessId,
+    instances: BTreeMap<u64, ObjectConsensus<C>>,
+    committed: BTreeMap<u64, C>,
+    applied: u64,
+    sm: S,
+    pending: VecDeque<C>,
+    inflight: BTreeMap<u64, C>,
+    max_inflight: usize,
+    next_slot: u64,
+    omega: Omega,
+}
+
+impl<C, S> SmrReplica<C, S>
+where
+    C: Value,
+    S: StateMachine<C>,
+{
+    /// Creates an unpipelined replica for `me` (at most one command in
+    /// flight; commands commit strictly in submission order at this
+    /// proxy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `cfg`.
+    pub fn new(cfg: SystemConfig, me: ProcessId) -> Self {
+        Self::with_pipeline(cfg, me, 1)
+    }
+
+    /// Creates a replica that keeps up to `max_inflight` commands in
+    /// flight concurrently (each in its own slot). Deeper pipelines
+    /// trade strict per-proxy submission order for throughput: a command
+    /// that loses its slot is re-proposed in a fresh slot and may commit
+    /// after commands submitted later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `cfg` or `max_inflight == 0`.
+    pub fn with_pipeline(cfg: SystemConfig, me: ProcessId, max_inflight: usize) -> Self {
+        assert!(me.index() < cfg.n(), "process {me} out of range for {cfg}");
+        assert!(max_inflight >= 1, "pipeline depth must be at least 1");
+        SmrReplica {
+            cfg,
+            me,
+            instances: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            applied: 0,
+            sm: S::default(),
+            pending: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            max_inflight,
+            next_slot: 0,
+            omega: Omega::new(me, cfg.n(), OmegaMode::Heartbeats),
+        }
+    }
+
+    /// The committed log: slot → command.
+    pub fn log(&self) -> &BTreeMap<u64, C> {
+        &self.committed
+    }
+
+    /// The contiguously applied prefix length.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The replicated state machine.
+    pub fn state(&self) -> &S {
+        &self.sm
+    }
+
+    /// Commands accepted from clients but not yet committed (queued or
+    /// currently in flight in a slot).
+    pub fn pending(&self) -> usize {
+        self.pending.len() + self.inflight.len()
+    }
+
+    /// The configured pipeline depth.
+    pub fn pipeline_depth(&self) -> usize {
+        self.max_inflight
+    }
+
+    fn instance(
+        &mut self,
+        slot: u64,
+        eff: &mut Effects<C, SmrMsg<C>>,
+    ) -> &mut ObjectConsensus<C> {
+        if !self.instances.contains_key(&slot) {
+            let mut inst = ObjectConsensus::with_options(
+                self.cfg,
+                self.me,
+                OmegaMode::Static(self.omega.leader()),
+                twostep_core::Ablations::NONE,
+            );
+            let mut inner = Effects::new();
+            inst.on_start(&mut inner);
+            self.instances.insert(slot, inst);
+            self.route_inner(slot, inner, eff);
+        }
+        self.instances.get_mut(&slot).expect("just inserted")
+    }
+
+    /// Translates one instance's effects into SMR-level effects and
+    /// handles its decisions.
+    fn route_inner(
+        &mut self,
+        slot: u64,
+        inner: Effects<C, Msg<C>>,
+        eff: &mut Effects<C, SmrMsg<C>>,
+    ) {
+        for (to, m) in inner.sends {
+            eff.send(to, SmrMsg::Slot(slot, m));
+        }
+        for (t, d) in inner.timer_sets {
+            eff.set_timer(inner_timer(slot, t), d);
+        }
+        for t in inner.timer_cancels {
+            eff.cancel_timer(inner_timer(slot, t));
+        }
+        for c in inner.decisions {
+            self.on_commit(slot, c, eff);
+        }
+    }
+
+    fn on_commit(&mut self, slot: u64, cmd: C, eff: &mut Effects<C, SmrMsg<C>>) {
+        self.next_slot = self.next_slot.max(slot + 1);
+        if self.committed.contains_key(&slot) {
+            return; // re-decision of the same slot (gossip); ignore
+        }
+        self.committed.insert(slot, cmd);
+
+        // Did one of our in-flight proposals just resolve?
+        if let Some(mine) = self.inflight.remove(&slot) {
+            if self.committed.get(&slot) != Some(&mine) {
+                // Lost the slot to a contending proxy: re-queue at the
+                // front so the pump re-proposes it in a fresh slot.
+                self.pending.push_front(mine);
+            }
+        }
+
+        // Apply the contiguous prefix, emitting one decide per command.
+        while let Some(c) = self.committed.get(&self.applied) {
+            self.sm.apply(c);
+            eff.decide(c.clone());
+            self.applied += 1;
+        }
+    }
+
+    /// Proposes queued commands while pipeline capacity remains.
+    fn pump(&mut self, eff: &mut Effects<C, SmrMsg<C>>) {
+        while self.inflight.len() < self.max_inflight {
+            let Some(cmd) = self.pending.pop_front() else { return };
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.inflight.insert(slot, cmd.clone());
+            let inst = self.instance(slot, eff);
+            let mut inner = Effects::new();
+            inst.on_propose(cmd, &mut inner);
+            self.route_inner(slot, inner, eff);
+        }
+    }
+}
+
+impl<C, S> Protocol<C> for SmrReplica<C, S>
+where
+    C: Value,
+    S: StateMachine<C>,
+{
+    type Message = SmrMsg<C>;
+
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    fn on_start(&mut self, eff: &mut Effects<C, SmrMsg<C>>) {
+        eff.broadcast_others(SmrMsg::Beacon, self.cfg.n(), self.me);
+        eff.set_timer(SMR_HEARTBEAT, DELTA);
+        eff.set_timer(SMR_SUSPECT, Duration::from_units(3 * DELTA.units()));
+        eff.set_timer(SMR_PUMP, Duration::from_units(2 * DELTA.units()));
+    }
+
+    fn on_propose(&mut self, cmd: C, eff: &mut Effects<C, SmrMsg<C>>) {
+        self.pending.push_back(cmd);
+        self.pump(eff);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SmrMsg<C>, eff: &mut Effects<C, SmrMsg<C>>) {
+        self.omega.observe(from);
+        match msg {
+            SmrMsg::Beacon => {}
+            SmrMsg::Slot(slot, m) => {
+                self.next_slot = self.next_slot.max(slot + 1);
+                let inst = self.instance(slot, eff);
+                let mut inner = Effects::new();
+                inst.on_message(from, m, &mut inner);
+                self.route_inner(slot, inner, eff);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, eff: &mut Effects<C, SmrMsg<C>>) {
+        match timer {
+            SMR_HEARTBEAT => {
+                eff.broadcast_others(SmrMsg::Beacon, self.cfg.n(), self.me);
+                eff.set_timer(SMR_HEARTBEAT, DELTA);
+            }
+            SMR_SUSPECT => {
+                self.omega.sweep();
+                let leader = self.omega.leader();
+                for inst in self.instances.values_mut() {
+                    inst.set_leader_hint(leader);
+                }
+                eff.set_timer(SMR_SUSPECT, Duration::from_units(3 * DELTA.units()));
+            }
+            SMR_PUMP => {
+                self.pump(eff);
+                eff.set_timer(SMR_PUMP, Duration::from_units(2 * DELTA.units()));
+            }
+            t => {
+                if let Some((slot, inner_t)) = split_timer(t) {
+                    if let Some(inst) = self.instances.get_mut(&slot) {
+                        let mut inner = Effects::new();
+                        inst.on_timer(inner_t, &mut inner);
+                        self.route_inner(slot, inner, eff);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<C> {
+        // The first committed command, if slot 0 is decided (decide
+        // *events* carry the full applied stream; see type docs).
+        self.committed.get(&0).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{KvCommand, KvStore};
+
+    #[test]
+    fn timer_namespacing_roundtrips() {
+        for slot in [0u64, 1, 7, 1000] {
+            for t in [TimerId(0), TimerId(1), TimerId(2)] {
+                let mapped = inner_timer(slot, t);
+                assert_eq!(split_timer(mapped), Some((slot, t)));
+            }
+        }
+        assert_eq!(split_timer(SMR_HEARTBEAT), None);
+        assert_eq!(split_timer(SMR_SUSPECT), None);
+        assert_eq!(split_timer(SMR_PUMP), None);
+    }
+
+    #[test]
+    fn propose_creates_instance_and_traffic() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let mut r: SmrReplica<KvCommand, KvStore> = SmrReplica::new(cfg, ProcessId::new(0));
+        let mut eff = Effects::new();
+        r.on_start(&mut eff);
+        let mut eff = Effects::new();
+        r.on_propose(KvCommand::put("k", "v"), &mut eff);
+        assert!(eff
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m, SmrMsg::Slot(0, Msg::Propose(_)))));
+        assert_eq!(r.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_replica_panics() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let _: SmrReplica<KvCommand, KvStore> = SmrReplica::new(cfg, ProcessId::new(5));
+    }
+}

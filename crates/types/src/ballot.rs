@@ -1,0 +1,159 @@
+//! Ballot numbers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProcessId;
+
+/// A Paxos-style ballot number.
+///
+/// Ballot `0` is the paper's *fast* ballot: every process may try to get
+/// its proposal accepted directly (the fast path). All ballots `b > 0`
+/// are *slow* ballots, each owned by the process `p_i` with
+/// `i ≡ b (mod n)` (Figure 1, line "on timeout").
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_types::{Ballot, ProcessId};
+///
+/// assert!(Ballot::FAST.is_fast());
+/// let b = Ballot::FAST.next_owned_by(ProcessId::new(2), 5);
+/// assert!(b.is_slow());
+/// assert_eq!(b.owner(5), ProcessId::new(2));
+/// assert!(b > Ballot::FAST);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ballot(u64);
+
+impl Ballot {
+    /// The fast ballot, `0`.
+    pub const FAST: Ballot = Ballot(0);
+
+    /// Creates a ballot from its raw number.
+    pub const fn new(number: u64) -> Self {
+        Ballot(number)
+    }
+
+    /// The raw ballot number.
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the fast ballot `0`.
+    pub const fn is_fast(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is a slow ballot (`> 0`).
+    pub const fn is_slow(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The process owning this slow ballot: `p_i` with `i ≡ b (mod n)`.
+    ///
+    /// Returns the owner for slow ballots; for the fast ballot there is no
+    /// single owner (every process can use the fast path), so this returns
+    /// `p_{0 mod n} = p_0` — callers should check [`Ballot::is_fast`] first
+    /// when ownership matters.
+    pub fn owner(self, n: usize) -> ProcessId {
+        ProcessId::new((self.0 % n as u64) as u32)
+    }
+
+    /// The smallest ballot strictly greater than `self` owned by `p`
+    /// (`i ≡ b (mod n)`), as required when `p` starts a new slow ballot.
+    pub fn next_owned_by(self, p: ProcessId, n: usize) -> Ballot {
+        let n = n as u64;
+        let i = u64::from(p.as_u32());
+        debug_assert!(i < n, "process {p} out of range for n={n}");
+        // Smallest b > self.0 with b ≡ i (mod n).
+        let base = self.0 + 1;
+        let rem = base % n;
+        let add = (i + n - rem) % n;
+        let b = base + add;
+        debug_assert!(b > self.0 && b % n == i);
+        Ballot(b)
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fast() {
+            f.write_str("b0(fast)")
+        } else {
+            write!(f, "b{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<u64> for Ballot {
+    fn from(number: u64) -> Self {
+        Ballot(number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_ballot_properties() {
+        assert!(Ballot::FAST.is_fast());
+        assert!(!Ballot::FAST.is_slow());
+        assert_eq!(Ballot::FAST.number(), 0);
+        assert_eq!(Ballot::default(), Ballot::FAST);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ballot::new(1) > Ballot::FAST);
+        assert!(Ballot::new(17) > Ballot::new(5));
+    }
+
+    #[test]
+    fn next_owned_by_congruence() {
+        for n in 3..=7usize {
+            for i in 0..n as u32 {
+                let p = ProcessId::new(i);
+                let mut b = Ballot::FAST;
+                for _ in 0..5 {
+                    let nb = b.next_owned_by(p, n);
+                    assert!(nb > b);
+                    assert_eq!(nb.number() % n as u64, u64::from(i));
+                    assert_eq!(nb.owner(n), p);
+                    b = nb;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_owned_by_is_minimal() {
+        // The returned ballot is the *smallest* valid one: no smaller
+        // ballot > current is congruent to i mod n.
+        let n = 5;
+        for cur in 0..20u64 {
+            for i in 0..n as u32 {
+                let b = Ballot::new(cur).next_owned_by(ProcessId::new(i), n);
+                for candidate in cur + 1..b.number() {
+                    assert_ne!(candidate % n as u64, u64::from(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ballot::FAST.to_string(), "b0(fast)");
+        assert_eq!(Ballot::new(12).to_string(), "b12");
+    }
+}

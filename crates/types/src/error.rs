@@ -1,0 +1,84 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an `(n, e, f)` triple does not describe a valid
+/// system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fewer than three processes (the paper assumes `n ≥ 3`).
+    TooFewProcesses {
+        /// The offending process count.
+        n: usize,
+    },
+    /// More than 64 processes ([`crate::ProcessSet`] is a 64-bit mask).
+    TooManyProcesses {
+        /// The offending process count.
+        n: usize,
+    },
+    /// `f = 0` (a protocol tolerating no failures is out of scope).
+    ZeroResilience,
+    /// `e > f`: the paper assumes the fast-decision threshold never
+    /// exceeds the resilience threshold.
+    FastThresholdExceedsResilience {
+        /// The fast-decision threshold.
+        e: usize,
+        /// The resilience threshold.
+        f: usize,
+    },
+    /// `n < 2f+1`: partially synchronous consensus itself is impossible
+    /// (Dwork, Lynch, Stockmeyer).
+    BelowResilienceBound {
+        /// The process count.
+        n: usize,
+        /// The resilience threshold.
+        f: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, fmtr: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewProcesses { n } => {
+                write!(fmtr, "system needs at least 3 processes, got {n}")
+            }
+            ConfigError::TooManyProcesses { n } => {
+                write!(fmtr, "at most 64 processes supported, got {n}")
+            }
+            ConfigError::ZeroResilience => {
+                write!(fmtr, "resilience threshold f must be at least 1")
+            }
+            ConfigError::FastThresholdExceedsResilience { e, f } => {
+                write!(fmtr, "fast threshold e={e} exceeds resilience threshold f={f}")
+            }
+            ConfigError::BelowResilienceBound { n, f } => {
+                write!(fmtr, "n={n} processes cannot tolerate f={f} failures (need n >= 2f+1)")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty_and_lowercase() {
+        let errors = [
+            ConfigError::TooFewProcesses { n: 2 },
+            ConfigError::TooManyProcesses { n: 100 },
+            ConfigError::ZeroResilience,
+            ConfigError::FastThresholdExceedsResilience { e: 3, f: 2 },
+            ConfigError::BelowResilienceBound { n: 4, f: 2 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Process identities and sets of processes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one of the `n` processes in the system `Π = {p_0, …, p_{n-1}}`.
+///
+/// Process ids are dense indices in `0..n`; this makes them directly usable
+/// as vector indices and lets [`ProcessSet`] represent subsets of `Π` as a
+/// bitmask.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_types::ProcessId;
+///
+/// let p = ProcessId::new(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "p2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from its index in `Π`.
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Index of this process in `Π`, usable to index per-process vectors.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw numeric id.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(index: u32) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A subset of the processes `Π`, represented as a bitmask.
+///
+/// Supports up to 64 processes, far beyond any configuration the paper's
+/// bounds make interesting (`n = max{2e+f, 2f+1}` stays small for
+/// practical `e`, `f`). Used for failure sets `E`, quorums `Q`, the
+/// proposer-exclusion set `R` of the recovery rule, and schedule
+/// enumeration in the model checker.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_types::{ProcessId, ProcessSet};
+///
+/// let mut s = ProcessSet::new();
+/// s.insert(ProcessId::new(0));
+/// s.insert(ProcessId::new(3));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(ProcessId::new(3)));
+/// let complement = s.complement(5);
+/// assert_eq!(complement.len(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ProcessSet(u64);
+
+impl ProcessSet {
+    /// Maximum number of processes representable.
+    pub const MAX_PROCESSES: u32 = 64;
+
+    /// Creates an empty set.
+    pub const fn new() -> Self {
+        ProcessSet(0)
+    }
+
+    /// Creates the full set `Π` for a system of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn full(n: usize) -> Self {
+        assert!(n as u32 <= Self::MAX_PROCESSES, "at most 64 processes supported");
+        if n == 64 {
+            ProcessSet(u64::MAX)
+        } else {
+            ProcessSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Creates a set from raw bits (bit `i` set ⇔ `p_i ∈` set).
+    pub const fn from_bits(bits: u64) -> Self {
+        ProcessSet(bits)
+    }
+
+    /// Raw bit representation.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Inserts a process; returns whether it was newly inserted.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let bit = 1u64 << p.0;
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes a process; returns whether it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let bit = 1u64 << p.0;
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether `p` belongs to the set.
+    pub const fn contains(self, p: ProcessId) -> bool {
+        self.0 & (1u64 << p.0) != 0
+    }
+
+    /// Number of processes in the set.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub const fn union(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub const fn intersection(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub const fn difference(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & !other.0)
+    }
+
+    /// Complement within a system of `n` processes: `Π \ self`.
+    pub fn complement(self, n: usize) -> ProcessSet {
+        ProcessSet(Self::full(n).0 & !self.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub const fn is_subset(self, other: ProcessSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The member with the smallest id, if any. Used e.g. by the Ω leader
+    /// election service, which trusts the lowest-id unsuspected process.
+    pub fn min(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId(self.0.trailing_zeros()))
+        }
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`] in increasing id order.
+#[derive(Debug, Clone)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(ProcessId(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Enumerates all subsets of `Π = {p_0, …, p_{n-1}}` of size exactly `k`,
+/// in lexicographic bit order.
+///
+/// Used by the feasibility experiments to check the paper's Definition 4
+/// / Definition A.1 for *every* failure set `E ⊆ Π` with `|E| = e`.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_types::combinations;
+///
+/// let sets: Vec<_> = combinations(4, 2).collect();
+/// assert_eq!(sets.len(), 6); // C(4, 2)
+/// assert!(sets.iter().all(|s| s.len() == 2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n > 64`.
+pub fn combinations(n: usize, k: usize) -> Combinations {
+    assert!(n as u32 <= ProcessSet::MAX_PROCESSES);
+    let first = if k == 0 {
+        Some(ProcessSet::new())
+    } else if k <= n {
+        Some(ProcessSet::from_bits((1u64 << k) - 1))
+    } else {
+        None
+    };
+    Combinations { n, k, next: first }
+}
+
+/// Iterator returned by [`combinations`].
+#[derive(Debug, Clone)]
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    next: Option<ProcessSet>,
+}
+
+impl Iterator for Combinations {
+    type Item = ProcessSet;
+
+    fn next(&mut self) -> Option<ProcessSet> {
+        let current = self.next?;
+        self.next = if self.k == 0 {
+            None
+        } else {
+            // Gosper's hack: next larger integer with the same popcount.
+            let v = current.bits();
+            let t = v | (v - 1);
+            if t == u64::MAX {
+                None
+            } else {
+                let lowest_unset = !t & (!t).wrapping_neg();
+                let w = (t + 1) | ((lowest_unset - 1) >> (v.trailing_zeros() + 1));
+                let limit = ProcessSet::full(self.n).bits();
+                if w <= limit {
+                    Some(ProcessSet::from_bits(w))
+                } else {
+                    None
+                }
+            }
+        };
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        let p = ProcessId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.as_u32(), 7);
+        assert_eq!(ProcessId::from(7u32), p);
+        assert_eq!(format!("{p}"), "p7");
+        assert_eq!(format!("{p:?}"), "p7");
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = ProcessSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(format!("{s:?}"), "{}");
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(ProcessId::new(3)));
+        assert!(!s.insert(ProcessId::new(3)));
+        assert!(s.contains(ProcessId::new(3)));
+        assert!(!s.contains(ProcessId::new(2)));
+        assert!(s.remove(ProcessId::new(3)));
+        assert!(!s.remove(ProcessId::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_and_complement() {
+        let full = ProcessSet::full(5);
+        assert_eq!(full.len(), 5);
+        let mut e = ProcessSet::new();
+        e.insert(ProcessId::new(1));
+        e.insert(ProcessId::new(4));
+        let correct = e.complement(5);
+        assert_eq!(correct.len(), 3);
+        assert!(correct.contains(ProcessId::new(0)));
+        assert!(correct.contains(ProcessId::new(2)));
+        assert!(correct.contains(ProcessId::new(3)));
+        assert_eq!(e.union(correct), full);
+        assert!(e.intersection(correct).is_empty());
+    }
+
+    #[test]
+    fn full_64_processes() {
+        let full = ProcessSet::full(64);
+        assert_eq!(full.len(), 64);
+        assert!(full.contains(ProcessId::new(63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn full_too_large_panics() {
+        let _ = ProcessSet::full(65);
+    }
+
+    #[test]
+    fn subset_and_difference() {
+        let a: ProcessSet = [0u32, 1, 2].into_iter().map(ProcessId::new).collect();
+        let b: ProcessSet = [1u32, 2].into_iter().map(ProcessId::new).collect();
+        assert!(b.is_subset(a));
+        assert!(!a.is_subset(b));
+        let d = a.difference(b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn iter_order_is_increasing() {
+        let s: ProcessSet = [5u32, 1, 9, 0].into_iter().map(ProcessId::new).collect();
+        let ids: Vec<u32> = s.iter().map(|p| p.as_u32()).collect();
+        assert_eq!(ids, vec![0, 1, 5, 9]);
+        assert_eq!(s.min(), Some(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn combinations_counts() {
+        // C(n, k) sanity over a range of n, k.
+        fn binom(n: usize, k: usize) -> usize {
+            if k > n {
+                return 0;
+            }
+            let mut r = 1usize;
+            for i in 0..k {
+                r = r * (n - i) / (i + 1);
+            }
+            r
+        }
+        for n in 0..=8 {
+            for k in 0..=n + 1 {
+                let got = combinations(n, k).count();
+                assert_eq!(got, binom(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_all_distinct_and_sized() {
+        let sets: Vec<ProcessSet> = combinations(6, 3).collect();
+        assert_eq!(sets.len(), 20);
+        for s in &sets {
+            assert_eq!(s.len(), 3);
+            assert!(s.is_subset(ProcessSet::full(6)));
+        }
+        let mut dedup = sets.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sets.len());
+    }
+
+    #[test]
+    fn combinations_k_zero() {
+        let sets: Vec<ProcessSet> = combinations(5, 0).collect();
+        assert_eq!(sets, vec![ProcessSet::new()]);
+    }
+
+    #[test]
+    fn combinations_k_equals_n() {
+        let sets: Vec<ProcessSet> = combinations(5, 5).collect();
+        assert_eq!(sets, vec![ProcessSet::full(5)]);
+    }
+
+    #[test]
+    fn combinations_k_too_large() {
+        assert_eq!(combinations(3, 4).count(), 0);
+    }
+}

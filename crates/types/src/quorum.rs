@@ -1,0 +1,279 @@
+//! Vote-tallying helpers shared by the protocol implementations.
+//!
+//! Both the paper's protocol and the baselines repeatedly perform the
+//! same two aggregation steps:
+//!
+//! * count, per value, which processes voted for it in a ballot
+//!   ([`VoteTally`]) — used by fast-path deciders and by the recovery
+//!   rule's `|S| > n-f-e` / `|S| = n-f-e` cases;
+//! * collect one reply per process ([`Collector`]) — used to assemble a
+//!   `1B` quorum of size `n-f`.
+
+use std::collections::BTreeMap;
+
+use crate::{ProcessId, ProcessSet, Value};
+
+/// Tallies votes of the form "process `p` voted for value `v`".
+///
+/// Each process's vote is counted at most once per value; re-recording
+/// the same `(p, v)` pair is idempotent.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_types::quorum::VoteTally;
+/// use twostep_types::ProcessId;
+///
+/// let mut tally: VoteTally<u64> = VoteTally::new();
+/// tally.record(ProcessId::new(0), 7);
+/// tally.record(ProcessId::new(1), 7);
+/// tally.record(ProcessId::new(2), 3);
+/// assert_eq!(tally.count(&7), 2);
+/// assert_eq!(tally.max_value_with_count_at_least(2), Some(&7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VoteTally<V> {
+    votes: BTreeMap<V, ProcessSet>,
+}
+
+impl<V: Value> VoteTally<V> {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        VoteTally { votes: BTreeMap::new() }
+    }
+
+    /// Records that `p` voted for `v`; returns whether this vote was new.
+    pub fn record(&mut self, p: ProcessId, v: V) -> bool {
+        self.votes.entry(v).or_default().insert(p)
+    }
+
+    /// Number of distinct processes that voted for `v`.
+    pub fn count(&self, v: &V) -> usize {
+        self.votes.get(v).map_or(0, |s| s.len())
+    }
+
+    /// The set of processes that voted for `v`.
+    pub fn voters(&self, v: &V) -> ProcessSet {
+        self.votes.get(v).copied().unwrap_or_default()
+    }
+
+    /// Number of distinct values voted for.
+    pub fn distinct_values(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Whether no votes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+
+    /// Iterates over `(value, voters)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&V, ProcessSet)> {
+        self.votes.iter().map(|(v, s)| (v, *s))
+    }
+
+    /// The values whose vote count is at least `k`, in increasing order.
+    pub fn values_with_count_at_least(&self, k: usize) -> impl Iterator<Item = &V> {
+        self.votes.iter().filter(move |(_, s)| s.len() >= k).map(|(v, _)| v)
+    }
+
+    /// The values whose vote count is exactly `k`, in increasing order.
+    pub fn values_with_count_exactly(&self, k: usize) -> impl Iterator<Item = &V> {
+        self.votes.iter().filter(move |(_, s)| s.len() == k).map(|(v, _)| v)
+    }
+
+    /// The greatest value with at least `k` votes (the recovery rule's
+    /// tie-break at Figure 1 line 58 uses the *maximal* such value).
+    pub fn max_value_with_count_at_least(&self, k: usize) -> Option<&V> {
+        self.votes.iter().rev().find(|(_, s)| s.len() >= k).map(|(v, _)| v)
+    }
+
+    /// The greatest value with exactly `k` votes.
+    pub fn max_value_with_count_exactly(&self, k: usize) -> Option<&V> {
+        self.votes.iter().rev().find(|(_, s)| s.len() == k).map(|(v, _)| v)
+    }
+
+    /// The unique value with more than `k` votes, if exactly one exists.
+    pub fn unique_value_above(&self, k: usize) -> Option<&V> {
+        let mut it = self.votes.iter().filter(|(_, s)| s.len() > k).map(|(v, _)| v);
+        let first = it.next()?;
+        if it.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+
+    /// Removes all votes.
+    pub fn clear(&mut self) {
+        self.votes.clear();
+    }
+}
+
+/// Collects at most one reply per process, in process-id order.
+///
+/// Insertion is first-write-wins: a process cannot overwrite its reply,
+/// matching the "received ... from all q ∈ Q" guards in Figure 1 where
+/// each process contributes one message per ballot.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_types::quorum::Collector;
+/// use twostep_types::ProcessId;
+///
+/// let mut c: Collector<&'static str> = Collector::new();
+/// assert!(c.insert(ProcessId::new(1), "a"));
+/// assert!(!c.insert(ProcessId::new(1), "b")); // first write wins
+/// assert_eq!(c.len(), 1);
+/// assert_eq!(c.get(ProcessId::new(1)), Some(&"a"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Collector<T> {
+    replies: BTreeMap<ProcessId, T>,
+}
+
+impl<T> Collector<T> {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Collector { replies: BTreeMap::new() }
+    }
+
+    /// Records the reply of `p`; returns `false` (and keeps the original)
+    /// if `p` already replied.
+    pub fn insert(&mut self, p: ProcessId, reply: T) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.replies.entry(p) {
+            Entry::Vacant(e) => {
+                e.insert(reply);
+                true
+            }
+            Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Number of distinct processes that replied.
+    pub fn len(&self) -> usize {
+        self.replies.len()
+    }
+
+    /// Whether no process replied yet.
+    pub fn is_empty(&self) -> bool {
+        self.replies.is_empty()
+    }
+
+    /// Whether `p` already replied.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.replies.contains_key(&p)
+    }
+
+    /// The reply of `p`, if recorded.
+    pub fn get(&self, p: ProcessId) -> Option<&T> {
+        self.replies.get(&p)
+    }
+
+    /// The set of processes that replied.
+    pub fn senders(&self) -> ProcessSet {
+        self.replies.keys().copied().collect()
+    }
+
+    /// Iterates over `(process, reply)` in process-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &T)> {
+        self.replies.iter().map(|(p, r)| (*p, r))
+    }
+
+    /// Removes all replies.
+    pub fn clear(&mut self) {
+        self.replies.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn tally_counts_distinct_voters() {
+        let mut t: VoteTally<u64> = VoteTally::new();
+        assert!(t.is_empty());
+        assert!(t.record(p(0), 5));
+        assert!(!t.record(p(0), 5)); // idempotent
+        assert!(t.record(p(1), 5));
+        assert!(t.record(p(2), 9));
+        assert_eq!(t.count(&5), 2);
+        assert_eq!(t.count(&9), 1);
+        assert_eq!(t.count(&1), 0);
+        assert_eq!(t.distinct_values(), 2);
+        assert_eq!(t.voters(&5).len(), 2);
+    }
+
+    #[test]
+    fn tally_threshold_queries() {
+        let mut t: VoteTally<u64> = VoteTally::new();
+        for i in 0..3 {
+            t.record(p(i), 10);
+        }
+        for i in 3..5 {
+            t.record(p(i), 20);
+        }
+        t.record(p(5), 30);
+
+        let at_least_2: Vec<&u64> = t.values_with_count_at_least(2).collect();
+        assert_eq!(at_least_2, vec![&10, &20]);
+        let exactly_2: Vec<&u64> = t.values_with_count_exactly(2).collect();
+        assert_eq!(exactly_2, vec![&20]);
+        assert_eq!(t.max_value_with_count_at_least(2), Some(&20));
+        assert_eq!(t.max_value_with_count_exactly(1), Some(&30));
+        assert_eq!(t.max_value_with_count_exactly(4), None);
+    }
+
+    #[test]
+    fn tally_unique_value_above() {
+        let mut t: VoteTally<u64> = VoteTally::new();
+        for i in 0..3 {
+            t.record(p(i), 10);
+        }
+        t.record(p(3), 20);
+        assert_eq!(t.unique_value_above(1), Some(&10));
+        assert_eq!(t.unique_value_above(0), None); // two values above 0
+        assert_eq!(t.unique_value_above(5), None); // none above 5
+    }
+
+    #[test]
+    fn tally_clear() {
+        let mut t: VoteTally<u64> = VoteTally::new();
+        t.record(p(0), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.count(&1), 0);
+    }
+
+    #[test]
+    fn collector_first_write_wins() {
+        let mut c: Collector<u64> = Collector::new();
+        assert!(c.is_empty());
+        assert!(c.insert(p(2), 22));
+        assert!(!c.insert(p(2), 99));
+        assert_eq!(c.get(p(2)), Some(&22));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(p(2)));
+        assert!(!c.contains(p(0)));
+    }
+
+    #[test]
+    fn collector_senders_and_order() {
+        let mut c: Collector<u64> = Collector::new();
+        c.insert(p(3), 3);
+        c.insert(p(0), 0);
+        c.insert(p(1), 1);
+        let order: Vec<u32> = c.iter().map(|(q, _)| q.as_u32()).collect();
+        assert_eq!(order, vec![0, 1, 3]);
+        assert_eq!(c.senders().len(), 3);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Virtual time.
+//!
+//! The paper states its latency claims in *message delays*: after GST a
+//! message takes at most `Δ` time units, events in `[0, Δ)` form round 1,
+//! events in `[Δ, 2Δ)` round 2, and a run is *two-step* for `p` if `p`
+//! decides by time `2Δ` (Definitions 2 and 3). We fix `Δ` = 1000 virtual
+//! time units ([`DELTA`]) so that latencies divide evenly into message
+//! delays while leaving room for sub-`Δ` jitter in asynchronous
+//! experiments.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// The message-delay bound `Δ`, in virtual time units.
+pub const DELTA: Duration = Duration::from_units(1000);
+
+/// A point in virtual time.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_types::{Time, DELTA};
+///
+/// let t = Time::ZERO + DELTA + DELTA;
+/// assert_eq!(t.round(), 2);          // start of the third round
+/// assert_eq!(t.as_deltas(), 2.0);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of virtual time.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from raw units.
+    pub const fn from_units(units: u64) -> Self {
+        Time(units)
+    }
+
+    /// Raw unit count.
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Index of the round this instant falls in: events in `[kΔ, (k+1)Δ)`
+    /// belong to round `k` (0-based; the paper's "first round" is `k = 0`).
+    pub const fn round(self) -> u64 {
+        self.0 / DELTA.0
+    }
+
+    /// This time expressed in multiples of `Δ` (may be fractional).
+    pub fn as_deltas(self) -> f64 {
+        self.0 as f64 / DELTA.0 as f64
+    }
+
+    /// The elapsed duration since an earlier time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier > self`.
+    pub fn since(self, earlier: Time) -> Duration {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        Duration(self.0 - earlier.0)
+    }
+}
+
+/// A span of virtual time.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from raw units.
+    pub const fn from_units(units: u64) -> Self {
+        Duration(units)
+    }
+
+    /// Creates a duration of `k·Δ`.
+    pub const fn deltas(k: u64) -> Self {
+        Duration(k * DELTA.0)
+    }
+
+    /// Raw unit count.
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in multiples of `Δ` (may be fractional).
+    pub fn as_deltas(self) -> f64 {
+        self.0 as f64 / DELTA.0 as f64
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={} ({:.2}Δ)", self.0, self.as_deltas())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u", self.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u ({:.2}Δ)", self.0, self.as_deltas())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_follow_definition() {
+        // Events in [0, Δ) are round 0, [Δ, 2Δ) round 1, etc.
+        assert_eq!(Time::ZERO.round(), 0);
+        assert_eq!(Time::from_units(DELTA.units() - 1).round(), 0);
+        assert_eq!((Time::ZERO + DELTA).round(), 1);
+        assert_eq!((Time::ZERO + Duration::deltas(2)).round(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_units(500);
+        assert_eq!((t + Duration::from_units(250)).units(), 750);
+        assert_eq!((t - Duration::from_units(200)).units(), 300);
+        assert_eq!((t - Duration::from_units(600)).units(), 0); // saturates
+        assert_eq!(t.since(Time::from_units(100)), Duration::from_units(400));
+        assert_eq!(Duration::deltas(3) / 3, DELTA);
+        assert_eq!(DELTA * 2, Duration::deltas(2));
+        assert_eq!(
+            Duration::from_units(10) + Duration::from_units(5),
+            Duration::from_units(15)
+        );
+        assert_eq!(
+            Duration::from_units(10) - Duration::from_units(15),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn delta_conversions() {
+        assert_eq!(Duration::deltas(2).as_deltas(), 2.0);
+        assert_eq!(Time::from_units(1500).as_deltas(), 1.5);
+    }
+
+    #[test]
+    fn two_step_boundary() {
+        // "decided by time 2Δ" — the fast path lands exactly at 2Δ in an
+        // E-faulty synchronous run.
+        let decision_time = Time::ZERO + Duration::deltas(2);
+        assert!(decision_time.units() <= Duration::deltas(2).units());
+    }
+}

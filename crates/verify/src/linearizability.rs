@@ -1,0 +1,401 @@
+//! Linearizability checking for consensus-object histories.
+//!
+//! The consensus object's sequential specification is tiny: the first
+//! `propose(v)` returns `v` and fixes the decision; every later
+//! `propose(w)` returns that same decision. A concurrent history is
+//! linearizable iff the operations can be totally ordered, respecting
+//! real time (an operation that completed before another was invoked
+//! must come first), such that the sequence obeys that specification.
+//!
+//! For this spec the check reduces to two conditions ([`History::check`]):
+//!
+//! 1. all responses carry the same value `v*`;
+//! 2. some invocation proposing `v*` started no later than the first
+//!    response completed (otherwise every candidate "first" operation is
+//!    forced, by real time, to come after an operation that already
+//!    returned `v*`).
+//!
+//! A brute-force permutation checker ([`History::check_brute_force`])
+//! validates the fast path on small histories (and is itself
+//! property-tested against it).
+
+use std::fmt;
+
+use twostep_types::{ProcessId, Time, Value};
+
+/// One `propose` operation in a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op<V> {
+    /// The invoking process.
+    pub process: ProcessId,
+    /// The proposed value.
+    pub argument: V,
+    /// Invocation time.
+    pub invoked: Time,
+    /// Response value and time; `None` while pending (e.g. the process
+    /// crashed before the operation returned).
+    pub response: Option<(V, Time)>,
+}
+
+/// Why a history is not linearizable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinearizabilityError<V> {
+    /// Two operations returned different values.
+    DivergentResponses {
+        /// One response.
+        a: (ProcessId, V),
+        /// A different response.
+        b: (ProcessId, V),
+    },
+    /// The agreed value was never proposed by any operation.
+    UnproposedDecision {
+        /// The returned-but-never-proposed value.
+        value: V,
+    },
+    /// No proposer of the decided value overlaps or precedes the first
+    /// response, so no linearization can put it first.
+    DecisionBeforeProposal {
+        /// The decided value.
+        value: V,
+        /// When the first response completed.
+        first_response: Time,
+        /// The earliest invocation proposing the value.
+        earliest_proposal: Time,
+    },
+    /// An operation is recorded as responding before it was invoked.
+    IllFormed {
+        /// The offending process.
+        process: ProcessId,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for LinearizabilityError<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearizabilityError::DivergentResponses { a, b } => write!(
+                f,
+                "history not linearizable: {} got {:?} but {} got {:?}",
+                a.0, a.1, b.0, b.1
+            ),
+            LinearizabilityError::UnproposedDecision { value } => {
+                write!(f, "history not linearizable: decision {value:?} was never proposed")
+            }
+            LinearizabilityError::DecisionBeforeProposal {
+                value,
+                first_response,
+                earliest_proposal,
+            } => write!(
+                f,
+                "history not linearizable: {value:?} returned at {first_response} before \
+                 any proposer of it invoked (earliest at {earliest_proposal})"
+            ),
+            LinearizabilityError::IllFormed { process } => {
+                write!(f, "ill-formed history: {process} responds before invoking")
+            }
+        }
+    }
+}
+
+/// A history of `propose` operations on one consensus object.
+#[derive(Debug, Clone, Default)]
+pub struct History<V> {
+    ops: Vec<Op<V>>,
+}
+
+impl<V: Value> History<V> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { ops: Vec::new() }
+    }
+
+    /// Records an invocation of `propose(argument)` by `process`.
+    pub fn invoke(&mut self, process: ProcessId, argument: V, at: Time) {
+        self.ops.push(Op { process, argument, invoked: at, response: None });
+    }
+
+    /// Records the response of `process`'s pending operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` has no pending operation.
+    pub fn respond(&mut self, process: ProcessId, value: V, at: Time) {
+        let op = self
+            .ops
+            .iter_mut()
+            .find(|o| o.process == process && o.response.is_none())
+            .expect("no pending operation for this process");
+        op.response = Some((value, at));
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[Op<V>] {
+        &self.ops
+    }
+
+    /// Fast linearizability check (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LinearizabilityError`] found.
+    pub fn check(&self) -> Result<(), LinearizabilityError<V>> {
+        for op in &self.ops {
+            if let Some((_, t)) = &op.response {
+                if *t < op.invoked {
+                    return Err(LinearizabilityError::IllFormed { process: op.process });
+                }
+            }
+        }
+
+        let responses: Vec<(&Op<V>, &V, Time)> = self
+            .ops
+            .iter()
+            .filter_map(|o| o.response.as_ref().map(|(v, t)| (o, v, *t)))
+            .collect();
+        let Some((first_op, v_star, _)) = responses.first() else {
+            return Ok(()); // no responses: trivially linearizable
+        };
+
+        for (op, v, _) in &responses {
+            if v != v_star {
+                return Err(LinearizabilityError::DivergentResponses {
+                    a: (first_op.process, (*v_star).clone()),
+                    b: (op.process, (*v).clone()),
+                });
+            }
+        }
+
+        let proposers: Vec<&Op<V>> =
+            self.ops.iter().filter(|o| o.argument == **v_star).collect();
+        if proposers.is_empty() {
+            return Err(LinearizabilityError::UnproposedDecision { value: (*v_star).clone() });
+        }
+
+        let first_response = responses.iter().map(|(_, _, t)| *t).min().expect("nonempty");
+        let earliest_proposal =
+            proposers.iter().map(|o| o.invoked).min().expect("nonempty");
+        if earliest_proposal > first_response {
+            return Err(LinearizabilityError::DecisionBeforeProposal {
+                value: (*v_star).clone(),
+                first_response,
+                earliest_proposal,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reference checker: tries every permutation of the operations that
+    /// respects real-time order and checks the sequential spec, treating
+    /// pending operations as either taking effect or not. Exponential;
+    /// use only on small histories (tests cap at ~8 operations).
+    pub fn check_brute_force(&self) -> bool {
+        let n = self.ops.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // For pending ops we also need the option to exclude them.
+        let completed: Vec<usize> =
+            (0..n).filter(|&i| self.ops[i].response.is_some()).collect();
+        let pending: Vec<usize> =
+            (0..n).filter(|&i| self.ops[i].response.is_none()).collect();
+
+        // Enumerate subsets of pending ops to include.
+        for mask in 0..(1usize << pending.len()) {
+            let mut included = completed.clone();
+            for (bit, &i) in pending.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    included.push(i);
+                }
+            }
+            order.clone_from(&included);
+            if permute_and_check(self, &mut order, 0) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn respects_real_time<V: Value>(h: &History<V>, order: &[usize]) -> bool {
+    // op A must precede op B whenever A responded before B invoked.
+    for (i, &a) in order.iter().enumerate() {
+        for &b in &order[i + 1..] {
+            if let Some((_, tb)) = &h.ops[b].response {
+                if *tb < h.ops[a].invoked {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn sequentially_valid<V: Value>(h: &History<V>, order: &[usize]) -> bool {
+    let Some(&first) = order.first() else { return true };
+    let decision = &h.ops[first].argument;
+    for &i in order {
+        if let Some((v, _)) = &h.ops[i].response {
+            if v != decision {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn permute_and_check<V: Value>(h: &History<V>, order: &mut Vec<usize>, k: usize) -> bool {
+    if k == order.len() {
+        return respects_real_time(h, order) && sequentially_valid(h, order);
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        if permute_and_check(h, order, k + 1) {
+            order.swap(k, i);
+            return true;
+        }
+        order.swap(k, i);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn t(u: u64) -> Time {
+        Time::from_units(u)
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h: History<u64> = History::new();
+        h.invoke(p(0), 5, t(0));
+        h.respond(p(0), 5, t(10));
+        h.invoke(p(1), 9, t(20));
+        h.respond(p(1), 5, t(30));
+        assert!(h.check().is_ok());
+        assert!(h.check_brute_force());
+    }
+
+    #[test]
+    fn concurrent_proposals_linearizable_when_agreeing() {
+        let mut h: History<u64> = History::new();
+        h.invoke(p(0), 5, t(0));
+        h.invoke(p(1), 9, t(1));
+        h.respond(p(0), 9, t(10)); // the other's value won
+        h.respond(p(1), 9, t(11));
+        assert!(h.check().is_ok());
+        assert!(h.check_brute_force());
+    }
+
+    #[test]
+    fn divergent_responses_rejected() {
+        let mut h: History<u64> = History::new();
+        h.invoke(p(0), 5, t(0));
+        h.invoke(p(1), 9, t(1));
+        h.respond(p(0), 5, t(10));
+        h.respond(p(1), 9, t(11));
+        assert!(matches!(
+            h.check(),
+            Err(LinearizabilityError::DivergentResponses { .. })
+        ));
+        assert!(!h.check_brute_force());
+    }
+
+    #[test]
+    fn unproposed_decision_rejected() {
+        let mut h: History<u64> = History::new();
+        h.invoke(p(0), 5, t(0));
+        h.respond(p(0), 77, t(10));
+        assert!(matches!(
+            h.check(),
+            Err(LinearizabilityError::UnproposedDecision { value: 77 })
+        ));
+        assert!(!h.check_brute_force());
+    }
+
+    #[test]
+    fn decision_before_proposal_rejected() {
+        // p0 proposes 5 and gets back 9 — but the only proposer of 9
+        // invoked after p0's operation completed: no valid order.
+        let mut h: History<u64> = History::new();
+        h.invoke(p(0), 5, t(0));
+        h.respond(p(0), 9, t(10));
+        h.invoke(p(1), 9, t(20));
+        h.respond(p(1), 9, t(30));
+        assert!(matches!(
+            h.check(),
+            Err(LinearizabilityError::DecisionBeforeProposal { .. })
+        ));
+        assert!(!h.check_brute_force());
+    }
+
+    #[test]
+    fn pending_operation_can_take_effect() {
+        // p1's propose(9) never returned (crash), yet p0 got 9: valid —
+        // the pending operation linearizes first.
+        let mut h: History<u64> = History::new();
+        h.invoke(p(1), 9, t(0)); // pending forever
+        h.invoke(p(0), 5, t(1));
+        h.respond(p(0), 9, t(10));
+        assert!(h.check().is_ok());
+        assert!(h.check_brute_force());
+    }
+
+    #[test]
+    fn empty_and_response_free_histories_pass() {
+        let h: History<u64> = History::new();
+        assert!(h.check().is_ok());
+        assert!(h.check_brute_force());
+        let mut h2: History<u64> = History::new();
+        h2.invoke(p(0), 5, t(0));
+        assert!(h2.check().is_ok());
+        assert!(h2.check_brute_force());
+    }
+
+    #[test]
+    fn ill_formed_history_detected() {
+        let mut h: History<u64> = History::new();
+        h.invoke(p(0), 5, t(100));
+        h.respond(p(0), 5, t(50));
+        assert!(matches!(h.check(), Err(LinearizabilityError::IllFormed { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending operation")]
+    fn respond_without_invoke_panics() {
+        let mut h: History<u64> = History::new();
+        h.respond(p(0), 5, t(0));
+    }
+
+    proptest! {
+        /// The fast checker agrees with brute force on random small
+        /// histories.
+        #[test]
+        fn fast_checker_matches_brute_force(
+            specs in proptest::collection::vec(
+                (0u32..4, 0u64..4, 0u64..30, proptest::option::of((0u64..4, 0u64..30))),
+                0..6
+            )
+        ) {
+            let mut h: History<u64> = History::new();
+            let mut busy: Vec<u32> = vec![];
+            for (proc_raw, arg, inv, resp) in specs {
+                // One pending op per process max (well-formedness).
+                if busy.contains(&proc_raw) {
+                    continue;
+                }
+                h.invoke(p(proc_raw), arg, t(inv));
+                match resp {
+                    Some((rv, rt)) if rt >= inv => h.respond(p(proc_raw), rv, t(inv + rt)),
+                    _ => busy.push(proc_raw),
+                }
+            }
+            let fast = h.check().is_ok();
+            let brute = h.check_brute_force();
+            prop_assert_eq!(fast, brute, "history: {:?}", h.ops());
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Bounded-exhaustive schedule exploration.
+//!
+//! The simulator samples schedules; the model checker enumerates them.
+//! Starting from `start_all()` (plus optional client proposals), it
+//! explores every interleaving of:
+//!
+//! * delivering any pending message,
+//! * crashing a process (up to a bound),
+//! * firing any armed timer (up to a per-process budget — timers like
+//!   the new-ballot timer re-arm forever, so unbounded firing would
+//!   never terminate),
+//!
+//! pruning states already visited (by global fingerprint). At every
+//! state it checks Agreement over the full decide log and Validity
+//! against the proposed values. A violation yields a replayable
+//! [`Action`] script.
+//!
+//! State counts grow fast; this is meant for `n ≤ 5` and small budgets,
+//! which is exactly the regime of the paper's bounds (the interesting
+//! configurations are `n = 2e+f-2 … 2e+f`).
+
+use twostep_sim::ManualExecutor;
+use twostep_types::protocol::{Protocol, TimerId};
+use twostep_types::{ProcessId, SystemConfig, Value};
+
+use std::collections::HashSet;
+
+/// One schedule step in a counterexample script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Deliver the in-flight message described by `(from, to, kind)`;
+    /// `index` is its position among pending messages at that point.
+    Deliver {
+        /// Position in the pending list when taken.
+        index: usize,
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Debug rendering of the payload.
+        describe: String,
+    },
+    /// Crash a process.
+    Crash(ProcessId),
+    /// Fire an armed timer.
+    Fire(ProcessId, TimerId),
+}
+
+/// Result of a bounded exploration.
+#[derive(Debug)]
+pub enum CheckOutcome {
+    /// No violation in any explored schedule.
+    Clean {
+        /// Distinct states visited.
+        states: usize,
+        /// Whether exploration hit the state bound (so the result is a
+        /// bounded guarantee, not a proof).
+        truncated: bool,
+    },
+    /// A schedule violating safety, with the script that reaches it.
+    Violation {
+        /// What went wrong, human-readable.
+        report: String,
+        /// The schedule (from the initial state) that triggers it.
+        script: Vec<Action>,
+        /// Distinct states visited before finding it.
+        states: usize,
+    },
+}
+
+impl CheckOutcome {
+    /// Whether the exploration found no violation.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, CheckOutcome::Clean { .. })
+    }
+}
+
+/// A bounded-exhaustive model checker over one protocol family.
+pub struct ModelChecker<V: Value> {
+    max_states: usize,
+    max_crashes: usize,
+    timer_budget: usize,
+    timers: Vec<TimerId>,
+    proposed: Vec<V>,
+}
+
+impl<V: Value> ModelChecker<V> {
+    /// Creates a checker with defaults: 200 000 states, no crashes, no
+    /// timer firings.
+    pub fn new() -> Self {
+        ModelChecker {
+            max_states: 200_000,
+            max_crashes: 0,
+            timer_budget: 0,
+            timers: vec![TimerId::NEW_BALLOT],
+            proposed: Vec::new(),
+        }
+    }
+
+    /// Caps the number of distinct states explored.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Allows up to `n` crash actions per schedule.
+    pub fn max_crashes(mut self, n: usize) -> Self {
+        self.max_crashes = n;
+        self
+    }
+
+    /// Allows each process up to `n` timer firings per schedule, for the
+    /// given timers (default: only `NEW_BALLOT` — heartbeat timers only
+    /// add noise under manual scheduling).
+    pub fn timer_budget(mut self, n: usize, timers: Vec<TimerId>) -> Self {
+        self.timer_budget = n;
+        self.timers = timers;
+        self
+    }
+
+    /// Declares the set of proposed values for the Validity check.
+    pub fn proposed(mut self, values: Vec<V>) -> Self {
+        self.proposed = values;
+        self
+    }
+
+    /// Explores all schedules of the system built by `setup`.
+    ///
+    /// `setup` receives the config and must return a started executor
+    /// (typically: build, `start_all()`, issue proposals).
+    pub fn run<P, F>(&self, cfg: SystemConfig, setup: F) -> CheckOutcome
+    where
+        P: Protocol<V> + Clone,
+        F: Fn(SystemConfig) -> ManualExecutor<V, P>,
+    {
+        // (executor, script, crashes_used, timer_fires_per_process)
+        type Frame<V, P> = (ManualExecutor<V, P>, Vec<Action>, usize, Vec<usize>);
+        let root = setup(cfg);
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<Frame<V, P>> = Vec::new();
+        visited.insert(root.fingerprint());
+        stack.push((root, Vec::new(), 0, vec![0; cfg.n()]));
+        let mut states = 1usize;
+
+        while let Some((ex, script, crashes, fires)) = stack.pop() {
+            // Safety checks on the popped state.
+            if let Some(report) = self.violated(&ex) {
+                return CheckOutcome::Violation { report, script, states };
+            }
+            if states >= self.max_states {
+                return CheckOutcome::Clean { states, truncated: true };
+            }
+
+            // Enumerate successor actions.
+            // 1. Deliveries.
+            let pending: Vec<(usize, ProcessId, ProcessId, String)> = ex
+                .pending()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (i, m.from, m.to, format!("{:?}", m.msg)))
+                .collect();
+            for (index, from, to, describe) in pending {
+                let mut next = ex.clone();
+                let ids = next.pending_matching(|_| true);
+                next.deliver(ids[index]);
+                if visited.insert(next.fingerprint()) {
+                    states += 1;
+                    let mut s = script.clone();
+                    s.push(Action::Deliver { index, from, to, describe });
+                    stack.push((next, s, crashes, fires.clone()));
+                }
+            }
+            // 2. Crashes.
+            if crashes < self.max_crashes {
+                for p in ex.alive().iter() {
+                    let mut next = ex.clone();
+                    next.crash(p);
+                    if visited.insert(next.fingerprint()) {
+                        states += 1;
+                        let mut s = script.clone();
+                        s.push(Action::Crash(p));
+                        stack.push((next, s, crashes + 1, fires.clone()));
+                    }
+                }
+            }
+            // 3. Timer firings.
+            for p in ex.alive().iter() {
+                if fires[p.index()] >= self.timer_budget {
+                    continue;
+                }
+                for timer in ex.armed_timers(p) {
+                    if !self.timers.contains(&timer) {
+                        continue;
+                    }
+                    let mut next = ex.clone();
+                    next.fire_timer(p, timer);
+                    if visited.insert(next.fingerprint()) {
+                        states += 1;
+                        let mut s = script.clone();
+                        s.push(Action::Fire(p, timer));
+                        let mut f2 = fires.clone();
+                        f2[p.index()] += 1;
+                        stack.push((next, s, crashes, f2));
+                    }
+                }
+            }
+        }
+
+        CheckOutcome::Clean { states, truncated: false }
+    }
+
+    fn violated<P: Protocol<V>>(&self, ex: &ManualExecutor<V, P>) -> Option<String> {
+        let log = ex.decide_log();
+        if let Some((p0, v0)) = log.first() {
+            for (p, v) in &log[1..] {
+                if v != v0 {
+                    return Some(format!(
+                        "agreement violated: {p0} decided {v0:?}, {p} decided {v:?}"
+                    ));
+                }
+            }
+            if !self.proposed.is_empty() {
+                for (p, v) in log {
+                    if !self.proposed.contains(v) {
+                        return Some(format!("validity violated: {p} decided unproposed {v:?}"));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<V: Value> Default for ModelChecker<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use twostep_types::protocol::Effects;
+
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct M(u64);
+
+    /// Deliberately broken "consensus": decide the first value received.
+    #[derive(Debug, Clone)]
+    struct FirstWins {
+        me: ProcessId,
+        n: usize,
+        value: u64,
+        decided: Option<u64>,
+    }
+
+    impl Protocol<u64> for FirstWins {
+        type Message = M;
+        fn id(&self) -> ProcessId {
+            self.me
+        }
+        fn on_start(&mut self, eff: &mut Effects<u64, M>) {
+            eff.broadcast_others(M(self.value), self.n, self.me);
+        }
+        fn on_propose(&mut self, _: u64, _: &mut Effects<u64, M>) {}
+        fn on_message(&mut self, _: ProcessId, m: M, eff: &mut Effects<u64, M>) {
+            if self.decided.is_none() {
+                self.decided = Some(m.0);
+                eff.decide(m.0);
+            }
+        }
+        fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, M>) {}
+        fn decision(&self) -> Option<u64> {
+            self.decided
+        }
+    }
+
+    /// Trivially safe: never decides.
+    #[derive(Debug, Clone)]
+    struct Mute(ProcessId);
+
+    impl Protocol<u64> for Mute {
+        type Message = M;
+        fn id(&self) -> ProcessId {
+            self.0
+        }
+        fn on_start(&mut self, eff: &mut Effects<u64, M>) {
+            eff.send(ProcessId::new(0), M(1));
+        }
+        fn on_propose(&mut self, _: u64, _: &mut Effects<u64, M>) {}
+        fn on_message(&mut self, _: ProcessId, _: M, _: &mut Effects<u64, M>) {}
+        fn on_timer(&mut self, _: TimerId, _: &mut Effects<u64, M>) {}
+        fn decision(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn finds_agreement_violation_in_broken_protocol() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = ModelChecker::new().proposed(vec![0, 1, 2]).run(cfg, |cfg| {
+            let mut ex = ManualExecutor::new(cfg, |q| FirstWins {
+                me: q,
+                n: cfg.n(),
+                value: u64::from(q.as_u32()),
+                decided: None,
+            });
+            ex.start_all();
+            ex
+        });
+        let CheckOutcome::Violation { report, script, .. } = outcome else {
+            panic!("first-wins must violate agreement under some schedule");
+        };
+        assert!(report.contains("agreement violated"));
+        assert!(!script.is_empty());
+    }
+
+    #[test]
+    fn counterexample_script_replays_to_the_violation() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let build = |cfg: SystemConfig| {
+            let mut ex = ManualExecutor::new(cfg, |q| FirstWins {
+                me: q,
+                n: cfg.n(),
+                value: u64::from(q.as_u32()),
+                decided: None,
+            });
+            ex.start_all();
+            ex
+        };
+        let CheckOutcome::Violation { script, .. } = ModelChecker::new().run(cfg, build) else {
+            panic!("expected a violation");
+        };
+        // Replay.
+        let mut ex = build(cfg);
+        for action in &script {
+            match action {
+                Action::Deliver { index, .. } => {
+                    let ids = ex.pending_matching(|_| true);
+                    ex.deliver(ids[*index]);
+                }
+                Action::Crash(q) => ex.crash(*q),
+                Action::Fire(q, t) => {
+                    ex.fire_timer(*q, *t);
+                }
+            }
+        }
+        assert!(!ex.agreement(), "replayed script must reproduce the violation");
+    }
+
+    #[test]
+    fn clean_protocol_reports_clean() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = ModelChecker::<u64>::new().run(cfg, |cfg| {
+            let mut ex = ManualExecutor::new(cfg, Mute);
+            ex.start_all();
+            ex
+        });
+        match outcome {
+            CheckOutcome::Clean { states, truncated } => {
+                assert!(!truncated);
+                assert!(states >= 2, "at least root + one delivery");
+            }
+            CheckOutcome::Violation { report, .. } => panic!("mute protocol violated: {report}"),
+        }
+    }
+
+    #[test]
+    fn state_bound_truncates() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = ModelChecker::<u64>::new().max_states(2).run(cfg, |cfg| {
+            let mut ex = ManualExecutor::new(cfg, |q| FirstWins {
+                me: q,
+                n: cfg.n(),
+                value: 7, // all same value: no violation possible
+                decided: None,
+            });
+            ex.start_all();
+            ex
+        });
+        match outcome {
+            CheckOutcome::Clean { truncated, .. } => assert!(truncated),
+            CheckOutcome::Violation { report, .. } => panic!("unexpected: {report}"),
+        }
+    }
+
+    #[test]
+    fn validity_checked_against_proposed_set() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = ModelChecker::new().proposed(vec![100]).run(cfg, |cfg| {
+            let mut ex = ManualExecutor::new(cfg, |q| FirstWins {
+                me: q,
+                n: cfg.n(),
+                value: 7, // not in the declared proposed set
+                decided: None,
+            });
+            ex.start_all();
+            ex
+        });
+        let CheckOutcome::Violation { report, .. } = outcome else {
+            panic!("expected validity violation");
+        };
+        assert!(report.contains("validity"));
+    }
+
+    #[test]
+    fn crash_actions_respect_bound() {
+        // With crashes enabled, Mute stays clean and exploration
+        // terminates (crashes only shrink behavior).
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = ModelChecker::<u64>::new().max_crashes(1).run(cfg, |cfg| {
+            let mut ex = ManualExecutor::new(cfg, Mute);
+            ex.start_all();
+            ex
+        });
+        assert!(outcome.is_clean());
+    }
+}

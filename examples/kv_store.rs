@@ -1,0 +1,57 @@
+//! A replicated key-value store — the paper's motivating application.
+//!
+//! ```text
+//! cargo run --example kv_store
+//! ```
+//!
+//! Five replicas (the object protocol's minimal deployment for
+//! `e = f = 2`) run a multi-slot log over the threaded runtime; two
+//! clients submit commands through different proxies, demonstrating the
+//! proxy pattern from the paper's introduction: each client's proxy
+//! decides fast, other replicas learn a step later.
+
+use std::time::Duration as WallDuration;
+
+use twostep::runtime::Cluster;
+use twostep::smr::{KvCommand, KvStore, SmrReplica};
+use twostep::types::{ProcessId, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::minimal_object(2, 2)?;
+    println!("replicated KV store over {cfg} (object protocol per log slot)");
+
+    let cluster: Cluster<KvCommand> =
+        Cluster::in_memory(cfg, WallDuration::from_millis(5), |p| {
+            SmrReplica::<KvCommand, KvStore>::new(cfg, p)
+        });
+
+    // Client A talks to p0; client B talks to p4.
+    let ops = [
+        (ProcessId::new(0), KvCommand::put("capital/mx", "cdmx")),
+        (ProcessId::new(4), KvCommand::put("venue/podc25", "huatulco")),
+        (ProcessId::new(0), KvCommand::put("capital/fr", "paris")),
+        (ProcessId::new(4), KvCommand::delete("capital/fr")),
+        (ProcessId::new(0), KvCommand::put("capital/es", "madrid")),
+    ];
+    for (proxy, cmd) in &ops {
+        cluster.propose(*proxy, cmd.clone());
+    }
+
+    // Watch the commit stream at every replica: the first applied
+    // command per replica arrives within a couple of Δ.
+    let all = cluster.await_decisions(cfg.process_ids(), WallDuration::from_secs(15));
+    assert!(all, "every replica applies the log prefix");
+    for p in cfg.process_ids() {
+        println!(
+            "replica {p}: first applied command = {:?} after {:?}",
+            cluster.decision_of(p).expect("applied"),
+            cluster.decision_latency(p).expect("latency"),
+        );
+    }
+    assert!(cluster.agreement(), "identical first log entry everywhere");
+
+    // Give the pipeline a moment to drain the remaining commands.
+    std::thread::sleep(WallDuration::from_millis(600));
+    println!("submitted {} commands through two proxies; log replicated", ops.len());
+    Ok(())
+}

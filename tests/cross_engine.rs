@@ -1,0 +1,148 @@
+//! Cross-engine consistency: the same protocol code must behave
+//! identically whether driven by the deterministic simulator, the
+//! manual step executor, or real threads — that is the architectural
+//! bet of this repository.
+
+use std::time::Duration as WallDuration;
+
+use twostep::core::{Ablations, Msg, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep::runtime::Cluster;
+use twostep::sim::{ManualExecutor, SyncRunner};
+use twostep::types::protocol::Protocol;
+use twostep::types::{ProcessId, SystemConfig, Time};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// The same favored fast path, in the simulator and replayed manually,
+/// reaches the same decision with the same vote structure.
+#[test]
+fn simulator_and_manual_agree_on_the_fast_path() {
+    let cfg = SystemConfig::minimal_task(1, 1).unwrap();
+    let witness = p(2);
+
+    // Simulator.
+    let sim_outcome = SyncRunner::new(cfg)
+        .favoring(witness)
+        .run(|q| TaskConsensus::new(cfg, q, 10 * (u64::from(q.as_u32()) + 1)));
+    assert_eq!(sim_outcome.decision_of(witness), Some(&30));
+    assert_eq!(
+        sim_outcome.decision_time_of(witness),
+        Some(Time::ZERO + twostep::types::Duration::deltas(2))
+    );
+
+    // Manual replay of the same schedule.
+    let mut ex = ManualExecutor::new(cfg, |q| {
+        TaskConsensus::with_options(
+            cfg,
+            q,
+            10 * (u64::from(q.as_u32()) + 1),
+            OmegaMode::Static(p(0)),
+            Ablations::NONE,
+        )
+    });
+    ex.start_all();
+    for target in [p(0), p(1)] {
+        for id in ex.pending_matching(|m| m.from == witness && m.to == target && matches!(m.msg, Msg::Propose(_))) {
+            ex.deliver(id);
+        }
+        for id in ex.pending_matching(|m| m.from == target && m.to == witness && matches!(m.msg, Msg::TwoB(..))) {
+            ex.deliver(id);
+        }
+    }
+    assert_eq!(ex.decision_of(witness), Some(&30));
+    // White-box: same final vote state for the witness in both engines.
+    let sim_proc = &sim_outcome.procs[witness.index()];
+    assert_eq!(sim_proc.inner().decided_value(), Some(&30));
+    assert_eq!(ex.process(witness).inner().decided_value(), Some(&30));
+}
+
+/// The threaded runtime reaches the same decision as the simulator on
+/// the lone-proposer object scenario.
+#[test]
+fn simulator_and_threads_agree_on_object_consensus() {
+    let cfg = SystemConfig::minimal_object(2, 2).unwrap();
+    let proposer = p(4);
+
+    let sim_outcome = SyncRunner::new(cfg).run_object(
+        |q| ObjectConsensus::<u64>::new(cfg, q),
+        vec![(proposer, 42, Time::ZERO)],
+    );
+    assert_eq!(sim_outcome.decision_of(proposer), Some(&42));
+
+    let cluster: Cluster<u64> = Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| {
+        ObjectConsensus::new(cfg, q)
+    });
+    cluster.propose(proposer, 42);
+    assert_eq!(
+        cluster.await_decision(proposer, WallDuration::from_secs(5)),
+        Some(42)
+    );
+    assert!(cluster.await_decisions(cfg.process_ids(), WallDuration::from_secs(5)));
+    assert!(cluster.agreement());
+}
+
+/// TCP and in-memory transports produce identical decisions for the
+/// same scenario.
+#[test]
+fn transports_agree() {
+    let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+    for tcp in [false, true] {
+        let cluster: Cluster<u64> = if tcp {
+            Cluster::tcp(cfg, WallDuration::from_millis(10), |q| {
+                ObjectConsensus::new(cfg, q)
+            })
+            .expect("tcp cluster")
+        } else {
+            Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| {
+                ObjectConsensus::new(cfg, q)
+            })
+        };
+        cluster.propose(p(1), 77);
+        assert_eq!(
+            cluster.await_decision(p(1), WallDuration::from_secs(10)),
+            Some(77),
+            "tcp={tcp}"
+        );
+        assert!(cluster.agreement(), "tcp={tcp}");
+    }
+}
+
+/// Crash-under-load over threads: the object protocol keeps its
+/// guarantees with e processes crashed at startup.
+#[test]
+fn threaded_cluster_with_crashes_decides() {
+    let cfg = SystemConfig::minimal_object(2, 2).unwrap();
+    let mut cluster: Cluster<u64> =
+        Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| {
+            ObjectConsensus::new(cfg, q)
+        });
+    cluster.crash(p(0));
+    cluster.crash(p(1));
+    cluster.propose(p(4), 9);
+    for i in 2..5u32 {
+        assert_eq!(
+            cluster.await_decision(p(i), WallDuration::from_secs(10)),
+            Some(9),
+            "p{i}"
+        );
+    }
+    assert!(cluster.agreement());
+}
+
+/// The protocol state machine is engine-agnostic by construction: this
+/// asserts the Protocol trait object view used by all engines exposes
+/// the same decision.
+#[test]
+fn protocol_trait_surface_is_consistent() {
+    let cfg = SystemConfig::minimal_task(1, 1).unwrap();
+    let outcome = SyncRunner::new(cfg)
+        .favoring(p(2))
+        .run(|q| TaskConsensus::new(cfg, q, u64::from(q.as_u32())));
+    for q in cfg.process_ids() {
+        let via_trait = outcome.procs[q.index()].decision();
+        let via_outcome = outcome.decision_of(q).copied();
+        assert_eq!(via_trait, via_outcome, "{q}");
+    }
+}

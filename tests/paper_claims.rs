@@ -1,0 +1,103 @@
+//! The paper's headline claims, as one assertion each — a reading guide
+//! to the reproduction.
+
+use twostep::core::{ObjectConsensus, TaskConsensus};
+use twostep::sim::SyncRunner;
+use twostep::types::{ProcessId, ProcessSet, ProtocolKind, SystemConfig, Time};
+use twostep::verify::{object_below_bound, task_below_bound};
+
+/// §1: "at least max{2e+f+1, 2f+1} processes are required ... matched by
+/// the classical Fast Paxos protocol" — the comparison baseline.
+#[test]
+fn claim_lamports_bound_formula() {
+    assert_eq!(ProtocolKind::FastPaxos.min_processes(2, 2), 7);
+    assert_eq!(ProtocolKind::FastPaxos.min_processes(1, 3), 7); // 2f+1 binds
+}
+
+/// §1: "Egalitarian Paxos decides within two message delays under
+/// e = ⌈(f+1)/2⌉ failures while using only 2f+1 = 2e+f-1 processes."
+#[test]
+fn claim_epaxos_identity() {
+    for f in [2usize, 4] {
+        // The identity 2f+1 = 2e+f-1 holds exactly when 2e = f+2.
+        let e = (f + 2) / 2;
+        assert_eq!(2 * f + 1, 2 * e + f - 1);
+        assert_eq!(ProtocolKind::ObjectTwoStep.min_processes(e, f), 2 * f + 1);
+    }
+}
+
+/// Theorem 5: a task protocol exists at n = max{2e+f, 2f+1} …
+#[test]
+fn claim_theorem5_if() {
+    let cfg = SystemConfig::minimal_task(2, 2).unwrap();
+    assert_eq!(cfg.n(), 6);
+    let crashed: ProcessSet = [0u32, 1].into_iter().map(ProcessId::new).collect();
+    let witness = ProcessId::new(5);
+    let outcome = SyncRunner::new(cfg)
+        .crashed(crashed)
+        .favoring(witness)
+        .run(|p| TaskConsensus::new(cfg, p, u64::from(p.as_u32())));
+    assert!(outcome.fast_deciders().0.contains(witness));
+    assert!(outcome.agreement());
+}
+
+/// … and none exists below it (mechanized §B.1 splice).
+#[test]
+fn claim_theorem5_only_if() {
+    let report = task_below_bound(2, 2); // n = 5 = 2e+f-1
+    assert!(report.agreement_violated, "{}", report.narrative);
+}
+
+/// Theorem 6: an object protocol exists at n = max{2e+f-1, 2f+1} …
+#[test]
+fn claim_theorem6_if() {
+    let cfg = SystemConfig::minimal_object(2, 2).unwrap();
+    assert_eq!(cfg.n(), 5); // one fewer than the task bound
+    let crashed: ProcessSet = [0u32, 1].into_iter().map(ProcessId::new).collect();
+    let proposer = ProcessId::new(4);
+    let outcome = SyncRunner::new(cfg).crashed(crashed).run_object(
+        |p| ObjectConsensus::<u64>::new(cfg, p),
+        vec![(proposer, 9, Time::ZERO)],
+    );
+    assert!(outcome.fast_deciders().0.contains(proposer));
+    assert!(outcome.agreement());
+}
+
+/// … and none exists below it (mechanized §B.2 splice).
+#[test]
+fn claim_theorem6_only_if() {
+    let report = object_below_bound(3, 3); // n = 7 = 2e+f-2
+    assert!(report.agreement_violated, "{}", report.narrative);
+}
+
+/// §2: "Paxos is not e-two-step for any e > 0" — with the leader in E,
+/// nobody decides by 2Δ.
+#[test]
+fn claim_paxos_not_two_step() {
+    use twostep::baselines::Paxos;
+    let cfg = SystemConfig::new(5, 1, 2).unwrap();
+    let crashed: ProcessSet = [ProcessId::new(0)].into_iter().collect();
+    let outcome = SyncRunner::new(cfg)
+        .crashed(crashed)
+        .horizon(twostep::types::Duration::deltas(60))
+        .run(|p| Paxos::new(cfg, p, u64::from(p.as_u32())));
+    assert!(outcome.fast_deciders().0.is_empty());
+    assert!(outcome.all_correct_decided(), "but f-resilience still holds");
+}
+
+/// The bound hierarchy of the abstract: object ≤ task ≤ Fast Paxos,
+/// separated by exactly one process each when the two-step term binds.
+#[test]
+fn claim_bound_hierarchy() {
+    for f in 1..=6usize {
+        for e in 1..=f {
+            let o = ProtocolKind::ObjectTwoStep.min_processes(e, f);
+            let t = ProtocolKind::TaskTwoStep.min_processes(e, f);
+            let fp = ProtocolKind::FastPaxos.min_processes(e, f);
+            assert!(o <= t && t <= fp);
+            if 2 * e + f > 2 * f + 1 {
+                assert_eq!((t - o, fp - t), (1, 1), "e={e} f={f}");
+            }
+        }
+    }
+}
