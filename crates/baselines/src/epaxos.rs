@@ -168,7 +168,13 @@ impl<V: Value> EPaxosLite<V> {
         &self.seen
     }
 
-    fn commit(&mut self, cmd: V, deps: BTreeSet<V>, path: CommitPath, eff: &mut Effects<V, EPaxosMsg<V>>) {
+    fn commit(
+        &mut self,
+        cmd: V,
+        deps: BTreeSet<V>,
+        path: CommitPath,
+        eff: &mut Effects<V, EPaxosMsg<V>>,
+    ) {
         self.committed.insert(cmd.clone(), deps.clone());
         self.phase = Phase::Committed;
         self.commit_path = Some(path);
@@ -204,7 +210,12 @@ impl<V: Value> Protocol<V> for EPaxosLite<V> {
         );
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: EPaxosMsg<V>, eff: &mut Effects<V, EPaxosMsg<V>>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: EPaxosMsg<V>,
+        eff: &mut Effects<V, EPaxosMsg<V>>,
+    ) {
         match msg {
             EPaxosMsg::PreAccept(cmd, leader_deps) => {
                 // Merge: deps = leader's deps ∪ everything we've seen
@@ -228,10 +239,7 @@ impl<V: Value> Protocol<V> for EPaxosLite<V> {
                 if self.preaccept_deps.len() >= fq {
                     // Fast path: the first fq replies must unanimously
                     // match the leader's deps.
-                    let unanimous = self
-                        .preaccept_deps
-                        .values()
-                        .all(|d| *d == self.my_deps);
+                    let unanimous = self.preaccept_deps.values().all(|d| *d == self.my_deps);
                     if unanimous {
                         self.commit(cmd, self.my_deps.clone(), CommitPath::Fast, eff);
                     } else {
@@ -245,11 +253,7 @@ impl<V: Value> Protocol<V> for EPaxosLite<V> {
                         self.accept_deps = union.clone();
                         self.accept_acks = ProcessSet::new();
                         self.accept_acks.insert(self.me);
-                        eff.broadcast_others(
-                            EPaxosMsg::Accept(cmd, union),
-                            self.cfg.n(),
-                            self.me,
-                        );
+                        eff.broadcast_others(EPaxosMsg::Accept(cmd, union), self.cfg.n(), self.me);
                     }
                 }
             }
@@ -312,7 +316,7 @@ mod tests {
         let cfg = cfg5();
         assert_eq!(EPaxosLite::<u64>::fast_quorum(&cfg), 3); // f + floor((f+1)/2) = 2+1
         assert_eq!(EPaxosLite::<u64>::fast_tolerance(&cfg), 2); // = e
-        // And the headline identity: n = 2e+f-1.
+                                                                // And the headline identity: n = 2e+f-1.
         assert_eq!(cfg.n(), 2 * 2 + 2 - 1);
     }
 
@@ -323,7 +327,10 @@ mod tests {
             |q| EPaxosLite::<u64>::new(cfg, q),
             vec![(p(0), 9, Time::ZERO)],
         );
-        assert_eq!(outcome.decision_time_of(p(0)), Some(Time::ZERO + Duration::deltas(2)));
+        assert_eq!(
+            outcome.decision_time_of(p(0)),
+            Some(Time::ZERO + Duration::deltas(2))
+        );
         assert_eq!(outcome.procs[0].commit_path(), Some(CommitPath::Fast));
         assert_eq!(outcome.procs[0].committed_deps(&9), Some(&BTreeSet::new()));
     }
@@ -337,7 +344,10 @@ mod tests {
             |q| EPaxosLite::<u64>::new(cfg, q),
             vec![(p(0), 9, Time::ZERO)],
         );
-        assert_eq!(outcome.decision_time_of(p(0)), Some(Time::ZERO + Duration::deltas(2)));
+        assert_eq!(
+            outcome.decision_time_of(p(0)),
+            Some(Time::ZERO + Duration::deltas(2))
+        );
         assert_eq!(outcome.procs[0].commit_path(), Some(CommitPath::Fast));
     }
 
@@ -348,7 +358,10 @@ mod tests {
         let outcome = SyncRunner::new(cfg)
             .crashed(crashed)
             .horizon(Duration::deltas(10))
-            .run_object(|q| EPaxosLite::<u64>::new(cfg, q), vec![(p(0), 9, Time::ZERO)]);
+            .run_object(
+                |q| EPaxosLite::<u64>::new(cfg, q),
+                vec![(p(0), 9, Time::ZERO)],
+            );
         assert_eq!(
             outcome.decision_of(p(0)),
             None,
@@ -369,7 +382,10 @@ mod tests {
         // reached by both PreAccepts report the other command in deps.
         assert!(outcome.decision_of(p(0)).is_some());
         assert!(outcome.decision_of(p(4)).is_some());
-        let paths = [outcome.procs[0].commit_path(), outcome.procs[4].commit_path()];
+        let paths = [
+            outcome.procs[0].commit_path(),
+            outcome.procs[4].commit_path(),
+        ];
         assert!(
             paths.contains(&Some(CommitPath::Slow)),
             "interference must push someone onto the slow path, got {paths:?}"
@@ -383,14 +399,21 @@ mod tests {
                 .filter_map(|r| r.committed_deps(&cmd))
                 .collect();
             assert!(!views.is_empty());
-            assert!(views.windows(2).all(|w| w[0] == w[1]), "deps of {cmd} diverged");
+            assert!(
+                views.windows(2).all(|w| w[0] == w[1]),
+                "deps of {cmd} diverged"
+            );
         }
         // And the dependency graph is not empty: at least one of the two
         // commands depends on the other (possibly both — that is the
         // cycle EPaxos breaks at execution time by sequence numbers).
         let dep_edges = [9u64, 5]
             .iter()
-            .filter_map(|c| outcome.procs[0].committed_deps(c).or(outcome.procs[4].committed_deps(c)))
+            .filter_map(|c| {
+                outcome.procs[0]
+                    .committed_deps(c)
+                    .or(outcome.procs[4].committed_deps(c))
+            })
             .map(|d| d.len())
             .sum::<usize>();
         assert!(dep_edges >= 1);

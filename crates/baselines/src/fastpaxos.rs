@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::{Collector, VoteTally};
-use twostep_types::{
-    Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA,
-};
+use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
 
 /// Fast Paxos wire messages.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -197,7 +195,12 @@ impl<V: Value> FastPaxos<V> {
     /// own proposal).
     fn o4_select(&self) -> Option<V> {
         // Highest slow-ballot vote wins.
-        let bmax = self.onebs.iter().map(|(_, (vb, _))| *vb).max().unwrap_or(Ballot::FAST);
+        let bmax = self
+            .onebs
+            .iter()
+            .map(|(_, (vb, _))| *vb)
+            .max()
+            .unwrap_or(Ballot::FAST);
         if bmax.is_slow() {
             let v = self
                 .onebs
@@ -286,7 +289,11 @@ impl<V: Value> Protocol<V> for FastPaxos<V> {
                     self.bal = b;
                     eff.send(
                         from,
-                        FastPaxosMsg::OneB { bal: b, vbal: self.vbal, val: self.val.clone() },
+                        FastPaxosMsg::OneB {
+                            bal: b,
+                            vbal: self.vbal,
+                            val: self.val.clone(),
+                        },
                     );
                 }
             }
@@ -455,7 +462,10 @@ mod tests {
             .horizon(Duration::deltas(2))
             .run(|q| FastPaxos::new(cfg, q, 7u64));
         let twobs = outcome.trace.messages_sent_of_kind("TwoB");
-        assert!(twobs >= cfg.n() * cfg.n(), "expected ≥ n² fast votes, got {twobs}");
+        assert!(
+            twobs >= cfg.n() * cfg.n(),
+            "expected ≥ n² fast votes, got {twobs}"
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::Collector;
-use twostep_types::{
-    Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA,
-};
+use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
 
 /// Paxos wire messages.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -196,7 +194,11 @@ impl<V: Value> Protocol<V> for Paxos<V> {
                     self.bal = b;
                     eff.send(
                         from,
-                        PaxosMsg::OneB { bal: b, vbal: self.vbal, val: self.val.clone() },
+                        PaxosMsg::OneB {
+                            bal: b,
+                            vbal: self.vbal,
+                            val: self.val.clone(),
+                        },
                     );
                 }
             }
@@ -280,7 +282,7 @@ impl<V: Value> Protocol<V> for Paxos<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twostep_sim::{SyncRunner, SimulationBuilder};
+    use twostep_sim::{SimulationBuilder, SyncRunner};
     use twostep_types::{ProcessSet, Time};
 
     fn p(i: u32) -> ProcessId {
@@ -322,7 +324,10 @@ mod tests {
         assert!(outcome.all_correct_decided(), "new leader must take over");
         assert!(outcome.agreement());
         let (fast, _) = outcome.fast_deciders();
-        assert!(fast.is_empty(), "Paxos cannot be two-step without its leader");
+        assert!(
+            fast.is_empty(),
+            "Paxos cannot be two-step without its leader"
+        );
         // The decision is the new leader's value (p1), proposed fresh.
         assert_eq!(*outcome.decided_values()[0], 1);
     }

@@ -35,10 +35,12 @@ fn bench_protocols(c: &mut Criterion) {
         let proposer = ProcessId::new((cfg.n() - 1) as u32);
         group.bench_function("twostep_object_fast_path", |b| {
             b.iter(|| {
-                let outcome = SyncRunner::new(cfg).horizon(Duration::deltas(4)).run_object(
-                    |q| ObjectConsensus::<u64>::new(cfg, q),
-                    vec![(proposer, 42, Time::ZERO)],
-                );
+                let outcome = SyncRunner::new(cfg)
+                    .horizon(Duration::deltas(4))
+                    .run_object(
+                        |q| ObjectConsensus::<u64>::new(cfg, q),
+                        vec![(proposer, 42, Time::ZERO)],
+                    );
                 std::hint::black_box(outcome.decision_of(proposer).copied())
             })
         });
@@ -75,10 +77,12 @@ fn bench_protocols(c: &mut Criterion) {
         let leader = ProcessId::new(0);
         group.bench_function("epaxos_lite_fast_commit", |b| {
             b.iter(|| {
-                let outcome = SyncRunner::new(cfg).horizon(Duration::deltas(4)).run_object(
-                    |q| EPaxosLite::<u64>::new(cfg, q),
-                    vec![(leader, 42, Time::ZERO)],
-                );
+                let outcome = SyncRunner::new(cfg)
+                    .horizon(Duration::deltas(4))
+                    .run_object(
+                        |q| EPaxosLite::<u64>::new(cfg, q),
+                        vec![(leader, 42, Time::ZERO)],
+                    );
                 std::hint::black_box(outcome.decision_of(leader).copied())
             })
         });

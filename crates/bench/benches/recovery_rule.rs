@@ -53,7 +53,10 @@ fn bench_recovery(c: &mut Criterion) {
         let mut fresh = Collector::new();
         for (i, (q, r)) in c2.iter().enumerate() {
             let r = if i == 0 {
-                Report { decided: Some(7u64), ..r.clone() }
+                Report {
+                    decided: Some(7u64),
+                    ..r.clone()
+                }
             } else {
                 r.clone()
             };
@@ -64,7 +67,13 @@ fn bench_recovery(c: &mut Criterion) {
     };
     c.bench_function("recovery/short_circuit_on_decided", |b| {
         b.iter(|| {
-            std::hint::black_box(select_value(&cfg, &decided_case, None, None, Ablations::NONE))
+            std::hint::black_box(select_value(
+                &cfg,
+                &decided_case,
+                None,
+                None,
+                Ablations::NONE,
+            ))
         })
     });
 
@@ -85,7 +94,13 @@ fn bench_recovery(c: &mut Criterion) {
     };
     c.bench_function("recovery/highest_slow_ballot", |b| {
         b.iter(|| {
-            std::hint::black_box(select_value(&cfg, &slow_vote_case, None, None, Ablations::NONE))
+            std::hint::black_box(select_value(
+                &cfg,
+                &slow_vote_case,
+                None,
+                None,
+                Ablations::NONE,
+            ))
         })
     });
 }

@@ -48,13 +48,21 @@ fn bench_engine(c: &mut Criterion) {
         let cfg = SystemConfig::new(n, 1, (n - 1) / 2).unwrap();
         // Measure events executed in a fixed 6-hop storm.
         let probe = SimulationBuilder::new(cfg)
-            .build(|p| Storm { me: p, n, budget: 4 })
+            .build(|p| Storm {
+                me: p,
+                n,
+                budget: 4,
+            })
             .run(Time::ZERO + Duration::deltas(10));
         group.throughput(Throughput::Elements(probe.events_executed));
         group.bench_function(format!("storm_n{n}"), |b| {
             b.iter(|| {
                 let outcome = SimulationBuilder::new(cfg)
-                    .build(|p| Storm { me: p, n, budget: 4 })
+                    .build(|p| Storm {
+                        me: p,
+                        n,
+                        budget: 4,
+                    })
                     .run(Time::ZERO + Duration::deltas(10));
                 std::hint::black_box(outcome.events_executed)
             })

@@ -51,7 +51,11 @@ fn main() {
             label.to_string(),
             cfg.n().to_string(),
             format!("{:.1?}", elapsed),
-            if ok && cluster.agreement() { "yes".into() } else { "NO".to_string() },
+            if ok && cluster.agreement() {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     part_a.print("E10a: KV-SMR first-commit latency on the threaded runtime (Δ = 5ms)");

@@ -45,15 +45,21 @@ fn main() {
                 |q| ObjectConsensus::<u64>::new(cfg, q),
                 vec![(proposer, 7, Time::ZERO)],
             );
-        push(&mut table, "TwoStep(object)", cfg, proposer, &outcome.decisions);
+        push(
+            &mut table,
+            "TwoStep(object)",
+            cfg,
+            proposer,
+            &outcome.decisions,
+        );
     }
 
     // Fast Paxos at n = 2e+f+1 (lone proposer via passive instances).
     {
         let cfg = SystemConfig::minimal_fast_paxos(E, F).unwrap();
         let proposer = ProcessId::new((cfg.n() - 1) as u32);
-        let mut sim = twostep_sim::SimulationBuilder::new(cfg)
-            .build(|q| FastPaxos::<u64>::passive(cfg, q));
+        let mut sim =
+            twostep_sim::SimulationBuilder::new(cfg).build(|q| FastPaxos::<u64>::passive(cfg, q));
         sim.schedule_propose(proposer, 7, Time::ZERO);
         let outcome = sim.run_until_all_decided(Time::ZERO + Duration::deltas(10));
         push(&mut table, "FastPaxos", cfg, proposer, &outcome.decisions);
@@ -83,7 +89,9 @@ fn push(
     decisions: &[Option<(u64, Time)>],
 ) {
     let deadline = Time::ZERO + Duration::deltas(2);
-    let proposer_latency = decisions[proposer.index()].as_ref().map(|(_, t)| t.as_deltas());
+    let proposer_latency = decisions[proposer.index()]
+        .as_ref()
+        .map(|(_, t)| t.as_deltas());
     let mut others: Vec<String> = Vec::new();
     let mut fast = 0usize;
     for (i, d) in decisions.iter().enumerate() {
@@ -106,7 +114,15 @@ fn push(
         fmt_deltas(proposer_latency),
         others.join(","),
         format!("{fast}/{}", decisions.len()),
-        if lamport_fast { "yes".into() } else { "NO".to_string() },
-        if a11_fast { "yes".into() } else { "NO".to_string() },
+        if lamport_fast {
+            "yes".into()
+        } else {
+            "NO".to_string()
+        },
+        if a11_fast {
+            "yes".into()
+        } else {
+            "NO".to_string()
+        },
     ]);
 }

@@ -20,7 +20,15 @@ fn max_correct(props: &[u64], crashed: ProcessSet) -> ProcessId {
 }
 
 fn main() {
-    let grid = [(1usize, 1usize), (1, 2), (2, 2), (1, 3), (2, 3), (3, 3), (2, 4)];
+    let grid = [
+        (1usize, 1usize),
+        (1, 2),
+        (2, 2),
+        (1, 3),
+        (2, 3),
+        (3, 3),
+        (2, 4),
+    ];
     let mut table = Table::new(&[
         "e",
         "f",
@@ -85,5 +93,9 @@ fn main() {
 }
 
 fn pass(ok: bool) -> String {
-    if ok { "yes".into() } else { "VIOLATED".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "VIOLATED".into()
+    }
 }

@@ -66,7 +66,10 @@ fn main() {
             f.to_string(),
             cfg.n().to_string(),
             SystemConfig::minimal_task(e, f).unwrap().n().to_string(),
-            SystemConfig::minimal_fast_paxos(e, f).unwrap().n().to_string(),
+            SystemConfig::minimal_fast_paxos(e, f)
+                .unwrap()
+                .n()
+                .to_string(),
             sets.to_string(),
             pass(a11),
             pass(a12),
@@ -78,5 +81,9 @@ fn main() {
 }
 
 fn pass(ok: bool) -> String {
-    if ok { "yes".into() } else { "VIOLATED".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "VIOLATED".into()
+    }
 }

@@ -92,9 +92,16 @@ fn main() {
 
     // Print one full narrative as a worked example.
     let sample = task_below_bound(2, 2);
-    println!("\n-- worked example ({} ) --\n{}", sample.cfg, sample.narrative);
+    println!(
+        "\n-- worked example ({} ) --\n{}",
+        sample.cfg, sample.narrative
+    );
 }
 
 fn verdict(violated: bool) -> String {
-    if violated { "VIOLATED".into() } else { "intact".into() }
+    if violated {
+        "VIOLATED".into()
+    } else {
+        "intact".into()
+    }
 }

@@ -12,8 +12,7 @@ use twostep_types::{ProcessId, ProtocolKind, SystemConfig, Time};
 /// Empirical check: the task protocol reaches a two-step decision at
 /// its minimal n with e crashes.
 fn task_two_step_at(cfg: SystemConfig) -> bool {
-    let crashed: twostep_types::ProcessSet =
-        (0..cfg.e() as u32).map(ProcessId::new).collect();
+    let crashed: twostep_types::ProcessSet = (0..cfg.e() as u32).map(ProcessId::new).collect();
     let witness = ProcessId::new((cfg.n() - 1) as u32);
     let props: Vec<u64> = (0..cfg.n() as u64).collect();
     let outcome = SyncRunner::new(cfg)
@@ -24,8 +23,7 @@ fn task_two_step_at(cfg: SystemConfig) -> bool {
 }
 
 fn object_two_step_at(cfg: SystemConfig) -> bool {
-    let crashed: twostep_types::ProcessSet =
-        (0..cfg.e() as u32).map(ProcessId::new).collect();
+    let crashed: twostep_types::ProcessSet = (0..cfg.e() as u32).map(ProcessId::new).collect();
     let proposer = ProcessId::new((cfg.n() - 1) as u32);
     let outcome = SyncRunner::new(cfg).crashed(crashed).run_object(
         |q| ObjectConsensus::<u64>::new(cfg, q),
@@ -61,8 +59,16 @@ fn main() {
                 fp.to_string(),
                 task.to_string(),
                 object.to_string(),
-                if task_two_step_at(task_cfg) { "yes".into() } else { "NO".to_string() },
-                if object_two_step_at(object_cfg) { "yes".into() } else { "NO".to_string() },
+                if task_two_step_at(task_cfg) {
+                    "yes".into()
+                } else {
+                    "NO".to_string()
+                },
+                if object_two_step_at(object_cfg) {
+                    "yes".into()
+                } else {
+                    "NO".to_string()
+                },
             ]);
         }
     }
@@ -88,7 +94,11 @@ fn main() {
             f.to_string(),
             e.to_string(),
             object.to_string(),
-            if object == 2 * f + 1 { "yes".into() } else { "no".to_string() },
+            if object == 2 * f + 1 {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             fp.to_string(),
             (2 * f + 1).to_string(),
             EPaxosLite::<u64>::fast_quorum(&ep_cfg).to_string(),
@@ -140,7 +150,8 @@ fn main() {
         let object_msgs = count_early_sends(&outcome.trace);
 
         let cfg_fp = SystemConfig::minimal_fast_paxos(e, f).unwrap();
-        let mut sim = SimulationBuilder::new(cfg_fp).build(|q| FastPaxos::<u64>::passive(cfg_fp, q));
+        let mut sim =
+            SimulationBuilder::new(cfg_fp).build(|q| FastPaxos::<u64>::passive(cfg_fp, q));
         sim.schedule_propose(proposer, 7, Time::ZERO);
         let outcome = sim.run(Time::ZERO + Duration::deltas(2));
         let fp_msgs = count_early_sends(&outcome.trace);

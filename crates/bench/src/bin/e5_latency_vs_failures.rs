@@ -32,7 +32,9 @@ fn measure<V: Value, P>(outcome: &RunOutcome<V, P>, proxy: ProcessId) -> Measure
         .iter()
         .flatten()
         .map(|(_, t)| t.as_deltas())
-        .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))));
+        .fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.min(t)))
+        });
     Measurement {
         proxy_latency: outcome.latency_in_deltas(proxy),
         first_latency: first,
@@ -73,7 +75,13 @@ fn main() {
                 .favoring(proxy)
                 .horizon(Duration::deltas(60))
                 .run(|q| FastPaxos::new(cfg, q, 100 + u64::from(q.as_u32())));
-            push(&mut table, "FastPaxos", cfg.n(), k, measure(&outcome, proxy));
+            push(
+                &mut table,
+                "FastPaxos",
+                cfg.n(),
+                k,
+                measure(&outcome, proxy),
+            );
         }
 
         // Task at n = 2e+f; favored max-value proxy.
@@ -85,7 +93,13 @@ fn main() {
                 .favoring(proxy)
                 .horizon(Duration::deltas(60))
                 .run(|q| TaskConsensus::new(cfg, q, 100 + u64::from(q.as_u32())));
-            push(&mut table, "TwoStep(task)", cfg.n(), k, measure(&outcome, proxy));
+            push(
+                &mut table,
+                "TwoStep(task)",
+                cfg.n(),
+                k,
+                measure(&outcome, proxy),
+            );
         }
 
         // Object at n = 2e+f-1; lone proposer proxy.
@@ -99,7 +113,13 @@ fn main() {
                     |q| ObjectConsensus::<u64>::new(cfg, q),
                     vec![(proxy, 42, Time::ZERO)],
                 );
-            push(&mut table, "TwoStep(object)", cfg.n(), k, measure(&outcome, proxy));
+            push(
+                &mut table,
+                "TwoStep(object)",
+                cfg.n(),
+                k,
+                measure(&outcome, proxy),
+            );
         }
 
         // EPaxos-lite at n = 2f+1; lone command leader proxy.
@@ -113,7 +133,13 @@ fn main() {
                     |q| EPaxosLite::<u64>::new(cfg, q),
                     vec![(proxy, 42, Time::ZERO)],
                 );
-            push(&mut table, "EPaxos-lite", cfg.n(), k, measure(&outcome, proxy));
+            push(
+                &mut table,
+                "EPaxos-lite",
+                cfg.n(),
+                k,
+                measure(&outcome, proxy),
+            );
         }
     }
 
@@ -130,6 +156,10 @@ fn push(table: &mut Table, name: &str, n: usize, k: usize, m: Measurement) {
         k.to_string(),
         fmt_deltas(m.proxy_latency),
         fmt_deltas(m.first_latency),
-        if m.agreement { "yes".into() } else { "VIOLATED".to_string() },
+        if m.agreement {
+            "yes".into()
+        } else {
+            "VIOLATED".to_string()
+        },
     ]);
 }

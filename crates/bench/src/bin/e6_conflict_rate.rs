@@ -73,7 +73,9 @@ fn summarize<'a, V: 'a>(
     let first = decisions
         .flatten()
         .map(|(_, t)| t.as_deltas())
-        .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))));
+        .fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.min(t)))
+        });
     (first.is_some_and(|t| t <= 2.0), first)
 }
 
@@ -104,7 +106,10 @@ fn main() {
                 run_fastpaxos,
             ),
         ] {
-            let mut series = Series { fast_runs: 0, latencies: Vec::new() };
+            let mut series = Series {
+                fast_runs: 0,
+                latencies: Vec::new(),
+            };
             for seed in 0..SEEDS {
                 let (fast, latency) = runner(c, seed);
                 series.fast_runs += usize::from(fast);

@@ -28,10 +28,9 @@ fn object_latency(proposer: ProcessId) -> Option<u64> {
         .delay_model(wan_matrix(cfg.n(), &Region::ALL))
         .build(|q| ObjectConsensus::<u64>::new(cfg, q));
     sim.schedule_propose(proposer, 7, Time::ZERO);
-    let outcome = sim.run_until(
-        Time::ZERO + Duration::from_units(1_500),
-        |s| s.decisions()[proposer.index()].is_some(),
-    );
+    let outcome = sim.run_until(Time::ZERO + Duration::from_units(1_500), |s| {
+        s.decisions()[proposer.index()].is_some()
+    });
     outcome.decision_time_of(proposer).map(|t| t.units())
 }
 

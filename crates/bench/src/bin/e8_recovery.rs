@@ -43,7 +43,11 @@ fn randomized_recovery(seed: u64) -> bool {
 
     let mut ex = ManualExecutor::new(cfg, |q| {
         // The winner proposes the maximum value so everyone can vote it.
-        let value = if q == winner { 1000 } else { u64::from(q.as_u32()) };
+        let value = if q == winner {
+            1000
+        } else {
+            u64::from(q.as_u32())
+        };
         TaskConsensus::with_options(cfg, q, value, OmegaMode::Static(leader), Ablations::NONE)
     });
     ex.start_all();
@@ -51,17 +55,28 @@ fn randomized_recovery(seed: u64) -> bool {
     // A random set of n-e-1 supporters votes for the winner.
     let mut others: Vec<u32> = (0..n as u32).filter(|i| p(*i) != winner).collect();
     others.shuffle(&mut rng);
-    let supporters: Vec<ProcessId> = others[..cfg.fast_quorum() - 1].iter().map(|i| p(*i)).collect();
+    let supporters: Vec<ProcessId> = others[..cfg.fast_quorum() - 1]
+        .iter()
+        .map(|i| p(*i))
+        .collect();
     for &s in &supporters {
-        for id in ex.pending_matching(|m| m.from == winner && m.to == s && matches!(m.msg, Msg::Propose(_))) {
+        for id in ex
+            .pending_matching(|m| m.from == winner && m.to == s && matches!(m.msg, Msg::Propose(_)))
+        {
             ex.deliver(id);
         }
-        for id in ex.pending_matching(|m| m.from == s && m.to == winner && matches!(m.msg, Msg::TwoB(..))) {
+        for id in
+            ex.pending_matching(|m| m.from == s && m.to == winner && matches!(m.msg, Msg::TwoB(..)))
+        {
             ex.deliver(id);
         }
     }
     let fast_value = ex.decision_of(winner).copied();
-    assert_eq!(fast_value, Some(1000), "seed {seed}: fast path did not complete");
+    assert_eq!(
+        fast_value,
+        Some(1000),
+        "seed {seed}: fast path did not complete"
+    );
 
     // Suppress the Decide broadcast entirely; crash the winner.
     for id in ex.pending_matching(|m| matches!(m.msg, Msg::Decide(_))) {
@@ -71,7 +86,9 @@ fn randomized_recovery(seed: u64) -> bool {
 
     // Recovery over a random quorum of n-f survivors (the leader always
     // participates).
-    let mut survivors: Vec<u32> = (0..n as u32).filter(|i| p(*i) != winner && p(*i) != leader).collect();
+    let mut survivors: Vec<u32> = (0..n as u32)
+        .filter(|i| p(*i) != winner && p(*i) != leader)
+        .collect();
     survivors.shuffle(&mut rng);
     let mut quorum: Vec<ProcessId> = vec![leader];
     quorum.extend(survivors[..cfg.slow_quorum() - 1].iter().map(|i| p(*i)));

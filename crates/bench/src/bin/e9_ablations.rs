@@ -31,7 +31,10 @@ fn main() {
         let ablated = task_at_bound_with(
             e,
             f,
-            Ablations { no_max_tiebreak: true, ..Ablations::NONE },
+            Ablations {
+                no_max_tiebreak: true,
+                ..Ablations::NONE
+            },
         );
         table.row(&[
             "no max tie-break (line 58)".to_string(),
@@ -49,7 +52,10 @@ fn main() {
         let ablated = object_exclusion_demo(
             e,
             f,
-            Ablations { no_proposer_exclusion: true, ..Ablations::NONE },
+            Ablations {
+                no_proposer_exclusion: true,
+                ..Ablations::NONE
+            },
         );
         table.row(&[
             "no proposer exclusion (line 47)".to_string(),
@@ -67,7 +73,10 @@ fn main() {
         let ablated = object_guard_demo(
             e,
             f,
-            Ablations { no_object_guard: true, ..Ablations::NONE },
+            Ablations {
+                no_object_guard: true,
+                ..Ablations::NONE
+            },
         );
         table.row(&[
             "no red-line guard (line 10)".to_string(),
@@ -89,5 +98,9 @@ fn main() {
 }
 
 fn verdict(violated: bool) -> String {
-    if violated { "VIOLATED".into() } else { "intact".into() }
+    if violated {
+        "VIOLATED".into()
+    } else {
+        "intact".into()
+    }
 }

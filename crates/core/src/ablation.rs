@@ -48,8 +48,20 @@ mod tests {
 
     #[test]
     fn any_detects_each_flag() {
-        assert!(Ablations { no_proposer_exclusion: true, ..Ablations::NONE }.any());
-        assert!(Ablations { no_max_tiebreak: true, ..Ablations::NONE }.any());
-        assert!(Ablations { no_object_guard: true, ..Ablations::NONE }.any());
+        assert!(Ablations {
+            no_proposer_exclusion: true,
+            ..Ablations::NONE
+        }
+        .any());
+        assert!(Ablations {
+            no_max_tiebreak: true,
+            ..Ablations::NONE
+        }
+        .any());
+        assert!(Ablations {
+            no_object_guard: true,
+            ..Ablations::NONE
+        }
+        .any());
     }
 }

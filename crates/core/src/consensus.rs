@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::Collector;
-use twostep_types::{
-    Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA,
-};
+use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
 
 use crate::msg::Msg;
 use crate::omega::{Omega, OmegaMode};
@@ -99,13 +97,27 @@ impl<V: Value> TwoStep<V> {
     /// Creates a task-variant instance that proposes `initial` at
     /// startup.
     pub fn task(cfg: SystemConfig, me: ProcessId, initial: V) -> Self {
-        Self::with_options(cfg, me, Variant::Task, Some(initial), OmegaMode::Heartbeats, Ablations::NONE)
+        Self::with_options(
+            cfg,
+            me,
+            Variant::Task,
+            Some(initial),
+            OmegaMode::Heartbeats,
+            Ablations::NONE,
+        )
     }
 
     /// Creates an object-variant instance (no proposal until
     /// `propose(v)` is invoked).
     pub fn object(cfg: SystemConfig, me: ProcessId) -> Self {
-        Self::with_options(cfg, me, Variant::Object, None, OmegaMode::Heartbeats, Ablations::NONE)
+        Self::with_options(
+            cfg,
+            me,
+            Variant::Object,
+            None,
+            OmegaMode::Heartbeats,
+            Ablations::NONE,
+        )
     }
 
     /// Fully parameterised constructor.
@@ -231,7 +243,9 @@ impl<V: Value> TwoStep<V> {
         if self.bal != Ballot::FAST || self.decided.is_some() {
             return;
         }
-        let Some(v) = self.initial_val.clone() else { return };
+        let Some(v) = self.initial_val.clone() else {
+            return;
+        };
         // `val ∈ {⊥, v}`: a vote for someone else's value blocks us.
         if let Some(cur) = &self.val {
             if *cur != v {
@@ -291,11 +305,7 @@ impl<V: Value> TwoStep<V> {
                 let object_guard = self.variant != Variant::Object
                     || self.ablations.no_object_guard
                     || self.initial_val.as_ref().is_none_or(|iv| v == *iv);
-                if self.bal == Ballot::FAST
-                    && self.val.is_none()
-                    && geq_initial
-                    && object_guard
-                {
+                if self.bal == Ballot::FAST && self.val.is_none() && geq_initial && object_guard {
                     self.val = Some(v.clone());
                     self.proposer = Some(from);
                     eff.send(from, Msg::TwoB(Ballot::FAST, v));
@@ -346,9 +356,23 @@ impl<V: Value> TwoStep<V> {
             }
 
             // Lines 42–63 (collection side).
-            Msg::OneB { bal, vbal, val, proposer, decided } => {
+            Msg::OneB {
+                bal,
+                vbal,
+                val,
+                proposer,
+                decided,
+            } => {
                 if self.my_ballot == Some(bal) && !self.oneb_done {
-                    self.onebs.insert(from, Report { vbal, val, proposer, decided });
+                    self.onebs.insert(
+                        from,
+                        Report {
+                            vbal,
+                            val,
+                            proposer,
+                            decided,
+                        },
+                    );
                     self.try_complete_phase_one(eff);
                 }
             }
@@ -515,9 +539,8 @@ mod tests {
         ex.deliver(ids[0]);
         assert_eq!(ex.process(p(1)).vote(), Some(&30));
         // Exactly one fast 2B left p1, addressed to p2.
-        let twobs = ex.pending_matching(|m| {
-            m.from == p(1) && matches!(m.msg, Msg::TwoB(Ballot::FAST, _))
-        });
+        let twobs =
+            ex.pending_matching(|m| m.from == p(1) && matches!(m.msg, Msg::TwoB(Ballot::FAST, _)));
         assert_eq!(twobs.len(), 1);
     }
 
@@ -530,7 +553,9 @@ mod tests {
         let ids = ex.pending_matching(|m| m.from == p(0) && m.to == p(2));
         ex.deliver(ids[0]);
         assert_eq!(ex.process(p(2)).vote(), None);
-        assert!(ex.pending_matching(|m| m.from == p(2) && matches!(m.msg, Msg::TwoB(..))).is_empty());
+        assert!(ex
+            .pending_matching(|m| m.from == p(2) && matches!(m.msg, Msg::TwoB(..)))
+            .is_empty());
     }
 
     #[test]
@@ -566,7 +591,10 @@ mod tests {
         let ids = ex.pending_matching(|m| matches!(m.msg, Msg::Decide(_)) && m.to == p(0));
         ex.deliver(ids[0]);
         assert_eq!(ex.decision_of(p(0)), Some(&30));
-        assert_eq!(ex.process(p(0)).decision_path(), Some(DecisionPath::Learned));
+        assert_eq!(
+            ex.process(p(0)).decision_path(),
+            Some(DecisionPath::Learned)
+        );
         assert!(ex.agreement());
     }
 
@@ -583,7 +611,8 @@ mod tests {
         ex.deliver(ids[0]);
         // p0's 2B(0, 20) arrives at p1. p1's val = 30 ≠ 20: the
         // `val ∈ {⊥, v}` precondition must block p1's fast decision.
-        let ids = ex.pending_matching(|m| m.from == p(0) && m.to == p(1) && matches!(m.msg, Msg::TwoB(..)));
+        let ids = ex
+            .pending_matching(|m| m.from == p(0) && m.to == p(1) && matches!(m.msg, Msg::TwoB(..)));
         ex.deliver(ids[0]);
         assert_eq!(ex.decision_of(p(1)), None);
     }
@@ -692,7 +721,11 @@ mod tests {
         for id in ex.pending_matching(|m| m.to == p(1) && matches!(m.msg, Msg::TwoB(..))) {
             ex.deliver(id);
         }
-        assert_eq!(ex.decision_of(p(1)), Some(&30), "recovery must stick with the fast value");
+        assert_eq!(
+            ex.decision_of(p(1)),
+            Some(&30),
+            "recovery must stick with the fast value"
+        );
         assert!(ex.agreement());
     }
 
@@ -710,7 +743,10 @@ mod tests {
             )
         });
         ex.start_all();
-        assert!(ex.pending().is_empty(), "object variant proposes nothing at startup");
+        assert!(
+            ex.pending().is_empty(),
+            "object variant proposes nothing at startup"
+        );
         ex.propose(p(0), 10);
         ex.propose(p(1), 99);
         // p1 has proposed 99; p0's Propose(10) violates the red-line
@@ -718,13 +754,21 @@ mod tests {
         // 10 < 99 would anyway fail v ≥ initial_val; test the other
         // direction: p1's Propose(99) at p0 passes v ≥ 10 but p0 has
         // proposed 10 ≠ 99 → blocked.
-        let ids = ex.pending_matching(|m| m.from == p(1) && m.to == p(0) && matches!(m.msg, Msg::Propose(_)));
+        let ids = ex.pending_matching(|m| {
+            m.from == p(1) && m.to == p(0) && matches!(m.msg, Msg::Propose(_))
+        });
         ex.deliver(ids[0]);
-        assert_eq!(ex.process(p(0)).vote(), None, "red line must block the vote");
+        assert_eq!(
+            ex.process(p(0)).vote(),
+            None,
+            "red line must block the vote"
+        );
 
         // Same value is fine: p2 proposes 99 as well... p2 hasn't
         // proposed; it simply votes.
-        let ids = ex.pending_matching(|m| m.from == p(1) && m.to == p(2) && matches!(m.msg, Msg::Propose(_)));
+        let ids = ex.pending_matching(|m| {
+            m.from == p(1) && m.to == p(2) && matches!(m.msg, Msg::Propose(_))
+        });
         ex.deliver(ids[0]);
         assert_eq!(ex.process(p(2)).vote(), Some(&99));
     }
@@ -739,15 +783,24 @@ mod tests {
                 Variant::Object,
                 None,
                 OmegaMode::Static(p(0)),
-                Ablations { no_object_guard: true, ..Ablations::NONE },
+                Ablations {
+                    no_object_guard: true,
+                    ..Ablations::NONE
+                },
             )
         });
         ex.start_all();
         ex.propose(p(0), 10);
         ex.propose(p(1), 99);
-        let ids = ex.pending_matching(|m| m.from == p(1) && m.to == p(0) && matches!(m.msg, Msg::Propose(_)));
+        let ids = ex.pending_matching(|m| {
+            m.from == p(1) && m.to == p(0) && matches!(m.msg, Msg::Propose(_))
+        });
         ex.deliver(ids[0]);
-        assert_eq!(ex.process(p(0)).vote(), Some(&99), "ablation drops the red line");
+        assert_eq!(
+            ex.process(p(0)).vote(),
+            Some(&99),
+            "ablation drops the red line"
+        );
     }
 
     #[test]
@@ -840,7 +893,9 @@ mod tests {
         ex.deliver(ids[0]);
         assert_eq!(ex.process(p(2)).ballot(), Ballot::new(1));
         // Now the fast 2Bs arrive: bal ≠ 0 must block the fast decision.
-        for id in ex.pending_matching(|m| m.to == p(2) && matches!(m.msg, Msg::TwoB(Ballot::FAST, _))) {
+        for id in
+            ex.pending_matching(|m| m.to == p(2) && matches!(m.msg, Msg::TwoB(Ballot::FAST, _)))
+        {
             ex.deliver(id);
         }
         assert_eq!(ex.decision_of(p(2)), None);

@@ -72,8 +72,14 @@ mod tests {
 
     #[test]
     fn ballot_extraction() {
-        assert_eq!(Msg::<u64>::OneA(Ballot::new(4)).ballot(), Some(Ballot::new(4)));
-        assert_eq!(Msg::<u64>::TwoA(Ballot::new(2), 9).ballot(), Some(Ballot::new(2)));
+        assert_eq!(
+            Msg::<u64>::OneA(Ballot::new(4)).ballot(),
+            Some(Ballot::new(4))
+        );
+        assert_eq!(
+            Msg::<u64>::TwoA(Ballot::new(2), 9).ballot(),
+            Some(Ballot::new(2))
+        );
         assert_eq!(Msg::Propose(9u64).ballot(), None);
         assert_eq!(Msg::<u64>::Heartbeat.ballot(), None);
         let oneb = Msg::<u64>::OneB {

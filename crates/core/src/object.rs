@@ -67,7 +67,14 @@ impl<V: Value> ObjectConsensus<V> {
         omega: OmegaMode,
         ablations: Ablations,
     ) -> Self {
-        ObjectConsensus(TwoStep::with_options(cfg, me, Variant::Object, None, omega, ablations))
+        ObjectConsensus(TwoStep::with_options(
+            cfg,
+            me,
+            Variant::Object,
+            None,
+            omega,
+            ablations,
+        ))
     }
 
     /// The underlying state machine, for white-box inspection.

@@ -91,11 +91,7 @@ impl Omega {
     pub fn leader(&self) -> ProcessId {
         match self.mode {
             OmegaMode::Static(p) => p,
-            OmegaMode::Heartbeats => self
-                .suspected
-                .complement(self.n)
-                .min()
-                .unwrap_or(self.me),
+            OmegaMode::Heartbeats => self.suspected.complement(self.n).min().unwrap_or(self.me),
         }
     }
 

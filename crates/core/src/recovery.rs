@@ -47,7 +47,12 @@ pub struct Report<V> {
 impl<V> Report<V> {
     /// A report from a process that has done nothing yet.
     pub fn empty() -> Self {
-        Report { vbal: Ballot::FAST, val: None, proposer: None, decided: None }
+        Report {
+            vbal: Ballot::FAST,
+            val: None,
+            proposer: None,
+            decided: None,
+        }
     }
 
     /// A report of a fast-ballot vote for `val` proposed by `proposer`.
@@ -93,7 +98,11 @@ pub fn select_value<V: Value>(
     }
 
     // Line 46: the highest ballot in which anyone voted.
-    let bmax = reports.iter().map(|(_, r)| r.vbal).max().unwrap_or(Ballot::FAST);
+    let bmax = reports
+        .iter()
+        .map(|(_, r)| r.vbal)
+        .max()
+        .unwrap_or(Ballot::FAST);
 
     if bmax.is_slow() {
         // Line 52: classic Paxos — adopt the vote of the highest ballot.
@@ -186,11 +195,20 @@ mod tests {
         let cfg = cfg_task();
         let reports = collect(vec![
             (0, Report::empty()),
-            (1, Report { decided: Some(9u64), ..Report::empty() }),
+            (
+                1,
+                Report {
+                    decided: Some(9u64),
+                    ..Report::empty()
+                },
+            ),
             (2, Report::fast_vote(5, pid(5))),
             (3, Report::empty()),
         ]);
-        assert_eq!(select_value(&cfg, &reports, Some(&1), None, Ablations::NONE), Some(9));
+        assert_eq!(
+            select_value(&cfg, &reports, Some(&1), None, Ablations::NONE),
+            Some(9)
+        );
     }
 
     #[test]
@@ -208,20 +226,26 @@ mod tests {
             (2, mk(2, 20)),
             (3, Report::empty()),
         ]);
-        assert_eq!(select_value(&cfg, &reports, Some(&1), None, Ablations::NONE), Some(30));
+        assert_eq!(
+            select_value(&cfg, &reports, Some(&1), None, Ablations::NONE),
+            Some(30)
+        );
     }
 
     #[test]
     fn above_threshold_fast_votes_win() {
         let cfg = cfg_task(); // threshold 2
-        // p5 (outside Q = {0,1,2,3}) proposed 7; three voters > 2.
+                              // p5 (outside Q = {0,1,2,3}) proposed 7; three voters > 2.
         let reports = collect(vec![
             (0, Report::fast_vote(7u64, pid(5))),
             (1, Report::fast_vote(7, pid(5))),
             (2, Report::fast_vote(7, pid(5))),
             (3, Report::empty()),
         ]);
-        assert_eq!(select_value(&cfg, &reports, Some(&1), None, Ablations::NONE), Some(7));
+        assert_eq!(
+            select_value(&cfg, &reports, Some(&1), None, Ablations::NONE),
+            Some(7)
+        );
     }
 
     #[test]
@@ -235,25 +259,43 @@ mod tests {
             (2, Report::fast_vote(7, pid(0))),
             (3, Report::fast_vote(7, pid(0))),
         ]);
-        assert_eq!(select_value(&cfg, &reports, Some(&1), None, Ablations::NONE), Some(1));
+        assert_eq!(
+            select_value(&cfg, &reports, Some(&1), None, Ablations::NONE),
+            Some(1)
+        );
         // Ablated: the excluded votes count again and 7 wins.
-        let ablated = Ablations { no_proposer_exclusion: true, ..Ablations::NONE };
-        assert_eq!(select_value(&cfg, &reports, Some(&1), None, ablated), Some(7));
+        let ablated = Ablations {
+            no_proposer_exclusion: true,
+            ..Ablations::NONE
+        };
+        assert_eq!(
+            select_value(&cfg, &reports, Some(&1), None, ablated),
+            Some(7)
+        );
     }
 
     #[test]
     fn exact_threshold_takes_max_value() {
         let cfg = cfg_task(); // threshold 2
-        // Two values with exactly 2 votes each, proposers outside Q.
+                              // Two values with exactly 2 votes each, proposers outside Q.
         let reports = collect(vec![
             (0, Report::fast_vote(7u64, pid(5))),
             (1, Report::fast_vote(7, pid(5))),
             (2, Report::fast_vote(9, pid(4))),
             (3, Report::fast_vote(9, pid(4))),
         ]);
-        assert_eq!(select_value(&cfg, &reports, Some(&1), None, Ablations::NONE), Some(9));
-        let ablated = Ablations { no_max_tiebreak: true, ..Ablations::NONE };
-        assert_eq!(select_value(&cfg, &reports, Some(&1), None, ablated), Some(7));
+        assert_eq!(
+            select_value(&cfg, &reports, Some(&1), None, Ablations::NONE),
+            Some(9)
+        );
+        let ablated = Ablations {
+            no_max_tiebreak: true,
+            ..Ablations::NONE
+        };
+        assert_eq!(
+            select_value(&cfg, &reports, Some(&1), None, ablated),
+            Some(7)
+        );
     }
 
     #[test]
@@ -292,7 +334,10 @@ mod tests {
             (3, Report::empty()),
         ]);
         // One vote < threshold: fall through to initial.
-        assert_eq!(select_value(&cfg, &reports, Some(&1), None, Ablations::NONE), Some(1));
+        assert_eq!(
+            select_value(&cfg, &reports, Some(&1), None, Ablations::NONE),
+            Some(1)
+        );
     }
 
     /// Lemma 7, executable: for every task-bound config, every fast

@@ -54,8 +54,7 @@ fn definition_a1_item_2_same_value_everyone_two_step() {
         for crashed in cfg.failure_sets().take(5) {
             let correct = cfg.all_processes().difference(crashed);
             for witness in correct.iter() {
-                let proposals: Vec<_> =
-                    correct.iter().map(|q| (q, 7u64, Time::ZERO)).collect();
+                let proposals: Vec<_> = correct.iter().map(|q| (q, 7u64, Time::ZERO)).collect();
                 let outcome = SyncRunner::new(cfg)
                     .crashed(crashed)
                     .favoring(witness)
@@ -87,7 +86,10 @@ fn conflicting_proposals_stay_safe_and_terminate() {
                 vec![(a, 10, Time::ZERO), (b, 20, Time::ZERO)],
             );
         assert!(outcome.agreement(), "cfg={cfg}");
-        assert!(outcome.all_correct_decided(), "cfg={cfg}: stalled under conflict");
+        assert!(
+            outcome.all_correct_decided(),
+            "cfg={cfg}: stalled under conflict"
+        );
         let v = *outcome.decided_values()[0];
         assert!(v == 10 || v == 20, "cfg={cfg}: invalid decision {v}");
     }
@@ -131,7 +133,8 @@ fn nobody_proposes_nobody_decides() {
 fn proposer_crashing_mid_broadcast_is_safe() {
     // The proposer crashes right after its proposal is in flight; the
     // rest must either decide its value or nothing conflicting.
-    for seed in 0u64..10 {
+    // A failing seed is replayable alone via TWOSTEP_SEED=<seed>.
+    for seed in twostep_sim::test_seeds(0..10) {
         let cfg = SystemConfig::minimal_object(2, 2).unwrap();
         let proposer = p(0);
         let mut sim = SimulationBuilder::new(cfg)
@@ -152,7 +155,7 @@ fn proposer_crashing_mid_broadcast_is_safe() {
 
 #[test]
 fn contending_proposals_under_random_schedules_agree() {
-    for seed in 0u64..15 {
+    for seed in twostep_sim::test_seeds(0..15) {
         let cfg = SystemConfig::minimal_object(2, 3).unwrap();
         let n = cfg.n();
         let mut sim = SimulationBuilder::new(cfg)

@@ -67,15 +67,21 @@ fn dueling_leaders_stay_safe() {
     // own next ballot is the higher 4.
     ex.fire_timer(p(0), TimerId::NEW_BALLOT);
     for &q in &[p(0), p(2), p(1)] {
-        for id in ex.pending_matching(|m| m.from == p(0) && m.to == q && matches!(m.msg, Msg::OneA(_))) {
+        for id in
+            ex.pending_matching(|m| m.from == p(0) && m.to == q && matches!(m.msg, Msg::OneA(_)))
+        {
             ex.deliver(id);
         }
         if q == p(1) {
-            for id in ex.pending_matching(|m| m.from == q && m.to == p(0) && matches!(m.msg, Msg::OneB { .. })) {
+            for id in ex.pending_matching(|m| {
+                m.from == q && m.to == p(0) && matches!(m.msg, Msg::OneB { .. })
+            }) {
                 ex.drop_message(id);
             }
         } else {
-            for id in ex.pending_matching(|m| m.from == q && m.to == p(0) && matches!(m.msg, Msg::OneB { .. })) {
+            for id in ex.pending_matching(|m| {
+                m.from == q && m.to == p(0) && matches!(m.msg, Msg::OneB { .. })
+            }) {
                 ex.deliver(id);
             }
         }
@@ -84,7 +90,11 @@ fn dueling_leaders_stay_safe() {
     // p0's 2A(b3, 10) is now in flight. Before it lands, p1 runs a full
     // higher ballot (4 ≡ 1 mod 3) with {p1, p2}.
     drive_ballot(&mut ex, p(1), &[p(1), p(2)]);
-    assert_eq!(ex.decision_of(p(1)), Some(&20), "p1's ballot 4 decides its value");
+    assert_eq!(
+        ex.decision_of(p(1)),
+        Some(&20),
+        "p1's ballot 4 decides its value"
+    );
 
     // Now p0's stale 2A(b3) arrives at p2: p2 already promised b4, so
     // the stale 2A must be rejected (no 2B back to p0).
@@ -127,14 +137,20 @@ fn second_ballot_adopts_first_ballot_vote() {
     // (vote cast), but the 2B back to p0 is lost — no decision.
     ex.fire_timer(p(0), TimerId::NEW_BALLOT);
     for &q in &[p(0), p(1)] {
-        for id in ex.pending_matching(|m| m.from == p(0) && m.to == q && matches!(m.msg, Msg::OneA(_))) {
+        for id in
+            ex.pending_matching(|m| m.from == p(0) && m.to == q && matches!(m.msg, Msg::OneA(_)))
+        {
             ex.deliver(id);
         }
-        for id in ex.pending_matching(|m| m.from == q && m.to == p(0) && matches!(m.msg, Msg::OneB { .. })) {
+        for id in ex
+            .pending_matching(|m| m.from == q && m.to == p(0) && matches!(m.msg, Msg::OneB { .. }))
+        {
             ex.deliver(id);
         }
     }
-    for id in ex.pending_matching(|m| m.from == p(0) && m.to == p(1) && matches!(m.msg, Msg::TwoA(..))) {
+    for id in
+        ex.pending_matching(|m| m.from == p(0) && m.to == p(1) && matches!(m.msg, Msg::TwoA(..)))
+    {
         ex.deliver(id);
     }
     assert_eq!(ex.process(p(1)).inner().voted_ballot(), Ballot::new(3));
@@ -149,10 +165,14 @@ fn second_ballot_adopts_first_ballot_vote() {
     // the adopted value came from the bmax report: the 2A must carry 10.
     ex.fire_timer(p(0), TimerId::NEW_BALLOT);
     for &q in &[p(0), p(1)] {
-        for id in ex.pending_matching(|m| m.from == p(0) && m.to == q && matches!(m.msg, Msg::OneA(_))) {
+        for id in
+            ex.pending_matching(|m| m.from == p(0) && m.to == q && matches!(m.msg, Msg::OneA(_)))
+        {
             ex.deliver(id);
         }
-        for id in ex.pending_matching(|m| m.from == q && m.to == p(0) && matches!(m.msg, Msg::OneB { .. })) {
+        for id in ex
+            .pending_matching(|m| m.from == q && m.to == p(0) && matches!(m.msg, Msg::OneB { .. }))
+        {
             ex.deliver(id);
         }
     }
@@ -166,7 +186,10 @@ fn second_ballot_adopts_first_ballot_vote() {
             _ => None,
         })
         .collect();
-    assert!(carried.iter().all(|v| *v == 10), "ballot 6 must adopt b3's value: {carried:?}");
+    assert!(
+        carried.iter().all(|v| *v == 10),
+        "ballot 6 must adopt b3's value: {carried:?}"
+    );
 }
 
 #[test]
@@ -182,7 +205,10 @@ fn leader_crash_mid_ballot_is_recovered_by_next_leader() {
         .crash_at(p(0), Time::from_units(3 * 1000 + 1))
         .build(|q| TaskConsensus::new(cfg, q, props[q.index()]));
     let outcome = sim.run_until_all_decided(Time::ZERO + Duration::deltas(80));
-    assert!(outcome.all_correct_decided(), "mid-ballot crash stalled the system");
+    assert!(
+        outcome.all_correct_decided(),
+        "mid-ballot crash stalled the system"
+    );
     assert!(outcome.agreement());
 }
 
@@ -210,19 +236,29 @@ fn foreign_fast_votes_are_not_counted() {
     // Then deliver p2's Propose(30) to p1 → p1's val was ⊥? No: p1 never
     // voted. So p1 votes 30 → val = 30 ≠ initial 20 → fast decide for
     // 20 must now be blocked even with enough votes.
-    for id in ex.pending_matching(|m| m.from == p(1) && m.to == p(0) && matches!(m.msg, Msg::Propose(_))) {
+    for id in
+        ex.pending_matching(|m| m.from == p(1) && m.to == p(0) && matches!(m.msg, Msg::Propose(_)))
+    {
         ex.deliver(id);
     }
-    for id in ex.pending_matching(|m| m.from == p(2) && m.to == p(1) && matches!(m.msg, Msg::Propose(_))) {
+    for id in
+        ex.pending_matching(|m| m.from == p(2) && m.to == p(1) && matches!(m.msg, Msg::Propose(_)))
+    {
         ex.deliver(id);
     }
     assert_eq!(ex.process(p(1)).inner().vote(), Some(&30));
     // p0's 2B(0, 20) arrives at p1: |P ∪ {p1}| = 2 = n-e, but val = 30
     // violates val ∈ {⊥, v}: no decision.
-    for id in ex.pending_matching(|m| m.from == p(0) && m.to == p(1) && matches!(m.msg, Msg::TwoB(..))) {
+    for id in
+        ex.pending_matching(|m| m.from == p(0) && m.to == p(1) && matches!(m.msg, Msg::TwoB(..)))
+    {
         ex.deliver(id);
     }
-    assert_eq!(ex.decision_of(p(1)), None, "val ∈ {{⊥, v}} must block the decision");
+    assert_eq!(
+        ex.decision_of(p(1)),
+        None,
+        "val ∈ {{⊥, v}} must block the decision"
+    );
 }
 
 #[test]
@@ -233,27 +269,27 @@ fn conflicting_decide_messages_are_surfaced_not_hidden() {
     // Decide by hand.
     let cfg = cfg3();
     let mut ex = ManualExecutor::new(cfg, |q| {
-        TaskConsensus::with_options(
-            cfg,
-            q,
-            10,
-            OmegaMode::Static(p(0)),
-            Ablations::NONE,
-        )
+        TaskConsensus::with_options(cfg, q, 10, OmegaMode::Static(p(0)), Ablations::NONE)
     });
     ex.start_all();
     // All propose 10; run p2's fast path.
     for target in [p(0), p(1)] {
-        for id in ex.pending_matching(|m| m.from == p(2) && m.to == target && matches!(m.msg, Msg::Propose(_))) {
+        for id in ex.pending_matching(|m| {
+            m.from == p(2) && m.to == target && matches!(m.msg, Msg::Propose(_))
+        }) {
             ex.deliver(id);
         }
-        for id in ex.pending_matching(|m| m.from == target && m.to == p(2) && matches!(m.msg, Msg::TwoB(..))) {
+        for id in ex.pending_matching(|m| {
+            m.from == target && m.to == p(2) && matches!(m.msg, Msg::TwoB(..))
+        }) {
             ex.deliver(id);
         }
     }
     assert_eq!(ex.decision_of(p(2)), Some(&10));
     // Deliver p2's Decide to p0 twice-equivalent: first the genuine one.
-    for id in ex.pending_matching(|m| m.from == p(2) && m.to == p(0) && matches!(m.msg, Msg::Decide(_))) {
+    for id in
+        ex.pending_matching(|m| m.from == p(2) && m.to == p(0) && matches!(m.msg, Msg::Decide(_)))
+    {
         ex.deliver(id);
     }
     assert_eq!(ex.decide_log().len(), 2);

@@ -1,0 +1,324 @@
+//! Fuzz cases and their deterministic execution.
+//!
+//! A [`FuzzCase`] pins down *everything* a run depends on — protocol,
+//! configuration, initial values, Ω leader, ablations and the schedule —
+//! so a counterexample is replayable from the case alone (and the case
+//! itself is derivable from `(root seed, iteration)` via
+//! [`crate::gen::gen_case`]).
+
+use twostep_baselines::{EPaxosLite, FastPaxos, Paxos};
+use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep_sim::ManualExecutor;
+use twostep_types::protocol::Protocol;
+use twostep_types::{ProcessId, ProcessSet, SystemConfig};
+
+use crate::schedule::{Action, Schedule};
+
+/// The protocols the fuzzer can drive differentially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzProtocol {
+    /// The paper's two-step consensus, task variant.
+    Task,
+    /// The paper's two-step consensus, object variant.
+    Object,
+    /// Classic single-decree Paxos (baseline).
+    Paxos,
+    /// Fast Paxos (baseline).
+    FastPaxos,
+    /// The EPaxos-style fast/slow baseline.
+    EPaxos,
+}
+
+impl FuzzProtocol {
+    /// All fuzzable protocols, for `--protocol all`.
+    pub const ALL: [FuzzProtocol; 5] = [
+        FuzzProtocol::Task,
+        FuzzProtocol::Object,
+        FuzzProtocol::Paxos,
+        FuzzProtocol::FastPaxos,
+        FuzzProtocol::EPaxos,
+    ];
+
+    /// Whether initial values are fixed at construction (task-style) as
+    /// opposed to arriving via explicit `propose` calls (object-style).
+    pub fn task_style(self) -> bool {
+        matches!(
+            self,
+            FuzzProtocol::Task | FuzzProtocol::Paxos | FuzzProtocol::FastPaxos
+        )
+    }
+
+    /// The minimal valid `n` for `(e, f)` under this protocol's bound.
+    pub fn min_processes(self, e: usize, f: usize) -> usize {
+        let resilience = 2 * f + 1;
+        match self {
+            FuzzProtocol::Paxos => resilience,
+            FuzzProtocol::FastPaxos => resilience.max(2 * e + f + 1),
+            FuzzProtocol::Task => resilience.max(2 * e + f),
+            // EPaxosLite only runs in the bare-majority regime.
+            FuzzProtocol::EPaxos => resilience,
+            FuzzProtocol::Object => resilience.max((2 * e + f).saturating_sub(1)),
+        }
+    }
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzProtocol::Task => "task",
+            FuzzProtocol::Object => "object",
+            FuzzProtocol::Paxos => "paxos",
+            FuzzProtocol::FastPaxos => "fastpaxos",
+            FuzzProtocol::EPaxos => "epaxos",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<FuzzProtocol> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// One fully determined fuzz execution.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Which protocol to run.
+    pub protocol: FuzzProtocol,
+    /// The system configuration.
+    pub cfg: SystemConfig,
+    /// Initial values by process id (task-style protocols; also the
+    /// value pool used by `Propose` actions for object-style ones).
+    pub values: Vec<u64>,
+    /// The static Ω leader (two-step variants; ignored by baselines).
+    pub leader: ProcessId,
+    /// Protocol ablations (used to inject known bugs on purpose).
+    pub ablations: Ablations,
+    /// The interleaving to execute.
+    pub schedule: Schedule,
+}
+
+impl FuzzCase {
+    /// The same case with a different schedule (used by the shrinker).
+    pub fn with_schedule(&self, actions: Vec<Action>) -> FuzzCase {
+        FuzzCase {
+            schedule: Schedule::from(actions),
+            ..self.clone()
+        }
+    }
+}
+
+/// What a run produced, as consumed by the oracles.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Every decide event, in execution order.
+    pub decide_log: Vec<(ProcessId, u64)>,
+    /// First decision per process.
+    pub decisions: Vec<Option<u64>>,
+    /// The values that entered the system (initial values for task-style
+    /// protocols; accepted `propose` arguments for object-style).
+    pub proposed: Vec<u64>,
+    /// Processes alive at the end of the run.
+    pub alive: ProcessSet,
+}
+
+/// Executes a case and reports what happened. Deterministic: the same
+/// case always yields the same report.
+pub fn run_case(case: &FuzzCase) -> RunReport {
+    let cfg = case.cfg;
+    let leader = case.leader;
+    let omega = OmegaMode::Static(leader);
+    let abl = case.ablations;
+    let values = case.values.clone();
+    match case.protocol {
+        FuzzProtocol::Task => run_schedule(case, |p| {
+            TaskConsensus::with_options(cfg, p, values[p.index()], omega, abl)
+        }),
+        FuzzProtocol::Object => {
+            run_schedule(case, |p| ObjectConsensus::with_options(cfg, p, omega, abl))
+        }
+        FuzzProtocol::Paxos => run_schedule(case, |p| Paxos::new(cfg, p, values[p.index()])),
+        FuzzProtocol::FastPaxos => {
+            run_schedule(case, |p| FastPaxos::new(cfg, p, values[p.index()]))
+        }
+        FuzzProtocol::EPaxos => run_schedule(case, |p| EPaxosLite::new(cfg, p)),
+    }
+}
+
+/// The schedule interpreter: applies each action to a fresh
+/// [`ManualExecutor`], with every operand decoded modulo what the
+/// executor currently offers (see [`crate::schedule`]).
+fn run_schedule<P, F>(case: &FuzzCase, make: F) -> RunReport
+where
+    P: Protocol<u64>,
+    F: FnMut(ProcessId) -> P,
+{
+    let n = case.cfg.n();
+    let f = case.cfg.f();
+    let pid = |raw: u8| ProcessId::new(u32::from(raw) % n as u32);
+
+    let mut ex = ManualExecutor::new(case.cfg, make);
+    ex.start_all();
+
+    let mut proposed: Vec<u64> = if case.protocol.task_style() {
+        case.values.clone()
+    } else {
+        Vec::new()
+    };
+
+    for &action in &case.schedule.actions {
+        match action {
+            Action::DeliverFromTo(a, b) => {
+                let (from, to) = (pid(a), pid(b));
+                if let Some(&id) = ex
+                    .pending_matching(|m| m.from == from && m.to == to)
+                    .first()
+                {
+                    ex.deliver(id);
+                }
+            }
+            Action::DeliverAllTo(a) => {
+                ex.deliver_all_to(pid(a));
+            }
+            Action::DeliverIdx(k) => {
+                let ids: Vec<_> = ex.pending().iter().map(|m| m.id).collect();
+                if !ids.is_empty() {
+                    ex.deliver(ids[k as usize % ids.len()]);
+                }
+            }
+            Action::DropFromTo(a, b) => {
+                let (from, to) = (pid(a), pid(b));
+                if let Some(&id) = ex
+                    .pending_matching(|m| m.from == from && m.to == to)
+                    .first()
+                {
+                    ex.drop_message(id);
+                }
+            }
+            Action::DropIdx(k) => {
+                let ids: Vec<_> = ex.pending().iter().map(|m| m.id).collect();
+                if !ids.is_empty() {
+                    ex.drop_message(ids[k as usize % ids.len()]);
+                }
+            }
+            Action::Crash(a) => {
+                let p = pid(a);
+                let dead = n - ex.alive().len();
+                if ex.alive().contains(p) && dead < f {
+                    ex.crash(p);
+                }
+            }
+            Action::Restart(a) => {
+                ex.restart(pid(a));
+            }
+            Action::FireTimer(a, k) => {
+                let p = pid(a);
+                let timers = ex.armed_timers(p);
+                if !timers.is_empty() {
+                    ex.fire_timer(p, timers[k as usize % timers.len()]);
+                }
+            }
+            Action::FireAllTimers(a) => {
+                let p = pid(a);
+                for t in ex.armed_timers(p) {
+                    ex.fire_timer(p, t);
+                }
+            }
+            Action::Propose(a, v) => {
+                if !case.protocol.task_style() {
+                    let p = pid(a);
+                    let value = u64::from(v);
+                    if ex.propose(p, value) {
+                        proposed.push(value);
+                    }
+                }
+            }
+        }
+    }
+
+    RunReport {
+        decide_log: ex.decide_log().to_vec(),
+        decisions: ex.decisions().to_vec(),
+        proposed,
+        alive: ex.alive(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(protocol: FuzzProtocol, actions: Vec<Action>) -> FuzzCase {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        FuzzCase {
+            protocol,
+            cfg,
+            values: vec![1, 2, 3],
+            leader: ProcessId::new(0),
+            ablations: Ablations::NONE,
+            schedule: Schedule::from(actions),
+        }
+    }
+
+    #[test]
+    fn empty_schedule_runs_clean() {
+        for p in FuzzProtocol::ALL {
+            let report = run_case(&case(p, vec![]));
+            assert_eq!(report.alive.len(), 3);
+            assert!(
+                report.decide_log.is_empty(),
+                "{p:?} decided with no deliveries"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_budget_is_enforced() {
+        let report = run_case(&case(
+            FuzzProtocol::Task,
+            vec![Action::Crash(0), Action::Crash(1), Action::Crash(2)],
+        ));
+        // f = 1: only the first crash takes effect.
+        assert_eq!(report.alive.len(), 2);
+    }
+
+    #[test]
+    fn restart_frees_the_crash_budget() {
+        let report = run_case(&case(
+            FuzzProtocol::Task,
+            vec![Action::Crash(0), Action::Restart(0), Action::Crash(1)],
+        ));
+        assert_eq!(report.alive.len(), 2);
+        assert!(report.alive.contains(ProcessId::new(0)));
+        assert!(!report.alive.contains(ProcessId::new(1)));
+    }
+
+    #[test]
+    fn full_drain_decides_task_consensus() {
+        // Deliver everything repeatedly: all three processes decide and
+        // agree.
+        let mut actions = Vec::new();
+        for _ in 0..6 {
+            for p in 0..3 {
+                actions.push(Action::DeliverAllTo(p));
+            }
+        }
+        let report = run_case(&case(FuzzProtocol::Task, actions));
+        assert!(report.decisions.iter().all(Option::is_some));
+        let first = report.decide_log[0].1;
+        assert!(report.decide_log.iter().all(|(_, v)| *v == first));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let actions = vec![
+            Action::DeliverIdx(5),
+            Action::Crash(2),
+            Action::DeliverAllTo(0),
+            Action::FireAllTimers(0),
+            Action::DeliverAllTo(1),
+        ];
+        let a = run_case(&case(FuzzProtocol::Task, actions.clone()));
+        let b = run_case(&case(FuzzProtocol::Task, actions));
+        assert_eq!(a.decide_log, b.decide_log);
+        assert_eq!(a.alive, b.alive);
+    }
+}

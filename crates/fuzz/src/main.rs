@@ -1,0 +1,366 @@
+//! `twostep-fuzz` — the schedule-fuzzing CLI.
+//!
+//! ```text
+//! # 1000 random schedules of the task protocol at its (1,1) minimum:
+//! twostep-fuzz --seed 42 --iters 1000 --protocol task
+//!
+//! # Demonstrate that the recovery tie-break is load-bearing: inject the
+//! # min-instead-of-max ablation at the first configuration where it can
+//! # split a recovery quorum, and shrink the counterexample:
+//! twostep-fuzz --protocol task --e 2 --f 2 --ablate no_max_tiebreak
+//!
+//! # Replay a shrunk counterexample:
+//! twostep-fuzz --protocol task --e 2 --f 2 --ablate no_max_tiebreak \
+//!     --replay 'd:5>3 D:5 c:5 c:2 T:0 D:0 ...' --values 0,0,1,0,0,2 --leader 0
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violation found, 2 = usage error.
+
+use std::process::ExitCode;
+
+use twostep_core::Ablations;
+use twostep_fuzz::{
+    check_liveness, check_safety, fuzz_with_progress, run_case, two_step_witness, Failure,
+    FuzzCase, FuzzConfig, FuzzProtocol, Schedule,
+};
+use twostep_types::{ProcessId, SystemConfig};
+
+const USAGE: &str = "\
+twostep-fuzz: deterministic schedule fuzzer with fault injection and shrinking
+
+USAGE:
+    twostep-fuzz [OPTIONS]
+
+OPTIONS:
+    --seed <N>            root seed (default 1); every iteration derives its
+                          own stream seed from it
+    --iters <N>           schedules per protocol (default 1000)
+    --protocol <P>        task | object | paxos | fastpaxos | epaxos | all
+                          (default all)
+    --e <N>               two-step failure bound e (default 1)
+    --f <N>               crash bound f (default 1)
+    --n <N>               process count (default: the protocol's minimum for
+                          the given e, f)
+    --ablate <A>          inject a known bug; repeatable. One of:
+                          no_max_tiebreak | no_proposer_exclusion |
+                          no_object_guard
+    --no-shrink           report the raw failing schedule without minimizing
+    --shrink-budget <N>   max schedule executions while shrinking (default 2000)
+    --liveness            also flag live processes that never decide
+                          (heuristic; termination findings are not shrunk)
+    --replay <SCHEDULE>   run one explicit schedule instead of fuzzing
+                          (requires a single --protocol)
+    --values <CSV>        initial values for --replay (default all zero)
+    --leader <N>          static leader for --replay (default 0)
+    -h, --help            this text
+";
+
+struct Opts {
+    seed: u64,
+    iters: u64,
+    protocols: Vec<FuzzProtocol>,
+    e: usize,
+    f: usize,
+    n: Option<usize>,
+    ablations: Ablations,
+    shrink: bool,
+    shrink_budget: usize,
+    liveness: bool,
+    replay: Option<Schedule>,
+    values: Option<Vec<u64>>,
+    leader: u32,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        seed: 1,
+        iters: 1000,
+        protocols: FuzzProtocol::ALL.to_vec(),
+        e: 1,
+        f: 1,
+        n: None,
+        ablations: Ablations::NONE,
+        shrink: true,
+        shrink_budget: 2000,
+        liveness: false,
+        replay: None,
+        values: None,
+        leader: 0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => o.seed = parse_num(&value()?)?,
+            "--iters" => o.iters = parse_num(&value()?)?,
+            "--protocol" => {
+                let v = value()?;
+                o.protocols = if v == "all" {
+                    FuzzProtocol::ALL.to_vec()
+                } else {
+                    vec![FuzzProtocol::parse(&v).ok_or_else(|| format!("unknown protocol {v:?}"))?]
+                };
+            }
+            "--e" => o.e = parse_num(&value()?)? as usize,
+            "--f" => o.f = parse_num(&value()?)? as usize,
+            "--n" => o.n = Some(parse_num(&value()?)? as usize),
+            "--ablate" => match value()?.as_str() {
+                "no_max_tiebreak" => o.ablations.no_max_tiebreak = true,
+                "no_proposer_exclusion" => o.ablations.no_proposer_exclusion = true,
+                "no_object_guard" => o.ablations.no_object_guard = true,
+                other => return Err(format!("unknown ablation {other:?}")),
+            },
+            "--no-shrink" => o.shrink = false,
+            "--shrink-budget" => o.shrink_budget = parse_num(&value()?)? as usize,
+            "--liveness" => o.liveness = true,
+            "--replay" => {
+                let v = value()?;
+                o.replay = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --replay schedule: {e}"))?,
+                );
+            }
+            "--values" => {
+                let v = value()?;
+                o.values = Some(
+                    v.split(',')
+                        .map(|s| s.trim().parse::<u64>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| format!("bad --values {v:?}"))?,
+                );
+            }
+            "--leader" => o.leader = parse_num(&value()?)? as u32,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("bad number {s:?}"))
+}
+
+fn config_for(p: FuzzProtocol, o: &Opts) -> Result<SystemConfig, String> {
+    let n = o.n.unwrap_or_else(|| p.min_processes(o.e, o.f));
+    SystemConfig::new(n, o.e, o.f).map_err(|e| format!("bad configuration: {e}"))
+}
+
+fn ablation_flags(a: Ablations) -> String {
+    let mut s = String::new();
+    if a.no_max_tiebreak {
+        s.push_str(" --ablate no_max_tiebreak");
+    }
+    if a.no_proposer_exclusion {
+        s.push_str(" --ablate no_proposer_exclusion");
+    }
+    if a.no_object_guard {
+        s.push_str(" --ablate no_object_guard");
+    }
+    s
+}
+
+fn print_failure(fail: &Failure, liveness: bool) {
+    let case = &fail.case;
+    let cfg = case.cfg;
+    println!(
+        "counterexample found: protocol={} n={} e={} f={} iteration={} stream-seed={:#x}",
+        case.protocol.name(),
+        cfg.n(),
+        cfg.e(),
+        cfg.f(),
+        fail.iteration,
+        fail.stream_seed,
+    );
+    println!(
+        "  property violated: {} — {}",
+        fail.verdict.property(),
+        fail.verdict.detail()
+    );
+    let values: Vec<String> = case.values.iter().map(u64::to_string).collect();
+    println!("  values: {}", values.join(","));
+    println!("  leader: {}", case.leader);
+    println!(
+        "  schedule ({} actions): {}",
+        case.schedule.len(),
+        case.schedule
+    );
+    let replayed = match &fail.shrunk {
+        Some(shrunk) => {
+            println!(
+                "  shrunk ({} actions, {} executions): {}",
+                shrunk.len(),
+                fail.shrink_executions,
+                shrunk
+            );
+            shrunk
+        }
+        None => &case.schedule,
+    };
+    println!(
+        "  replay: twostep-fuzz --protocol {} --e {} --f {} --n {}{}{} --replay '{}' --values {} --leader {}",
+        case.protocol.name(),
+        cfg.e(),
+        cfg.f(),
+        cfg.n(),
+        ablation_flags(case.ablations),
+        if liveness { " --liveness" } else { "" },
+        replayed,
+        values.join(","),
+        case.leader.as_u32(),
+    );
+}
+
+fn run_replay(o: &Opts) -> Result<bool, String> {
+    let schedule = o.replay.clone().expect("checked by caller");
+    if o.protocols.len() != 1 {
+        return Err("--replay needs a single --protocol".into());
+    }
+    let protocol = o.protocols[0];
+    let cfg = config_for(protocol, o)?;
+    let values = match &o.values {
+        Some(v) if v.len() == cfg.n() => v.clone(),
+        Some(v) => {
+            return Err(format!(
+                "--values has {} entries, need n={}",
+                v.len(),
+                cfg.n()
+            ))
+        }
+        None => vec![0; cfg.n()],
+    };
+    if o.leader as usize >= cfg.n() {
+        return Err(format!(
+            "--leader {} out of range for n={}",
+            o.leader,
+            cfg.n()
+        ));
+    }
+    let case = FuzzCase {
+        protocol,
+        cfg,
+        values,
+        leader: ProcessId::new(o.leader),
+        ablations: o.ablations,
+        schedule,
+    };
+    let report = run_case(&case);
+    let verdict = check_safety(protocol, &report).or_else(|| {
+        if o.liveness {
+            check_liveness(&report, report.alive)
+        } else {
+            None
+        }
+    });
+    let decided: Vec<String> = report
+        .decide_log
+        .iter()
+        .map(|(p, v)| format!("{p}:{v}"))
+        .collect();
+    println!(
+        "replayed {} actions: decisions [{}]",
+        case.schedule.len(),
+        decided.join(" "),
+    );
+    match verdict {
+        Some(v) => {
+            println!("property violated: {} — {}", v.property(), v.detail());
+            Ok(false)
+        }
+        None => {
+            println!("no violation");
+            Ok(true)
+        }
+    }
+}
+
+fn run_fuzz(o: &Opts) -> Result<bool, String> {
+    let mut clean = true;
+    for &protocol in &o.protocols {
+        let cfg = config_for(protocol, o)?;
+        let fc = FuzzConfig {
+            protocol,
+            cfg,
+            seed: o.seed,
+            iters: o.iters,
+            ablations: o.ablations,
+            shrink: o.shrink,
+            shrink_budget: o.shrink_budget,
+            liveness: o.liveness,
+        };
+        println!(
+            "fuzzing {}: n={} e={} f={} seed={} iters={}{}",
+            protocol.name(),
+            cfg.n(),
+            cfg.e(),
+            cfg.f(),
+            o.seed,
+            o.iters,
+            ablation_flags(o.ablations),
+        );
+        // Pre-flight: the timed two-step-ness witness (Paxos is exempt —
+        // it has no fast path). Ablations only weaken safety, so the
+        // witness runs unablated.
+        if let Err(err) = two_step_witness(protocol, cfg) {
+            println!("  two-step witness FAILED: {err}");
+            return Ok(false);
+        }
+        let outcome = fuzz_with_progress(&fc, |done| {
+            println!("  ... {done}/{} schedules", o.iters);
+        });
+        match &outcome.failure {
+            None => println!(
+                "  clean: {} schedules, no violation",
+                outcome.iterations_run
+            ),
+            Some(fail) => {
+                print_failure(fail, o.liveness);
+                clean = false;
+                if fail.verdict.is_safety() {
+                    // Safety bugs stop the campaign; a liveness finding
+                    // still lets the remaining protocols run.
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if opts.replay.is_some() {
+        run_replay(&opts)
+    } else {
+        run_fuzz(&opts)
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

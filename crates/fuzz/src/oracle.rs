@@ -1,0 +1,173 @@
+//! Safety oracles: the fuzzer's pass/fail judgement.
+//!
+//! A [`RunReport`] is converted to a synthetic [`Trace`] of `Decided`
+//! events (the untimed [`twostep_sim::ManualExecutor`] has no clock, so
+//! all events are stamped `Time::ZERO`) and handed to the verification
+//! crate's property checkers. Reusing `twostep-verify` as the oracle
+//! means the fuzzer and the exhaustive model checker disagree about
+//! correctness only if one of them mis-translates a run — never about
+//! what "correct" means.
+
+use twostep_sim::{Trace, TraceEvent};
+use twostep_types::{ProcessSet, Time};
+use twostep_verify::{check_agreement, check_integrity, check_termination, check_validity};
+
+use crate::case::{FuzzProtocol, RunReport};
+
+/// A safety (or, when requested, liveness) violation found by the
+/// oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Two processes decided different values.
+    Agreement(String),
+    /// A decided value was never proposed.
+    Validity(String),
+    /// A process decided more than once.
+    Integrity(String),
+    /// A live process failed to decide (only checked with `--liveness`).
+    Termination(String),
+}
+
+impl Verdict {
+    /// The violated property's name.
+    pub fn property(&self) -> &'static str {
+        match self {
+            Verdict::Agreement(_) => "agreement",
+            Verdict::Validity(_) => "validity",
+            Verdict::Integrity(_) => "integrity",
+            Verdict::Termination(_) => "termination",
+        }
+    }
+
+    /// The oracle's explanation of the violation.
+    pub fn detail(&self) -> &str {
+        match self {
+            Verdict::Agreement(d)
+            | Verdict::Validity(d)
+            | Verdict::Integrity(d)
+            | Verdict::Termination(d) => d,
+        }
+    }
+
+    /// Whether this is a safety violation (vs. a liveness one).
+    pub fn is_safety(&self) -> bool {
+        !matches!(self, Verdict::Termination(_))
+    }
+}
+
+fn synthetic_trace(report: &RunReport) -> Trace<u64> {
+    let mut trace = Trace::new();
+    for &(process, value) in &report.decide_log {
+        trace.push(TraceEvent::Decided {
+            time: Time::ZERO,
+            process,
+            value,
+        });
+    }
+    trace
+}
+
+/// Checks the protocol's safety properties on a run, most severe first.
+///
+/// Agreement is only meaningful for single-decree protocols; EPaxosLite
+/// commits one command *per proposer* (its `decide` event means "own
+/// command committed"), so for it only Validity and Integrity apply.
+pub fn check_safety(protocol: FuzzProtocol, report: &RunReport) -> Option<Verdict> {
+    let trace = synthetic_trace(report);
+    if protocol != FuzzProtocol::EPaxos {
+        if let Err(v) = check_agreement(&trace) {
+            return Some(Verdict::Agreement(v.to_string()));
+        }
+    }
+    if let Err(v) = check_validity(&trace, &report.proposed) {
+        return Some(Verdict::Validity(v.to_string()));
+    }
+    if let Err(v) = check_integrity(&trace) {
+        return Some(Verdict::Integrity(v.to_string()));
+    }
+    None
+}
+
+/// Checks that every process in `correct` decided. Only meaningful
+/// after a schedule that drains all messages and fires all timers; the
+/// runner gates this behind `--liveness` for that reason.
+pub fn check_liveness(report: &RunReport, correct: ProcessSet) -> Option<Verdict> {
+    let trace = synthetic_trace(report);
+    check_termination(&trace, correct)
+        .err()
+        .map(|v| Verdict::Termination(v.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_types::ProcessId;
+
+    fn report(decide_log: Vec<(u32, u64)>, proposed: Vec<u64>) -> RunReport {
+        let alive = (0..3).map(ProcessId::new).collect();
+        RunReport {
+            decide_log: decide_log
+                .into_iter()
+                .map(|(p, v)| (ProcessId::new(p), v))
+                .collect(),
+            decisions: vec![None; 3],
+            proposed,
+            alive,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let r = report(vec![(0, 7), (1, 7), (2, 7)], vec![7, 8]);
+        assert_eq!(check_safety(FuzzProtocol::Task, &r), None);
+    }
+
+    #[test]
+    fn split_decision_is_agreement_violation() {
+        let r = report(vec![(0, 7), (1, 8)], vec![7, 8]);
+        let v = check_safety(FuzzProtocol::Task, &r).expect("should flag");
+        assert_eq!(v.property(), "agreement");
+        assert!(v.is_safety());
+    }
+
+    #[test]
+    fn unproposed_value_is_validity_violation() {
+        let r = report(vec![(0, 9), (1, 9)], vec![7, 8]);
+        assert_eq!(
+            check_safety(FuzzProtocol::Task, &r).unwrap().property(),
+            "validity"
+        );
+    }
+
+    #[test]
+    fn double_decide_is_integrity_violation() {
+        let r = report(vec![(0, 7), (0, 7)], vec![7]);
+        assert_eq!(
+            check_safety(FuzzProtocol::Task, &r).unwrap().property(),
+            "integrity"
+        );
+    }
+
+    #[test]
+    fn epaxos_tolerates_per_proposer_decisions() {
+        // Each replica committing its own command is EPaxos's normal
+        // outcome, not an agreement violation.
+        let r = report(vec![(0, 7), (1, 8)], vec![7, 8]);
+        assert_eq!(check_safety(FuzzProtocol::EPaxos, &r), None);
+        // But double commits and unproposed commands still count.
+        let r = report(vec![(0, 7), (0, 7)], vec![7]);
+        assert_eq!(
+            check_safety(FuzzProtocol::EPaxos, &r).unwrap().property(),
+            "integrity"
+        );
+    }
+
+    #[test]
+    fn liveness_flags_silent_live_process() {
+        let r = report(vec![(0, 7), (1, 7)], vec![7]);
+        let correct: ProcessSet = (0..3).map(ProcessId::new).collect();
+        let v = check_liveness(&r, correct).expect("p2 never decided");
+        assert_eq!(v.property(), "termination");
+        assert!(!v.is_safety());
+    }
+}

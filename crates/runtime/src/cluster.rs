@@ -55,7 +55,13 @@ impl<V: Value> Cluster<V> {
         let mut nodes = Vec::with_capacity(n);
         for (i, inbox) in inboxes.into_iter().enumerate() {
             let p = ProcessId::new(i as u32);
-            nodes.push(spawn(make(p), inbox, transport.clone(), wall_delta, dtx.clone()));
+            nodes.push(spawn(
+                make(p),
+                inbox,
+                transport.clone(),
+                wall_delta,
+                dtx.clone(),
+            ));
         }
         Cluster {
             cfg,
@@ -139,7 +145,9 @@ impl<V: Value> Cluster<V> {
     /// The first decision of `p` observed so far, without blocking.
     pub fn decision_of(&self, p: ProcessId) -> Option<V> {
         self.drain();
-        self.observed.lock()[p.index()].as_ref().map(|(v, _)| v.clone())
+        self.observed.lock()[p.index()]
+            .as_ref()
+            .map(|(v, _)| v.clone())
     }
 
     /// Waits until `p` decides or `timeout` elapses; returns the value.
@@ -214,8 +222,8 @@ impl<V: Value> Cluster<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twostep_types::protocol::{Effects, TimerId};
     use serde::{Deserialize, Serialize};
+    use twostep_types::protocol::{Effects, TimerId};
 
     fn p(i: u32) -> ProcessId {
         ProcessId::new(i)
@@ -261,8 +269,11 @@ mod tests {
     fn in_memory_cluster_propagates_decision() {
         let cfg = SystemConfig::new(3, 1, 1).unwrap();
         let n = cfg.n();
-        let cluster =
-            Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay { me: q, n, decided: None });
+        let cluster = Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay {
+            me: q,
+            n,
+            decided: None,
+        });
         cluster.propose(p(1), 55);
         assert!(cluster.await_decisions(cfg.process_ids(), WallDuration::from_secs(5)));
         assert_eq!(cluster.decisions(), vec![Some(55), Some(55), Some(55)]);
@@ -274,13 +285,22 @@ mod tests {
     fn crash_is_silent() {
         let cfg = SystemConfig::new(3, 1, 1).unwrap();
         let n = cfg.n();
-        let mut cluster =
-            Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay { me: q, n, decided: None });
+        let mut cluster = Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay {
+            me: q,
+            n,
+            decided: None,
+        });
         cluster.crash(p(0));
         cluster.propose(p(0), 1); // swallowed
-        assert_eq!(cluster.await_decision(p(1), WallDuration::from_millis(300)), None);
+        assert_eq!(
+            cluster.await_decision(p(1), WallDuration::from_millis(300)),
+            None
+        );
         cluster.propose(p(1), 2);
-        assert_eq!(cluster.await_decision(p(2), WallDuration::from_secs(5)), Some(2));
+        assert_eq!(
+            cluster.await_decision(p(2), WallDuration::from_secs(5)),
+            Some(2)
+        );
         assert_eq!(cluster.decision_of(p(0)), None);
     }
 

@@ -97,7 +97,9 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
     if d.input.is_empty() {
         Ok(value)
     } else {
-        Err(CodecError::TrailingBytes { remaining: d.input.len() })
+        Err(CodecError::TrailingBytes {
+            remaining: d.input.len(),
+        })
     }
 }
 
@@ -434,7 +436,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_seq<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
         let len = self.take_len()?;
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<W: de::Visitor<'de>>(
@@ -442,7 +447,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: W,
     ) -> Result<W::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<W: de::Visitor<'de>>(
@@ -456,7 +464,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_map<W: de::Visitor<'de>>(self, visitor: W) -> Result<W::Value, CodecError> {
         let len = self.take_len()?;
-        visitor.visit_map(Counted { de: self, remaining: len })
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<W: de::Visitor<'de>>(
@@ -645,7 +656,10 @@ mod tests {
         roundtrip(Sample::Unit);
         roundtrip(Sample::Newtype(7));
         roundtrip(Sample::Tuple(1, "two".into()));
-        roundtrip(Sample::Struct { a: Some(3), b: vec![4, 5] });
+        roundtrip(Sample::Struct {
+            a: Some(3),
+            b: vec![4, 5],
+        });
         roundtrip(vec![Sample::Unit, Sample::Newtype(1)]);
     }
 

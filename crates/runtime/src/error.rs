@@ -59,7 +59,9 @@ mod tests {
         let e = RuntimeError::from(CodecError::UnexpectedEof);
         assert!(e.to_string().contains("codec error"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = RuntimeError::NodeGone { process: twostep_types::ProcessId::new(2) };
+        let e = RuntimeError::NodeGone {
+            process: twostep_types::ProcessId::new(2),
+        };
         assert!(e.to_string().contains("p2"));
     }
 }

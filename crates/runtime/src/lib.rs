@@ -25,8 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod codec;
 mod cluster;
+pub mod codec;
 mod error;
 pub mod node;
 mod transport;

@@ -147,7 +147,11 @@ where
         })
         .expect("spawn node thread");
 
-    NodeHandle { id, control: control_tx, join: Some(join) }
+    NodeHandle {
+        id,
+        control: control_tx,
+        join: Some(join),
+    }
 }
 
 fn apply<V, P, T>(
@@ -242,7 +246,10 @@ mod tests {
         let (transport, mut inboxes) = InMemoryTransport::new(1);
         let (dtx, drx) = crossbeam::channel::unbounded();
         let node = spawn(
-            Toy { me: p(0), decided: None },
+            Toy {
+                me: p(0),
+                decided: None,
+            },
             inboxes.remove(0),
             transport,
             WallDuration::from_millis(10),
@@ -260,14 +267,20 @@ mod tests {
         let rx1 = inboxes.pop().unwrap();
         let rx0 = inboxes.pop().unwrap();
         let _n0 = spawn(
-            Toy { me: p(0), decided: None },
+            Toy {
+                me: p(0),
+                decided: None,
+            },
             rx0,
             transport.clone(),
             WallDuration::from_millis(10),
             dtx.clone(),
         );
         let _n1 = spawn(
-            Toy { me: p(1), decided: None },
+            Toy {
+                me: p(1),
+                decided: None,
+            },
             rx1,
             transport.clone(),
             WallDuration::from_millis(10),
@@ -287,7 +300,10 @@ mod tests {
         let (dtx, drx) = crossbeam::channel::unbounded();
         let started = Instant::now();
         let _node = spawn(
-            Toy { me: p(0), decided: None },
+            Toy {
+                me: p(0),
+                decided: None,
+            },
             inboxes.remove(0),
             transport,
             WallDuration::from_millis(5), // Δ = 5ms → timer at 20ms
@@ -296,7 +312,10 @@ mod tests {
         let (_, v, at) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
         assert_eq!(v, 999);
         let elapsed = at.duration_since(started);
-        assert!(elapsed >= WallDuration::from_millis(15), "fired too early: {elapsed:?}");
+        assert!(
+            elapsed >= WallDuration::from_millis(15),
+            "fired too early: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -304,7 +323,10 @@ mod tests {
         let (transport, mut inboxes) = InMemoryTransport::new(1);
         let (dtx, drx) = crossbeam::channel::unbounded();
         let mut node = spawn(
-            Toy { me: p(0), decided: None },
+            Toy {
+                me: p(0),
+                decided: None,
+            },
             inboxes.remove(0),
             transport,
             WallDuration::from_millis(10),
@@ -321,7 +343,10 @@ mod tests {
         let (transport, mut inboxes) = InMemoryTransport::new(1);
         let (dtx, drx) = crossbeam::channel::unbounded();
         let _node = spawn(
-            Toy { me: p(0), decided: None },
+            Toy {
+                me: p(0),
+                decided: None,
+            },
             inboxes.remove(0),
             transport.clone(),
             WallDuration::from_millis(10),

@@ -55,7 +55,12 @@ impl InMemoryTransport {
             senders.push(tx);
             receivers.push(rx);
         }
-        (InMemoryTransport { inboxes: Arc::new(senders) }, receivers)
+        (
+            InMemoryTransport {
+                inboxes: Arc::new(senders),
+            },
+            receivers,
+        )
     }
 }
 
@@ -230,8 +235,14 @@ mod tests {
         // Multiple frames on one connection keep their boundaries.
         t0.send(p(0), p(1), Bytes::from_static(b"one"));
         t0.send(p(0), p(1), Bytes::from_static(b"two"));
-        assert_eq!(&rx1.recv_timeout(Duration::from_secs(5)).unwrap().1[..], b"one");
-        assert_eq!(&rx1.recv_timeout(Duration::from_secs(5)).unwrap().1[..], b"two");
+        assert_eq!(
+            &rx1.recv_timeout(Duration::from_secs(5)).unwrap().1[..],
+            b"one"
+        );
+        assert_eq!(
+            &rx1.recv_timeout(Duration::from_secs(5)).unwrap().1[..],
+            b"two"
+        );
     }
 
     #[test]

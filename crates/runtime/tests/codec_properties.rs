@@ -16,7 +16,11 @@ enum Node {
     Pair(Box<Node>, Box<Node>),
     Many(Vec<Node>),
     Map(BTreeMap<String, u64>),
-    Struct { flag: bool, opt: Option<u32>, bytes: Vec<u8> },
+    Struct {
+        flag: bool,
+        opt: Option<u32>,
+        bytes: Vec<u8>,
+    },
 }
 
 fn node_strategy() -> impl Strategy<Value = Node> {
@@ -24,14 +28,17 @@ fn node_strategy() -> impl Strategy<Value = Node> {
         Just(Node::Leaf),
         any::<i64>().prop_map(Node::Num),
         "[a-zA-Zα-ω0-9 ]{0,12}".prop_map(Node::Text),
-        (any::<bool>(), proptest::option::of(any::<u32>()), proptest::collection::vec(any::<u8>(), 0..8))
+        (
+            any::<bool>(),
+            proptest::option::of(any::<u32>()),
+            proptest::collection::vec(any::<u8>(), 0..8)
+        )
             .prop_map(|(flag, opt, bytes)| Node::Struct { flag, opt, bytes }),
         proptest::collection::btree_map("[a-z]{1,4}", any::<u64>(), 0..4).prop_map(Node::Map),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Pair(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Pair(Box::new(a), Box::new(b))),
             proptest::collection::vec(inner, 0..4).prop_map(Node::Many),
         ]
     })

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use twostep_types::{Duration, ProcessId, Time, DELTA};
+use twostep_types::{Duration, ProcessId, ProcessSet, Time, DELTA};
 
 /// What the network does with one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,95 @@ impl DelayModel for UniformDelay {
     }
 }
 
+/// A network partition layered over an inner delay model.
+///
+/// During `[from, until)` (with `until = None` meaning forever),
+/// messages whose endpoints share no group are dropped; everything else
+/// is delegated to the inner model. This is the delay-model counterpart
+/// of [`crate::Simulation::partition_at`]/[`crate::Simulation::heal_at`]
+/// for callers who compose delay models instead of scripting the engine.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_sim::{DelayModel, LinkBehavior, Partition, SynchronousRounds};
+/// use twostep_types::{Duration, ProcessId, ProcessSet, Time};
+///
+/// let groups = vec![
+///     [ProcessId::new(0), ProcessId::new(1)].into_iter().collect::<ProcessSet>(),
+///     [ProcessId::new(2)].into_iter().collect::<ProcessSet>(),
+/// ];
+/// let mut m = Partition::new(SynchronousRounds, groups)
+///     .active_from(Time::ZERO)
+///     .heal_after(Time::ZERO + Duration::deltas(2));
+/// let p0 = ProcessId::new(0);
+/// let p2 = ProcessId::new(2);
+/// assert_eq!(m.delay(p0, p2, Time::ZERO), LinkBehavior::Drop);
+/// // After the heal the inner model takes over again.
+/// assert!(matches!(
+///     m.delay(p0, p2, Time::ZERO + Duration::deltas(2)),
+///     LinkBehavior::Deliver(_)
+/// ));
+/// ```
+#[derive(Debug)]
+pub struct Partition<D> {
+    inner: D,
+    groups: Vec<ProcessSet>,
+    from: Time,
+    until: Option<Time>,
+}
+
+impl<D: DelayModel> Partition<D> {
+    /// Partitions the network into `groups`, active from time zero and
+    /// never healing until configured otherwise.
+    pub fn new(inner: D, groups: Vec<ProcessSet>) -> Self {
+        Partition {
+            inner,
+            groups,
+            from: Time::ZERO,
+            until: None,
+        }
+    }
+
+    /// Sets when the partition starts cutting links (inclusive).
+    pub fn active_from(mut self, from: Time) -> Self {
+        self.from = from;
+        self
+    }
+
+    /// Sets when the partition heals (exclusive: sends at `until` get
+    /// through).
+    pub fn heal_after(mut self, until: Time) -> Self {
+        self.until = Some(until);
+        self
+    }
+
+    fn cuts(&self, from: ProcessId, to: ProcessId, send_time: Time) -> bool {
+        if from == to || send_time < self.from {
+            return false;
+        }
+        if let Some(until) = self.until {
+            if send_time >= until {
+                return false;
+            }
+        }
+        !self
+            .groups
+            .iter()
+            .any(|g| g.contains(from) && g.contains(to))
+    }
+}
+
+impl<D: DelayModel> DelayModel for Partition<D> {
+    fn delay(&mut self, from: ProcessId, to: ProcessId, send_time: Time) -> LinkBehavior {
+        if self.cuts(from, to, send_time) {
+            LinkBehavior::Drop
+        } else {
+            self.inner.delay(from, to, send_time)
+        }
+    }
+}
+
 /// Per-message delay drawn uniformly from `[min, max]`, deterministic for
 /// a given seed.
 #[derive(Debug)]
@@ -86,7 +175,11 @@ impl RandomDelay {
     /// Panics if `min > max`.
     pub fn new(min: Duration, max: Duration, seed: u64) -> Self {
         assert!(min <= max, "min delay must not exceed max delay");
-        RandomDelay { min, max, rng: StdRng::seed_from_u64(seed) }
+        RandomDelay {
+            min,
+            max,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// A model spanning `[Δ/5, Δ]`, a convenient "asynchronous but
@@ -128,7 +221,11 @@ impl Lossy {
             (0.0..=1.0).contains(&drop_probability),
             "drop probability must be in [0, 1]"
         );
-        Lossy { drop_probability, max_delay, rng: StdRng::seed_from_u64(seed) }
+        Lossy {
+            drop_probability,
+            max_delay,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -212,7 +309,10 @@ impl WanMatrix {
     /// Panics if the matrix is not square.
     pub fn new(one_way: Vec<Vec<Duration>>) -> Self {
         let n = one_way.len();
-        assert!(one_way.iter().all(|row| row.len() == n), "latency matrix must be square");
+        assert!(
+            one_way.iter().all(|row| row.len() == n),
+            "latency matrix must be square"
+        );
         WanMatrix { one_way }
     }
 
@@ -318,7 +418,10 @@ mod tests {
         let drops = (0..1000)
             .filter(|_| m.delay(p(0), p(1), Time::ZERO) == LinkBehavior::Drop)
             .count();
-        assert!((350..=650).contains(&drops), "got {drops} drops out of 1000");
+        assert!(
+            (350..=650).contains(&drops),
+            "got {drops} drops out of 1000"
+        );
     }
 
     #[test]
@@ -353,7 +456,10 @@ mod tests {
             vec![d(30), d(0), d(60)],
             vec![d(80), d(60), d(0)],
         ]);
-        assert_eq!(m.delay(p(0), p(2), Time::ZERO), LinkBehavior::Deliver(d(80)));
+        assert_eq!(
+            m.delay(p(0), p(2), Time::ZERO),
+            LinkBehavior::Deliver(d(80))
+        );
         assert_eq!(m.latency(p(2), p(1)), d(60));
         assert_eq!(m.max_latency(), d(80));
         assert_eq!(m.len(), 3);
@@ -364,5 +470,47 @@ mod tests {
     fn wan_matrix_rejects_ragged() {
         let d = |u| Duration::from_units(u);
         let _ = WanMatrix::new(vec![vec![d(0), d(1)], vec![d(1)]]);
+    }
+
+    #[test]
+    fn partition_model_cuts_only_cross_group_in_window() {
+        let groups = vec![
+            [p(0), p(1)].into_iter().collect::<ProcessSet>(),
+            [p(2)].into_iter().collect::<ProcessSet>(),
+        ];
+        let heal = Time::ZERO + Duration::deltas(2);
+        let mut m = Partition::new(UniformDelay(Duration::from_units(10)), groups)
+            .active_from(Time::ZERO)
+            .heal_after(heal);
+        // Cross-group: dropped while the partition is up.
+        assert_eq!(m.delay(p(0), p(2), Time::ZERO), LinkBehavior::Drop);
+        assert_eq!(m.delay(p(2), p(1), Time::from_units(1)), LinkBehavior::Drop);
+        // Same-group and self links pass through to the inner model.
+        assert_eq!(
+            m.delay(p(0), p(1), Time::ZERO),
+            LinkBehavior::Deliver(Duration::from_units(10))
+        );
+        assert_eq!(
+            m.delay(p(2), p(2), Time::ZERO),
+            LinkBehavior::Deliver(Duration::from_units(10))
+        );
+        // After the heal everything passes.
+        assert_eq!(
+            m.delay(p(0), p(2), heal),
+            LinkBehavior::Deliver(Duration::from_units(10))
+        );
+    }
+
+    #[test]
+    fn partition_model_isolates_unlisted_processes() {
+        // p2 appears in no group: every non-self link to or from it is cut.
+        let groups = vec![[p(0), p(1)].into_iter().collect::<ProcessSet>()];
+        let mut m = Partition::new(UniformDelay(Duration::from_units(10)), groups);
+        assert_eq!(m.delay(p(2), p(0), Time::ZERO), LinkBehavior::Drop);
+        assert_eq!(m.delay(p(1), p(2), Time::ZERO), LinkBehavior::Drop);
+        assert_eq!(
+            m.delay(p(2), p(2), Time::ZERO),
+            LinkBehavior::Deliver(Duration::from_units(10))
+        );
     }
 }

@@ -86,6 +86,8 @@ pub struct SimulationBuilder {
     delay_model: Box<dyn DelayModel>,
     order: DeliveryOrder,
     crashes: Vec<(ProcessId, Time)>,
+    restarts: Vec<(ProcessId, Time)>,
+    topology_changes: Vec<(Time, Option<Vec<ProcessSet>>)>,
     proposals_by_time: Vec<(ProcessId, u64)>, // (process, time units); values added at build
 }
 
@@ -98,6 +100,8 @@ impl SimulationBuilder {
             delay_model: Box::new(crate::SynchronousRounds),
             order: DeliveryOrder::SendOrder,
             crashes: Vec::new(),
+            restarts: Vec::new(),
+            topology_changes: Vec::new(),
             proposals_by_time: Vec::new(),
         }
     }
@@ -121,6 +125,31 @@ impl SimulationBuilder {
         self
     }
 
+    /// Schedules `p` to restart at `time` with its pre-crash protocol
+    /// state intact. A restart of a process that is not crashed at
+    /// `time` is a no-op.
+    pub fn restart_at(mut self, p: ProcessId, time: Time) -> Self {
+        self.restarts.push((p, time));
+        self
+    }
+
+    /// Partitions the network into `groups` from `time` onwards:
+    /// messages *sent* between different groups are dropped. Messages
+    /// already in flight when the partition starts still arrive, and
+    /// self-addressed messages always get through. A process appearing
+    /// in no group is isolated.
+    pub fn partition_at(mut self, time: Time, groups: Vec<ProcessSet>) -> Self {
+        self.topology_changes.push((time, Some(groups)));
+        self
+    }
+
+    /// Heals any partition from `time` onwards: the network is fully
+    /// connected again for messages sent at or after `time`.
+    pub fn heal_at(mut self, time: Time) -> Self {
+        self.topology_changes.push((time, None));
+        self
+    }
+
     /// Finishes the builder, constructing each process with `make`.
     pub fn build<V, P, F>(self, make: F) -> Simulation<V, P>
     where
@@ -132,6 +161,15 @@ impl SimulationBuilder {
         let mut sim = Simulation::new(self.cfg, make, self.delay_model, self.order);
         for (p, t) in self.crashes {
             sim.schedule_crash(p, t);
+        }
+        for (p, t) in self.restarts {
+            sim.schedule_restart(p, t);
+        }
+        for (t, groups) in self.topology_changes {
+            match groups {
+                Some(g) => sim.partition_at(t, g),
+                None => sim.heal_at(t),
+            }
         }
         sim
     }
@@ -145,8 +183,15 @@ pub struct Simulation<V: Value, P: Protocol<V>> {
     now: Time,
     queue: BinaryHeap<Reverse<QueuedEvent<V, P::Message>>>,
     seq: u64,
-    timers: Vec<HashMap<TimerId, u64>>,
+    // Per process: armed timers, each with the generation that guards
+    // against stale queued expirations and the delay it was set with
+    // (needed to re-arm after a crash-restart).
+    timers: Vec<HashMap<TimerId, (u64, Duration)>>,
     timer_generation: u64,
+    // Network topology changes, sorted by time: `Some(groups)` installs
+    // a partition, `None` heals it. The last entry at or before `now`
+    // governs which sends get through.
+    topology_changes: Vec<(Time, Option<Vec<ProcessSet>>)>,
     delay_model: Box<dyn DelayModel>,
     order: DeliveryOrder,
     trace: Trace<V>,
@@ -177,6 +222,7 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
             seq: 0,
             timers: vec![HashMap::new(); n],
             timer_generation: 0,
+            topology_changes: Vec::new(),
             delay_model,
             order,
             trace: Trace::new(),
@@ -231,6 +277,20 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
         self.enqueue(time, 0, EventKind::Crash(p));
     }
 
+    /// Schedules `p` to restart at `time`. The process rejoins with the
+    /// protocol state it had when it crashed; timers that were armed at
+    /// the crash are re-armed with their full original delay measured
+    /// from the restart. Restarting a process that is alive at `time`
+    /// is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_restart(&mut self, p: ProcessId, time: Time) {
+        assert!(time >= self.now, "cannot schedule a restart in the past");
+        self.enqueue(time, 0, EventKind::Restart(p));
+    }
+
     /// Schedules a client proposal of `value` at process `p` at `time`.
     ///
     /// # Panics
@@ -241,10 +301,62 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
         self.enqueue(time, 0, EventKind::Propose(p, value));
     }
 
+    /// Partitions the network into `groups` for messages sent at or
+    /// after `time`: a message whose sender and receiver share no group
+    /// is dropped at send time (traced as [`TraceEvent::MessageDropped`]).
+    /// Messages already in flight are unaffected, and self-addressed
+    /// messages always get through. A process in no group is isolated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn partition_at(&mut self, time: Time, groups: Vec<ProcessSet>) {
+        assert!(time >= self.now, "cannot schedule a partition in the past");
+        self.push_topology_change(time, Some(groups));
+    }
+
+    /// Removes any partition for messages sent at or after `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn heal_at(&mut self, time: Time) {
+        assert!(time >= self.now, "cannot schedule a heal in the past");
+        self.push_topology_change(time, None);
+    }
+
+    fn push_topology_change(&mut self, time: Time, groups: Option<Vec<ProcessSet>>) {
+        // Keep the schedule sorted; later insertions at the same time
+        // win (partition_point lands after equal-time entries).
+        let idx = self.topology_changes.partition_point(|(t, _)| *t <= time);
+        self.topology_changes.insert(idx, (time, groups));
+    }
+
+    /// Whether a message sent now from `from` to `to` crosses a
+    /// partition cut.
+    fn connected(&self, from: ProcessId, to: ProcessId) -> bool {
+        match self
+            .topology_changes
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= self.now)
+        {
+            None | Some((_, None)) => true,
+            Some((_, Some(groups))) => {
+                from == to || groups.iter().any(|g| g.contains(from) && g.contains(to))
+            }
+        }
+    }
+
     fn enqueue(&mut self, time: Time, order_key: u64, kind: EventKind<V, P::Message>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, order_key, seq, kind }));
+        self.queue.push(Reverse(QueuedEvent {
+            time,
+            order_key,
+            seq,
+            kind,
+        }));
     }
 
     /// Executes the next event, if any; returns whether one was executed.
@@ -258,7 +370,39 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
         match event.kind {
             EventKind::Crash(p) => {
                 if self.alive.remove(p) {
-                    self.trace.push(TraceEvent::Crashed { time: self.now, process: p });
+                    self.trace.push(TraceEvent::Crashed {
+                        time: self.now,
+                        process: p,
+                    });
+                }
+            }
+            EventKind::Restart(p) => {
+                if self.alive.insert(p) {
+                    self.trace.push(TraceEvent::Restarted {
+                        time: self.now,
+                        process: p,
+                    });
+                    // Timers armed at crash time re-arm with their full
+                    // original delay from now. Expirations consumed while
+                    // the process was down kept their map entry, so
+                    // re-enqueueing under the same generation either
+                    // fires exactly once or is superseded by the
+                    // original event if that has not popped yet.
+                    let rearm: Vec<(TimerId, u64, Duration)> = self.timers[p.index()]
+                        .iter()
+                        .map(|(&timer, &(generation, delay))| (timer, generation, delay))
+                        .collect();
+                    for (timer, generation, delay) in rearm {
+                        self.enqueue(
+                            self.now + delay,
+                            0,
+                            EventKind::Timer {
+                                at: p,
+                                timer,
+                                generation,
+                            },
+                        );
+                    }
                 }
             }
             EventKind::Start(p) => {
@@ -293,8 +437,13 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
                     self.apply_effects(to, eff);
                 }
             }
-            EventKind::Timer { at, timer, generation } => {
-                let armed = self.timers[at.index()].get(&timer) == Some(&generation);
+            EventKind::Timer {
+                at,
+                timer,
+                generation,
+            } => {
+                let armed =
+                    self.timers[at.index()].get(&timer).map(|&(g, _)| g) == Some(generation);
                 if armed && self.alive.contains(at) {
                     self.timers[at.index()].remove(&timer);
                     self.trace.push(TraceEvent::TimerFired {
@@ -313,7 +462,11 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
 
     fn apply_effects(&mut self, p: ProcessId, eff: Effects<V, P::Message>) {
         for v in eff.decisions {
-            self.trace.push(TraceEvent::Decided { time: self.now, process: p, value: v.clone() });
+            self.trace.push(TraceEvent::Decided {
+                time: self.now,
+                process: p,
+                value: v.clone(),
+            });
             if self.decisions[p.index()].is_none() {
                 self.decisions[p.index()] = Some((v, self.now));
             }
@@ -325,6 +478,17 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
                 to,
                 kind: msg_kind(&msg),
             });
+            // A partition cut drops the message before the delay model
+            // even sees it: the link is down, not slow.
+            if !self.connected(p, to) {
+                self.trace.push(TraceEvent::MessageDropped {
+                    time: self.now,
+                    from: p,
+                    to,
+                    kind: msg_kind(&msg),
+                });
+                continue;
+            }
             // Self-addressed messages go through the delay model like any
             // other message: in the paper's round model a process's
             // message to itself arrives next round, and the existential
@@ -348,8 +512,16 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
         for (timer, delay) in eff.timer_sets {
             self.timer_generation += 1;
             let generation = self.timer_generation;
-            self.timers[p.index()].insert(timer, generation);
-            self.enqueue(self.now + delay, 0, EventKind::Timer { at: p, timer, generation });
+            self.timers[p.index()].insert(timer, (generation, delay));
+            self.enqueue(
+                self.now + delay,
+                0,
+                EventKind::Timer {
+                    at: p,
+                    timer,
+                    generation,
+                },
+            );
         }
         for timer in eff.timer_cancels {
             self.timers[p.index()].remove(&timer);
@@ -611,6 +783,130 @@ mod tests {
     }
 
     #[test]
+    fn partition_drops_cross_group_sends() {
+        let cfg = cfg3();
+        let majority: ProcessSet = [ProcessId::new(0), ProcessId::new(1)].into_iter().collect();
+        let minority: ProcessSet = [ProcessId::new(2)].into_iter().collect();
+        let outcome = SimulationBuilder::new(cfg)
+            .partition_at(Time::ZERO, vec![majority, minority])
+            .build(flood(cfg))
+            .run(Time::ZERO + Duration::deltas(5));
+        // The four cross-cut shares (p0↔p2, p1↔p2) are dropped; everyone
+        // falls back to the 2Δ timer and decides the best value heard on
+        // their own side of the cut.
+        assert_eq!(outcome.trace.messages_dropped(), 4);
+        assert_eq!(outcome.decision_of(ProcessId::new(0)), Some(&20));
+        assert_eq!(outcome.decision_of(ProcessId::new(1)), Some(&20));
+        assert_eq!(outcome.decision_of(ProcessId::new(2)), Some(&30));
+        assert!(!outcome.agreement(), "a split brain diverges under Flood");
+    }
+
+    #[test]
+    fn heal_restores_connectivity_for_later_sends() {
+        // p0 sends to p2 at start (cut) and retries on a 3Δ timer
+        // (after the heal at 2Δ): the retry must get through.
+        #[derive(Debug)]
+        struct Retry {
+            me: ProcessId,
+            decided: Option<u64>,
+        }
+        impl Protocol<u64> for Retry {
+            type Message = Share;
+            fn id(&self) -> ProcessId {
+                self.me
+            }
+            fn on_start(&mut self, eff: &mut Effects<u64, Share>) {
+                if self.me == ProcessId::new(0) {
+                    eff.send(ProcessId::new(2), Share(7));
+                    eff.set_timer(TimerId(0), Duration::deltas(3));
+                }
+            }
+            fn on_propose(&mut self, _: u64, _: &mut Effects<u64, Share>) {}
+            fn on_message(&mut self, _: ProcessId, m: Share, eff: &mut Effects<u64, Share>) {
+                if self.decided.is_none() {
+                    self.decided = Some(m.0);
+                    eff.decide(m.0);
+                }
+            }
+            fn on_timer(&mut self, _: TimerId, eff: &mut Effects<u64, Share>) {
+                eff.send(ProcessId::new(2), Share(7));
+            }
+            fn decision(&self) -> Option<u64> {
+                self.decided
+            }
+        }
+
+        let cfg = cfg3();
+        let majority: ProcessSet = [ProcessId::new(0), ProcessId::new(1)].into_iter().collect();
+        let minority: ProcessSet = [ProcessId::new(2)].into_iter().collect();
+        let outcome = SimulationBuilder::new(cfg)
+            .partition_at(Time::ZERO, vec![majority, minority])
+            .heal_at(Time::ZERO + Duration::deltas(2))
+            .build(|p| Retry {
+                me: p,
+                decided: None,
+            })
+            .run(Time::ZERO + Duration::deltas(8));
+        assert_eq!(
+            outcome.trace.messages_dropped(),
+            1,
+            "only the pre-heal send is cut"
+        );
+        // Retry sent at 3Δ lands on the next round boundary, 4Δ.
+        assert_eq!(outcome.decision_of(ProcessId::new(2)), Some(&7));
+        assert_eq!(
+            outcome.decision_time_of(ProcessId::new(2)),
+            Some(Time::ZERO + Duration::deltas(4))
+        );
+    }
+
+    #[test]
+    fn restart_rejoins_and_rearms_timers() {
+        let cfg = cfg3();
+        let p2 = ProcessId::new(2);
+        let outcome = SimulationBuilder::new(cfg)
+            .crash_at(p2, Time::from_units(1))
+            .restart_at(p2, Time::ZERO + Duration::deltas(3))
+            .build(flood(cfg))
+            .run(Time::ZERO + Duration::deltas(8));
+        // p2 started and broadcast Share(30) before crashing at t=1, so
+        // p0/p1 decide 30 when all shares arrive at Δ.
+        assert_eq!(outcome.decision_of(ProcessId::new(0)), Some(&30));
+        // The shares addressed to p2 arrived at Δ while it was down and
+        // were lost; its 2Δ decide timer expired unnoticed at 2Δ. After
+        // the restart at 3Δ the timer re-arms with its full 2Δ delay and
+        // fires at 5Δ, deciding p2's own best value.
+        assert_eq!(outcome.decision_of(p2), Some(&30));
+        assert_eq!(
+            outcome.decision_time_of(p2),
+            Some(Time::ZERO + Duration::deltas(5))
+        );
+        assert!(outcome.agreement());
+        // A restarted process is not counted as crashed at the end.
+        assert!(outcome.crashed.is_empty());
+        assert!(outcome
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Restarted { process, .. } if *process == p2)));
+    }
+
+    #[test]
+    fn restart_of_alive_process_is_noop() {
+        let cfg = cfg3();
+        let outcome = SimulationBuilder::new(cfg)
+            .restart_at(ProcessId::new(1), Time::from_units(1))
+            .build(flood(cfg))
+            .run(Time::ZERO + Duration::deltas(5));
+        assert!(outcome
+            .trace
+            .events()
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::Restarted { .. })));
+        assert!(outcome.agreement());
+    }
+
+    #[test]
     fn timer_reset_supersedes_old_deadline() {
         // A protocol that re-arms its timer at startup; the timer must
         // fire only at the final deadline.
@@ -641,7 +937,10 @@ mod tests {
 
         let cfg = cfg3();
         let outcome = SimulationBuilder::new(cfg)
-            .build(|p| Resetter2 { me: p, decided: None })
+            .build(|p| Resetter2 {
+                me: p,
+                decided: None,
+            })
             .run(Time::ZERO + Duration::deltas(10));
         // One firing per process, at 3Δ (the reset deadline), not 1Δ.
         for i in 0..3 {
@@ -694,13 +993,21 @@ mod tests {
         let cfg = cfg3();
         let outcome = SimulationBuilder::new(cfg)
             .delivery_order(DeliveryOrder::Favor(ProcessId::new(1)))
-            .build(|p| FirstWins { me: p, n: 3, first: None })
+            .build(|p| FirstWins {
+                me: p,
+                n: 3,
+                first: None,
+            })
             .run(Time::ZERO + Duration::deltas(3));
         assert_eq!(outcome.decision_of(ProcessId::new(2)), Some(&1));
 
         let outcome = SimulationBuilder::new(cfg)
             .delivery_order(DeliveryOrder::SendOrder)
-            .build(|p| FirstWins { me: p, n: 3, first: None })
+            .build(|p| FirstWins {
+                me: p,
+                n: 3,
+                first: None,
+            })
             .run(Time::ZERO + Duration::deltas(3));
         assert_eq!(outcome.decision_of(ProcessId::new(2)), Some(&0));
     }

@@ -11,7 +11,9 @@ use twostep_types::{ProcessId, Time};
 /// chosen to match the paper's run structure:
 ///
 /// * crashes "at the beginning of the round" happen before any step
-///   ([`EventClass::Crash`] first) — Definition 2(2);
+///   ([`EventClass::Crash`] first) — Definition 2(2); restarts come
+///   right after crashes, so a same-time crash+restart nets out to a
+///   running process before it takes any step;
 /// * protocol startup precedes client proposals at time 0;
 /// * message deliveries precede timer expirations, so a fast-path
 ///   decision landing exactly at `2Δ` is processed before the
@@ -20,30 +22,42 @@ use twostep_types::{ProcessId, Time};
 pub enum EventClass {
     /// A process crashes.
     Crash = 0,
+    /// A crashed process rejoins.
+    Restart = 1,
     /// A process executes its startup handler.
-    Start = 1,
+    Start = 2,
     /// A client proposal arrives at a process.
-    Propose = 2,
+    Propose = 3,
     /// A message is delivered.
-    Deliver = 3,
+    Deliver = 4,
     /// A timer fires.
-    Timer = 4,
+    Timer = 5,
 }
 
 /// What a queued event does when it executes.
 #[derive(Debug, Clone)]
 pub(crate) enum EventKind<V, M> {
     Crash(ProcessId),
+    Restart(ProcessId),
     Start(ProcessId),
     Propose(ProcessId, V),
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Timer { at: ProcessId, timer: TimerId, generation: u64 },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Timer {
+        at: ProcessId,
+        timer: TimerId,
+        generation: u64,
+    },
 }
 
 impl<V, M> EventKind<V, M> {
     pub(crate) fn class(&self) -> EventClass {
         match self {
             EventKind::Crash(_) => EventClass::Crash,
+            EventKind::Restart(_) => EventClass::Restart,
             EventKind::Start(_) => EventClass::Start,
             EventKind::Propose(..) => EventClass::Propose,
             EventKind::Deliver { .. } => EventClass::Deliver,
@@ -95,22 +109,78 @@ mod tests {
     use std::collections::BinaryHeap;
     use twostep_types::Duration;
 
-    fn ev(time: u64, class_probe: EventKind<u64, u8>, order_key: u64, seq: u64) -> QueuedEvent<u64, u8> {
-        QueuedEvent { time: Time::from_units(time), order_key, seq, kind: class_probe }
+    fn ev(
+        time: u64,
+        class_probe: EventKind<u64, u8>,
+        order_key: u64,
+        seq: u64,
+    ) -> QueuedEvent<u64, u8> {
+        QueuedEvent {
+            time: Time::from_units(time),
+            order_key,
+            seq,
+            kind: class_probe,
+        }
     }
 
     #[test]
     fn ordering_time_then_class_then_key_then_seq() {
         let p = ProcessId::new(0);
         let mut heap: BinaryHeap<Reverse<QueuedEvent<u64, u8>>> = BinaryHeap::new();
-        heap.push(Reverse(ev(5, EventKind::Timer { at: p, timer: TimerId(0), generation: 0 }, 0, 0)));
-        heap.push(Reverse(ev(5, EventKind::Deliver { from: p, to: p, msg: 1 }, 9, 9)));
+        heap.push(Reverse(ev(
+            5,
+            EventKind::Timer {
+                at: p,
+                timer: TimerId(0),
+                generation: 0,
+            },
+            0,
+            0,
+        )));
+        heap.push(Reverse(ev(
+            5,
+            EventKind::Deliver {
+                from: p,
+                to: p,
+                msg: 1,
+            },
+            9,
+            9,
+        )));
         heap.push(Reverse(ev(5, EventKind::Crash(p), 9, 9)));
-        heap.push(Reverse(ev(1, EventKind::Timer { at: p, timer: TimerId(0), generation: 0 }, 0, 0)));
-        heap.push(Reverse(ev(5, EventKind::Deliver { from: p, to: p, msg: 2 }, 0, 3)));
-        heap.push(Reverse(ev(5, EventKind::Deliver { from: p, to: p, msg: 3 }, 0, 1)));
+        heap.push(Reverse(ev(
+            1,
+            EventKind::Timer {
+                at: p,
+                timer: TimerId(0),
+                generation: 0,
+            },
+            0,
+            0,
+        )));
+        heap.push(Reverse(ev(
+            5,
+            EventKind::Deliver {
+                from: p,
+                to: p,
+                msg: 2,
+            },
+            0,
+            3,
+        )));
+        heap.push(Reverse(ev(
+            5,
+            EventKind::Deliver {
+                from: p,
+                to: p,
+                msg: 3,
+            },
+            0,
+            1,
+        )));
 
-        let order: Vec<EventClass> = std::iter::from_fn(|| heap.pop().map(|Reverse(e)| e.kind.class())).collect();
+        let order: Vec<EventClass> =
+            std::iter::from_fn(|| heap.pop().map(|Reverse(e)| e.kind.class())).collect();
         assert_eq!(
             order,
             vec![
@@ -125,14 +195,53 @@ mod tests {
     }
 
     #[test]
+    fn crash_before_restart_before_any_step() {
+        // A same-time crash + restart must resolve with the crash first
+        // (so the restart wins) and both before any delivery or timer.
+        let p = ProcessId::new(1);
+        let restart = ev(3, EventKind::Restart(p), 0, 0);
+        let crash = ev(3, EventKind::Crash(p), 9, 9);
+        let deliver = ev(
+            3,
+            EventKind::Deliver {
+                from: p,
+                to: p,
+                msg: 0,
+            },
+            0,
+            0,
+        );
+        assert!(crash < restart);
+        assert!(restart < deliver);
+    }
+
+    #[test]
     fn deliver_before_timer_at_two_delta() {
         // The scenario that motivates class ordering: at exactly 2Δ the
         // fast-path 2B arrives and the new-ballot timer fires; delivery
         // must win.
         let t = Time::ZERO + Duration::deltas(2);
         let p = ProcessId::new(0);
-        let deliver = ev(t.units(), EventKind::Deliver { from: p, to: p, msg: 0 }, u64::MAX, u64::MAX);
-        let timer = ev(t.units(), EventKind::Timer { at: p, timer: TimerId(0), generation: 0 }, 0, 0);
+        let deliver = ev(
+            t.units(),
+            EventKind::Deliver {
+                from: p,
+                to: p,
+                msg: 0,
+            },
+            u64::MAX,
+            u64::MAX,
+        );
+        let timer = ev(
+            t.units(),
+            EventKind::Timer {
+                at: p,
+                timer: TimerId(0),
+                generation: 0,
+            },
+            0,
+            0,
+        );
         assert!(deliver < timer);
     }
 }

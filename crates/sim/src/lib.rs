@@ -33,13 +33,18 @@ mod delay;
 mod engine;
 mod event;
 mod manual;
+mod seeds;
 mod sync;
 mod trace;
 pub mod wan;
 
-pub use delay::{DelayModel, LinkBehavior, Lossy, PartialSynchrony, RandomDelay, SynchronousRounds, UniformDelay, WanMatrix};
+pub use delay::{
+    DelayModel, LinkBehavior, Lossy, PartialSynchrony, Partition, RandomDelay, SynchronousRounds,
+    UniformDelay, WanMatrix,
+};
 pub use engine::{DeliveryOrder, RunOutcome, Simulation, SimulationBuilder};
 pub use event::EventClass;
 pub use manual::{InFlight, ManualExecutor, MsgId};
+pub use seeds::test_seeds;
 pub use sync::{SyncOutcome, SyncRunner};
 pub use trace::{msg_kind, Trace, TraceEvent};

@@ -148,6 +148,13 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
         self.alive.remove(p);
     }
 
+    /// Restarts a crashed `p` with its pre-crash protocol state intact:
+    /// it can again receive deliveries, fire still-armed timers and take
+    /// proposals. Returns `false` (and does nothing) if `p` was alive.
+    pub fn restart(&mut self, p: ProcessId) -> bool {
+        self.alive.insert(p)
+    }
+
     /// The messages currently in flight.
     pub fn pending(&self) -> Vec<&InFlight<P::Message>> {
         self.inflight.iter().flatten().collect()
@@ -204,10 +211,7 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
 
     /// Removes a pending message without delivering it.
     pub fn drop_message(&mut self, id: MsgId) -> bool {
-        self.inflight
-            .get_mut(id.0)
-            .and_then(Option::take)
-            .is_some()
+        self.inflight.get_mut(id.0).and_then(Option::take).is_some()
     }
 
     /// The timers currently armed at `p`.
@@ -240,7 +244,13 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
             to.hash(&mut h);
             format!("{msg:?}").hash(&mut h);
             let payload_hash = h.finish();
-            self.inflight.push(Some(InFlight { id, from: p, to, msg, payload_hash }));
+            self.inflight.push(Some(InFlight {
+                id,
+                from: p,
+                to,
+                msg,
+                payload_hash,
+            }));
         }
         for (timer, _delay) in eff.timer_sets {
             self.armed[p.index()].insert(timer);
@@ -329,7 +339,11 @@ mod tests {
 
     fn exec() -> ManualExecutor<u64, Ping> {
         let cfg = SystemConfig::new(3, 1, 1).unwrap();
-        ManualExecutor::new(cfg, |p| Ping { me: p, n: 3, decided: None })
+        ManualExecutor::new(cfg, |p| Ping {
+            me: p,
+            n: 3,
+            decided: None,
+        })
     }
 
     fn p(i: u32) -> ProcessId {
@@ -352,7 +366,10 @@ mod tests {
         ex.start_all();
         let ids = ex.pending_to(p(1));
         assert!(ex.deliver(ids[0]));
-        assert!(!ex.deliver(ids[0]), "consumed message cannot be redelivered");
+        assert!(
+            !ex.deliver(ids[0]),
+            "consumed message cannot be redelivered"
+        );
         assert_eq!(ex.decision_of(p(1)), Some(&1));
         assert_eq!(ex.decide_log().len(), 1);
         assert!(ex.agreement());
@@ -366,7 +383,27 @@ mod tests {
         ex.crash(p(2));
         assert!(!ex.deliver(ids[0]));
         assert_eq!(ex.decision_of(p(2)), None);
-        assert!(ex.pending_to(p(2)).is_empty(), "delivery attempt consumed it");
+        assert!(
+            ex.pending_to(p(2)).is_empty(),
+            "delivery attempt consumed it"
+        );
+    }
+
+    #[test]
+    fn restart_rejoins_with_state_and_armed_timers() {
+        let mut ex = exec();
+        ex.start_all();
+        ex.crash(p(0));
+        assert!(
+            !ex.fire_timer(p(0), TimerId(5)),
+            "dead process fires nothing"
+        );
+        assert!(!ex.restart(p(1)), "restarting an alive process is a no-op");
+        assert!(ex.restart(p(0)));
+        assert!(ex.alive().contains(p(0)));
+        // The timer armed before the crash survives the restart.
+        assert!(ex.fire_timer(p(0), TimerId(5)));
+        assert_eq!(ex.decision_of(p(0)), Some(&2));
     }
 
     #[test]
@@ -385,7 +422,10 @@ mod tests {
         ex.start_all();
         assert!(ex.fire_timer(p(0), TimerId(5)));
         assert_eq!(ex.decision_of(p(0)), Some(&2));
-        assert!(!ex.fire_timer(p(0), TimerId(5)), "timer disarmed after firing");
+        assert!(
+            !ex.fire_timer(p(0), TimerId(5)),
+            "timer disarmed after firing"
+        );
         assert!(!ex.fire_timer(p(1), TimerId(5)), "p1 never armed it");
     }
 

@@ -1,0 +1,43 @@
+//! `TWOSTEP_SEED` support for seeded randomized tests.
+//!
+//! Loop-over-seeds tests across the workspace draw their seed list from
+//! [`test_seeds`] and embed the seed in every assertion message, so a
+//! failing seed can be re-run alone:
+//!
+//! ```text
+//! TWOSTEP_SEED=17 cargo test -p twostep-core randomized_schedules
+//! ```
+
+/// The seeds a randomized test should exercise: just the `TWOSTEP_SEED`
+/// environment variable's value when it is set, otherwise `default`.
+///
+/// Panics on an unparsable override so a typo cannot silently fall back
+/// to the default seed list.
+pub fn test_seeds(default: impl IntoIterator<Item = u64>) -> Vec<u64> {
+    match std::env::var("TWOSTEP_SEED") {
+        Ok(s) => {
+            let seed = s
+                .parse()
+                .unwrap_or_else(|_| panic!("TWOSTEP_SEED must be a u64, got {s:?}"));
+            vec![seed]
+        }
+        Err(_) => default.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not testing the env-var branch here: cargo runs tests in threads
+    // sharing one environment, so setting TWOSTEP_SEED would race with
+    // every other randomized test in the process.
+    #[test]
+    fn default_passes_through_without_override() {
+        if std::env::var("TWOSTEP_SEED").is_ok() {
+            return; // an override is legitimately active for this run
+        }
+        assert_eq!(test_seeds(0..3), vec![0, 1, 2]);
+        assert_eq!(test_seeds([7, 42]), vec![7, 42]);
+    }
+}

@@ -232,7 +232,12 @@ mod tests {
         for favored in 0..3u32 {
             let outcome = SyncRunner::new(cfg)
                 .favoring(ProcessId::new(favored))
-                .run(|p| Toy { me: p, n: 3, value: u64::from(p.as_u32()), decided: None });
+                .run(|p| Toy {
+                    me: p,
+                    n: 3,
+                    value: u64::from(p.as_u32()),
+                    decided: None,
+                });
             for i in 0..3u32 {
                 if i != favored {
                     assert_eq!(
@@ -249,7 +254,12 @@ mod tests {
     fn object_proposals_scheduled() {
         let cfg = SystemConfig::new(3, 1, 1).unwrap();
         let outcome = SyncRunner::new(cfg).run_object(
-            |p| Toy { me: p, n: 3, value: 0, decided: None },
+            |p| Toy {
+                me: p,
+                n: 3,
+                value: 0,
+                decided: None,
+            },
             vec![(ProcessId::new(0), 99u64, Time::ZERO)],
         );
         // Only p0 proposes; others decide 99 at Δ... but p0's startup

@@ -10,7 +10,10 @@ use twostep_types::{ProcessId, Time, Value};
 /// non-generic over the message type.
 pub fn msg_kind<M: Debug>(msg: &M) -> String {
     let full = format!("{msg:?}");
-    full.split(['(', '{', ' ']).next().unwrap_or("?").to_string()
+    full.split(['(', '{', ' '])
+        .next()
+        .unwrap_or("?")
+        .to_string()
 }
 
 /// One observable event in a simulated run.
@@ -56,6 +59,13 @@ pub enum TraceEvent<V> {
         /// The crashed process.
         process: ProcessId,
     },
+    /// A crashed process rejoined with its pre-crash protocol state.
+    Restarted {
+        /// Virtual time of the restart.
+        time: Time,
+        /// The restarted process.
+        process: ProcessId,
+    },
     /// A timer fired at a process.
     TimerFired {
         /// Virtual time of expiry.
@@ -93,6 +103,7 @@ impl<V> TraceEvent<V> {
             | TraceEvent::MessageDelivered { time, .. }
             | TraceEvent::MessageDropped { time, .. }
             | TraceEvent::Crashed { time, .. }
+            | TraceEvent::Restarted { time, .. }
             | TraceEvent::TimerFired { time, .. }
             | TraceEvent::Proposed { time, .. }
             | TraceEvent::Decided { time, .. } => *time,
@@ -120,7 +131,9 @@ impl<V: Value> Trace<V> {
     /// order; this is checked in debug builds.
     pub fn push(&mut self, event: TraceEvent<V>) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.time() <= event.time()),
+            self.events
+                .last()
+                .is_none_or(|last| last.time() <= event.time()),
             "trace events must be chronological"
         );
         self.events.push(event);
@@ -146,9 +159,11 @@ impl<V: Value> Trace<V> {
         self.events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Decided { time, process, value } => {
-                    Some((*process, value.clone(), *time))
-                }
+                TraceEvent::Decided {
+                    time,
+                    process,
+                    value,
+                } => Some((*process, value.clone(), *time)),
                 _ => None,
             })
             .collect()
@@ -168,9 +183,11 @@ impl<V: Value> Trace<V> {
     /// The first decision of `p`, if any.
     pub fn first_decision(&self, p: ProcessId) -> Option<(V, Time)> {
         self.events.iter().find_map(|e| match e {
-            TraceEvent::Decided { time, process, value } if *process == p => {
-                Some((value.clone(), *time))
-            }
+            TraceEvent::Decided {
+                time,
+                process,
+                value,
+            } if *process == p => Some((value.clone(), *time)),
             _ => None,
         })
     }
@@ -237,14 +254,21 @@ mod tests {
     #[test]
     fn trace_queries() {
         let mut t: Trace<u64> = Trace::new();
-        t.push(TraceEvent::Proposed { time: Time::ZERO, process: p(0), value: 5 });
+        t.push(TraceEvent::Proposed {
+            time: Time::ZERO,
+            process: p(0),
+            value: 5,
+        });
         t.push(TraceEvent::MessageSent {
             time: Time::ZERO,
             from: p(0),
             to: p(1),
             kind: "Propose".into(),
         });
-        t.push(TraceEvent::Crashed { time: Time::ZERO, process: p(2) });
+        t.push(TraceEvent::Crashed {
+            time: Time::ZERO,
+            process: p(2),
+        });
         t.push(TraceEvent::MessageDelivered {
             time: Time::ZERO + Duration::deltas(1),
             from: p(0),
@@ -259,9 +283,15 @@ mod tests {
 
         assert_eq!(t.len(), 5);
         assert!(!t.is_empty());
-        assert_eq!(t.decisions(), vec![(p(0), 5, Time::ZERO + Duration::deltas(2))]);
+        assert_eq!(
+            t.decisions(),
+            vec![(p(0), 5, Time::ZERO + Duration::deltas(2))]
+        );
         assert_eq!(t.proposals(), vec![(p(0), 5)]);
-        assert_eq!(t.first_decision(p(0)), Some((5, Time::ZERO + Duration::deltas(2))));
+        assert_eq!(
+            t.first_decision(p(0)),
+            Some((5, Time::ZERO + Duration::deltas(2)))
+        );
         assert_eq!(t.first_decision(p(1)), None);
         assert_eq!(t.messages_sent(), 1);
         assert_eq!(t.messages_sent_of_kind("Propose"), 1);
@@ -270,11 +300,20 @@ mod tests {
         assert_eq!(t.crashes(), vec![(p(2), Time::ZERO)]);
     }
 
+    // The guard is a debug_assert, so the panic only exists in debug
+    // builds; in release this test would fail for the wrong reason.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "chronological")]
     fn trace_rejects_time_travel_in_debug() {
         let mut t: Trace<u64> = Trace::new();
-        t.push(TraceEvent::Crashed { time: Time::from_units(10), process: p(0) });
-        t.push(TraceEvent::Crashed { time: Time::from_units(5), process: p(1) });
+        t.push(TraceEvent::Crashed {
+            time: Time::from_units(10),
+            process: p(0),
+        });
+        t.push(TraceEvent::Crashed {
+            time: Time::from_units(5),
+            process: p(1),
+        });
     }
 }

@@ -89,7 +89,8 @@ pub fn one_way_ms(a: Region, b: Region) -> u64 {
     // Symmetric matrix; diagonal ≈ intra-region.
     const MS: [[u64; 7]; 7] = [
         //          ue   uw   euw  apne  sae  aps  apse
-        /* ue  */ [1, 35, 40, 75, 60, 95, 100],
+        /* ue  */
+        [1, 35, 40, 75, 60, 95, 100],
         /* uw  */ [35, 1, 70, 55, 85, 110, 70],
         /* euw */ [40, 70, 1, 110, 95, 60, 125],
         /* apne*/ [75, 55, 110, 1, 130, 65, 55],

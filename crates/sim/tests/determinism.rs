@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use twostep_sim::{
-    DeliveryOrder, RandomDelay, SimulationBuilder, SyncRunner, TraceEvent,
-};
+use twostep_sim::{DeliveryOrder, RandomDelay, SimulationBuilder, SyncRunner, TraceEvent};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{Duration, ProcessId, SystemConfig, Time, DELTA};
 
@@ -59,7 +57,13 @@ fn run_once(seed: u64, n: usize, bound: u32, threshold: u32) -> (u64, Vec<String
     let outcome = SimulationBuilder::new(cfg)
         .delay_model(RandomDelay::sub_delta(seed))
         .delivery_order(DeliveryOrder::randomized(seed))
-        .build(|p| Chatter { me: p, n, bound, threshold, decided: None })
+        .build(|p| Chatter {
+            me: p,
+            n,
+            bound,
+            threshold,
+            decided: None,
+        })
         .run(Time::ZERO + Duration::deltas(8));
     let summary: Vec<String> = outcome
         .trace

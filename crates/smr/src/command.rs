@@ -40,7 +40,10 @@ pub enum KvCommand {
 impl KvCommand {
     /// Convenience constructor for a `Put`.
     pub fn put(key: impl Into<String>, value: impl Into<String>) -> Self {
-        KvCommand::Put { key: key.into(), value: value.into() }
+        KvCommand::Put {
+            key: key.into(),
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor for a `Delete`.
@@ -98,7 +101,9 @@ impl StateMachine<KvCommand> for KvStore {
             KvCommand::Put { key, value } => KvOutput {
                 previous: self.entries.insert(key.clone(), value.clone()),
             },
-            KvCommand::Delete { key } => KvOutput { previous: self.entries.remove(key) },
+            KvCommand::Delete { key } => KvOutput {
+                previous: self.entries.remove(key),
+            },
             KvCommand::Noop => KvOutput { previous: None },
         }
     }
@@ -174,8 +179,14 @@ mod tests {
     #[test]
     fn counter_counts() {
         let mut c = Counter::default();
-        assert_eq!(StateMachine::<KvCommand>::apply(&mut c, &KvCommand::Noop), 1);
-        assert_eq!(StateMachine::<KvCommand>::apply(&mut c, &KvCommand::Noop), 2);
+        assert_eq!(
+            StateMachine::<KvCommand>::apply(&mut c, &KvCommand::Noop),
+            1
+        );
+        assert_eq!(
+            StateMachine::<KvCommand>::apply(&mut c, &KvCommand::Noop),
+            2
+        );
         assert_eq!(c.applied, 2);
     }
 }

@@ -143,11 +143,7 @@ where
         self.max_inflight
     }
 
-    fn instance(
-        &mut self,
-        slot: u64,
-        eff: &mut Effects<C, SmrMsg<C>>,
-    ) -> &mut ObjectConsensus<C> {
+    fn instance(&mut self, slot: u64, eff: &mut Effects<C, SmrMsg<C>>) -> &mut ObjectConsensus<C> {
         if !self.instances.contains_key(&slot) {
             let mut inst = ObjectConsensus::with_options(
                 self.cfg,
@@ -212,7 +208,9 @@ where
     /// Proposes queued commands while pipeline capacity remains.
     fn pump(&mut self, eff: &mut Effects<C, SmrMsg<C>>) {
         while self.inflight.len() < self.max_inflight {
-            let Some(cmd) = self.pending.pop_front() else { return };
+            let Some(cmd) = self.pending.pop_front() else {
+                return;
+            };
             let slot = self.next_slot;
             self.next_slot += 1;
             self.inflight.insert(slot, cmd.clone());

@@ -57,7 +57,8 @@ fn single_proxy_commands_commit_in_order() {
 
 #[test]
 fn contending_proxies_converge_to_one_log() {
-    for seed in 0u64..8 {
+    // A failing seed is replayable alone via TWOSTEP_SEED=<seed>.
+    for seed in twostep_sim::test_seeds(0..8) {
         let cfg = SystemConfig::minimal_object(2, 2).unwrap();
         let n = cfg.n();
         let mut sim = SimulationBuilder::new(cfg)
@@ -75,11 +76,7 @@ fn contending_proxies_converge_to_one_log() {
             (0..n).all(|i| s.process(p(i as u32)).applied() >= n as u64)
         });
         // All n commands committed; logs agree on the common prefix.
-        let longest = outcome
-            .procs
-            .iter()
-            .max_by_key(|r| r.applied())
-            .unwrap();
+        let longest = outcome.procs.iter().max_by_key(|r| r.applied()).unwrap();
         assert!(
             longest.applied() >= n as u64,
             "seed {seed}: only {} commands applied",
@@ -112,7 +109,11 @@ fn replica_crash_does_not_stop_the_log() {
         .crash_at(p(4), Time::from_units(1))
         .build(|q| Replica::new(cfg, q));
     sim.schedule_propose(p(0), KvCommand::put("x", "1"), Time::ZERO);
-    sim.schedule_propose(p(1), KvCommand::put("y", "2"), Time::ZERO + Duration::deltas(1));
+    sim.schedule_propose(
+        p(1),
+        KvCommand::put("y", "2"),
+        Time::ZERO + Duration::deltas(1),
+    );
     let outcome = sim.run_until(Time::ZERO + Duration::deltas(200), |s| {
         (0..4).all(|i| s.process(p(i)).applied() >= 2)
     });
@@ -138,8 +139,14 @@ fn lost_slot_is_retried_in_fresh_slot() {
     let log = outcome.procs[0].log();
     assert!(log.len() >= 2, "both commands committed, log = {log:?}");
     let cmds: Vec<&KvCommand> = log.values().collect();
-    let a = cmds.iter().filter(|c| matches!(c, KvCommand::Put { key, .. } if key == "a")).count();
-    let b = cmds.iter().filter(|c| matches!(c, KvCommand::Put { key, .. } if key == "b")).count();
+    let a = cmds
+        .iter()
+        .filter(|c| matches!(c, KvCommand::Put { key, .. } if key == "a"))
+        .count();
+    let b = cmds
+        .iter()
+        .filter(|c| matches!(c, KvCommand::Put { key, .. } if key == "b"))
+        .count();
     assert_eq!((a, b), (1, 1), "each command exactly once: {log:?}");
 }
 
@@ -184,12 +191,15 @@ fn pipelined_proxy_commits_faster_than_serial() {
         "pipelining must shorten the burst: piped {t_piped:?} vs serial {t_serial:?}"
     );
     // The pipelined burst completes in ~one fast round (≤ 4Δ margin).
-    assert!(t_piped <= Time::ZERO + Duration::deltas(4), "piped burst took {t_piped:?}");
+    assert!(
+        t_piped <= Time::ZERO + Duration::deltas(4),
+        "piped burst took {t_piped:?}"
+    );
 }
 
 #[test]
 fn pipelined_logs_remain_consistent_under_contention() {
-    for seed in 0u64..6 {
+    for seed in twostep_sim::test_seeds(0..6) {
         let cfg = SystemConfig::minimal_object(2, 2).unwrap();
         let n = cfg.n();
         let mut sim = SimulationBuilder::new(cfg)
@@ -218,7 +228,11 @@ fn pipelined_logs_remain_consistent_under_contention() {
         );
         for r in &outcome.procs {
             for (slot, cmd) in r.log() {
-                assert_eq!(longest.log().get(slot), Some(cmd), "seed {seed} slot {slot}");
+                assert_eq!(
+                    longest.log().get(slot),
+                    Some(cmd),
+                    "seed {seed} slot {slot}"
+                );
             }
         }
         // Exactly-once.

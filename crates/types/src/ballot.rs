@@ -24,9 +24,7 @@ use crate::ProcessId;
 /// assert_eq!(b.owner(5), ProcessId::new(2));
 /// assert!(b > Ballot::FAST);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Ballot(u64);
 
 impl Ballot {

@@ -218,7 +218,11 @@ impl SystemConfig {
 
 impl fmt::Debug for SystemConfig {
     fn fmt(&self, fmtr: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(fmtr, "SystemConfig(n={}, e={}, f={})", self.n, self.e, self.f)
+        write!(
+            fmtr,
+            "SystemConfig(n={}, e={}, f={})",
+            self.n, self.e, self.f
+        )
     }
 }
 

@@ -50,10 +50,16 @@ impl fmt::Display for ConfigError {
                 write!(fmtr, "resilience threshold f must be at least 1")
             }
             ConfigError::FastThresholdExceedsResilience { e, f } => {
-                write!(fmtr, "fast threshold e={e} exceeds resilience threshold f={f}")
+                write!(
+                    fmtr,
+                    "fast threshold e={e} exceeds resilience threshold f={f}"
+                )
             }
             ConfigError::BelowResilienceBound { n, f } => {
-                write!(fmtr, "n={n} processes cannot tolerate f={f} failures (need n >= 2f+1)")
+                write!(
+                    fmtr,
+                    "n={n} processes cannot tolerate f={f} failures (need n >= 2f+1)"
+                )
             }
         }
     }

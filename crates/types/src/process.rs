@@ -96,7 +96,10 @@ impl ProcessSet {
     ///
     /// Panics if `n > 64`.
     pub fn full(n: usize) -> Self {
-        assert!(n as u32 <= Self::MAX_PROCESSES, "at most 64 processes supported");
+        assert!(
+            n as u32 <= Self::MAX_PROCESSES,
+            "at most 64 processes supported"
+        );
         if n == 64 {
             ProcessSet(u64::MAX)
         } else {

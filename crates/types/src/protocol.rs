@@ -237,7 +237,10 @@ mod tests {
         eff.decide(5);
         assert!(!eff.is_empty());
         assert_eq!(eff.sends, vec![(ProcessId::new(1), 7)]);
-        assert_eq!(eff.timer_sets, vec![(TimerId::NEW_BALLOT, Duration::deltas(2))]);
+        assert_eq!(
+            eff.timer_sets,
+            vec![(TimerId::NEW_BALLOT, Duration::deltas(2))]
+        );
         assert_eq!(eff.timer_cancels, vec![TimerId::HEARTBEAT]);
         assert_eq!(eff.decisions, vec![5]);
 
@@ -269,7 +272,10 @@ mod tests {
         b.send(ProcessId::new(1), 2);
         b.decide(9);
         a.extend(b);
-        assert_eq!(a.sends, vec![(ProcessId::new(0), 1), (ProcessId::new(1), 2)]);
+        assert_eq!(
+            a.sends,
+            vec![(ProcessId::new(0), 1), (ProcessId::new(1), 2)]
+        );
         assert_eq!(a.decisions, vec![9]);
     }
 

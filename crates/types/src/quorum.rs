@@ -39,7 +39,9 @@ pub struct VoteTally<V> {
 impl<V: Value> VoteTally<V> {
     /// Creates an empty tally.
     pub fn new() -> Self {
-        VoteTally { votes: BTreeMap::new() }
+        VoteTally {
+            votes: BTreeMap::new(),
+        }
     }
 
     /// Records that `p` voted for `v`; returns whether this vote was new.
@@ -74,28 +76,46 @@ impl<V: Value> VoteTally<V> {
 
     /// The values whose vote count is at least `k`, in increasing order.
     pub fn values_with_count_at_least(&self, k: usize) -> impl Iterator<Item = &V> {
-        self.votes.iter().filter(move |(_, s)| s.len() >= k).map(|(v, _)| v)
+        self.votes
+            .iter()
+            .filter(move |(_, s)| s.len() >= k)
+            .map(|(v, _)| v)
     }
 
     /// The values whose vote count is exactly `k`, in increasing order.
     pub fn values_with_count_exactly(&self, k: usize) -> impl Iterator<Item = &V> {
-        self.votes.iter().filter(move |(_, s)| s.len() == k).map(|(v, _)| v)
+        self.votes
+            .iter()
+            .filter(move |(_, s)| s.len() == k)
+            .map(|(v, _)| v)
     }
 
     /// The greatest value with at least `k` votes (the recovery rule's
     /// tie-break at Figure 1 line 58 uses the *maximal* such value).
     pub fn max_value_with_count_at_least(&self, k: usize) -> Option<&V> {
-        self.votes.iter().rev().find(|(_, s)| s.len() >= k).map(|(v, _)| v)
+        self.votes
+            .iter()
+            .rev()
+            .find(|(_, s)| s.len() >= k)
+            .map(|(v, _)| v)
     }
 
     /// The greatest value with exactly `k` votes.
     pub fn max_value_with_count_exactly(&self, k: usize) -> Option<&V> {
-        self.votes.iter().rev().find(|(_, s)| s.len() == k).map(|(v, _)| v)
+        self.votes
+            .iter()
+            .rev()
+            .find(|(_, s)| s.len() == k)
+            .map(|(v, _)| v)
     }
 
     /// The unique value with more than `k` votes, if exactly one exists.
     pub fn unique_value_above(&self, k: usize) -> Option<&V> {
-        let mut it = self.votes.iter().filter(|(_, s)| s.len() > k).map(|(v, _)| v);
+        let mut it = self
+            .votes
+            .iter()
+            .filter(|(_, s)| s.len() > k)
+            .map(|(v, _)| v);
         let first = it.next()?;
         if it.next().is_some() {
             None
@@ -136,7 +156,9 @@ pub struct Collector<T> {
 impl<T> Collector<T> {
     /// Creates an empty collector.
     pub fn new() -> Self {
-        Collector { replies: BTreeMap::new() }
+        Collector {
+            replies: BTreeMap::new(),
+        }
     }
 
     /// Records the reply of `p`; returns `false` (and keeps the original)

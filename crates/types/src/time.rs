@@ -27,9 +27,7 @@ pub const DELTA: Duration = Duration::from_units(1000);
 /// assert_eq!(t.round(), 2);          // start of the third round
 /// assert_eq!(t.as_deltas(), 2.0);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Time(u64);
 
 impl Time {
@@ -69,9 +67,7 @@ impl Time {
 }
 
 /// A span of virtual time.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Duration(u64);
 
 impl Duration {

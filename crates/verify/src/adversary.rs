@@ -90,7 +90,10 @@ fn p(i: usize) -> ProcessId {
 /// Panics if `(e, f)` does not satisfy the preconditions above.
 pub fn task_below_bound(e: usize, f: usize) -> AdversaryReport {
     assert!(f >= 2, "the splice needs |F0| = f-1 >= 1");
-    assert!(2 * e >= f + 2, "need 2e+f-1 >= 2f+1 so the two-step bound binds");
+    assert!(
+        2 * e >= f + 2,
+        "need 2e+f-1 >= 2f+1 so the two-step bound binds"
+    );
     let n = 2 * e + f - 1;
     run_task_splice(e, f, n)
 }
@@ -134,17 +137,20 @@ fn run_task_splice_with(e: usize, f: usize, n: usize, ablations: Ablations) -> A
     ex.start_all();
 
     // Step 1: w's Propose(1) reaches E1\{w}, F0 and the extras; all vote 1.
-    let voters_for_w: Vec<ProcessId> =
-        e1_rest.iter().chain(&f0).chain(&extras).copied().collect();
+    let voters_for_w: Vec<ProcessId> = e1_rest.iter().chain(&f0).chain(&extras).copied().collect();
     for &q in &voters_for_w {
-        for id in ex.pending_matching(|m| m.from == w && m.to == q && matches!(m.msg, Msg::Propose(_))) {
+        for id in
+            ex.pending_matching(|m| m.from == w && m.to == q && matches!(m.msg, Msg::Propose(_)))
+        {
             ex.deliver(id);
         }
     }
     // Their fast votes flow back to w: with w itself that is n-e — w
     // decides 1 on the fast path.
     for &q in &voters_for_w {
-        for id in ex.pending_matching(|m| m.from == q && m.to == w && matches!(m.msg, Msg::TwoB(..))) {
+        for id in
+            ex.pending_matching(|m| m.from == q && m.to == w && matches!(m.msg, Msg::TwoB(..)))
+        {
             ex.deliver(id);
         }
     }
@@ -152,7 +158,9 @@ fn run_task_splice_with(e: usize, f: usize, n: usize, ablations: Ablations) -> A
 
     // Step 2: c's Propose(0) reaches E0; they vote 0.
     for &q in &e0 {
-        for id in ex.pending_matching(|m| m.from == c && m.to == q && matches!(m.msg, Msg::Propose(_))) {
+        for id in
+            ex.pending_matching(|m| m.from == c && m.to == q && matches!(m.msg, Msg::Propose(_)))
+        {
             ex.deliver(id);
         }
     }
@@ -164,12 +172,7 @@ fn run_task_splice_with(e: usize, f: usize, n: usize, ablations: Ablations) -> A
     narrative += &format!("crashed F0 ∪ {{w}} = {:?} ∪ {{{w}}}\n", f0);
 
     // Step 4: recovery ballot led by p0 among the n-f survivors.
-    let survivors: Vec<ProcessId> = e0
-        .iter()
-        .chain(&extras)
-        .chain(&e1_rest)
-        .copied()
-        .collect();
+    let survivors: Vec<ProcessId> = e0.iter().chain(&extras).chain(&e1_rest).copied().collect();
     run_recovery(&mut ex, leader, &survivors, &mut narrative);
 
     AdversaryReport::from_log(cfg, ex.decide_log(), narrative)
@@ -185,7 +188,10 @@ fn run_task_splice_with(e: usize, f: usize, n: usize, ablations: Ablations) -> A
 /// Panics if `(e, f)` does not satisfy the preconditions above.
 pub fn object_below_bound(e: usize, f: usize) -> AdversaryReport {
     assert!(f >= 3, "the splice needs |F| = f-2 >= 1");
-    assert!(2 * e >= f + 3, "need 2e+f-2 >= 2f+1 so the two-step bound binds");
+    assert!(
+        2 * e >= f + 3,
+        "need 2e+f-2 >= 2f+1 so the two-step bound binds"
+    );
     assert!(e <= f, "the paper assumes e <= f");
     let n = 2 * e + f - 2;
     run_object_splice(e, f, n)
@@ -237,7 +243,12 @@ fn run_object_splice(e: usize, f: usize, n: usize) -> AdversaryReport {
         }
     }
     // Propose(1) → F, E1* and the extras: they vote 1.
-    let q_voters: Vec<ProcessId> = f_set.iter().chain(&e1_star).chain(&extras).copied().collect();
+    let q_voters: Vec<ProcessId> = f_set
+        .iter()
+        .chain(&e1_star)
+        .chain(&extras)
+        .copied()
+        .collect();
     for &r in &q_voters {
         for id in ex.pending_matching(|m| m.from == proposer_q && m.to == r) {
             ex.deliver(id);
@@ -245,11 +256,16 @@ fn run_object_splice(e: usize, f: usize, n: usize) -> AdversaryReport {
     }
     // Their votes reach q: F ∪ E1* ∪ X ∪ {q} = n-e — q decides 1 fast.
     for &r in &q_voters {
-        for id in ex.pending_matching(|m| m.from == r && m.to == proposer_q && matches!(m.msg, Msg::TwoB(..))) {
+        for id in ex.pending_matching(|m| {
+            m.from == r && m.to == proposer_q && matches!(m.msg, Msg::TwoB(..))
+        }) {
             ex.deliver(id);
         }
     }
-    narrative += &format!("q={proposer_q} fast-decided {:?}\n", ex.decision_of(proposer_q));
+    narrative += &format!(
+        "q={proposer_q} fast-decided {:?}\n",
+        ex.decision_of(proposer_q)
+    );
 
     // Crash F ∪ {q}: f-1 processes.
     for &r in f_set.iter().chain(std::iter::once(&proposer_q)) {
@@ -259,8 +275,12 @@ fn run_object_splice(e: usize, f: usize, n: usize) -> AdversaryReport {
 
     // Recovery among E0* ∪ E1* ∪ X — exactly n-f processes; proposer p
     // stays silent (alive, but its messages delayed past the ballot).
-    let survivors: Vec<ProcessId> =
-        e0_star.iter().chain(&e1_star).chain(&extras).copied().collect();
+    let survivors: Vec<ProcessId> = e0_star
+        .iter()
+        .chain(&e1_star)
+        .chain(&extras)
+        .copied()
+        .collect();
     run_recovery(&mut ex, leader, &survivors, &mut narrative);
 
     AdversaryReport::from_log(cfg, ex.decide_log(), narrative)
@@ -279,25 +299,33 @@ fn run_recovery<P>(
     ex.fire_timer(leader, TimerId::NEW_BALLOT);
     // 1A → participants only.
     for &r in participants {
-        for id in ex.pending_matching(|m| m.from == leader && m.to == r && matches!(m.msg, Msg::OneA(_))) {
+        for id in
+            ex.pending_matching(|m| m.from == leader && m.to == r && matches!(m.msg, Msg::OneA(_)))
+        {
             ex.deliver(id);
         }
     }
     // 1B ← participants.
     for &r in participants {
-        for id in ex.pending_matching(|m| m.from == r && m.to == leader && matches!(m.msg, Msg::OneB { .. })) {
+        for id in ex.pending_matching(|m| {
+            m.from == r && m.to == leader && matches!(m.msg, Msg::OneB { .. })
+        }) {
             ex.deliver(id);
         }
     }
     // 2A → participants.
     for &r in participants {
-        for id in ex.pending_matching(|m| m.from == leader && m.to == r && matches!(m.msg, Msg::TwoA(..))) {
+        for id in
+            ex.pending_matching(|m| m.from == leader && m.to == r && matches!(m.msg, Msg::TwoA(..)))
+        {
             ex.deliver(id);
         }
     }
     // 2B ← participants.
     for &r in participants {
-        for id in ex.pending_matching(|m| m.from == r && m.to == leader && matches!(m.msg, Msg::TwoB(..))) {
+        for id in
+            ex.pending_matching(|m| m.from == r && m.to == leader && matches!(m.msg, Msg::TwoB(..)))
+        {
             ex.deliver(id);
         }
     }
@@ -371,15 +399,21 @@ pub fn object_exclusion_demo(e: usize, f: usize, ablations: Ablations) -> Advers
     ex.propose(z, 2);
 
     // q's fast quorum: F, E1* and x vote 1.
-    let q_voters: Vec<ProcessId> =
-        f_set.iter().chain(&e1_star).chain(std::iter::once(&x)).copied().collect();
+    let q_voters: Vec<ProcessId> = f_set
+        .iter()
+        .chain(&e1_star)
+        .chain(std::iter::once(&x))
+        .copied()
+        .collect();
     for &r in &q_voters {
         for id in ex.pending_matching(|m| m.from == q && m.to == r) {
             ex.deliver(id);
         }
     }
     for &r in &q_voters {
-        for id in ex.pending_matching(|m| m.from == r && m.to == q && matches!(m.msg, Msg::TwoB(..))) {
+        for id in
+            ex.pending_matching(|m| m.from == r && m.to == q && matches!(m.msg, Msg::TwoB(..)))
+        {
             ex.deliver(id);
         }
     }
@@ -450,12 +484,16 @@ pub fn object_guard_demo(e: usize, f: usize, ablations: Ablations) -> AdversaryR
     // w's Propose(1) reaches E1\{w} and F0.
     let targets: Vec<ProcessId> = e1_rest.iter().chain(&f0).copied().collect();
     for &r in &targets {
-        for id in ex.pending_matching(|m| m.from == w && m.to == r && matches!(m.msg, Msg::Propose(_))) {
+        for id in
+            ex.pending_matching(|m| m.from == w && m.to == r && matches!(m.msg, Msg::Propose(_)))
+        {
             ex.deliver(id);
         }
     }
     for &r in &targets {
-        for id in ex.pending_matching(|m| m.from == r && m.to == w && matches!(m.msg, Msg::TwoB(..))) {
+        for id in
+            ex.pending_matching(|m| m.from == r && m.to == w && matches!(m.msg, Msg::TwoB(..)))
+        {
             ex.deliver(id);
         }
     }
@@ -463,7 +501,9 @@ pub fn object_guard_demo(e: usize, f: usize, ablations: Ablations) -> AdversaryR
 
     // E0 vote for c's 0 (same value as their own proposal: red line ok).
     for &r in &e0 {
-        for id in ex.pending_matching(|m| m.from == c && m.to == r && matches!(m.msg, Msg::Propose(_))) {
+        for id in
+            ex.pending_matching(|m| m.from == c && m.to == r && matches!(m.msg, Msg::Propose(_)))
+        {
             ex.deliver(id);
         }
     }
@@ -544,20 +584,26 @@ fn run_fast_paxos_splice(e: usize, f: usize, n: usize) -> AdversaryReport {
 
     // The e 2-voters receive Propose(2) first and vote 2.
     for &r in &two_voters {
-        for id in ex.pending_matching(|m| m.from == z && m.to == r && matches!(m.msg, FastPaxosMsg::Propose(_))) {
+        for id in ex.pending_matching(|m| {
+            m.from == z && m.to == r && matches!(m.msg, FastPaxosMsg::Propose(_))
+        }) {
             ex.deliver(id);
         }
     }
     // The n-e 1-voters receive Propose(1) first and vote 1.
     for &r in &one_voters {
-        for id in ex.pending_matching(|m| m.from == w && m.to == r && matches!(m.msg, FastPaxosMsg::Propose(_))) {
+        for id in ex.pending_matching(|m| {
+            m.from == w && m.to == r && matches!(m.msg, FastPaxosMsg::Propose(_))
+        }) {
             ex.deliver(id);
         }
     }
     // All n-e fast votes for 1 reach the learner: it decides 1 (value 1
     // IS chosen under Fast Paxos semantics — a full fast quorum voted it).
     for &r in &one_voters {
-        for id in ex.pending_matching(|m| m.from == r && m.to == learner && matches!(m.msg, FastPaxosMsg::TwoB(..))) {
+        for id in ex.pending_matching(|m| {
+            m.from == r && m.to == learner && matches!(m.msg, FastPaxosMsg::TwoB(..))
+        }) {
             ex.deliver(id);
         }
     }
@@ -574,17 +620,23 @@ fn run_fast_paxos_splice(e: usize, f: usize, n: usize) -> AdversaryReport {
     debug_assert_eq!(quorum.len(), cfg.slow_quorum());
     ex.fire_timer(z, twostep_types::protocol::TimerId::NEW_BALLOT);
     for &r in &quorum {
-        for id in ex.pending_matching(|m| m.from == z && m.to == r && matches!(m.msg, FastPaxosMsg::OneA(_))) {
+        for id in ex.pending_matching(|m| {
+            m.from == z && m.to == r && matches!(m.msg, FastPaxosMsg::OneA(_))
+        }) {
             ex.deliver(id);
         }
     }
     for &r in &quorum {
-        for id in ex.pending_matching(|m| m.from == r && m.to == z && matches!(m.msg, FastPaxosMsg::OneB { .. })) {
+        for id in ex.pending_matching(|m| {
+            m.from == r && m.to == z && matches!(m.msg, FastPaxosMsg::OneB { .. })
+        }) {
             ex.deliver(id);
         }
     }
     for &r in &quorum {
-        for id in ex.pending_matching(|m| m.from == z && m.to == r && matches!(m.msg, FastPaxosMsg::TwoA(..))) {
+        for id in ex.pending_matching(|m| {
+            m.from == z && m.to == r && matches!(m.msg, FastPaxosMsg::TwoA(..))
+        }) {
             ex.deliver(id);
         }
     }
@@ -668,7 +720,11 @@ mod tests {
                 report.narrative
             );
             // The fast decision (1) survives recovery.
-            assert!(report.decisions.iter().all(|(_, v)| *v == 1), "{}", report.narrative);
+            assert!(
+                report.decisions.iter().all(|(_, v)| *v == 1),
+                "{}",
+                report.narrative
+            );
         }
     }
 
@@ -693,7 +749,11 @@ mod tests {
                 "e={e} f={f}: uniqueness must rescue n=2e+f-1\n{}",
                 report.narrative
             );
-            assert!(report.decisions.iter().all(|(_, v)| *v == 1), "{}", report.narrative);
+            assert!(
+                report.decisions.iter().all(|(_, v)| *v == 1),
+                "{}",
+                report.narrative
+            );
         }
     }
 
@@ -725,7 +785,10 @@ mod tests {
             let ablated = task_at_bound_with(
                 e,
                 f,
-                Ablations { no_max_tiebreak: true, ..Ablations::NONE },
+                Ablations {
+                    no_max_tiebreak: true,
+                    ..Ablations::NONE
+                },
             );
             assert!(
                 ablated.agreement_violated,
@@ -752,7 +815,10 @@ mod tests {
             let ablated = object_exclusion_demo(
                 e,
                 f,
-                Ablations { no_proposer_exclusion: true, ..Ablations::NONE },
+                Ablations {
+                    no_proposer_exclusion: true,
+                    ..Ablations::NONE
+                },
             );
             assert!(
                 ablated.agreement_violated,
@@ -774,7 +840,10 @@ mod tests {
             let ablated = object_guard_demo(
                 e,
                 f,
-                Ablations { no_object_guard: true, ..Ablations::NONE },
+                Ablations {
+                    no_object_guard: true,
+                    ..Ablations::NONE
+                },
             );
             assert!(
                 ablated.agreement_violated,
@@ -800,7 +869,12 @@ mod fast_paxos_tests {
             );
             let values: std::collections::BTreeSet<u64> =
                 report.decisions.iter().map(|(_, v)| *v).collect();
-            assert_eq!(values, [1u64, 2].into_iter().collect(), "{}", report.narrative);
+            assert_eq!(
+                values,
+                [1u64, 2].into_iter().collect(),
+                "{}",
+                report.narrative
+            );
         }
     }
 

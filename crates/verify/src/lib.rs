@@ -37,7 +37,5 @@ pub use adversary::{
 };
 pub use linearizability::{History, LinearizabilityError, Op};
 pub use model_check::{Action, CheckOutcome, ModelChecker};
-pub use props::{
-    check_agreement, check_integrity, check_termination, check_validity, Violation,
-};
+pub use props::{check_agreement, check_integrity, check_termination, check_validity, Violation};
 pub use twostep::{check_object_conformance, check_task_conformance, ConformanceReport};

@@ -78,7 +78,10 @@ impl<V: fmt::Debug> fmt::Display for LinearizabilityError<V> {
                 a.0, a.1, b.0, b.1
             ),
             LinearizabilityError::UnproposedDecision { value } => {
-                write!(f, "history not linearizable: decision {value:?} was never proposed")
+                write!(
+                    f,
+                    "history not linearizable: decision {value:?} was never proposed"
+                )
             }
             LinearizabilityError::DecisionBeforeProposal {
                 value,
@@ -110,7 +113,12 @@ impl<V: Value> History<V> {
 
     /// Records an invocation of `propose(argument)` by `process`.
     pub fn invoke(&mut self, process: ProcessId, argument: V, at: Time) {
-        self.ops.push(Op { process, argument, invoked: at, response: None });
+        self.ops.push(Op {
+            process,
+            argument,
+            invoked: at,
+            response: None,
+        });
     }
 
     /// Records the response of `process`'s pending operation.
@@ -141,7 +149,9 @@ impl<V: Value> History<V> {
         for op in &self.ops {
             if let Some((_, t)) = &op.response {
                 if *t < op.invoked {
-                    return Err(LinearizabilityError::IllFormed { process: op.process });
+                    return Err(LinearizabilityError::IllFormed {
+                        process: op.process,
+                    });
                 }
             }
         }
@@ -164,15 +174,19 @@ impl<V: Value> History<V> {
             }
         }
 
-        let proposers: Vec<&Op<V>> =
-            self.ops.iter().filter(|o| o.argument == **v_star).collect();
+        let proposers: Vec<&Op<V>> = self.ops.iter().filter(|o| o.argument == **v_star).collect();
         if proposers.is_empty() {
-            return Err(LinearizabilityError::UnproposedDecision { value: (*v_star).clone() });
+            return Err(LinearizabilityError::UnproposedDecision {
+                value: (*v_star).clone(),
+            });
         }
 
-        let first_response = responses.iter().map(|(_, _, t)| *t).min().expect("nonempty");
-        let earliest_proposal =
-            proposers.iter().map(|o| o.invoked).min().expect("nonempty");
+        let first_response = responses
+            .iter()
+            .map(|(_, _, t)| *t)
+            .min()
+            .expect("nonempty");
+        let earliest_proposal = proposers.iter().map(|o| o.invoked).min().expect("nonempty");
         if earliest_proposal > first_response {
             return Err(LinearizabilityError::DecisionBeforeProposal {
                 value: (*v_star).clone(),
@@ -191,10 +205,8 @@ impl<V: Value> History<V> {
         let n = self.ops.len();
         let mut order: Vec<usize> = (0..n).collect();
         // For pending ops we also need the option to exclude them.
-        let completed: Vec<usize> =
-            (0..n).filter(|&i| self.ops[i].response.is_some()).collect();
-        let pending: Vec<usize> =
-            (0..n).filter(|&i| self.ops[i].response.is_none()).collect();
+        let completed: Vec<usize> = (0..n).filter(|&i| self.ops[i].response.is_some()).collect();
+        let pending: Vec<usize> = (0..n).filter(|&i| self.ops[i].response.is_none()).collect();
 
         // Enumerate subsets of pending ops to include.
         for mask in 0..(1usize << pending.len()) {
@@ -228,7 +240,9 @@ fn respects_real_time<V: Value>(h: &History<V>, order: &[usize]) -> bool {
 }
 
 fn sequentially_valid<V: Value>(h: &History<V>, order: &[usize]) -> bool {
-    let Some(&first) = order.first() else { return true };
+    let Some(&first) = order.first() else {
+        return true;
+    };
     let decision = &h.ops[first].argument;
     for &i in order {
         if let Some((v, _)) = &h.ops[i].response {
@@ -360,7 +374,10 @@ mod tests {
         let mut h: History<u64> = History::new();
         h.invoke(p(0), 5, t(100));
         h.respond(p(0), 5, t(50));
-        assert!(matches!(h.check(), Err(LinearizabilityError::IllFormed { .. })));
+        assert!(matches!(
+            h.check(),
+            Err(LinearizabilityError::IllFormed { .. })
+        ));
     }
 
     #[test]

@@ -145,10 +145,17 @@ impl<V: Value> ModelChecker<V> {
         while let Some((ex, script, crashes, fires)) = stack.pop() {
             // Safety checks on the popped state.
             if let Some(report) = self.violated(&ex) {
-                return CheckOutcome::Violation { report, script, states };
+                return CheckOutcome::Violation {
+                    report,
+                    script,
+                    states,
+                };
             }
             if states >= self.max_states {
-                return CheckOutcome::Clean { states, truncated: true };
+                return CheckOutcome::Clean {
+                    states,
+                    truncated: true,
+                };
             }
 
             // Enumerate successor actions.
@@ -166,7 +173,12 @@ impl<V: Value> ModelChecker<V> {
                 if visited.insert(next.fingerprint()) {
                     states += 1;
                     let mut s = script.clone();
-                    s.push(Action::Deliver { index, from, to, describe });
+                    s.push(Action::Deliver {
+                        index,
+                        from,
+                        to,
+                        describe,
+                    });
                     stack.push((next, s, crashes, fires.clone()));
                 }
             }
@@ -206,7 +218,10 @@ impl<V: Value> ModelChecker<V> {
             }
         }
 
-        CheckOutcome::Clean { states, truncated: false }
+        CheckOutcome::Clean {
+            states,
+            truncated: false,
+        }
     }
 
     fn violated<P: Protocol<V>>(&self, ex: &ManualExecutor<V, P>) -> Option<String> {
@@ -242,7 +257,6 @@ mod tests {
     use super::*;
     use serde::{Deserialize, Serialize};
     use twostep_types::protocol::Effects;
-
 
     #[derive(Debug, Clone, Serialize, Deserialize)]
     struct M(u64);
@@ -347,7 +361,10 @@ mod tests {
                 }
             }
         }
-        assert!(!ex.agreement(), "replayed script must reproduce the violation");
+        assert!(
+            !ex.agreement(),
+            "replayed script must reproduce the violation"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use twostep_sim::Trace;
-use twostep_types::{ProcessId, ProcessSet, Time, Value, Duration};
+use twostep_types::{Duration, ProcessId, ProcessSet, Time, Value};
 
 /// A violated consensus property, with the evidence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,7 +45,10 @@ impl<V: fmt::Debug> fmt::Display for Violation<V> {
                 first.0, first.1, conflicting.0, conflicting.1
             ),
             Violation::Validity { process, value } => {
-                write!(f, "validity violated: {process} decided unproposed value {value:?}")
+                write!(
+                    f,
+                    "validity violated: {process} decided unproposed value {value:?}"
+                )
             }
             Violation::Integrity { process, times } => {
                 write!(f, "integrity violated: {process} decided {times} times")
@@ -85,7 +88,10 @@ pub fn check_agreement<V: Value>(trace: &Trace<V>) -> Result<(), Violation<V>> {
 pub fn check_validity<V: Value>(trace: &Trace<V>, proposed: &[V]) -> Result<(), Violation<V>> {
     for (p, v, _) in trace.decisions() {
         if !proposed.contains(&v) {
-            return Err(Violation::Validity { process: p, value: v });
+            return Err(Violation::Validity {
+                process: p,
+                value: v,
+            });
         }
     }
     Ok(())
@@ -186,7 +192,10 @@ mod tests {
         let err = check_agreement(&tr).unwrap_err();
         assert_eq!(
             err,
-            Violation::Agreement { first: (p(0), 5), conflicting: (p(1), 6) }
+            Violation::Agreement {
+                first: (p(0), 5),
+                conflicting: (p(1), 6)
+            }
         );
         assert!(err.to_string().contains("agreement violated"));
     }
@@ -197,7 +206,13 @@ mod tests {
         decided(&mut tr, 0, 42, 1000);
         assert!(check_validity(&tr, &[42]).is_ok());
         let err = check_validity(&tr, &[1, 2]).unwrap_err();
-        assert_eq!(err, Violation::Validity { process: p(0), value: 42 });
+        assert_eq!(
+            err,
+            Violation::Validity {
+                process: p(0),
+                value: 42
+            }
+        );
     }
 
     #[test]
@@ -206,7 +221,13 @@ mod tests {
         decided(&mut tr, 0, 5, 1000);
         decided(&mut tr, 0, 5, 2000);
         let err = check_integrity(&tr).unwrap_err();
-        assert_eq!(err, Violation::Integrity { process: p(0), times: 2 });
+        assert_eq!(
+            err,
+            Violation::Integrity {
+                process: p(0),
+                times: 2
+            }
+        );
     }
 
     #[test]

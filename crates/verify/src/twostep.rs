@@ -205,7 +205,7 @@ mod tests {
         // configuration instead: everyone proposing distinct values is
         // *not* covered by A.1, and the red line blocks the fast path).
         let cfg = SystemConfig::minimal_object(2, 2).unwrap(); // n = 5
-        // Sanity: the object bound is genuinely below the task bound.
+                                                               // Sanity: the object bound is genuinely below the task bound.
         assert!(cfg.n() < SystemConfig::minimal_task(2, 2).unwrap().n());
         // A.1 conformance nevertheless passes at n = 5:
         let report = check_object_conformance(cfg, 2);

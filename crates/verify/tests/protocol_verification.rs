@@ -35,7 +35,10 @@ fn model_check_task_fast_path_all_schedules() {
     match outcome {
         CheckOutcome::Clean { states, truncated } => {
             assert!(!truncated, "exploration must finish within the bound");
-            assert!(states > 50, "expected substantive exploration, got {states}");
+            assert!(
+                states > 50,
+                "expected substantive exploration, got {states}"
+            );
         }
         CheckOutcome::Violation { report, script, .. } => {
             panic!("task protocol violated safety: {report}\nscript: {script:#?}")
@@ -102,12 +105,15 @@ fn model_check_object_contention() {
 
 /// Builds a propose-history from a simulated object run and checks
 /// linearizability.
-fn history_from_run(
-    outcome: &twostep_sim::RunOutcome<u64, ObjectConsensus<u64>>,
-) -> History<u64> {
+fn history_from_run(outcome: &twostep_sim::RunOutcome<u64, ObjectConsensus<u64>>) -> History<u64> {
     let mut h = History::new();
     for ev in outcome.trace.events() {
-        if let TraceEvent::Proposed { time, process, value } = ev {
+        if let TraceEvent::Proposed {
+            time,
+            process,
+            value,
+        } = ev
+        {
             h.invoke(*process, *value, *time);
         }
     }
@@ -116,7 +122,12 @@ fn history_from_run(
     // the outcome via gossip before its client called propose); the
     // operation then returns immediately at invocation time.
     for ev in outcome.trace.events() {
-        if let TraceEvent::Decided { time, process, value } = ev {
+        if let TraceEvent::Decided {
+            time,
+            process,
+            value,
+        } = ev
+        {
             let invoked = h
                 .ops()
                 .iter()
@@ -132,7 +143,8 @@ fn history_from_run(
 
 #[test]
 fn object_runs_are_linearizable_across_seeds() {
-    for seed in 0u64..25 {
+    // A failing seed is replayable alone via TWOSTEP_SEED=<seed>.
+    for seed in twostep_sim::test_seeds(0..25) {
         let cfg = SystemConfig::minimal_object(2, 2).unwrap();
         let n = cfg.n();
         let mut sim = SimulationBuilder::new(cfg)
@@ -159,7 +171,7 @@ fn object_runs_are_linearizable_across_seeds() {
 
 #[test]
 fn object_runs_with_crashes_are_linearizable() {
-    for seed in 0u64..15 {
+    for seed in twostep_sim::test_seeds(0..15) {
         let cfg = SystemConfig::minimal_object(2, 3).unwrap();
         let n = cfg.n();
         let f = cfg.f();
@@ -168,11 +180,18 @@ fn object_runs_with_crashes_are_linearizable() {
             .delivery_order(DeliveryOrder::randomized(seed));
         for k in 0..(seed as usize % (f + 1)) {
             let victim = p(((seed as usize + 2 * k + 1) % n) as u32);
-            builder = builder.crash_at(victim, Time::from_units((seed * 701 + k as u64 * 997) % 4000));
+            builder = builder.crash_at(
+                victim,
+                Time::from_units((seed * 701 + k as u64 * 997) % 4000),
+            );
         }
         let mut sim = builder.build(|q| ObjectConsensus::<u64>::new(cfg, q));
         for i in (0..n as u32).step_by(2) {
-            sim.schedule_propose(p(i), 100 + u64::from(i), Time::from_units(u64::from(i) * 200));
+            sim.schedule_propose(
+                p(i),
+                100 + u64::from(i),
+                Time::from_units(u64::from(i) * 200),
+            );
         }
         let outcome = sim.run_until_all_decided(Time::ZERO + Duration::deltas(150));
         let h = history_from_run(&outcome);
@@ -207,14 +226,21 @@ fn model_check_finds_object_guard_ablation_bug() {
                     cfg,
                     q,
                     OmegaMode::Static(p(0)),
-                    Ablations { no_object_guard: true, ..Ablations::NONE },
+                    Ablations {
+                        no_object_guard: true,
+                        ..Ablations::NONE
+                    },
                 )
             });
             ex.start_all();
             // E0 = {p0, p1} and F0 = {p2} propose 0; E1 = {p3, p4}
             // propose 1.
             for i in 0..cfg.n() as u32 {
-                let v = if i >= (cfg.n() - cfg.e()) as u32 { 1 } else { 0 };
+                let v = if i >= (cfg.n() - cfg.e()) as u32 {
+                    1
+                } else {
+                    0
+                };
                 ex.propose(p(i), v);
             }
             // w = p4 wins the fast path: p2 (guard ablated!) and p3 vote 1.
@@ -230,7 +256,11 @@ fn model_check_finds_object_guard_ablation_bug() {
                     ex.deliver(id);
                 }
             }
-            assert_eq!(ex.decision_of(p(4)), Some(&1), "fast path must complete in setup");
+            assert_eq!(
+                ex.decision_of(p(4)),
+                Some(&1),
+                "fast path must complete in setup"
+            );
             // p0, p1 vote for p2's 0.
             for target in [p(0), p(1)] {
                 for id in ex.pending_matching(|m| {
@@ -245,11 +275,14 @@ fn model_check_finds_object_guard_ablation_bug() {
         });
     match outcome {
         CheckOutcome::Violation { report, script, .. } => {
-            assert!(report.contains("agreement"), "unexpected violation: {report}");
+            assert!(
+                report.contains("agreement"),
+                "unexpected violation: {report}"
+            );
             assert!(!script.is_empty());
         }
-        CheckOutcome::Clean { states, truncated } => panic!(
-            "model checker missed the ablation bug ({states} states, truncated={truncated})"
-        ),
+        CheckOutcome::Clean { states, truncated } => {
+            panic!("model checker missed the ablation bug ({states} states, truncated={truncated})")
+        }
     }
 }

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {k} crash(es): witness latency {latency}, two-step possible: {}, \
              all correct decided: {}, agreement: {}",
-            if fast.contains(witness) { "yes" } else { "no (k > e)" },
+            if fast.contains(witness) {
+                "yes"
+            } else {
+                "no (k > e)"
+            },
             outcome.all_correct_decided(),
             outcome.agreement(),
         );

@@ -20,15 +20,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SystemConfig::minimal_object(2, 2)?;
     println!("replicated KV store over {cfg} (object protocol per log slot)");
 
-    let cluster: Cluster<KvCommand> =
-        Cluster::in_memory(cfg, WallDuration::from_millis(5), |p| {
-            SmrReplica::<KvCommand, KvStore>::new(cfg, p)
-        });
+    let cluster: Cluster<KvCommand> = Cluster::in_memory(cfg, WallDuration::from_millis(5), |p| {
+        SmrReplica::<KvCommand, KvStore>::new(cfg, p)
+    });
 
     // Client A talks to p0; client B talks to p4.
     let ops = [
         (ProcessId::new(0), KvCommand::put("capital/mx", "cdmx")),
-        (ProcessId::new(4), KvCommand::put("venue/podc25", "huatulco")),
+        (
+            ProcessId::new(4),
+            KvCommand::put("venue/podc25", "huatulco"),
+        ),
         (ProcessId::new(0), KvCommand::put("capital/fr", "paris")),
         (ProcessId::new(4), KvCommand::delete("capital/fr")),
         (ProcessId::new(0), KvCommand::put("capital/es", "madrid")),
@@ -52,6 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Give the pipeline a moment to drain the remaining commands.
     std::thread::sleep(WallDuration::from_millis(600));
-    println!("submitted {} commands through two proxies; log replicated", ops.len());
+    println!(
+        "submitted {} commands through two proxies; log replicated",
+        ops.len()
+    );
     Ok(())
 }

@@ -8,12 +8,12 @@
 
 use twostep::core::{Ablations, Msg, ObjectConsensus, OmegaMode};
 use twostep::sim::ManualExecutor;
+use twostep::types::protocol::TimerId;
 use twostep::types::{ProcessId, SystemConfig};
 use twostep::verify::{
     object_at_bound, object_below_bound, task_at_bound, task_below_bound, CheckOutcome,
     ModelChecker,
 };
-use twostep::types::protocol::TimerId;
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -29,7 +29,11 @@ fn main() {
     println!(
         "decisions: {:?}  → agreement {}",
         below.decisions,
-        if below.agreement_violated { "VIOLATED (as the theorem demands)" } else { "intact" }
+        if below.agreement_violated {
+            "VIOLATED (as the theorem demands)"
+        } else {
+            "intact"
+        }
     );
     assert!(below.agreement_violated);
 
@@ -38,7 +42,11 @@ fn main() {
     println!(
         "decisions: {:?}  → agreement {}",
         at.decisions,
-        if at.agreement_violated { "VIOLATED" } else { "intact (the tie-break rescued it)" }
+        if at.agreement_violated {
+            "VIOLATED"
+        } else {
+            "intact (the tie-break rescued it)"
+        }
     );
     assert!(!at.agreement_violated);
 
@@ -53,7 +61,11 @@ fn main() {
     println!(
         "same strategy at n = 2e+f-1 = {}: agreement {}",
         at.cfg.n(),
-        if at.agreement_violated { "VIOLATED" } else { "intact" }
+        if at.agreement_violated {
+            "VIOLATED"
+        } else {
+            "intact"
+        }
     );
     assert!(!at.agreement_violated);
 
@@ -73,25 +85,38 @@ fn main() {
                     cfg,
                     q,
                     OmegaMode::Static(p(0)),
-                    Ablations { no_object_guard: true, ..Ablations::NONE },
+                    Ablations {
+                        no_object_guard: true,
+                        ..Ablations::NONE
+                    },
                 )
             });
             ex.start_all();
             for i in 0..cfg.n() as u32 {
-                let v = if i >= (cfg.n() - cfg.e()) as u32 { 1 } else { 0 };
+                let v = if i >= (cfg.n() - cfg.e()) as u32 {
+                    1
+                } else {
+                    0
+                };
                 ex.propose(p(i), v);
             }
             // Stage the contended fast round; the checker owns the rest.
             for voter in [p(2), p(3)] {
-                for id in ex.pending_matching(|m| m.from == p(4) && m.to == voter && matches!(m.msg, Msg::Propose(_))) {
+                for id in ex.pending_matching(|m| {
+                    m.from == p(4) && m.to == voter && matches!(m.msg, Msg::Propose(_))
+                }) {
                     ex.deliver(id);
                 }
-                for id in ex.pending_matching(|m| m.from == voter && m.to == p(4) && matches!(m.msg, Msg::TwoB(..))) {
+                for id in ex.pending_matching(|m| {
+                    m.from == voter && m.to == p(4) && matches!(m.msg, Msg::TwoB(..))
+                }) {
                     ex.deliver(id);
                 }
             }
             for target in [p(0), p(1)] {
-                for id in ex.pending_matching(|m| m.from == p(2) && m.to == target && matches!(m.msg, Msg::Propose(_))) {
+                for id in ex.pending_matching(|m| {
+                    m.from == p(2) && m.to == target && matches!(m.msg, Msg::Propose(_))
+                }) {
                     ex.deliver(id);
                 }
             }
@@ -101,7 +126,11 @@ fn main() {
         });
 
     match outcome {
-        CheckOutcome::Violation { report, script, states } => {
+        CheckOutcome::Violation {
+            report,
+            script,
+            states,
+        } => {
             println!("found after {states} states: {report}");
             println!("counterexample schedule ({} steps):", script.len());
             for (i, action) in script.iter().enumerate() {

@@ -22,8 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    n = max{2e+f, 2f+1} = 6 processes (Fast Paxos would need 7).
     // ---------------------------------------------------------------
     let cfg = SystemConfig::minimal_task(2, 2)?;
-    println!("task configuration: {cfg} (fast quorum {}, slow quorum {})",
-        cfg.fast_quorum(), cfg.slow_quorum());
+    println!(
+        "task configuration: {cfg} (fast quorum {}, slow quorum {})",
+        cfg.fast_quorum(),
+        cfg.slow_quorum()
+    );
 
     // Crash E = {p0, p1} at the beginning of round 1; the highest
     // correct proposer p5 must still decide by 2Δ.
@@ -46,10 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    Theorem 6 bound (n = 2e+f-1 = 5 for e = f = 2).
     // ---------------------------------------------------------------
     let cfg = SystemConfig::minimal_object(2, 2)?;
-    let cluster: Cluster<u64> =
-        Cluster::in_memory(cfg, WallDuration::from_millis(10), |p| {
-            ObjectConsensus::new(cfg, p)
-        });
+    let cluster: Cluster<u64> = Cluster::in_memory(cfg, WallDuration::from_millis(10), |p| {
+        ObjectConsensus::new(cfg, p)
+    });
     let proxy = ProcessId::new(4);
     cluster.propose(proxy, 42);
     let decided = cluster

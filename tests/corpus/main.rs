@@ -1,0 +1,144 @@
+//! Regression corpus: minimized counterexample schedules, replayed.
+//!
+//! Each schedule here was found by `twostep-fuzz` against a deliberately
+//! ablated protocol and minimized by its ddmin shrinker; the test pins
+//! it as a permanent regression check. Every entry is asserted twice:
+//! the ablated protocol must still violate the stated property, and the
+//! *correct* protocol must survive the identical schedule — so each test
+//! localizes the blame to the ablated rule, not to the schedule.
+//!
+//! To reproduce or extend an entry, paste the printed replay line, e.g.:
+//!
+//! ```text
+//! cargo run -p twostep-fuzz -- --protocol task --e 2 --f 2 --n 6 \
+//!     --ablate no_max_tiebreak --replay '<schedule>' --values 1,0,0,2,0,0 --leader 2
+//! ```
+
+use twostep_core::Ablations;
+use twostep_fuzz::{check_safety, run_case, FuzzCase, FuzzProtocol, Schedule};
+use twostep_types::{ProcessId, SystemConfig};
+
+/// Builds a corpus case from its replay-line ingredients.
+fn corpus_case(
+    protocol: FuzzProtocol,
+    (n, e, f): (usize, usize, usize),
+    values: &[u64],
+    leader: u32,
+    ablations: Ablations,
+    schedule: &str,
+) -> FuzzCase {
+    let schedule: Schedule = schedule.parse().expect("corpus schedule must parse");
+    FuzzCase {
+        protocol,
+        cfg: SystemConfig::new(n, e, f).expect("corpus configuration must be valid"),
+        values: values.to_vec(),
+        leader: ProcessId::new(leader),
+        ablations,
+        schedule,
+    }
+}
+
+/// Asserts the ablated replay violates `property` and the unablated
+/// replay of the same schedule is clean.
+fn assert_blames_ablation(case: FuzzCase, property: &str) {
+    let verdict = check_safety(case.protocol, &run_case(&case))
+        .unwrap_or_else(|| panic!("corpus schedule no longer reproduces a violation"));
+    assert_eq!(
+        verdict.property(),
+        property,
+        "corpus schedule now violates {} ({}), expected {property}",
+        verdict.property(),
+        verdict.detail()
+    );
+
+    let mut correct = case;
+    correct.ablations = Ablations::NONE;
+    let verdict = check_safety(correct.protocol, &run_case(&correct));
+    assert_eq!(
+        verdict, None,
+        "the correct protocol must survive the corpus schedule"
+    );
+}
+
+/// §4's recovery rule breaks when its max-value tie-break is flipped to
+/// min. Minimal configuration n = 2e + f at (e, f) = (2, 2): the winner
+/// p3 fast-decides 2 with voters {p3, p0, p1, p4}, its Decide broadcasts
+/// are dropped, and leader p2's recovery quorum {p1, p2, p4, p5} tallies
+/// {2: 2, 1: 2} at the exact n-f-e = 2 threshold — min picks 1.
+/// Found at seed 1, iteration 12; shrunk 59 → 21 actions. Notably the
+/// minimal schedule needs no crashes at all: message drops alone
+/// desynchronize the winner from the recovery quorum.
+#[test]
+fn tiebreak_flip_splits_recovery_quorum() {
+    let case = corpus_case(
+        FuzzProtocol::Task,
+        (6, 2, 2),
+        &[1, 0, 0, 2, 0, 0],
+        2,
+        Ablations {
+            no_max_tiebreak: true,
+            ..Ablations::NONE
+        },
+        "d:3>1 d:3>4 d:3>0 D:3 x:3>1 x:3>2 x:3>2 x:3>4 x:3>5 x:3>5 \
+         T:2 D:4 D:1 D:2 D:5 D:2 D:2 D:1 D:4 D:5 D:2",
+    );
+    assert_blames_ablation(case, "agreement");
+}
+
+/// The object variant's extra vote guard (only the designated opener's
+/// proposal may be fast-voted) is load-bearing at n = 2e + f - 1.
+/// Without it two concurrent openers both assemble fast quorums.
+/// Found at seed 1, iteration 1; shrunk 57 → 19 actions.
+#[test]
+fn object_guard_removal_allows_double_fast_decide() {
+    let case = corpus_case(
+        FuzzProtocol::Object,
+        (5, 2, 2),
+        &[0, 1, 0, 0, 2],
+        0,
+        Ablations {
+            no_object_guard: true,
+            ..Ablations::NONE
+        },
+        "p:4=2 p:1=1 d:4>3 d:4>1 D:4 x:4>0 x:4>0 x:4>2 x:4>2 x:4>3 \
+         T:0 D:2 D:3 D:0 D:0 D:2 D:0 D:3 D:0",
+    );
+    assert_blames_ablation(case, "agreement");
+}
+
+/// The paper's §B.1 adversary, re-encoded as a schedule: a fast decision
+/// forms, the winner and one voter crash, and the recovery leader must
+/// reconstruct the decided value from a quorum that saw only a partial
+/// vote. The correct recovery rule decides the fast value; the test pins
+/// that end-to-end agreement across fast path and recovery.
+#[test]
+fn fast_decide_then_crash_recovers_the_decided_value() {
+    let case = corpus_case(
+        FuzzProtocol::Task,
+        (6, 2, 2),
+        &[1, 0, 0, 2, 0, 0],
+        2,
+        Ablations::NONE,
+        // p3's Propose reaches everyone; p0's votes make the fast quorum.
+        "d:3>0 d:3>1 d:3>2 d:3>4 d:3>5 D:3 \
+         c:3 c:0 T:2 D:1 D:2 D:4 D:5 D:2 D:2 D:1 D:4 D:5 D:1 D:4 D:5 D:2",
+    );
+    let report = run_case(&case);
+    assert_eq!(check_safety(case.protocol, &report), None);
+    // The winner fast-decided before crashing, so the surviving quorum's
+    // recovery must converge on the same value.
+    assert!(
+        report
+            .decide_log
+            .iter()
+            .any(|&(p, _)| p == ProcessId::new(3)),
+        "p3 should have fast-decided before its crash: {:?}",
+        report.decide_log
+    );
+    let values: Vec<u64> = report.decide_log.iter().map(|&(_, v)| v).collect();
+    assert!(
+        values.iter().all(|&v| v == values[0]),
+        "all decisions must match the fast-decided value: {:?}",
+        report.decide_log
+    );
+}

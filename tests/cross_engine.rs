@@ -44,10 +44,14 @@ fn simulator_and_manual_agree_on_the_fast_path() {
     });
     ex.start_all();
     for target in [p(0), p(1)] {
-        for id in ex.pending_matching(|m| m.from == witness && m.to == target && matches!(m.msg, Msg::Propose(_))) {
+        for id in ex.pending_matching(|m| {
+            m.from == witness && m.to == target && matches!(m.msg, Msg::Propose(_))
+        }) {
             ex.deliver(id);
         }
-        for id in ex.pending_matching(|m| m.from == target && m.to == witness && matches!(m.msg, Msg::TwoB(..))) {
+        for id in ex.pending_matching(|m| {
+            m.from == target && m.to == witness && matches!(m.msg, Msg::TwoB(..))
+        }) {
             ex.deliver(id);
         }
     }
@@ -114,10 +118,9 @@ fn transports_agree() {
 #[test]
 fn threaded_cluster_with_crashes_decides() {
     let cfg = SystemConfig::minimal_object(2, 2).unwrap();
-    let mut cluster: Cluster<u64> =
-        Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| {
-            ObjectConsensus::new(cfg, q)
-        });
+    let mut cluster: Cluster<u64> = Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| {
+        ObjectConsensus::new(cfg, q)
+    });
     cluster.crash(p(0));
     cluster.crash(p(1));
     cluster.propose(p(4), 9);
@@ -129,6 +132,131 @@ fn threaded_cluster_with_crashes_decides() {
         );
     }
     assert!(cluster.agreement());
+}
+
+/// Replays the synchronous-round schedule on a [`ManualExecutor`]:
+/// round `k` delivers exactly the messages pending at its start (new
+/// sends wait for round `k+1`), with `victim` crashing right before its
+/// crash round's deliveries — the manual mirror of
+/// `SimulationBuilder::crash_at` just below a round boundary.
+fn drain_rounds<P: Protocol<u64>>(
+    ex: &mut ManualExecutor<u64, P>,
+    crash: Option<(usize, ProcessId)>,
+    max_rounds: usize,
+) {
+    for round in 0..max_rounds {
+        if let Some((crash_round, victim)) = crash {
+            if round == crash_round {
+                ex.crash(victim);
+            }
+        }
+        let pending = ex.pending_matching(|_| true);
+        if pending.is_empty() {
+            break;
+        }
+        for id in pending {
+            ex.deliver(id);
+        }
+    }
+}
+
+/// The first decision of every process, as the simulator's trace
+/// records it — the comparison key for cross-engine equivalence.
+fn decision_table<P: Protocol<u64>>(
+    outcome: &twostep::sim::RunOutcome<u64, P>,
+) -> Vec<Option<u64>> {
+    (0..outcome.cfg.n() as u32)
+        .map(|i| outcome.trace.first_decision(p(i)).map(|(v, _)| v))
+        .collect()
+}
+
+/// The object variant under a *seeded* schedule — proposer, crash
+/// victim and crash round all derived from the seed — produces the same
+/// decision trace whether the synchronous-round simulator or the manual
+/// executor drives it. A failing seed is replayable alone via
+/// TWOSTEP_SEED=<seed>.
+#[test]
+fn seeded_object_schedules_match_across_engines() {
+    use twostep::sim::SimulationBuilder;
+    use twostep::types::{Duration, DELTA};
+
+    for seed in twostep::sim::test_seeds(0..8) {
+        let cfg = SystemConfig::minimal_object(2, 2).unwrap();
+        let n = cfg.n() as u64;
+        let proposer = p((seed % n) as u32);
+        let victim = p(((seed + 2) % n) as u32);
+        let crash_round = 1 + (seed % 3) as usize;
+        let value = 100 + seed;
+        // Manual drain round k delivers what the simulator delivers at
+        // (k+1)Δ — the proposal broadcast lands at Δ. Crash one unit
+        // below that boundary so the victim still processes the
+        // previous round's deliveries but none of this round's;
+        // `drain_rounds` crashes at the same point.
+        let crash_time = Time::from_units((crash_round as u64 + 1) * DELTA.units() - 1);
+
+        let mut sim = SimulationBuilder::new(cfg)
+            .crash_at(victim, crash_time)
+            .build(|q| ObjectConsensus::<u64>::new(cfg, q));
+        sim.schedule_propose(proposer, value, Time::ZERO);
+        let outcome = sim.run_until_all_decided(Time::ZERO + Duration::deltas(60));
+        assert!(
+            outcome.agreement(),
+            "seed {seed}: simulator violated agreement"
+        );
+
+        let mut ex = ManualExecutor::new(cfg, |q| ObjectConsensus::<u64>::new(cfg, q));
+        ex.start_all();
+        ex.propose(proposer, value);
+        drain_rounds(&mut ex, Some((crash_round, victim)), 20);
+        assert!(ex.agreement(), "seed {seed}: manual run violated agreement");
+
+        let manual: Vec<Option<u64>> = ex.decisions().iter().map(|d| d.as_ref().copied()).collect();
+        assert_eq!(
+            decision_table(&outcome),
+            manual,
+            "seed {seed}: engines diverged (proposer {proposer}, victim {victim} \
+             crashing before round {crash_round})"
+        );
+    }
+}
+
+/// The Paxos baseline under the same seeded schedule shape also matches
+/// across engines: a seeded non-coordinator crashes at the start
+/// (Definition 2 style) and every survivor must converge on the
+/// coordinator's value in both engines.
+#[test]
+fn seeded_paxos_schedules_match_across_engines() {
+    use twostep::baselines::Paxos;
+    use twostep::types::ProcessSet;
+
+    for seed in twostep::sim::test_seeds(0..8) {
+        let cfg = SystemConfig::minimal_task(2, 2).unwrap();
+        let n = cfg.n() as u64;
+        // p0 is Paxos's ballot-0 coordinator; crash anyone else.
+        let victim = p((1 + seed % (n - 1)) as u32);
+        let values: Vec<u64> = (0..n).map(|i| 10 * (i + 1) + seed % 7).collect();
+
+        let crashed: ProcessSet = [victim].into_iter().collect();
+        let outcome = SyncRunner::new(cfg)
+            .crashed(crashed)
+            .run(|q| Paxos::new(cfg, q, values[q.index()]));
+        assert!(outcome.agreement(), "seed {seed}");
+
+        let mut ex = ManualExecutor::new(cfg, |q| Paxos::new(cfg, q, values[q.index()]));
+        ex.crash(victim);
+        ex.start_all();
+        drain_rounds(&mut ex, None, 20);
+        assert!(ex.agreement(), "seed {seed}");
+
+        let manual: Vec<Option<u64>> = ex.decisions().iter().map(|d| d.as_ref().copied()).collect();
+        assert_eq!(
+            decision_table(&outcome),
+            manual,
+            "seed {seed}: engines diverged (victim {victim})"
+        );
+        // Both engines must have decided the coordinator's value.
+        assert_eq!(ex.decision_of(p(0)), Some(&values[0]), "seed {seed}");
+    }
 }
 
 /// The protocol state machine is engine-agnostic by construction: this

@@ -82,7 +82,10 @@ fn claim_paxos_not_two_step() {
         .horizon(twostep::types::Duration::deltas(60))
         .run(|p| Paxos::new(cfg, p, u64::from(p.as_u32())));
     assert!(outcome.fast_deciders().0.is_empty());
-    assert!(outcome.all_correct_decided(), "but f-resilience still holds");
+    assert!(
+        outcome.all_correct_decided(),
+        "but f-resilience still holds"
+    );
 }
 
 /// The bound hierarchy of the abstract: object ≤ task ≤ Fast Paxos,

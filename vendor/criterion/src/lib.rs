@@ -1,0 +1,155 @@
+//! Minimal stub of `criterion`: enough of the harness API for the
+//! workspace's `harness = false` benches to build and produce rough
+//! timings. No statistics, plots, or CLI parsing.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (recorded, printed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures passed to [`Bencher::iter`] and friends.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn run<F: FnMut()>(&mut self, mut f: F) {
+        // Warm-up pass, then a short timed run.
+        f();
+        let budget = Duration::from_millis(40);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 100_000 {
+            f();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Times `routine` on inputs produced by `setup` (setup untimed in
+    /// real criterion; timed here — the stub reports rough numbers only).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("bench {name:<48} {per_iter:>12.0} ns/iter ({} iters)", b.iters);
+    if let Some(Throughput::Elements(n)) = throughput {
+        let rate = n as f64 / (per_iter / 1e9);
+        line.push_str(&format!("  ~{rate:.0} elem/s"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Registers and immediately runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), &b, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

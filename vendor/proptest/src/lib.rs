@@ -1,0 +1,640 @@
+//! Minimal API-compatible stub of `proptest`: a deterministic
+//! property-testing runner covering exactly the surface this workspace
+//! uses (`proptest!`, `prop_assert*`, `prop_oneof!`, `Just`, `any`,
+//! ranges, tuples, string patterns, `collection::{vec, btree_map}`,
+//! `option::of`, `prop_map`, `prop_recursive`).
+//!
+//! Unlike real proptest there is no shrinking of failing cases; instead
+//! every run is reproducible from a printed seed. The base seed derives
+//! from the test name, so runs are stable across processes, and can be
+//! overridden with the `TWOSTEP_SEED` environment variable to replay a
+//! failure.
+#![allow(clippy::all)]
+
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// Deterministic generator state (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(move |rng| self.generate(rng))
+        }
+
+        /// Depth-bounded recursive strategy. `_desired_size` and
+        /// `_expected_branch` are accepted for API compatibility; only
+        /// `depth` limits recursion here.
+        fn prop_recursive<F, S2>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+            S2: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(current.clone()).boxed();
+                let l = leaf.clone();
+                current = BoxedStrategy::new(move |rng: &mut TestRng| {
+                    if rng.below(4) == 0 {
+                        l.generate(rng)
+                    } else {
+                        branch.generate(rng)
+                    }
+                });
+            }
+            current
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> BoxedStrategy<T> {
+        pub fn new<F: Fn(&mut TestRng) -> T + 'static>(f: F) -> Self {
+            BoxedStrategy(Rc::new(f))
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between same-typed strategies (see `prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.0.len() as u64) as usize;
+            self.0[k].generate(rng)
+        }
+    }
+
+    /// Primitive types generable by `any::<T>()`.
+    pub trait ArbitraryPrimitive {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {
+            $(impl ArbitraryPrimitive for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            })+
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryPrimitive for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: ArbitraryPrimitive>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: ArbitraryPrimitive> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let lo = self.start as i128;
+                        let hi = self.end as i128;
+                        assert!(lo < hi, "empty range strategy");
+                        let span = (hi - lo) as u128;
+                        (lo + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let lo = *self.start() as i128;
+                        let hi = *self.end() as i128;
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi - lo) as u128 + 1;
+                        (lo + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0.0);
+    impl_tuple_strategy!(S0.0, S1.1);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+    /// `&'static str` acts as a regex-lite pattern strategy producing
+    /// `String`s. Supported: literal chars, `[a-z0-9 ]` char classes
+    /// (with unicode ranges), and `{n}` / `{m,n}` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut out = String::new();
+        while i < chars.len() {
+            let set: Vec<char> = if chars[i] == '[' {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+                        assert!(a <= b, "inverted char range in pattern {pattern:?}");
+                        for u in a..=b {
+                            if let Some(c) = char::from_u32(u) {
+                                set.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in {pattern:?}");
+                i += 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().expect("bad quantifier"),
+                        b.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                let k = rng.below(set.len() as u64) as usize;
+                out.push(set[k]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    /// Inclusive element-count bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Duplicate keys collapse, so the result may be smaller than
+            // the picked size — same as real proptest.
+            let n = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option` strategy: `None` roughly a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::TestRng;
+
+    /// Outcome of a single generated case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property failed; the run aborts with this message.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Base seed for a property: the `TWOSTEP_SEED` env var when set,
+    /// otherwise a stable hash of the test name.
+    pub fn base_seed(name: &str) -> u64 {
+        match std::env::var("TWOSTEP_SEED") {
+            Ok(v) => v
+                .trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("TWOSTEP_SEED must be a u64, got {v:?}")),
+            Err(_) => fnv1a(name),
+        }
+    }
+
+    fn case_seed(base: u64, attempt: u64) -> u64 {
+        base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+    }
+
+    /// Drives one property: runs `config.cases` generated cases, retrying
+    /// rejected ones, and panics with seed + inputs on the first failure.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+    {
+        let base = base_seed(name);
+        let mut executed = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = (config.cases as u64).saturating_mul(20).max(100);
+        while executed < config.cases {
+            if attempts >= max_attempts {
+                panic!(
+                    "[{name}] gave up after {attempts} attempts: \
+                     {executed}/{} cases passed, the rest were rejected by prop_assume! \
+                     (base seed {base})",
+                    config.cases
+                );
+            }
+            let mut rng = TestRng::new(case_seed(base, attempts));
+            attempts += 1;
+            match case(&mut rng) {
+                Ok(()) => executed += 1,
+                Err((TestCaseError::Reject(_), _)) => {}
+                Err((TestCaseError::Fail(msg), inputs)) => {
+                    panic!(
+                        "[{name}] property failed after {executed} passing case(s): {msg}\n\
+                         \x20 inputs: {inputs}\n\
+                         \x20 base seed: {base} — replay with TWOSTEP_SEED={base}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(stringify!($name), &__config, |__rng| {
+                let __vals = ($($crate::strategy::Strategy::generate(&($strat), __rng),)+);
+                let __inputs = ::std::format!("{:?}", __vals);
+                let ($($pat,)+) = __vals;
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __result.map_err(|__e| (__e, __inputs))
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` == `{:?}` ({} == {})",
+                    __l, __r, stringify!($left), stringify!($right)
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __l, __r, ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,519 @@
+//! The deserialization half of the serde data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error type contract for deserializers.
+pub trait Error: Sized + std::error::Error {
+    /// Builds a deserializer error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value constructible from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A stateful deserialization entry point (serde's seed mechanism).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The value produced.
+    type Value;
+    /// Deserializes using this seed.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format that can deserialize the serde data model.
+///
+/// Unlike real serde, every `deserialize_*` method has a default that
+/// forwards to [`Deserializer::deserialize_any`]; full formats (like the
+/// workspace codec) override all of them, while trivial single-value
+/// deserializers only provide `deserialize_any`.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes whatever the input contains next (self-describing
+    /// formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a borrowed or copied string.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a struct with named fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes a struct field name or enum variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserializes and discards whatever comes next.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Whether the format is human readable.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+macro_rules! default_visit {
+    ($($(#[$doc:meta])* fn $name:ident($ty:ty);)*) => {$(
+        $(#[$doc])*
+        fn $name<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::custom(concat!("unexpected ", stringify!($name))))
+        }
+    )*};
+}
+
+/// Drives construction of a value from deserializer callbacks.
+pub trait Visitor<'de>: Sized {
+    /// The value being produced.
+    type Value;
+
+    /// Writes a description of what this visitor expects.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    default_visit! {
+        /// Visits a `bool`.
+        fn visit_bool(bool);
+        /// Visits an `i8`.
+        fn visit_i8(i8);
+        /// Visits an `i16`.
+        fn visit_i16(i16);
+        /// Visits an `i32`.
+        fn visit_i32(i32);
+        /// Visits an `i64`.
+        fn visit_i64(i64);
+        /// Visits a `u8`.
+        fn visit_u8(u8);
+        /// Visits a `u16`.
+        fn visit_u16(u16);
+        /// Visits a `u32`.
+        fn visit_u32(u32);
+        /// Visits a `u64`.
+        fn visit_u64(u64);
+        /// Visits an `f32`.
+        fn visit_f32(f32);
+        /// Visits an `f64`.
+        fn visit_f64(f64);
+        /// Visits a `char`.
+        fn visit_char(char);
+    }
+
+    /// Visits a string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom("unexpected string"))
+    }
+
+    /// Visits a string borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a byte slice.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom("unexpected bytes"))
+    }
+
+    /// Visits bytes borrowed from the input.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    /// Visits an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visits `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected none"))
+    }
+
+    /// Visits `Option::Some`, deserializing the payload.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom("unexpected some"))
+    }
+
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected unit"))
+    }
+
+    /// Visits a newtype struct, deserializing the inner value.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom("unexpected newtype struct"))
+    }
+
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(A::Error::custom("unexpected sequence"))
+    }
+
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(A::Error::custom("unexpected map"))
+    }
+
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(A::Error::custom("unexpected enum"))
+    }
+}
+
+/// Access to the elements of a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next element with an explicit seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserializes the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map being deserialized.
+pub trait MapAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next key with an explicit seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserializes the next value with an explicit seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserializes the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserializes the next entry.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error>
+    where
+        Self: Sized,
+    {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Accessor for the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserializes the variant identifier with an explicit seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserializes the variant identifier.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant being deserialized.
+pub trait VariantAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Consumes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a newtype variant payload with an explicit seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Deserializes a newtype variant payload.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Deserializes a tuple variant payload.
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a struct variant payload.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a plain value into a deserializer yielding it.
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    /// The deserializer produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Converts `self` into a deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = value::U32Deserializer<E>;
+    fn into_deserializer(self) -> value::U32Deserializer<E> {
+        value::U32Deserializer::new(self)
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u64 {
+    type Deserializer = value::U64Deserializer<E>;
+    fn into_deserializer(self) -> value::U64Deserializer<E> {
+        value::U64Deserializer::new(self)
+    }
+}
+
+/// Trivial single-value deserializers.
+pub mod value {
+    use super::{Deserializer, Visitor};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Plain string-message error for the value deserializers.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl super::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    macro_rules! primitive_deserializer {
+        ($name:ident, $ty:ty, $visit:ident) => {
+            /// Deserializer yielding a single primitive value.
+            pub struct $name<E> {
+                value: $ty,
+                marker: PhantomData<E>,
+            }
+
+            impl<E> $name<E> {
+                /// Wraps `value`.
+                pub fn new(value: $ty) -> Self {
+                    $name { value, marker: PhantomData }
+                }
+            }
+
+            impl<'de, E: super::Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+                fn deserialize_any<V: Visitor<'de>>(
+                    self,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    visitor.$visit(self.value)
+                }
+            }
+        };
+    }
+
+    primitive_deserializer!(U32Deserializer, u32, visit_u32);
+    primitive_deserializer!(U64Deserializer, u64, visit_u64);
+}

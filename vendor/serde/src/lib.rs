@@ -1,0 +1,20 @@
+//! Minimal API-compatible stub of `serde`: the full serialization /
+//! deserialization data-model traits as exercised by this workspace
+//! (notably `twostep-runtime`'s hand-rolled binary codec), plus impls
+//! for the std types the workspace serializes.
+//!
+//! Not a general replacement for serde — see `vendor/README.md`.
+#![allow(clippy::all)]
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+
+// The derive macros live in the same-named companion crate, exactly as
+// with real serde; the name collision with the traits is fine because
+// macros occupy a separate namespace.
+pub use serde_derive::{Deserialize, Serialize};

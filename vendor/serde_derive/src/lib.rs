@@ -1,0 +1,815 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the in-tree serde
+//! stub. No `syn`/`quote`: the item is parsed directly from the token
+//! stream and the impls are emitted as strings.
+//!
+//! Supported shapes (everything this workspace derives on): unit /
+//! newtype / tuple / named-field structs; enums whose variants are unit,
+//! newtype, tuple, or struct-like; type parameters with declared bounds;
+//! the `#[serde(bound(serialize = "...", deserialize = "..."))]`
+//! attribute. Lifetimes, const generics, `where` clauses on the item and
+//! enum discriminants are rejected with a panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Param {
+    name: String,
+    /// Declared bounds as written, e.g. `Ord`, without the leading `:`.
+    bounds: String,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    #[allow(dead_code)] // kept for error messages / future shapes
+    is_enum: bool,
+    name: String,
+    params: Vec<Param>,
+    bound_ser: Option<String>,
+    bound_de: Option<String>,
+    data: Data,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let code = gen_serialize(&input);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub emitted invalid Serialize impl: {e}\n{code}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let code = gen_deserialize(&input);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub emitted invalid Deserialize impl: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+fn ident_at(toks: &[TokenTree], i: usize, what: &str) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0usize;
+    let mut bound_ser = None;
+    let mut bound_de = None;
+
+    // Outer attributes (doc comments arrive as `#[doc = "..."]`).
+    while is_punct(toks.get(i), '#') {
+        match toks.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                scan_serde_attr(g.stream(), &mut bound_ser, &mut bound_de);
+                i += 2;
+            }
+            other => panic!("serde_derive stub: malformed attribute, found {other:?}"),
+        }
+    }
+
+    // Visibility.
+    if is_ident(toks.get(i), "pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let is_enum = if is_ident(toks.get(i), "struct") {
+        false
+    } else if is_ident(toks.get(i), "enum") {
+        true
+    } else {
+        panic!(
+            "serde_derive stub: expected `struct` or `enum`, found {:?}",
+            toks.get(i)
+        );
+    };
+    i += 1;
+
+    let name = ident_at(&toks, i, "item name");
+    i += 1;
+
+    // Generic parameters.
+    let mut params = Vec::new();
+    if is_punct(toks.get(i), '<') {
+        i += 1;
+        loop {
+            if is_punct(toks.get(i), '>') {
+                i += 1;
+                break;
+            }
+            if is_punct(toks.get(i), ',') {
+                i += 1;
+                continue;
+            }
+            if is_punct(toks.get(i), '\'') {
+                panic!("serde_derive stub: lifetime parameters are not supported");
+            }
+            if is_ident(toks.get(i), "const") {
+                panic!("serde_derive stub: const generics are not supported");
+            }
+            let pname = ident_at(&toks, i, "generic parameter");
+            i += 1;
+            let mut bounds = String::new();
+            if is_punct(toks.get(i), ':') {
+                i += 1;
+                let mut depth = 0i64;
+                let mut parts: Vec<String> = Vec::new();
+                loop {
+                    match toks.get(i) {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            depth += 1;
+                            parts.push("<".into());
+                            i += 1;
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                            parts.push(">".into());
+                            i += 1;
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                        Some(t) => {
+                            parts.push(t.to_string());
+                            i += 1;
+                        }
+                        None => panic!("serde_derive stub: unexpected end inside generics"),
+                    }
+                }
+                bounds = parts.join(" ");
+            }
+            params.push(Param {
+                name: pname,
+                bounds,
+            });
+        }
+    }
+
+    if is_ident(toks.get(i), "where") {
+        panic!("serde_derive stub: `where` clauses on the item are not supported");
+    }
+
+    let data = if is_enum {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde_derive stub: expected struct body, found {other:?}"),
+        }
+    };
+
+    Input {
+        is_enum,
+        name,
+        params,
+        bound_ser,
+        bound_de,
+        data,
+    }
+}
+
+/// Extracts `bound(serialize = "...", deserialize = "...")` from one
+/// `#[serde(...)]` attribute body. Other serde attributes are rejected so
+/// they cannot be silently mis-serialized.
+fn scan_serde_attr(
+    ts: TokenStream,
+    bound_ser: &mut Option<String>,
+    bound_de: &mut Option<String>,
+) {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if !is_ident(toks.first(), "serde") {
+        return;
+    }
+    let args = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0usize;
+    while j < args.len() {
+        if is_ident(args.get(j), "bound") {
+            if let Some(TokenTree::Group(bg)) = args.get(j + 1) {
+                let bts: Vec<TokenTree> = bg.stream().into_iter().collect();
+                let mut k = 0usize;
+                while k < bts.len() {
+                    if let TokenTree::Ident(id) = &bts[k] {
+                        let which = id.to_string();
+                        if is_punct(bts.get(k + 1), '=') {
+                            if let Some(TokenTree::Literal(lit)) = bts.get(k + 2) {
+                                let s = unquote(&lit.to_string());
+                                match which.as_str() {
+                                    "serialize" => *bound_ser = Some(s),
+                                    "deserialize" => *bound_de = Some(s),
+                                    other => panic!(
+                                        "serde_derive stub: unsupported bound key `{other}`"
+                                    ),
+                                }
+                            }
+                            k += 3;
+                            if is_punct(bts.get(k), ',') {
+                                k += 1;
+                            }
+                            continue;
+                        }
+                    }
+                    k += 1;
+                }
+                j += 2;
+                continue;
+            }
+        } else if !is_punct(args.get(j), ',') {
+            panic!(
+                "serde_derive stub: unsupported serde attribute starting at {:?}",
+                args.get(j)
+            );
+        }
+        j += 1;
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde_derive stub: expected string literal, got {lit}"));
+    inner.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+fn parse_named(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0usize;
+    let mut names = Vec::new();
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        if is_ident(toks.get(i), "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = ident_at(&toks, i, "field name");
+        i += 1;
+        if !is_punct(toks.get(i), ':') {
+            panic!("serde_derive stub: expected `:` after field `{name}`");
+        }
+        i += 1;
+        // Skip the field type: a balanced token run up to a top-level `,`.
+        let mut depth = 0i64;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    i += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    i += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Counts tuple-struct / tuple-variant fields: top-level commas delimit
+/// fields, commas inside `<...>` do not (`BTreeMap<String, u64>` is one).
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i64;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in ts {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i, "variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if is_punct(toks.get(i), '=') {
+            panic!("serde_derive stub: explicit enum discriminants are not supported");
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        out.push((name, fields));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+/// `<'de, V: Ord + ::serde::de::DeserializeOwned>` — declared bounds are
+/// kept; `default_bound` is appended per type parameter unless the item
+/// carries an explicit `#[serde(bound(...))]` override.
+fn impl_generics(input: &Input, lifetime: Option<&str>, default_bound: Option<&str>) -> String {
+    let mut items = Vec::new();
+    if let Some(lt) = lifetime {
+        items.push(lt.to_string());
+    }
+    for p in &input.params {
+        let mut bounds = Vec::new();
+        if !p.bounds.is_empty() {
+            bounds.push(p.bounds.clone());
+        }
+        if let Some(db) = default_bound {
+            bounds.push(db.to_string());
+        }
+        if bounds.is_empty() {
+            items.push(p.name.clone());
+        } else {
+            items.push(format!("{}: {}", p.name, bounds.join(" + ")));
+        }
+    }
+    if items.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", items.join(", "))
+    }
+}
+
+/// `<V, C>` (or empty).
+fn type_generics(input: &Input) -> String {
+    if input.params.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<&str> = input.params.iter().map(|p| p.name.as_str()).collect();
+        format!("<{}>", names.join(", "))
+    }
+}
+
+fn visitor_struct(vn: &str, input: &Input) -> String {
+    if input.params.is_empty() {
+        format!("struct {vn};\n")
+    } else {
+        let names: Vec<&str> = input.params.iter().map(|p| p.name.as_str()).collect();
+        format!(
+            "struct {vn}<{0}>(::std::marker::PhantomData<({0},)>);\n",
+            names.join(", ")
+        )
+    }
+}
+
+fn visitor_expr(vn: &str, input: &Input) -> String {
+    if input.params.is_empty() {
+        vn.to_string()
+    } else {
+        format!("{vn}(::std::marker::PhantomData)")
+    }
+}
+
+fn str_slice(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("&[{}]", quoted.join(", "))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let default_bound = if input.bound_ser.is_none() {
+        Some("::serde::Serialize")
+    } else {
+        None
+    };
+    let ig = impl_generics(input, None, default_bound);
+    let tg = type_generics(input);
+    let wc = match &input.bound_ser {
+        Some(b) => format!(" where {b}"),
+        None => String::new(),
+    };
+
+    let body = match &input.data {
+        Data::Struct(Fields::Unit) => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Data::Struct(Fields::Tuple(1)) => format!(
+            "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Data::Struct(Fields::Tuple(n)) => {
+            let mut s = format!(
+                "let mut __st = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n})?;\n"
+            );
+            for k in 0..*n {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{k})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            s
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeStruct::end(__st)");
+            s
+        }
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for (idx, (v, fields)) in variants.iter().enumerate() {
+                match fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "{name}::{v} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{v}\"),\n"
+                    )),
+                    Fields::Tuple(1) => s.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{v}\", __f0),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        s.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\nlet mut __st = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{v}\", {n})?;\n",
+                            binds = binds.join(", ")
+                        ));
+                        for b in &binds {
+                            s.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __st, {b})?;\n"
+                            ));
+                        }
+                        s.push_str("::serde::ser::SerializeTupleVariant::end(__st)\n}\n");
+                    }
+                    Fields::Named(fs) => {
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {fields} }} => {{\nlet mut __st = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{v}\", {len})?;\n",
+                            fields = fs.join(", "),
+                            len = fs.len()
+                        ));
+                        for f in fs {
+                            s.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __st, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        s.push_str("::serde::ser::SerializeStructVariant::end(__st)\n}\n");
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, non_snake_case, unused_mut, unused_variables)]\n\
+         impl{ig} ::serde::Serialize for {name}{tg}{wc} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn read_fields(n: usize, ctor: &str) -> String {
+    let mut s = String::new();
+    for k in 0..n {
+        s.push_str(&format!(
+            "let __f{k} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{ \
+             ::std::option::Option::Some(__v) => __v, \
+             ::std::option::Option::None => return ::std::result::Result::Err(<__A::Error as ::serde::de::Error>::custom(\"invalid length\")), \
+             }};\n"
+        ));
+    }
+    s.push_str(&format!("::std::result::Result::Ok({ctor})\n"));
+    s
+}
+
+fn tuple_ctor(path: &str, n: usize) -> String {
+    let args: Vec<String> = (0..n).map(|k| format!("__f{k}")).collect();
+    format!("{path}({})", args.join(", "))
+}
+
+fn named_ctor(path: &str, fields: &[String]) -> String {
+    let args: Vec<String> = fields
+        .iter()
+        .enumerate()
+        .map(|(k, f)| format!("{f}: __f{k}"))
+        .collect();
+    format!("{path} {{ {} }}", args.join(", "))
+}
+
+fn visit_seq_method(body: &str) -> String {
+    format!(
+        "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n{body}}}\n"
+    )
+}
+
+fn visitor_impl(
+    vn: &str,
+    input: &Input,
+    ig: &str,
+    wc: &str,
+    value_ty: &str,
+    expecting: &str,
+    methods: &str,
+) -> String {
+    let tg = type_generics(input);
+    format!(
+        "impl{ig} ::serde::de::Visitor<'de> for {vn}{tg}{wc} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{ __f.write_str(\"{expecting}\") }}\n\
+         {methods}\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let default_bound = if input.bound_de.is_none() {
+        Some("::serde::de::DeserializeOwned")
+    } else {
+        None
+    };
+    let ig = impl_generics(input, Some("'de"), default_bound);
+    let tg = type_generics(input);
+    let wc = match &input.bound_de {
+        Some(b) => format!(" where {b}"),
+        None => String::new(),
+    };
+    let value_ty = format!("{name}{tg}");
+
+    // Helper items (visitor structs + impls) defined inside `deserialize`,
+    // followed by the driving `Deserializer` call.
+    let mut items = String::new();
+    let driver;
+
+    match &input.data {
+        Data::Struct(Fields::Unit) => {
+            items.push_str(&visitor_struct("__Visitor", input));
+            let methods = format!(
+                "fn visit_unit<__E: ::serde::de::Error>(self) -> ::std::result::Result<Self::Value, __E> {{ ::std::result::Result::Ok({name}) }}\n"
+            );
+            items.push_str(&visitor_impl(
+                "__Visitor",
+                input,
+                &ig,
+                &wc,
+                &value_ty,
+                &format!("struct {name}"),
+                &methods,
+            ));
+            driver = format!(
+                "::serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", {})",
+                visitor_expr("__Visitor", input)
+            );
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            items.push_str(&visitor_struct("__Visitor", input));
+            let methods = format!(
+                "fn visit_newtype_struct<__E: ::serde::Deserializer<'de>>(self, __d: __E) -> ::std::result::Result<Self::Value, __E::Error> {{\n\
+                 ::serde::Deserialize::deserialize(__d).map({name})\n\
+                 }}\n"
+            );
+            items.push_str(&visitor_impl(
+                "__Visitor",
+                input,
+                &ig,
+                &wc,
+                &value_ty,
+                &format!("struct {name}"),
+                &methods,
+            ));
+            driver = format!(
+                "::serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", {})",
+                visitor_expr("__Visitor", input)
+            );
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            items.push_str(&visitor_struct("__Visitor", input));
+            let methods = visit_seq_method(&read_fields(*n, &tuple_ctor(name, *n)));
+            items.push_str(&visitor_impl(
+                "__Visitor",
+                input,
+                &ig,
+                &wc,
+                &value_ty,
+                &format!("struct {name}"),
+                &methods,
+            ));
+            driver = format!(
+                "::serde::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}, {})",
+                visitor_expr("__Visitor", input)
+            );
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            items.push_str(&visitor_struct("__Visitor", input));
+            let methods = visit_seq_method(&read_fields(fields.len(), &named_ctor(name, fields)));
+            items.push_str(&visitor_impl(
+                "__Visitor",
+                input,
+                &ig,
+                &wc,
+                &value_ty,
+                &format!("struct {name}"),
+                &methods,
+            ));
+            driver = format!(
+                "::serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", {}, {})",
+                str_slice(fields),
+                visitor_expr("__Visitor", input)
+            );
+        }
+        Data::Enum(variants) => {
+            // One helper visitor per tuple/struct variant.
+            for (idx, (v, fields)) in variants.iter().enumerate() {
+                let vn = format!("__Variant{idx}");
+                match fields {
+                    Fields::Unit | Fields::Tuple(1) => {}
+                    Fields::Tuple(n) => {
+                        items.push_str(&visitor_struct(&vn, input));
+                        let methods =
+                            visit_seq_method(&read_fields(*n, &tuple_ctor(&format!("{name}::{v}"), *n)));
+                        items.push_str(&visitor_impl(
+                            &vn,
+                            input,
+                            &ig,
+                            &wc,
+                            &value_ty,
+                            &format!("tuple variant {name}::{v}"),
+                            &methods,
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        items.push_str(&visitor_struct(&vn, input));
+                        let methods = visit_seq_method(&read_fields(
+                            fs.len(),
+                            &named_ctor(&format!("{name}::{v}"), fs),
+                        ));
+                        items.push_str(&visitor_impl(
+                            &vn,
+                            input,
+                            &ig,
+                            &wc,
+                            &value_ty,
+                            &format!("struct variant {name}::{v}"),
+                            &methods,
+                        ));
+                    }
+                }
+            }
+
+            items.push_str(&visitor_struct("__Visitor", input));
+            let mut arms = String::new();
+            for (idx, (v, fields)) in variants.iter().enumerate() {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{{ ::serde::de::VariantAccess::unit_variant(__variant)?; ::std::result::Result::Ok({name}::{v}) }}"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "::serde::de::VariantAccess::newtype_variant(__variant).map({name}::{v})"
+                    ),
+                    Fields::Tuple(n) => format!(
+                        "::serde::de::VariantAccess::tuple_variant(__variant, {n}, {})",
+                        visitor_expr(&format!("__Variant{idx}"), input)
+                    ),
+                    Fields::Named(fs) => format!(
+                        "::serde::de::VariantAccess::struct_variant(__variant, {}, {})",
+                        str_slice(fs),
+                        visitor_expr(&format!("__Variant{idx}"), input)
+                    ),
+                };
+                arms.push_str(&format!("{idx}u32 => {arm},\n"));
+            }
+            let methods = format!(
+                "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__idx, __variant) = ::serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+                 match __idx {{\n\
+                 {arms}\
+                 _ => ::std::result::Result::Err(<__A::Error as ::serde::de::Error>::custom(\"variant index out of range\")),\n\
+                 }}\n\
+                 }}\n"
+            );
+            items.push_str(&visitor_impl(
+                "__Visitor",
+                input,
+                &ig,
+                &wc,
+                &value_ty,
+                &format!("enum {name}"),
+                &methods,
+            ));
+            let vnames: Vec<String> = variants.iter().map(|(v, _)| v.clone()).collect();
+            driver = format!(
+                "::serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", {}, {})",
+                str_slice(&vnames),
+                visitor_expr("__Visitor", input)
+            );
+        }
+    }
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, non_snake_case, unused_mut, unused_variables)]\n\
+         impl{ig} ::serde::Deserialize<'de> for {name}{tg}{wc} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::std::result::Result<Self, __D::Error> {{\n\
+         {items}\
+         {driver}\n\
+         }}\n\
+         }}\n"
+    )
+}
