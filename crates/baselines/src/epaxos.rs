@@ -34,6 +34,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
+use twostep_telemetry::{ObserverHandle, Path};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{ProcessId, ProcessSet, SystemConfig, Value};
 
@@ -106,6 +107,8 @@ pub struct EPaxosLite<V: Ord> {
     commit_path: Option<CommitPath>,
     /// Committed commands (own and others') with their final deps.
     committed: BTreeMap<V, BTreeSet<V>>,
+    /// Telemetry hooks; detached by default (see [`EPaxosLite::observed`]).
+    obs: ObserverHandle,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +141,18 @@ impl<V: Value> EPaxosLite<V> {
             phase: Phase::Idle,
             commit_path: None,
             committed: BTreeMap::new(),
+            obs: ObserverHandle::none(),
         }
+    }
+
+    /// Attaches telemetry hooks (builder style). A fast commit reports
+    /// [`Path::Fast`]; a slow (PreAccept + Accept) commit reports
+    /// [`Path::Slow`]. Entering the Accept round also reports
+    /// `slow_path_entered`.
+    #[must_use]
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// EPaxos's fast-quorum size: `f + ⌊(f+1)/2⌋` (including the
@@ -178,6 +192,13 @@ impl<V: Value> EPaxosLite<V> {
         self.committed.insert(cmd.clone(), deps.clone());
         self.phase = Phase::Committed;
         self.commit_path = Some(path);
+        self.obs.decided(
+            self.me,
+            match path {
+                CommitPath::Fast => Path::Fast,
+                CommitPath::Slow => Path::Slow,
+            },
+        );
         eff.decide(cmd.clone());
         eff.broadcast_others(EPaxosMsg::Commit(cmd, deps), self.cfg.n(), self.me);
     }
@@ -249,6 +270,7 @@ impl<V: Value> Protocol<V> for EPaxosLite<V> {
                             .values()
                             .flat_map(|d| d.iter().cloned())
                             .collect();
+                        self.obs.slow_path_entered(self.me);
                         self.phase = Phase::Accepting;
                         self.accept_deps = union.clone();
                         self.accept_acks = ProcessSet::new();

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use twostep_telemetry::{ObserverHandle, Path};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::{Collector, VoteTally};
 use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
@@ -91,6 +92,8 @@ pub struct FastPaxos<V> {
     // Ω.
     heard: ProcessSet,
     suspected: ProcessSet,
+    /// Telemetry hooks; detached by default (see [`FastPaxos::observed`]).
+    obs: ObserverHandle,
 }
 
 const HEARTBEAT_PERIOD: Duration = DELTA;
@@ -138,7 +141,18 @@ impl<V: Value> FastPaxos<V> {
             phase_one_done: false,
             heard: ProcessSet::new(),
             suspected: ProcessSet::new(),
+            obs: ObserverHandle::none(),
         }
+    }
+
+    /// Attaches telemetry hooks (builder style). Decisions via a fast
+    /// quorum report [`Path::Fast`], slow-quorum decisions report
+    /// [`Path::Slow`], and decisions learned from `Decide` gossip report
+    /// [`Path::Learned`].
+    #[must_use]
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The decision, if reached.
@@ -158,9 +172,10 @@ impl<V: Value> FastPaxos<V> {
             .unwrap_or(self.me)
     }
 
-    fn record_decision(&mut self, v: V, eff: &mut Effects<V, FastPaxosMsg<V>>) {
+    fn record_decision(&mut self, v: V, path: Path, eff: &mut Effects<V, FastPaxosMsg<V>>) {
         if self.decided.is_none() {
             self.decided = Some(v.clone());
+            self.obs.decided(self.me, path);
             eff.decide(v);
         } else if self.decided.as_ref() != Some(&v) {
             eff.decide(v); // surfaced for the checkers
@@ -178,7 +193,7 @@ impl<V: Value> FastPaxos<V> {
             .max_value_with_count_at_least(self.cfg.fast_quorum())
             .cloned()
         {
-            self.record_decision(v, eff);
+            self.record_decision(v, Path::Fast, eff);
             return;
         }
         if let Some(v) = self
@@ -186,7 +201,7 @@ impl<V: Value> FastPaxos<V> {
             .max_value_with_count_at_least(self.cfg.slow_quorum())
             .cloned()
         {
-            self.record_decision(v, eff);
+            self.record_decision(v, Path::Slow, eff);
         }
     }
 
@@ -228,6 +243,7 @@ impl<V: Value> FastPaxos<V> {
 
     fn start_ballot(&mut self, eff: &mut Effects<V, FastPaxosMsg<V>>) {
         let b = self.bal.next_owned_by(self.me, self.cfg.n());
+        self.obs.slow_path_entered(self.me);
         self.my_ballot = Some(b);
         self.onebs.clear();
         self.phase_one_done = false;
@@ -286,6 +302,7 @@ impl<V: Value> Protocol<V> for FastPaxos<V> {
 
             FastPaxosMsg::OneA(b) => {
                 if b > self.bal {
+                    self.obs.ballot_advanced(self.me);
                     self.bal = b;
                     eff.send(
                         from,
@@ -312,6 +329,9 @@ impl<V: Value> Protocol<V> for FastPaxos<V> {
 
             FastPaxosMsg::TwoA(b, v) => {
                 if self.bal <= b {
+                    if b > self.bal {
+                        self.obs.ballot_advanced(self.me);
+                    }
                     self.bal = b;
                     self.vbal = b;
                     self.val = Some(v.clone());
@@ -336,7 +356,7 @@ impl<V: Value> Protocol<V> for FastPaxos<V> {
             }
 
             FastPaxosMsg::Decide(v) => {
-                self.record_decision(v, eff);
+                self.record_decision(v, Path::Learned, eff);
             }
         }
     }
@@ -348,10 +368,15 @@ impl<V: Value> Protocol<V> for FastPaxos<V> {
                 eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
             }
             TimerId::SUSPECT => {
+                let before = self.leader();
                 let mut trusted = self.heard;
                 trusted.insert(self.me);
                 self.suspected = trusted.complement(self.cfg.n());
                 self.heard = ProcessSet::new();
+                let after = self.leader();
+                if before != after {
+                    self.obs.leader_changed(self.me, after);
+                }
                 eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
             }
             TimerId::NEW_BALLOT => {

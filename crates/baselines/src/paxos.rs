@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use twostep_telemetry::{ObserverHandle, Path};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::Collector;
 use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
@@ -81,6 +82,8 @@ pub struct Paxos<V> {
     // Ω (same heartbeat scheme as the core protocol).
     heard: ProcessSet,
     suspected: ProcessSet,
+    // Telemetry hooks (detached by default).
+    obs: ObserverHandle,
 }
 
 const HEARTBEAT_PERIOD: Duration = DELTA;
@@ -110,7 +113,16 @@ impl<V: Value> Paxos<V> {
             twobs: ProcessSet::new(),
             heard: ProcessSet::new(),
             suspected: ProcessSet::new(),
+            obs: ObserverHandle::none(),
         }
+    }
+
+    /// Attaches telemetry hooks (builder style). Paxos has no fast
+    /// path: leader decisions report [`Path::Slow`], follower decisions
+    /// report [`Path::Learned`].
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Current ballot.
@@ -130,9 +142,10 @@ impl<V: Value> Paxos<V> {
             .unwrap_or(self.me)
     }
 
-    fn record_decision(&mut self, v: V, eff: &mut Effects<V, PaxosMsg<V>>) {
+    fn record_decision(&mut self, v: V, path: Path, eff: &mut Effects<V, PaxosMsg<V>>) {
         if self.decided.is_none() {
             self.decided = Some(v.clone());
+            self.obs.decided(self.me, path);
             eff.decide(v);
         } else if self.decided.as_ref() != Some(&v) {
             eff.decide(v); // surfaced for the checkers
@@ -153,6 +166,7 @@ impl<V: Value> Paxos<V> {
         self.phase_one_done = false;
         self.proposal = None;
         self.twobs = ProcessSet::new();
+        self.obs.slow_path_entered(self.me);
         eff.broadcast_all(PaxosMsg::OneA(b), self.cfg.n());
     }
 }
@@ -192,6 +206,7 @@ impl<V: Value> Protocol<V> for Paxos<V> {
             PaxosMsg::OneA(b) => {
                 if b > self.bal {
                     self.bal = b;
+                    self.obs.ballot_advanced(self.me);
                     eff.send(
                         from,
                         PaxosMsg::OneB {
@@ -223,6 +238,9 @@ impl<V: Value> Protocol<V> for Paxos<V> {
 
             PaxosMsg::TwoA(b, v) => {
                 if self.bal <= b {
+                    if b > self.bal {
+                        self.obs.ballot_advanced(self.me);
+                    }
                     self.bal = b;
                     self.vbal = b;
                     self.val = Some(v.clone());
@@ -237,14 +255,14 @@ impl<V: Value> Protocol<V> for Paxos<V> {
                 {
                     self.twobs.insert(from);
                     if self.twobs.len() >= self.cfg.slow_quorum() {
-                        self.record_decision(v.clone(), eff);
+                        self.record_decision(v.clone(), Path::Slow, eff);
                         eff.broadcast_others(PaxosMsg::Decide(v), self.cfg.n(), self.me);
                     }
                 }
             }
 
             PaxosMsg::Decide(v) => {
-                self.record_decision(v, eff);
+                self.record_decision(v, Path::Learned, eff);
             }
         }
     }
@@ -256,10 +274,15 @@ impl<V: Value> Protocol<V> for Paxos<V> {
                 eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
             }
             TimerId::SUSPECT => {
+                let before = self.leader();
                 let mut trusted = self.heard;
                 trusted.insert(self.me);
                 self.suspected = trusted.complement(self.cfg.n());
                 self.heard = ProcessSet::new();
+                let after = self.leader();
+                if before != after {
+                    self.obs.leader_changed(self.me, after);
+                }
                 eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
             }
             TimerId::NEW_BALLOT => {

@@ -2,13 +2,19 @@
 //! replicated key-value store on the threaded runtime, backed by the
 //! object protocol, plus per-command message complexity from the
 //! deterministic simulator.
+//!
+//! Every part attaches the telemetry subsystem: parts A and B report
+//! per-path decision counts and wall-clock p50/p99 latency per path
+//! (first decision per node, microseconds since node start); part C
+//! reports per-path counts from the virtual-time simulator.
 
 use std::time::{Duration as WallDuration, Instant};
 
-use twostep_bench::Table;
+use twostep_bench::{fmt_path_counts, fmt_path_latencies, Table};
 use twostep_runtime::Cluster;
 use twostep_sim::SimulationBuilder;
 use twostep_smr::{KvCommand, KvStore, SmrReplica};
+use twostep_telemetry::Metrics;
 use twostep_types::{Duration, ProcessId, SystemConfig, Time};
 
 type Replica = SmrReplica<KvCommand, KvStore>;
@@ -38,15 +44,35 @@ fn main() {
     let wall_delta = WallDuration::from_millis(5);
 
     // Part A: end-to-end wall-clock commit latency, in-memory vs TCP.
-    let mut part_a = Table::new(&["transport", "n", "first-commit latency", "agreement"]);
+    let mut part_a = Table::new(&[
+        "transport",
+        "n",
+        "first-commit latency",
+        "agreement",
+        "paths f/s/gt/eq/l",
+        "p50/p99 by path",
+    ]);
     for (label, tcp) in [("in-memory", false), ("tcp/localhost", true)] {
         let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let (metrics, obs) = Metrics::shared();
         let cluster: Cluster<KvCommand> = if tcp {
-            Cluster::tcp(cfg, wall_delta, |q| Replica::new(cfg, q)).expect("tcp cluster")
+            Cluster::tcp_observed(
+                cfg,
+                wall_delta,
+                |q| Replica::new(cfg, q).observed(obs.clone()),
+                obs.clone(),
+            )
+            .expect("tcp cluster")
         } else {
-            Cluster::in_memory(cfg, wall_delta, |q| Replica::new(cfg, q))
+            Cluster::in_memory_observed(
+                cfg,
+                wall_delta,
+                |q| Replica::new(cfg, q).observed(obs.clone()),
+                obs.clone(),
+            )
         };
         let (elapsed, ok) = run_cluster(&cluster, 1);
+        let snap = metrics.snapshot();
         part_a.row(&[
             label.to_string(),
             cfg.n().to_string(),
@@ -56,6 +82,8 @@ fn main() {
             } else {
                 "NO".to_string()
             },
+            fmt_path_counts(&snap),
+            fmt_path_latencies(&snap, 1000.0, "ms"),
         ]);
     }
     part_a.print("E10a: KV-SMR first-commit latency on the threaded runtime (Δ = 5ms)");
@@ -63,11 +91,23 @@ fn main() {
     // Part B: sequential command throughput (one in-flight command per
     // proxy — the SMR layer is unpipelined by design; this measures the
     // consensus critical path, not batching tricks).
-    let mut part_b = Table::new(&["n", "commands", "elapsed", "commands/sec"]);
+    let mut part_b = Table::new(&[
+        "n",
+        "commands",
+        "elapsed",
+        "commands/sec",
+        "paths f/s/gt/eq/l",
+        "p50/p99 by path",
+    ]);
     for (e, f) in [(1usize, 1usize), (2, 2)] {
         let cfg = SystemConfig::minimal_object(e, f).unwrap();
-        let cluster: Cluster<KvCommand> =
-            Cluster::in_memory(cfg, wall_delta, |q| Replica::new(cfg, q));
+        let (metrics, obs) = Metrics::shared();
+        let cluster: Cluster<KvCommand> = Cluster::in_memory_observed(
+            cfg,
+            wall_delta,
+            |q| Replica::new(cfg, q).observed(obs.clone()),
+            obs.clone(),
+        );
         let k = 40;
         let start = Instant::now();
         for i in 0..k {
@@ -89,6 +129,7 @@ fn main() {
         // Allow the remaining commands to drain: conservative settle.
         std::thread::sleep(wall_delta * (6 * k as u32));
         let elapsed = start.elapsed();
+        let snap = metrics.snapshot();
         part_b.row(&[
             cfg.n().to_string(),
             k.to_string(),
@@ -98,17 +139,28 @@ fn main() {
             } else {
                 "stalled".into()
             },
+            fmt_path_counts(&snap),
+            fmt_path_latencies(&snap, 1000.0, "ms"),
         ]);
     }
     part_b.print("E10b: sequential KV-SMR throughput (unpipelined, Δ = 5ms)");
 
     // Part C: message complexity per committed command (deterministic
     // simulator, synchronous rounds).
-    let mut part_c = Table::new(&["n", "commands", "messages sent", "messages/command"]);
+    let mut part_c = Table::new(&[
+        "n",
+        "commands",
+        "messages sent",
+        "messages/command",
+        "paths f/s/gt/eq/l",
+    ]);
     for (e, f) in [(1usize, 1usize), (2, 2)] {
         let cfg = SystemConfig::minimal_object(e, f).unwrap();
         let k = 5u64;
-        let mut sim = SimulationBuilder::new(cfg).build(|q| Replica::new(cfg, q));
+        let (metrics, obs) = Metrics::shared();
+        let mut sim = SimulationBuilder::new(cfg)
+            .observed(obs.clone())
+            .build(|q| Replica::new(cfg, q).observed(obs.clone()));
         for i in 0..k {
             sim.schedule_propose(
                 p(0),
@@ -120,12 +172,18 @@ fn main() {
             (0..cfg.n()).all(|i| s.process(p(i as u32)).applied() >= k)
         });
         let sent = outcome.trace.messages_sent();
+        let snap = metrics.snapshot();
         part_c.row(&[
             cfg.n().to_string(),
             k.to_string(),
             sent.to_string(),
             format!("{:.0}", sent as f64 / k as f64),
+            fmt_path_counts(&snap),
         ]);
     }
     part_c.print("E10c: message complexity per committed command (includes Ω heartbeats)");
+    println!(
+        "\npaths column: slot decisions per path (fast/slow/recovery-gt/recovery-eq/learned);\n\
+         p50/p99 per path cover each node's first decision, wall-clock since node start."
+    );
 }

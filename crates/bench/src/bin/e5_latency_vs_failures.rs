@@ -8,9 +8,10 @@
 //! failure-detection timeout plus a full ballot once `p0 ∈ E`.
 
 use twostep_baselines::{EPaxosLite, FastPaxos, Paxos};
-use twostep_bench::{fmt_deltas, Table};
+use twostep_bench::{fmt_deltas, fmt_path_counts, fmt_path_latencies, Table};
 use twostep_core::{ObjectConsensus, TaskConsensus};
 use twostep_sim::{RunOutcome, SyncRunner};
+use twostep_telemetry::{Metrics, MetricsSnapshot};
 use twostep_types::{Duration, ProcessId, ProcessSet, SystemConfig, Time, Value};
 
 const E: usize = 2;
@@ -50,6 +51,8 @@ fn main() {
         "proxy latency",
         "first decision",
         "agreement",
+        "paths fast/slow/r-gt/r-eq/learned",
+        "p50/p99 by path",
     ]);
 
     for k in 0..=E {
@@ -59,28 +62,40 @@ fn main() {
         {
             let cfg = SystemConfig::new(2 * F + 1, E, F).unwrap();
             let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let (metrics, obs) = Metrics::shared();
             let outcome = SyncRunner::new(cfg)
                 .crashed(crashed)
+                .observed(obs.clone())
                 .horizon(Duration::deltas(60))
-                .run(|q| Paxos::new(cfg, q, 100 + u64::from(q.as_u32())));
-            push(&mut table, "Paxos", cfg.n(), k, measure(&outcome, proxy));
+                .run(|q| Paxos::new(cfg, q, 100 + u64::from(q.as_u32())).observed(obs.clone()));
+            push(
+                &mut table,
+                "Paxos",
+                cfg.n(),
+                k,
+                measure(&outcome, proxy),
+                &metrics.snapshot(),
+            );
         }
 
         // Fast Paxos at n = 2e+f+1; favored proxy.
         {
             let cfg = SystemConfig::minimal_fast_paxos(E, F).unwrap();
             let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let (metrics, obs) = Metrics::shared();
             let outcome = SyncRunner::new(cfg)
                 .crashed(crashed)
                 .favoring(proxy)
+                .observed(obs.clone())
                 .horizon(Duration::deltas(60))
-                .run(|q| FastPaxos::new(cfg, q, 100 + u64::from(q.as_u32())));
+                .run(|q| FastPaxos::new(cfg, q, 100 + u64::from(q.as_u32())).observed(obs.clone()));
             push(
                 &mut table,
                 "FastPaxos",
                 cfg.n(),
                 k,
                 measure(&outcome, proxy),
+                &metrics.snapshot(),
             );
         }
 
@@ -88,17 +103,22 @@ fn main() {
         {
             let cfg = SystemConfig::minimal_task(E, F).unwrap();
             let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let (metrics, obs) = Metrics::shared();
             let outcome = SyncRunner::new(cfg)
                 .crashed(crashed)
                 .favoring(proxy)
+                .observed(obs.clone())
                 .horizon(Duration::deltas(60))
-                .run(|q| TaskConsensus::new(cfg, q, 100 + u64::from(q.as_u32())));
+                .run(|q| {
+                    TaskConsensus::new(cfg, q, 100 + u64::from(q.as_u32())).observed(obs.clone())
+                });
             push(
                 &mut table,
                 "TwoStep(task)",
                 cfg.n(),
                 k,
                 measure(&outcome, proxy),
+                &metrics.snapshot(),
             );
         }
 
@@ -106,11 +126,13 @@ fn main() {
         {
             let cfg = SystemConfig::minimal_object(E, F).unwrap();
             let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let (metrics, obs) = Metrics::shared();
             let outcome = SyncRunner::new(cfg)
                 .crashed(crashed)
+                .observed(obs.clone())
                 .horizon(Duration::deltas(60))
                 .run_object(
-                    |q| ObjectConsensus::<u64>::new(cfg, q),
+                    |q| ObjectConsensus::<u64>::new(cfg, q).observed(obs.clone()),
                     vec![(proxy, 42, Time::ZERO)],
                 );
             push(
@@ -119,6 +141,7 @@ fn main() {
                 cfg.n(),
                 k,
                 measure(&outcome, proxy),
+                &metrics.snapshot(),
             );
         }
 
@@ -126,11 +149,13 @@ fn main() {
         {
             let cfg = SystemConfig::new(2 * F + 1, E, F).unwrap();
             let proxy = ProcessId::new((cfg.n() - 1) as u32);
+            let (metrics, obs) = Metrics::shared();
             let outcome = SyncRunner::new(cfg)
                 .crashed(crashed)
+                .observed(obs.clone())
                 .horizon(Duration::deltas(60))
                 .run_object(
-                    |q| EPaxosLite::<u64>::new(cfg, q),
+                    |q| EPaxosLite::<u64>::new(cfg, q).observed(obs.clone()),
                     vec![(proxy, 42, Time::ZERO)],
                 );
             push(
@@ -139,6 +164,7 @@ fn main() {
                 cfg.n(),
                 k,
                 measure(&outcome, proxy),
+                &metrics.snapshot(),
             );
         }
     }
@@ -147,9 +173,13 @@ fn main() {
         "E5: proxy decision latency vs initial crashes (e={E}, f={F}; crashes hit p0..p_k-1, \
          including Paxos's leader)"
     ));
+    println!(
+        "\npaths column: first decisions per process by decision path; \
+         p50/p99 per path over all deciders, from the telemetry subsystem."
+    );
 }
 
-fn push(table: &mut Table, name: &str, n: usize, k: usize, m: Measurement) {
+fn push(table: &mut Table, name: &str, n: usize, k: usize, m: Measurement, snap: &MetricsSnapshot) {
     table.row(&[
         name.to_string(),
         n.to_string(),
@@ -161,5 +191,7 @@ fn push(table: &mut Table, name: &str, n: usize, k: usize, m: Measurement) {
         } else {
             "VIOLATED".to_string()
         },
+        fmt_path_counts(snap),
+        fmt_path_latencies(snap, 1000.0, "Δ"),
     ]);
 }

@@ -11,27 +11,32 @@
 //! into the latency matrix.
 
 use twostep_baselines::FastPaxos;
-use twostep_bench::Table;
+use twostep_bench::{fmt_path_counts, fmt_path_latencies, Table};
 use twostep_core::ObjectConsensus;
 use twostep_sim::wan::{region_of, wan_matrix, Region};
 use twostep_sim::SimulationBuilder;
+use twostep_telemetry::{Metrics, MetricsSnapshot};
 use twostep_types::{Duration, ProcessId, SystemConfig, Time};
 
 const E: usize = 2;
 const F: usize = 2;
 
 /// Runs a lone-proposer instance with WAN delays and returns the
-/// proposer's decision latency in milliseconds.
-fn object_latency(proposer: ProcessId) -> Option<u64> {
+/// proposer's decision latency in milliseconds plus the run's telemetry
+/// snapshot (decision paths per process, latency histograms in ms).
+fn object_latency(proposer: ProcessId) -> (Option<u64>, MetricsSnapshot) {
     let cfg = SystemConfig::minimal_object(E, F).unwrap(); // n = 5
+    let (metrics, obs) = Metrics::shared();
     let mut sim = SimulationBuilder::new(cfg)
         .delay_model(wan_matrix(cfg.n(), &Region::ALL))
-        .build(|q| ObjectConsensus::<u64>::new(cfg, q));
+        .observed(obs.clone())
+        .build(|q| ObjectConsensus::<u64>::new(cfg, q).observed(obs.clone()));
     sim.schedule_propose(proposer, 7, Time::ZERO);
     let outcome = sim.run_until(Time::ZERO + Duration::from_units(1_500), |s| {
         s.decisions()[proposer.index()].is_some()
     });
-    outcome.decision_time_of(proposer).map(|t| t.units())
+    let latency = outcome.decision_time_of(proposer).map(|t| t.units());
+    (latency, metrics.snapshot())
 }
 
 fn main() {
@@ -43,12 +48,16 @@ fn main() {
         "TwoStep(object) n=5 [ms]",
         "FastPaxos n=7 [ms]",
         "extra cost [ms]",
+        "obj paths f/s/gt/eq/l",
+        "fp paths f/s/gt/eq/l",
     ]);
 
+    let mut obj_latency_lines = Vec::new();
+    let mut fp_latency_lines = Vec::new();
     for i in 0..5u32 {
         let proposer = ProcessId::new(i);
-        let obj = object_latency(proposer);
-        let fp = fast_paxos_lone_latency(proposer);
+        let (obj, obj_snap) = object_latency(proposer);
+        let (fp, fp_snap) = fast_paxos_lone_latency(proposer);
         let region = region_of(proposer, &Region::ALL);
         let extra = match (obj, fp) {
             (Some(o), Some(f)) => format!("+{}", f.saturating_sub(o)),
@@ -59,13 +68,34 @@ fn main() {
             obj.map_or("-".into(), |v| v.to_string()),
             fp.map_or("-".into(), |v| v.to_string()),
             extra,
+            fmt_path_counts(&obj_snap),
+            fmt_path_counts(&fp_snap),
         ]);
+        obj_latency_lines.push(format!(
+            "  {:<12} {}",
+            region.name(),
+            fmt_path_latencies(&obj_snap, 1.0, "ms")
+        ));
+        fp_latency_lines.push(format!(
+            "  {:<12} {}",
+            region.name(),
+            fmt_path_latencies(&fp_snap, 1.0, "ms")
+        ));
     }
 
     table.print(&format!(
         "E7: lone-proposer fast-path latency over WAN (e={E}, f={F}; object across 5 regions, \
          Fast Paxos forced into 7)"
     ));
+    println!("\nTelemetry p50/p99 decision latency by path, all deciders (1 unit = 1 ms):");
+    println!("TwoStep(object):");
+    for line in &obj_latency_lines {
+        println!("{line}");
+    }
+    println!("FastPaxos:");
+    for line in &fp_latency_lines {
+        println!("{line}");
+    }
     println!(
         "\nReading: both protocols decide in one round trip to their fast quorum, but Fast\n\
          Paxos's quorum is n-e of 7 — it must hear from farther regions, so distant proxies\n\
@@ -74,15 +104,20 @@ fn main() {
 }
 
 /// Lone-proposal Fast Paxos run: only `proposer`'s value circulates
-/// (all other instances are passive acceptors/learners).
-fn fast_paxos_lone_latency(proposer: ProcessId) -> Option<u64> {
+/// (all other instances are passive acceptors/learners). Returns the
+/// proposer's decision latency in milliseconds plus the run's telemetry
+/// snapshot.
+fn fast_paxos_lone_latency(proposer: ProcessId) -> (Option<u64>, MetricsSnapshot) {
     let cfg = SystemConfig::minimal_fast_paxos(E, F).unwrap();
+    let (metrics, obs) = Metrics::shared();
     let mut sim = SimulationBuilder::new(cfg)
         .delay_model(wan_matrix(cfg.n(), &Region::ALL7))
-        .build(|q| FastPaxos::<u64>::passive(cfg, q));
+        .observed(obs.clone())
+        .build(|q| FastPaxos::<u64>::passive(cfg, q).observed(obs.clone()));
     sim.schedule_propose(proposer, 7, Time::ZERO);
     let outcome = sim.run_until(Time::ZERO + Duration::from_units(1_500), |s| {
         s.decisions()[proposer.index()].is_some()
     });
-    outcome.decision_time_of(proposer).map(|t| t.units())
+    let latency = outcome.decision_time_of(proposer).map(|t| t.units());
+    (latency, metrics.snapshot())
 }

@@ -2,13 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 
+use twostep_telemetry::{ObserverHandle, Path, RecoveryCase};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::Collector;
 use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
 
 use crate::msg::Msg;
 use crate::omega::{Omega, OmegaMode};
-use crate::recovery::{select_value, Report};
+use crate::recovery::{select_value_explained, Report};
 use crate::Ablations;
 
 /// Heartbeat broadcast period.
@@ -91,6 +92,11 @@ pub struct TwoStep<V> {
     decision_path: Option<DecisionPath>,
     /// Value pending proposal at startup (task variant).
     startup_value: Option<V>,
+    /// Which recovery-rule case selected `slow_value` for the ballot
+    /// this process currently leads, if any (telemetry bookkeeping).
+    recovery_case: Option<RecoveryCase>,
+    /// Telemetry hooks; detached by default (see [`TwoStep::observed`]).
+    obs: ObserverHandle,
 }
 
 impl<V: Value> TwoStep<V> {
@@ -160,7 +166,18 @@ impl<V: Value> TwoStep<V> {
             observed: None,
             decision_path: None,
             startup_value,
+            recovery_case: None,
+            obs: ObserverHandle::none(),
         }
+    }
+
+    /// Attaches telemetry hooks (builder style). The instance reports
+    /// fast-path decisions, slow-path entries, recovery-rule cases, Ω
+    /// leader changes and ballot advances through the handle; with the
+    /// default detached handle every report is a no-op.
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The system configuration.
@@ -203,6 +220,30 @@ impl<V: Value> TwoStep<V> {
         self.decision_path
     }
 
+    /// Which recovery-rule case selected the value of the slow ballot
+    /// this process most recently led, if any.
+    pub fn recovery_case(&self) -> Option<RecoveryCase> {
+        self.recovery_case
+    }
+
+    /// The telemetry decision path of this process, refining
+    /// [`DecisionPath::Slow`] by the recovery case that chose the
+    /// ballot's value ([`Path::RecoveryGt`] / [`Path::RecoveryEq`]).
+    pub fn telemetry_path(&self) -> Option<Path> {
+        self.decision_path.map(|p| self.refine_path(p))
+    }
+
+    fn refine_path(&self, path: DecisionPath) -> Path {
+        match path {
+            DecisionPath::Fast => Path::Fast,
+            DecisionPath::Learned => Path::Learned,
+            DecisionPath::Slow => self
+                .recovery_case
+                .map(RecoveryCase::as_path)
+                .unwrap_or(Path::Slow),
+        }
+    }
+
     /// The Ω leader-election state.
     pub fn omega(&self) -> &Omega {
         &self.omega
@@ -229,6 +270,9 @@ impl<V: Value> TwoStep<V> {
         if self.decided.is_none() {
             self.decided = Some(v.clone());
             self.decision_path = Some(path);
+            // Report the path before the engine drains the decision
+            // effect, so the engine's latency report joins onto it.
+            self.obs.decided(self.me, self.refine_path(path));
             eff.decide(v);
         } else if self.decided.as_ref() != Some(&v) {
             // A second, conflicting decision: surface it so the trace
@@ -268,6 +312,8 @@ impl<V: Value> TwoStep<V> {
         self.oneb_done = false;
         self.slow_value = None;
         self.slow_votes = ProcessSet::new();
+        self.recovery_case = None;
+        self.obs.slow_path_entered(self.me);
         eff.broadcast_all(Msg::OneA(b), self.cfg.n());
     }
 
@@ -278,13 +324,15 @@ impl<V: Value> TwoStep<V> {
             return;
         }
         self.oneb_done = true;
-        let selected = select_value(
+        let (selected, case) = select_value_explained(
             &self.cfg,
             &self.onebs,
             self.initial_val.as_ref(),
             self.observed.as_ref(),
             self.ablations,
         );
+        self.recovery_case = Some(case);
+        self.obs.recovery_case(self.me, case);
         if let Some(v) = selected {
             self.slow_value = Some(v.clone());
             eff.broadcast_all(Msg::TwoA(b, v), self.cfg.n());
@@ -342,6 +390,7 @@ impl<V: Value> TwoStep<V> {
             Msg::OneA(b) => {
                 if b > self.bal {
                     self.bal = b;
+                    self.obs.ballot_advanced(self.me);
                     eff.send(
                         from,
                         Msg::OneB {
@@ -381,6 +430,9 @@ impl<V: Value> TwoStep<V> {
             Msg::TwoA(b, v) => {
                 if self.bal <= b {
                     self.val = Some(v.clone());
+                    if b > self.bal {
+                        self.obs.ballot_advanced(self.me);
+                    }
                     self.bal = b;
                     self.vbal = b;
                     eff.send(from, Msg::TwoB(b, v));
@@ -428,7 +480,12 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
                 eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
             }
             TimerId::SUSPECT => {
+                let before = self.omega.leader();
                 self.omega.sweep();
+                let after = self.omega.leader();
+                if before != after {
+                    self.obs.leader_changed(self.me, after);
+                }
                 eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
             }
             TimerId::NEW_BALLOT => {
@@ -874,6 +931,87 @@ mod tests {
         assert_eq!(st.ballot(), Ballot::new(1));
         assert_eq!(st.voted_ballot(), Ballot::new(1));
         assert_eq!(st.vote(), Some(&20));
+    }
+
+    #[test]
+    fn observer_reports_fast_decision() {
+        use twostep_telemetry::Metrics;
+        let (metrics, obs) = Metrics::shared();
+        let cfg = cfg();
+        let mut ex = ManualExecutor::new(cfg, |pid| {
+            TwoStep::with_options(
+                cfg,
+                pid,
+                Variant::Task,
+                Some(10 * (u64::from(pid.as_u32()) + 1)),
+                OmegaMode::Static(p(0)),
+                Ablations::NONE,
+            )
+            .observed(obs.clone())
+        });
+        ex.start_all();
+        for target in [p(0), p(1)] {
+            let ids = ex.pending_matching(|m| m.from == p(2) && m.to == target);
+            ex.deliver(ids[0]);
+        }
+        let ids = ex.pending_matching(|m| m.to == p(2) && matches!(m.msg, Msg::TwoB(..)));
+        ex.deliver(ids[0]);
+        assert_eq!(ex.decision_of(p(2)), Some(&30));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.decided(twostep_telemetry::Path::Fast), 1);
+        assert_eq!(snap.slow_entries, 0);
+        assert_eq!(ex.process(p(2)).telemetry_path(), Some(Path::Fast));
+    }
+
+    #[test]
+    fn observer_reports_slow_path_entry_recovery_case_and_ballot_advances() {
+        use twostep_telemetry::Metrics;
+        let (metrics, obs) = Metrics::shared();
+        let cfg = cfg();
+        let mut ex = ManualExecutor::new(cfg, |pid| {
+            TwoStep::with_options(
+                cfg,
+                pid,
+                Variant::Task,
+                Some(10 * (u64::from(pid.as_u32()) + 1)),
+                OmegaMode::Static(p(1)),
+                Ablations::NONE,
+            )
+            .observed(obs.clone())
+        });
+        ex.start_all();
+        for id in ex.pending_matching(|_| true) {
+            ex.drop_message(id);
+        }
+        ex.fire_timer(p(1), TimerId::NEW_BALLOT);
+        for target in [p(0), p(1), p(2)] {
+            let ids = ex.pending_matching(move |m| m.to == target && matches!(m.msg, Msg::OneA(_)));
+            ex.deliver(ids[0]);
+        }
+        for id in ex.pending_matching(|m| matches!(m.msg, Msg::OneB { .. })) {
+            ex.deliver(id);
+        }
+        for id in ex.pending_matching(|m| matches!(m.msg, Msg::TwoA(..))) {
+            ex.deliver(id);
+        }
+        for id in ex.pending_matching(|m| m.to == p(1) && matches!(m.msg, Msg::TwoB(..))) {
+            ex.deliver(id);
+        }
+        assert_eq!(ex.decision_of(p(1)), Some(&20));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.slow_entries, 1, "one ballot opened");
+        assert_eq!(
+            snap.recovery(RecoveryCase::Fallback),
+            1,
+            "all reports were empty: the coordinator fell back to its own value"
+        );
+        assert_eq!(snap.decided(Path::Slow), 1);
+        // Every process adopted ballot 1 exactly once.
+        assert_eq!(snap.ballot_advances, 3);
+        assert_eq!(
+            ex.process(p(1)).recovery_case(),
+            Some(RecoveryCase::Fallback)
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! be property-tested (see the Lemma 7 generators in this module's
 //! tests) and micro-benchmarked in isolation.
 
+use twostep_telemetry::RecoveryCase;
 use twostep_types::quorum::{Collector, VoteTally};
 use twostep_types::{Ballot, ProcessId, SystemConfig, Value};
 
@@ -86,6 +87,24 @@ pub fn select_value<V: Value>(
     observed: Option<&V>,
     ablations: Ablations,
 ) -> Option<V> {
+    select_value_explained(cfg, reports, my_initial, observed, ablations).0
+}
+
+/// Like [`select_value`], additionally reporting *which* branch of the
+/// rule fired as a telemetry [`RecoveryCase`] — notably whether the
+/// `> n-f-e` ([`RecoveryCase::Gt`]) or the `= n-f-e`
+/// ([`RecoveryCase::Eq`]) vote-count case resurrected a possible fast
+/// decision.
+///
+/// The case is reported even when the selected value is `None` (which
+/// can only happen in the [`RecoveryCase::Fallback`] branch).
+pub fn select_value_explained<V: Value>(
+    cfg: &SystemConfig,
+    reports: &Collector<Report<V>>,
+    my_initial: Option<&V>,
+    observed: Option<&V>,
+    ablations: Ablations,
+) -> (Option<V>, RecoveryCase) {
     debug_assert!(
         reports.len() >= cfg.slow_quorum(),
         "recovery needs a quorum of n-f reports, got {}",
@@ -94,7 +113,7 @@ pub fn select_value<V: Value>(
 
     // Line 48: a reported decision wins outright.
     if let Some(v) = reports.iter().find_map(|(_, r)| r.decided.clone()) {
-        return Some(v);
+        return (Some(v), RecoveryCase::ReportedDecision);
     }
 
     // Line 46: the highest ballot in which anyone voted.
@@ -108,10 +127,13 @@ pub fn select_value<V: Value>(
         // Line 52: classic Paxos — adopt the vote of the highest ballot.
         // All such votes carry the same value (Lemma C.2); pick the
         // lowest reporter deterministically.
-        return reports
-            .iter()
-            .find(|(_, r)| r.vbal == bmax)
-            .and_then(|(_, r)| r.val.clone());
+        return (
+            reports
+                .iter()
+                .find(|(_, r)| r.vbal == bmax)
+                .and_then(|(_, r)| r.val.clone()),
+            RecoveryCase::SlowBallot,
+        );
     }
 
     // bmax = 0: only fast-ballot votes exist. Line 47: restrict to
@@ -146,7 +168,7 @@ pub fn select_value<V: Value>(
                 || tally.values_with_count_at_least(threshold + 1).count() == 1,
             "Lemma 7: the > n-f-e value must be unique at n >= 2e+f-1"
         );
-        return Some(v.clone());
+        return (Some(v.clone()), RecoveryCase::Gt);
     }
 
     // Line 57: values with exactly n-f-e votes — take the greatest
@@ -157,12 +179,12 @@ pub fn select_value<V: Value>(
         tally.max_value_with_count_exactly(threshold).cloned()
     };
     if let Some(v) = exact {
-        return Some(v);
+        return (Some(v), RecoveryCase::Eq);
     }
 
     // Line 60: the leader's own proposal; liveness extension: any
     // observed proposal is equally valid here.
-    my_initial.or(observed).cloned()
+    (my_initial.or(observed).cloned(), RecoveryCase::Fallback)
 }
 
 #[cfg(test)]
@@ -338,6 +360,72 @@ mod tests {
             select_value(&cfg, &reports, Some(&1), None, Ablations::NONE),
             Some(1)
         );
+    }
+
+    #[test]
+    fn explained_variant_labels_every_branch() {
+        let cfg = cfg_task(); // threshold 2
+        let case_of = |reports: &Collector<Report<u64>>, initial: Option<&u64>| {
+            select_value_explained(&cfg, reports, initial, None, Ablations::NONE).1
+        };
+
+        let decided = collect(vec![
+            (
+                0,
+                Report {
+                    decided: Some(9u64),
+                    ..Report::empty()
+                },
+            ),
+            (1, Report::empty()),
+            (2, Report::empty()),
+            (3, Report::empty()),
+        ]);
+        assert_eq!(case_of(&decided, None), RecoveryCase::ReportedDecision);
+
+        let slow = collect(vec![
+            (
+                0,
+                Report {
+                    vbal: Ballot::new(2),
+                    val: Some(5u64),
+                    proposer: Some(pid(0)),
+                    decided: None,
+                },
+            ),
+            (1, Report::empty()),
+            (2, Report::empty()),
+            (3, Report::empty()),
+        ]);
+        assert_eq!(case_of(&slow, None), RecoveryCase::SlowBallot);
+
+        let gt = collect(vec![
+            (0, Report::fast_vote(7u64, pid(5))),
+            (1, Report::fast_vote(7, pid(5))),
+            (2, Report::fast_vote(7, pid(5))),
+            (3, Report::empty()),
+        ]);
+        assert_eq!(case_of(&gt, None), RecoveryCase::Gt);
+
+        let eq = collect(vec![
+            (0, Report::fast_vote(7u64, pid(5))),
+            (1, Report::fast_vote(7, pid(5))),
+            (2, Report::empty()),
+            (3, Report::empty()),
+        ]);
+        assert_eq!(case_of(&eq, None), RecoveryCase::Eq);
+
+        let empty = collect(vec![
+            (0, Report::<u64>::empty()),
+            (1, Report::empty()),
+            (2, Report::empty()),
+            (3, Report::empty()),
+        ]);
+        assert_eq!(case_of(&empty, Some(&1)), RecoveryCase::Fallback);
+        // The case is reported even when nothing can be selected.
+        let (sel, case) = select_value_explained::<u64>(&cfg, &empty, None, None, Ablations::NONE);
+        assert_eq!(sel, None);
+        assert_eq!(case, RecoveryCase::Fallback);
     }
 
     /// Lemma 7, executable: for every task-bound config, every fast

@@ -67,6 +67,12 @@ impl<V: Value> TaskConsensus<V> {
         ))
     }
 
+    /// Attaches telemetry hooks (builder style); see
+    /// [`TwoStep::observed`].
+    pub fn observed(self, obs: twostep_telemetry::ObserverHandle) -> Self {
+        TaskConsensus(self.0.observed(obs))
+    }
+
     /// The underlying state machine, for white-box inspection.
     pub fn inner(&self) -> &TwoStep<V> {
         &self.0

@@ -1,0 +1,100 @@
+//! Seeded end-to-end telemetry checks: the decision-path and
+//! recovery-case counters reported through [`twostep_telemetry`] must
+//! match what the protocol provably does in two canonical schedules —
+//! a conflict-free failure-free run (everything decides fast) and a
+//! leader-crash run (the recovery rule fires, with the right case).
+
+use twostep_core::TaskConsensus;
+use twostep_sim::SyncRunner;
+use twostep_telemetry::{Metrics, Path, RecoveryCase};
+use twostep_types::{Duration, ProcessId, ProcessSet, SystemConfig};
+
+#[test]
+fn unanimous_failure_free_run_is_all_fast_path() {
+    // Every process proposes the same value, nobody crashes: 2B votes
+    // flow back to the first proposer seen, it assembles its n-e fast
+    // quorum at 2Δ, and everyone else adopts the decision from its
+    // Decide gossip. 100% of the run is fast path: telemetry must show
+    // only Fast and Learned decisions — no slow-path ballot, no
+    // recovery rule, nothing attributed to a recovery case.
+    let cfg = SystemConfig::minimal_task(2, 2).unwrap();
+    let proxy = ProcessId::new((cfg.n() - 1) as u32);
+    let (metrics, obs) = Metrics::shared();
+    let outcome = SyncRunner::new(cfg)
+        .favoring(proxy)
+        .observed(obs.clone())
+        .horizon(Duration::deltas(6))
+        .run(|q| TaskConsensus::new(cfg, q, 7).observed(obs.clone()));
+    assert!(outcome.all_correct_decided());
+    assert!(outcome.agreement());
+
+    let snap = metrics.snapshot();
+    let n = cfg.n() as u64;
+    assert!(snap.decided(Path::Fast) >= 1, "the proxy decides fast");
+    assert_eq!(
+        snap.decided(Path::Fast) + snap.decided(Path::Learned),
+        n,
+        "every decision is fast or learned-from-fast"
+    );
+    assert_eq!(snap.total_decisions(), n, "one decision per process");
+    // The Ω leader unconditionally opens one liveness ballot after
+    // INITIAL_BALLOT_DELAY; the fast decision beats it, so it is
+    // abandoned without advancing or recovering anything.
+    assert!(snap.slow_entries <= 1, "only the leader's liveness ballot");
+    assert_eq!(snap.ballot_advances, 0, "the liveness ballot went nowhere");
+    assert_eq!(
+        snap.recovery_cases.iter().sum::<u64>(),
+        0,
+        "recovery rule must not fire without failures"
+    );
+    // Every latency sample is attributed to the path that produced it.
+    assert_eq!(
+        snap.latency_of(Path::Fast).count + snap.latency_of(Path::Learned).count,
+        n
+    );
+}
+
+#[test]
+fn leader_crash_fires_the_recovery_rule() {
+    // Distinct proposals split the fast-round votes and the initial Ω
+    // leader p0 is crashed from the start: no fast quorum can form, so
+    // the next leader must open a ballot and run the §3 recovery rule
+    // over its n-f 1B reports. Telemetry must show at least one
+    // recovery-case event, and every decision must have gone through
+    // the slow path (directly or by learning the outcome).
+    let cfg = SystemConfig::minimal_task(2, 2).unwrap();
+    let crashed: ProcessSet = [ProcessId::new(0)].into_iter().collect();
+    let (metrics, obs) = Metrics::shared();
+    let outcome = SyncRunner::new(cfg)
+        .crashed(crashed)
+        .observed(obs.clone())
+        .horizon(Duration::deltas(60))
+        .run(|q| TaskConsensus::new(cfg, q, u64::from(q.as_u32())).observed(obs.clone()));
+    assert!(outcome.all_correct_decided());
+    assert!(outcome.agreement());
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.decided(Path::Fast), 0, "split votes forbid fast path");
+    assert!(snap.slow_entries >= 1, "a recovery ballot must open");
+    let recoveries: u64 = snap.recovery_cases.iter().sum();
+    assert!(recoveries >= 1, "recovery rule must fire at least once");
+    // Six distinct values over six processes: no value can collect the
+    // n-f-e votes either vote-count case needs, so the rule lands in
+    // its fallback branch — and must say so.
+    assert_eq!(
+        snap.recovery(RecoveryCase::Fallback),
+        recoveries,
+        "split votes resolve via the fallback case, label {:?}",
+        RecoveryCase::Fallback.label()
+    );
+    // The recovering leader decides via its ballot; everyone else learns.
+    let attributed = snap.decided(Path::Slow)
+        + snap.decided(Path::RecoveryGt)
+        + snap.decided(Path::RecoveryEq)
+        + snap.decided(Path::Learned);
+    assert_eq!(
+        attributed,
+        snap.total_decisions(),
+        "every decision is slow, recovery-case or learned"
+    );
+}

@@ -9,6 +9,7 @@
 use twostep_baselines::{EPaxosLite, FastPaxos, Paxos};
 use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TaskConsensus};
 use twostep_sim::ManualExecutor;
+use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::Protocol;
 use twostep_types::{ProcessId, ProcessSet, SystemConfig};
 
@@ -123,6 +124,13 @@ pub struct RunReport {
 /// Executes a case and reports what happened. Deterministic: the same
 /// case always yields the same report.
 pub fn run_case(case: &FuzzCase) -> RunReport {
+    run_case_observed(case, ObserverHandle::none())
+}
+
+/// Like [`run_case`], with telemetry hooks attached to every protocol
+/// instance — campaign summaries aggregate decision paths, recovery
+/// cases and ballot churn across all executed schedules.
+pub fn run_case_observed(case: &FuzzCase, obs: ObserverHandle) -> RunReport {
     let cfg = case.cfg;
     let leader = case.leader;
     let omega = OmegaMode::Static(leader);
@@ -130,16 +138,20 @@ pub fn run_case(case: &FuzzCase) -> RunReport {
     let values = case.values.clone();
     match case.protocol {
         FuzzProtocol::Task => run_schedule(case, |p| {
-            TaskConsensus::with_options(cfg, p, values[p.index()], omega, abl)
+            TaskConsensus::with_options(cfg, p, values[p.index()], omega, abl).observed(obs.clone())
         }),
-        FuzzProtocol::Object => {
-            run_schedule(case, |p| ObjectConsensus::with_options(cfg, p, omega, abl))
+        FuzzProtocol::Object => run_schedule(case, |p| {
+            ObjectConsensus::with_options(cfg, p, omega, abl).observed(obs.clone())
+        }),
+        FuzzProtocol::Paxos => run_schedule(case, |p| {
+            Paxos::new(cfg, p, values[p.index()]).observed(obs.clone())
+        }),
+        FuzzProtocol::FastPaxos => run_schedule(case, |p| {
+            FastPaxos::new(cfg, p, values[p.index()]).observed(obs.clone())
+        }),
+        FuzzProtocol::EPaxos => {
+            run_schedule(case, |p| EPaxosLite::new(cfg, p).observed(obs.clone()))
         }
-        FuzzProtocol::Paxos => run_schedule(case, |p| Paxos::new(cfg, p, values[p.index()])),
-        FuzzProtocol::FastPaxos => {
-            run_schedule(case, |p| FastPaxos::new(cfg, p, values[p.index()]))
-        }
-        FuzzProtocol::EPaxos => run_schedule(case, |p| EPaxosLite::new(cfg, p)),
     }
 }
 

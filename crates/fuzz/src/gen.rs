@@ -16,7 +16,8 @@
 //! deliveries, restarts) sprinkled throughout so the exploration is not
 //! confined to the template.
 //!
-//! The output is still a flat, total [`Schedule`]: the structure only
+//! The output is still a flat, total [`Schedule`](crate::schedule::Schedule):
+//! the structure only
 //! biases *generation*; shrinking and replay treat the schedule as an
 //! arbitrary action list.
 

@@ -27,7 +27,7 @@
 //!    protocol (task and object variants) and the Paxos / Fast Paxos /
 //!    EPaxos-lite baselines.
 //! 4. [`oracle`] — safety (and optional termination) verdicts.
-//! 5. [`shrink`] — ddmin minimization to a 1-minimal schedule.
+//! 5. [`mod@shrink`] — ddmin minimization to a 1-minimal schedule.
 //! 6. [`runner`] — the campaign loop tying it all together.
 //! 7. [`witness`] — the timed two-step-ness check run before each
 //!    campaign (the untimed executor cannot measure `2Δ`).
@@ -41,7 +41,7 @@ pub mod schedule;
 pub mod shrink;
 pub mod witness;
 
-pub use case::{run_case, FuzzCase, FuzzProtocol, RunReport};
+pub use case::{run_case, run_case_observed, FuzzCase, FuzzProtocol, RunReport};
 pub use gen::gen_case;
 pub use oracle::{check_liveness, check_safety, Verdict};
 pub use rng::SplitMix64;

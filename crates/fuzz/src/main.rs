@@ -23,6 +23,7 @@ use twostep_fuzz::{
     check_liveness, check_safety, fuzz_with_progress, run_case, two_step_witness, Failure,
     FuzzCase, FuzzConfig, FuzzProtocol, Schedule,
 };
+use twostep_telemetry::{Metrics, MetricsSnapshot, Path, RecoveryCase};
 use twostep_types::{ProcessId, SystemConfig};
 
 const USAGE: &str = "\
@@ -283,10 +284,33 @@ fn run_replay(o: &Opts) -> Result<bool, String> {
     }
 }
 
+/// One-line telemetry summary of a campaign: how the executed schedules
+/// decided (by path), how often the slow path and the recovery rule
+/// fired (by case), and how much ballot/leader churn the faults caused.
+fn campaign_summary(snap: &MetricsSnapshot) -> String {
+    let paths: Vec<String> = Path::ALL
+        .iter()
+        .map(|p| snap.decided(*p).to_string())
+        .collect();
+    let cases: Vec<String> = RecoveryCase::ALL
+        .iter()
+        .map(|c| format!("{}={}", c.label(), snap.recovery(*c)))
+        .collect();
+    format!(
+        "decisions f/s/gt/eq/l = {}; slow entries {}; recovery {}; ballot advances {}; leader changes {}",
+        paths.join("/"),
+        snap.slow_entries,
+        cases.join(" "),
+        snap.ballot_advances,
+        snap.leader_changes,
+    )
+}
+
 fn run_fuzz(o: &Opts) -> Result<bool, String> {
     let mut clean = true;
     for &protocol in &o.protocols {
         let cfg = config_for(protocol, o)?;
+        let (metrics, observer) = Metrics::shared();
         let fc = FuzzConfig {
             protocol,
             cfg,
@@ -296,6 +320,7 @@ fn run_fuzz(o: &Opts) -> Result<bool, String> {
             shrink: o.shrink,
             shrink_budget: o.shrink_budget,
             liveness: o.liveness,
+            observer,
         };
         println!(
             "fuzzing {}: n={} e={} f={} seed={} iters={}{}",
@@ -317,13 +342,18 @@ fn run_fuzz(o: &Opts) -> Result<bool, String> {
         let outcome = fuzz_with_progress(&fc, |done| {
             println!("  ... {done}/{} schedules", o.iters);
         });
+        let summary = campaign_summary(&metrics.snapshot());
         match &outcome.failure {
-            None => println!(
-                "  clean: {} schedules, no violation",
-                outcome.iterations_run
-            ),
+            None => {
+                println!(
+                    "  clean: {} schedules, no violation",
+                    outcome.iterations_run
+                );
+                println!("  telemetry: {summary}");
+            }
             Some(fail) => {
                 print_failure(fail, o.liveness);
+                println!("  telemetry: {summary}");
                 clean = false;
                 if fail.verdict.is_safety() {
                     // Safety bugs stop the campaign; a liveness finding

@@ -8,9 +8,10 @@
 //! schedule alone.
 
 use twostep_core::Ablations;
+use twostep_telemetry::ObserverHandle;
 use twostep_types::SystemConfig;
 
-use crate::case::{run_case, FuzzCase, FuzzProtocol};
+use crate::case::{run_case_observed, FuzzCase, FuzzProtocol};
 use crate::gen::gen_case;
 use crate::oracle::{check_liveness, check_safety, Verdict};
 use crate::rng::SplitMix64;
@@ -40,6 +41,12 @@ pub struct FuzzConfig {
     /// termination verdicts are never shrunk (the empty schedule
     /// trivially "fails" termination).
     pub liveness: bool,
+    /// Telemetry hooks attached to every protocol instance the campaign
+    /// spawns (detached by default). Aggregates decision paths, recovery
+    /// cases and ballot churn across all executed schedules — shrinker
+    /// replays are *not* observed, so the numbers describe the campaign
+    /// itself.
+    pub observer: ObserverHandle,
 }
 
 impl FuzzConfig {
@@ -55,6 +62,7 @@ impl FuzzConfig {
             shrink: true,
             shrink_budget: 2000,
             liveness: false,
+            observer: ObserverHandle::none(),
         }
     }
 }
@@ -105,7 +113,7 @@ pub fn fuzz_with_progress(fc: &FuzzConfig, mut progress: impl FnMut(u64)) -> Fuz
         }
         let stream_seed = SplitMix64::stream(fc.seed, i);
         let case = gen_case(fc.protocol, fc.cfg, fc.ablations, stream_seed);
-        let report = run_case(&case);
+        let report = run_case_observed(&case, fc.observer.clone());
         let verdict = check_safety(fc.protocol, &report).or_else(|| {
             if fc.liveness {
                 check_liveness(&report, report.alive)

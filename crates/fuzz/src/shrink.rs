@@ -1,6 +1,6 @@
 //! Counterexample shrinking by delta debugging.
 //!
-//! Because every [`Action`](crate::schedule::Action) is total, any
+//! Because every [`Action`] is total, any
 //! subsequence of a failing schedule is itself a valid schedule, so
 //! shrinking is plain ddmin (Zeller & Hildebrandt, *Simplifying and
 //! Isolating Failure-Inducing Input*, TSE'02): repeatedly try to delete

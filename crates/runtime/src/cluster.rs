@@ -5,10 +5,11 @@ use std::time::{Duration as WallDuration, Instant};
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
+use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::Protocol;
 use twostep_types::{ProcessId, SystemConfig, Value};
 
-use crate::node::{spawn, NodeHandle};
+use crate::node::{spawn_observed, NodeHandle};
 use crate::transport::{InMemoryTransport, TcpTransport};
 use crate::RuntimeError;
 
@@ -44,7 +45,24 @@ impl<V: Value> Cluster<V> {
     ///
     /// `wall_delta` is the wall-clock duration of one `Δ`; it bounds the
     /// protocol's timeouts (fast-path window `2Δ`, ballot retry `5Δ`).
-    pub fn in_memory<P, F>(cfg: SystemConfig, wall_delta: WallDuration, mut make: F) -> Self
+    pub fn in_memory<P, F>(cfg: SystemConfig, wall_delta: WallDuration, make: F) -> Self
+    where
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        Self::in_memory_observed(cfg, wall_delta, make, ObserverHandle::none())
+    }
+
+    /// Like [`Cluster::in_memory`], with telemetry hooks: every node
+    /// reports per-kind wire bytes and its wall-clock decision latency
+    /// (microseconds) to `obs`; pass the same handle to the protocols'
+    /// `observed` builders inside `make` for protocol-level events.
+    pub fn in_memory_observed<P, F>(
+        cfg: SystemConfig,
+        wall_delta: WallDuration,
+        mut make: F,
+        obs: ObserverHandle,
+    ) -> Self
     where
         P: Protocol<V> + 'static,
         F: FnMut(ProcessId) -> P,
@@ -55,12 +73,13 @@ impl<V: Value> Cluster<V> {
         let mut nodes = Vec::with_capacity(n);
         for (i, inbox) in inboxes.into_iter().enumerate() {
             let p = ProcessId::new(i as u32);
-            nodes.push(spawn(
+            nodes.push(spawn_observed(
                 make(p),
                 inbox,
                 transport.clone(),
                 wall_delta,
                 dtx.clone(),
+                obs.clone(),
             ));
         }
         Cluster {
@@ -81,7 +100,27 @@ impl<V: Value> Cluster<V> {
     pub fn tcp<P, F>(
         cfg: SystemConfig,
         wall_delta: WallDuration,
+        make: F,
+    ) -> Result<Self, RuntimeError>
+    where
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        Self::tcp_observed(cfg, wall_delta, make, ObserverHandle::none())
+    }
+
+    /// Like [`Cluster::tcp`], with telemetry hooks: in addition to the
+    /// node-level reports of [`Cluster::in_memory_observed`], the TCP
+    /// transports report dropped messages and send-path reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures.
+    pub fn tcp_observed<P, F>(
+        cfg: SystemConfig,
+        wall_delta: WallDuration,
         mut make: F,
+        obs: ObserverHandle,
     ) -> Result<Self, RuntimeError>
     where
         P: Protocol<V> + 'static,
@@ -100,8 +139,16 @@ impl<V: Value> Cluster<V> {
         for (i, listener) in listeners.into_iter().enumerate() {
             let p = ProcessId::new(i as u32);
             let (inbox_tx, inbox_rx) = crossbeam::channel::unbounded();
-            let transport = TcpTransport::new(p, addrs.clone(), listener, inbox_tx);
-            nodes.push(spawn(make(p), inbox_rx, transport, wall_delta, dtx.clone()));
+            let transport =
+                TcpTransport::new_observed(p, addrs.clone(), listener, inbox_tx, obs.clone());
+            nodes.push(spawn_observed(
+                make(p),
+                inbox_rx,
+                transport,
+                wall_delta,
+                dtx.clone(),
+                obs.clone(),
+            ));
         }
         Ok(Cluster {
             cfg,

@@ -34,4 +34,4 @@ mod transport;
 pub use cluster::Cluster;
 pub use error::RuntimeError;
 pub use node::{Control, NodeHandle};
-pub use transport::{InMemoryTransport, TcpTransport, Transport};
+pub use transport::{InMemoryTransport, TcpTransport, Transport, RECONNECT_BACKOFF};

@@ -7,6 +7,7 @@ use std::time::{Duration as WallDuration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 
+use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{ProcessId, Value, DELTA};
 
@@ -75,11 +76,40 @@ impl<V> Drop for NodeHandle<V> {
 /// * `decisions` — every `decide(v)` event is reported as
 ///   `(id, v, wall time)`.
 pub fn spawn<V, P, T>(
+    protocol: P,
+    inbox: Receiver<(ProcessId, Bytes)>,
+    transport: T,
+    wall_delta: WallDuration,
+    decisions: Sender<(ProcessId, V, Instant)>,
+) -> NodeHandle<V>
+where
+    V: Value,
+    P: Protocol<V> + 'static,
+    T: Transport,
+{
+    spawn_observed(
+        protocol,
+        inbox,
+        transport,
+        wall_delta,
+        decisions,
+        ObserverHandle::none(),
+    )
+}
+
+/// Like [`spawn`], with telemetry hooks: the node reports each message's
+/// encoded size per wire kind (`bytes_sent`) and this process's first
+/// decision latency in wall-clock **microseconds** since the node
+/// started (`decision_latency`). Protocol-level events (decision paths,
+/// recovery cases, …) are reported by the protocol instance itself —
+/// pass the same handle to its `observed` builder.
+pub fn spawn_observed<V, P, T>(
     mut protocol: P,
     inbox: Receiver<(ProcessId, Bytes)>,
     transport: T,
     wall_delta: WallDuration,
     decisions: Sender<(ProcessId, V, Instant)>,
+    obs: ObserverHandle,
 ) -> NodeHandle<V>
 where
     V: Value,
@@ -91,26 +121,38 @@ where
     let join = thread::Builder::new()
         .name(format!("twostep-node-{id}"))
         .spawn(move || {
-            let mut timers: HashMap<TimerId, Instant> = HashMap::new();
+            let started = Instant::now();
+            let mut node = NodeCtx {
+                id,
+                transport,
+                wall_delta,
+                timers: HashMap::new(),
+                decisions,
+                obs,
+                started,
+                decided: false,
+            };
             let mut eff = Effects::new();
             protocol.on_start(&mut eff);
-            apply(id, &mut protocol, eff.drain(), &transport, wall_delta, &mut timers, &decisions);
+            node.apply(eff.drain());
 
             loop {
                 // Fire due timers first.
                 let now = Instant::now();
-                let due: Vec<TimerId> = timers
+                let due: Vec<TimerId> = node
+                    .timers
                     .iter()
                     .filter(|(_, deadline)| **deadline <= now)
                     .map(|(t, _)| *t)
                     .collect();
                 for t in due {
-                    timers.remove(&t);
+                    node.timers.remove(&t);
                     let mut eff = Effects::new();
                     protocol.on_timer(t, &mut eff);
-                    apply(id, &mut protocol, eff, &transport, wall_delta, &mut timers, &decisions);
+                    node.apply(eff);
                 }
-                let wait = timers
+                let wait = node
+                    .timers
                     .values()
                     .map(|d| d.saturating_duration_since(Instant::now()))
                     .min()
@@ -123,7 +165,7 @@ where
                                 Ok(decoded) => {
                                     let mut eff = Effects::new();
                                     protocol.on_message(from, decoded, &mut eff);
-                                    apply(id, &mut protocol, eff, &transport, wall_delta, &mut timers, &decisions);
+                                    node.apply(eff);
                                 }
                                 Err(_) => {
                                     // A malformed frame is dropped; the
@@ -137,7 +179,7 @@ where
                         Ok(Control::Propose(v)) => {
                             let mut eff = Effects::new();
                             protocol.on_propose(v, &mut eff);
-                            apply(id, &mut protocol, eff, &transport, wall_delta, &mut timers, &decisions);
+                            node.apply(eff);
                         }
                         Ok(Control::Shutdown) | Err(_) => break,
                     },
@@ -154,39 +196,66 @@ where
     }
 }
 
-fn apply<V, P, T>(
+/// The per-thread engine state shared by every effect application.
+struct NodeCtx<V, T> {
     id: ProcessId,
-    _protocol: &mut P,
-    eff: Effects<V, P::Message>,
-    transport: &T,
+    transport: T,
     wall_delta: WallDuration,
-    timers: &mut HashMap<TimerId, Instant>,
-    decisions: &Sender<(ProcessId, V, Instant)>,
-) where
-    V: Value,
-    P: Protocol<V>,
-    T: Transport,
-{
-    for v in eff.decisions {
-        let _ = decisions.send((id, v, Instant::now()));
-    }
-    for (to, msg) in eff.sends {
-        match codec::to_bytes(&msg) {
-            Ok(bytes) => transport.send(id, to, Bytes::from(bytes)),
-            Err(_) => {
-                // Unencodable messages indicate a bug in the value type;
-                // drop rather than poison the node.
-                debug_assert!(false, "failed to encode outgoing message");
+    timers: HashMap<TimerId, Instant>,
+    decisions: Sender<(ProcessId, V, Instant)>,
+    obs: ObserverHandle,
+    started: Instant,
+    decided: bool,
+}
+
+impl<V: Value, T: Transport> NodeCtx<V, T> {
+    fn apply<M: std::fmt::Debug + serde::Serialize>(&mut self, eff: Effects<V, M>) {
+        for v in eff.decisions {
+            let at = Instant::now();
+            if !self.decided {
+                self.decided = true;
+                // Wall-clock latency since node start, in microseconds.
+                let us = at.duration_since(self.started).as_micros();
+                self.obs
+                    .decision_latency(self.id, u64::try_from(us).unwrap_or(u64::MAX));
+            }
+            let _ = self.decisions.send((self.id, v, at));
+        }
+        for (to, msg) in eff.sends {
+            match codec::to_bytes(&msg) {
+                Ok(bytes) => {
+                    if self.obs.is_attached() {
+                        self.obs.bytes_sent(self.id, &msg_kind(&msg), bytes.len());
+                    }
+                    self.transport.send(self.id, to, Bytes::from(bytes));
+                }
+                Err(_) => {
+                    // Unencodable messages indicate a bug in the value
+                    // type; drop rather than poison the node.
+                    debug_assert!(false, "failed to encode outgoing message");
+                }
             }
         }
+        for (timer, delay) in eff.timer_sets {
+            let wall = self
+                .wall_delta
+                .mul_f64(delay.units() as f64 / DELTA.units() as f64);
+            self.timers.insert(timer, Instant::now() + wall);
+        }
+        for timer in eff.timer_cancels {
+            self.timers.remove(&timer);
+        }
     }
-    for (timer, delay) in eff.timer_sets {
-        let wall = wall_delta.mul_f64(delay.units() as f64 / DELTA.units() as f64);
-        timers.insert(timer, Instant::now() + wall);
-    }
-    for timer in eff.timer_cancels {
-        timers.remove(&timer);
-    }
+}
+
+/// The wire kind of a message: its `Debug` rendering up to the first
+/// payload delimiter (`(`, `{` or space) — e.g. `Vote(…)` → `"Vote"`.
+fn msg_kind<M: std::fmt::Debug>(msg: &M) -> String {
+    let full = format!("{msg:?}");
+    let cut = full
+        .find(['(', '{', ' '])
+        .map(|i| full[..i].trim_end().to_string());
+    cut.unwrap_or(full)
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use std::collections::{BinaryHeap, HashMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{Duration, ProcessId, ProcessSet, SystemConfig, Time, Value};
 
@@ -89,6 +90,7 @@ pub struct SimulationBuilder {
     restarts: Vec<(ProcessId, Time)>,
     topology_changes: Vec<(Time, Option<Vec<ProcessSet>>)>,
     proposals_by_time: Vec<(ProcessId, u64)>, // (process, time units); values added at build
+    obs: ObserverHandle,
 }
 
 impl SimulationBuilder {
@@ -103,7 +105,18 @@ impl SimulationBuilder {
             restarts: Vec::new(),
             topology_changes: Vec::new(),
             proposals_by_time: Vec::new(),
+            obs: ObserverHandle::none(),
         }
+    }
+
+    /// Attaches telemetry hooks to the *engine*: decision latencies (in
+    /// virtual time units, so `2Δ = 2000`) and partition/link message
+    /// drops are reported to `obs`. Protocol-level events (paths,
+    /// recovery cases, …) are reported by the protocol instances
+    /// themselves — pass the same handle to their `observed` builders.
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets the network delay model.
@@ -159,6 +172,7 @@ impl SimulationBuilder {
     {
         let _ = self.proposals_by_time;
         let mut sim = Simulation::new(self.cfg, make, self.delay_model, self.order);
+        sim.observe(self.obs);
         for (p, t) in self.crashes {
             sim.schedule_crash(p, t);
         }
@@ -197,6 +211,7 @@ pub struct Simulation<V: Value, P: Protocol<V>> {
     trace: Trace<V>,
     decisions: Vec<Option<(V, Time)>>,
     events_executed: u64,
+    obs: ObserverHandle,
 }
 
 impl<V: Value, P: Protocol<V>> Simulation<V, P> {
@@ -228,6 +243,7 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
             trace: Trace::new(),
             decisions: vec![None; n],
             events_executed: 0,
+            obs: ObserverHandle::none(),
         };
         for i in 0..n as u32 {
             let p = ProcessId::new(i);
@@ -239,6 +255,11 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
     /// The system configuration.
     pub fn config(&self) -> SystemConfig {
         self.cfg
+    }
+
+    /// Attaches telemetry hooks; see [`SimulationBuilder::observed`].
+    pub fn observe(&mut self, obs: ObserverHandle) {
+        self.obs = obs;
     }
 
     /// Current virtual time.
@@ -468,6 +489,8 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
                 value: v.clone(),
             });
             if self.decisions[p.index()].is_none() {
+                // Latency in virtual time units since time 0 (2Δ = 2000).
+                self.obs.decision_latency(p, self.now.units());
                 self.decisions[p.index()] = Some((v, self.now));
             }
         }
@@ -481,6 +504,7 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
             // A partition cut drops the message before the delay model
             // even sees it: the link is down, not slow.
             if !self.connected(p, to) {
+                self.obs.message_dropped(p, to);
                 self.trace.push(TraceEvent::MessageDropped {
                     time: self.now,
                     from: p,
@@ -496,6 +520,7 @@ impl<V: Value, P: Protocol<V>> Simulation<V, P> {
             // being ordered alongside peers' messages.
             match self.delay_model.delay(p, to, self.now) {
                 LinkBehavior::Drop => {
+                    self.obs.message_dropped(p, to);
                     self.trace.push(TraceEvent::MessageDropped {
                         time: self.now,
                         from: p,

@@ -1,5 +1,6 @@
 //! E-faulty synchronous runs (Definition 2).
 
+use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::Protocol;
 use twostep_types::{Duration, ProcessId, ProcessSet, SystemConfig, Time, Value};
 
@@ -57,6 +58,7 @@ pub struct SyncRunner {
     crashed: ProcessSet,
     favor: Option<ProcessId>,
     horizon: Duration,
+    obs: ObserverHandle,
 }
 
 impl SyncRunner {
@@ -68,7 +70,15 @@ impl SyncRunner {
             crashed: ProcessSet::new(),
             favor: None,
             horizon: Duration::deltas(50),
+            obs: ObserverHandle::none(),
         }
+    }
+
+    /// Attaches telemetry hooks to the underlying simulation engine; see
+    /// [`SimulationBuilder::observed`].
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The failure set `E`: these processes crash at the beginning of the
@@ -100,7 +110,9 @@ impl SyncRunner {
     }
 
     fn builder(&self) -> SimulationBuilder {
-        let mut b = SimulationBuilder::new(self.cfg).delay_model(SynchronousRounds);
+        let mut b = SimulationBuilder::new(self.cfg)
+            .delay_model(SynchronousRounds)
+            .observed(self.obs.clone());
         if let Some(p) = self.favor {
             b = b.delivery_order(DeliveryOrder::Favor(p));
         }

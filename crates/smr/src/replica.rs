@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 use serde::{Deserialize, Serialize};
 
 use twostep_core::{Msg, ObjectConsensus, Omega, OmegaMode};
+use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{Duration, ProcessId, SystemConfig, Value, DELTA};
 
@@ -72,6 +73,8 @@ pub struct SmrReplica<C: Ord, S> {
     max_inflight: usize,
     next_slot: u64,
     omega: Omega,
+    /// Telemetry hooks; detached by default (see [`SmrReplica::observed`]).
+    obs: ObserverHandle,
 }
 
 impl<C, S> SmrReplica<C, S>
@@ -114,7 +117,18 @@ where
             max_inflight,
             next_slot: 0,
             omega: Omega::new(me, cfg.n(), OmegaMode::Heartbeats),
+            obs: ObserverHandle::none(),
         }
+    }
+
+    /// Attaches telemetry hooks (builder style). The replica reports its
+    /// client-queue depth (`pending()`) whenever it changes, replica-Ω
+    /// leader changes, and passes the handle to every per-slot consensus
+    /// instance so protocol paths and recovery cases are counted too.
+    #[must_use]
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The committed log: slot → command.
@@ -150,7 +164,8 @@ where
                 self.me,
                 OmegaMode::Static(self.omega.leader()),
                 twostep_core::Ablations::NONE,
-            );
+            )
+            .observed(self.obs.clone());
             let mut inner = Effects::new();
             inst.on_start(&mut inner);
             self.instances.insert(slot, inst);
@@ -203,6 +218,7 @@ where
             eff.decide(c.clone());
             self.applied += 1;
         }
+        self.obs.queue_depth(self.me, self.pending());
     }
 
     /// Proposes queued commands while pipeline capacity remains.
@@ -219,6 +235,7 @@ where
             inst.on_propose(cmd, &mut inner);
             self.route_inner(slot, inner, eff);
         }
+        self.obs.queue_depth(self.me, self.pending());
     }
 }
 
@@ -266,8 +283,12 @@ where
                 eff.set_timer(SMR_HEARTBEAT, DELTA);
             }
             SMR_SUSPECT => {
+                let before = self.omega.leader();
                 self.omega.sweep();
                 let leader = self.omega.leader();
+                if leader != before {
+                    self.obs.leader_changed(self.me, leader);
+                }
                 for inst in self.instances.values_mut() {
                     inst.set_leader_hint(leader);
                 }

@@ -1,0 +1,233 @@
+//! A log2-bucketed latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit width of `u64`.
+const BUCKETS: usize = 65;
+
+/// A fixed-footprint histogram with power-of-two bucket boundaries.
+///
+/// Bucket `0` holds the value `0`; bucket `k >= 1` holds the values
+/// `2^(k-1) ..= 2^k - 1` (i.e. values with exactly `k` significant
+/// bits). Recording is two relaxed atomic adds and one atomic max —
+/// cheap enough to leave enabled in benchmarks.
+///
+/// Quantiles are *upper bounds*: [`Histogram::quantile`] returns the
+/// inclusive upper boundary of the bucket containing the requested
+/// rank (clamped to the exact observed maximum), so the reported value
+/// is within 2x of the true order statistic. The rank itself uses the
+/// same nearest-rank rule as the bench crate's exact `percentile`
+/// helper: `rank = round((count - 1) * q)`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index of `value`: its number of significant bits.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value stored in bucket `index`.
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The exact maximum observed value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The mean observed value (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]`, as a bucket upper bound clamped to
+    /// the observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((n - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative > rank {
+                return bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The median (see [`Histogram::quantile`] for precision).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 99th percentile (see [`Histogram::quantile`] for precision).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// A point-in-time copy of the summary statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            p50: self.p50(),
+            p99: self.p99(),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+/// Summary statistics of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Median (bucket upper bound; see [`Histogram::quantile`]).
+    pub p50: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Exact observed maximum.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_pinned() {
+        // Bucket k holds exactly the values with k significant bits.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(11), 2047);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_math_is_pinned() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        // rank(p50) = round(3 * 0.50) = 2; cumulative counts are
+        // bucket1 = 1, bucket2 = 3 -> the rank lands in bucket 2, whose
+        // upper bound is 3.
+        assert_eq!(h.p50(), 3);
+        // rank(p99) = round(3 * 0.99) = 3 -> bucket 3 (the lone 4),
+        // upper bound 7, clamped to the exact max 4.
+        assert_eq!(h.p99(), 4);
+        assert_eq!(h.max(), 4);
+        assert_eq!(h.mean(), 2.5);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_values_are_exactly_that_value() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(2_000);
+        }
+        // All samples share bucket 11 (1024..=2047)... except 2000 has
+        // 11 significant bits: bucket_of(2000) = 11, upper bound 2047,
+        // clamped to max 2000.
+        assert_eq!(h.p50(), 2_000);
+        assert_eq!(h.p99(), 2_000);
+        assert_eq!(h.max(), 2_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_values_land_in_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 1);
+    }
+
+    #[test]
+    fn snapshot_copies_summary() {
+        let h = Histogram::new();
+        h.record(5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, 5); // upper bound 7 clamped to max 5
+        assert_eq!(s.max, 5);
+        assert_eq!(s.mean, 5.0);
+    }
+}

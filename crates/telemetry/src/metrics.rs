@@ -1,0 +1,416 @@
+//! The standard metrics aggregator and its snapshot exporter.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use twostep_types::ProcessId;
+
+use crate::{
+    Counter, Event, EventKind, EventRing, Histogram, HistogramSnapshot, ObserverHandle, Path,
+    ProtocolObserver, RecoveryCase,
+};
+
+/// Message and byte totals for one wire message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ByteStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Total encoded payload bytes.
+    pub bytes: u64,
+}
+
+/// The standard [`ProtocolObserver`]: counts decisions per path, files
+/// engine-reported latencies into per-path histograms, tallies
+/// slow-path entries, recovery cases, leader changes, ballot advances,
+/// transport drops/reconnects, queue depths and per-kind wire bytes,
+/// and keeps a ring-buffer flight record of transitions.
+///
+/// Latency attribution: a protocol reports `decided(p, path)`
+/// synchronously when it records its decision; the engine then reports
+/// `decision_latency(p, l)` when it drains the decision effect. The
+/// metrics join the two on the process id, filing the latency under
+/// the most recently reported path of that process.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    decisions: [Counter; Path::COUNT],
+    latency: [Histogram; Path::COUNT],
+    last_path: Mutex<HashMap<ProcessId, Path>>,
+    slow_entries: Counter,
+    recovery: [Counter; RecoveryCase::COUNT],
+    leader_changes: Counter,
+    ballot_advances: Counter,
+    queue_depth: Histogram,
+    dropped: Counter,
+    reconnects: Counter,
+    bytes: Mutex<BTreeMap<String, ByteStats>>,
+    events: EventRing,
+}
+
+impl Metrics {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Creates an empty aggregator already wrapped for sharing, plus
+    /// the handle protocols and engines take.
+    pub fn shared() -> (Arc<Metrics>, ObserverHandle) {
+        let metrics = Arc::new(Metrics::new());
+        let handle = ObserverHandle::from(metrics.clone());
+        (metrics, handle)
+    }
+
+    /// The retained transition events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.events()
+    }
+
+    /// A point-in-time copy of every aggregate.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            decisions: std::array::from_fn(|i| self.decisions[i].get()),
+            latency: std::array::from_fn(|i| self.latency[i].snapshot()),
+            slow_entries: self.slow_entries.get(),
+            recovery_cases: std::array::from_fn(|i| self.recovery[i].get()),
+            leader_changes: self.leader_changes.get(),
+            ballot_advances: self.ballot_advances.get(),
+            queue_depth: self.queue_depth.snapshot(),
+            dropped: self.dropped.get(),
+            reconnects: self.reconnects.get(),
+            bytes_by_kind: self.bytes.lock().expect("byte map poisoned").clone(),
+        }
+    }
+
+    /// Shorthand for `self.snapshot().render_text()`.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+impl ProtocolObserver for Metrics {
+    fn decided(&self, process: ProcessId, path: Path) {
+        self.decisions[path.index()].inc();
+        self.last_path
+            .lock()
+            .expect("path map poisoned")
+            .insert(process, path);
+        self.events.push(Event {
+            process,
+            kind: EventKind::Decided(path),
+        });
+    }
+
+    fn decision_latency(&self, process: ProcessId, latency: u64) {
+        let path = self
+            .last_path
+            .lock()
+            .expect("path map poisoned")
+            .get(&process)
+            .copied();
+        // A latency with no prior path report (a protocol that bypassed
+        // `decided`) is filed as Learned: it reached the engine's
+        // decision stream without a path of its own.
+        let path = path.unwrap_or(Path::Learned);
+        self.latency[path.index()].record(latency);
+    }
+
+    fn slow_path_entered(&self, process: ProcessId) {
+        self.slow_entries.inc();
+        self.events.push(Event {
+            process,
+            kind: EventKind::SlowPathEntered,
+        });
+    }
+
+    fn recovery_case(&self, process: ProcessId, case: RecoveryCase) {
+        self.recovery[case.index()].inc();
+        self.events.push(Event {
+            process,
+            kind: EventKind::Recovery(case),
+        });
+    }
+
+    fn leader_changed(&self, process: ProcessId, leader: ProcessId) {
+        self.leader_changes.inc();
+        self.events.push(Event {
+            process,
+            kind: EventKind::LeaderChanged(leader),
+        });
+    }
+
+    fn ballot_advanced(&self, process: ProcessId) {
+        self.ballot_advances.inc();
+        self.events.push(Event {
+            process,
+            kind: EventKind::BallotAdvanced,
+        });
+    }
+
+    fn queue_depth(&self, _process: ProcessId, depth: usize) {
+        self.queue_depth.record(depth as u64);
+    }
+
+    fn bytes_sent(&self, _process: ProcessId, kind: &str, bytes: usize) {
+        let mut map = self.bytes.lock().expect("byte map poisoned");
+        let entry = map.entry(kind.to_string()).or_default();
+        entry.messages += 1;
+        entry.bytes += bytes as u64;
+    }
+
+    fn message_dropped(&self, from: ProcessId, to: ProcessId) {
+        self.dropped.inc();
+        self.events.push(Event {
+            process: from,
+            kind: EventKind::MessageDropped(to),
+        });
+    }
+
+    fn reconnected(&self, _process: ProcessId) {
+        self.reconnects.inc();
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] aggregator.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Decisions per path, indexed by [`Path::index`].
+    pub decisions: [u64; Path::COUNT],
+    /// Latency summary per path, indexed by [`Path::index`].
+    pub latency: [HistogramSnapshot; Path::COUNT],
+    /// Slow-path ballots opened.
+    pub slow_entries: u64,
+    /// Recovery-rule completions per case, indexed by
+    /// [`RecoveryCase::index`].
+    pub recovery_cases: [u64; RecoveryCase::COUNT],
+    /// Ω leader switches observed.
+    pub leader_changes: u64,
+    /// Ballot adoptions observed.
+    pub ballot_advances: u64,
+    /// Replica pending-command depth distribution.
+    pub queue_depth: HistogramSnapshot,
+    /// Messages the transport gave up on.
+    pub dropped: u64,
+    /// Broken connections re-established by the transport.
+    pub reconnects: u64,
+    /// Wire traffic per message kind.
+    pub bytes_by_kind: BTreeMap<String, ByteStats>,
+}
+
+impl MetricsSnapshot {
+    /// Decisions taken via `path`.
+    pub fn decided(&self, path: Path) -> u64 {
+        self.decisions[path.index()]
+    }
+
+    /// Latency summary for `path`.
+    pub fn latency_of(&self, path: Path) -> HistogramSnapshot {
+        self.latency[path.index()]
+    }
+
+    /// Recovery-rule completions via `case`.
+    pub fn recovery(&self, case: RecoveryCase) -> u64 {
+        self.recovery_cases[case.index()]
+    }
+
+    /// Total decisions across all paths.
+    pub fn total_decisions(&self) -> u64 {
+        self.decisions.iter().sum()
+    }
+
+    /// Renders the snapshot in a text/Prometheus-style exposition
+    /// format: one `name{labels} value` line per sample, `#`-prefixed
+    /// comment lines for grouping. Quantile samples follow the
+    /// Prometheus summary convention (`quantile` label, plus `_max`
+    /// and `_count` companions).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# decisions by path\n");
+        for p in Path::ALL {
+            let _ = writeln!(
+                out,
+                "twostep_decisions_total{{path=\"{}\"}} {}",
+                p.label(),
+                self.decided(p)
+            );
+        }
+        out.push_str("# decision latency by path (engine units)\n");
+        for p in Path::ALL {
+            let l = self.latency_of(p);
+            if l.count == 0 {
+                continue;
+            }
+            let label = p.label();
+            let _ = writeln!(
+                out,
+                "twostep_decision_latency{{path=\"{label}\",quantile=\"0.5\"}} {}",
+                l.p50
+            );
+            let _ = writeln!(
+                out,
+                "twostep_decision_latency{{path=\"{label}\",quantile=\"0.99\"}} {}",
+                l.p99
+            );
+            let _ = writeln!(
+                out,
+                "twostep_decision_latency_max{{path=\"{label}\"}} {}",
+                l.max
+            );
+            let _ = writeln!(
+                out,
+                "twostep_decision_latency_count{{path=\"{label}\"}} {}",
+                l.count
+            );
+        }
+        out.push_str("# protocol transitions\n");
+        let _ = writeln!(out, "twostep_slow_path_entries_total {}", self.slow_entries);
+        for c in RecoveryCase::ALL {
+            let _ = writeln!(
+                out,
+                "twostep_recovery_cases_total{{case=\"{}\"}} {}",
+                c.label(),
+                self.recovery(c)
+            );
+        }
+        let _ = writeln!(out, "twostep_leader_changes_total {}", self.leader_changes);
+        let _ = writeln!(
+            out,
+            "twostep_ballot_advances_total {}",
+            self.ballot_advances
+        );
+        out.push_str("# transport\n");
+        let _ = writeln!(out, "twostep_messages_dropped_total {}", self.dropped);
+        let _ = writeln!(out, "twostep_reconnects_total {}", self.reconnects);
+        for (kind, stats) in &self.bytes_by_kind {
+            let _ = writeln!(
+                out,
+                "twostep_messages_sent_total{{kind=\"{kind}\"}} {}",
+                stats.messages
+            );
+            let _ = writeln!(
+                out,
+                "twostep_bytes_sent_total{{kind=\"{kind}\"}} {}",
+                stats.bytes
+            );
+        }
+        if self.queue_depth.count > 0 {
+            out.push_str("# replica queue depth\n");
+            let q = self.queue_depth;
+            let _ = writeln!(out, "twostep_queue_depth{{quantile=\"0.5\"}} {}", q.p50);
+            let _ = writeln!(out, "twostep_queue_depth{{quantile=\"0.99\"}} {}", q.p99);
+            let _ = writeln!(out, "twostep_queue_depth_max {}", q.max);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn latencies_join_on_the_last_reported_path() {
+        let m = Metrics::new();
+        m.decided(p(0), Path::Fast);
+        m.decision_latency(p(0), 2_000);
+        m.decided(p(1), Path::RecoveryEq);
+        m.decision_latency(p(1), 8_000);
+        let s = m.snapshot();
+        assert_eq!(s.decided(Path::Fast), 1);
+        assert_eq!(s.decided(Path::RecoveryEq), 1);
+        assert_eq!(s.latency_of(Path::Fast).count, 1);
+        assert_eq!(s.latency_of(Path::Fast).max, 2_000);
+        assert_eq!(s.latency_of(Path::RecoveryEq).max, 8_000);
+        assert_eq!(s.total_decisions(), 2);
+    }
+
+    #[test]
+    fn unattributed_latency_files_as_learned() {
+        let m = Metrics::new();
+        m.decision_latency(p(3), 500);
+        assert_eq!(m.snapshot().latency_of(Path::Learned).count, 1);
+    }
+
+    #[test]
+    fn transitions_are_counted_and_ring_recorded() {
+        let m = Metrics::new();
+        m.slow_path_entered(p(2));
+        m.recovery_case(p(2), RecoveryCase::Gt);
+        m.leader_changed(p(1), p(2));
+        m.ballot_advanced(p(0));
+        m.message_dropped(p(0), p(3));
+        m.reconnected(p(0));
+        let s = m.snapshot();
+        assert_eq!(s.slow_entries, 1);
+        assert_eq!(s.recovery(RecoveryCase::Gt), 1);
+        assert_eq!(s.leader_changes, 1);
+        assert_eq!(s.ballot_advances, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.reconnects, 1);
+        let kinds: Vec<EventKind> = m.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SlowPathEntered,
+                EventKind::Recovery(RecoveryCase::Gt),
+                EventKind::LeaderChanged(p(2)),
+                EventKind::BallotAdvanced,
+                EventKind::MessageDropped(p(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_stats_accumulate_per_kind() {
+        let m = Metrics::new();
+        m.bytes_sent(p(0), "TwoB", 10);
+        m.bytes_sent(p(1), "TwoB", 14);
+        m.bytes_sent(p(0), "OneA", 6);
+        let s = m.snapshot();
+        assert_eq!(
+            s.bytes_by_kind.get("TwoB"),
+            Some(&ByteStats {
+                messages: 2,
+                bytes: 24
+            })
+        );
+        assert_eq!(
+            s.bytes_by_kind.get("OneA"),
+            Some(&ByteStats {
+                messages: 1,
+                bytes: 6
+            })
+        );
+    }
+
+    #[test]
+    fn exporter_format_is_pinned() {
+        let m = Metrics::new();
+        m.decided(p(0), Path::Fast);
+        m.decision_latency(p(0), 2_000);
+        m.bytes_sent(p(0), "TwoB", 24);
+        m.queue_depth(p(0), 3);
+        let text = m.render_text();
+        assert!(text.contains("twostep_decisions_total{path=\"fast\"} 1"));
+        assert!(text.contains("twostep_decisions_total{path=\"recovery-gt\"} 0"));
+        assert!(text.contains("twostep_decision_latency{path=\"fast\",quantile=\"0.5\"} 2000"));
+        assert!(text.contains("twostep_decision_latency_count{path=\"fast\"} 1"));
+        assert!(text.contains("twostep_recovery_cases_total{case=\"eq\"} 0"));
+        assert!(text.contains("twostep_bytes_sent_total{kind=\"TwoB\"} 24"));
+        assert!(text.contains("twostep_queue_depth_max 3"));
+        // Latency sections for paths with no samples are omitted.
+        assert!(!text.contains("twostep_decision_latency{path=\"slow\""));
+    }
+
+    #[test]
+    fn shared_returns_an_attached_handle() {
+        let (metrics, handle) = Metrics::shared();
+        assert!(handle.is_attached());
+        handle.decided(p(0), Path::Slow);
+        assert_eq!(metrics.snapshot().decided(Path::Slow), 1);
+    }
+}

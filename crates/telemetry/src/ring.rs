@@ -1,0 +1,132 @@
+//! A bounded ring buffer of protocol transition events.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use twostep_types::ProcessId;
+
+use crate::{Path, RecoveryCase};
+
+/// What happened in a recorded protocol transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A process decided via the given path.
+    Decided(Path),
+    /// A process opened a new slow-path ballot.
+    SlowPathEntered,
+    /// A ballot coordinator's phase one completed via this recovery
+    /// case.
+    Recovery(RecoveryCase),
+    /// The Ω service at a process switched its leader to the given
+    /// process.
+    LeaderChanged(ProcessId),
+    /// A process adopted a higher ballot.
+    BallotAdvanced,
+    /// The transport at a process dropped a message to the given
+    /// destination.
+    MessageDropped(ProcessId),
+}
+
+/// One recorded protocol transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The process at which the transition happened.
+    pub process: ProcessId,
+    /// The transition.
+    pub kind: EventKind,
+}
+
+/// A fixed-capacity ring buffer of [`Event`]s: the most recent
+/// `capacity` transitions, oldest first.
+///
+/// The ring is the "flight recorder" counterpart of the counters: after
+/// a run you can ask not only *how many* recovery events fired but in
+/// what order relative to leader changes and ballot advances.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+/// Default ring capacity, ample for any single experiment run.
+const DEFAULT_CAPACITY: usize = 1024;
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// Creates a ring retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        EventRing {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&self, event: Event) {
+        let mut buf = self.buf.lock().expect("event ring poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("event ring poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("event ring poisoned").len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> Event {
+        Event {
+            process: ProcessId::new(i),
+            kind: EventKind::BallotAdvanced,
+        }
+    }
+
+    #[test]
+    fn retains_most_recent_in_order() {
+        let ring = EventRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        let got: Vec<u32> = ring.events().iter().map(|e| e.process.as_u32()).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = EventRing::new(0);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`verify`] — trace checkers, bounded model checker, linearizability
 //!   checker, mechanized lower-bound adversary.
 //! * [`smr`] — state-machine replication built on the consensus core.
+//! * [`telemetry`] — protocol-aware metrics and event tracing: decision
+//!   paths, recovery cases, latency histograms, text/Prometheus export.
 //!
 //! # Quickstart
 //!
@@ -48,5 +50,6 @@ pub use twostep_core as core;
 pub use twostep_runtime as runtime;
 pub use twostep_sim as sim;
 pub use twostep_smr as smr;
+pub use twostep_telemetry as telemetry;
 pub use twostep_types as types;
 pub use twostep_verify as verify;
