@@ -1,0 +1,43 @@
+//! Lint fixture: code that must produce zero findings — exhaustive
+//! matches, guarded arithmetic, and a `#[cfg(test)]` module that uses
+//! every forbidden construct (test code is out of scope).
+
+pub enum CleanMsg {
+    A,
+    B,
+}
+
+pub fn handle(m: CleanMsg) -> u32 {
+    match m {
+        CleanMsg::A => 1,
+        CleanMsg::B => 2,
+    }
+}
+
+pub fn named_catchall(m: CleanMsg) -> u32 {
+    match m {
+        CleanMsg::A => 1,
+        other => 10 + handle(other),
+    }
+}
+
+pub fn margin(n: usize, f: usize) -> usize {
+    n.saturating_sub(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forbidden_constructs_are_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        debug_assert!(handle(CleanMsg::A) == 1);
+        let x = match CleanMsg::B {
+            CleanMsg::B => 2,
+            _ => 0,
+        };
+        assert_eq!(x, 2);
+    }
+}

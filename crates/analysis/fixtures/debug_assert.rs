@@ -1,0 +1,6 @@
+//! Lint fixture: a safety invariant guarded only in debug builds.
+//! Expected findings: exactly one `debug-assert`.
+
+pub fn check(q: usize, n: usize) {
+    debug_assert!(q <= n, "quorum within bounds");
+}

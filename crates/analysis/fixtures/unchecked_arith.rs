@@ -1,0 +1,30 @@
+//! Lint fixture: bare subtraction on quorum quantities.
+//! Expected findings: exactly two `unchecked-quorum-arith`
+//! (the `fast_quorum` body and the `margin` body).
+
+pub struct Cfg {
+    n: usize,
+    e: usize,
+}
+
+impl Cfg {
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn e(&self) -> usize {
+        self.e
+    }
+
+    pub fn fast_quorum(&self) -> usize {
+        self.n() - self.e()
+    }
+
+    pub fn safe_margin(&self) -> usize {
+        self.n().saturating_sub(self.e)
+    }
+}
+
+pub fn margin(cfg: &Cfg) -> usize {
+    cfg.n() - cfg.fast_quorum()
+}

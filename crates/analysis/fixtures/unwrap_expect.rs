@@ -1,0 +1,10 @@
+//! Lint fixture: panicking accessors in non-test code.
+//! Expected findings: exactly two `unwrap-expect`.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn last(xs: &[u32]) -> u32 {
+    *xs.last().expect("nonempty")
+}

@@ -1,0 +1,14 @@
+//! Lint fixture: a wildcard arm on a protocol-style enum.
+//! Expected findings: exactly one `wildcard-arm`.
+
+pub enum DemoMsg {
+    Ping,
+    Pong,
+}
+
+pub fn handle(m: DemoMsg) -> u32 {
+    match m {
+        DemoMsg::Ping => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,25 @@
+//! Static-analysis gates for the two-step consensus workspace.
+//!
+//! Three analyses, all runnable from the `twostep-analysis` binary and
+//! wired into CI:
+//!
+//! * [`bounds`] — an exhaustive small-model checker for the quorum
+//!   arithmetic in `twostep_types::SystemConfig`. For every `(n, e, f)`
+//!   with `n` up to a cap it discharges the intersection obligations
+//!   behind Lemma 7 and the recovery rule, and for every `n` *below*
+//!   the paper's bounds it constructs a concrete violating quorum pair
+//!   (a tightness witness, executed against the real
+//!   `twostep_core::recovery::select_value` where possible). Theorems
+//!   5–6 of the paper, as an executable artifact.
+//! * [`lint`] — a source lint over the protocol crates rejecting
+//!   wildcard arms on protocol enums, `unwrap`/`expect`, unchecked
+//!   quorum arithmetic, and `debug_assert!`-only invariants, with an
+//!   audited allowlist.
+//! * loom models (`tests/loom_models.rs`, behind `--features loom`) —
+//!   exhaustive interleaving checks for the telemetry observer handle
+//!   and the transport reconnect bookkeeping.
+
+pub mod bounds;
+pub mod lexer;
+pub mod lint;
+pub mod model;

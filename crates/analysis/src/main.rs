@@ -1,0 +1,239 @@
+//! CI gate binary for the static-analysis suite.
+//!
+//! ```text
+//! twostep-analysis <bounds|lint|all> [options]
+//!   --all               shorthand for the `all` subcommand
+//!   --max-n N           bound-sweep cap (default 25)
+//!   --fixture NAME      run bounds against a seeded-broken model
+//!                       (broken-fast-quorum | broken-recovery-threshold);
+//!                       CI asserts this exits nonzero
+//!   --witnesses PATH    write the sweep outcome (violations + tightness
+//!                       witnesses) as JSON to PATH
+//!   --json              print the sweep outcome JSON to stdout
+//!   --root PATH         workspace root for the lint (default: cwd)
+//!   --allowlist PATH    lint allowlist (default: ROOT/crates/analysis/lint-allow.txt)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or lint findings, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use twostep_analysis::bounds::{self, SweepOutcome};
+use twostep_analysis::lint::{self, Allowlist};
+use twostep_analysis::model::Fixture;
+
+const USAGE: &str = "\
+usage: twostep-analysis <bounds|lint|all> [options]
+  --all               run both analyses (same as the `all` subcommand)
+  --max-n N           bound-sweep cap (default 25)
+  --fixture NAME      check a seeded-broken model instead of the real
+                      arithmetic: broken-fast-quorum | broken-recovery-threshold
+  --witnesses PATH    write sweep outcome JSON to PATH
+  --json              print sweep outcome JSON to stdout
+  --root PATH         workspace root for the lint (default: current dir)
+  --allowlist PATH    lint allowlist file
+                      (default: ROOT/crates/analysis/lint-allow.txt)";
+
+struct Options {
+    run_bounds: bool,
+    run_lint: bool,
+    max_n: usize,
+    fixture: Option<Fixture>,
+    witnesses: Option<PathBuf>,
+    json: bool,
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        run_bounds: false,
+        run_lint: false,
+        max_n: bounds::DEFAULT_MAX_N,
+        fixture: None,
+        witnesses: None,
+        json: false,
+        root: PathBuf::from("."),
+        allowlist: None,
+    };
+    let mut it = args.iter();
+    let mut saw_mode = false;
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "bounds" => {
+                opts.run_bounds = true;
+                saw_mode = true;
+            }
+            "lint" => {
+                opts.run_lint = true;
+                saw_mode = true;
+            }
+            "all" | "--all" => {
+                opts.run_bounds = true;
+                opts.run_lint = true;
+                saw_mode = true;
+            }
+            "--max-n" => {
+                let v = value_for("--max-n")?;
+                opts.max_n = v
+                    .parse()
+                    .map_err(|_| format!("--max-n: not a number: {v}"))?;
+            }
+            "--fixture" => {
+                let v = value_for("--fixture")?;
+                opts.fixture =
+                    Some(Fixture::parse(&v).ok_or_else(|| format!("unknown fixture {v:?}"))?);
+            }
+            "--witnesses" => opts.witnesses = Some(PathBuf::from(value_for("--witnesses")?)),
+            "--json" => opts.json = true,
+            "--root" => opts.root = PathBuf::from(value_for("--root")?),
+            "--allowlist" => opts.allowlist = Some(PathBuf::from(value_for("--allowlist")?)),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !saw_mode {
+        return Err("no mode given".into());
+    }
+    Ok(opts)
+}
+
+fn run_bounds(opts: &Options) -> Result<bool, String> {
+    let outcome: SweepOutcome = bounds::sweep(opts.max_n, opts.fixture);
+    if let Some(path) = &opts.witnesses {
+        std::fs::write(path, outcome.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if opts.json {
+        println!("{}", outcome.to_json());
+    } else {
+        println!(
+            "bounds: model `{}`, {} configs checked up to n = {}, {} violations, {} tightness witnesses",
+            outcome.model,
+            outcome.configs_checked,
+            outcome.max_n,
+            outcome.violations.len(),
+            outcome.witnesses.len()
+        );
+        for v in outcome.violations.iter().take(20) {
+            println!(
+                "  VIOLATION n={} e={} f={} [{}] {}",
+                v.n, v.e, v.f, v.obligation, v.detail
+            );
+        }
+        if outcome.violations.len() > 20 {
+            println!("  … and {} more", outcome.violations.len() - 20);
+        }
+        let executed = outcome
+            .witnesses
+            .iter()
+            .filter(|w| w.executed.is_some())
+            .count();
+        println!(
+            "  witnesses: {} structural, {} executed against select_value",
+            outcome.witnesses.len() - executed,
+            executed
+        );
+    }
+    Ok(outcome.is_clean())
+}
+
+fn run_lint(opts: &Options) -> Result<bool, String> {
+    let root = &opts.root;
+    let lint_dirs: Vec<PathBuf> = ["crates/core/src", "crates/baselines/src", "crates/smr/src"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    for d in &lint_dirs {
+        if !d.is_dir() {
+            return Err(format!(
+                "lint: {} is not a directory (set --root to the workspace root)",
+                d.display()
+            ));
+        }
+    }
+    let files = lint::collect_sources(&lint_dirs).map_err(|e| format!("lint: {e}"))?;
+    // Protocol enums may be *declared* in twostep-types but matched in
+    // the protocol crates, so the enum universe includes both.
+    let enum_files = {
+        let mut dirs = lint_dirs.clone();
+        dirs.push(root.join("crates/types/src"));
+        lint::collect_sources(&dirs).map_err(|e| format!("lint: {e}"))?
+    };
+    let enums = lint::collect_enums(&enum_files);
+
+    let allow_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| root.join("crates/analysis/lint-allow.txt"));
+    let allow = if allow_path.is_file() {
+        Allowlist::load(&allow_path)?
+    } else {
+        Allowlist::default()
+    };
+
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(
+            lint::lint_file(file, &enums)
+                .into_iter()
+                .filter(|f| !allow.allows(f)),
+        );
+    }
+    println!(
+        "lint: {} files, {} protocol enums, {} allowlist entries, {} findings",
+        files.len(),
+        enums.len(),
+        allow.len(),
+        findings.len()
+    );
+    for f in &findings {
+        println!("  {f}");
+    }
+    Ok(findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("twostep-analysis: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut clean = true;
+    if opts.run_bounds {
+        match run_bounds(&opts) {
+            Ok(ok) => clean &= ok,
+            Err(msg) => {
+                eprintln!("twostep-analysis: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.run_lint {
+        match run_lint(&opts) {
+            Ok(ok) => clean &= ok,
+            Err(msg) => {
+                eprintln!("twostep-analysis: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

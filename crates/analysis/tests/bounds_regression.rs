@@ -1,0 +1,151 @@
+//! Pinned regressions for the bound sweep: the real arithmetic is
+//! certified clean over the whole small-model space, the bounds are
+//! tight (a concrete counterexample exists one process below each
+//! bound), and the seeded-broken fixtures reliably turn the gate red.
+
+use twostep_analysis::bounds::{sweep, tightness_witness, WitnessKind, DEFAULT_MAX_N};
+use twostep_analysis::model::Fixture;
+use twostep_types::ProtocolKind;
+
+/// Theorems 5–6 as a regression: every `(n, e, f)` with `n ≤ 25`
+/// satisfies every obligation under the real quorum arithmetic, and
+/// every below-bound `n` yields a constructible witness (witness
+/// construction failures surface as violations).
+#[test]
+fn full_default_sweep_is_clean_and_fully_witnessed() {
+    let outcome = sweep(DEFAULT_MAX_N, None);
+    assert_eq!(outcome.model, "real");
+    // 650 = #{(n, e, f) : 3 ≤ n ≤ 25, 1 ≤ f ≤ (n-1)/2, 1 ≤ e ≤ f,
+    // n ≥ 2f+1} — pinned so a silent shrink of the swept space fails.
+    assert_eq!(outcome.configs_checked, 650);
+    assert!(
+        outcome.violations.is_empty(),
+        "real arithmetic violated an obligation: {:?}",
+        outcome.violations.first()
+    );
+    assert!(!outcome.witnesses.is_empty());
+    for w in &outcome.witnesses {
+        assert!(
+            w.n < w.bound,
+            "witness at n={} not below the {} bound {}",
+            w.n,
+            w.protocol,
+            w.bound
+        );
+        assert!(!w.sets.is_empty(), "witness without concrete sets: {w:?}");
+    }
+}
+
+/// Tightness: for every protocol family and every `(e, f)` whose bound
+/// fits in the sweep, a witness exists at exactly `bound - 1`.
+#[test]
+fn every_bound_has_a_witness_one_process_below() {
+    for protocol in [
+        ProtocolKind::Paxos,
+        ProtocolKind::FastPaxos,
+        ProtocolKind::TaskTwoStep,
+        ProtocolKind::ObjectTwoStep,
+    ] {
+        for f in 1..=8usize {
+            for e in 1..=f {
+                let bound = protocol.min_processes(e, f);
+                let n = bound - 1;
+                if bound > DEFAULT_MAX_N || n < f + 1 {
+                    continue;
+                }
+                let w = tightness_witness(protocol, n, e, f).unwrap_or_else(|err| {
+                    panic!("no witness at {protocol} n={n} e={e} f={f}: {err}")
+                });
+                assert_eq!((w.n, w.e, w.f, w.bound), (n, e, f, bound));
+            }
+        }
+    }
+}
+
+/// The executable witness kinds really do drive the production
+/// recovery rule into disagreeing with a fast decision.
+#[test]
+fn executable_witnesses_overturn_fast_decisions() {
+    let outcome = sweep(DEFAULT_MAX_N, None);
+    let mut task_executed = 0;
+    let mut object_executed = 0;
+    for w in &outcome.witnesses {
+        match w.kind {
+            WitnessKind::TaskRivalOvertake => {
+                let run = w.executed.expect("task witnesses are executable");
+                assert_ne!(
+                    run.fast_decided, run.recovery_selected,
+                    "witness failed to overturn at {w:?}"
+                );
+                task_executed += 1;
+            }
+            WitnessKind::ObjectGtAmbiguity => {
+                let run = w.executed.expect("object witnesses are executable");
+                assert_ne!(run.fast_decided, run.recovery_selected);
+                object_executed += 1;
+            }
+            WitnessKind::DisjointSlowQuorums | WitnessKind::FastQuorumAmbiguity => {
+                assert!(w.executed.is_none(), "structural witness claims execution");
+            }
+        }
+    }
+    assert!(task_executed > 0, "no task-region witnesses in the sweep");
+    assert!(
+        object_executed > 0,
+        "no object-region witnesses in the sweep"
+    );
+}
+
+/// Guarding the gate itself: both seeded-broken fixtures must be
+/// caught, at every config, by obligations that name the break.
+#[test]
+fn seeded_fixtures_always_turn_the_sweep_red() {
+    for fx in Fixture::ALL {
+        let outcome = sweep(12, Some(fx));
+        assert_eq!(outcome.model, fx.name());
+        assert!(
+            !outcome.is_clean(),
+            "fixture {} slipped past the checker",
+            fx.name()
+        );
+        // The break is visibility-shaped in both fixtures: O3 must be
+        // among the firing obligations.
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.obligation == "O3-fast-slow-visibility"),
+            "fixture {} tripped only {:?}",
+            fx.name(),
+            outcome
+                .violations
+                .iter()
+                .map(|v| v.obligation)
+                .collect::<std::collections::BTreeSet<_>>()
+        );
+        assert!(outcome.witnesses.is_empty(), "fixtures skip witnesses");
+    }
+}
+
+/// The machine-readable output holds the whole outcome: counts in the
+/// JSON match the in-memory sweep.
+#[test]
+fn json_report_carries_violations_and_witnesses() {
+    let clean = sweep(9, None);
+    let json = clean.to_json();
+    assert!(json.contains("\"model\":\"real\""));
+    assert!(json.contains("\"violations\":[]"));
+    assert_eq!(
+        json.matches("\"kind\":").count(),
+        clean.witnesses.len(),
+        "every witness serialized"
+    );
+
+    let broken = sweep(9, Some(Fixture::BrokenFastQuorum));
+    let json = broken.to_json();
+    assert_eq!(
+        json.matches("\"obligation\":").count(),
+        broken.violations.len(),
+        "every violation serialized"
+    );
+}

@@ -313,7 +313,7 @@ impl<V: Value> Protocol<V> for EPaxosLite<V> {
         // docs — this is not single-decree consensus agreement).
         match self.phase {
             Phase::Committed => self.cmd.clone(),
-            _ => None,
+            Phase::Idle | Phase::PreAccepting | Phase::Accepting => None,
         }
     }
 }

@@ -217,13 +217,14 @@ impl<V: Value> FastPaxos<V> {
             .max()
             .unwrap_or(Ballot::FAST);
         if bmax.is_slow() {
-            let v = self
+            // A slow bmax was read off some report, so a vote at bmax
+            // exists; `None` here would mean a malformed report, which
+            // degrades to "nothing proposable" rather than panicking.
+            return self
                 .onebs
                 .iter()
                 .find(|(_, (vb, _))| *vb == bmax)
-                .and_then(|(_, (_, v))| v.clone())
-                .expect("a vote at bmax must exist");
-            return Some(v);
+                .and_then(|(_, (_, v))| v.clone());
         }
         // Fast votes: any value with ≥ n-f-e votes in Q may have been
         // chosen. With n ≥ 2e+f+1 at most one value qualifies; below the

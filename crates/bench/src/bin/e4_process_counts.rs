@@ -89,7 +89,8 @@ fn main() {
         let e = (f + 1).div_ceil(2);
         let object = ProtocolKind::ObjectTwoStep.min_processes(e, f);
         let fp = ProtocolKind::FastPaxos.min_processes(e, f);
-        let ep_cfg = SystemConfig::new(2 * f + 1, e.min(f), f).unwrap();
+        let ep_cfg =
+            SystemConfig::for_protocol(ProtocolKind::Paxos, 2 * f + 1, e.min(f), f).unwrap();
         headline.row(&[
             f.to_string(),
             e.to_string(),

@@ -12,7 +12,7 @@ use twostep_bench::{fmt_deltas, fmt_path_counts, fmt_path_latencies, Table};
 use twostep_core::{ObjectConsensus, TaskConsensus};
 use twostep_sim::{RunOutcome, SyncRunner};
 use twostep_telemetry::{Metrics, MetricsSnapshot};
-use twostep_types::{Duration, ProcessId, ProcessSet, SystemConfig, Time, Value};
+use twostep_types::{Duration, ProcessId, ProcessSet, ProtocolKind, SystemConfig, Time, Value};
 
 const E: usize = 2;
 const F: usize = 2;
@@ -60,7 +60,7 @@ fn main() {
 
         // Paxos at n = 2f+1; proxy = last process (learns via Decide).
         {
-            let cfg = SystemConfig::new(2 * F + 1, E, F).unwrap();
+            let cfg = SystemConfig::for_protocol(ProtocolKind::Paxos, 2 * F + 1, E, F).unwrap();
             let proxy = ProcessId::new((cfg.n() - 1) as u32);
             let (metrics, obs) = Metrics::shared();
             let outcome = SyncRunner::new(cfg)
@@ -147,7 +147,7 @@ fn main() {
 
         // EPaxos-lite at n = 2f+1; lone command leader proxy.
         {
-            let cfg = SystemConfig::new(2 * F + 1, E, F).unwrap();
+            let cfg = SystemConfig::for_protocol(ProtocolKind::Paxos, 2 * F + 1, E, F).unwrap();
             let proxy = ProcessId::new((cfg.n() - 1) as u32);
             let (metrics, obs) = Metrics::shared();
             let outcome = SyncRunner::new(cfg)

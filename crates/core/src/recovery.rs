@@ -79,7 +79,10 @@ impl<V> Report<V> {
 ///
 /// # Panics
 ///
-/// Panics in debug builds if `reports` is smaller than a slow quorum.
+/// Panics if `reports` is smaller than a slow quorum of `n-f` — in
+/// release builds too: an undersized `1B` quorum silently selecting a
+/// value is exactly the failure mode Lemma 7 rules out, so it must
+/// never survive into production.
 pub fn select_value<V: Value>(
     cfg: &SystemConfig,
     reports: &Collector<Report<V>>,
@@ -105,7 +108,9 @@ pub fn select_value_explained<V: Value>(
     observed: Option<&V>,
     ablations: Ablations,
 ) -> (Option<V>, RecoveryCase) {
-    debug_assert!(
+    // Release-mode check: selecting from fewer than n-f reports voids
+    // every quorum-intersection argument the rule rests on.
+    assert!(
         reports.len() >= cfg.slow_quorum(),
         "recovery needs a quorum of n-f reports, got {}",
         reports.len()
@@ -163,7 +168,7 @@ pub fn select_value_explained<V: Value>(
     // bound, where two values can exceed the threshold and this
     // arbitrary pick is exactly what breaks agreement.
     if let Some(v) = tally.values_with_count_at_least(threshold + 1).next() {
-        debug_assert!(
+        assert!(
             !cfg.satisfies_object_bound()
                 || tally.values_with_count_at_least(threshold + 1).count() == 1,
             "Lemma 7: the > n-f-e value must be unique at n >= 2e+f-1"

@@ -11,7 +11,7 @@ use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TaskConsensus};
 use twostep_sim::ManualExecutor;
 use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::Protocol;
-use twostep_types::{ProcessId, ProcessSet, SystemConfig};
+use twostep_types::{ProcessId, ProcessSet, ProtocolKind, SystemConfig};
 
 use crate::schedule::{Action, Schedule};
 
@@ -49,17 +49,21 @@ impl FuzzProtocol {
         )
     }
 
+    /// The protocol family whose minimal-process bound this target is
+    /// validated against. EPaxosLite only runs in the bare-majority
+    /// regime, so it shares the Paxos bound.
+    pub fn kind(self) -> ProtocolKind {
+        match self {
+            FuzzProtocol::Task => ProtocolKind::TaskTwoStep,
+            FuzzProtocol::Object => ProtocolKind::ObjectTwoStep,
+            FuzzProtocol::Paxos | FuzzProtocol::EPaxos => ProtocolKind::Paxos,
+            FuzzProtocol::FastPaxos => ProtocolKind::FastPaxos,
+        }
+    }
+
     /// The minimal valid `n` for `(e, f)` under this protocol's bound.
     pub fn min_processes(self, e: usize, f: usize) -> usize {
-        let resilience = 2 * f + 1;
-        match self {
-            FuzzProtocol::Paxos => resilience,
-            FuzzProtocol::FastPaxos => resilience.max(2 * e + f + 1),
-            FuzzProtocol::Task => resilience.max(2 * e + f),
-            // EPaxosLite only runs in the bare-majority regime.
-            FuzzProtocol::EPaxos => resilience,
-            FuzzProtocol::Object => resilience.max((2 * e + f).saturating_sub(1)),
-        }
+        self.kind().min_processes(e, f)
     }
 
     /// CLI name.

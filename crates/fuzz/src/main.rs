@@ -42,6 +42,9 @@ OPTIONS:
     --f <N>               crash bound f (default 1)
     --n <N>               process count (default: the protocol's minimum for
                           the given e, f)
+    --allow-below-bound   accept an --n under the protocol's minimal-process
+                          bound (for reproducing the lower-bound scenarios);
+                          by default such configurations are rejected
     --ablate <A>          inject a known bug; repeatable. One of:
                           no_max_tiebreak | no_proposer_exclusion |
                           no_object_guard
@@ -63,6 +66,7 @@ struct Opts {
     e: usize,
     f: usize,
     n: Option<usize>,
+    allow_below_bound: bool,
     ablations: Ablations,
     shrink: bool,
     shrink_budget: usize,
@@ -80,6 +84,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         e: 1,
         f: 1,
         n: None,
+        allow_below_bound: false,
         ablations: Ablations::NONE,
         shrink: true,
         shrink_budget: 2000,
@@ -109,6 +114,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--e" => o.e = parse_num(&value()?)? as usize,
             "--f" => o.f = parse_num(&value()?)? as usize,
             "--n" => o.n = Some(parse_num(&value()?)? as usize),
+            "--allow-below-bound" => o.allow_below_bound = true,
             "--ablate" => match value()?.as_str() {
                 "no_max_tiebreak" => o.ablations.no_max_tiebreak = true,
                 "no_proposer_exclusion" => o.ablations.no_proposer_exclusion = true,
@@ -153,7 +159,14 @@ fn parse_num(s: &str) -> Result<u64, String> {
 
 fn config_for(p: FuzzProtocol, o: &Opts) -> Result<SystemConfig, String> {
     let n = o.n.unwrap_or_else(|| p.min_processes(o.e, o.f));
-    SystemConfig::new(n, o.e, o.f).map_err(|e| format!("bad configuration: {e}"))
+    let cfg = if o.allow_below_bound {
+        // Deliberately below-bound runs skip the protocol-family check
+        // (the standing n ≥ 2f+1 / e ≤ f assumptions still apply).
+        SystemConfig::new(n, o.e, o.f)
+    } else {
+        SystemConfig::for_protocol(p.kind(), n, o.e, o.f)
+    };
+    cfg.map_err(|e| format!("bad configuration: {e} (see --allow-below-bound)"))
 }
 
 fn ablation_flags(a: Ablations) -> String {

@@ -7,6 +7,8 @@ use parking_lot::Mutex;
 
 use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::Protocol;
+#[cfg(test)]
+use twostep_types::ProtocolKind;
 use twostep_types::{ProcessId, SystemConfig, Value};
 
 use crate::node::{spawn_observed, NodeHandle};
@@ -314,7 +316,7 @@ mod tests {
 
     #[test]
     fn in_memory_cluster_propagates_decision() {
-        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let cfg = SystemConfig::for_protocol(ProtocolKind::TaskTwoStep, 3, 1, 1).unwrap();
         let n = cfg.n();
         let cluster = Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay {
             me: q,
@@ -330,7 +332,7 @@ mod tests {
 
     #[test]
     fn crash_is_silent() {
-        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let cfg = SystemConfig::for_protocol(ProtocolKind::TaskTwoStep, 3, 1, 1).unwrap();
         let n = cfg.n();
         let mut cluster = Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay {
             me: q,
@@ -353,7 +355,7 @@ mod tests {
 
     #[test]
     fn tcp_cluster_end_to_end() {
-        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let cfg = SystemConfig::for_protocol(ProtocolKind::TaskTwoStep, 3, 1, 1).unwrap();
         let n = cfg.n();
         let cluster = Cluster::tcp(cfg, WallDuration::from_millis(10), |q| Relay {
             me: q,

@@ -73,7 +73,7 @@ impl DeliveryOrder {
 /// #     fn decision(&self) -> Option<u64> { None }
 /// # }
 ///
-/// let cfg = SystemConfig::new(3, 1, 1)?;
+/// let cfg = SystemConfig::for_protocol(twostep_types::ProtocolKind::TaskTwoStep, 3, 1, 1)?;
 /// let outcome = SimulationBuilder::new(cfg)
 ///     .delay_model(SynchronousRounds)
 ///     .crash_at(ProcessId::new(2), Time::ZERO)

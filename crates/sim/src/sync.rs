@@ -43,7 +43,7 @@ pub type SyncOutcome<V, P> = RunOutcome<V, P>;
 /// #     fn decision(&self) -> Option<u64> { None }
 /// # }
 ///
-/// let cfg = SystemConfig::new(4, 1, 1)?;
+/// let cfg = SystemConfig::for_protocol(twostep_types::ProtocolKind::TaskTwoStep, 4, 1, 1)?;
 /// let faulty: ProcessSet = [ProcessId::new(0)].into_iter().collect();
 /// let outcome = SyncRunner::new(cfg)
 ///     .crashed(faulty)

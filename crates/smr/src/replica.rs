@@ -31,7 +31,9 @@ const INNER_BASE: u32 = 4;
 const INNER_STRIDE: u32 = 4;
 
 fn inner_timer(slot: u64, t: TimerId) -> TimerId {
-    debug_assert!(t.0 < INNER_STRIDE);
+    // Release-mode check: an out-of-stride inner timer would alias a
+    // different instance's timer namespace and misroute ticks.
+    assert!(t.0 < INNER_STRIDE);
     TimerId(INNER_BASE + (slot as u32) * INNER_STRIDE + t.0)
 }
 

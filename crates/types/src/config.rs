@@ -124,6 +124,62 @@ impl SystemConfig {
         Ok(SystemConfig { n, e, f })
     }
 
+    /// Creates a configuration validated against a specific protocol
+    /// family's minimal-process bound, in addition to the standing
+    /// assumptions checked by [`SystemConfig::new`]:
+    ///
+    /// * [`ProtocolKind::TaskTwoStep`]: `n ≥ max{2e+f, 2f+1}` (Thm 5);
+    /// * [`ProtocolKind::ObjectTwoStep`]: `n ≥ max{2e+f-1, 2f+1}` (Thm 6);
+    /// * [`ProtocolKind::FastPaxos`]: `n ≥ max{2e+f+1, 2f+1}`;
+    /// * [`ProtocolKind::Paxos`]: `n ≥ 2f+1`.
+    ///
+    /// Use this (or the `TryFrom<(ProtocolKind, usize, usize, usize)>`
+    /// impl) whenever a configuration is built *for* a protocol, so that
+    /// below-bound deployments are rejected at construction time rather
+    /// than failing agreement at runtime. Deliberately below-bound runs
+    /// (the lower-bound experiments, the fuzzer's `--allow-below-bound`)
+    /// must opt out by calling [`SystemConfig::new`] directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BelowProtocolBound`] when `n` is under the
+    /// family's bound, or any [`SystemConfig::new`] error.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// use twostep_types::{ConfigError, ProtocolKind, SystemConfig};
+    ///
+    /// // n = 5 supports the object protocol at e = f = 2 …
+    /// assert!(SystemConfig::for_protocol(ProtocolKind::ObjectTwoStep, 5, 2, 2).is_ok());
+    /// // … but not the task protocol, which needs 2e+f = 6.
+    /// assert_eq!(
+    ///     SystemConfig::for_protocol(ProtocolKind::TaskTwoStep, 5, 2, 2),
+    ///     Err(ConfigError::BelowProtocolBound {
+    ///         protocol: "TwoStep(task)",
+    ///         n: 5,
+    ///         required: 6,
+    ///     })
+    /// );
+    /// ```
+    pub fn for_protocol(
+        kind: ProtocolKind,
+        n: usize,
+        e: usize,
+        f: usize,
+    ) -> Result<Self, ConfigError> {
+        let cfg = Self::new(n, e, f)?;
+        let required = kind.min_processes(e, f);
+        if n < required {
+            return Err(ConfigError::BelowProtocolBound {
+                protocol: kind.name(),
+                n,
+                required,
+            });
+        }
+        Ok(cfg)
+    }
+
     /// The minimal configuration for the consensus *task* protocol:
     /// `n = max{2e+f, 2f+1}` (Theorem 5).
     ///
@@ -213,6 +269,16 @@ impl SystemConfig {
     /// Enumerates every failure set `E ⊆ Π` with `|E| = e`.
     pub fn failure_sets(&self) -> crate::process::Combinations {
         crate::combinations(self.n, self.e)
+    }
+}
+
+/// `(kind, n, e, f)` — the TryFrom spelling of
+/// [`SystemConfig::for_protocol`].
+impl TryFrom<(ProtocolKind, usize, usize, usize)> for SystemConfig {
+    type Error = ConfigError;
+
+    fn try_from((kind, n, e, f): (ProtocolKind, usize, usize, usize)) -> Result<Self, ConfigError> {
+        SystemConfig::for_protocol(kind, n, e, f)
     }
 }
 
@@ -333,6 +399,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn for_protocol_enforces_each_family_bound() {
+        for f in 1..=5usize {
+            for e in 1..=f {
+                for kind in [
+                    ProtocolKind::Paxos,
+                    ProtocolKind::FastPaxos,
+                    ProtocolKind::TaskTwoStep,
+                    ProtocolKind::ObjectTwoStep,
+                ] {
+                    let bound = kind.min_processes(e, f);
+                    let at = SystemConfig::for_protocol(kind, bound, e, f).unwrap();
+                    assert_eq!(at.n(), bound);
+                    // One process below the bound must be rejected —
+                    // either by the family bound or, when bound = 2f+1,
+                    // by the resilience bound.
+                    let below = SystemConfig::for_protocol(kind, bound - 1, e, f);
+                    match below {
+                        Err(ConfigError::BelowProtocolBound { n, required, .. }) => {
+                            assert_eq!((n, required), (bound - 1, bound));
+                        }
+                        Err(
+                            ConfigError::BelowResilienceBound { .. }
+                            | ConfigError::TooFewProcesses { .. },
+                        ) => {}
+                        other => panic!("n={} must be rejected, got {other:?}", bound - 1),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_from_tuple_matches_for_protocol() {
+        let ok = SystemConfig::try_from((ProtocolKind::TaskTwoStep, 6, 2, 2)).unwrap();
+        assert_eq!((ok.n(), ok.e(), ok.f()), (6, 2, 2));
+        assert_eq!(
+            SystemConfig::try_from((ProtocolKind::TaskTwoStep, 5, 2, 2)),
+            SystemConfig::for_protocol(ProtocolKind::TaskTwoStep, 5, 2, 2)
+        );
     }
 
     #[test]

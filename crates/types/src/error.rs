@@ -35,6 +35,17 @@ pub enum ConfigError {
         /// The resilience threshold.
         f: usize,
     },
+    /// `n` is below the minimal process count a specific protocol family
+    /// needs for `(e, f)` (Theorems 5 and 6, and Lamport's Fast Paxos
+    /// bound).
+    BelowProtocolBound {
+        /// The protocol family whose bound was violated.
+        protocol: &'static str,
+        /// The process count.
+        n: usize,
+        /// The minimal process count for the protocol at `(e, f)`.
+        required: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -61,6 +72,16 @@ impl fmt::Display for ConfigError {
                     "n={n} processes cannot tolerate f={f} failures (need n >= 2f+1)"
                 )
             }
+            ConfigError::BelowProtocolBound {
+                protocol,
+                n,
+                required,
+            } => {
+                write!(
+                    fmtr,
+                    "n={n} processes are below the {protocol} bound (need n >= {required})"
+                )
+            }
         }
     }
 }
@@ -79,6 +100,11 @@ mod tests {
             ConfigError::ZeroResilience,
             ConfigError::FastThresholdExceedsResilience { e: 3, f: 2 },
             ConfigError::BelowResilienceBound { n: 4, f: 2 },
+            ConfigError::BelowProtocolBound {
+                protocol: "TwoStep(task)",
+                n: 5,
+                required: 6,
+            },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -15,10 +15,12 @@
 
 use twostep::core::TaskConsensus;
 use twostep::sim::{Lossy, PartialSynchrony, SimulationBuilder, SyncRunner, SynchronousRounds};
-use twostep::types::{Duration, ProcessId, ProcessSet, SystemConfig, Time};
+use twostep::types::{Duration, ProcessId, ProcessSet, ProtocolKind, SystemConfig, Time};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = SystemConfig::minimal_task(2, 2)?;
+    // n = 6 is exactly the Theorem 5 bound max{2e+f, 2f+1} for (2, 2);
+    // the constructor rejects anything smaller for the task family.
+    let cfg = SystemConfig::for_protocol(ProtocolKind::TaskTwoStep, 6, 2, 2)?;
     let proposals: Vec<u64> = (0..cfg.n() as u64).map(|i| 100 + i).collect();
 
     // ---------------------------------------------------------------
