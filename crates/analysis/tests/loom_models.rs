@@ -105,28 +105,32 @@ fn observer_registry_swap_is_atomic() {
     });
 }
 
-/// Model of `TcpTransport` send/retry/reconnect bookkeeping
+/// Model of `TcpTransport` flush/redial bookkeeping
 /// (`crates/runtime/src/transport.rs`).
 ///
-/// Real shape: `connections: Mutex<Vec<Option<TcpStream>>>`;
-/// `try_send_frame` lazily dials into an empty slot, writes outside
-/// the lock (on a `try_clone`d stream), and on write failure clears
-/// the slot *unconditionally* — possibly clobbering a fresh connection
-/// a concurrent sender just cached. `send` makes one bounded retry and
-/// reports `reconnected` or `message_dropped`.
+/// Real shape: each destination has one send queue and one
+/// `writer_loop` thread that *exclusively owns* that destination's
+/// connection — `send` only enqueues, so no two threads ever race on a
+/// `TcpStream`. The writer lazily dials, flushes a coalesced frame,
+/// and on write failure drops the dead connection and redials once
+/// (after a backoff) before declaring the flush dropped.
 ///
 /// The model: connection ids from a generation counter; generation 0
 /// is the pre-established stale connection whose writes always fail,
-/// every redial yields a working one. Two threads send concurrently
-/// through the shared slot.
+/// every redial yields a working one. Two threads flush concurrently
+/// through one shared slot — deliberately *more* concurrent than the
+/// production single-writer discipline, so the bookkeeping is shown
+/// sound even without the exclusive-ownership guarantee (and stays
+/// sound if a future change reintroduces sharing, the shape this code
+/// originally had).
 ///
 /// Checked properties, over every interleaving:
-/// * no message is dropped — the single retry always suffices because
-///   a redial is never stale;
-/// * the unconditional slot-clear is harmless: it costs an extra dial,
-///   never a delivery;
+/// * no message is dropped — the single redial always suffices because
+///   a fresh dial is never stale;
+/// * an unconditional slot-clear on failure is harmless: it costs an
+///   extra dial, never a delivery;
 /// * the slot ends attached to a *working* connection (the stale
-///   generation cannot survive a failed send).
+///   generation cannot survive a failed flush).
 #[test]
 fn transport_retry_never_drops_and_heals_the_slot() {
     struct Net {
@@ -140,8 +144,8 @@ fn transport_retry_never_drops_and_heals_the_slot() {
     }
 
     impl Net {
-        /// `TcpTransport::connection_to`: reuse the cached connection
-        /// or dial into the empty slot, then clone it out.
+        /// `writer_loop`'s lazy dial: reuse the cached connection or
+        /// dial into the empty slot.
         fn connection_to(&self) -> u32 {
             let mut slot = self.slot.lock().unwrap();
             if slot.is_none() {
@@ -150,9 +154,9 @@ fn transport_retry_never_drops_and_heals_the_slot() {
             slot.unwrap()
         }
 
-        /// `TcpTransport::try_send_frame`: write outside the lock;
-        /// generation 0 (the stale pre-established stream) fails, and
-        /// failure clears the slot unconditionally.
+        /// `writer_loop`'s frame write: generation 0 (the stale
+        /// pre-established stream) fails, and failure clears the slot
+        /// unconditionally.
         fn try_send_frame(&self) -> bool {
             let conn = self.connection_to();
             let write_ok = conn != 0;
@@ -162,8 +166,8 @@ fn transport_retry_never_drops_and_heals_the_slot() {
             write_ok
         }
 
-        /// `<Arc<TcpTransport> as Transport>::send`: one retry, then
-        /// report reconnected / dropped.
+        /// `writer_loop`'s flush: one redial-and-retry after backoff,
+        /// then report reconnected / dropped.
         fn send(&self) {
             if self.try_send_frame() {
                 self.delivered.fetch_add(1, Ordering::SeqCst);

@@ -6,12 +6,16 @@ use std::time::Duration as WallDuration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use twostep_runtime::Cluster;
+use twostep_runtime::{Cluster, ClusterBuilder};
 use twostep_sim::SimulationBuilder;
-use twostep_smr::{KvCommand, KvStore, SmrReplica};
+use twostep_smr::{KvCommand, KvStore, SmrReplica, SmrReplicaBuilder};
 use twostep_types::{Duration, ProcessId, SystemConfig, Time};
 
 type Replica = SmrReplica<KvCommand, KvStore>;
+
+fn replica(cfg: SystemConfig, q: ProcessId) -> Replica {
+    SmrReplicaBuilder::new(cfg, q).build()
+}
 
 fn bench_smr(c: &mut Criterion) {
     let cfg = SystemConfig::minimal_object(1, 1).unwrap();
@@ -19,7 +23,7 @@ fn bench_smr(c: &mut Criterion) {
     // Simulator-side: one full command commit across 3 replicas.
     c.bench_function("smr/simulated_commit_n3", |b| {
         b.iter(|| {
-            let mut sim = SimulationBuilder::new(cfg).build(|q| Replica::new(cfg, q));
+            let mut sim = SimulationBuilder::new(cfg).build(|q| replica(cfg, q));
             sim.schedule_propose(ProcessId::new(0), KvCommand::put("k", "v"), Time::ZERO);
             let outcome = sim.run_until(Time::ZERO + Duration::deltas(30), |s| {
                 s.process(ProcessId::new(0)).applied() >= 1
@@ -32,8 +36,10 @@ fn bench_smr(c: &mut Criterion) {
     // coarse end-to-end number (thread spawn + commit + teardown).
     c.bench_function("smr/threaded_commit_n3", |b| {
         b.iter(|| {
-            let cluster: Cluster<KvCommand> =
-                Cluster::in_memory(cfg, WallDuration::from_millis(5), |q| Replica::new(cfg, q));
+            let cluster: Cluster<KvCommand> = ClusterBuilder::new(cfg)
+                .wall_delta(WallDuration::from_millis(5))
+                .build_smr::<KvCommand, KvStore>()
+                .expect("in-memory build cannot fail");
             cluster.propose(ProcessId::new(0), KvCommand::put("k", "v"));
             let d = cluster.await_decision(ProcessId::new(0), WallDuration::from_secs(10));
             std::hint::black_box(d)

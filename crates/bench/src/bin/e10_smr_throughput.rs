@@ -11,13 +11,11 @@
 use std::time::{Duration as WallDuration, Instant};
 
 use twostep_bench::{fmt_path_counts, fmt_path_latencies, Table};
-use twostep_runtime::Cluster;
+use twostep_runtime::{Cluster, ClusterBuilder};
 use twostep_sim::SimulationBuilder;
-use twostep_smr::{KvCommand, KvStore, SmrReplica};
+use twostep_smr::{KvCommand, KvStore, SmrReplicaBuilder};
 use twostep_telemetry::Metrics;
 use twostep_types::{Duration, ProcessId, SystemConfig, Time};
-
-type Replica = SmrReplica<KvCommand, KvStore>;
 
 fn p(i: u32) -> ProcessId {
     ProcessId::new(i)
@@ -55,22 +53,13 @@ fn main() {
     for (label, tcp) in [("in-memory", false), ("tcp/localhost", true)] {
         let cfg = SystemConfig::minimal_object(1, 1).unwrap();
         let (metrics, obs) = Metrics::shared();
-        let cluster: Cluster<KvCommand> = if tcp {
-            Cluster::tcp_observed(
-                cfg,
-                wall_delta,
-                |q| Replica::new(cfg, q).observed(obs.clone()),
-                obs.clone(),
-            )
-            .expect("tcp cluster")
-        } else {
-            Cluster::in_memory_observed(
-                cfg,
-                wall_delta,
-                |q| Replica::new(cfg, q).observed(obs.clone()),
-                obs.clone(),
-            )
-        };
+        let builder = ClusterBuilder::new(cfg)
+            .wall_delta(wall_delta)
+            .observed(obs.clone());
+        let builder = if tcp { builder.tcp() } else { builder };
+        let cluster: Cluster<KvCommand> = builder
+            .build_smr::<KvCommand, KvStore>()
+            .expect("cluster build");
         let (elapsed, ok) = run_cluster(&cluster, 1);
         let snap = metrics.snapshot();
         part_a.row(&[
@@ -102,12 +91,11 @@ fn main() {
     for (e, f) in [(1usize, 1usize), (2, 2)] {
         let cfg = SystemConfig::minimal_object(e, f).unwrap();
         let (metrics, obs) = Metrics::shared();
-        let cluster: Cluster<KvCommand> = Cluster::in_memory_observed(
-            cfg,
-            wall_delta,
-            |q| Replica::new(cfg, q).observed(obs.clone()),
-            obs.clone(),
-        );
+        let cluster: Cluster<KvCommand> = ClusterBuilder::new(cfg)
+            .wall_delta(wall_delta)
+            .observed(obs.clone())
+            .build_smr::<KvCommand, KvStore>()
+            .expect("in-memory build cannot fail");
         let k = 40;
         let start = Instant::now();
         for i in 0..k {
@@ -160,7 +148,11 @@ fn main() {
         let (metrics, obs) = Metrics::shared();
         let mut sim = SimulationBuilder::new(cfg)
             .observed(obs.clone())
-            .build(|q| Replica::new(cfg, q).observed(obs.clone()));
+            .build(|q| {
+                SmrReplicaBuilder::new(cfg, q)
+                    .observed(obs.clone())
+                    .build::<KvCommand, KvStore>()
+            });
         for i in 0..k {
             sim.schedule_propose(
                 p(0),

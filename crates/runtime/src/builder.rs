@@ -1,0 +1,219 @@
+//! Fluent construction of whole clusters.
+
+use std::time::Duration as WallDuration;
+
+use twostep_smr::{SmrReplicaBuilder, StateMachine};
+use twostep_telemetry::ObserverHandle;
+use twostep_types::protocol::Protocol;
+use twostep_types::{ProcessId, SystemConfig, Value};
+
+use crate::cluster::Cluster;
+use crate::RuntimeError;
+
+/// Which transport a [`ClusterBuilder`] deploys over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransportKind {
+    InMemory,
+    Tcp,
+}
+
+/// Builder for [`Cluster`] — the one construction path for every
+/// deployment shape.
+///
+/// Replaces the constructor matrix (`in_memory`/`in_memory_observed`/
+/// `tcp`/`tcp_observed` × `spawn`/`spawn_observed` ×
+/// `TcpTransport::new`/`new_observed`) with one fluent chain: config up
+/// front, then transport choice, observer and batching/pipeline knobs,
+/// then either [`ClusterBuilder::build`] with a protocol factory or
+/// [`ClusterBuilder::build_smr`] for the batteries-included SMR
+/// deployment. Client handles come from
+/// [`Cluster::proxy_client`].
+///
+/// ```rust
+/// use std::time::Duration;
+/// use twostep_runtime::ClusterBuilder;
+/// use twostep_smr::{KvCommand, KvStore};
+/// use twostep_types::{ProcessId, SystemConfig};
+///
+/// let cfg = SystemConfig::minimal_object(1, 1)?;
+/// let cluster = ClusterBuilder::new(cfg)
+///     .wall_delta(Duration::from_millis(5))
+///     .batch(16)
+///     .pipeline(8)
+///     .build_smr::<KvCommand, KvStore>()
+///     .expect("in-memory build cannot fail");
+/// let client = cluster.proxy_client(ProcessId::new(0));
+/// client.propose(KvCommand::put("k", "v"));
+/// # Ok::<(), twostep_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    cfg: SystemConfig,
+    wall_delta: WallDuration,
+    transport: TransportKind,
+    obs: ObserverHandle,
+    batch: usize,
+    pipeline: usize,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `cfg`: in-memory transport, `Δ` = 10ms, no
+    /// observer, batch size 1 and pipeline depth 1 (the unbatched seed
+    /// semantics).
+    pub fn new(cfg: SystemConfig) -> Self {
+        ClusterBuilder {
+            cfg,
+            wall_delta: WallDuration::from_millis(10),
+            transport: TransportKind::InMemory,
+            obs: ObserverHandle::none(),
+            batch: 1,
+            pipeline: 1,
+        }
+    }
+
+    /// Sets the wall-clock duration of one `Δ`; it bounds the
+    /// protocol's timeouts (fast-path window `2Δ`, ballot retry `5Δ`)
+    /// and the SMR pump tick (`2Δ`).
+    #[must_use]
+    pub fn wall_delta(mut self, wall_delta: WallDuration) -> Self {
+        self.wall_delta = wall_delta;
+        self
+    }
+
+    /// Deploys over localhost TCP (real sockets, framing and the binary
+    /// codec on every hop, coalescing writer threads).
+    #[must_use]
+    pub fn tcp(mut self) -> Self {
+        self.transport = TransportKind::Tcp;
+        self
+    }
+
+    /// Deploys over the in-memory transport (the default).
+    #[must_use]
+    pub fn in_memory(mut self) -> Self {
+        self.transport = TransportKind::InMemory;
+        self
+    }
+
+    /// Attaches telemetry hooks: nodes report per-kind wire bytes and
+    /// decision latency, TCP transports report drops/reconnects, and
+    /// [`ClusterBuilder::build_smr`] passes the handle through to every
+    /// replica (batch sizes, queue depths, protocol paths).
+    #[must_use]
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Groups up to `size` commands per consensus slot (SMR builds
+    /// only; see [`SmrReplicaBuilder::batch`]).
+    #[must_use]
+    pub fn batch(mut self, size: usize) -> Self {
+        self.batch = size;
+        self
+    }
+
+    /// Keeps up to `depth` batches in flight concurrently (SMR builds
+    /// only; see [`SmrReplicaBuilder::pipeline`]).
+    #[must_use]
+    pub fn pipeline(mut self, depth: usize) -> Self {
+        self.pipeline = depth;
+        self
+    }
+
+    /// Builds a cluster running `make(p)` at each process.
+    ///
+    /// The batching/pipeline knobs do not apply here — they configure
+    /// replicas built by [`ClusterBuilder::build_smr`]; a custom
+    /// protocol factory wires its own knobs. The observer *is* applied
+    /// at the node and transport layers; pass the same handle into
+    /// `make` for protocol-level events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures on the TCP transport; the
+    /// in-memory build is infallible.
+    pub fn build<V, P, F>(self, make: F) -> Result<Cluster<V>, RuntimeError>
+    where
+        V: Value,
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        match self.transport {
+            TransportKind::InMemory => Ok(Cluster::assemble_in_memory(
+                self.cfg,
+                self.wall_delta,
+                make,
+                self.obs,
+            )),
+            TransportKind::Tcp => Cluster::assemble_tcp(self.cfg, self.wall_delta, make, self.obs),
+        }
+    }
+
+    /// Builds a cluster of SMR replicas replicating state machine `S`
+    /// over command type `C`, with this builder's batching/pipeline
+    /// knobs and observer applied to every replica.
+    ///
+    /// The cluster's value type is the *command*: proposals are single
+    /// commands, decide events are single applied commands, and the
+    /// replicas batch internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures on the TCP transport; the
+    /// in-memory build is infallible.
+    pub fn build_smr<C, S>(self) -> Result<Cluster<C>, RuntimeError>
+    where
+        C: Value + Ord,
+        S: StateMachine<C> + 'static,
+    {
+        let (cfg, obs, batch, pipeline) = (self.cfg, self.obs.clone(), self.batch, self.pipeline);
+        self.build(move |p| {
+            SmrReplicaBuilder::new(cfg, p)
+                .pipeline(pipeline)
+                .batch(batch)
+                .observed(obs.clone())
+                .build::<C, S>()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use twostep_smr::{KvCommand, KvStore};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn smr_cluster_commits_through_proxy_client() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let cluster = ClusterBuilder::new(cfg)
+            .wall_delta(Duration::from_millis(5))
+            .batch(4)
+            .pipeline(2)
+            .build_smr::<KvCommand, KvStore>()
+            .unwrap();
+        let client = cluster.proxy_client(p(0));
+        let latency =
+            client.submit_and_wait(KvCommand::put("answer", "42"), Duration::from_secs(10));
+        assert!(latency.is_some(), "command never committed");
+    }
+
+    #[test]
+    fn builder_over_tcp_reaches_agreement() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let cluster = ClusterBuilder::new(cfg)
+            .tcp()
+            .wall_delta(Duration::from_millis(10))
+            .build_smr::<KvCommand, KvStore>()
+            .unwrap();
+        let client = cluster.proxy_client(p(0));
+        assert!(client
+            .submit_and_wait(KvCommand::put("k", "v"), Duration::from_secs(10))
+            .is_some());
+    }
+}

@@ -1,8 +1,11 @@
 //! A whole deployment: `n` nodes, a transport, and client-side helpers.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration as WallDuration, Instant};
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
 use twostep_telemetry::ObserverHandle;
@@ -11,11 +14,98 @@ use twostep_types::protocol::Protocol;
 use twostep_types::ProtocolKind;
 use twostep_types::{ProcessId, SystemConfig, Value};
 
-use crate::node::{spawn_observed, NodeHandle};
+use crate::node::{spawn_node, NodeHandle, NodeOptions};
+use crate::proxy::ProxyClient;
 use crate::transport::{InMemoryTransport, TcpTransport};
 use crate::RuntimeError;
 
+/// One registered value-waiter (see [`ClusterShared::register_waiter`]).
+struct Waiter {
+    proxy: ProcessId,
+    token: u64,
+    tx: Sender<Instant>,
+}
+
+/// Decision state shared between the cluster handle, its router thread
+/// and any [`ProxyClient`]s.
+pub(crate) struct ClusterShared<V> {
+    /// First decision per process (the agreement-checking cache).
+    observed: Mutex<Vec<Option<(V, Instant)>>>,
+    /// Live subscribers receiving **every** decide event.
+    taps: Mutex<Vec<Sender<(ProcessId, V, Instant)>>>,
+    /// Clients blocked on one specific value committing at one specific
+    /// proxy, keyed by value. One hash lookup per decide event, however
+    /// many clients wait — fanning every event to every client caps the
+    /// whole cluster's commit rate once closed-loop clients multiply.
+    waiters: Mutex<HashMap<V, Vec<Waiter>>>,
+    next_token: AtomicU64,
+}
+
+impl<V: Value> ClusterShared<V> {
+    /// Routes decide events until every node's sender is gone: caches
+    /// each process's first decision, wakes value-waiters, then fans the
+    /// event out to all live taps (dead taps are pruned as they are
+    /// discovered).
+    fn route(self: Arc<Self>, rx: Receiver<(ProcessId, V, Instant)>) {
+        while let Ok((p, v, at)) = rx.recv() {
+            {
+                let mut observed = self.observed.lock();
+                let slot = &mut observed[p.index()];
+                if slot.is_none() {
+                    *slot = Some((v.clone(), at));
+                }
+            }
+            {
+                let mut waiters = self.waiters.lock();
+                if let Some(list) = waiters.get_mut(&v) {
+                    list.retain(|w| {
+                        if w.proxy == p {
+                            let _ = w.tx.send(at);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if list.is_empty() {
+                        waiters.remove(&v);
+                    }
+                }
+            }
+            let mut taps = self.taps.lock();
+            taps.retain(|tap| tap.send((p, v.clone(), at)).is_ok());
+        }
+    }
+
+    /// Registers interest in `value` committing at `proxy`; the returned
+    /// receiver yields the commit's wall-clock instant. The token
+    /// identifies this registration for [`ClusterShared::deregister_waiter`].
+    pub(crate) fn register_waiter(&self, value: V, proxy: ProcessId) -> (u64, Receiver<Instant>) {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.waiters
+            .lock()
+            .entry(value)
+            .or_default()
+            .push(Waiter { proxy, token, tx });
+        (token, rx)
+    }
+
+    /// Drops a registration that timed out without being woken.
+    pub(crate) fn deregister_waiter(&self, value: &V, token: u64) {
+        let mut waiters = self.waiters.lock();
+        if let Some(list) = waiters.get_mut(value) {
+            list.retain(|w| w.token != token);
+            if list.is_empty() {
+                waiters.remove(value);
+            }
+        }
+    }
+}
+
 /// A running cluster of protocol instances.
+///
+/// Construct with [`ClusterBuilder`](crate::ClusterBuilder) (or the
+/// [`Cluster::in_memory`] / [`Cluster::tcp`] conveniences it subsumes).
 ///
 /// # Example
 ///
@@ -37,29 +127,44 @@ use crate::RuntimeError;
 pub struct Cluster<V: Value> {
     cfg: SystemConfig,
     nodes: Vec<NodeHandle<V>>,
-    decisions_rx: Receiver<(ProcessId, V, Instant)>,
-    observed: Mutex<Vec<Option<(V, Instant)>>>,
+    shared: Arc<ClusterShared<V>>,
+    obs: ObserverHandle,
     started: Instant,
 }
 
 impl<V: Value> Cluster<V> {
-    /// Spawns the cluster over the in-memory transport.
-    ///
-    /// `wall_delta` is the wall-clock duration of one `Δ`; it bounds the
-    /// protocol's timeouts (fast-path window `2Δ`, ballot retry `5Δ`).
-    pub fn in_memory<P, F>(cfg: SystemConfig, wall_delta: WallDuration, make: F) -> Self
-    where
-        P: Protocol<V> + 'static,
-        F: FnMut(ProcessId) -> P,
-    {
-        Self::in_memory_observed(cfg, wall_delta, make, ObserverHandle::none())
+    /// Wires up the shared decision state and router thread around
+    /// freshly spawned nodes.
+    fn assemble(
+        cfg: SystemConfig,
+        nodes: Vec<NodeHandle<V>>,
+        decisions: Receiver<(ProcessId, V, Instant)>,
+        obs: ObserverHandle,
+    ) -> Self {
+        let shared = Arc::new(ClusterShared {
+            observed: Mutex::new(vec![None; cfg.n()]),
+            taps: Mutex::new(Vec::new()),
+            waiters: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(0),
+        });
+        let router = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("twostep-cluster-router".into())
+            .spawn(move || router.route(decisions))
+            .expect("spawn router thread");
+        Cluster {
+            cfg,
+            nodes,
+            shared,
+            obs,
+            started: Instant::now(),
+        }
     }
 
-    /// Like [`Cluster::in_memory`], with telemetry hooks: every node
-    /// reports per-kind wire bytes and its wall-clock decision latency
-    /// (microseconds) to `obs`; pass the same handle to the protocols'
-    /// `observed` builders inside `make` for protocol-level events.
-    pub fn in_memory_observed<P, F>(
+    /// Spawns a cluster over the in-memory transport (used by
+    /// [`ClusterBuilder`](crate::ClusterBuilder) and the conveniences
+    /// below).
+    pub(crate) fn assemble_in_memory<P, F>(
         cfg: SystemConfig,
         wall_delta: WallDuration,
         mut make: F,
@@ -75,50 +180,23 @@ impl<V: Value> Cluster<V> {
         let mut nodes = Vec::with_capacity(n);
         for (i, inbox) in inboxes.into_iter().enumerate() {
             let p = ProcessId::new(i as u32);
-            nodes.push(spawn_observed(
+            nodes.push(spawn_node(
                 make(p),
                 inbox,
                 transport.clone(),
-                wall_delta,
-                dtx.clone(),
-                obs.clone(),
+                NodeOptions::new(dtx.clone())
+                    .wall_delta(wall_delta)
+                    .observed(obs.clone()),
             ));
         }
-        Cluster {
-            cfg,
-            nodes,
-            decisions_rx: drx,
-            observed: Mutex::new(vec![None; n]),
-            started: Instant::now(),
-        }
+        drop(dtx);
+        Self::assemble(cfg, nodes, drx, obs)
     }
 
-    /// Spawns the cluster over localhost TCP (real sockets, framing and
-    /// the binary codec on every hop).
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket setup failures.
-    pub fn tcp<P, F>(
-        cfg: SystemConfig,
-        wall_delta: WallDuration,
-        make: F,
-    ) -> Result<Self, RuntimeError>
-    where
-        P: Protocol<V> + 'static,
-        F: FnMut(ProcessId) -> P,
-    {
-        Self::tcp_observed(cfg, wall_delta, make, ObserverHandle::none())
-    }
-
-    /// Like [`Cluster::tcp`], with telemetry hooks: in addition to the
-    /// node-level reports of [`Cluster::in_memory_observed`], the TCP
-    /// transports report dropped messages and send-path reconnects.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket setup failures.
-    pub fn tcp_observed<P, F>(
+    /// Spawns a cluster over localhost TCP (used by
+    /// [`ClusterBuilder`](crate::ClusterBuilder) and the conveniences
+    /// below).
+    pub(crate) fn assemble_tcp<P, F>(
         cfg: SystemConfig,
         wall_delta: WallDuration,
         mut make: F,
@@ -141,24 +219,85 @@ impl<V: Value> Cluster<V> {
         for (i, listener) in listeners.into_iter().enumerate() {
             let p = ProcessId::new(i as u32);
             let (inbox_tx, inbox_rx) = crossbeam::channel::unbounded();
-            let transport =
-                TcpTransport::new_observed(p, addrs.clone(), listener, inbox_tx, obs.clone());
-            nodes.push(spawn_observed(
+            let transport = TcpTransport::spawn(p, addrs.clone(), listener, inbox_tx, obs.clone());
+            nodes.push(spawn_node(
                 make(p),
                 inbox_rx,
                 transport,
-                wall_delta,
-                dtx.clone(),
-                obs.clone(),
+                NodeOptions::new(dtx.clone())
+                    .wall_delta(wall_delta)
+                    .observed(obs.clone()),
             ));
         }
-        Ok(Cluster {
-            cfg,
-            nodes,
-            decisions_rx: drx,
-            observed: Mutex::new(vec![None; n]),
-            started: Instant::now(),
-        })
+        drop(dtx);
+        Ok(Self::assemble(cfg, nodes, drx, obs))
+    }
+
+    /// Spawns the cluster over the in-memory transport.
+    ///
+    /// `wall_delta` is the wall-clock duration of one `Δ`; it bounds the
+    /// protocol's timeouts (fast-path window `2Δ`, ballot retry `5Δ`).
+    pub fn in_memory<P, F>(cfg: SystemConfig, wall_delta: WallDuration, make: F) -> Self
+    where
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        Self::assemble_in_memory(cfg, wall_delta, make, ObserverHandle::none())
+    }
+
+    /// Like [`Cluster::in_memory`], with telemetry hooks: every node
+    /// reports per-kind wire bytes and its wall-clock decision latency
+    /// (microseconds) to `obs`; pass the same handle to the protocols'
+    /// `observed` builders inside `make` for protocol-level events.
+    pub fn in_memory_observed<P, F>(
+        cfg: SystemConfig,
+        wall_delta: WallDuration,
+        make: F,
+        obs: ObserverHandle,
+    ) -> Self
+    where
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        Self::assemble_in_memory(cfg, wall_delta, make, obs)
+    }
+
+    /// Spawns the cluster over localhost TCP (real sockets, framing and
+    /// the binary codec on every hop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures.
+    pub fn tcp<P, F>(
+        cfg: SystemConfig,
+        wall_delta: WallDuration,
+        make: F,
+    ) -> Result<Self, RuntimeError>
+    where
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        Self::assemble_tcp(cfg, wall_delta, make, ObserverHandle::none())
+    }
+
+    /// Like [`Cluster::tcp`], with telemetry hooks: in addition to the
+    /// node-level reports of [`Cluster::in_memory_observed`], the TCP
+    /// transports report dropped messages and send-path reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures.
+    pub fn tcp_observed<P, F>(
+        cfg: SystemConfig,
+        wall_delta: WallDuration,
+        make: F,
+        obs: ObserverHandle,
+    ) -> Result<Self, RuntimeError>
+    where
+        P: Protocol<V> + 'static,
+        F: FnMut(ProcessId) -> P,
+    {
+        Self::assemble_tcp(cfg, wall_delta, make, obs)
     }
 
     /// The deployed configuration.
@@ -176,47 +315,49 @@ impl<V: Value> Cluster<V> {
         self.nodes[p.index()].propose(value);
     }
 
+    /// A client handle bound to the proxy at `p`: it can submit
+    /// commands and wait for their commit, measuring per-command
+    /// latency (see [`ProxyClient::submit_and_wait`]). Any number of
+    /// clients may share one proxy.
+    pub fn proxy_client(&self, p: ProcessId) -> ProxyClient<V> {
+        ProxyClient::new(
+            p,
+            self.nodes[p.index()].control(),
+            Arc::clone(&self.shared),
+            self.obs.clone(),
+        )
+    }
+
     /// Crashes node `p`: it stops participating immediately.
     pub fn crash(&mut self, p: ProcessId) {
         self.nodes[p.index()].crash();
     }
 
-    fn drain(&self) {
-        let mut observed = self.observed.lock();
-        while let Ok((p, v, at)) = self.decisions_rx.try_recv() {
-            let slot = &mut observed[p.index()];
-            if slot.is_none() {
-                *slot = Some((v, at));
-            }
-        }
-    }
-
     /// The first decision of `p` observed so far, without blocking.
     pub fn decision_of(&self, p: ProcessId) -> Option<V> {
-        self.drain();
-        self.observed.lock()[p.index()]
+        self.shared.observed.lock()[p.index()]
             .as_ref()
             .map(|(v, _)| v.clone())
     }
 
     /// Waits until `p` decides or `timeout` elapses; returns the value.
     pub fn await_decision(&self, p: ProcessId, timeout: WallDuration) -> Option<V> {
+        // Subscribe before checking the cache so an event landing in
+        // between is seen either way (no lost wakeup).
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.shared.taps.lock().push(tx);
+        if let Some(v) = self.decision_of(p) {
+            return Some(v);
+        }
         let deadline = Instant::now() + timeout;
         loop {
-            if let Some(v) = self.decision_of(p) {
-                return Some(v);
-            }
             let now = Instant::now();
             if now >= deadline {
                 return None;
             }
-            match self.decisions_rx.recv_timeout(deadline - now) {
-                Ok((q, v, at)) => {
-                    let mut observed = self.observed.lock();
-                    if observed[q.index()].is_none() {
-                        observed[q.index()] = Some((v, at));
-                    }
-                }
+            match rx.recv_timeout(deadline - now) {
+                Ok((q, v, _)) if q == p => return Some(v),
+                Ok(_) => {}
                 Err(_) => return None,
             }
         }
@@ -241,16 +382,15 @@ impl<V: Value> Cluster<V> {
 
     /// The decision latency of `p` relative to cluster start, if decided.
     pub fn decision_latency(&self, p: ProcessId) -> Option<WallDuration> {
-        self.drain();
-        self.observed.lock()[p.index()]
+        self.shared.observed.lock()[p.index()]
             .as_ref()
             .map(|(_, at)| at.duration_since(self.started))
     }
 
     /// All first decisions observed so far, by process.
     pub fn decisions(&self) -> Vec<Option<V>> {
-        self.drain();
-        self.observed
+        self.shared
+            .observed
             .lock()
             .iter()
             .map(|slot| slot.as_ref().map(|(v, _)| v.clone()))
@@ -351,6 +491,21 @@ mod tests {
             Some(2)
         );
         assert_eq!(cluster.decision_of(p(0)), None);
+    }
+
+    #[test]
+    fn proxy_client_sees_own_proxy_decisions() {
+        let cfg = SystemConfig::for_protocol(ProtocolKind::TaskTwoStep, 3, 1, 1).unwrap();
+        let n = cfg.n();
+        let cluster = Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Relay {
+            me: q,
+            n,
+            decided: None,
+        });
+        let client = cluster.proxy_client(p(1));
+        let latency = client.submit_and_wait(61, WallDuration::from_secs(5));
+        assert!(latency.is_some(), "client never saw its command commit");
+        assert_eq!(cluster.decision_of(p(1)), Some(61));
     }
 
     #[test]

@@ -103,6 +103,97 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
     }
 }
 
+/// Tag identifying a *coalesced* frame: one transport payload carrying
+/// many encoded messages (see [`pack_frame`]).
+///
+/// The value is reserved by construction: every message this workspace
+/// puts on the wire is a serde enum (`SmrMsg`, protocol `Msg`, the test
+/// protocols), and the codec above encodes enums as a little-endian
+/// `u32` *variant index* first. Variant indices are tiny (single
+/// digits), so a legacy single-message payload can never begin with
+/// this 32-bit pattern — which is what lets [`unpack_frame`] dispatch
+/// on the first four bytes and keep backward compatibility with peers
+/// that still write one message per transport frame.
+pub const FRAME_MAGIC: u32 = 0xC0A1_E5CE;
+
+/// Packs `payloads` (each one encoded message) into a single coalesced
+/// frame:
+///
+/// ```text
+/// [FRAME_MAGIC: u32 LE][count: u32 LE] ([len: u32 LE][payload bytes])*
+/// ```
+///
+/// The inverse is [`unpack_frame`]. Transports use this so one syscall
+/// (or one in-memory channel send) can carry a whole flush of messages.
+///
+/// # Panics
+///
+/// Panics if a payload exceeds `u32::MAX` bytes or there are more than
+/// `u32::MAX` payloads (far beyond any real flush).
+pub fn pack_frame(payloads: &[bytes::Bytes]) -> bytes::Bytes {
+    let body: usize = payloads.iter().map(|p| 4 + p.len()).sum();
+    let mut out = Vec::with_capacity(8 + body);
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    let count = u32::try_from(payloads.len()).expect("frame message count fits u32");
+    out.extend_from_slice(&count.to_le_bytes());
+    for p in payloads {
+        let len = u32::try_from(p.len()).expect("frame payload length fits u32");
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    bytes::Bytes::from(out)
+}
+
+/// Splits a transport payload into its constituent message payloads.
+///
+/// A payload beginning with [`FRAME_MAGIC`] is parsed as a coalesced
+/// frame; anything else is a legacy single-message payload and is
+/// returned as-is in a one-element vector, so old and new senders
+/// interoperate.
+///
+/// # Errors
+///
+/// Returns [`CodecError::UnexpectedEof`] if a coalesced frame is
+/// truncated mid-header or mid-payload, and
+/// [`CodecError::TrailingBytes`] if bytes remain after the advertised
+/// message count.
+pub fn unpack_frame(payload: &bytes::Bytes) -> Result<Vec<bytes::Bytes>, CodecError> {
+    let buf: &[u8] = payload;
+    let is_framed = buf.len() >= 4 && buf[..4] == FRAME_MAGIC.to_le_bytes();
+    if !is_framed {
+        return Ok(vec![payload.clone()]);
+    }
+    let mut rest = &buf[4..];
+    let take4 = |rest: &mut &[u8]| -> Result<u32, CodecError> {
+        if rest.len() < 4 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, tail) = rest.split_at(4);
+        *rest = tail;
+        Ok(u32::from_le_bytes(head.try_into().expect("exact length")))
+    };
+    let count = take4(&mut rest)?;
+    let mut msgs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = take4(&mut rest)? as usize;
+        if rest.len() < len {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, tail) = rest.split_at(len);
+        // The vendored `Bytes` has no zero-copy `slice`; copying the
+        // sub-payload out is the supported extraction path.
+        msgs.push(bytes::Bytes::from(head.to_vec()));
+        rest = tail;
+    }
+    if rest.is_empty() {
+        Ok(msgs)
+    } else {
+        Err(CodecError::TrailingBytes {
+            remaining: rest.len(),
+        })
+    }
+}
+
 struct Encoder<'a> {
     out: &'a mut Vec<u8>,
 }
@@ -712,6 +803,62 @@ mod tests {
         bytes.push(0xFF);
         let err = from_bytes::<String>(&bytes).unwrap_err();
         assert_eq!(err, CodecError::InvalidUtf8);
+    }
+
+    #[test]
+    fn frame_roundtrips_many_messages() {
+        let payloads: Vec<bytes::Bytes> = (0..5u64)
+            .map(|i| bytes::Bytes::from(to_bytes(&(i, format!("msg{i}"))).unwrap()))
+            .collect();
+        let frame = pack_frame(&payloads);
+        let back = unpack_frame(&frame).unwrap();
+        assert_eq!(back, payloads);
+    }
+
+    #[test]
+    fn frame_roundtrips_empty_and_single() {
+        assert_eq!(
+            unpack_frame(&pack_frame(&[])).unwrap(),
+            Vec::<bytes::Bytes>::new()
+        );
+        let one = bytes::Bytes::from(to_bytes(&7u64).unwrap());
+        assert_eq!(
+            unpack_frame(&pack_frame(std::slice::from_ref(&one))).unwrap(),
+            vec![one]
+        );
+    }
+
+    #[test]
+    fn legacy_single_message_passes_through() {
+        // An enum-first payload starts with a small variant index, never
+        // the magic, so it is returned untouched.
+        let legacy = bytes::Bytes::from(to_bytes(&Sample::Newtype(7)).unwrap());
+        assert_eq!(unpack_frame(&legacy).unwrap(), vec![legacy.clone()]);
+        // Even degenerate short payloads are treated as legacy.
+        let short = bytes::Bytes::from(vec![1u8, 2]);
+        assert_eq!(unpack_frame(&short).unwrap(), vec![short.clone()]);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let payloads = vec![bytes::Bytes::from(vec![9u8; 32])];
+        let frame = pack_frame(&payloads);
+        for cut in [5, 8, 10, frame.len() - 1] {
+            let truncated = bytes::Bytes::from(frame[..cut].to_vec());
+            assert_eq!(
+                unpack_frame(&truncated).unwrap_err(),
+                CodecError::UnexpectedEof,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_trailing_bytes_rejected() {
+        let mut raw = pack_frame(&[bytes::Bytes::from(vec![1u8, 2, 3])]).to_vec();
+        raw.push(0xAA);
+        let err = unpack_frame(&bytes::Bytes::from(raw)).unwrap_err();
+        assert_eq!(err, CodecError::TrailingBytes { remaining: 1 });
     }
 
     #[test]

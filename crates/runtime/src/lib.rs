@@ -16,6 +16,13 @@
 //! * [`Cluster`] — spawns `n` nodes, wires the transport, and exposes
 //!   the client's view: `propose` at a proxy, await decisions, observe
 //!   latency, crash nodes.
+//! * [`ClusterBuilder`] — the one fluent construction path (transport
+//!   choice, observer, batching/pipeline knobs), including
+//!   batteries-included SMR deployments via
+//!   [`ClusterBuilder::build_smr`].
+//! * [`ProxyClient`] — a closed-loop client bound to one proxy:
+//!   submit a command, wait for its commit, measure per-command
+//!   (amortized) latency.
 //!
 //! Design note: the runtime deliberately contains *no protocol logic* —
 //! crash injection is thread shutdown, timeouts are the protocol's own
@@ -25,13 +32,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod cluster;
 pub mod codec;
 mod error;
 pub mod node;
+mod proxy;
 mod transport;
 
+pub use builder::ClusterBuilder;
 pub use cluster::Cluster;
 pub use error::RuntimeError;
-pub use node::{Control, NodeHandle};
-pub use transport::{InMemoryTransport, TcpTransport, Transport, RECONNECT_BACKOFF};
+pub use node::{Control, NodeHandle, NodeOptions};
+pub use proxy::ProxyClient;
+pub use transport::{InMemoryTransport, TcpTransport, Transport, MAX_COALESCE, RECONNECT_BACKOFF};

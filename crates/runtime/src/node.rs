@@ -43,6 +43,12 @@ impl<V> NodeHandle<V> {
         let _ = self.control.send(Control::Propose(value));
     }
 
+    /// A clone of the control channel, for client handles that outlive
+    /// borrows of the node (see `ProxyClient`).
+    pub(crate) fn control(&self) -> Sender<Control<V>> {
+        self.control.clone()
+    }
+
     /// Crashes the node: it stops processing immediately.
     pub fn crash(&mut self) {
         let _ = self.control.send(Control::Shutdown);
@@ -66,50 +72,67 @@ impl<V> Drop for NodeHandle<V> {
     }
 }
 
-/// Spawns `protocol` on its own thread.
+/// Engine-level options for [`spawn_node`].
 ///
-/// * `inbox` — encoded messages from the transport's receive side.
-/// * `transport` — used for this node's sends (self-sends included).
 /// * `wall_delta` — the wall-clock duration of one `Δ`; protocol timer
 ///   delays (expressed in virtual units where `Δ` = [`DELTA`]) are
-///   scaled by `wall_delta / Δ`.
+///   scaled by `wall_delta / Δ`. Defaults to 10ms.
 /// * `decisions` — every `decide(v)` event is reported as
 ///   `(id, v, wall time)`.
-pub fn spawn<V, P, T>(
-    protocol: P,
-    inbox: Receiver<(ProcessId, Bytes)>,
-    transport: T,
-    wall_delta: WallDuration,
-    decisions: Sender<(ProcessId, V, Instant)>,
-) -> NodeHandle<V>
-where
-    V: Value,
-    P: Protocol<V> + 'static,
-    T: Transport,
-{
-    spawn_observed(
-        protocol,
-        inbox,
-        transport,
-        wall_delta,
-        decisions,
-        ObserverHandle::none(),
-    )
+/// * `observer` — engine telemetry: per-kind encoded sizes
+///   (`bytes_sent`) and this process's first decision latency in
+///   wall-clock **microseconds** since node start (`decision_latency`).
+///   Protocol-level events are reported by the protocol instance itself
+///   — pass the same handle to its builder's `observed`.
+#[derive(Debug, Clone)]
+pub struct NodeOptions<V> {
+    /// Wall-clock length of one `Δ`.
+    pub wall_delta: WallDuration,
+    /// Sink for `decide(v)` events.
+    pub decisions: Sender<(ProcessId, V, Instant)>,
+    /// Engine telemetry hooks (detached by default).
+    pub observer: ObserverHandle,
 }
 
-/// Like [`spawn`], with telemetry hooks: the node reports each message's
-/// encoded size per wire kind (`bytes_sent`) and this process's first
-/// decision latency in wall-clock **microseconds** since the node
-/// started (`decision_latency`). Protocol-level events (decision paths,
-/// recovery cases, …) are reported by the protocol instance itself —
-/// pass the same handle to its `observed` builder.
-pub fn spawn_observed<V, P, T>(
+impl<V> NodeOptions<V> {
+    /// Options with the default Δ (10ms) and no observer.
+    pub fn new(decisions: Sender<(ProcessId, V, Instant)>) -> Self {
+        NodeOptions {
+            wall_delta: WallDuration::from_millis(10),
+            decisions,
+            observer: ObserverHandle::none(),
+        }
+    }
+
+    /// Sets the wall-clock length of one `Δ`.
+    #[must_use]
+    pub fn wall_delta(mut self, wall_delta: WallDuration) -> Self {
+        self.wall_delta = wall_delta;
+        self
+    }
+
+    /// Attaches engine telemetry hooks.
+    #[must_use]
+    pub fn observed(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
+    }
+}
+
+/// Spawns `protocol` on its own thread.
+///
+/// * `inbox` — encoded messages from the transport's receive side;
+///   coalesced frames ([`codec::pack_frame`]) are split and dispatched
+///   message by message.
+/// * `transport` — used for this node's sends (self-sends included).
+///   One protocol step's sends are grouped per destination and handed
+///   to [`Transport::send_many`] as a burst, so coalescing transports
+///   move them in one operation.
+pub fn spawn_node<V, P, T>(
     mut protocol: P,
     inbox: Receiver<(ProcessId, Bytes)>,
     transport: T,
-    wall_delta: WallDuration,
-    decisions: Sender<(ProcessId, V, Instant)>,
-    obs: ObserverHandle,
+    opts: NodeOptions<V>,
 ) -> NodeHandle<V>
 where
     V: Value,
@@ -125,10 +148,10 @@ where
             let mut node = NodeCtx {
                 id,
                 transport,
-                wall_delta,
+                wall_delta: opts.wall_delta,
                 timers: HashMap::new(),
-                decisions,
-                obs,
+                decisions: opts.decisions,
+                obs: opts.observer,
                 started,
                 decided: false,
             };
@@ -161,15 +184,19 @@ where
                 crossbeam::channel::select! {
                     recv(inbox) -> msg => match msg {
                         Ok((from, payload)) => {
-                            match codec::from_bytes::<P::Message>(&payload) {
-                                Ok(decoded) => {
-                                    let mut eff = Effects::new();
-                                    protocol.on_message(from, decoded, &mut eff);
-                                    node.apply(eff);
-                                }
-                                Err(_) => {
-                                    // A malformed frame is dropped; the
-                                    // sender's retransmissions recover.
+                            // A transport payload may be a coalesced
+                            // frame carrying many messages; a malformed
+                            // envelope drops the whole frame, a
+                            // malformed sub-payload only itself.
+                            if let Ok(msgs) = codec::unpack_frame(&payload) {
+                                for m in msgs {
+                                    if let Ok(decoded) =
+                                        codec::from_bytes::<P::Message>(&m)
+                                    {
+                                        let mut eff = Effects::new();
+                                        protocol.on_message(from, decoded, &mut eff);
+                                        node.apply(eff);
+                                    }
                                 }
                             }
                         }
@@ -194,6 +221,56 @@ where
         control: control_tx,
         join: Some(join),
     }
+}
+
+/// Spawns `protocol` unobserved with an explicit Δ.
+#[deprecated(since = "0.1.0", note = "use `spawn_node` with `NodeOptions`")]
+pub fn spawn<V, P, T>(
+    protocol: P,
+    inbox: Receiver<(ProcessId, Bytes)>,
+    transport: T,
+    wall_delta: WallDuration,
+    decisions: Sender<(ProcessId, V, Instant)>,
+) -> NodeHandle<V>
+where
+    V: Value,
+    P: Protocol<V> + 'static,
+    T: Transport,
+{
+    spawn_node(
+        protocol,
+        inbox,
+        transport,
+        NodeOptions::new(decisions).wall_delta(wall_delta),
+    )
+}
+
+/// Spawns `protocol` with telemetry hooks and an explicit Δ.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `spawn_node` with `NodeOptions::new(..).observed(obs)`"
+)]
+pub fn spawn_observed<V, P, T>(
+    protocol: P,
+    inbox: Receiver<(ProcessId, Bytes)>,
+    transport: T,
+    wall_delta: WallDuration,
+    decisions: Sender<(ProcessId, V, Instant)>,
+    obs: ObserverHandle,
+) -> NodeHandle<V>
+where
+    V: Value,
+    P: Protocol<V> + 'static,
+    T: Transport,
+{
+    spawn_node(
+        protocol,
+        inbox,
+        transport,
+        NodeOptions::new(decisions)
+            .wall_delta(wall_delta)
+            .observed(obs),
+    )
 }
 
 /// The per-thread engine state shared by every effect application.
@@ -221,13 +298,21 @@ impl<V: Value, T: Transport> NodeCtx<V, T> {
             }
             let _ = self.decisions.send((self.id, v, at));
         }
+        // Group the step's sends per destination (preserving each
+        // destination's order) so a coalescing transport can flush one
+        // burst per peer instead of one frame per message.
+        let mut by_dest: Vec<(ProcessId, Vec<Bytes>)> = Vec::new();
         for (to, msg) in eff.sends {
             match codec::to_bytes(&msg) {
                 Ok(bytes) => {
                     if self.obs.is_attached() {
                         self.obs.bytes_sent(self.id, &msg_kind(&msg), bytes.len());
                     }
-                    self.transport.send(self.id, to, Bytes::from(bytes));
+                    let payload = Bytes::from(bytes);
+                    match by_dest.iter_mut().find(|(d, _)| *d == to) {
+                        Some((_, burst)) => burst.push(payload),
+                        None => by_dest.push((to, vec![payload])),
+                    }
                 }
                 Err(_) => {
                     // Unencodable messages indicate a bug in the value
@@ -235,6 +320,9 @@ impl<V: Value, T: Transport> NodeCtx<V, T> {
                     debug_assert!(false, "failed to encode outgoing message");
                 }
             }
+        }
+        for (to, burst) in by_dest {
+            self.transport.send_many(self.id, to, burst);
         }
         for (timer, delay) in eff.timer_sets {
             let wall = self
@@ -310,15 +398,27 @@ mod tests {
         ProcessId::new(i)
     }
 
+    fn spawn_toy(
+        me: ProcessId,
+        inbox: Receiver<(ProcessId, Bytes)>,
+        transport: InMemoryTransport,
+        wall_delta: WallDuration,
+        dtx: Sender<(ProcessId, u64, Instant)>,
+    ) -> NodeHandle<u64> {
+        spawn_node(
+            Toy { me, decided: None },
+            inbox,
+            transport,
+            NodeOptions::new(dtx).wall_delta(wall_delta),
+        )
+    }
+
     #[test]
     fn propose_reaches_protocol_and_decision_reported() {
         let (transport, mut inboxes) = InMemoryTransport::new(1);
         let (dtx, drx) = crossbeam::channel::unbounded();
-        let node = spawn(
-            Toy {
-                me: p(0),
-                decided: None,
-            },
+        let node = spawn_toy(
+            p(0),
             inboxes.remove(0),
             transport,
             WallDuration::from_millis(10),
@@ -335,21 +435,15 @@ mod tests {
         let (dtx, drx) = crossbeam::channel::unbounded();
         let rx1 = inboxes.pop().unwrap();
         let rx0 = inboxes.pop().unwrap();
-        let _n0 = spawn(
-            Toy {
-                me: p(0),
-                decided: None,
-            },
+        let _n0 = spawn_toy(
+            p(0),
             rx0,
             transport.clone(),
             WallDuration::from_millis(10),
             dtx.clone(),
         );
-        let _n1 = spawn(
-            Toy {
-                me: p(1),
-                decided: None,
-            },
+        let _n1 = spawn_toy(
+            p(1),
             rx1,
             transport.clone(),
             WallDuration::from_millis(10),
@@ -364,15 +458,38 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_inbox_frames_are_dispatched_per_message() {
+        let (transport, mut inboxes) = InMemoryTransport::new(1);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let _node = spawn_toy(
+            p(0),
+            inboxes.remove(0),
+            transport.clone(),
+            WallDuration::from_millis(10),
+            dtx,
+        );
+        // Two deciding messages coalesced into one transport payload:
+        // both must reach the protocol, in order.
+        transport.send_many(
+            p(0),
+            p(0),
+            vec![
+                Bytes::from(codec::to_bytes(&Echo(11)).unwrap()),
+                Bytes::from(codec::to_bytes(&Echo(12)).unwrap()),
+            ],
+        );
+        let (_, v1, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        let (_, v2, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((v1, v2), (11, 12));
+    }
+
+    #[test]
     fn timer_fires_at_wall_deadline() {
         let (transport, mut inboxes) = InMemoryTransport::new(1);
         let (dtx, drx) = crossbeam::channel::unbounded();
         let started = Instant::now();
-        let _node = spawn(
-            Toy {
-                me: p(0),
-                decided: None,
-            },
+        let _node = spawn_toy(
+            p(0),
             inboxes.remove(0),
             transport,
             WallDuration::from_millis(5), // Δ = 5ms → timer at 20ms
@@ -391,11 +508,8 @@ mod tests {
     fn crash_stops_processing() {
         let (transport, mut inboxes) = InMemoryTransport::new(1);
         let (dtx, drx) = crossbeam::channel::unbounded();
-        let mut node = spawn(
-            Toy {
-                me: p(0),
-                decided: None,
-            },
+        let mut node = spawn_toy(
+            p(0),
             inboxes.remove(0),
             transport,
             WallDuration::from_millis(10),
@@ -411,17 +525,18 @@ mod tests {
     fn malformed_frames_are_dropped() {
         let (transport, mut inboxes) = InMemoryTransport::new(1);
         let (dtx, drx) = crossbeam::channel::unbounded();
-        let _node = spawn(
-            Toy {
-                me: p(0),
-                decided: None,
-            },
+        let _node = spawn_toy(
+            p(0),
             inboxes.remove(0),
             transport.clone(),
             WallDuration::from_millis(10),
             dtx,
         );
         transport.send(p(0), p(0), Bytes::from_static(b"\xFF\xFF"));
+        // A truncated coalesced frame (valid magic, missing body) must
+        // also be survivable.
+        let packed = codec::pack_frame(&[Bytes::from_static(b"\x00\x00\x00\x00")]);
+        transport.send(p(0), p(0), Bytes::from(packed[..6].to_vec()));
         // Node survives garbage and still handles proposals.
         _node.propose(7);
         let (_, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();

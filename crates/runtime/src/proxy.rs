@@ -1,0 +1,88 @@
+//! Client handles bound to one proxy replica.
+
+use std::sync::Arc;
+use std::time::{Duration as WallDuration, Instant};
+
+use crossbeam::channel::Sender;
+
+use twostep_telemetry::ObserverHandle;
+use twostep_types::{ProcessId, Value};
+
+use crate::cluster::ClusterShared;
+use crate::node::Control;
+
+/// A closed-loop client of one proxy node.
+///
+/// Obtained from [`Cluster::proxy_client`](crate::Cluster::proxy_client).
+/// Each in-flight [`ProxyClient::submit_and_wait`] registers a
+/// value-keyed waiter with the cluster router, so concurrent clients
+/// (even on the same proxy) wait for their own commands independently —
+/// the closed-loop pattern the throughput harness drives — and the
+/// router's per-event cost stays O(1) in the number of clients.
+///
+/// Clients identify their commands **by value**: submit values that are
+/// unique per client (e.g. a key embedding the client id and a sequence
+/// number) or [`ProxyClient::submit_and_wait`] may match another
+/// client's identical command committing first. For measuring commit
+/// latency that early match is harmless — some copy of the value
+/// committed — but sequencing guarantees only hold for unique values.
+pub struct ProxyClient<V> {
+    proxy: ProcessId,
+    control: Sender<Control<V>>,
+    shared: Arc<ClusterShared<V>>,
+    obs: ObserverHandle,
+}
+
+impl<V: Value> ProxyClient<V> {
+    pub(crate) fn new(
+        proxy: ProcessId,
+        control: Sender<Control<V>>,
+        shared: Arc<ClusterShared<V>>,
+        obs: ObserverHandle,
+    ) -> Self {
+        ProxyClient {
+            proxy,
+            control,
+            shared,
+            obs,
+        }
+    }
+
+    /// The proxy this client submits to.
+    pub fn proxy(&self) -> ProcessId {
+        self.proxy
+    }
+
+    /// Fire-and-forget submission; silently dropped if the proxy
+    /// crashed.
+    pub fn propose(&self, value: V) {
+        let _ = self.control.send(Control::Propose(value));
+    }
+
+    /// Submits `value` and blocks until the proxy reports it decided
+    /// (in whatever slot/batch it ended up in), or `timeout` elapses.
+    ///
+    /// Returns the wall-clock submit→commit latency. With batching this
+    /// is the per-command *amortized* latency — each command in a batch
+    /// observes its own wait — and it is reported to the attached
+    /// observer's `amortized_latency` hook in microseconds.
+    pub fn submit_and_wait(&self, value: V, timeout: WallDuration) -> Option<WallDuration> {
+        let start = Instant::now();
+        // Register before proposing so the commit event cannot race past
+        // an unregistered waiter (no lost wakeup).
+        let (token, rx) = self.shared.register_waiter(value.clone(), self.proxy);
+        self.propose(value.clone());
+        match rx.recv_timeout(timeout) {
+            Ok(_at) => {
+                let latency = start.elapsed();
+                let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+                self.obs.amortized_latency(self.proxy, us);
+                Some(latency)
+            }
+            Err(_) => {
+                self.shared.deregister_waiter(&value, token);
+                None
+            }
+        }
+    }
+}

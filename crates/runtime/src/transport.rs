@@ -6,13 +6,13 @@ use std::sync::Arc;
 use std::thread;
 
 use bytes::Bytes;
-use crossbeam::channel::Sender;
+use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
 use twostep_telemetry::ObserverHandle;
 use twostep_types::ProcessId;
 
-use crate::RuntimeError;
+use crate::{codec, RuntimeError};
 
 /// A way to move encoded messages between processes.
 ///
@@ -23,9 +23,27 @@ use crate::RuntimeError;
 pub trait Transport: Send + Sync + 'static {
     /// Delivers `payload` from `from` to `to`'s inbox, best-effort.
     fn send(&self, from: ProcessId, to: ProcessId, payload: Bytes);
+
+    /// Delivers a burst of payloads from `from` to `to`, best-effort and
+    /// in order.
+    ///
+    /// This is the coalescing hook: implementations that can move many
+    /// messages in one underlying operation (one syscall, one channel
+    /// send) should override it — see [`codec::pack_frame`]. The default
+    /// simply loops over [`Transport::send`].
+    fn send_many(&self, from: ProcessId, to: ProcessId, payloads: Vec<Bytes>) {
+        for p in payloads {
+            self.send(from, to, p);
+        }
+    }
 }
 
 /// In-memory transport: each node's inbox is a crossbeam channel.
+///
+/// A multi-payload [`Transport::send_many`] is coalesced into one
+/// channel send carrying a packed frame; receivers split it back apart
+/// with [`codec::unpack_frame`] (the runtime node does this for every
+/// inbox payload).
 ///
 /// # Example
 ///
@@ -72,31 +90,58 @@ impl Transport for InMemoryTransport {
             let _ = tx.send((from, payload));
         }
     }
+
+    fn send_many(&self, from: ProcessId, to: ProcessId, payloads: Vec<Bytes>) {
+        match payloads.len() {
+            0 => {}
+            1 => self.send(from, to, payloads.into_iter().next().expect("len checked")),
+            _ => self.send(from, to, codec::pack_frame(&payloads)),
+        }
+    }
 }
 
 /// TCP transport over localhost (or any reachable addresses): one
-/// listener per process, lazily-established outgoing connections, and
-/// length-prefixed frames.
+/// listener per process, and one send queue + writer thread per
+/// destination.
 ///
 /// Wire format per connection: a 4-byte little-endian sender id
-/// handshake, then frames of `[len: u32 LE][payload]`.
+/// handshake, then frames of `[len: u32 LE][payload]`. A payload is
+/// either a single encoded message or a coalesced multi-message frame
+/// ([`codec::pack_frame`]); the receive path splits coalesced frames
+/// back into individual messages before they reach the inbox, so the
+/// formats interoperate in both directions.
 ///
-/// A failed send gets **one** bounded reconnect attempt (after
-/// [`RECONNECT_BACKOFF`]) before the message is dropped; drops and
+/// Sends are asynchronous: [`Transport::send`] enqueues and returns.
+/// The destination's writer thread drains its queue — everything queued
+/// at flush time (up to [`MAX_COALESCE`]) goes out as **one** frame and
+/// one `write` syscall, which is where batched SMR traffic stops paying
+/// a syscall per message. On a write failure the writer redials once
+/// (after [`RECONNECT_BACKOFF`]) before dropping the flush; drops and
 /// successful reconnects are reported to the attached observer.
 pub struct TcpTransport {
+    inner: Arc<TcpInner>,
+    queues: Mutex<Vec<Option<Sender<Bytes>>>>,
+}
+
+/// State shared with writer threads (deliberately excludes the queues:
+/// writers exit when the queue senders drop, so the transport handle
+/// going away tears the writers down rather than leaking them).
+struct TcpInner {
     me: ProcessId,
     peers: Vec<SocketAddr>,
-    connections: Mutex<Vec<Option<TcpStream>>>,
     obs: ObserverHandle,
 }
 
-/// How long a send waits before its single reconnect attempt.
+/// How long a failed flush waits before its single reconnect attempt.
 pub const RECONNECT_BACKOFF: std::time::Duration = std::time::Duration::from_millis(10);
+
+/// Upper bound on messages coalesced into one wire frame.
+pub const MAX_COALESCE: usize = 128;
 
 impl TcpTransport {
     /// Binds a listener on an OS-assigned localhost port and returns its
-    /// address, for assembling the peer list before [`TcpTransport::new`].
+    /// address, for assembling the peer list before
+    /// [`TcpTransport::spawn`].
     ///
     /// # Errors
     ///
@@ -107,24 +152,16 @@ impl TcpTransport {
         Ok((listener, addr))
     }
 
-    /// Creates the transport for process `me` given everyone's
-    /// listening addresses, and spawns the accept loop feeding `inbox`.
+    /// Creates the transport for process `me` given everyone's listening
+    /// addresses, and spawns the accept loop feeding `inbox`. Pass
+    /// [`ObserverHandle::none`] to run unobserved; with an observer
+    /// attached, dropped flushes (`message_dropped`, once per message)
+    /// and successful redials (`reconnected`) are reported.
     ///
     /// The accept thread runs until the listener is closed (process
-    /// drop) or the inbox receiver goes away.
-    pub fn new(
-        me: ProcessId,
-        peers: Vec<SocketAddr>,
-        listener: TcpListener,
-        inbox: Sender<(ProcessId, Bytes)>,
-    ) -> Arc<Self> {
-        Self::new_observed(me, peers, listener, inbox, ObserverHandle::none())
-    }
-
-    /// Like [`TcpTransport::new`], with telemetry hooks: dropped
-    /// messages (`message_dropped`) and successful send-path reconnects
-    /// (`reconnected`) are reported to `obs`.
-    pub fn new_observed(
+    /// drop) or the inbox receiver goes away; writer threads exit when
+    /// the transport handle is dropped.
+    pub fn spawn(
         me: ProcessId,
         peers: Vec<SocketAddr>,
         listener: TcpListener,
@@ -132,10 +169,8 @@ impl TcpTransport {
         obs: ObserverHandle,
     ) -> Arc<Self> {
         let transport = Arc::new(TcpTransport {
-            me,
-            connections: Mutex::new((0..peers.len()).map(|_| None).collect()),
-            peers,
-            obs,
+            queues: Mutex::new((0..peers.len()).map(|_| None).collect()),
+            inner: Arc::new(TcpInner { me, peers, obs }),
         });
         thread::spawn(move || {
             for stream in listener.incoming() {
@@ -147,34 +182,133 @@ impl TcpTransport {
         transport
     }
 
-    fn connection_to(&self, to: ProcessId) -> Option<TcpStream> {
-        let mut conns = self.connections.lock();
-        let slot = conns.get_mut(to.index())?;
-        if slot.is_none() {
-            let stream = TcpStream::connect(self.peers[to.index()]).ok()?;
-            let mut s = stream.try_clone().ok()?;
-            // Handshake: announce who we are.
-            s.write_all(&self.me.as_u32().to_le_bytes()).ok()?;
-            *slot = Some(s);
-        }
-        slot.as_ref().and_then(|s| s.try_clone().ok())
+    /// Unobserved constructor.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TcpTransport::spawn(..., ObserverHandle::none())`"
+    )]
+    pub fn new(
+        me: ProcessId,
+        peers: Vec<SocketAddr>,
+        listener: TcpListener,
+        inbox: Sender<(ProcessId, Bytes)>,
+    ) -> Arc<Self> {
+        Self::spawn(me, peers, listener, inbox, ObserverHandle::none())
     }
 
-    /// One attempt to put the whole frame on the wire. On failure the
-    /// cached connection is forgotten so the next attempt redials.
-    fn try_send_frame(&self, to: ProcessId, payload: &Bytes) -> bool {
-        let Some(mut stream) = self.connection_to(to) else {
+    /// Observed constructor.
+    #[deprecated(since = "0.1.0", note = "use `TcpTransport::spawn`")]
+    pub fn new_observed(
+        me: ProcessId,
+        peers: Vec<SocketAddr>,
+        listener: TcpListener,
+        inbox: Sender<(ProcessId, Bytes)>,
+        obs: ObserverHandle,
+    ) -> Arc<Self> {
+        Self::spawn(me, peers, listener, inbox, obs)
+    }
+
+    /// The send queue to `to`, lazily spawning its writer thread.
+    fn queue_to(&self, to: ProcessId) -> Option<Sender<Bytes>> {
+        let mut queues = self.queues.lock();
+        let slot = queues.get_mut(to.index())?;
+        if slot.is_none() {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            let inner = Arc::clone(&self.inner);
+            thread::spawn(move || writer_loop(inner, to, rx));
+            *slot = Some(tx);
+        }
+        slot.clone()
+    }
+}
+
+impl Transport for Arc<TcpTransport> {
+    fn send(&self, _from: ProcessId, to: ProcessId, payload: Bytes) {
+        if let Some(q) = self.queue_to(to) {
+            let _ = q.send(payload);
+        }
+    }
+
+    fn send_many(&self, _from: ProcessId, to: ProcessId, payloads: Vec<Bytes>) {
+        if let Some(q) = self.queue_to(to) {
+            for p in payloads {
+                let _ = q.send(p);
+            }
+        }
+    }
+}
+
+/// Drains the send queue toward `to`: each iteration flushes everything
+/// queued (bounded by [`MAX_COALESCE`]) as one wire frame.
+fn writer_loop(inner: Arc<TcpInner>, to: ProcessId, rx: Receiver<Bytes>) {
+    let mut conn: Option<TcpStream> = None;
+    loop {
+        // Block for the first payload; the queue senders dropping is the
+        // shutdown signal.
+        let Ok(first) = rx.recv() else { return };
+        let mut flush = vec![first];
+        while flush.len() < MAX_COALESCE {
+            match rx.try_recv() {
+                Ok(p) => flush.push(p),
+                Err(_) => break,
+            }
+        }
+        let frame = if flush.len() == 1 {
+            // Single message: legacy payload, no frame envelope.
+            flush[0].clone()
+        } else {
+            codec::pack_frame(&flush)
+        };
+        if write_frame(&inner, &mut conn, to, &frame) {
+            continue;
+        }
+        // Single bounded reconnect: back off briefly, redial once, and
+        // resend the whole frame. If that fails too the peer is treated
+        // as crashed and the flush is dropped (crash-stop semantics).
+        thread::sleep(RECONNECT_BACKOFF);
+        conn = None;
+        if write_frame(&inner, &mut conn, to, &frame) {
+            inner.obs.reconnected(inner.me);
+        } else {
+            for _ in &flush {
+                inner.obs.message_dropped(inner.me, to);
+            }
+        }
+    }
+}
+
+/// One attempt to put a whole `[len][frame]` on the wire, dialing and
+/// handshaking first if no connection is cached. On failure the cached
+/// connection is forgotten — a partially-written frame poisons the
+/// stream's framing, so the connection is dropped, not just the frame.
+fn write_frame(
+    inner: &TcpInner,
+    conn: &mut Option<TcpStream>,
+    to: ProcessId,
+    frame: &Bytes,
+) -> bool {
+    if conn.is_none() {
+        let Some(addr) = inner.peers.get(to.index()) else {
             return false;
         };
-        let len = (payload.len() as u32).to_le_bytes();
-        if stream.write_all(&len).is_err() || stream.write_all(payload).is_err() {
-            // A partially-written frame poisons the stream's framing:
-            // drop the connection, not just the message.
-            self.connections.lock()[to.index()] = None;
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            return false;
+        };
+        // Handshake: announce who we are.
+        if stream.write_all(&inner.me.as_u32().to_le_bytes()).is_err() {
             return false;
         }
-        true
+        *conn = Some(stream);
     }
+    let Some(stream) = conn.as_mut() else {
+        return false;
+    };
+    let len = (frame.len() as u32).to_le_bytes();
+    if stream.write_all(&len).is_err() || stream.write_all(frame).is_err() {
+        *conn = None;
+        return false;
+    }
+    true
 }
 
 fn read_loop(mut stream: TcpStream, inbox: Sender<(ProcessId, Bytes)>) {
@@ -193,25 +327,17 @@ fn read_loop(mut stream: TcpStream, inbox: Sender<(ProcessId, Bytes)>) {
         if stream.read_exact(&mut payload).is_err() {
             return;
         }
-        if inbox.send((from, Bytes::from(payload))).is_err() {
-            return;
-        }
-    }
-}
-
-impl Transport for Arc<TcpTransport> {
-    fn send(&self, from: ProcessId, to: ProcessId, payload: Bytes) {
-        if self.try_send_frame(to, &payload) {
-            return;
-        }
-        // Single bounded reconnect: back off briefly, redial once, and
-        // resend the whole frame. If that fails too the peer is treated
-        // as crashed and the message is dropped (crash-stop semantics).
-        thread::sleep(RECONNECT_BACKOFF);
-        if self.try_send_frame(to, &payload) {
-            self.obs.reconnected(self.me);
-        } else {
-            self.obs.message_dropped(from, to);
+        // Split coalesced frames back into individual messages so inbox
+        // consumers see the same stream either way; a legacy payload
+        // passes through unchanged. A corrupt coalesced frame is dropped
+        // whole — the outer length prefix was intact, so the connection's
+        // framing still is too.
+        if let Ok(msgs) = codec::unpack_frame(&Bytes::from(payload)) {
+            for m in msgs {
+                if inbox.send((from, m)).is_err() {
+                    return;
+                }
+            }
         }
     }
 }
@@ -224,6 +350,15 @@ mod tests {
 
     fn p(i: u32) -> ProcessId {
         ProcessId::new(i)
+    }
+
+    fn tcp(
+        me: ProcessId,
+        peers: Vec<SocketAddr>,
+        listener: TcpListener,
+        inbox: Sender<(ProcessId, Bytes)>,
+    ) -> Arc<TcpTransport> {
+        TcpTransport::spawn(me, peers, listener, inbox, ObserverHandle::none())
     }
 
     #[test]
@@ -254,6 +389,25 @@ mod tests {
     }
 
     #[test]
+    fn memory_transport_coalesces_bursts_into_one_channel_send() {
+        let (t, inboxes) = InMemoryTransport::new(2);
+        let burst = vec![
+            Bytes::from_static(b"one"),
+            Bytes::from_static(b"two"),
+            Bytes::from_static(b"three"),
+        ];
+        t.send_many(p(0), p(1), burst.clone());
+        // Exactly one channel item: the packed frame.
+        let (from, packed) = inboxes[1].recv().unwrap();
+        assert_eq!(from, p(0));
+        assert!(inboxes[1].is_empty());
+        assert_eq!(codec::unpack_frame(&packed).unwrap(), burst);
+        // A one-element burst stays a legacy payload.
+        t.send_many(p(0), p(1), vec![Bytes::from_static(b"solo")]);
+        assert_eq!(&inboxes[1].recv().unwrap().1[..], b"solo");
+    }
+
+    #[test]
     fn tcp_transport_end_to_end() {
         // Two processes, full handshake + framing.
         let (l0, a0) = TcpTransport::bind_ephemeral().unwrap();
@@ -261,8 +415,8 @@ mod tests {
         let peers = vec![a0, a1];
         let (tx0, rx0) = unbounded();
         let (tx1, rx1) = unbounded();
-        let t0 = TcpTransport::new(p(0), peers.clone(), l0, tx0);
-        let t1 = TcpTransport::new(p(1), peers, l1, tx1);
+        let t0 = tcp(p(0), peers.clone(), l0, tx0);
+        let t1 = tcp(p(1), peers, l1, tx1);
 
         t0.send(p(0), p(1), Bytes::from_static(b"hello"));
         let (from, payload) = rx1.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -275,7 +429,9 @@ mod tests {
         assert_eq!(from, p(1));
         assert_eq!(&payload[..], b"world");
 
-        // Multiple frames on one connection keep their boundaries.
+        // Multiple sends keep their boundaries and order — whether or
+        // not the writer coalesced them, the read side splits frames
+        // back into individual messages.
         t0.send(p(0), p(1), Bytes::from_static(b"one"));
         t0.send(p(0), p(1), Bytes::from_static(b"two"));
         assert_eq!(
@@ -289,13 +445,33 @@ mod tests {
     }
 
     #[test]
+    fn tcp_burst_arrives_as_individual_messages_in_order() {
+        let (l0, a0) = TcpTransport::bind_ephemeral().unwrap();
+        let (l1, a1) = TcpTransport::bind_ephemeral().unwrap();
+        let (tx0, _rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let t0 = tcp(p(0), vec![a0, a1], l0, tx0);
+        let _t1 = tcp(p(1), vec![a0, a1], l1, tx1);
+
+        let burst: Vec<Bytes> = (0..10u8)
+            .map(|i| Bytes::from(vec![i; (i as usize % 4) + 1]))
+            .collect();
+        t0.send_many(p(0), p(1), burst.clone());
+        for want in &burst {
+            let (from, got) = rx1.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(from, p(0));
+            assert_eq!(&got, want);
+        }
+    }
+
+    #[test]
     fn tcp_send_to_dead_peer_does_not_panic() {
         let (l0, a0) = TcpTransport::bind_ephemeral().unwrap();
         // Reserve then drop a second address so nothing listens there.
         let (l1, a1) = TcpTransport::bind_ephemeral().unwrap();
         drop(l1);
         let (tx0, _rx0) = unbounded();
-        let t0 = TcpTransport::new(p(0), vec![a0, a1], l0, tx0);
+        let t0 = tcp(p(0), vec![a0, a1], l0, tx0);
         t0.send(p(0), p(1), Bytes::from_static(b"into the void"));
     }
 
@@ -306,27 +482,36 @@ mod tests {
         let (l1, a1) = TcpTransport::bind_ephemeral().unwrap();
         drop(l1);
         let (tx0, _rx0) = unbounded();
-        let t0 = TcpTransport::new_observed(p(0), vec![a0, a1], l0, tx0, obs);
+        let t0 = TcpTransport::spawn(p(0), vec![a0, a1], l0, tx0, obs);
         t0.send(p(0), p(1), Bytes::from_static(b"x"));
-        let snap = metrics.snapshot();
-        assert_eq!(snap.dropped, 1, "both attempts failed: one drop");
-        assert_eq!(snap.reconnects, 0);
+        // The writer thread retries once then records the drop; poll for
+        // it (sends are asynchronous now).
+        for _ in 0..200 {
+            let snap = metrics.snapshot();
+            if snap.dropped > 0 {
+                assert_eq!(snap.dropped, 1, "both attempts failed: one drop");
+                assert_eq!(snap.reconnects, 0);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("no drop recorded after a send to a dead peer");
     }
 
     #[test]
     fn tcp_send_reconnects_after_remote_close() {
         // Peer 1 accepts connections but its inbox receiver is gone, so
         // every accepted connection is torn down immediately. Writes on
-        // the stale connection eventually fail; the send path must
-        // redial (listener still alive) and count a reconnect rather
-        // than dropping silently forever.
+        // the stale connection eventually fail; the writer must redial
+        // (listener still alive) and count a reconnect rather than
+        // dropping silently forever.
         let (metrics, obs) = twostep_telemetry::Metrics::shared();
         let (l0, a0) = TcpTransport::bind_ephemeral().unwrap();
         let (l1, a1) = TcpTransport::bind_ephemeral().unwrap();
         let (tx0, _rx0) = unbounded();
         let (tx1, rx1) = unbounded();
-        let t0 = TcpTransport::new_observed(p(0), vec![a0, a1], l0, tx0, obs);
-        let _t1 = TcpTransport::new(p(1), vec![a0, a1], l1, tx1);
+        let t0 = TcpTransport::spawn(p(0), vec![a0, a1], l0, tx0, obs);
+        let _t1 = tcp(p(1), vec![a0, a1], l1, tx1);
         drop(rx1); // remote tears down every accepted connection
         for _ in 0..100 {
             t0.send(p(0), p(1), Bytes::from_static(b"probe"));
@@ -345,7 +530,7 @@ mod tests {
     fn framing_survives_byte_at_a_time_writes() {
         let (l1, a1) = TcpTransport::bind_ephemeral().unwrap();
         let (tx1, rx1) = unbounded();
-        let _t1 = TcpTransport::new(p(1), vec![a1], l1, tx1);
+        let _t1 = tcp(p(1), vec![a1], l1, tx1);
 
         let mut wire = Vec::new();
         wire.extend_from_slice(&7u32.to_le_bytes()); // handshake: sender id
@@ -377,7 +562,7 @@ mod tests {
     fn framing_survives_frames_split_across_writes() {
         let (l1, a1) = TcpTransport::bind_ephemeral().unwrap();
         let (tx1, rx1) = unbounded();
-        let _t1 = TcpTransport::new(p(1), vec![a1], l1, tx1);
+        let _t1 = tcp(p(1), vec![a1], l1, tx1);
 
         let mut wire = Vec::new();
         wire.extend_from_slice(&3u32.to_le_bytes());

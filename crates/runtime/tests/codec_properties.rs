@@ -95,18 +95,59 @@ proptest! {
     #[test]
     fn smr_messages_roundtrip(slot in 0u64..10_000, key in "[a-z]{1,8}", value in "[a-z]{0,8}") {
         use twostep_core::Msg;
-        use twostep_smr::{KvCommand, SmrMsg};
+        use twostep_smr::{Batch, KvCommand, SmrMsg};
 
         let msgs: Vec<SmrMsg<KvCommand>> = vec![
             SmrMsg::Beacon,
-            SmrMsg::Slot(slot, Msg::Propose(KvCommand::put(key.clone(), value.clone()))),
-            SmrMsg::Slot(slot, Msg::Decide(KvCommand::delete(key))),
+            SmrMsg::Slot(
+                slot,
+                Msg::Propose(Batch::new(vec![
+                    KvCommand::put(key.clone(), value.clone()),
+                    KvCommand::delete(key.clone()),
+                ])),
+            ),
+            SmrMsg::Slot(slot, Msg::Decide(Batch::single(KvCommand::delete(key)))),
         ];
         for m in msgs {
             let bytes = to_bytes(&m).unwrap();
             let back: SmrMsg<KvCommand> = from_bytes(&bytes).unwrap();
             prop_assert_eq!(back, m);
         }
+    }
+
+    /// Multi-message frames roundtrip: packing any list of encoded
+    /// messages and unpacking yields the same payloads in order.
+    #[test]
+    fn multi_message_frames_roundtrip(nodes in proptest::collection::vec(node_strategy(), 1..8)) {
+        use twostep_runtime::codec::{pack_frame, unpack_frame};
+
+        let payloads: Vec<bytes::Bytes> = nodes
+            .iter()
+            .map(|n| bytes::Bytes::from(to_bytes(n).unwrap()))
+            .collect();
+        let frame = pack_frame(&payloads);
+        let back = unpack_frame(&frame).expect("packed frame must unpack");
+        prop_assert_eq!(back.len(), nodes.len());
+        for (bytes, node) in back.iter().zip(&nodes) {
+            let decoded: Node = from_bytes(bytes.as_slice()).expect("decode");
+            prop_assert_eq!(&decoded, node);
+        }
+    }
+
+    /// Truncating a packed frame anywhere past the magic word is
+    /// rejected cleanly (no panic, no partial delivery).
+    #[test]
+    fn truncated_frames_rejected(nodes in proptest::collection::vec(node_strategy(), 1..5), cut in 4usize..2048) {
+        use twostep_runtime::codec::unpack_frame;
+
+        let payloads: Vec<bytes::Bytes> = nodes
+            .iter()
+            .map(|n| bytes::Bytes::from(to_bytes(n).unwrap()))
+            .collect();
+        let frame = twostep_runtime::codec::pack_frame(&payloads);
+        let cut = cut.min(frame.len().saturating_sub(1));
+        let truncated = bytes::Bytes::from(frame.as_slice()[..cut].to_vec());
+        prop_assert!(unpack_frame(&truncated).is_err(), "cut at {} must error", cut);
     }
 
     /// Truncating any strict prefix of an encoding never panics — it

@@ -19,8 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
+mod builder;
 mod command;
 mod replica;
 
+pub use batch::Batch;
+pub use builder::SmrReplicaBuilder;
 pub use command::{Counter, KvCommand, KvOutput, KvStore, StateMachine};
 pub use replica::{SmrMsg, SmrReplica};

@@ -9,14 +9,16 @@ use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{Duration, ProcessId, SystemConfig, Value, DELTA};
 
+use crate::batch::Batch;
 use crate::command::StateMachine;
 
 /// Wire messages of the SMR layer: per-slot consensus traffic plus the
-/// replica-level Ω beacon.
+/// replica-level Ω beacon. Each slot decides a whole [`Batch`] of client
+/// commands.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SmrMsg<C> {
     /// Consensus message of the instance deciding slot `.0`.
-    Slot(u64, Msg<C>),
+    Slot(u64, Msg<Batch<C>>),
     /// Replica-level liveness beacon (one Ω for all instances).
     Beacon,
 }
@@ -26,21 +28,32 @@ const SMR_HEARTBEAT: TimerId = TimerId(1);
 const SMR_SUSPECT: TimerId = TimerId(2);
 const SMR_PUMP: TimerId = TimerId(3);
 /// First timer id available to instance namespacing.
-const INNER_BASE: u32 = 4;
+const INNER_BASE: u64 = 4;
 /// Ids per instance (the inner protocol uses timers 0..3).
-const INNER_STRIDE: u32 = 4;
+const INNER_STRIDE: u64 = 4;
 
+/// Maps an inner-instance timer into the replica's `u64` timer space.
+///
+/// The computation is done in `u64` end to end: an earlier revision cast
+/// `slot as u32`, which silently wrapped once slots passed 2³⁰ and
+/// routed one instance's ticks to another. The release asserts make any
+/// future aliasing loud instead of silent.
 fn inner_timer(slot: u64, t: TimerId) -> TimerId {
-    // Release-mode check: an out-of-stride inner timer would alias a
-    // different instance's timer namespace and misroute ticks.
+    // Release-mode checks: an out-of-stride inner timer (or a slot so
+    // large the stride arithmetic would wrap) would alias a different
+    // instance's timer namespace and misroute ticks.
     assert!(t.0 < INNER_STRIDE);
-    TimerId(INNER_BASE + (slot as u32) * INNER_STRIDE + t.0)
+    assert!(
+        slot <= (u64::MAX - INNER_BASE - t.0) / INNER_STRIDE,
+        "slot {slot} overflows the timer-id namespace"
+    );
+    TimerId(INNER_BASE + slot * INNER_STRIDE + t.0)
 }
 
 fn split_timer(t: TimerId) -> Option<(u64, TimerId)> {
     if t.0 >= INNER_BASE {
         let rel = t.0 - INNER_BASE;
-        Some((u64::from(rel / INNER_STRIDE), TimerId(rel % INNER_STRIDE)))
+        Some((rel / INNER_STRIDE, TimerId(rel % INNER_STRIDE)))
     } else {
         None
     }
@@ -50,32 +63,40 @@ fn split_timer(t: TimerId) -> Option<(u64, TimerId)> {
 /// *object* (one [`ObjectConsensus`] instance per log slot).
 ///
 /// Roles, following the paper's introduction: clients submit commands to
-/// any replica (their *proxy*); the proxy assigns the command a free
-/// slot and proposes it there; commands commit in slot order and are
-/// applied to the deterministic state machine `S`. A command that loses
-/// its slot to a contending proxy is transparently re-proposed in a
-/// fresh slot.
+/// any replica (their *proxy*); the proxy accumulates commands into a
+/// [`Batch`] (bounded by the batch-size knob, flushed by the pump tick),
+/// assigns the batch a free slot and proposes it there; batches commit
+/// in slot order and their commands are applied, in batch order, to the
+/// deterministic state machine `S`. A batch that loses its slot to a
+/// contending proxy is transparently re-proposed in a fresh slot.
 ///
 /// One replica-level Ω (heartbeats) serves all instances: instances run
 /// with a static leader hint that the replica refreshes on every
 /// suspicion sweep.
 ///
 /// `decide` events are emitted per *applied* command, in log order, so
-/// the decision stream of any engine is exactly the committed prefix.
+/// the decision stream of any engine is exactly the committed command
+/// prefix regardless of how commands were grouped into batches.
+///
+/// Construct via [`SmrReplicaBuilder`](crate::SmrReplicaBuilder).
 #[derive(Debug)]
 pub struct SmrReplica<C: Ord, S> {
     cfg: SystemConfig,
     me: ProcessId,
-    instances: BTreeMap<u64, ObjectConsensus<C>>,
-    committed: BTreeMap<u64, C>,
-    applied: u64,
+    instances: BTreeMap<u64, ObjectConsensus<Batch<C>>>,
+    committed: BTreeMap<u64, Batch<C>>,
+    /// Length of the contiguously applied slot prefix.
+    applied_slots: u64,
+    /// Number of commands applied to the state machine.
+    applied_cmds: u64,
     sm: S,
     pending: VecDeque<C>,
-    inflight: BTreeMap<u64, C>,
+    inflight: BTreeMap<u64, Batch<C>>,
     max_inflight: usize,
+    max_batch: usize,
     next_slot: u64,
     omega: Omega,
-    /// Telemetry hooks; detached by default (see [`SmrReplica::observed`]).
+    /// Telemetry hooks; detached by default.
     obs: ObserverHandle,
 }
 
@@ -84,63 +105,94 @@ where
     C: Value,
     S: StateMachine<C>,
 {
-    /// Creates an unpipelined replica for `me` (at most one command in
-    /// flight; commands commit strictly in submission order at this
-    /// proxy).
+    /// Creates an unpipelined, unbatched replica for `me`.
     ///
     /// # Panics
     ///
     /// Panics if `me` is out of range for `cfg`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SmrReplicaBuilder::new(cfg, me).build()`"
+    )]
     pub fn new(cfg: SystemConfig, me: ProcessId) -> Self {
-        Self::with_pipeline(cfg, me, 1)
+        Self::from_parts(cfg, me, 1, 1, ObserverHandle::none())
     }
 
-    /// Creates a replica that keeps up to `max_inflight` commands in
-    /// flight concurrently (each in its own slot). Deeper pipelines
-    /// trade strict per-proxy submission order for throughput: a command
-    /// that loses its slot is re-proposed in a fresh slot and may commit
-    /// after commands submitted later.
+    /// Creates a replica that keeps up to `max_inflight` batches in
+    /// flight concurrently (each in its own slot).
     ///
     /// # Panics
     ///
     /// Panics if `me` is out of range for `cfg` or `max_inflight == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SmrReplicaBuilder::new(cfg, me).pipeline(depth).build()`"
+    )]
     pub fn with_pipeline(cfg: SystemConfig, me: ProcessId, max_inflight: usize) -> Self {
-        assert!(me.index() < cfg.n(), "process {me} out of range for {cfg}");
-        assert!(max_inflight >= 1, "pipeline depth must be at least 1");
-        SmrReplica {
-            cfg,
-            me,
-            instances: BTreeMap::new(),
-            committed: BTreeMap::new(),
-            applied: 0,
-            sm: S::default(),
-            pending: VecDeque::new(),
-            inflight: BTreeMap::new(),
-            max_inflight,
-            next_slot: 0,
-            omega: Omega::new(me, cfg.n(), OmegaMode::Heartbeats),
-            obs: ObserverHandle::none(),
-        }
+        Self::from_parts(cfg, me, max_inflight, 1, ObserverHandle::none())
     }
 
-    /// Attaches telemetry hooks (builder style). The replica reports its
-    /// client-queue depth (`pending()`) whenever it changes, replica-Ω
-    /// leader changes, and passes the handle to every per-slot consensus
-    /// instance so protocol paths and recovery cases are counted too.
+    /// Attaches telemetry hooks (builder style).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SmrReplicaBuilder::new(cfg, me).observed(obs).build()`"
+    )]
     #[must_use]
     pub fn observed(mut self, obs: ObserverHandle) -> Self {
         self.obs = obs;
         self
     }
 
-    /// The committed log: slot → command.
-    pub fn log(&self) -> &BTreeMap<u64, C> {
+    /// Non-deprecated constructor used by
+    /// [`SmrReplicaBuilder`](crate::SmrReplicaBuilder) and the shims
+    /// above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `cfg`, or either knob is 0.
+    pub(crate) fn from_parts(
+        cfg: SystemConfig,
+        me: ProcessId,
+        max_inflight: usize,
+        max_batch: usize,
+        obs: ObserverHandle,
+    ) -> Self {
+        assert!(me.index() < cfg.n(), "process {me} out of range for {cfg}");
+        assert!(max_inflight >= 1, "pipeline depth must be at least 1");
+        assert!(max_batch >= 1, "batch size must be at least 1");
+        SmrReplica {
+            cfg,
+            me,
+            instances: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            applied_slots: 0,
+            applied_cmds: 0,
+            sm: S::default(),
+            pending: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            max_inflight,
+            max_batch,
+            next_slot: 0,
+            omega: Omega::new(me, cfg.n(), OmegaMode::Heartbeats),
+            obs,
+        }
+    }
+
+    /// The committed log: slot → batch of commands.
+    pub fn log(&self) -> &BTreeMap<u64, Batch<C>> {
         &self.committed
     }
 
-    /// The contiguously applied prefix length.
+    /// The number of *commands* applied to the state machine (the
+    /// length of the contiguously applied command stream).
     pub fn applied(&self) -> u64 {
-        self.applied
+        self.applied_cmds
+    }
+
+    /// The number of contiguously applied *slots*. With batching one
+    /// slot carries many commands, so this lags [`SmrReplica::applied`].
+    pub fn applied_slots(&self) -> u64 {
+        self.applied_slots
     }
 
     /// The replicated state machine.
@@ -151,15 +203,24 @@ where
     /// Commands accepted from clients but not yet committed (queued or
     /// currently in flight in a slot).
     pub fn pending(&self) -> usize {
-        self.pending.len() + self.inflight.len()
+        self.pending.len() + self.inflight.values().map(Batch::len).sum::<usize>()
     }
 
-    /// The configured pipeline depth.
+    /// The configured pipeline depth (concurrent in-flight batches).
     pub fn pipeline_depth(&self) -> usize {
         self.max_inflight
     }
 
-    fn instance(&mut self, slot: u64, eff: &mut Effects<C, SmrMsg<C>>) -> &mut ObjectConsensus<C> {
+    /// The configured maximum batch size (commands per slot).
+    pub fn batch_size(&self) -> usize {
+        self.max_batch
+    }
+
+    fn instance(
+        &mut self,
+        slot: u64,
+        eff: &mut Effects<C, SmrMsg<C>>,
+    ) -> &mut ObjectConsensus<Batch<C>> {
         if !self.instances.contains_key(&slot) {
             let mut inst = ObjectConsensus::with_options(
                 self.cfg,
@@ -181,7 +242,7 @@ where
     fn route_inner(
         &mut self,
         slot: u64,
-        inner: Effects<C, Msg<C>>,
+        inner: Effects<Batch<C>, Msg<Batch<C>>>,
         eff: &mut Effects<C, SmrMsg<C>>,
     ) {
         for (to, m) in inner.sends {
@@ -193,48 +254,77 @@ where
         for t in inner.timer_cancels {
             eff.cancel_timer(inner_timer(slot, t));
         }
-        for c in inner.decisions {
-            self.on_commit(slot, c, eff);
+        for b in inner.decisions {
+            self.on_commit(slot, b, eff);
         }
     }
 
-    fn on_commit(&mut self, slot: u64, cmd: C, eff: &mut Effects<C, SmrMsg<C>>) {
+    fn on_commit(&mut self, slot: u64, batch: Batch<C>, eff: &mut Effects<C, SmrMsg<C>>) {
         self.next_slot = self.next_slot.max(slot + 1);
         if self.committed.contains_key(&slot) {
             return; // re-decision of the same slot (gossip); ignore
         }
-        self.committed.insert(slot, cmd);
+        self.committed.insert(slot, batch);
+
+        // Retire the instance: drop it and cancel its timers so settled
+        // slots cost nothing — otherwise every decided instance keeps
+        // its ballot-retry tick re-arming forever and per-tick work
+        // grows with the log (fatal under sustained load). Late
+        // retransmissions for this slot are answered from `committed`
+        // in `on_message`, which keeps the stuck-peer recovery path:
+        // a peer missing the slot retransmits and gets `Decide` back.
+        self.instances.remove(&slot);
+        for t in 0..INNER_STRIDE {
+            eff.cancel_timer(inner_timer(slot, TimerId(t)));
+        }
 
         // Did one of our in-flight proposals just resolve?
         if let Some(mine) = self.inflight.remove(&slot) {
             if self.committed.get(&slot) != Some(&mine) {
                 // Lost the slot to a contending proxy: re-queue at the
-                // front so the pump re-proposes it in a fresh slot.
-                self.pending.push_front(mine);
+                // front, preserving submission order, so the pump
+                // re-proposes the commands in a fresh slot.
+                for c in mine.into_iter().rev() {
+                    self.pending.push_front(c);
+                }
             }
         }
 
-        // Apply the contiguous prefix, emitting one decide per command.
-        while let Some(c) = self.committed.get(&self.applied) {
-            self.sm.apply(c);
-            eff.decide(c.clone());
-            self.applied += 1;
+        // Apply the contiguous slot prefix, emitting one decide per
+        // command (the decision stream is batch-transparent).
+        while let Some(b) = self.committed.get(&self.applied_slots) {
+            self.obs.batch_committed(self.me, b.len());
+            for c in b.clone().into_iter() {
+                self.sm.apply(&c);
+                self.applied_cmds += 1;
+                eff.decide(c);
+            }
+            self.applied_slots += 1;
         }
         self.obs.queue_depth(self.me, self.pending());
     }
 
     /// Proposes queued commands while pipeline capacity remains.
-    fn pump(&mut self, eff: &mut Effects<C, SmrMsg<C>>) {
-        while self.inflight.len() < self.max_inflight {
-            let Some(cmd) = self.pending.pop_front() else {
-                return;
-            };
+    ///
+    /// With `full_only` set, only *full* batches (≥ `max_batch` queued
+    /// commands) are proposed — the event-driven path, so a trickle of
+    /// commands is not scattered one-per-slot. The pump tick calls with
+    /// `full_only = false` to flush partial batches, bounding the extra
+    /// latency a queued command can accrue waiting for co-travellers to
+    /// one pump interval (2Δ).
+    fn flush(&mut self, full_only: bool, eff: &mut Effects<C, SmrMsg<C>>) {
+        while self.inflight.len() < self.max_inflight && !self.pending.is_empty() {
+            if full_only && self.pending.len() < self.max_batch {
+                break;
+            }
+            let take = self.pending.len().min(self.max_batch);
+            let batch = Batch::new(self.pending.drain(..take).collect());
             let slot = self.next_slot;
             self.next_slot += 1;
-            self.inflight.insert(slot, cmd.clone());
+            self.inflight.insert(slot, batch.clone());
             let inst = self.instance(slot, eff);
             let mut inner = Effects::new();
-            inst.on_propose(cmd, &mut inner);
+            inst.on_propose(batch, &mut inner);
             self.route_inner(slot, inner, eff);
         }
         self.obs.queue_depth(self.me, self.pending());
@@ -261,7 +351,7 @@ where
 
     fn on_propose(&mut self, cmd: C, eff: &mut Effects<C, SmrMsg<C>>) {
         self.pending.push_back(cmd);
-        self.pump(eff);
+        self.flush(true, eff);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: SmrMsg<C>, eff: &mut Effects<C, SmrMsg<C>>) {
@@ -270,10 +360,22 @@ where
             SmrMsg::Beacon => {}
             SmrMsg::Slot(slot, m) => {
                 self.next_slot = self.next_slot.max(slot + 1);
+                if let Some(b) = self.committed.get(&slot) {
+                    // The slot is settled here and its instance retired;
+                    // answer anything but gossip with the outcome so a
+                    // peer stuck on this slot converges.
+                    if !matches!(m, Msg::Decide(_)) {
+                        eff.send(from, SmrMsg::Slot(slot, Msg::Decide(b.clone())));
+                    }
+                    return;
+                }
                 let inst = self.instance(slot, eff);
                 let mut inner = Effects::new();
                 inst.on_message(from, m, &mut inner);
                 self.route_inner(slot, inner, eff);
+                // A commit above may have freed pipeline capacity; put
+                // any waiting full batches in flight right away.
+                self.flush(true, eff);
             }
         }
     }
@@ -297,7 +399,7 @@ where
                 eff.set_timer(SMR_SUSPECT, Duration::from_units(3 * DELTA.units()));
             }
             SMR_PUMP => {
-                self.pump(eff);
+                self.flush(false, eff);
                 eff.set_timer(SMR_PUMP, Duration::from_units(2 * DELTA.units()));
             }
             t => {
@@ -306,6 +408,7 @@ where
                         let mut inner = Effects::new();
                         inst.on_timer(inner_t, &mut inner);
                         self.route_inner(slot, inner, eff);
+                        self.flush(true, eff);
                     }
                 }
             }
@@ -315,14 +418,19 @@ where
     fn decision(&self) -> Option<C> {
         // The first committed command, if slot 0 is decided (decide
         // *events* carry the full applied stream; see type docs).
-        self.committed.get(&0).cloned()
+        self.committed.get(&0).and_then(|b| b.first()).cloned()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SmrReplicaBuilder;
     use crate::command::{KvCommand, KvStore};
+
+    fn replica(cfg: SystemConfig, me: u32) -> SmrReplica<KvCommand, KvStore> {
+        SmrReplicaBuilder::new(cfg, ProcessId::new(me)).build()
+    }
 
     #[test]
     fn timer_namespacing_roundtrips() {
@@ -337,10 +445,32 @@ mod tests {
         assert_eq!(split_timer(SMR_PUMP), None);
     }
 
+    /// Regression test for the `slot as u32` truncation: slots at and
+    /// beyond 2³⁰ used to wrap the timer-id arithmetic and alias other
+    /// instances' namespaces. The mapping must stay injective in `u64`.
+    #[test]
+    fn timer_namespacing_survives_huge_slots() {
+        let huge = [1u64 << 30, (1 << 30) + 1, 1 << 32, 1 << 40, u64::MAX >> 3];
+        for &slot in &huge {
+            for t in [TimerId(0), TimerId(3)] {
+                assert_eq!(split_timer(inner_timer(slot, t)), Some((slot, t)));
+            }
+        }
+        // The pre-fix failure mode: slot 2³⁰ aliased slot 0 under the
+        // u32 cast (2³⁰ · 4 wrapped to 0). Now the ids are distinct.
+        assert_ne!(inner_timer(1 << 30, TimerId(0)), inner_timer(0, TimerId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the timer-id namespace")]
+    fn timer_namespacing_rejects_wrapping_slot() {
+        let _ = inner_timer(u64::MAX / 2, TimerId(0));
+    }
+
     #[test]
     fn propose_creates_instance_and_traffic() {
         let cfg = SystemConfig::minimal_object(1, 1).unwrap();
-        let mut r: SmrReplica<KvCommand, KvStore> = SmrReplica::new(cfg, ProcessId::new(0));
+        let mut r = replica(cfg, 0);
         let mut eff = Effects::new();
         r.on_start(&mut eff);
         let mut eff = Effects::new();
@@ -353,9 +483,63 @@ mod tests {
     }
 
     #[test]
+    fn partial_batch_waits_for_pump() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let mut r: SmrReplica<KvCommand, KvStore> = SmrReplicaBuilder::new(cfg, ProcessId::new(0))
+            .batch(4)
+            .build();
+        let mut eff = Effects::new();
+        r.on_start(&mut eff);
+
+        // Three commands: below the batch bound, so the event-driven
+        // flush holds them back.
+        let mut eff = Effects::new();
+        for i in 0..3 {
+            r.on_propose(KvCommand::put(format!("k{i}"), "v"), &mut eff);
+        }
+        assert!(
+            !eff.sends
+                .iter()
+                .any(|(_, m)| matches!(m, SmrMsg::Slot(_, _))),
+            "partial batch must not be proposed eagerly"
+        );
+
+        // The pump tick flushes the partial batch as one slot proposal.
+        let mut eff = Effects::new();
+        r.on_timer(SMR_PUMP, &mut eff);
+        assert!(eff
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m, SmrMsg::Slot(0, Msg::Propose(b)) if b.len() == 3)));
+    }
+
+    #[test]
+    fn full_batch_flushes_immediately() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let mut r: SmrReplica<KvCommand, KvStore> = SmrReplicaBuilder::new(cfg, ProcessId::new(0))
+            .batch(2)
+            .build();
+        let mut eff = Effects::new();
+        r.on_start(&mut eff);
+
+        let mut eff = Effects::new();
+        r.on_propose(KvCommand::put("a", "1"), &mut eff);
+        assert!(
+            eff.sends.is_empty(),
+            "first command alone is a partial batch"
+        );
+        let mut eff = Effects::new();
+        r.on_propose(KvCommand::put("b", "2"), &mut eff);
+        assert!(eff
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m, SmrMsg::Slot(0, Msg::Propose(b)) if b.len() == 2)));
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_replica_panics() {
         let cfg = SystemConfig::minimal_object(1, 1).unwrap();
-        let _: SmrReplica<KvCommand, KvStore> = SmrReplica::new(cfg, ProcessId::new(5));
+        let _ = replica(cfg, 5);
     }
 }

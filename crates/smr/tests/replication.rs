@@ -4,7 +4,7 @@
 use std::time::Duration as WallDuration;
 
 use twostep_sim::{DeliveryOrder, SimulationBuilder};
-use twostep_smr::{KvCommand, KvStore, SmrReplica};
+use twostep_smr::{KvCommand, KvStore, SmrReplica, SmrReplicaBuilder};
 use twostep_types::{Duration, ProcessId, SystemConfig, Time};
 
 fn p(i: u32) -> ProcessId {
@@ -13,10 +13,14 @@ fn p(i: u32) -> ProcessId {
 
 type Replica = SmrReplica<KvCommand, KvStore>;
 
+fn replica(cfg: SystemConfig, q: ProcessId) -> Replica {
+    SmrReplicaBuilder::new(cfg, q).build()
+}
+
 #[test]
 fn single_proxy_commands_commit_in_order() {
     let cfg = SystemConfig::minimal_object(1, 1).unwrap();
-    let mut sim = SimulationBuilder::new(cfg).build(|q| Replica::new(cfg, q));
+    let mut sim = SimulationBuilder::new(cfg).build(|q| replica(cfg, q));
     let cmds = [
         KvCommand::put("a", "1"),
         KvCommand::put("b", "2"),
@@ -63,7 +67,7 @@ fn contending_proxies_converge_to_one_log() {
         let n = cfg.n();
         let mut sim = SimulationBuilder::new(cfg)
             .delivery_order(DeliveryOrder::randomized(seed))
-            .build(|q| Replica::new(cfg, q));
+            .build(|q| replica(cfg, q));
         // Every replica proposes one command at roughly the same time.
         for i in 0..n as u32 {
             sim.schedule_propose(
@@ -107,7 +111,7 @@ fn replica_crash_does_not_stop_the_log() {
     let cfg = SystemConfig::minimal_object(2, 2).unwrap(); // n = 5, f = 2
     let mut sim = SimulationBuilder::new(cfg)
         .crash_at(p(4), Time::from_units(1))
-        .build(|q| Replica::new(cfg, q));
+        .build(|q| replica(cfg, q));
     sim.schedule_propose(p(0), KvCommand::put("x", "1"), Time::ZERO);
     sim.schedule_propose(
         p(1),
@@ -130,7 +134,7 @@ fn lost_slot_is_retried_in_fresh_slot() {
     // Two proxies race: one of them must lose a slot and re-propose; in
     // the end both commands are in the log exactly once.
     let cfg = SystemConfig::minimal_object(1, 1).unwrap();
-    let mut sim = SimulationBuilder::new(cfg).build(|q| Replica::new(cfg, q));
+    let mut sim = SimulationBuilder::new(cfg).build(|q| replica(cfg, q));
     sim.schedule_propose(p(0), KvCommand::put("a", "0"), Time::ZERO);
     sim.schedule_propose(p(2), KvCommand::put("b", "2"), Time::ZERO);
     let outcome = sim.run_until(Time::ZERO + Duration::deltas(200), |s| {
@@ -138,7 +142,7 @@ fn lost_slot_is_retried_in_fresh_slot() {
     });
     let log = outcome.procs[0].log();
     assert!(log.len() >= 2, "both commands committed, log = {log:?}");
-    let cmds: Vec<&KvCommand> = log.values().collect();
+    let cmds: Vec<&KvCommand> = log.values().flat_map(|b| b.iter()).collect();
     let a = cmds
         .iter()
         .filter(|c| matches!(c, KvCommand::Put { key, .. } if key == "a"))
@@ -156,7 +160,7 @@ fn kv_over_threaded_runtime() {
 
     let cfg = SystemConfig::minimal_object(1, 1).unwrap();
     let cluster: Cluster<KvCommand> =
-        Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| Replica::new(cfg, q));
+        Cluster::in_memory(cfg, WallDuration::from_millis(10), |q| replica(cfg, q));
     cluster.propose(p(0), KvCommand::put("city", "huatulco"));
     // The decide stream reports applied commands.
     let decided = cluster.await_decision(p(0), WallDuration::from_secs(10));
@@ -172,8 +176,11 @@ fn pipelined_proxy_commits_faster_than_serial() {
     // of roughly one consensus round instead of four.
     let cfg = SystemConfig::minimal_object(1, 1).unwrap();
     let run = |depth: usize| {
-        let mut sim = SimulationBuilder::new(cfg)
-            .build(|q| SmrReplica::<KvCommand, KvStore>::with_pipeline(cfg, q, depth));
+        let mut sim = SimulationBuilder::new(cfg).build(|q| {
+            SmrReplicaBuilder::new(cfg, q)
+                .pipeline(depth)
+                .build::<KvCommand, KvStore>()
+        });
         for i in 0..4u64 {
             sim.schedule_propose(p(0), KvCommand::put(format!("k{i}"), "v"), Time::ZERO);
         }
@@ -204,7 +211,11 @@ fn pipelined_logs_remain_consistent_under_contention() {
         let n = cfg.n();
         let mut sim = SimulationBuilder::new(cfg)
             .delivery_order(DeliveryOrder::randomized(seed))
-            .build(|q| SmrReplica::<KvCommand, KvStore>::with_pipeline(cfg, q, 3));
+            .build(|q| {
+                SmrReplicaBuilder::new(cfg, q)
+                    .pipeline(3)
+                    .build::<KvCommand, KvStore>()
+            });
         let mut total = 0u64;
         for i in 0..n as u32 {
             for k in 0..2u64 {
@@ -235,9 +246,9 @@ fn pipelined_logs_remain_consistent_under_contention() {
                 );
             }
         }
-        // Exactly-once.
+        // Exactly-once, across batch boundaries.
         let mut seen = std::collections::BTreeSet::new();
-        for cmd in longest.log().values() {
+        for cmd in longest.log().values().flat_map(|b| b.iter()) {
             assert!(seen.insert(cmd.clone()), "seed {seed}: duplicate {cmd:?}");
         }
     }
@@ -246,9 +257,9 @@ fn pipelined_logs_remain_consistent_under_contention() {
 #[test]
 fn pipeline_depth_accessor_and_validation() {
     let cfg = SystemConfig::minimal_object(1, 1).unwrap();
-    let r = SmrReplica::<KvCommand, KvStore>::with_pipeline(cfg, p(0), 8);
+    let r: Replica = SmrReplicaBuilder::new(cfg, p(0)).pipeline(8).build();
     assert_eq!(r.pipeline_depth(), 8);
-    let r = SmrReplica::<KvCommand, KvStore>::new(cfg, p(0));
+    let r = replica(cfg, p(0));
     assert_eq!(r.pipeline_depth(), 1);
 }
 
@@ -256,5 +267,103 @@ fn pipeline_depth_accessor_and_validation() {
 #[should_panic(expected = "pipeline depth")]
 fn zero_pipeline_depth_rejected() {
     let cfg = SystemConfig::minimal_object(1, 1).unwrap();
-    let _ = SmrReplica::<KvCommand, KvStore>::with_pipeline(cfg, p(0), 0);
+    let _: Replica = SmrReplicaBuilder::new(cfg, p(0)).pipeline(0).build();
+}
+
+#[test]
+fn batched_proxy_commits_all_commands() {
+    // Batch 4 over a 6-command burst: commands grouped into batches and
+    // applied in submission order.
+    let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+    let mut sim = SimulationBuilder::new(cfg).build(|q| {
+        SmrReplicaBuilder::new(cfg, q)
+            .batch(4)
+            .build::<KvCommand, KvStore>()
+    });
+    for i in 0..6u64 {
+        sim.schedule_propose(
+            p(0),
+            KvCommand::put(format!("k{i}"), format!("{i}")),
+            Time::ZERO,
+        );
+    }
+    let outcome = sim.run_until(Time::ZERO + Duration::deltas(200), |s| {
+        (0..3).all(|i| s.process(p(i)).applied() >= 6)
+    });
+    for i in 0..3u32 {
+        let r = &outcome.procs[i as usize];
+        assert_eq!(r.applied(), 6, "p{i} applied all commands");
+        for k in 0..6u64 {
+            assert_eq!(
+                r.state().get(&format!("k{k}")),
+                Some(format!("{k}").as_str())
+            );
+        }
+    }
+    // Fewer slots than commands: batching actually grouped something.
+    assert!(
+        outcome.procs[0].applied_slots() < 6,
+        "6 commands should need fewer than 6 slots at batch size 4, used {}",
+        outcome.procs[0].applied_slots()
+    );
+}
+
+#[test]
+fn interleaved_batched_proxies_never_reorder_own_commands() {
+    // Several proxies stream keyed commands concurrently with batching
+    // on; in the committed log, each client's own commands appear in
+    // exactly their submission order (batching may interleave clients
+    // but never reorders within one client). Pipeline depth stays 1:
+    // with deeper pipelines a lost slot's re-proposal can land behind a
+    // later in-flight slot, which is a pipelining property, not a
+    // batching one.
+    for seed in twostep_sim::test_seeds(0..6) {
+        let cfg = SystemConfig::minimal_object(2, 2).unwrap();
+        let n = cfg.n();
+        let per_client = 5u64;
+        let mut sim = SimulationBuilder::new(cfg)
+            .delivery_order(DeliveryOrder::randomized(seed))
+            .build(|q| {
+                SmrReplicaBuilder::new(cfg, q)
+                    .batch(3)
+                    .build::<KvCommand, KvStore>()
+            });
+        let total = per_client * n as u64;
+        for i in 0..n as u32 {
+            for s in 0..per_client {
+                sim.schedule_propose(
+                    p(i),
+                    KvCommand::put(format!("c{i}-{s}"), "v"),
+                    Time::from_units(s * 13 + u64::from(i)),
+                );
+            }
+        }
+        let outcome = sim.run_until(Time::ZERO + Duration::deltas(500), |s| {
+            (0..n).all(|i| s.process(p(i as u32)).applied() >= total)
+        });
+        let longest = outcome.procs.iter().max_by_key(|r| r.applied()).unwrap();
+        assert!(
+            longest.applied() >= total,
+            "seed {seed}: {}/{total} applied",
+            longest.applied()
+        );
+        // Per-client order: flatten the log and check each client's
+        // sequence numbers are strictly increasing.
+        for r in &outcome.procs {
+            let mut next: Vec<u64> = vec![0; n];
+            for cmd in r.log().values().flat_map(|b| b.iter()) {
+                let KvCommand::Put { key, .. } = cmd else {
+                    continue;
+                };
+                let (c, s) = key[1..].split_once('-').expect("key shape c{i}-{s}");
+                let (c, s): (usize, u64) = (c.parse().unwrap(), s.parse().unwrap());
+                assert_eq!(
+                    s, next[c],
+                    "seed {seed}: client {c} saw {s} before {}",
+                    next[c]
+                );
+                next[c] += 1;
+            }
+        }
+    }
 }

@@ -41,6 +41,8 @@ pub struct Metrics {
     leader_changes: Counter,
     ballot_advances: Counter,
     queue_depth: Histogram,
+    batch_size: Histogram,
+    amortized_latency: Histogram,
     dropped: Counter,
     reconnects: Counter,
     bytes: Mutex<BTreeMap<String, ByteStats>>,
@@ -76,6 +78,8 @@ impl Metrics {
             leader_changes: self.leader_changes.get(),
             ballot_advances: self.ballot_advances.get(),
             queue_depth: self.queue_depth.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+            amortized_latency: self.amortized_latency.snapshot(),
             dropped: self.dropped.get(),
             reconnects: self.reconnects.get(),
             bytes_by_kind: self.bytes.lock().expect("byte map poisoned").clone(),
@@ -151,6 +155,14 @@ impl ProtocolObserver for Metrics {
         self.queue_depth.record(depth as u64);
     }
 
+    fn batch_committed(&self, _process: ProcessId, size: usize) {
+        self.batch_size.record(size as u64);
+    }
+
+    fn amortized_latency(&self, _process: ProcessId, latency: u64) {
+        self.amortized_latency.record(latency);
+    }
+
     fn bytes_sent(&self, _process: ProcessId, kind: &str, bytes: usize) {
         let mut map = self.bytes.lock().expect("byte map poisoned");
         let entry = map.entry(kind.to_string()).or_default();
@@ -189,6 +201,11 @@ pub struct MetricsSnapshot {
     pub ballot_advances: u64,
     /// Replica pending-command depth distribution.
     pub queue_depth: HistogramSnapshot,
+    /// Commands per applied batch (one sample per committed slot).
+    pub batch_size: HistogramSnapshot,
+    /// Client-observed per-command latency through a proxy (engine
+    /// units) — amortized across batching.
+    pub amortized_latency: HistogramSnapshot,
     /// Messages the transport gave up on.
     pub dropped: u64,
     /// Broken connections re-established by the transport.
@@ -300,6 +317,30 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "twostep_queue_depth{{quantile=\"0.99\"}} {}", q.p99);
             let _ = writeln!(out, "twostep_queue_depth_max {}", q.max);
         }
+        if self.batch_size.count > 0 {
+            out.push_str("# commands per applied batch\n");
+            let b = self.batch_size;
+            let _ = writeln!(out, "twostep_batch_size{{quantile=\"0.5\"}} {}", b.p50);
+            let _ = writeln!(out, "twostep_batch_size{{quantile=\"0.99\"}} {}", b.p99);
+            let _ = writeln!(out, "twostep_batch_size_max {}", b.max);
+            let _ = writeln!(out, "twostep_batch_size_count {}", b.count);
+        }
+        if self.amortized_latency.count > 0 {
+            out.push_str("# per-command amortized latency (engine units)\n");
+            let a = self.amortized_latency;
+            let _ = writeln!(
+                out,
+                "twostep_amortized_latency{{quantile=\"0.5\"}} {}",
+                a.p50
+            );
+            let _ = writeln!(
+                out,
+                "twostep_amortized_latency{{quantile=\"0.99\"}} {}",
+                a.p99
+            );
+            let _ = writeln!(out, "twostep_amortized_latency_max {}", a.max);
+            let _ = writeln!(out, "twostep_amortized_latency_count {}", a.count);
+        }
         out
     }
 }
@@ -404,6 +445,23 @@ mod tests {
         assert!(text.contains("twostep_queue_depth_max 3"));
         // Latency sections for paths with no samples are omitted.
         assert!(!text.contains("twostep_decision_latency{path=\"slow\""));
+    }
+
+    #[test]
+    fn batch_and_amortized_histograms_accumulate() {
+        let m = Metrics::new();
+        m.batch_committed(p(0), 1);
+        m.batch_committed(p(0), 16);
+        m.amortized_latency(p(0), 500);
+        m.amortized_latency(p(1), 2_000);
+        let s = m.snapshot();
+        assert_eq!(s.batch_size.count, 2);
+        assert_eq!(s.batch_size.max, 16);
+        assert_eq!(s.amortized_latency.count, 2);
+        assert_eq!(s.amortized_latency.max, 2_000);
+        let text = s.render_text();
+        assert!(text.contains("twostep_batch_size_max 16"));
+        assert!(text.contains("twostep_amortized_latency_count 2"));
     }
 
     #[test]

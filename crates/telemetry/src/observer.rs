@@ -61,6 +61,21 @@ pub trait ProtocolObserver: fmt::Debug + Send + Sync {
         let _ = (process, depth);
     }
 
+    /// The replica at `process` applied a committed batch of `size`
+    /// commands (one consensus slot carried `size` client commands).
+    fn batch_committed(&self, process: ProcessId, size: usize) {
+        let _ = (process, size);
+    }
+
+    /// A client observed one command complete end to end through the
+    /// proxy at `process` after `latency` engine units. With batching,
+    /// this is the per-command *amortized* latency: each command in a
+    /// batch reports its own wait, so the histogram reflects what
+    /// clients experience rather than per-slot consensus cost.
+    fn amortized_latency(&self, process: ProcessId, latency: u64) {
+        let _ = (process, latency);
+    }
+
     /// `process` put a `kind` message of `bytes` encoded bytes on the
     /// wire.
     fn bytes_sent(&self, process: ProcessId, kind: &str, bytes: usize) {
@@ -180,6 +195,22 @@ impl ObserverHandle {
         }
     }
 
+    /// See [`ProtocolObserver::batch_committed`].
+    #[inline]
+    pub fn batch_committed(&self, process: ProcessId, size: usize) {
+        if let Some(o) = &self.0 {
+            o.batch_committed(process, size);
+        }
+    }
+
+    /// See [`ProtocolObserver::amortized_latency`].
+    #[inline]
+    pub fn amortized_latency(&self, process: ProcessId, latency: u64) {
+        if let Some(o) = &self.0 {
+            o.amortized_latency(process, latency);
+        }
+    }
+
     /// See [`ProtocolObserver::bytes_sent`].
     #[inline]
     pub fn bytes_sent(&self, process: ProcessId, kind: &str, bytes: usize) {
@@ -233,6 +264,8 @@ mod tests {
         h.leader_changed(ProcessId::new(0), ProcessId::new(1));
         h.ballot_advanced(ProcessId::new(0));
         h.queue_depth(ProcessId::new(0), 3);
+        h.batch_committed(ProcessId::new(0), 16);
+        h.amortized_latency(ProcessId::new(0), 250);
         h.bytes_sent(ProcessId::new(0), "TwoB", 16);
         h.message_dropped(ProcessId::new(0), ProcessId::new(1));
         h.reconnected(ProcessId::new(0));

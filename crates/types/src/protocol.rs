@@ -26,8 +26,13 @@ use crate::{Duration, ProcessId, Value};
 /// Setting a timer that is already armed *resets* it (the paper's
 /// `start_timer(new_ballot_timer, 5Δ)` semantics). Protocols declare
 /// their timers as constants, e.g. `TimerId::NEW_BALLOT`.
+///
+/// The id space is `u64` so that layered protocols can namespace inner
+/// instances without aliasing: the SMR replica maps `(slot, inner
+/// timer)` pairs into disjoint strides, and a `u32` id would wrap once
+/// slots pass 2³⁰ — silently routing one instance's ticks to another.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
-pub struct TimerId(pub u32);
+pub struct TimerId(pub u64);
 
 impl TimerId {
     /// The `new_ballot_timer` of Figure 1 / §C.1: fires 2Δ after startup,

@@ -6,54 +6,54 @@
 //!
 //! Five replicas (the object protocol's minimal deployment for
 //! `e = f = 2`) run a multi-slot log over the threaded runtime; two
-//! clients submit commands through different proxies, demonstrating the
-//! proxy pattern from the paper's introduction: each client's proxy
-//! decides fast, other replicas learn a step later.
+//! closed-loop clients submit commands through different proxies,
+//! demonstrating the proxy pattern from the paper's introduction: each
+//! client's proxy decides fast, other replicas learn a step later.
+//! Replicas batch commands (up to 8 per consensus slot) and keep 4
+//! batches in flight, so the per-command cost amortizes without
+//! touching the per-instance step bounds.
 
 use std::time::Duration as WallDuration;
 
-use twostep::runtime::Cluster;
-use twostep::smr::{KvCommand, KvStore, SmrReplica};
+use twostep::smr::{KvCommand, KvStore};
 use twostep::types::{ProcessId, SystemConfig};
+use twostep::ClusterBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SystemConfig::minimal_object(2, 2)?;
     println!("replicated KV store over {cfg} (object protocol per log slot)");
 
-    let cluster: Cluster<KvCommand> = Cluster::in_memory(cfg, WallDuration::from_millis(5), |p| {
-        SmrReplica::<KvCommand, KvStore>::new(cfg, p)
-    });
+    let cluster = ClusterBuilder::new(cfg)
+        .wall_delta(WallDuration::from_millis(5))
+        .batch(8)
+        .pipeline(4)
+        .build_smr::<KvCommand, KvStore>()
+        .expect("in-memory build cannot fail");
 
     // Client A talks to p0; client B talks to p4.
+    let client_a = cluster.proxy_client(ProcessId::new(0));
+    let client_b = cluster.proxy_client(ProcessId::new(4));
     let ops = [
-        (ProcessId::new(0), KvCommand::put("capital/mx", "cdmx")),
-        (
-            ProcessId::new(4),
-            KvCommand::put("venue/podc25", "huatulco"),
-        ),
-        (ProcessId::new(0), KvCommand::put("capital/fr", "paris")),
-        (ProcessId::new(4), KvCommand::delete("capital/fr")),
-        (ProcessId::new(0), KvCommand::put("capital/es", "madrid")),
+        (&client_a, KvCommand::put("capital/mx", "cdmx")),
+        (&client_b, KvCommand::put("venue/podc25", "huatulco")),
+        (&client_a, KvCommand::put("capital/fr", "paris")),
+        (&client_b, KvCommand::delete("capital/fr")),
+        (&client_a, KvCommand::put("capital/es", "madrid")),
     ];
-    for (proxy, cmd) in &ops {
-        cluster.propose(*proxy, cmd.clone());
-    }
-
-    // Watch the commit stream at every replica: the first applied
-    // command per replica arrives within a couple of Δ.
-    let all = cluster.await_decisions(cfg.process_ids(), WallDuration::from_secs(15));
-    assert!(all, "every replica applies the log prefix");
-    for p in cfg.process_ids() {
+    for (client, cmd) in &ops {
+        let latency = client
+            .submit_and_wait(cmd.clone(), WallDuration::from_secs(15))
+            .expect("command commits");
         println!(
-            "replica {p}: first applied command = {:?} after {:?}",
-            cluster.decision_of(p).expect("applied"),
-            cluster.decision_latency(p).expect("latency"),
+            "client at p{} committed {cmd:?} in {latency:?}",
+            client.proxy()
         );
     }
-    assert!(cluster.agreement(), "identical first log entry everywhere");
 
-    // Give the pipeline a moment to drain the remaining commands.
-    std::thread::sleep(WallDuration::from_millis(600));
+    // Every replica applied the log prefix and agrees on its head.
+    let all = cluster.await_decisions(cfg.process_ids(), WallDuration::from_secs(15));
+    assert!(all, "every replica applies the log prefix");
+    assert!(cluster.agreement(), "identical first log entry everywhere");
     println!(
         "submitted {} commands through two proxies; log replicated",
         ops.len()

@@ -15,6 +15,7 @@ use twostep::core::{ObjectConsensus, TaskConsensus};
 use twostep::runtime::Cluster;
 use twostep::sim::SyncRunner;
 use twostep::types::{ProcessId, ProcessSet, SystemConfig};
+use twostep::ClusterBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------------------------------------------------------
@@ -49,9 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    Theorem 6 bound (n = 2e+f-1 = 5 for e = f = 2).
     // ---------------------------------------------------------------
     let cfg = SystemConfig::minimal_object(2, 2)?;
-    let cluster: Cluster<u64> = Cluster::in_memory(cfg, WallDuration::from_millis(10), |p| {
-        ObjectConsensus::new(cfg, p)
-    });
+    let cluster: Cluster<u64> = ClusterBuilder::new(cfg)
+        .wall_delta(WallDuration::from_millis(10))
+        .build(|p| ObjectConsensus::new(cfg, p))
+        .expect("in-memory build cannot fail");
     let proxy = ProcessId::new(4);
     cluster.propose(proxy, 42);
     let decided = cluster
@@ -67,9 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Localhost TCP: identical protocol code, real sockets and the
     //    binary wire codec.
     // ---------------------------------------------------------------
-    let cluster: Cluster<u64> = Cluster::tcp(cfg, WallDuration::from_millis(10), |p| {
-        ObjectConsensus::new(cfg, p)
-    })?;
+    let cluster: Cluster<u64> = ClusterBuilder::new(cfg)
+        .tcp()
+        .wall_delta(WallDuration::from_millis(10))
+        .build(|p| ObjectConsensus::new(cfg, p))?;
     cluster.propose(ProcessId::new(0), 7);
     let decided = cluster
         .await_decision(ProcessId::new(0), WallDuration::from_secs(10))

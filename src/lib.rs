@@ -18,6 +18,12 @@
 //! * [`telemetry`] — protocol-aware metrics and event tracing: decision
 //!   paths, recovery cases, latency histograms, text/Prometheus export.
 //!
+//! The most common entry points are re-exported at the top level:
+//! [`ClusterBuilder`] (one fluent construction path for every
+//! deployment shape), [`ProxyClient`] (closed-loop clients),
+//! [`SmrReplicaBuilder`] and [`Batch`] (batched state-machine
+//! replication).
+//!
 //! # Quickstart
 //!
 //! ```rust
@@ -53,3 +59,6 @@ pub use twostep_smr as smr;
 pub use twostep_telemetry as telemetry;
 pub use twostep_types as types;
 pub use twostep_verify as verify;
+
+pub use twostep_runtime::{ClusterBuilder, ProxyClient};
+pub use twostep_smr::{Batch, SmrReplicaBuilder};

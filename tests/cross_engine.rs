@@ -139,8 +139,8 @@ fn threaded_cluster_with_crashes_decides() {
 /// sends wait for round `k+1`), with `victim` crashing right before its
 /// crash round's deliveries — the manual mirror of
 /// `SimulationBuilder::crash_at` just below a round boundary.
-fn drain_rounds<P: Protocol<u64>>(
-    ex: &mut ManualExecutor<u64, P>,
+fn drain_rounds<V: twostep::types::Value, P: Protocol<V>>(
+    ex: &mut ManualExecutor<V, P>,
     crash: Option<(usize, ProcessId)>,
     max_rounds: usize,
 ) {
@@ -256,6 +256,59 @@ fn seeded_paxos_schedules_match_across_engines() {
         );
         // Both engines must have decided the coordinator's value.
         assert_eq!(ex.decision_of(p(0)), Some(&values[0]), "seed {seed}");
+    }
+}
+
+/// A batched SMR proposal decides identically in the simulator and on
+/// the manual executor: same log (same batches in the same slots), same
+/// applied command stream, same final KV state.
+#[test]
+fn batched_smr_agrees_across_engines() {
+    use twostep::sim::SimulationBuilder;
+    use twostep::smr::{KvCommand, KvStore, SmrReplicaBuilder};
+    use twostep::types::Duration;
+
+    let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+    let batch = 4usize;
+    let cmds: Vec<KvCommand> = (0..batch)
+        .map(|i| KvCommand::put(format!("k{i}"), format!("v{i}")))
+        .collect();
+    let make = |q: ProcessId| {
+        SmrReplicaBuilder::new(cfg, q)
+            .batch(batch)
+            .build::<KvCommand, KvStore>()
+    };
+
+    // Simulator: the burst fills one batch, which flushes immediately.
+    let mut sim = SimulationBuilder::new(cfg).build(make);
+    for c in &cmds {
+        sim.schedule_propose(p(0), c.clone(), Time::ZERO);
+    }
+    let outcome = sim.run_until(Time::ZERO + Duration::deltas(60), |s| {
+        (0..3).all(|i| s.process(p(i)).applied() >= batch as u64)
+    });
+
+    // Manual executor: same burst, rounds drained to quiescence.
+    let mut ex = ManualExecutor::new(cfg, make);
+    ex.start_all();
+    for c in &cmds {
+        ex.propose(p(0), c.clone());
+    }
+    drain_rounds(&mut ex, None, 20);
+
+    for q in cfg.process_ids() {
+        let sim_r = &outcome.procs[q.index()];
+        let man_r = ex.process(q);
+        assert_eq!(man_r.applied(), batch as u64, "{q}: applied commands");
+        assert_eq!(sim_r.applied(), man_r.applied(), "{q}: applied diverged");
+        assert_eq!(sim_r.log(), man_r.log(), "{q}: logs diverged");
+        for (i, _) in cmds.iter().enumerate() {
+            assert_eq!(
+                sim_r.state().get(&format!("k{i}")),
+                man_r.state().get(&format!("k{i}")),
+                "{q}: state diverged at k{i}"
+            );
+        }
     }
 }
 

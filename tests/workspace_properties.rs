@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use twostep::core::{ObjectConsensus, TaskConsensus};
 use twostep::sim::{DeliveryOrder, RandomDelay, SimulationBuilder};
-use twostep::smr::{KvCommand, KvStore, SmrReplica};
+use twostep::smr::{KvCommand, KvStore, SmrReplicaBuilder};
 use twostep::types::{Duration, ProcessId, SystemConfig, Time};
 use twostep::verify::{check_agreement, check_integrity, check_validity};
 
@@ -88,7 +88,7 @@ proptest! {
         let cfg = SystemConfig::minimal_object(1, 1).unwrap();
         let mut sim = SimulationBuilder::new(cfg)
             .delivery_order(DeliveryOrder::randomized(seed))
-            .build(|q| SmrReplica::<KvCommand, KvStore>::new(cfg, q));
+            .build(|q| SmrReplicaBuilder::new(cfg, q).build::<KvCommand, KvStore>());
         let total = cmds.len() as u64;
         for (k, (proxy, key)) in cmds.iter().enumerate() {
             sim.schedule_propose(
@@ -115,7 +115,7 @@ proptest! {
             }
         }
         let mut seen = std::collections::BTreeSet::new();
-        for cmd in longest.log().values() {
+        for cmd in longest.log().values().flat_map(|b| b.iter()) {
             prop_assert!(seen.insert(cmd.clone()), "duplicated commit: {cmd:?}");
         }
     }
