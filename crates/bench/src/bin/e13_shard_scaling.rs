@@ -1,0 +1,251 @@
+//! E13: shard-scaling throughput of the partitioned KV store.
+//!
+//! A fixed population of closed-loop clients drives a sharded in-memory
+//! KV-SMR cluster while the sweep varies the shard count. Each shard is
+//! an independent consensus group with its own leader (round-robin
+//! across the nodes), its own log, and its own batching/pipelining
+//! budget, so aggregate in-flight capacity — and with it closed-loop
+//! throughput — grows with the shard count until the clients or the
+//! machine saturate. The per-instance step bounds are untouched: a
+//! sharded deployment is just many two-step instances side by side, and
+//! each key still pays exactly one group's fast path.
+//!
+//! The links carry an emulated one-way latency
+//! ([`ClusterBuilder::link_delay`]): with instant in-memory links a
+//! single group is CPU-bound and sharding has no latency to hide, which
+//! measures the host scheduler rather than the protocol. Under a
+//! wall-clock link latency the cluster behaves like a LAN deployment —
+//! a group's throughput is capped at its in-flight budget per
+//! round-trip, and shards multiply that budget.
+//!
+//! Outputs:
+//! * stdout — the sweep table and the per-shard balance rollup,
+//! * `results/e13_shard_scaling.txt` — the same table,
+//! * `BENCH_e13.json` — machine-readable sweep for CI schema checks.
+//!
+//! Flags: `--smoke` (sub-second windows, CI-sized), `--secs <f64>`
+//! (measurement window per configuration).
+
+use std::time::{Duration as WallDuration, Instant};
+
+use twostep_bench::{percentile, Table};
+use twostep_runtime::ClusterBuilder;
+use twostep_smr::{KvCommand, KvStore};
+use twostep_telemetry::ShardedMetrics;
+use twostep_types::SystemConfig;
+
+/// The shard counts swept at a fixed client count.
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Point {
+    shards: usize,
+    commands: u64,
+    commands_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    speedup: f64,
+    busiest_share: f64,
+}
+
+/// The knobs held fixed across the sweep; only the shard count varies.
+#[derive(Clone, Copy)]
+struct Workload {
+    cfg: SystemConfig,
+    wall_delta: WallDuration,
+    link_delay: WallDuration,
+    batch: usize,
+    depth: usize,
+    clients: usize,
+    secs: f64,
+}
+
+/// Runs the fixed closed-loop client population against a `shards`-way
+/// cluster; returns (committed commands, elapsed seconds, per-command
+/// latencies in µs, busiest shard's share of decisions).
+fn run_config(w: &Workload, shards: usize) -> (u64, f64, Vec<f64>, f64) {
+    let metrics = ShardedMetrics::new(shards);
+    let cluster = ClusterBuilder::new(w.cfg)
+        .shards(shards)
+        .shard_observers(metrics.handles())
+        .wall_delta(w.wall_delta)
+        .link_delay(w.link_delay)
+        .batch(w.batch)
+        .pipeline(w.depth)
+        .build_sharded_smr::<KvCommand, KvStore>()
+        .expect("in-memory build cannot fail");
+    let window = WallDuration::from_secs_f64(w.secs);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..w.clients)
+        .map(|cid| {
+            // Leader-routed: each command is submitted at the node
+            // leading its key's shard, so load spreads by the router.
+            let client = cluster.client();
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + window;
+                let mut latencies = Vec::new();
+                let mut seq = 0u64;
+                while Instant::now() < deadline {
+                    // Unique per client+sequence so submit_and_wait
+                    // matches exactly this command's commit; the hash of
+                    // the key picks the shard.
+                    let cmd = KvCommand::put(format!("c{cid}-{seq}"), "v");
+                    seq += 1;
+                    match client.submit_and_wait(cmd, WallDuration::from_secs(10)) {
+                        Some(latency) => latencies.push(latency.as_micros() as f64),
+                        None => break,
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread panicked"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let per_shard: Vec<u64> = metrics
+        .snapshot()
+        .iter()
+        .map(|s| s.total_decisions())
+        .collect();
+    let total: u64 = per_shard.iter().sum();
+    let busiest_share = if total > 0 {
+        *per_shard.iter().max().unwrap() as f64 / total as f64
+    } else {
+        0.0
+    };
+    (latencies.len() as u64, elapsed, latencies, busiest_share)
+}
+
+fn json_report(w: &Workload, points: &[Point]) -> String {
+    let mut sweep = String::new();
+    for (i, pt) in points.iter().enumerate() {
+        if i > 0 {
+            sweep.push(',');
+        }
+        sweep.push_str(&format!(
+            "\n    {{\"shards\": {}, \"commands\": {}, \"commands_per_sec\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"speedup\": {:.2}, \
+             \"busiest_shard_share\": {:.3}}}",
+            pt.shards,
+            pt.commands,
+            pt.commands_per_sec,
+            pt.p50_us,
+            pt.p99_us,
+            pt.speedup,
+            pt.busiest_share
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"e13_shard_scaling\",\n  \
+         \"config\": {{\"n\": 3, \"clients\": {}, \"secs_per_point\": {}, \
+         \"wall_delta_ms\": {}, \"link_delay_ms\": {}, \"batch\": {}, \"depth\": {}}},\n  \
+         \"sweep\": [{}\n  ]\n}}\n",
+        w.clients,
+        w.secs,
+        w.wall_delta.as_millis(),
+        w.link_delay.as_millis(),
+        w.batch,
+        w.depth,
+        sweep
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let secs = args
+        .iter()
+        .position(|a| a == "--secs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(if smoke { 0.4 } else { 3.0 });
+    // Enough clients to saturate the widest configuration: with batch 4
+    // × depth 2 per group, 8 shards can hold 64 commands in flight.
+    // Keeping batch/depth fixed across the sweep isolates the sharding
+    // effect: under the emulated 2ms one-way link latency a group can
+    // commit at most batch × depth commands per ~4ms round-trip, so the
+    // 1-shard run is capacity-bound and each doubling of the shard
+    // count doubles the aggregate in-flight budget.
+    let w = Workload {
+        cfg: SystemConfig::minimal_object(1, 1).unwrap(),
+        wall_delta: WallDuration::from_millis(10),
+        link_delay: WallDuration::from_millis(2),
+        batch: 4,
+        depth: 2,
+        clients: 64,
+        secs,
+    };
+
+    let mut table = Table::new(&[
+        "shards",
+        "commands",
+        "commands/sec",
+        "p50 amortized",
+        "p99 amortized",
+        "speedup vs 1 shard",
+        "busiest shard",
+    ]);
+    let mut points: Vec<Point> = Vec::new();
+    for shards in SWEEP {
+        let (commands, elapsed, latencies, busiest_share) = run_config(&w, shards);
+        let commands_per_sec = if elapsed > 0.0 {
+            commands as f64 / elapsed
+        } else {
+            0.0
+        };
+        let baseline = points
+            .first()
+            .map_or(commands_per_sec, |p| p.commands_per_sec);
+        let speedup = if baseline > 0.0 {
+            commands_per_sec / baseline
+        } else {
+            0.0
+        };
+        let pt = Point {
+            shards,
+            commands,
+            commands_per_sec,
+            p50_us: percentile(&latencies, 0.50),
+            p99_us: percentile(&latencies, 0.99),
+            speedup,
+            busiest_share,
+        };
+        table.row(&[
+            pt.shards.to_string(),
+            pt.commands.to_string(),
+            format!("{:.0}", pt.commands_per_sec),
+            format!("{:.1} ms", pt.p50_us / 1000.0),
+            format!("{:.1} ms", pt.p99_us / 1000.0),
+            format!("{:.2}x", pt.speedup),
+            format!("{:.0}%", pt.busiest_share * 100.0),
+        ]);
+        points.push(pt);
+    }
+
+    let title = format!(
+        "E13: shard-scaling throughput of the partitioned KV store \
+         ({} clients, leader-routed, in-memory with {:?} one-way links, \
+         batch {} x depth {} per group, Δ = {:?}, {}s per point)",
+        w.clients, w.link_delay, w.batch, w.depth, w.wall_delta, w.secs
+    );
+    table.print(&title);
+    println!(
+        "\nsharding multiplies independent consensus groups, not quorums: each\n\
+         group keeps the paper's per-instance step bounds and 2e+f economics,\n\
+         and each key still pays exactly one group's fast path."
+    );
+
+    let _ = std::fs::create_dir_all("results");
+    let txt = format!("{title}\n\n{}", table.render());
+    if let Err(e) = std::fs::write("results/e13_shard_scaling.txt", txt) {
+        eprintln!("warning: could not write results/e13_shard_scaling.txt: {e}");
+    }
+    let json = json_report(&w, &points);
+    if let Err(e) = std::fs::write("BENCH_e13.json", json) {
+        eprintln!("warning: could not write BENCH_e13.json: {e}");
+    }
+}

@@ -43,6 +43,7 @@ pub struct Omega {
     me: ProcessId,
     n: usize,
     mode: OmegaMode,
+    rotation: u32,
     heard: ProcessSet,
     suspected: ProcessSet,
 }
@@ -50,10 +51,25 @@ pub struct Omega {
 impl Omega {
     /// Creates the Ω state for process `me` in a system of `n`.
     pub fn new(me: ProcessId, n: usize, mode: OmegaMode) -> Self {
+        Self::with_rotation(me, n, mode, 0)
+    }
+
+    /// Creates the Ω state with a rotated preference order: in heartbeat
+    /// mode the leader is the first *unsuspected* process scanning ids
+    /// cyclically from `rotation % n` (so with nothing suspected the
+    /// leader is `rotation % n` itself). Sharded deployments use this to
+    /// spread the per-group leaders round-robin across the nodes while
+    /// keeping the failure-detection behaviour identical: every correct
+    /// process still converges on the same leader after GST, because
+    /// they scan the same cyclic order over the same suspicion sets.
+    /// `rotation = 0` reproduces [`Omega::new`] exactly (lowest-id
+    /// unsuspected).
+    pub fn with_rotation(me: ProcessId, n: usize, mode: OmegaMode, rotation: u32) -> Self {
         Omega {
             me,
             n,
             mode,
+            rotation: rotation % n as u32,
             heard: ProcessSet::new(),
             suspected: ProcessSet::new(),
         }
@@ -87,12 +103,25 @@ impl Omega {
         self.heard = ProcessSet::new();
     }
 
-    /// The current leader estimate: the lowest-id unsuspected process.
+    /// The current leader estimate: the first unsuspected process in
+    /// cyclic id order starting from the rotation offset (the lowest-id
+    /// unsuspected process when the rotation is 0, the default).
     pub fn leader(&self) -> ProcessId {
         match self.mode {
             OmegaMode::Static(p) => p,
-            OmegaMode::Heartbeats => self.suspected.complement(self.n).min().unwrap_or(self.me),
+            OmegaMode::Heartbeats => {
+                let trusted = self.suspected.complement(self.n);
+                (0..self.n as u32)
+                    .map(|k| ProcessId::new((self.rotation + k) % self.n as u32))
+                    .find(|&p| trusted.contains(p))
+                    .unwrap_or(self.me)
+            }
         }
+    }
+
+    /// The rotation offset this instance scans from.
+    pub fn rotation(&self) -> u32 {
+        self.rotation
     }
 
     /// Whether this process currently believes itself to be the leader.
@@ -171,6 +200,51 @@ mod tests {
         omega.observe(p(0));
         omega.sweep();
         assert_eq!(omega.leader(), p(0), "p0 trusted again after beacon");
+    }
+
+    #[test]
+    fn rotation_shifts_the_initial_leader() {
+        for r in 0..5u32 {
+            let omega = Omega::with_rotation(p(0), 5, OmegaMode::Heartbeats, r);
+            assert_eq!(omega.leader(), p(r), "nothing suspected: leader = rotation");
+        }
+        // Rotation is reduced mod n.
+        let omega = Omega::with_rotation(p(0), 5, OmegaMode::Heartbeats, 7);
+        assert_eq!(omega.leader(), p(2));
+        assert_eq!(omega.rotation(), 2);
+    }
+
+    #[test]
+    fn rotated_leader_skips_suspects_cyclically() {
+        let mut omega = Omega::with_rotation(p(0), 4, OmegaMode::Heartbeats, 3);
+        assert_eq!(omega.leader(), p(3));
+        // p3 goes silent: the scan wraps to p0.
+        omega.observe(p(1));
+        omega.observe(p(2));
+        omega.sweep();
+        assert!(omega.suspected().contains(p(3)));
+        assert_eq!(omega.leader(), p(0), "cyclic scan wraps past the suspect");
+
+        // Everyone but self silent: self wins regardless of rotation.
+        omega.sweep();
+        assert_eq!(omega.leader(), p(0));
+    }
+
+    #[test]
+    fn zero_rotation_matches_lowest_id_rule() {
+        let mut rotated = Omega::with_rotation(p(2), 4, OmegaMode::Heartbeats, 0);
+        let mut plain = Omega::new(p(2), 4, OmegaMode::Heartbeats);
+        for round in 0..3 {
+            if round != 1 {
+                rotated.observe(p(0));
+                plain.observe(p(0));
+            }
+            rotated.observe(p(3));
+            plain.observe(p(3));
+            rotated.sweep();
+            plain.sweep();
+            assert_eq!(rotated.leader(), plain.leader());
+        }
     }
 
     #[test]

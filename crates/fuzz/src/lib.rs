@@ -31,6 +31,9 @@
 //! 6. [`runner`] — the campaign loop tying it all together.
 //! 7. [`witness`] — the timed two-step-ness check run before each
 //!    campaign (the untimed executor cannot measure `2Δ`).
+//! 8. [`mod@shard`] — sharded campaigns: `k` groups on shared nodes,
+//!    a shard-leader node crash/restart mid-load, and a per-shard
+//!    oracle with a cross-shard leakage check.
 
 pub mod case;
 pub mod gen;
@@ -38,6 +41,7 @@ pub mod oracle;
 pub mod rng;
 pub mod runner;
 pub mod schedule;
+pub mod shard;
 pub mod shrink;
 pub mod witness;
 
@@ -47,5 +51,9 @@ pub use oracle::{check_liveness, check_safety, Verdict};
 pub use rng::SplitMix64;
 pub use runner::{fuzz, fuzz_with_progress, Failure, FuzzConfig, FuzzOutcome};
 pub use schedule::{Action, ParseError, Schedule};
+pub use shard::{
+    check_sharded, fuzz_sharded, run_sharded_iteration, shard_of_value, shard_value, ShardFailure,
+    ShardFuzzConfig, ShardFuzzOutcome, SHARD_STRIDE,
+};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use witness::{paxos_is_not_two_step, two_step_witness};

@@ -20,8 +20,8 @@ use std::process::ExitCode;
 
 use twostep_core::Ablations;
 use twostep_fuzz::{
-    check_liveness, check_safety, fuzz_with_progress, run_case, two_step_witness, Failure,
-    FuzzCase, FuzzConfig, FuzzProtocol, Schedule,
+    check_liveness, check_safety, fuzz_sharded, fuzz_with_progress, run_case, two_step_witness,
+    Failure, FuzzCase, FuzzConfig, FuzzProtocol, Schedule, ShardFuzzConfig,
 };
 use twostep_telemetry::{Metrics, MetricsSnapshot, Path, RecoveryCase};
 use twostep_types::{ProcessId, SystemConfig};
@@ -52,6 +52,10 @@ OPTIONS:
     --shrink-budget <N>   max schedule executions while shrinking (default 2000)
     --liveness            also flag live processes that never decide
                           (heuristic; termination findings are not shrunk)
+    --shards <K>          run the sharded campaign instead: K ≥ 2 object-
+                          consensus groups on shared nodes, crashing and
+                          restarting a shard-leader node mid-load, judged
+                          per shard plus a cross-shard leakage check
     --replay <SCHEDULE>   run one explicit schedule instead of fuzzing
                           (requires a single --protocol)
     --values <CSV>        initial values for --replay (default all zero)
@@ -71,6 +75,7 @@ struct Opts {
     shrink: bool,
     shrink_budget: usize,
     liveness: bool,
+    shards: usize,
     replay: Option<Schedule>,
     values: Option<Vec<u64>>,
     leader: u32,
@@ -89,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         shrink: true,
         shrink_budget: 2000,
         liveness: false,
+        shards: 1,
         replay: None,
         values: None,
         leader: 0,
@@ -124,6 +130,12 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--no-shrink" => o.shrink = false,
             "--shrink-budget" => o.shrink_budget = parse_num(&value()?)? as usize,
             "--liveness" => o.liveness = true,
+            "--shards" => {
+                o.shards = parse_num(&value()?)? as usize;
+                if o.shards < 2 {
+                    return Err("--shards needs at least 2 (1 is the flat fuzzer)".into());
+                }
+            }
             "--replay" => {
                 let v = value()?;
                 o.replay = Some(
@@ -319,6 +331,60 @@ fn campaign_summary(snap: &MetricsSnapshot) -> String {
     )
 }
 
+/// The sharded campaign: `--shards K` groups of the object protocol on
+/// shared nodes, a shard-leader node crashing and restarting mid-load,
+/// per-shard safety plus cross-shard leakage as the oracle.
+fn run_sharded(o: &Opts) -> Result<bool, String> {
+    let cfg = config_for(FuzzProtocol::Object, o)?;
+    let fc = ShardFuzzConfig::new(o.shards, cfg, o.seed, o.iters);
+    println!(
+        "fuzzing sharded object: shards={} n={} e={} f={} seed={} iters={}",
+        o.shards,
+        cfg.n(),
+        cfg.e(),
+        cfg.f(),
+        o.seed,
+        o.iters,
+    );
+    let out = fuzz_sharded(&fc);
+    match &out.failure {
+        None => {
+            println!(
+                "  clean: {} iterations, {} decide events across {} shards, no violation",
+                out.iterations_run, out.decisions, o.shards
+            );
+            Ok(true)
+        }
+        Some(fail) => {
+            println!(
+                "counterexample found: shards={} n={} e={} f={} iteration={} stream-seed={:#x}",
+                o.shards,
+                cfg.n(),
+                cfg.e(),
+                cfg.f(),
+                fail.iteration,
+                fail.stream_seed,
+            );
+            println!(
+                "  property violated in shard {}: {} — {}",
+                fail.shard,
+                fail.verdict.property(),
+                fail.verdict.detail()
+            );
+            println!(
+                "  replay: twostep-fuzz --shards {} --e {} --f {} --n {} --seed {} --iters {}",
+                o.shards,
+                cfg.e(),
+                cfg.f(),
+                cfg.n(),
+                o.seed,
+                fail.iteration + 1,
+            );
+            Ok(false)
+        }
+    }
+}
+
 fn run_fuzz(o: &Opts) -> Result<bool, String> {
     let mut clean = true;
     for &protocol in &o.protocols {
@@ -395,6 +461,8 @@ fn main() -> ExitCode {
     };
     let result = if opts.replay.is_some() {
         run_replay(&opts)
+    } else if opts.shards >= 2 {
+        run_sharded(&opts)
     } else {
         run_fuzz(&opts)
     };

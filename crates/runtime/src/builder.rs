@@ -2,12 +2,15 @@
 
 use std::time::Duration as WallDuration;
 
-use twostep_smr::{SmrReplicaBuilder, StateMachine};
+use std::sync::Arc;
+
+use twostep_smr::{Routable, SmrReplicaBuilder, StateMachine};
 use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::Protocol;
 use twostep_types::{ProcessId, SystemConfig, Value};
 
 use crate::cluster::Cluster;
+use crate::shard::{ShardRouter, ShardedCluster};
 use crate::RuntimeError;
 
 /// Which transport a [`ClusterBuilder`] deploys over.
@@ -50,10 +53,13 @@ enum TransportKind {
 pub struct ClusterBuilder {
     cfg: SystemConfig,
     wall_delta: WallDuration,
+    link_delay: WallDuration,
     transport: TransportKind,
     obs: ObserverHandle,
+    shard_obs: Vec<ObserverHandle>,
     batch: usize,
     pipeline: usize,
+    shards: usize,
 }
 
 impl ClusterBuilder {
@@ -64,10 +70,13 @@ impl ClusterBuilder {
         ClusterBuilder {
             cfg,
             wall_delta: WallDuration::from_millis(10),
+            link_delay: WallDuration::ZERO,
             transport: TransportKind::InMemory,
             obs: ObserverHandle::none(),
+            shard_obs: Vec::new(),
             batch: 1,
             pipeline: 1,
+            shards: 1,
         }
     }
 
@@ -77,6 +86,23 @@ impl ClusterBuilder {
     #[must_use]
     pub fn wall_delta(mut self, wall_delta: WallDuration) -> Self {
         self.wall_delta = wall_delta;
+        self
+    }
+
+    /// Emulates a one-way link latency on the in-memory transport:
+    /// every payload is held for `delay` before delivery (see
+    /// [`crate::InMemoryTransport::with_delay`]). Zero (the default) is
+    /// the instant transport. Ignored by [`ClusterBuilder::tcp`] — real
+    /// sockets have whatever latency the network has.
+    ///
+    /// Use this to measure pipelining/sharding effects: with instant
+    /// links a single consensus group is CPU-bound and extra in-flight
+    /// capacity buys nothing, while under a wall-clock link latency the
+    /// deployment behaves like a LAN/WAN one, where capacity hides
+    /// latency.
+    #[must_use]
+    pub fn link_delay(mut self, delay: WallDuration) -> Self {
+        self.link_delay = delay;
         self
     }
 
@@ -121,6 +147,29 @@ impl ClusterBuilder {
         self
     }
 
+    /// Hash-partitions the key space across `k` independent consensus
+    /// groups (sharded builds only; see
+    /// [`ClusterBuilder::build_sharded_smr`]). Every node hosts one
+    /// replica of every group on its existing thread and transport
+    /// endpoint; group `s`'s leader preference is rotated to node
+    /// `s mod n`, spreading leader load round-robin.
+    #[must_use]
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k;
+        self
+    }
+
+    /// Attaches per-shard engine telemetry: shard `s` reports its
+    /// decision latencies, wire bytes and protocol paths to
+    /// `handles[s]` (missing entries fall back to the
+    /// [`ClusterBuilder::observed`] handle). Pair with
+    /// `twostep_telemetry`'s `ShardedMetrics::handles`.
+    #[must_use]
+    pub fn shard_observers(mut self, handles: Vec<ObserverHandle>) -> Self {
+        self.shard_obs = handles;
+        self
+    }
+
     /// Builds a cluster running `make(p)` at each process.
     ///
     /// The batching/pipeline knobs do not apply here — they configure
@@ -143,6 +192,7 @@ impl ClusterBuilder {
             TransportKind::InMemory => Ok(Cluster::assemble_in_memory(
                 self.cfg,
                 self.wall_delta,
+                self.link_delay,
                 make,
                 self.obs,
             )),
@@ -176,6 +226,66 @@ impl ClusterBuilder {
                 .build::<C, S>()
         })
     }
+
+    /// Builds a sharded cluster: [`ClusterBuilder::shards`] independent
+    /// SMR groups, each replicating its own instance of `S` over the
+    /// partition of the command space that hashes to it. The
+    /// batching/pipeline knobs apply per group, so total in-flight
+    /// capacity scales with the shard count.
+    ///
+    /// Commands pick their group via [`Routable::route_key`] hashed by
+    /// the cluster's [`ShardRouter`]. A one-shard build is wire- and
+    /// semantics-compatible with [`ClusterBuilder::build_smr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures on the TCP transport; the
+    /// in-memory build is infallible.
+    pub fn build_sharded_smr<C, S>(self) -> Result<ShardedCluster<C>, RuntimeError>
+    where
+        C: Value + Ord + Routable,
+        S: StateMachine<C> + 'static,
+    {
+        let router = ShardRouter::new(self.shards);
+        let route = Arc::new(move |c: &C| router.route(c.route_key().as_ref()));
+        let (cfg, obs, batch, pipeline) = (self.cfg, self.obs.clone(), self.batch, self.pipeline);
+        let shard_obs = self.shard_obs.clone();
+        let make = move |p: ProcessId, s: u32| {
+            let obs = shard_obs
+                .get(s as usize)
+                .cloned()
+                .unwrap_or_else(|| obs.clone());
+            SmrReplicaBuilder::new(cfg, p)
+                .pipeline(pipeline)
+                .batch(batch)
+                .leader_rotation(s)
+                .observed(obs)
+                .build::<C, S>()
+        };
+        match self.transport {
+            TransportKind::InMemory => Ok(ShardedCluster::assemble_in_memory(
+                self.cfg,
+                router,
+                crate::shard::Timing {
+                    wall_delta: self.wall_delta,
+                    link_delay: self.link_delay,
+                },
+                make,
+                route,
+                self.obs,
+                self.shard_obs,
+            )),
+            TransportKind::Tcp => ShardedCluster::assemble_tcp(
+                self.cfg,
+                router,
+                self.wall_delta,
+                make,
+                route,
+                self.obs,
+                self.shard_obs,
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +311,54 @@ mod tests {
         let latency =
             client.submit_and_wait(KvCommand::put("answer", "42"), Duration::from_secs(10));
         assert!(latency.is_some(), "command never committed");
+    }
+
+    #[test]
+    fn sharded_smr_cluster_commits_across_shards() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let cluster = ClusterBuilder::new(cfg)
+            .shards(4)
+            .wall_delta(Duration::from_millis(5))
+            .batch(4)
+            .pipeline(2)
+            .build_sharded_smr::<KvCommand, KvStore>()
+            .unwrap();
+        assert_eq!(cluster.shards(), 4);
+        let client = cluster.client();
+        let router = cluster.router();
+        let mut shards_hit = std::collections::BTreeSet::new();
+        for i in 0..12 {
+            let cmd = KvCommand::put(format!("key-{i}"), format!("v{i}"));
+            let shard = client.shard_of(&cmd);
+            assert_eq!(shard, router.route(format!("key-{i}").as_bytes()));
+            shards_hit.insert(shard);
+            assert!(
+                client
+                    .submit_and_wait(cmd, Duration::from_secs(10))
+                    .is_some(),
+                "command {i} never committed in shard {shard}"
+            );
+        }
+        assert!(shards_hit.len() > 1, "12 keys should span multiple shards");
+        assert!(cluster.agreement(), "per-shard agreement must hold");
+    }
+
+    #[test]
+    fn sharded_cluster_routes_same_key_to_same_shard() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let cluster = ClusterBuilder::new(cfg)
+            .shards(8)
+            .wall_delta(Duration::from_millis(5))
+            .build_sharded_smr::<KvCommand, KvStore>()
+            .unwrap();
+        let client = cluster.client();
+        let put = KvCommand::put("stable-key", "1");
+        let del = KvCommand::delete("stable-key");
+        assert_eq!(
+            client.shard_of(&put),
+            client.shard_of(&del),
+            "all operations on one key share one log"
+        );
     }
 
     #[test]

@@ -26,38 +26,73 @@ struct Waiter {
     tx: Sender<Instant>,
 }
 
+/// One decide event as routed through the cluster:
+/// `(deciding process, shard, value, wall-clock instant)`.
+pub(crate) type DecideEvent<V> = (ProcessId, u32, V, Instant);
+
+/// First decision per shard per process, indexed `[shard][process]`.
+type FirstDecisions<V> = Vec<Vec<Option<(V, Instant)>>>;
+
 /// Decision state shared between the cluster handle, its router thread
-/// and any [`ProxyClient`]s.
+/// and any [`ProxyClient`]s. Every index is `(shard, process)`; an
+/// unsharded cluster is the one-shard special case, with all traffic on
+/// shard 0.
 pub(crate) struct ClusterShared<V> {
-    /// First decision per process (the agreement-checking cache).
-    observed: Mutex<Vec<Option<(V, Instant)>>>,
+    /// First decision per shard per process (the per-shard
+    /// agreement-checking cache).
+    observed: Mutex<FirstDecisions<V>>,
     /// Live subscribers receiving **every** decide event.
-    taps: Mutex<Vec<Sender<(ProcessId, V, Instant)>>>,
+    taps: Mutex<Vec<Sender<DecideEvent<V>>>>,
     /// Clients blocked on one specific value committing at one specific
-    /// proxy, keyed by value. One hash lookup per decide event, however
-    /// many clients wait — fanning every event to every client caps the
-    /// whole cluster's commit rate once closed-loop clients multiply.
-    waiters: Mutex<HashMap<V, Vec<Waiter>>>,
+    /// proxy, keyed by `(shard, value)`. One hash lookup per decide
+    /// event, however many clients wait — fanning every event to every
+    /// client caps the whole cluster's commit rate once closed-loop
+    /// clients multiply. The shard in the key keeps groups isolated: a
+    /// value committing in shard `j` can never wake a waiter registered
+    /// under shard `i ≠ j`, even when the values collide.
+    waiters: Mutex<HashMap<(u32, V), Vec<Waiter>>>,
     next_token: AtomicU64,
 }
 
 impl<V: Value> ClusterShared<V> {
+    /// Fresh shared state for `shards` consensus groups over `n` nodes.
+    pub(crate) fn new(shards: usize, n: usize) -> Arc<Self> {
+        Arc::new(ClusterShared {
+            observed: Mutex::new(vec![vec![None; n]; shards]),
+            taps: Mutex::new(Vec::new()),
+            waiters: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(0),
+        })
+    }
+
+    /// Spawns the router thread draining `rx` into this shared state.
+    pub(crate) fn spawn_router(self: &Arc<Self>, rx: Receiver<DecideEvent<V>>) {
+        let router = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("twostep-cluster-router".into())
+            .spawn(move || router.route(rx))
+            .expect("spawn router thread");
+    }
+
     /// Routes decide events until every node's sender is gone: caches
-    /// each process's first decision, wakes value-waiters, then fans the
-    /// event out to all live taps (dead taps are pruned as they are
-    /// discovered).
-    fn route(self: Arc<Self>, rx: Receiver<(ProcessId, V, Instant)>) {
-        while let Ok((p, v, at)) = rx.recv() {
+    /// each `(shard, process)`'s first decision, wakes the matching
+    /// `(shard, value)` waiters, then fans the event out to all live
+    /// taps (dead taps are pruned as they are discovered).
+    fn route(self: Arc<Self>, rx: Receiver<DecideEvent<V>>) {
+        while let Ok((p, shard, v, at)) = rx.recv() {
             {
                 let mut observed = self.observed.lock();
-                let slot = &mut observed[p.index()];
-                if slot.is_none() {
-                    *slot = Some((v.clone(), at));
+                if let Some(row) = observed.get_mut(shard as usize) {
+                    let slot = &mut row[p.index()];
+                    if slot.is_none() {
+                        *slot = Some((v.clone(), at));
+                    }
                 }
             }
             {
                 let mut waiters = self.waiters.lock();
-                if let Some(list) = waiters.get_mut(&v) {
+                let key = (shard, v.clone());
+                if let Some(list) = waiters.get_mut(&key) {
                     list.retain(|w| {
                         if w.proxy == p {
                             let _ = w.tx.send(at);
@@ -67,38 +102,75 @@ impl<V: Value> ClusterShared<V> {
                         }
                     });
                     if list.is_empty() {
-                        waiters.remove(&v);
+                        waiters.remove(&key);
                     }
                 }
             }
             let mut taps = self.taps.lock();
-            taps.retain(|tap| tap.send((p, v.clone(), at)).is_ok());
+            taps.retain(|tap| tap.send((p, shard, v.clone(), at)).is_ok());
         }
     }
 
-    /// Registers interest in `value` committing at `proxy`; the returned
-    /// receiver yields the commit's wall-clock instant. The token
-    /// identifies this registration for [`ClusterShared::deregister_waiter`].
-    pub(crate) fn register_waiter(&self, value: V, proxy: ProcessId) -> (u64, Receiver<Instant>) {
+    /// Registers interest in `value` committing in `shard` at `proxy`;
+    /// the returned receiver yields the commit's wall-clock instant. The
+    /// token identifies this registration for
+    /// [`ClusterShared::deregister_waiter`].
+    pub(crate) fn register_waiter(
+        &self,
+        shard: u32,
+        value: V,
+        proxy: ProcessId,
+    ) -> (u64, Receiver<Instant>) {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = crossbeam::channel::unbounded();
         self.waiters
             .lock()
-            .entry(value)
+            .entry((shard, value))
             .or_default()
             .push(Waiter { proxy, token, tx });
         (token, rx)
     }
 
     /// Drops a registration that timed out without being woken.
-    pub(crate) fn deregister_waiter(&self, value: &V, token: u64) {
+    pub(crate) fn deregister_waiter(&self, shard: u32, value: &V, token: u64) {
         let mut waiters = self.waiters.lock();
-        if let Some(list) = waiters.get_mut(value) {
+        // The key is rebuilt by clone because HashMap's borrowed-key
+        // lookup cannot borrow through a tuple of owned parts.
+        let key = (shard, value.clone());
+        if let Some(list) = waiters.get_mut(&key) {
             list.retain(|w| w.token != token);
             if list.is_empty() {
-                waiters.remove(value);
+                waiters.remove(&key);
             }
         }
+    }
+
+    /// The first decision of `(shard, p)` observed so far.
+    pub(crate) fn first_decision(&self, shard: u32, p: ProcessId) -> Option<(V, Instant)> {
+        self.observed
+            .lock()
+            .get(shard as usize)
+            .and_then(|row| row[p.index()].clone())
+    }
+
+    /// All first decisions of one shard, by process.
+    pub(crate) fn shard_decisions(&self, shard: u32) -> Vec<Option<V>> {
+        self.observed
+            .lock()
+            .get(shard as usize)
+            .map(|row| {
+                row.iter()
+                    .map(|slot| slot.as_ref().map(|(v, _)| v.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Subscribes a tap receiving every decide event from now on.
+    pub(crate) fn subscribe(&self) -> Receiver<(ProcessId, u32, V, Instant)> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.taps.lock().push(tx);
+        rx
     }
 }
 
@@ -138,20 +210,11 @@ impl<V: Value> Cluster<V> {
     fn assemble(
         cfg: SystemConfig,
         nodes: Vec<NodeHandle<V>>,
-        decisions: Receiver<(ProcessId, V, Instant)>,
+        decisions: Receiver<(ProcessId, u32, V, Instant)>,
         obs: ObserverHandle,
     ) -> Self {
-        let shared = Arc::new(ClusterShared {
-            observed: Mutex::new(vec![None; cfg.n()]),
-            taps: Mutex::new(Vec::new()),
-            waiters: Mutex::new(HashMap::new()),
-            next_token: AtomicU64::new(0),
-        });
-        let router = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("twostep-cluster-router".into())
-            .spawn(move || router.route(decisions))
-            .expect("spawn router thread");
+        let shared = ClusterShared::new(1, cfg.n());
+        shared.spawn_router(decisions);
         Cluster {
             cfg,
             nodes,
@@ -167,6 +230,7 @@ impl<V: Value> Cluster<V> {
     pub(crate) fn assemble_in_memory<P, F>(
         cfg: SystemConfig,
         wall_delta: WallDuration,
+        link_delay: WallDuration,
         mut make: F,
         obs: ObserverHandle,
     ) -> Self
@@ -175,7 +239,7 @@ impl<V: Value> Cluster<V> {
         F: FnMut(ProcessId) -> P,
     {
         let n = cfg.n();
-        let (transport, inboxes) = InMemoryTransport::new(n);
+        let (transport, inboxes) = InMemoryTransport::with_delay(n, link_delay);
         let (dtx, drx) = crossbeam::channel::unbounded();
         let mut nodes = Vec::with_capacity(n);
         for (i, inbox) in inboxes.into_iter().enumerate() {
@@ -242,7 +306,13 @@ impl<V: Value> Cluster<V> {
         P: Protocol<V> + 'static,
         F: FnMut(ProcessId) -> P,
     {
-        Self::assemble_in_memory(cfg, wall_delta, make, ObserverHandle::none())
+        Self::assemble_in_memory(
+            cfg,
+            wall_delta,
+            WallDuration::ZERO,
+            make,
+            ObserverHandle::none(),
+        )
     }
 
     /// Like [`Cluster::in_memory`], with telemetry hooks: every node
@@ -259,7 +329,7 @@ impl<V: Value> Cluster<V> {
         P: Protocol<V> + 'static,
         F: FnMut(ProcessId) -> P,
     {
-        Self::assemble_in_memory(cfg, wall_delta, make, obs)
+        Self::assemble_in_memory(cfg, wall_delta, WallDuration::ZERO, make, obs)
     }
 
     /// Spawns the cluster over localhost TCP (real sockets, framing and
@@ -320,7 +390,7 @@ impl<V: Value> Cluster<V> {
     /// latency (see [`ProxyClient::submit_and_wait`]). Any number of
     /// clients may share one proxy.
     pub fn proxy_client(&self, p: ProcessId) -> ProxyClient<V> {
-        ProxyClient::new(
+        ProxyClient::single(
             p,
             self.nodes[p.index()].control(),
             Arc::clone(&self.shared),
@@ -335,17 +405,14 @@ impl<V: Value> Cluster<V> {
 
     /// The first decision of `p` observed so far, without blocking.
     pub fn decision_of(&self, p: ProcessId) -> Option<V> {
-        self.shared.observed.lock()[p.index()]
-            .as_ref()
-            .map(|(v, _)| v.clone())
+        self.shared.first_decision(0, p).map(|(v, _)| v)
     }
 
     /// Waits until `p` decides or `timeout` elapses; returns the value.
     pub fn await_decision(&self, p: ProcessId, timeout: WallDuration) -> Option<V> {
         // Subscribe before checking the cache so an event landing in
         // between is seen either way (no lost wakeup).
-        let (tx, rx) = crossbeam::channel::unbounded();
-        self.shared.taps.lock().push(tx);
+        let rx = self.shared.subscribe();
         if let Some(v) = self.decision_of(p) {
             return Some(v);
         }
@@ -356,7 +423,7 @@ impl<V: Value> Cluster<V> {
                 return None;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok((q, v, _)) if q == p => return Some(v),
+                Ok((q, _, v, _)) if q == p => return Some(v),
                 Ok(_) => {}
                 Err(_) => return None,
             }
@@ -382,19 +449,14 @@ impl<V: Value> Cluster<V> {
 
     /// The decision latency of `p` relative to cluster start, if decided.
     pub fn decision_latency(&self, p: ProcessId) -> Option<WallDuration> {
-        self.shared.observed.lock()[p.index()]
-            .as_ref()
+        self.shared
+            .first_decision(0, p)
             .map(|(_, at)| at.duration_since(self.started))
     }
 
     /// All first decisions observed so far, by process.
     pub fn decisions(&self) -> Vec<Option<V>> {
-        self.shared
-            .observed
-            .lock()
-            .iter()
-            .map(|slot| slot.as_ref().map(|(v, _)| v.clone()))
-            .collect()
+        self.shared.shard_decisions(0)
     }
 
     /// Whether all observed decisions agree on a single value.
@@ -506,6 +568,79 @@ mod tests {
         let latency = client.submit_and_wait(61, WallDuration::from_secs(5));
         assert!(latency.is_some(), "client never saw its command commit");
         assert_eq!(cluster.decision_of(p(1)), Some(61));
+    }
+
+    // The (shard, value) waiter key is what keeps groups isolated at the
+    // client layer: colliding values in different shards must never wake
+    // each other's waiters. Driven as a property over shard pairs,
+    // values and proxies because the bug class (keying by value alone)
+    // only shows when values collide across shards.
+    mod waiter_isolation {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn decides_never_wake_waiters_of_other_shards(
+                deciding in 0u32..4,
+                bystander in 0u32..4,
+                value in any::<u64>(),
+                proxy in 0u32..3,
+            ) {
+                prop_assume!(deciding != bystander);
+                let shared: Arc<ClusterShared<u64>> = ClusterShared::new(4, 3);
+                let (dtx, drx) = crossbeam::channel::unbounded();
+                shared.spawn_router(drx);
+                let at = p(proxy);
+                let (_tok_b, rx_bystander) = shared.register_waiter(bystander, value, at);
+                let (_tok_d, rx_deciding) = shared.register_waiter(deciding, value, at);
+                dtx.send((at, deciding, value, Instant::now())).unwrap();
+                // The matching waiter wakes...
+                prop_assert!(
+                    rx_deciding.recv_timeout(WallDuration::from_secs(5)).is_ok(),
+                    "waiter on the deciding shard was never woken"
+                );
+                // ...and because the router handles events in order, the
+                // same-valued waiter under the other shard has already
+                // been passed over, not merely not-yet-woken.
+                prop_assert!(
+                    rx_bystander.try_recv().is_err(),
+                    "a decide in shard {deciding} woke a waiter registered under shard {bystander}"
+                );
+                // The bystander's registration is still live: a decide
+                // in *its* shard reaches it.
+                dtx.send((at, bystander, value, Instant::now())).unwrap();
+                prop_assert!(
+                    rx_bystander.recv_timeout(WallDuration::from_secs(5)).is_ok(),
+                    "bystander's registration was lost"
+                );
+            }
+
+            #[test]
+            fn decides_only_wake_the_matching_proxy(
+                shard in 0u32..4,
+                value in any::<u64>(),
+                deciding_proxy in 0u32..3,
+                other_proxy in 0u32..3,
+            ) {
+                prop_assume!(deciding_proxy != other_proxy);
+                let shared: Arc<ClusterShared<u64>> = ClusterShared::new(4, 3);
+                let (dtx, drx) = crossbeam::channel::unbounded();
+                shared.spawn_router(drx);
+                let (_tok_o, rx_other) =
+                    shared.register_waiter(shard, value, p(other_proxy));
+                let (_tok_d, rx_deciding) =
+                    shared.register_waiter(shard, value, p(deciding_proxy));
+                dtx.send((p(deciding_proxy), shard, value, Instant::now())).unwrap();
+                prop_assert!(rx_deciding.recv_timeout(WallDuration::from_secs(5)).is_ok());
+                prop_assert!(
+                    rx_other.try_recv().is_err(),
+                    "a decide at proxy {deciding_proxy} woke a waiter bound to proxy {other_proxy}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -194,6 +194,62 @@ pub fn unpack_frame(payload: &bytes::Bytes) -> Result<Vec<bytes::Bytes>, CodecEr
     }
 }
 
+/// Tag identifying a *shard-addressed* payload: one encoded message
+/// prefixed with the consensus group (shard) it belongs to (see
+/// [`tag_shard`]).
+///
+/// Reserved by the same argument as [`FRAME_MAGIC`]: every wire message
+/// is a serde enum whose encoding begins with a tiny little-endian
+/// `u32` variant index, so an untagged payload can never start with
+/// this pattern. [`split_shard`] exploits that to treat untagged
+/// payloads as shard 0 traffic, keeping single-group deployments and
+/// old peers on the zero-overhead legacy wire format.
+pub const SHARD_MAGIC: u32 = 0xC0A1_E5CF;
+
+/// Wraps one encoded message payload in a shard envelope:
+///
+/// ```text
+/// [SHARD_MAGIC: u32 LE][shard: u32 LE][payload bytes]
+/// ```
+///
+/// The inverse is [`split_shard`]. Sharded nodes tag each message with
+/// its group before handing it to the transport; the envelope nests
+/// *inside* coalesced frames (tag first, [`pack_frame`] second), so one
+/// transport frame can interleave traffic for many shards.
+pub fn tag_shard(shard: u32, payload: &bytes::Bytes) -> bytes::Bytes {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&SHARD_MAGIC.to_le_bytes());
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.extend_from_slice(payload);
+    bytes::Bytes::from(out)
+}
+
+/// Splits a message payload into its shard id and inner payload.
+///
+/// A payload beginning with [`SHARD_MAGIC`] is parsed as a shard
+/// envelope; anything else is a legacy untagged payload and is
+/// attributed to shard 0, so unsharded senders interoperate with
+/// sharded receivers.
+///
+/// # Errors
+///
+/// Returns [`CodecError::UnexpectedEof`] if a tagged payload is
+/// truncated before the shard id completes.
+pub fn split_shard(payload: &bytes::Bytes) -> Result<(u32, bytes::Bytes), CodecError> {
+    let buf: &[u8] = payload;
+    let is_tagged = buf.len() >= 4 && buf[..4] == SHARD_MAGIC.to_le_bytes();
+    if !is_tagged {
+        return Ok((0, payload.clone()));
+    }
+    if buf.len() < 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let shard = u32::from_le_bytes(buf[4..8].try_into().expect("exact length"));
+    // The vendored `Bytes` has no zero-copy `slice`; copying the inner
+    // payload out is the supported extraction path.
+    Ok((shard, bytes::Bytes::from(buf[8..].to_vec())))
+}
+
 struct Encoder<'a> {
     out: &'a mut Vec<u8>,
 }
@@ -859,6 +915,49 @@ mod tests {
         raw.push(0xAA);
         let err = unpack_frame(&bytes::Bytes::from(raw)).unwrap_err();
         assert_eq!(err, CodecError::TrailingBytes { remaining: 1 });
+    }
+
+    #[test]
+    fn shard_tag_roundtrips() {
+        let inner = bytes::Bytes::from(to_bytes(&Sample::Newtype(7)).unwrap());
+        for shard in [0u32, 1, 7, u32::MAX] {
+            let tagged = tag_shard(shard, &inner);
+            assert_eq!(split_shard(&tagged).unwrap(), (shard, inner.clone()));
+        }
+    }
+
+    #[test]
+    fn untagged_payload_maps_to_shard_zero() {
+        let legacy = bytes::Bytes::from(to_bytes(&Sample::Newtype(7)).unwrap());
+        assert_eq!(split_shard(&legacy).unwrap(), (0, legacy.clone()));
+        let short = bytes::Bytes::from(vec![3u8]);
+        assert_eq!(split_shard(&short).unwrap(), (0, short.clone()));
+        let empty = bytes::Bytes::from(Vec::new());
+        assert_eq!(split_shard(&empty).unwrap(), (0, empty.clone()));
+    }
+
+    #[test]
+    fn truncated_shard_tag_rejected() {
+        let tagged = tag_shard(3, &bytes::Bytes::from(vec![9u8; 8]));
+        for cut in [4, 5, 7] {
+            let truncated = bytes::Bytes::from(tagged[..cut].to_vec());
+            assert_eq!(
+                split_shard(&truncated).unwrap_err(),
+                CodecError::UnexpectedEof,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_tags_nest_inside_coalesced_frames() {
+        let a = tag_shard(0, &bytes::Bytes::from(to_bytes(&1u64).unwrap()));
+        let b = tag_shard(5, &bytes::Bytes::from(to_bytes(&2u64).unwrap()));
+        let frame = pack_frame(&[a.clone(), b.clone()]);
+        let back = unpack_frame(&frame).unwrap();
+        assert_eq!(back, vec![a, b]);
+        let shards: Vec<u32> = back.iter().map(|p| split_shard(p).unwrap().0).collect();
+        assert_eq!(shards, vec![0, 5]);
     }
 
     #[test]

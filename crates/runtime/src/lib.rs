@@ -23,6 +23,12 @@
 //! * [`ProxyClient`] — a closed-loop client bound to one proxy:
 //!   submit a command, wait for its commit, measure per-command
 //!   (amortized) latency.
+//! * [`ShardedCluster`] — hash-partitioned deployments: `k` independent
+//!   consensus groups multiplexed over the same nodes and transport
+//!   (shard-tagged wire envelopes, round-robin group leaders, a
+//!   `(shard, value)`-keyed waiter registry), built via
+//!   [`ClusterBuilder::shards`] +
+//!   [`ClusterBuilder::build_sharded_smr`].
 //!
 //! Design note: the runtime deliberately contains *no protocol logic* —
 //! crash injection is thread shutdown, timeouts are the protocol's own
@@ -38,6 +44,7 @@ pub mod codec;
 mod error;
 pub mod node;
 mod proxy;
+pub mod shard;
 mod transport;
 
 pub use builder::ClusterBuilder;
@@ -45,4 +52,5 @@ pub use cluster::Cluster;
 pub use error::RuntimeError;
 pub use node::{Control, NodeHandle, NodeOptions};
 pub use proxy::ProxyClient;
+pub use shard::{fnv1a64, ShardRouter, ShardedCluster};
 pub use transport::{InMemoryTransport, TcpTransport, Transport, MAX_COALESCE, RECONNECT_BACKOFF};

@@ -18,8 +18,12 @@ use crate::transport::Transport;
 #[derive(Debug)]
 pub enum Control<V> {
     /// A client proposal submitted at this node (the *proxy* role from
-    /// the paper's introduction).
+    /// the paper's introduction). Routed to shard 0 — the only shard on
+    /// an unsharded node.
     Propose(V),
+    /// A client proposal addressed to a specific consensus group on a
+    /// sharded node. `ProposeAt(0, v)` is equivalent to `Propose(v)`.
+    ProposeAt(u32, V),
     /// Stop the node immediately — models a crash (no clean handover).
     Shutdown,
 }
@@ -41,6 +45,12 @@ impl<V> NodeHandle<V> {
     /// Submits a client proposal; silently dropped if the node crashed.
     pub fn propose(&self, value: V) {
         let _ = self.control.send(Control::Propose(value));
+    }
+
+    /// Submits a client proposal to a specific shard of a sharded node;
+    /// silently dropped if the node crashed or the shard is not hosted.
+    pub fn propose_at(&self, shard: u32, value: V) {
+        let _ = self.control.send(Control::ProposeAt(shard, value));
     }
 
     /// A clone of the control channel, for client handles that outlive
@@ -72,35 +82,42 @@ impl<V> Drop for NodeHandle<V> {
     }
 }
 
-/// Engine-level options for [`spawn_node`].
+/// Engine-level options for [`spawn_node`] / [`spawn_sharded_node`].
 ///
 /// * `wall_delta` — the wall-clock duration of one `Δ`; protocol timer
 ///   delays (expressed in virtual units where `Δ` = [`DELTA`]) are
 ///   scaled by `wall_delta / Δ`. Defaults to 10ms.
 /// * `decisions` — every `decide(v)` event is reported as
-///   `(id, v, wall time)`.
+///   `(id, shard, v, wall time)`; unsharded nodes always report
+///   shard 0.
 /// * `observer` — engine telemetry: per-kind encoded sizes
 ///   (`bytes_sent`) and this process's first decision latency in
 ///   wall-clock **microseconds** since node start (`decision_latency`).
 ///   Protocol-level events are reported by the protocol instance itself
 ///   — pass the same handle to its builder's `observed`.
+/// * `shard_observers` — optional per-shard engine telemetry; shard `s`
+///   reports to `shard_observers[s]` when present, falling back to the
+///   shared `observer` otherwise.
 #[derive(Debug, Clone)]
 pub struct NodeOptions<V> {
     /// Wall-clock length of one `Δ`.
     pub wall_delta: WallDuration,
-    /// Sink for `decide(v)` events.
-    pub decisions: Sender<(ProcessId, V, Instant)>,
+    /// Sink for `decide(v)` events, tagged with the deciding shard.
+    pub decisions: Sender<(ProcessId, u32, V, Instant)>,
     /// Engine telemetry hooks (detached by default).
     pub observer: ObserverHandle,
+    /// Per-shard engine telemetry hooks (empty by default).
+    pub shard_observers: Vec<ObserverHandle>,
 }
 
 impl<V> NodeOptions<V> {
     /// Options with the default Δ (10ms) and no observer.
-    pub fn new(decisions: Sender<(ProcessId, V, Instant)>) -> Self {
+    pub fn new(decisions: Sender<(ProcessId, u32, V, Instant)>) -> Self {
         NodeOptions {
             wall_delta: WallDuration::from_millis(10),
             decisions,
             observer: ObserverHandle::none(),
+            shard_observers: Vec::new(),
         }
     }
 
@@ -117,6 +134,14 @@ impl<V> NodeOptions<V> {
         self.observer = observer;
         self
     }
+
+    /// Attaches per-shard engine telemetry hooks (shard `s` uses entry
+    /// `s`; missing entries fall back to the shared observer).
+    #[must_use]
+    pub fn shard_observed(mut self, shard_observers: Vec<ObserverHandle>) -> Self {
+        self.shard_observers = shard_observers;
+        self
+    }
 }
 
 /// Spawns `protocol` on its own thread.
@@ -129,7 +154,7 @@ impl<V> NodeOptions<V> {
 ///   to [`Transport::send_many`] as a burst, so coalescing transports
 ///   move them in one operation.
 pub fn spawn_node<V, P, T>(
-    mut protocol: P,
+    protocol: P,
     inbox: Receiver<(ProcessId, Bytes)>,
     transport: T,
     opts: NodeOptions<V>,
@@ -139,40 +164,91 @@ where
     P: Protocol<V> + 'static,
     T: Transport,
 {
-    let id = protocol.id();
+    spawn_sharded_node(vec![protocol], inbox, transport, opts)
+}
+
+/// Spawns one OS thread hosting `shards.len()` independent protocol
+/// instances multiplexed over one transport endpoint — the sharded
+/// deployment shape: every physical node runs one replica of *every*
+/// consensus group.
+///
+/// All instances must report the same [`Protocol::id`] (they are the
+/// same physical node). Shard `s`'s outgoing messages are wrapped in a
+/// [`codec::tag_shard`] envelope when the node hosts more than one
+/// shard; a single-shard node stays on the untagged legacy wire format,
+/// which [`codec::split_shard`] reads back as shard 0. Incoming
+/// payloads are first split out of coalesced frames, then routed to
+/// their shard's instance; traffic for shards this node does not host
+/// is dropped and reported to the observer.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty or the instances disagree on their
+/// process id.
+pub fn spawn_sharded_node<V, P, T>(
+    mut shards: Vec<P>,
+    inbox: Receiver<(ProcessId, Bytes)>,
+    transport: T,
+    opts: NodeOptions<V>,
+) -> NodeHandle<V>
+where
+    V: Value,
+    P: Protocol<V> + 'static,
+    T: Transport,
+{
+    assert!(!shards.is_empty(), "a node hosts at least one shard");
+    let id = shards[0].id();
+    assert!(
+        shards.iter().all(|s| s.id() == id),
+        "all shard instances on one node share its process id"
+    );
+    let nshards = shards.len();
     let (control_tx, control_rx) = crossbeam::channel::unbounded::<Control<V>>();
     let join = thread::Builder::new()
         .name(format!("twostep-node-{id}"))
         .spawn(move || {
             let started = Instant::now();
+            let obs: Vec<ObserverHandle> = (0..nshards)
+                .map(|s| {
+                    opts.shard_observers
+                        .get(s)
+                        .cloned()
+                        .unwrap_or_else(|| opts.observer.clone())
+                })
+                .collect();
             let mut node = NodeCtx {
                 id,
                 transport,
                 wall_delta: opts.wall_delta,
+                // Messages are shard-tagged only when there is traffic
+                // from more than one group to tell apart.
+                tagged: nshards > 1,
                 timers: HashMap::new(),
                 decisions: opts.decisions,
-                obs: opts.observer,
+                obs,
                 started,
-                decided: false,
+                decided: vec![false; nshards],
             };
-            let mut eff = Effects::new();
-            protocol.on_start(&mut eff);
-            node.apply(eff.drain());
+            for (s, shard) in shards.iter_mut().enumerate() {
+                let mut eff = Effects::new();
+                shard.on_start(&mut eff);
+                node.apply(s as u32, eff.drain());
+            }
 
             loop {
                 // Fire due timers first.
                 let now = Instant::now();
-                let due: Vec<TimerId> = node
+                let due: Vec<(u32, TimerId)> = node
                     .timers
                     .iter()
                     .filter(|(_, deadline)| **deadline <= now)
-                    .map(|(t, _)| *t)
+                    .map(|(k, _)| *k)
                     .collect();
-                for t in due {
-                    node.timers.remove(&t);
+                for (s, t) in due {
+                    node.timers.remove(&(s, t));
                     let mut eff = Effects::new();
-                    protocol.on_timer(t, &mut eff);
-                    node.apply(eff);
+                    shards[s as usize].on_timer(t, &mut eff);
+                    node.apply(s, eff);
                 }
                 let wait = node
                     .timers
@@ -190,13 +266,7 @@ where
                             // malformed sub-payload only itself.
                             if let Ok(msgs) = codec::unpack_frame(&payload) {
                                 for m in msgs {
-                                    if let Ok(decoded) =
-                                        codec::from_bytes::<P::Message>(&m)
-                                    {
-                                        let mut eff = Effects::new();
-                                        protocol.on_message(from, decoded, &mut eff);
-                                        node.apply(eff);
-                                    }
+                                    node.dispatch(&mut shards, from, &m);
                                 }
                             }
                         }
@@ -205,8 +275,15 @@ where
                     recv(control_rx) -> ctl => match ctl {
                         Ok(Control::Propose(v)) => {
                             let mut eff = Effects::new();
-                            protocol.on_propose(v, &mut eff);
-                            node.apply(eff);
+                            shards[0].on_propose(v, &mut eff);
+                            node.apply(0, eff);
+                        }
+                        Ok(Control::ProposeAt(s, v)) => {
+                            if let Some(shard) = shards.get_mut(s as usize) {
+                                let mut eff = Effects::new();
+                                shard.on_propose(v, &mut eff);
+                                node.apply(s, eff);
+                            }
                         }
                         Ok(Control::Shutdown) | Err(_) => break,
                     },
@@ -223,80 +300,49 @@ where
     }
 }
 
-/// Spawns `protocol` unobserved with an explicit Δ.
-#[deprecated(since = "0.1.0", note = "use `spawn_node` with `NodeOptions`")]
-pub fn spawn<V, P, T>(
-    protocol: P,
-    inbox: Receiver<(ProcessId, Bytes)>,
-    transport: T,
-    wall_delta: WallDuration,
-    decisions: Sender<(ProcessId, V, Instant)>,
-) -> NodeHandle<V>
-where
-    V: Value,
-    P: Protocol<V> + 'static,
-    T: Transport,
-{
-    spawn_node(
-        protocol,
-        inbox,
-        transport,
-        NodeOptions::new(decisions).wall_delta(wall_delta),
-    )
-}
-
-/// Spawns `protocol` with telemetry hooks and an explicit Δ.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `spawn_node` with `NodeOptions::new(..).observed(obs)`"
-)]
-pub fn spawn_observed<V, P, T>(
-    protocol: P,
-    inbox: Receiver<(ProcessId, Bytes)>,
-    transport: T,
-    wall_delta: WallDuration,
-    decisions: Sender<(ProcessId, V, Instant)>,
-    obs: ObserverHandle,
-) -> NodeHandle<V>
-where
-    V: Value,
-    P: Protocol<V> + 'static,
-    T: Transport,
-{
-    spawn_node(
-        protocol,
-        inbox,
-        transport,
-        NodeOptions::new(decisions)
-            .wall_delta(wall_delta)
-            .observed(obs),
-    )
-}
-
 /// The per-thread engine state shared by every effect application.
 struct NodeCtx<V, T> {
     id: ProcessId,
     transport: T,
     wall_delta: WallDuration,
-    timers: HashMap<TimerId, Instant>,
-    decisions: Sender<(ProcessId, V, Instant)>,
-    obs: ObserverHandle,
+    tagged: bool,
+    timers: HashMap<(u32, TimerId), Instant>,
+    decisions: Sender<(ProcessId, u32, V, Instant)>,
+    obs: Vec<ObserverHandle>,
     started: Instant,
-    decided: bool,
+    decided: Vec<bool>,
 }
 
 impl<V: Value, T: Transport> NodeCtx<V, T> {
-    fn apply<M: std::fmt::Debug + serde::Serialize>(&mut self, eff: Effects<V, M>) {
+    /// Routes one decoded-off-the-wire payload to its shard's instance.
+    fn dispatch<P: Protocol<V>>(&mut self, shards: &mut [P], from: ProcessId, payload: &Bytes) {
+        let Ok((shard, inner)) = codec::split_shard(payload) else {
+            return; // truncated shard envelope: drop the message
+        };
+        let Some(instance) = shards.get_mut(shard as usize) else {
+            // Traffic for a group this node does not host — a peer with
+            // a different shard map. Observable, not fatal.
+            self.obs[0].message_dropped(self.id, from);
+            return;
+        };
+        if let Ok(decoded) = codec::from_bytes::<P::Message>(&inner) {
+            let mut eff = Effects::new();
+            instance.on_message(from, decoded, &mut eff);
+            self.apply(shard, eff);
+        }
+    }
+
+    fn apply<M: std::fmt::Debug + serde::Serialize>(&mut self, shard: u32, eff: Effects<V, M>) {
+        let s = shard as usize;
         for v in eff.decisions {
             let at = Instant::now();
-            if !self.decided {
-                self.decided = true;
+            if !self.decided[s] {
+                self.decided[s] = true;
                 // Wall-clock latency since node start, in microseconds.
                 let us = at.duration_since(self.started).as_micros();
-                self.obs
-                    .decision_latency(self.id, u64::try_from(us).unwrap_or(u64::MAX));
+                self.obs[s].decision_latency(self.id, u64::try_from(us).unwrap_or(u64::MAX));
             }
-            let _ = self.decisions.send((self.id, v, at));
+            let _ = self.decisions.send((self.id, shard, v, at));
         }
         // Group the step's sends per destination (preserving each
         // destination's order) so a coalescing transport can flush one
@@ -305,10 +351,15 @@ impl<V: Value, T: Transport> NodeCtx<V, T> {
         for (to, msg) in eff.sends {
             match codec::to_bytes(&msg) {
                 Ok(bytes) => {
-                    if self.obs.is_attached() {
-                        self.obs.bytes_sent(self.id, &msg_kind(&msg), bytes.len());
+                    if self.obs[s].is_attached() {
+                        self.obs[s].bytes_sent(self.id, &msg_kind(&msg), bytes.len());
                     }
-                    let payload = Bytes::from(bytes);
+                    let encoded = Bytes::from(bytes);
+                    let payload = if self.tagged {
+                        codec::tag_shard(shard, &encoded)
+                    } else {
+                        encoded
+                    };
                     match by_dest.iter_mut().find(|(d, _)| *d == to) {
                         Some((_, burst)) => burst.push(payload),
                         None => by_dest.push((to, vec![payload])),
@@ -328,10 +379,10 @@ impl<V: Value, T: Transport> NodeCtx<V, T> {
             let wall = self
                 .wall_delta
                 .mul_f64(delay.units() as f64 / DELTA.units() as f64);
-            self.timers.insert(timer, Instant::now() + wall);
+            self.timers.insert((shard, timer), Instant::now() + wall);
         }
         for timer in eff.timer_cancels {
-            self.timers.remove(&timer);
+            self.timers.remove(&(shard, timer));
         }
     }
 }
@@ -403,13 +454,30 @@ mod tests {
         inbox: Receiver<(ProcessId, Bytes)>,
         transport: InMemoryTransport,
         wall_delta: WallDuration,
-        dtx: Sender<(ProcessId, u64, Instant)>,
+        dtx: Sender<(ProcessId, u32, u64, Instant)>,
     ) -> NodeHandle<u64> {
         spawn_node(
             Toy { me, decided: None },
             inbox,
             transport,
             NodeOptions::new(dtx).wall_delta(wall_delta),
+        )
+    }
+
+    /// A node hosting `shards` independent `Toy` instances.
+    fn spawn_sharded_toy(
+        me: ProcessId,
+        shards: usize,
+        inbox: Receiver<(ProcessId, Bytes)>,
+        transport: InMemoryTransport,
+        dtx: Sender<(ProcessId, u32, u64, Instant)>,
+    ) -> NodeHandle<u64> {
+        let instances = (0..shards).map(|_| Toy { me, decided: None }).collect();
+        spawn_sharded_node(
+            instances,
+            inbox,
+            transport,
+            NodeOptions::new(dtx).wall_delta(WallDuration::from_millis(10)),
         )
     }
 
@@ -425,8 +493,8 @@ mod tests {
             dtx,
         );
         node.propose(42);
-        let (who, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
-        assert_eq!((who, v), (p(0), 42));
+        let (who, shard, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((who, shard, v), (p(0), 0, 42));
     }
 
     #[test]
@@ -453,7 +521,7 @@ mod tests {
         // Echo(105) to node 0, which decides 105.
         let bytes = codec::to_bytes(&Echo(5)).unwrap();
         transport.send(p(0), p(1), Bytes::from(bytes));
-        let (who, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        let (who, _, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
         assert_eq!((who, v), (p(0), 105));
     }
 
@@ -478,9 +546,62 @@ mod tests {
                 Bytes::from(codec::to_bytes(&Echo(12)).unwrap()),
             ],
         );
-        let (_, v1, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
-        let (_, v2, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        let (_, _, v1, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        let (_, _, v2, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
         assert_eq!((v1, v2), (11, 12));
+    }
+
+    #[test]
+    fn sharded_node_routes_proposals_and_tags_decisions() {
+        let (transport, mut inboxes) = InMemoryTransport::new(1);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let node = spawn_sharded_toy(p(0), 3, inboxes.remove(0), transport, dtx);
+        node.propose_at(2, 7);
+        let (who, shard, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((who, shard, v), (p(0), 2, 7));
+        // Plain propose lands on shard 0.
+        node.propose(8);
+        let (_, shard, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((shard, v), (0, 8));
+        // Proposals to unhosted shards are dropped, not crashed.
+        node.propose_at(9, 1);
+        node.propose_at(1, 3);
+        let (_, shard, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((shard, v), (1, 3));
+    }
+
+    #[test]
+    fn sharded_nodes_tag_wire_traffic_per_shard() {
+        let (transport, mut inboxes) = InMemoryTransport::new(2);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let rx1 = inboxes.pop().unwrap();
+        let rx0 = inboxes.pop().unwrap();
+        let _n0 = spawn_sharded_toy(p(0), 2, rx0, transport.clone(), dtx.clone());
+        let _n1 = spawn_sharded_toy(p(1), 2, rx1, transport.clone(), dtx);
+        // Inject Echo(5) tagged for shard 1 of node 1, as if from node 0:
+        // node 1's shard 1 replies Echo(105) — tagged, because the node
+        // hosts two shards — and node 0's shard 1 decides 105.
+        let inner = Bytes::from(codec::to_bytes(&Echo(5)).unwrap());
+        transport.send(p(0), p(1), codec::tag_shard(1, &inner));
+        let (who, shard, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((who, shard, v), (p(0), 1, 105));
+    }
+
+    #[test]
+    fn untagged_traffic_reaches_shard_zero_of_sharded_node() {
+        let (transport, mut inboxes) = InMemoryTransport::new(1);
+        let (dtx, drx) = crossbeam::channel::unbounded();
+        let _node = spawn_sharded_toy(p(0), 2, inboxes.remove(0), transport.clone(), dtx);
+        // A legacy untagged deciding message is shard 0 traffic.
+        transport.send(p(0), p(0), Bytes::from(codec::to_bytes(&Echo(11)).unwrap()));
+        let (_, shard, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((shard, v), (0, 11));
+        // Traffic for an unhosted shard is dropped; the node survives.
+        let inner = Bytes::from(codec::to_bytes(&Echo(12)).unwrap());
+        transport.send(p(0), p(0), codec::tag_shard(7, &inner));
+        transport.send(p(0), p(0), codec::tag_shard(1, &inner));
+        let (_, shard, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        assert_eq!((shard, v), (1, 12));
     }
 
     #[test]
@@ -495,7 +616,7 @@ mod tests {
             WallDuration::from_millis(5), // Δ = 5ms → timer at 20ms
             dtx,
         );
-        let (_, v, at) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        let (_, _, v, at) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
         assert_eq!(v, 999);
         let elapsed = at.duration_since(started);
         assert!(
@@ -539,7 +660,7 @@ mod tests {
         transport.send(p(0), p(0), Bytes::from(packed[..6].to_vec()));
         // Node survives garbage and still handles proposals.
         _node.propose(7);
-        let (_, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
+        let (_, _, v, _) = drx.recv_timeout(WallDuration::from_secs(5)).unwrap();
         assert_eq!(v, 7);
     }
 }

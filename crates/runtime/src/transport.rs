@@ -38,12 +38,25 @@ pub trait Transport: Send + Sync + 'static {
     }
 }
 
+/// A payload queued on the delay line:
+/// `(maturity instant, from, to, payload)`.
+type DelayedPayload = (std::time::Instant, ProcessId, ProcessId, Bytes);
+
 /// In-memory transport: each node's inbox is a crossbeam channel.
 ///
 /// A multi-payload [`Transport::send_many`] is coalesced into one
 /// channel send carrying a packed frame; receivers split it back apart
 /// with [`codec::unpack_frame`] (the runtime node does this for every
 /// inbox payload).
+///
+/// [`InMemoryTransport::with_delay`] adds an emulated one-way link
+/// latency: every payload is held on a single delay-line thread for the
+/// configured duration before reaching its inbox. Because the delay is
+/// uniform and the line is FIFO, per-link ordering is preserved exactly
+/// as in the zero-delay transport. This turns the in-memory cluster
+/// into a deployment where commit latency is wall-clock-bound rather
+/// than CPU-bound — the regime real WAN deployments live in, and the
+/// one where pipelining and sharding visibly buy throughput.
 ///
 /// # Example
 ///
@@ -61,6 +74,10 @@ pub trait Transport: Send + Sync + 'static {
 #[derive(Clone)]
 pub struct InMemoryTransport {
     inboxes: Arc<Vec<Sender<(ProcessId, Bytes)>>>,
+    /// When set, payloads detour through the delay-line thread instead
+    /// of going straight to the destination inbox; the duration is the
+    /// one-way latency added to every payload.
+    delay_line: Option<(std::time::Duration, Sender<DelayedPayload>)>,
 }
 
 impl InMemoryTransport {
@@ -77,14 +94,59 @@ impl InMemoryTransport {
         (
             InMemoryTransport {
                 inboxes: Arc::new(senders),
+                delay_line: None,
             },
             receivers,
         )
+    }
+
+    /// Like [`InMemoryTransport::new`], but every payload is delivered
+    /// `delay` after it is sent (emulated one-way link latency).
+    ///
+    /// A zero `delay` is the plain instant transport. Otherwise one
+    /// delay-line thread is spawned; it exits when every transport
+    /// clone is dropped. Uniform delay + FIFO line means per-link (and
+    /// in fact global) send order is preserved.
+    pub fn with_delay(
+        n: usize,
+        delay: std::time::Duration,
+    ) -> (Self, Vec<crossbeam::channel::Receiver<(ProcessId, Bytes)>>) {
+        let (mut transport, receivers) = Self::new(n);
+        if delay.is_zero() {
+            return (transport, receivers);
+        }
+        let (dtx, drx) = crossbeam::channel::unbounded::<DelayedPayload>();
+        let inboxes = Arc::clone(&transport.inboxes);
+        thread::Builder::new()
+            .name("twostep-delay-line".into())
+            .spawn(move || {
+                while let Ok((deliver_at, from, to, payload)) = drx.recv() {
+                    let now = std::time::Instant::now();
+                    if deliver_at > now {
+                        thread::sleep(deliver_at - now);
+                    }
+                    if let Some(tx) = inboxes.get(to.index()) {
+                        // A closed inbox means the destination crashed: drop.
+                        let _ = tx.send((from, payload));
+                    }
+                }
+            })
+            .expect("spawn delay-line thread");
+        transport.delay_line = Some((delay, dtx));
+        (transport, receivers)
     }
 }
 
 impl Transport for InMemoryTransport {
     fn send(&self, from: ProcessId, to: ProcessId, payload: Bytes) {
+        if let Some((delay, line)) = &self.delay_line {
+            // Stamp the maturity instant at send time; the delay-line
+            // thread holds the payload until the stamp matures. A send
+            // failure only means global teardown — drop it, matching
+            // the crash-stop convention.
+            let _ = line.send((std::time::Instant::now() + *delay, from, to, payload));
+            return;
+        }
         if let Some(tx) = self.inboxes.get(to.index()) {
             // A closed inbox means the destination crashed: drop.
             let _ = tx.send((from, payload));
@@ -180,32 +242,6 @@ impl TcpTransport {
             }
         });
         transport
-    }
-
-    /// Unobserved constructor.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `TcpTransport::spawn(..., ObserverHandle::none())`"
-    )]
-    pub fn new(
-        me: ProcessId,
-        peers: Vec<SocketAddr>,
-        listener: TcpListener,
-        inbox: Sender<(ProcessId, Bytes)>,
-    ) -> Arc<Self> {
-        Self::spawn(me, peers, listener, inbox, ObserverHandle::none())
-    }
-
-    /// Observed constructor.
-    #[deprecated(since = "0.1.0", note = "use `TcpTransport::spawn`")]
-    pub fn new_observed(
-        me: ProcessId,
-        peers: Vec<SocketAddr>,
-        listener: TcpListener,
-        inbox: Sender<(ProcessId, Bytes)>,
-        obs: ObserverHandle,
-    ) -> Arc<Self> {
-        Self::spawn(me, peers, listener, inbox, obs)
     }
 
     /// The send queue to `to`, lazily spawning its writer thread.
@@ -386,6 +422,32 @@ mod tests {
     fn memory_transport_out_of_range_destination_is_dropped() {
         let (t, _inboxes) = InMemoryTransport::new(2);
         t.send(p(0), p(9), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn delayed_memory_transport_holds_payloads_for_the_link_latency() {
+        let (t, inboxes) = InMemoryTransport::with_delay(2, Duration::from_millis(20));
+        let sent = std::time::Instant::now();
+        t.send(p(0), p(1), Bytes::from_static(b"a"));
+        t.send(p(0), p(1), Bytes::from_static(b"b"));
+        let (from, first) = inboxes[1].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(
+            sent.elapsed() >= Duration::from_millis(20),
+            "payload delivered after {:?}, before the 20ms link latency",
+            sent.elapsed()
+        );
+        assert_eq!((from, &first[..]), (p(0), &b"a"[..]));
+        // Uniform delay + FIFO line: send order is delivery order.
+        let (_, second) = inboxes[1].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&second[..], b"b");
+    }
+
+    #[test]
+    fn zero_delay_memory_transport_skips_the_delay_line() {
+        let (t, inboxes) = InMemoryTransport::with_delay(1, Duration::ZERO);
+        t.send(p(0), p(0), Bytes::from_static(b"x"));
+        // Delivery is synchronous with the send — no thread detour.
+        assert_eq!(inboxes[0].try_recv().unwrap().1, Bytes::from_static(b"x"));
     }
 
     #[test]

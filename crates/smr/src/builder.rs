@@ -9,11 +9,11 @@ use crate::replica::SmrReplica;
 /// Builder for [`SmrReplica`] — the one construction path for every
 /// replica configuration.
 ///
-/// Replaces the former `SmrReplica::new` / `SmrReplica::with_pipeline` /
-/// `SmrReplica::observed` trio (now `#[deprecated]` shims): config and
-/// identity up front, knobs as chained setters, the command/state-machine
-/// types fixed at [`SmrReplicaBuilder::build`] (usually inferred from
-/// the binding).
+/// The former `SmrReplica::new` / `SmrReplica::with_pipeline` /
+/// `SmrReplica::observed` trio is gone: config and identity go up
+/// front, knobs are chained setters, and the command/state-machine
+/// types are fixed at [`SmrReplicaBuilder::build`] (usually inferred
+/// from the binding).
 ///
 /// ```rust
 /// use twostep_smr::{KvCommand, KvStore, SmrReplica, SmrReplicaBuilder};
@@ -34,6 +34,7 @@ pub struct SmrReplicaBuilder {
     me: ProcessId,
     pipeline: usize,
     batch: usize,
+    rotation: u32,
     obs: ObserverHandle,
 }
 
@@ -47,6 +48,7 @@ impl SmrReplicaBuilder {
             me,
             pipeline: 1,
             batch: 1,
+            rotation: 0,
             obs: ObserverHandle::none(),
         }
     }
@@ -67,6 +69,19 @@ impl SmrReplicaBuilder {
     #[must_use]
     pub fn batch(mut self, size: usize) -> Self {
         self.batch = size;
+        self
+    }
+
+    /// Rotates the replica-Ω leader preference order: with nothing
+    /// suspected the group elects process `rotation % n` instead of
+    /// process 0. A sharded cluster builds group `s` with
+    /// `leader_rotation(s)` so the per-group leaders — and with them
+    /// the fast-path proposal load — spread round-robin across the
+    /// nodes. Failure handling is unchanged: if the preferred leader is
+    /// suspected, the scan continues cyclically to the next trusted id.
+    #[must_use]
+    pub fn leader_rotation(mut self, rotation: u32) -> Self {
+        self.rotation = rotation;
         self
     }
 
@@ -91,7 +106,14 @@ impl SmrReplicaBuilder {
         C: Value,
         S: StateMachine<C>,
     {
-        SmrReplica::from_parts(self.cfg, self.me, self.pipeline, self.batch, self.obs)
+        SmrReplica::from_parts(
+            self.cfg,
+            self.me,
+            self.pipeline,
+            self.batch,
+            self.rotation,
+            self.obs,
+        )
     }
 }
 
@@ -119,6 +141,22 @@ mod tests {
             .build();
         assert_eq!(r.pipeline_depth(), 8);
         assert_eq!(r.batch_size(), 16);
+    }
+
+    #[test]
+    fn leader_rotation_shifts_group_leader() {
+        let cfg = SystemConfig::minimal_object(2, 2).unwrap();
+        for s in 0..cfg.n() as u32 {
+            let r: SmrReplica<KvCommand, KvStore> = SmrReplicaBuilder::new(cfg, ProcessId::new(0))
+                .leader_rotation(s)
+                .build();
+            assert_eq!(r.leader(), ProcessId::new(s % cfg.n() as u32));
+        }
+        // Rotation beyond n wraps.
+        let r: SmrReplica<KvCommand, KvStore> = SmrReplicaBuilder::new(cfg, ProcessId::new(0))
+            .leader_rotation(cfg.n() as u32 + 1)
+            .build();
+        assert_eq!(r.leader(), ProcessId::new(1));
     }
 
     #[test]

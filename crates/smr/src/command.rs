@@ -1,8 +1,38 @@
 //! Replicated commands and the state-machine abstraction.
 
+use std::borrow::Cow;
 use std::fmt::Debug;
 
 use serde::{Deserialize, Serialize};
+
+/// A command that can be routed to a partition of the key space.
+///
+/// Sharded deployments hash [`Routable::route_key`] to pick the
+/// consensus group a command runs in; commands with the same route key
+/// always land in the same group, so per-key operations stay totally
+/// ordered even though distinct keys may commit in different groups
+/// concurrently. A command whose route key is empty (e.g.
+/// [`KvCommand::Noop`]) routes to whatever the hash of the empty byte
+/// string maps to — deterministic, like everything else.
+pub trait Routable {
+    /// The bytes the router hashes to pick this command's shard.
+    fn route_key(&self) -> Cow<'_, [u8]>;
+}
+
+impl Routable for KvCommand {
+    fn route_key(&self) -> Cow<'_, [u8]> {
+        match self {
+            KvCommand::Put { key, .. } | KvCommand::Delete { key } => Cow::Borrowed(key.as_bytes()),
+            KvCommand::Noop => Cow::Borrowed(&[]),
+        }
+    }
+}
+
+impl Routable for u64 {
+    fn route_key(&self) -> Cow<'_, [u8]> {
+        Cow::Owned(self.to_le_bytes().to_vec())
+    }
+}
 
 /// A deterministic state machine driven by committed commands.
 ///
@@ -174,6 +204,17 @@ mod tests {
         }
         assert_eq!(a, b);
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![("y", "3")]);
+    }
+
+    #[test]
+    fn route_keys_follow_the_touched_key() {
+        assert_eq!(
+            KvCommand::put("a", "1").route_key().as_ref(),
+            b"a".as_slice()
+        );
+        assert_eq!(KvCommand::delete("a").route_key().as_ref(), b"a".as_slice());
+        assert!(KvCommand::Noop.route_key().is_empty());
+        assert_eq!(7u64.route_key().as_ref(), 7u64.to_le_bytes().as_slice());
     }
 
     #[test]

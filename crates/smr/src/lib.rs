@@ -26,5 +26,5 @@ mod replica;
 
 pub use batch::Batch;
 pub use builder::SmrReplicaBuilder;
-pub use command::{Counter, KvCommand, KvOutput, KvStore, StateMachine};
+pub use command::{Counter, KvCommand, KvOutput, KvStore, Routable, StateMachine};
 pub use replica::{SmrMsg, SmrReplica};

@@ -105,47 +105,13 @@ where
     C: Value,
     S: StateMachine<C>,
 {
-    /// Creates an unpipelined, unbatched replica for `me`.
+    /// Constructor used by
+    /// [`SmrReplicaBuilder`](crate::SmrReplicaBuilder).
     ///
-    /// # Panics
-    ///
-    /// Panics if `me` is out of range for `cfg`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SmrReplicaBuilder::new(cfg, me).build()`"
-    )]
-    pub fn new(cfg: SystemConfig, me: ProcessId) -> Self {
-        Self::from_parts(cfg, me, 1, 1, ObserverHandle::none())
-    }
-
-    /// Creates a replica that keeps up to `max_inflight` batches in
-    /// flight concurrently (each in its own slot).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `me` is out of range for `cfg` or `max_inflight == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SmrReplicaBuilder::new(cfg, me).pipeline(depth).build()`"
-    )]
-    pub fn with_pipeline(cfg: SystemConfig, me: ProcessId, max_inflight: usize) -> Self {
-        Self::from_parts(cfg, me, max_inflight, 1, ObserverHandle::none())
-    }
-
-    /// Attaches telemetry hooks (builder style).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SmrReplicaBuilder::new(cfg, me).observed(obs).build()`"
-    )]
-    #[must_use]
-    pub fn observed(mut self, obs: ObserverHandle) -> Self {
-        self.obs = obs;
-        self
-    }
-
-    /// Non-deprecated constructor used by
-    /// [`SmrReplicaBuilder`](crate::SmrReplicaBuilder) and the shims
-    /// above.
+    /// `rotation` offsets the replica-Ω leader preference order: with
+    /// nothing suspected the group's leader is process `rotation % n`.
+    /// Sharded deployments pass the shard index here so the per-group
+    /// leaders spread round-robin across the nodes.
     ///
     /// # Panics
     ///
@@ -155,6 +121,7 @@ where
         me: ProcessId,
         max_inflight: usize,
         max_batch: usize,
+        rotation: u32,
         obs: ObserverHandle,
     ) -> Self {
         assert!(me.index() < cfg.n(), "process {me} out of range for {cfg}");
@@ -173,7 +140,7 @@ where
             max_inflight,
             max_batch,
             next_slot: 0,
-            omega: Omega::new(me, cfg.n(), OmegaMode::Heartbeats),
+            omega: Omega::with_rotation(me, cfg.n(), OmegaMode::Heartbeats, rotation),
             obs,
         }
     }
@@ -209,6 +176,11 @@ where
     /// The configured pipeline depth (concurrent in-flight batches).
     pub fn pipeline_depth(&self) -> usize {
         self.max_inflight
+    }
+
+    /// The replica-Ω's current leader estimate for this group.
+    pub fn leader(&self) -> ProcessId {
+        self.omega.leader()
     }
 
     /// The configured maximum batch size (commands per slot).

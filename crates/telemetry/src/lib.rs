@@ -48,12 +48,14 @@ mod histogram;
 mod metrics;
 mod observer;
 mod ring;
+mod shard;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{ByteStats, Metrics, MetricsSnapshot};
 pub use observer::{ObserverHandle, ProtocolObserver};
 pub use ring::{Event, EventKind, EventRing};
+pub use shard::ShardedMetrics;
 
 /// The path by which a process reached its decision.
 ///

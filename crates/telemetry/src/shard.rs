@@ -1,0 +1,161 @@
+//! Per-shard metrics rollups for sharded deployments.
+//!
+//! A sharded cluster runs `k` independent consensus groups; mixing
+//! their counters into one [`Metrics`] would hide exactly what sharding
+//! is supposed to show (per-group load balance, per-group path mix).
+//! [`ShardedMetrics`] keeps one [`Metrics`] per shard and rolls them up
+//! on demand.
+
+use std::sync::Arc;
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::observer::ObserverHandle;
+use crate::Path;
+
+/// One [`Metrics`] registry per shard, with rollup helpers.
+///
+/// ```rust
+/// use twostep_telemetry::{Path, ShardedMetrics};
+/// use twostep_types::ProcessId;
+///
+/// let sharded = ShardedMetrics::new(4);
+/// let handles = sharded.handles();
+/// handles[2].decided(ProcessId::new(0), Path::Fast);
+/// let snaps = sharded.snapshot();
+/// assert_eq!(snaps[2].decided(Path::Fast), 1);
+/// assert_eq!(sharded.total_decisions(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedMetrics {
+    shards: Vec<Arc<Metrics>>,
+}
+
+impl ShardedMetrics {
+    /// Fresh registries for `shards` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        ShardedMetrics {
+            shards: (0..shards).map(|_| Arc::new(Metrics::new())).collect(),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The registry of one shard.
+    pub fn metrics(&self, shard: usize) -> &Arc<Metrics> {
+        &self.shards[shard]
+    }
+
+    /// An observer handle forwarding to shard `shard`'s registry.
+    pub fn handle(&self, shard: usize) -> ObserverHandle {
+        ObserverHandle::from(Arc::clone(&self.shards[shard]))
+    }
+
+    /// One observer handle per shard, in shard order — made to be passed
+    /// to a cluster builder's per-shard observer knob.
+    pub fn handles(&self) -> Vec<ObserverHandle> {
+        (0..self.shards.len()).map(|s| self.handle(s)).collect()
+    }
+
+    /// Point-in-time snapshots, one per shard.
+    pub fn snapshot(&self) -> Vec<MetricsSnapshot> {
+        self.shards.iter().map(|m| m.snapshot()).collect()
+    }
+
+    /// Total decisions across all shards and paths.
+    pub fn total_decisions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|m| m.snapshot().total_decisions())
+            .sum()
+    }
+
+    /// Renders a text/Prometheus-style rollup: per-shard decision
+    /// counts by path (`shard` label), per-shard amortized latency
+    /// p50/p99, and cross-shard totals — the balance view the sharding
+    /// experiments read.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let snaps = self.snapshot();
+        let mut out = String::new();
+        out.push_str("# decisions by shard and path\n");
+        for (s, snap) in snaps.iter().enumerate() {
+            for p in Path::ALL {
+                let _ = writeln!(
+                    out,
+                    "twostep_shard_decisions_total{{shard=\"{s}\",path=\"{}\"}} {}",
+                    p.label(),
+                    snap.decided(p)
+                );
+            }
+        }
+        out.push_str("# per-shard amortized command latency (us)\n");
+        for (s, snap) in snaps.iter().enumerate() {
+            let lat = snap.amortized_latency;
+            let _ = writeln!(
+                out,
+                "twostep_shard_amortized_latency_us{{shard=\"{s}\",q=\"p50\"}} {}",
+                lat.p50
+            );
+            let _ = writeln!(
+                out,
+                "twostep_shard_amortized_latency_us{{shard=\"{s}\",q=\"p99\"}} {}",
+                lat.p99
+            );
+        }
+        out.push_str("# rollup\n");
+        let total: u64 = snaps.iter().map(MetricsSnapshot::total_decisions).sum();
+        let _ = writeln!(out, "twostep_sharded_decisions_total {total}");
+        let busiest = snaps
+            .iter()
+            .map(MetricsSnapshot::total_decisions)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "twostep_sharded_busiest_shard_decisions {busiest}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_types::ProcessId;
+
+    #[test]
+    fn shards_are_isolated() {
+        let sharded = ShardedMetrics::new(3);
+        let handles = sharded.handles();
+        handles[0].decided(ProcessId::new(0), Path::Fast);
+        handles[2].decided(ProcessId::new(1), Path::Slow);
+        handles[2].decided(ProcessId::new(2), Path::Fast);
+        let snaps = sharded.snapshot();
+        assert_eq!(snaps[0].total_decisions(), 1);
+        assert_eq!(snaps[1].total_decisions(), 0);
+        assert_eq!(snaps[2].total_decisions(), 2);
+        assert_eq!(sharded.total_decisions(), 3);
+    }
+
+    #[test]
+    fn rollup_renders_shard_labels() {
+        let sharded = ShardedMetrics::new(2);
+        sharded.handle(1).decided(ProcessId::new(0), Path::Fast);
+        let text = sharded.render_text();
+        assert!(text.contains("twostep_shard_decisions_total{shard=\"1\",path=\"fast\"} 1"));
+        assert!(text.contains("twostep_shard_decisions_total{shard=\"0\",path=\"fast\"} 0"));
+        assert!(text.contains("twostep_sharded_decisions_total 1"));
+        assert!(text.contains("twostep_sharded_busiest_shard_decisions 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedMetrics::new(0);
+    }
+}

@@ -15,7 +15,9 @@
 //! ```
 
 use twostep_core::Ablations;
-use twostep_fuzz::{check_safety, run_case, FuzzCase, FuzzProtocol, Schedule};
+use twostep_fuzz::{
+    check_safety, fuzz_sharded, run_case, FuzzCase, FuzzProtocol, Schedule, ShardFuzzConfig,
+};
 use twostep_types::{ProcessId, SystemConfig};
 
 /// Builds a corpus case from its replay-line ingredients.
@@ -104,6 +106,51 @@ fn object_guard_removal_allows_double_fast_decide() {
          T:0 D:2 D:3 D:0 D:0 D:2 D:0 D:3 D:0",
     );
     assert_blames_ablation(case, "agreement");
+}
+
+/// Clean-pass witness for the sharded campaign: 60 seeded iterations of
+/// 4 object-consensus groups on 3 shared nodes, each iteration crashing
+/// and restarting a shard-leader node mid-load, found no violation —
+/// per-shard Agreement/Validity/Integrity hold and no value ever leaked
+/// across shards. The decide-event count is pinned exactly: the
+/// campaign is deterministic, so any drift in the generator, the
+/// executor or the protocols shows up here as a count change before it
+/// can silently shrink the corpus's coverage.
+///
+/// Reproduce with:
+///
+/// ```text
+/// cargo run -p twostep-fuzz -- --shards 4 --seed 42 --iters 60
+/// ```
+#[test]
+fn sharded_leader_crash_restart_campaign_is_clean() {
+    let cfg = SystemConfig::minimal_object(1, 1).expect("minimal object configuration");
+    let out = fuzz_sharded(&ShardFuzzConfig::new(4, cfg, 42, 60));
+    assert!(
+        out.is_clean(),
+        "sharded campaign found a violation: {:?}",
+        out.failure
+    );
+    assert_eq!(out.iterations_run, 60);
+    assert_eq!(
+        out.decisions, 575,
+        "campaign coverage drifted: expected the pinned decide-event count"
+    );
+}
+
+/// The two-shard edge of the same campaign — the smallest deployment
+/// where leaders actually spread: the leader of one group is a follower
+/// of the other, so every crash exercises both roles at once.
+#[test]
+fn two_shard_leader_crash_restart_campaign_is_clean() {
+    let cfg = SystemConfig::minimal_object(1, 1).expect("minimal object configuration");
+    let out = fuzz_sharded(&ShardFuzzConfig::new(2, cfg, 7, 60));
+    assert!(
+        out.is_clean(),
+        "two-shard campaign found a violation: {:?}",
+        out.failure
+    );
+    assert_eq!(out.decisions, 292, "campaign coverage drifted");
 }
 
 /// The paper's §B.1 adversary, re-encoded as a schedule: a fast decision
