@@ -9,7 +9,7 @@
 //! path it mirrors; if the real code changes shape, change the model.
 #![cfg(feature = "loom")]
 
-use loom::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use loom::sync::{Arc, Mutex};
 use loom::thread;
 
@@ -224,5 +224,118 @@ fn transport_retry_never_drops_and_heals_the_slot() {
             matches!(final_slot, Some(c) if c > 0),
             "slot must end on a live connection, got {final_slot:?}"
         );
+    });
+}
+
+/// Model of the reactor transport's `Doorbell` park/wake handoff
+/// (`crates/runtime/src/reactor.rs`).
+///
+/// Real shape: the reactor thread publishes `sleeping = true`
+/// (`Doorbell::sleeping`), *then* rechecks the command channel, and
+/// only calls `park_timeout` if it is empty; a sender enqueues a
+/// command, *then* `swap`s `sleeping` to false and unparks the reactor
+/// thread on observing `true` (`Doorbell::ring`). The claimed
+/// invariant, quoted from the doorbell's doc comment: *either the
+/// sender observes `sleeping` (and unparks) or the reactor's recheck
+/// observes the enqueued command — a command can never be stranded
+/// behind a full park.*
+///
+/// The model collapses one reactor park decision plus two concurrent
+/// ringers onto loom primitives. Parking itself is not simulated
+/// (vendored loom has no park/unpark); instead the model checks the
+/// invariant that makes the real park safe, over every interleaving:
+///
+/// * if the reactor commits to parking, every command was enqueued
+///   after its recheck, so the first ring to run finds `sleeping ==
+///   true`, clears it, and unparks — the flag cannot still be set once
+///   the senders are done (`sleeping` high after a park with pending
+///   work ⇒ the reactor would sleep its full timeout ⇒ lost wakeup);
+/// * if the reactor skips the park, its pre-park drain saw the
+///   commands, and nothing relies on the ring at all.
+///
+/// Flipping the publish/recheck order in the model (recheck first,
+/// `sleeping.store(true)` second) makes loom find the classic lost
+/// wakeup: both senders push and swap a still-false flag, then the
+/// reactor publishes, rechecks nothing — schedule `recheck → push →
+/// ring → publish → park` strands both commands behind the park.
+#[test]
+fn reactor_doorbell_never_loses_a_wakeup() {
+    struct Doorbell {
+        /// `Doorbell::sleeping`.
+        sleeping: AtomicBool,
+        /// The command channel (`Reactor::cmds`), as a mutexed queue.
+        queue: Mutex<Vec<u32>>,
+    }
+
+    loom::model(|| {
+        let bell = Arc::new(Doorbell {
+            sleeping: AtomicBool::new(false),
+            queue: Mutex::new(Vec::new()),
+        });
+
+        // The reactor's `park()`: publish the sleeping flag, recheck
+        // the channel, park only if it is empty. A skipped park lowers
+        // the flag and drains (the next loop iteration's `drain_cmds`,
+        // folded into the recheck's critical section to keep the
+        // schedule tree small); a taken park leaves the flag for
+        // `ring` to clear — in the real code the thread is inside
+        // `park_timeout` at that point and only an unpark ends the
+        // wait promptly. Returns `(parked, drained)`.
+        let reactor = {
+            let bell = Arc::clone(&bell);
+            thread::spawn(move || {
+                bell.sleeping.store(true, Ordering::Release);
+                let drained = {
+                    let mut q = bell.queue.lock().unwrap();
+                    if q.is_empty() {
+                        return (true, 0); // parked
+                    }
+                    q.drain(..).count()
+                };
+                bell.sleeping.store(false, Ordering::Release);
+                (false, drained)
+            })
+        };
+
+        // Two transport handles racing `send` + `ring`; each returns
+        // whether its swap observed the sleeping flag (= unpark sent).
+        let senders: Vec<_> = (0..2u32)
+            .map(|i| {
+                let bell = Arc::clone(&bell);
+                thread::spawn(move || {
+                    bell.queue.lock().unwrap().push(i);
+                    bell.sleeping.swap(false, Ordering::AcqRel)
+                })
+            })
+            .collect();
+
+        let (parked, drained) = reactor.join().unwrap();
+        let woke = senders
+            .into_iter()
+            .map(|s| s.join().unwrap())
+            .filter(|&w| w)
+            .count();
+
+        let pending = bell.queue.lock().unwrap().len();
+        // No command evaporates: it is either drained pre-park or still
+        // queued for the woken reactor's next iteration.
+        assert_eq!(drained + pending, 2, "a command was lost outright");
+        if parked {
+            // The reactor parked, so both commands arrived after its
+            // recheck — the ring protocol must have fired: the flag is
+            // down and at least one unpark was delivered. A high flag
+            // here is the lost wakeup (nobody will unpark; the queue
+            // sits until the poll timeout).
+            assert!(
+                !bell.sleeping.load(Ordering::Acquire),
+                "parked with the sleeping flag still set and {pending} commands pending"
+            );
+            assert!(woke >= 1, "parked, yet no ring observed the sleeping flag");
+        } else {
+            // Park skipped: the recheck (or the publish racing ahead of
+            // a ring) saw the traffic; the pre-park drain got
+            // everything that was in by then.
+            assert!(drained >= 1, "skipped the park without seeing a command");
+        }
     });
 }

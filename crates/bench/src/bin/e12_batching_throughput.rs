@@ -1,8 +1,8 @@
 //! E12: closed-loop batched-SMR throughput on the threaded runtime.
 //!
-//! N closed-loop clients hammer one proxy of an in-memory KV-SMR
-//! cluster while the sweep varies the replica's batch size and pipeline
-//! depth. Batching amortizes the per-slot consensus cost (each slot
+//! N closed-loop clients hammer one proxy of a KV-SMR cluster (on any
+//! of the three transport backends, default in-memory) while the sweep
+//! varies the replica's batch size and pipeline depth. Batching amortizes the per-slot consensus cost (each slot
 //! still pays the paper's per-instance step bounds; more commands share
 //! each payment), so commands/sec should grow with batch × depth while
 //! per-command (amortized) latency stays within a small multiple of the
@@ -14,11 +14,12 @@
 //! * `BENCH_e12.json` — machine-readable sweep for CI schema checks.
 //!
 //! Flags: `--smoke` (sub-second windows, CI-sized), `--secs <f64>`
-//! (measurement window per configuration).
+//! (measurement window per configuration), `--backend
+//! {memory|tcp|reactor}` (transport the cluster deploys on).
 
 use std::time::{Duration as WallDuration, Instant};
 
-use twostep_bench::{percentile, Table};
+use twostep_bench::{percentile, Backend, Table};
 use twostep_runtime::ClusterBuilder;
 use twostep_smr::{KvCommand, KvStore};
 use twostep_types::{ProcessId, SystemConfig};
@@ -45,13 +46,16 @@ fn run_config(
     depth: usize,
     clients: usize,
     secs: f64,
+    backend: Backend,
 ) -> (u64, f64, Vec<f64>) {
-    let cluster = ClusterBuilder::new(cfg)
+    let builder = ClusterBuilder::new(cfg)
         .wall_delta(wall_delta)
         .batch(batch)
-        .pipeline(depth)
+        .pipeline(depth);
+    let cluster = backend
+        .apply(builder)
         .build_smr::<KvCommand, KvStore>()
-        .expect("in-memory build cannot fail");
+        .expect("cluster build failed");
     let proxy = ProcessId::new(0);
     let window = WallDuration::from_secs_f64(secs);
 
@@ -85,7 +89,13 @@ fn run_config(
     (latencies.len() as u64, elapsed, latencies)
 }
 
-fn json_report(clients: usize, secs: f64, wall_delta: WallDuration, points: &[Point]) -> String {
+fn json_report(
+    clients: usize,
+    secs: f64,
+    wall_delta: WallDuration,
+    backend: Backend,
+    points: &[Point],
+) -> String {
     let mut sweep = String::new();
     for (i, pt) in points.iter().enumerate() {
         if i > 0 {
@@ -100,8 +110,9 @@ fn json_report(clients: usize, secs: f64, wall_delta: WallDuration, points: &[Po
     }
     format!(
         "{{\n  \"experiment\": \"e12_batching_throughput\",\n  \
-         \"config\": {{\"n\": 3, \"clients\": {}, \"secs_per_point\": {}, \
+         \"config\": {{\"n\": 3, \"backend\": \"{}\", \"clients\": {}, \"secs_per_point\": {}, \
          \"wall_delta_ms\": {}}},\n  \"sweep\": [{}\n  ]\n}}\n",
+        backend.label(),
         clients,
         secs,
         wall_delta.as_millis(),
@@ -118,6 +129,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(if smoke { 0.4 } else { 3.0 });
+    let backend = Backend::from_args(&args);
     // Closed-loop clients bound the commands that can be outstanding, so
     // they must outnumber the largest batch in the sweep or big batches
     // can never fill and only the pump's partial flushes move commands.
@@ -137,7 +149,7 @@ fn main() {
     let mut points: Vec<Point> = Vec::new();
     for (batch, depth) in SWEEP {
         let (commands, elapsed, latencies) =
-            run_config(cfg, wall_delta, batch, depth, clients, secs);
+            run_config(cfg, wall_delta, batch, depth, clients, secs, backend);
         let commands_per_sec = if elapsed > 0.0 {
             commands as f64 / elapsed
         } else {
@@ -174,7 +186,8 @@ fn main() {
 
     let title = format!(
         "E12: closed-loop batched-SMR throughput \
-         ({clients} clients, one proxy, in-memory, Δ = {wall_delta:?}, {secs}s per point)"
+         ({clients} clients, one proxy, {} transport, Δ = {wall_delta:?}, {secs}s per point)",
+        backend.label()
     );
     table.print(&title);
     println!(
@@ -188,7 +201,7 @@ fn main() {
     if let Err(e) = std::fs::write("results/e12_batching_throughput.txt", txt) {
         eprintln!("warning: could not write results/e12_batching_throughput.txt: {e}");
     }
-    let json = json_report(clients, secs, wall_delta, &points);
+    let json = json_report(clients, secs, wall_delta, backend, &points);
     if let Err(e) = std::fs::write("BENCH_e12.json", json) {
         eprintln!("warning: could not write BENCH_e12.json: {e}");
     }

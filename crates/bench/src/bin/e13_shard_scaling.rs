@@ -1,7 +1,8 @@
 //! E13: shard-scaling throughput of the partitioned KV store.
 //!
-//! A fixed population of closed-loop clients drives a sharded in-memory
-//! KV-SMR cluster while the sweep varies the shard count. Each shard is
+//! A fixed population of closed-loop clients drives a sharded KV-SMR
+//! cluster (on any of the three transport backends, default in-memory)
+//! while the sweep varies the shard count. Each shard is
 //! an independent consensus group with its own leader (round-robin
 //! across the nodes), its own log, and its own batching/pipelining
 //! budget, so aggregate in-flight capacity — and with it closed-loop
@@ -24,11 +25,14 @@
 //! * `BENCH_e13.json` — machine-readable sweep for CI schema checks.
 //!
 //! Flags: `--smoke` (sub-second windows, CI-sized), `--secs <f64>`
-//! (measurement window per configuration).
+//! (measurement window per configuration), `--backend
+//! {memory|tcp|reactor}` (transport the cluster deploys on; the
+//! emulated link latency applies to every backend, so the sweep
+//! compares transport overheads at identical network conditions).
 
 use std::time::{Duration as WallDuration, Instant};
 
-use twostep_bench::{percentile, Table};
+use twostep_bench::{percentile, Backend, Table};
 use twostep_runtime::ClusterBuilder;
 use twostep_smr::{KvCommand, KvStore};
 use twostep_telemetry::ShardedMetrics;
@@ -57,6 +61,7 @@ struct Workload {
     depth: usize,
     clients: usize,
     secs: f64,
+    backend: Backend,
 }
 
 /// Runs the fixed closed-loop client population against a `shards`-way
@@ -64,15 +69,18 @@ struct Workload {
 /// latencies in µs, busiest shard's share of decisions).
 fn run_config(w: &Workload, shards: usize) -> (u64, f64, Vec<f64>, f64) {
     let metrics = ShardedMetrics::new(shards);
-    let cluster = ClusterBuilder::new(w.cfg)
+    let builder = ClusterBuilder::new(w.cfg)
         .shards(shards)
         .shard_observers(metrics.handles())
         .wall_delta(w.wall_delta)
         .link_delay(w.link_delay)
         .batch(w.batch)
-        .pipeline(w.depth)
+        .pipeline(w.depth);
+    let cluster = w
+        .backend
+        .apply(builder)
         .build_sharded_smr::<KvCommand, KvStore>()
-        .expect("in-memory build cannot fail");
+        .expect("cluster build failed");
     let window = WallDuration::from_secs_f64(w.secs);
 
     let start = Instant::now();
@@ -141,9 +149,10 @@ fn json_report(w: &Workload, points: &[Point]) -> String {
     }
     format!(
         "{{\n  \"experiment\": \"e13_shard_scaling\",\n  \
-         \"config\": {{\"n\": 3, \"clients\": {}, \"secs_per_point\": {}, \
+         \"config\": {{\"n\": 3, \"backend\": \"{}\", \"clients\": {}, \"secs_per_point\": {}, \
          \"wall_delta_ms\": {}, \"link_delay_ms\": {}, \"batch\": {}, \"depth\": {}}},\n  \
          \"sweep\": [{}\n  ]\n}}\n",
+        w.backend.label(),
         w.clients,
         w.secs,
         w.wall_delta.as_millis(),
@@ -163,6 +172,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(if smoke { 0.4 } else { 3.0 });
+    let backend = Backend::from_args(&args);
     // Enough clients to saturate the widest configuration: with batch 4
     // × depth 2 per group, 8 shards can hold 64 commands in flight.
     // Keeping batch/depth fixed across the sweep isolates the sharding
@@ -178,6 +188,7 @@ fn main() {
         depth: 2,
         clients: 64,
         secs,
+        backend,
     };
 
     let mut table = Table::new(&[
@@ -228,9 +239,15 @@ fn main() {
 
     let title = format!(
         "E13: shard-scaling throughput of the partitioned KV store \
-         ({} clients, leader-routed, in-memory with {:?} one-way links, \
+         ({} clients, leader-routed, {} transport with {:?} one-way links, \
          batch {} x depth {} per group, Δ = {:?}, {}s per point)",
-        w.clients, w.link_delay, w.batch, w.depth, w.wall_delta, w.secs
+        w.clients,
+        w.backend.label(),
+        w.link_delay,
+        w.batch,
+        w.depth,
+        w.wall_delta,
+        w.secs
     );
     table.print(&title);
     println!(

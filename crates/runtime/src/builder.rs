@@ -11,6 +11,7 @@ use twostep_types::{ProcessId, SystemConfig, Value};
 
 use crate::cluster::Cluster;
 use crate::shard::{ShardRouter, ShardedCluster};
+use crate::transport::SocketBackend;
 use crate::RuntimeError;
 
 /// Which transport a [`ClusterBuilder`] deploys over.
@@ -18,6 +19,18 @@ use crate::RuntimeError;
 enum TransportKind {
     InMemory,
     Tcp,
+    Reactor,
+}
+
+impl TransportKind {
+    /// The socket backend this kind maps to, if it is a socket kind.
+    fn socket_backend(self) -> Option<SocketBackend> {
+        match self {
+            TransportKind::InMemory => None,
+            TransportKind::Tcp => Some(SocketBackend::Blocking),
+            TransportKind::Reactor => Some(SocketBackend::Reactor),
+        }
+    }
 }
 
 /// Builder for [`Cluster`] — the one construction path for every
@@ -89,11 +102,14 @@ impl ClusterBuilder {
         self
     }
 
-    /// Emulates a one-way link latency on the in-memory transport:
-    /// every payload is held for `delay` before delivery (see
-    /// [`crate::InMemoryTransport::with_delay`]). Zero (the default) is
-    /// the instant transport. Ignored by [`ClusterBuilder::tcp`] — real
-    /// sockets have whatever latency the network has.
+    /// Emulates a one-way link latency: every payload is held for
+    /// `delay` before delivery, on every transport. The in-memory
+    /// transport detours through its delay-line thread
+    /// ([`crate::InMemoryTransport::with_delay`]); the socket backends
+    /// hold received payloads on the receive side before the node sees
+    /// them, on top of the real (tiny) localhost latency — so a given
+    /// `link_delay` is comparable across all three backends. Zero (the
+    /// default) adds nothing.
     ///
     /// Use this to measure pipelining/sharding effects: with instant
     /// links a single consensus group is CPU-bound and extra in-flight
@@ -106,11 +122,24 @@ impl ClusterBuilder {
         self
     }
 
-    /// Deploys over localhost TCP (real sockets, framing and the binary
-    /// codec on every hop, coalescing writer threads).
+    /// Deploys over localhost TCP with the blocking writer-thread
+    /// transport (real sockets, framing and the binary codec on every
+    /// hop; one writer thread per destination, one read thread per
+    /// accepted connection).
     #[must_use]
     pub fn tcp(mut self) -> Self {
         self.transport = TransportKind::Tcp;
+        self
+    }
+
+    /// Deploys over localhost TCP with the reactor transport
+    /// ([`crate::ReactorTransport`]): the same wire format as
+    /// [`ClusterBuilder::tcp`], moved by **one** non-blocking event-loop
+    /// thread per node instead of a thread per connection — vectored
+    /// writes, reusable read buffers, timer-heap reconnect backoff.
+    #[must_use]
+    pub fn reactor(mut self) -> Self {
+        self.transport = TransportKind::Reactor;
         self
     }
 
@@ -188,15 +217,22 @@ impl ClusterBuilder {
         P: Protocol<V> + 'static,
         F: FnMut(ProcessId) -> P,
     {
-        match self.transport {
-            TransportKind::InMemory => Ok(Cluster::assemble_in_memory(
+        match self.transport.socket_backend() {
+            None => Ok(Cluster::assemble_in_memory(
                 self.cfg,
                 self.wall_delta,
                 self.link_delay,
                 make,
                 self.obs,
             )),
-            TransportKind::Tcp => Cluster::assemble_tcp(self.cfg, self.wall_delta, make, self.obs),
+            Some(backend) => Cluster::assemble_sockets(
+                self.cfg,
+                self.wall_delta,
+                self.link_delay,
+                backend,
+                make,
+                self.obs,
+            ),
         }
     }
 
@@ -262,27 +298,20 @@ impl ClusterBuilder {
                 .observed(obs)
                 .build::<C, S>()
         };
-        match self.transport {
-            TransportKind::InMemory => Ok(ShardedCluster::assemble_in_memory(
-                self.cfg,
-                router,
-                crate::shard::Timing {
-                    wall_delta: self.wall_delta,
-                    link_delay: self.link_delay,
-                },
-                make,
-                route,
-                self.obs,
-                self.shard_obs,
+        let timing = crate::shard::Timing {
+            wall_delta: self.wall_delta,
+            link_delay: self.link_delay,
+        };
+        let observers = crate::shard::Observers {
+            cluster: self.obs,
+            shards: self.shard_obs,
+        };
+        match self.transport.socket_backend() {
+            None => Ok(ShardedCluster::assemble_in_memory(
+                self.cfg, router, timing, make, route, observers,
             )),
-            TransportKind::Tcp => ShardedCluster::assemble_tcp(
-                self.cfg,
-                router,
-                self.wall_delta,
-                make,
-                route,
-                self.obs,
-                self.shard_obs,
+            Some(backend) => ShardedCluster::assemble_sockets(
+                self.cfg, router, timing, backend, make, route, observers,
             ),
         }
     }
@@ -359,6 +388,46 @@ mod tests {
             client.shard_of(&del),
             "all operations on one key share one log"
         );
+    }
+
+    #[test]
+    fn builder_over_reactor_reaches_agreement() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let cluster = ClusterBuilder::new(cfg)
+            .reactor()
+            .wall_delta(Duration::from_millis(10))
+            .build_smr::<KvCommand, KvStore>()
+            .unwrap();
+        let client = cluster.proxy_client(p(0));
+        assert!(client
+            .submit_and_wait(KvCommand::put("k", "v"), Duration::from_secs(10))
+            .is_some());
+    }
+
+    #[test]
+    fn sharded_builder_over_reactor_commits_across_shards() {
+        let cfg = SystemConfig::minimal_object(1, 1).unwrap();
+        let cluster = ClusterBuilder::new(cfg)
+            .reactor()
+            .shards(4)
+            .wall_delta(Duration::from_millis(5))
+            .batch(4)
+            .pipeline(2)
+            .build_sharded_smr::<KvCommand, KvStore>()
+            .unwrap();
+        let client = cluster.client();
+        for i in 0..8 {
+            assert!(
+                client
+                    .submit_and_wait(
+                        KvCommand::put(format!("rk-{i}"), format!("v{i}")),
+                        Duration::from_secs(10)
+                    )
+                    .is_some(),
+                "command {i} never committed over the reactor backend"
+            );
+        }
+        assert!(cluster.agreement());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use twostep_types::{ProcessId, SystemConfig, Value};
 
 use crate::node::{spawn_node, NodeHandle, NodeOptions};
 use crate::proxy::ProxyClient;
-use crate::transport::{InMemoryTransport, TcpTransport};
+use crate::transport::{delayed_inbox, InMemoryTransport, SocketBackend, TcpTransport};
 use crate::RuntimeError;
 
 /// One registered value-waiter (see [`ClusterShared::register_waiter`]).
@@ -257,12 +257,18 @@ impl<V: Value> Cluster<V> {
         Self::assemble(cfg, nodes, drx, obs)
     }
 
-    /// Spawns a cluster over localhost TCP (used by
-    /// [`ClusterBuilder`](crate::ClusterBuilder) and the conveniences
-    /// below).
-    pub(crate) fn assemble_tcp<P, F>(
+    /// Spawns a cluster over localhost sockets — the blocking
+    /// [`TcpTransport`] or the event-loop
+    /// [`ReactorTransport`](crate::ReactorTransport), per `backend`
+    /// (used by [`ClusterBuilder`](crate::ClusterBuilder) and the
+    /// conveniences below). A non-zero `link_delay` holds every
+    /// received payload for that duration before the node sees it,
+    /// matching the in-memory transport's emulated link latency.
+    pub(crate) fn assemble_sockets<P, F>(
         cfg: SystemConfig,
         wall_delta: WallDuration,
+        link_delay: WallDuration,
+        backend: SocketBackend,
         mut make: F,
         obs: ObserverHandle,
     ) -> Result<Self, RuntimeError>
@@ -283,7 +289,8 @@ impl<V: Value> Cluster<V> {
         for (i, listener) in listeners.into_iter().enumerate() {
             let p = ProcessId::new(i as u32);
             let (inbox_tx, inbox_rx) = crossbeam::channel::unbounded();
-            let transport = TcpTransport::spawn(p, addrs.clone(), listener, inbox_tx, obs.clone());
+            let inbox_tx = delayed_inbox(link_delay, inbox_tx);
+            let transport = backend.spawn(p, addrs.clone(), listener, inbox_tx, obs.clone())?;
             nodes.push(spawn_node(
                 make(p),
                 inbox_rx,
@@ -347,7 +354,14 @@ impl<V: Value> Cluster<V> {
         P: Protocol<V> + 'static,
         F: FnMut(ProcessId) -> P,
     {
-        Self::assemble_tcp(cfg, wall_delta, make, ObserverHandle::none())
+        Self::assemble_sockets(
+            cfg,
+            wall_delta,
+            WallDuration::ZERO,
+            SocketBackend::Blocking,
+            make,
+            ObserverHandle::none(),
+        )
     }
 
     /// Like [`Cluster::tcp`], with telemetry hooks: in addition to the
@@ -367,7 +381,14 @@ impl<V: Value> Cluster<V> {
         P: Protocol<V> + 'static,
         F: FnMut(ProcessId) -> P,
     {
-        Self::assemble_tcp(cfg, wall_delta, make, obs)
+        Self::assemble_sockets(
+            cfg,
+            wall_delta,
+            WallDuration::ZERO,
+            SocketBackend::Blocking,
+            make,
+            obs,
+        )
     }
 
     /// The deployed configuration.

@@ -7,8 +7,10 @@
 //! * [`codec`] — a compact binary serde format for wire messages (the
 //!   sanctioned dependency set has no serialization-format crate).
 //! * [`Transport`] — pluggable byte transport: [`InMemoryTransport`]
-//!   (crossbeam channels) and [`TcpTransport`] (length-prefixed frames
-//!   over localhost or the network).
+//!   (crossbeam channels), [`TcpTransport`] (blocking writer threads,
+//!   length-prefixed frames over localhost or the network) and
+//!   [`ReactorTransport`] (one non-blocking event-loop thread owning
+//!   every socket, vectored writes, reusable read buffers).
 //! * [`node`] — one protocol instance per thread: an event loop
 //!   multiplexing network traffic, client proposals and wall-clock
 //!   timers (protocol timer delays are virtual `Δ` units scaled by a
@@ -44,6 +46,7 @@ pub mod codec;
 mod error;
 pub mod node;
 mod proxy;
+mod reactor;
 pub mod shard;
 mod transport;
 
@@ -52,5 +55,6 @@ pub use cluster::Cluster;
 pub use error::RuntimeError;
 pub use node::{Control, NodeHandle, NodeOptions};
 pub use proxy::ProxyClient;
+pub use reactor::ReactorTransport;
 pub use shard::{fnv1a64, ShardRouter, ShardedCluster};
 pub use transport::{InMemoryTransport, TcpTransport, Transport, MAX_COALESCE, RECONNECT_BACKOFF};

@@ -263,10 +263,12 @@ where
                             // A transport payload may be a coalesced
                             // frame carrying many messages; a malformed
                             // envelope drops the whole frame, a
-                            // malformed sub-payload only itself.
-                            if let Ok(msgs) = codec::unpack_frame(&payload) {
+                            // malformed sub-payload only itself. The
+                            // messages are iterated in place — no
+                            // per-message allocation on the hot path.
+                            if let Ok(msgs) = codec::frame_messages(&payload) {
                                 for m in msgs {
-                                    node.dispatch(&mut shards, from, &m);
+                                    node.dispatch(&mut shards, from, m);
                                 }
                             }
                         }
@@ -315,8 +317,13 @@ struct NodeCtx<V, T> {
 
 impl<V: Value, T: Transport> NodeCtx<V, T> {
     /// Routes one decoded-off-the-wire payload to its shard's instance.
-    fn dispatch<P: Protocol<V>>(&mut self, shards: &mut [P], from: ProcessId, payload: &Bytes) {
-        let Ok((shard, inner)) = codec::split_shard(payload) else {
+    ///
+    /// The payload is a borrowed slice into the transport frame: shard
+    /// untagging ([`codec::split_shard_ref`]) and message decoding both
+    /// read it in place, so dispatch allocates nothing beyond what the
+    /// decoded message itself owns.
+    fn dispatch<P: Protocol<V>>(&mut self, shards: &mut [P], from: ProcessId, payload: &[u8]) {
+        let Ok((shard, inner)) = codec::split_shard_ref(payload) else {
             return; // truncated shard envelope: drop the message
         };
         let Some(instance) = shards.get_mut(shard as usize) else {
@@ -325,7 +332,7 @@ impl<V: Value, T: Transport> NodeCtx<V, T> {
             self.obs[0].message_dropped(self.id, from);
             return;
         };
-        if let Ok(decoded) = codec::from_bytes::<P::Message>(&inner) {
+        if let Ok(decoded) = codec::from_bytes::<P::Message>(inner) {
             let mut eff = Effects::new();
             instance.on_message(from, decoded, &mut eff);
             self.apply(shard, eff);

@@ -25,7 +25,7 @@ use twostep_types::{ProcessId, SystemConfig, Value};
 use crate::cluster::ClusterShared;
 use crate::node::{spawn_sharded_node, NodeHandle, NodeOptions};
 use crate::proxy::{ProxyClient, RouteFn};
-use crate::transport::{InMemoryTransport, TcpTransport};
+use crate::transport::{delayed_inbox, InMemoryTransport, SocketBackend, TcpTransport};
 use crate::RuntimeError;
 
 /// Wall-clock knobs of an in-memory deployment: the duration of one
@@ -35,6 +35,14 @@ use crate::RuntimeError;
 pub(crate) struct Timing {
     pub wall_delta: WallDuration,
     pub link_delay: WallDuration,
+}
+
+/// Observer handles of a sharded deployment: one cluster-wide handle
+/// plus one rollup handle per shard.
+#[derive(Clone)]
+pub(crate) struct Observers {
+    pub cluster: ObserverHandle,
+    pub shards: Vec<ObserverHandle>,
 }
 
 /// 64-bit FNV-1a over `bytes` — the router's key hash.
@@ -148,8 +156,7 @@ impl<V: Value> ShardedCluster<V> {
         timing: Timing,
         mut make: F,
         route: RouteFn<V>,
-        obs: ObserverHandle,
-        shard_obs: Vec<ObserverHandle>,
+        observers: Observers,
     ) -> Self
     where
         P: Protocol<V> + 'static,
@@ -168,23 +175,27 @@ impl<V: Value> ShardedCluster<V> {
                 transport.clone(),
                 NodeOptions::new(dtx.clone())
                     .wall_delta(timing.wall_delta)
-                    .observed(obs.clone())
-                    .shard_observed(shard_obs.clone()),
+                    .observed(observers.cluster.clone())
+                    .shard_observed(observers.shards.clone()),
             ));
         }
         drop(dtx);
-        Self::assemble(cfg, router, nodes, drx, route, obs)
+        Self::assemble(cfg, router, nodes, drx, route, observers.cluster)
     }
 
-    /// Spawns a sharded cluster over localhost TCP.
-    pub(crate) fn assemble_tcp<P, F>(
+    /// Spawns a sharded cluster over localhost sockets — blocking TCP
+    /// or the reactor, per `backend`. A non-zero `timing.link_delay`
+    /// holds every received payload for that duration before the node
+    /// sees it (shard-tag envelopes included), matching the in-memory
+    /// transport's emulated link latency.
+    pub(crate) fn assemble_sockets<P, F>(
         cfg: SystemConfig,
         router: ShardRouter,
-        wall_delta: WallDuration,
+        timing: Timing,
+        backend: SocketBackend,
         mut make: F,
         route: RouteFn<V>,
-        obs: ObserverHandle,
-        shard_obs: Vec<ObserverHandle>,
+        observers: Observers,
     ) -> Result<Self, RuntimeError>
     where
         P: Protocol<V> + 'static,
@@ -203,20 +214,34 @@ impl<V: Value> ShardedCluster<V> {
         for (i, listener) in listeners.into_iter().enumerate() {
             let p = ProcessId::new(i as u32);
             let (inbox_tx, inbox_rx) = crossbeam::channel::unbounded();
-            let transport = TcpTransport::spawn(p, addrs.clone(), listener, inbox_tx, obs.clone());
+            let inbox_tx = delayed_inbox(timing.link_delay, inbox_tx);
+            let transport = backend.spawn(
+                p,
+                addrs.clone(),
+                listener,
+                inbox_tx,
+                observers.cluster.clone(),
+            )?;
             let instances = (0..router.shards() as u32).map(|s| make(p, s)).collect();
             nodes.push(spawn_sharded_node(
                 instances,
                 inbox_rx,
                 transport,
                 NodeOptions::new(dtx.clone())
-                    .wall_delta(wall_delta)
-                    .observed(obs.clone())
-                    .shard_observed(shard_obs.clone()),
+                    .wall_delta(timing.wall_delta)
+                    .observed(observers.cluster.clone())
+                    .shard_observed(observers.shards.clone()),
             ));
         }
         drop(dtx);
-        Ok(Self::assemble(cfg, router, nodes, drx, route, obs))
+        Ok(Self::assemble(
+            cfg,
+            router,
+            nodes,
+            drx,
+            route,
+            observers.cluster,
+        ))
     }
 
     /// The deployed configuration (per group — all groups share it).

@@ -38,6 +38,104 @@ pub trait Transport: Send + Sync + 'static {
     }
 }
 
+impl Transport for Box<dyn Transport> {
+    fn send(&self, from: ProcessId, to: ProcessId, payload: Bytes) {
+        (**self).send(from, to, payload);
+    }
+
+    fn send_many(&self, from: ProcessId, to: ProcessId, payloads: Vec<Bytes>) {
+        (**self).send_many(from, to, payloads);
+    }
+}
+
+/// Which socket transport a cluster deploys over; the in-memory
+/// transport is a separate assembly path (no sockets to choose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SocketBackend {
+    /// [`TcpTransport`]: blocking writer thread per destination, read
+    /// thread per accepted connection.
+    Blocking,
+    /// [`crate::ReactorTransport`]: one non-blocking event-loop thread
+    /// owning every socket.
+    Reactor,
+}
+
+impl SocketBackend {
+    /// Spawns the chosen backend for process `me`, erased behind the
+    /// [`Transport`] trait object so cluster assembly is
+    /// backend-generic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures (the reactor switches the
+    /// listener into non-blocking mode).
+    pub(crate) fn spawn(
+        self,
+        me: ProcessId,
+        peers: Vec<std::net::SocketAddr>,
+        listener: TcpListener,
+        inbox: Sender<(ProcessId, Bytes)>,
+        obs: ObserverHandle,
+    ) -> Result<Box<dyn Transport>, RuntimeError> {
+        Ok(match self {
+            SocketBackend::Blocking => {
+                Box::new(TcpTransport::spawn(me, peers, listener, inbox, obs))
+            }
+            SocketBackend::Reactor => Box::new(crate::ReactorTransport::spawn(
+                me, peers, listener, inbox, obs,
+            )?),
+        })
+    }
+}
+
+/// Wraps `inbox` in an emulated one-way link latency: every payload
+/// sent to the returned sender arrives at `inbox` `delay` later, in
+/// order. A zero delay returns `inbox` unchanged.
+///
+/// This is the receive-side counterpart of
+/// [`InMemoryTransport::with_delay`], used to give the socket backends
+/// the same `link_delay` semantics: socket payloads already carry real
+/// (tiny) localhost latency, and this adds the configured wall-clock
+/// component on delivery. Two threads keep the emulation honest under
+/// load: a stamper that assigns each payload its maturity instant the
+/// moment it arrives (so delays never compound while the line sleeps),
+/// and the delay line that holds payloads until maturity. Both exit
+/// when the returned sender's clones are dropped.
+pub(crate) fn delayed_inbox(
+    delay: std::time::Duration,
+    inbox: Sender<(ProcessId, Bytes)>,
+) -> Sender<(ProcessId, Bytes)> {
+    if delay.is_zero() {
+        return inbox;
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(ProcessId, Bytes)>();
+    let (line_tx, line_rx) =
+        crossbeam::channel::unbounded::<(std::time::Instant, ProcessId, Bytes)>();
+    thread::Builder::new()
+        .name("twostep-link-stamper".into())
+        .spawn(move || {
+            while let Ok((from, payload)) = rx.recv() {
+                let _ = line_tx.send((std::time::Instant::now() + delay, from, payload));
+            }
+        })
+        .expect("spawn link-stamper thread");
+    thread::Builder::new()
+        .name("twostep-link-line".into())
+        .spawn(move || {
+            while let Ok((deliver_at, from, payload)) = line_rx.recv() {
+                let now = std::time::Instant::now();
+                if deliver_at > now {
+                    thread::sleep(deliver_at - now);
+                }
+                if inbox.send((from, payload)).is_err() {
+                    return; // destination node gone
+                }
+            }
+        })
+        .expect("spawn link-line thread");
+    tx
+}
+
 /// A payload queued on the delay line:
 /// `(maturity instant, from, to, payload)`.
 type DelayedPayload = (std::time::Instant, ProcessId, ProcessId, Bytes);
@@ -169,9 +267,10 @@ impl Transport for InMemoryTransport {
 /// Wire format per connection: a 4-byte little-endian sender id
 /// handshake, then frames of `[len: u32 LE][payload]`. A payload is
 /// either a single encoded message or a coalesced multi-message frame
-/// ([`codec::pack_frame`]); the receive path splits coalesced frames
-/// back into individual messages before they reach the inbox, so the
-/// formats interoperate in both directions.
+/// ([`codec::pack_frame`]); the receive path forwards each payload to
+/// the inbox whole, and consumers iterate coalesced frames in place
+/// with [`codec::frame_messages`] — the same contract as the in-memory
+/// and reactor backends.
 ///
 /// Sends are asynchronous: [`Transport::send`] enqueues and returns.
 /// The destination's writer thread drains its queue — everything queued
@@ -363,17 +462,15 @@ fn read_loop(mut stream: TcpStream, inbox: Sender<(ProcessId, Bytes)>) {
         if stream.read_exact(&mut payload).is_err() {
             return;
         }
-        // Split coalesced frames back into individual messages so inbox
-        // consumers see the same stream either way; a legacy payload
-        // passes through unchanged. A corrupt coalesced frame is dropped
-        // whole — the outer length prefix was intact, so the connection's
-        // framing still is too.
-        if let Ok(msgs) = codec::unpack_frame(&Bytes::from(payload)) {
-            for m in msgs {
-                if inbox.send((from, m)).is_err() {
-                    return;
-                }
-            }
+        // Forward the wire frame whole — consumers iterate coalesced
+        // frames in place with [`codec::frame_messages`], exactly as
+        // they do for the in-memory and reactor backends, so the read
+        // path allocates once per wire frame rather than per message.
+        // (A corrupt coalesced frame is dropped by the consumer; the
+        // outer length prefix was intact, so the connection's framing
+        // still is too.)
+        if inbox.send((from, Bytes::from(payload))).is_err() {
+            return;
         }
     }
 }
@@ -395,6 +492,23 @@ mod tests {
         inbox: Sender<(ProcessId, Bytes)>,
     ) -> Arc<TcpTransport> {
         TcpTransport::spawn(me, peers, listener, inbox, ObserverHandle::none())
+    }
+
+    /// Receives until `n` individual messages have arrived, iterating
+    /// coalesced frames in place — the consumer-side contract shared by
+    /// every backend.
+    fn recv_messages(
+        rx: &crossbeam::channel::Receiver<(ProcessId, Bytes)>,
+        n: usize,
+    ) -> Vec<(ProcessId, Vec<u8>)> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            let (from, payload) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            for m in codec::frame_messages(&payload).unwrap() {
+                out.push((from, m.to_vec()));
+            }
+        }
+        out
     }
 
     #[test]
@@ -440,6 +554,35 @@ mod tests {
         // Uniform delay + FIFO line: send order is delivery order.
         let (_, second) = inboxes[1].recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(&second[..], b"b");
+    }
+
+    #[test]
+    fn delayed_inbox_holds_payloads_and_preserves_order() {
+        let (tx, rx) = unbounded();
+        let delayed = delayed_inbox(Duration::from_millis(20), tx);
+        let sent = std::time::Instant::now();
+        delayed.send((p(0), Bytes::from_static(b"a"))).unwrap();
+        delayed.send((p(0), Bytes::from_static(b"b"))).unwrap();
+        let (from, first) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(
+            sent.elapsed() >= Duration::from_millis(20),
+            "payload delivered after {:?}, before the 20ms link latency",
+            sent.elapsed()
+        );
+        assert_eq!((from, &first[..]), (p(0), &b"a"[..]));
+        assert_eq!(
+            &rx.recv_timeout(Duration::from_secs(5)).unwrap().1[..],
+            b"b"
+        );
+    }
+
+    #[test]
+    fn zero_delayed_inbox_is_the_original_sender() {
+        let (tx, rx) = unbounded();
+        let delayed = delayed_inbox(Duration::ZERO, tx);
+        delayed.send((p(1), Bytes::from_static(b"x"))).unwrap();
+        // No detour: the payload is immediately available.
+        assert_eq!(rx.try_recv().unwrap(), (p(1), Bytes::from_static(b"x")));
     }
 
     #[test]
@@ -492,18 +635,13 @@ mod tests {
         assert_eq!(&payload[..], b"world");
 
         // Multiple sends keep their boundaries and order — whether or
-        // not the writer coalesced them, the read side splits frames
-        // back into individual messages.
+        // not the writer coalesced them into one wire frame, the
+        // consumer-side frame iteration sees individual messages.
         t0.send(p(0), p(1), Bytes::from_static(b"one"));
         t0.send(p(0), p(1), Bytes::from_static(b"two"));
-        assert_eq!(
-            &rx1.recv_timeout(Duration::from_secs(5)).unwrap().1[..],
-            b"one"
-        );
-        assert_eq!(
-            &rx1.recv_timeout(Duration::from_secs(5)).unwrap().1[..],
-            b"two"
-        );
+        let msgs = recv_messages(&rx1, 2);
+        assert_eq!(msgs[0], (p(0), b"one".to_vec()));
+        assert_eq!(msgs[1], (p(0), b"two".to_vec()));
     }
 
     #[test]
@@ -519,10 +657,10 @@ mod tests {
             .map(|i| Bytes::from(vec![i; (i as usize % 4) + 1]))
             .collect();
         t0.send_many(p(0), p(1), burst.clone());
-        for want in &burst {
-            let (from, got) = rx1.recv_timeout(Duration::from_secs(5)).unwrap();
-            assert_eq!(from, p(0));
-            assert_eq!(&got, want);
+        let got = recv_messages(&rx1, burst.len());
+        for (want, (from, msg)) in burst.iter().zip(&got) {
+            assert_eq!(*from, p(0));
+            assert_eq!(msg, &want.to_vec());
         }
     }
 

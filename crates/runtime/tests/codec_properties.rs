@@ -160,3 +160,165 @@ proptest! {
         let _ = from_bytes::<Node>(&bytes[..cut]); // must not panic
     }
 }
+
+// ---------------------------------------------------------------------
+// Zero-copy receive path: the borrowing frame iterator and the reusable
+// read-reassembly buffer the reactor drives. These pin the properties
+// the per-message-allocation-free hot path depends on.
+// ---------------------------------------------------------------------
+
+/// A frame payload as a transport would flush it: one message uses the
+/// legacy unframed layout, several coalesce under [`FRAME_MAGIC`].
+fn flush_payload(msgs: &[Vec<u8>]) -> Vec<u8> {
+    use twostep_runtime::codec::pack_frame;
+    match msgs {
+        [single] => single.clone(),
+        many => {
+            let owned: Vec<bytes::Bytes> =
+                many.iter().map(|m| bytes::Bytes::from(m.clone())).collect();
+            pack_frame(&owned).to_vec()
+        }
+    }
+}
+
+/// Messages that cannot be mistaken for a coalesced frame (a legacy
+/// single-message flush is passed through verbatim, so a message that
+/// itself starts with [`FRAME_MAGIC`] would be re-parsed — the real
+/// transports never produce one: every protocol payload is a postcard
+/// encoding or a [`SHARD_MAGIC`] envelope).
+fn legacy_safe_message() -> impl Strategy<Value = Vec<u8>> {
+    use twostep_runtime::codec::FRAME_MAGIC;
+    proptest::collection::vec(any::<u8>(), 0..80).prop_map(|mut m| {
+        if m.len() >= 4 && m[..4] == FRAME_MAGIC.to_le_bytes() {
+            m[0] ^= 1; // break the accidental magic collision
+        }
+        m
+    })
+}
+
+proptest! {
+    /// The borrowing iterator agrees with the allocating
+    /// `unpack_frame` on every packed frame, and on legacy payloads it
+    /// yields the input verbatim as a single message.
+    #[test]
+    fn frame_messages_agrees_with_unpack_frame(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+    ) {
+        use twostep_runtime::codec::{frame_messages, pack_frame, unpack_frame};
+
+        let owned: Vec<bytes::Bytes> =
+            msgs.iter().map(|m| bytes::Bytes::from(m.clone())).collect();
+        let frame = pack_frame(&owned);
+        let alloc: Vec<Vec<u8>> = unpack_frame(&frame)
+            .unwrap()
+            .iter()
+            .map(|b| b.to_vec())
+            .collect();
+        let borrowed: Vec<Vec<u8>> = frame_messages(&frame)
+            .unwrap()
+            .map(<[u8]>::to_vec)
+            .collect();
+        prop_assert_eq!(&borrowed, &alloc);
+        prop_assert_eq!(&borrowed, &msgs);
+    }
+
+    /// Legacy (untagged, unframed) payloads pass through both
+    /// zero-copy entry points untouched: one message, shard 0, and the
+    /// returned slice is the input itself.
+    #[test]
+    fn legacy_payloads_pass_through_untouched(msg in legacy_safe_message()) {
+        use twostep_runtime::codec::{frame_messages, split_shard_ref, SHARD_MAGIC};
+
+        let out: Vec<&[u8]> = frame_messages(&msg).unwrap().collect();
+        prop_assert_eq!(out.len(), 1);
+        prop_assert_eq!(out[0], &msg[..]);
+
+        // Shard routing: anything not carrying the shard magic reads
+        // back as shard 0 with the payload intact.
+        if msg.len() < 8 || msg[..4] != SHARD_MAGIC.to_le_bytes() {
+            let (shard, inner) = split_shard_ref(&msg).unwrap();
+            prop_assert_eq!(shard, 0);
+            prop_assert_eq!(inner, &msg[..]);
+        }
+    }
+
+    /// Feeding a stream of flushes through the reusable read buffer in
+    /// arbitrarily-sized readiness chunks recovers every frame — and
+    /// every message inside every frame — byte-identically, no matter
+    /// where the chunk boundaries fall.
+    #[test]
+    fn assembler_recovers_messages_under_arbitrary_chunking(
+        flushes in proptest::collection::vec(
+            proptest::collection::vec(legacy_safe_message(), 1..5),
+            1..6,
+        ),
+        chunks in proptest::collection::vec(1usize..48, 1..12),
+    ) {
+        use twostep_runtime::codec::{frame_messages, FrameAssembler};
+
+        // Wire stream: [len][flush payload] per flush, concatenated.
+        let mut wire = Vec::new();
+        for msgs in &flushes {
+            let payload = flush_payload(msgs);
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(&payload);
+        }
+
+        // Feed the wire in chunks whose sizes cycle through `chunks`,
+        // draining completed frames into individual messages as the
+        // reactor does on each readiness event.
+        let mut asm = FrameAssembler::with_capacity(8);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut offset = 0;
+        let mut turn = 0;
+        while offset < wire.len() {
+            let take = chunks[turn % chunks.len()].min(wire.len() - offset);
+            turn += 1;
+            let slot = asm.read_slot(take);
+            slot[..take].copy_from_slice(&wire[offset..offset + take]);
+            asm.commit(take);
+            offset += take;
+            while let Some(frame) = asm.next_frame() {
+                for m in frame_messages(frame).expect("reassembled frame must parse") {
+                    got.push(m.to_vec());
+                }
+            }
+        }
+
+        let want: Vec<Vec<u8>> = flushes.into_iter().flatten().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(asm.buffered(), 0, "no bytes may linger after a whole stream");
+    }
+
+    /// Buffer reuse never leaks: after draining one frame, the next
+    /// frame's bytes are exactly its own even when it is smaller than
+    /// (and physically overlaps) its predecessor's slot in the buffer.
+    #[test]
+    fn assembler_reuse_never_leaks_previous_frames(
+        first in proptest::collection::vec(any::<u8>(), 64..256),
+        second in proptest::collection::vec(any::<u8>(), 0..64),
+        chunk in 1usize..32,
+    ) {
+        use twostep_runtime::codec::FrameAssembler;
+
+        let mut wire = Vec::new();
+        for p in [&first, &second] {
+            wire.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            wire.extend_from_slice(p);
+        }
+
+        let mut asm = FrameAssembler::with_capacity(8);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for piece in wire.chunks(chunk) {
+            let slot = asm.read_slot(piece.len());
+            slot[..piece.len()].copy_from_slice(piece);
+            asm.commit(piece.len());
+            while let Some(frame) = asm.next_frame() {
+                frames.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(frames.len(), 2);
+        prop_assert_eq!(&frames[0], &first);
+        prop_assert_eq!(&frames[1], &second, "stale bytes leaked into the second frame");
+    }
+}
