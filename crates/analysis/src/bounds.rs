@@ -318,8 +318,9 @@ pub fn check_model(model: &dyn QuorumModel) -> Vec<Violation> {
 }
 
 /// Minimum `|FQ ∩ Q|` over all size-`fq` and size-`sq` subsets of `n`,
-/// by bitmask enumeration (`n ≤ 10`).
-fn min_intersection_by_enumeration(n: usize, fq: usize, sq: usize) -> usize {
+/// by bitmask enumeration (`n ≤ 10`). Shared with the Byzantine
+/// checker's set-level cross-check.
+pub(crate) fn min_intersection_by_enumeration(n: usize, fq: usize, sq: usize) -> usize {
     let mut min = n;
     for a in 0u32..1 << n {
         if a.count_ones() as usize != fq {

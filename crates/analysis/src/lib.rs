@@ -11,6 +11,11 @@
 //!   (a tightness witness, executed against the real
 //!   `twostep_core::recovery::select_value` where possible). Theorems
 //!   5–6 of the paper, as an executable artifact.
+//! * [`byz_bounds`] — the Byzantine counterpart: obligations B1–B7 for
+//!   the FaB-style fast quorums (`5f+1`, and the arXiv:2102.12825
+//!   `5f−1` variant), with tightness witnesses *executed* against the
+//!   real `FastBft` baseline — every `n` below a variant's
+//!   fast-liveness bound carries a run with zero fast deciders.
 //! * [`lint`] — a source lint over the protocol crates rejecting
 //!   wildcard arms on protocol enums, `unwrap`/`expect`, unchecked
 //!   quorum arithmetic, and `debug_assert!`-only invariants, with an
@@ -20,6 +25,7 @@
 //!   and the transport reconnect bookkeeping.
 
 pub mod bounds;
+pub mod byz_bounds;
 pub mod lexer;
 pub mod lint;
 pub mod model;

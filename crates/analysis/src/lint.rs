@@ -125,14 +125,29 @@ impl Allowlist {
         Self::parse(&text)
     }
 
+    fn entry_matches(entry: &(String, String, String), finding: &Finding) -> bool {
+        let (suffix, rule, substr) = entry;
+        finding.file.to_string_lossy().ends_with(suffix.as_str())
+            && finding.rule == rule
+            && finding.excerpt.contains(substr.as_str())
+    }
+
     /// Whether `finding` is waived.
     pub fn allows(&self, finding: &Finding) -> bool {
-        let path = finding.file.to_string_lossy();
-        self.entries.iter().any(|(suffix, rule, substr)| {
-            path.ends_with(suffix.as_str())
-                && finding.rule == rule
-                && finding.excerpt.contains(substr.as_str())
-        })
+        self.entries.iter().any(|e| Self::entry_matches(e, finding))
+    }
+
+    /// Entries that waive none of `findings` (the *pre*-allowlist
+    /// finding set): each one is a stale audit whose subject has been
+    /// fixed or rewritten, and keeping it would silently waive the next
+    /// unrelated finding that happens to match. The CI gate treats a
+    /// nonempty result as a failure, so the allowlist prunes itself.
+    pub fn stale_entries(&self, findings: &[Finding]) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !findings.iter().any(|f| Self::entry_matches(e, f)))
+            .map(|(suffix, rule, substr)| format!("{suffix}:{rule}:{substr}"))
+            .collect()
     }
 
     /// Number of entries (for reporting).
@@ -577,6 +592,27 @@ mod tests {
             ..f.clone()
         };
         assert!(!allow.allows(&other));
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_reported() {
+        let allow = Allowlist::parse(
+            "mem/test.rs:unwrap-expect:just inserted\n\
+             gone/file.rs:debug-assert:old invariant\n",
+        )
+        .unwrap();
+        let live = Finding {
+            file: PathBuf::from("x/mem/test.rs"),
+            line: 3,
+            rule: "unwrap-expect",
+            excerpt: ".expect(\"just inserted\")".into(),
+        };
+        let stale = allow.stale_entries(std::slice::from_ref(&live));
+        assert_eq!(stale, vec!["gone/file.rs:debug-assert:old invariant"]);
+        assert!(
+            allow.stale_entries(&[]).len() == 2,
+            "no findings: all stale"
+        );
     }
 
     #[test]

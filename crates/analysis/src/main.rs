@@ -5,9 +5,11 @@
 //!   --all               shorthand for the `all` subcommand
 //!   --max-n N           bound-sweep cap (default 25)
 //!   --fixture NAME      run bounds against a seeded-broken model
-//!                       (broken-fast-quorum | broken-recovery-threshold);
-//!                       CI asserts this exits nonzero
-//!   --witnesses PATH    write the sweep outcome (violations + tightness
+//!                       (broken-fast-quorum | broken-recovery-threshold
+//!                       for the crash sweep, byz-crash-sized-fast-quorum
+//!                       for the Byzantine sweep); CI asserts these exit
+//!                       nonzero
+//!   --witnesses PATH    write both sweep outcomes (violations + tightness
 //!                       witnesses) as JSON to PATH
 //!   --json              print the sweep outcome JSON to stdout
 //!   --root PATH         workspace root for the lint (default: cwd)
@@ -20,6 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use twostep_analysis::bounds::{self, SweepOutcome};
+use twostep_analysis::byz_bounds::{self, ByzFixture, ByzSweepOutcome};
 use twostep_analysis::lint::{self, Allowlist};
 use twostep_analysis::model::Fixture;
 
@@ -28,8 +31,9 @@ usage: twostep-analysis <bounds|lint|all> [options]
   --all               run both analyses (same as the `all` subcommand)
   --max-n N           bound-sweep cap (default 25)
   --fixture NAME      check a seeded-broken model instead of the real
-                      arithmetic: broken-fast-quorum | broken-recovery-threshold
-  --witnesses PATH    write sweep outcome JSON to PATH
+                      arithmetic: broken-fast-quorum |
+                      broken-recovery-threshold | byz-crash-sized-fast-quorum
+  --witnesses PATH    write sweep outcome JSON (crash + byzantine) to PATH
   --json              print sweep outcome JSON to stdout
   --root PATH         workspace root for the lint (default: current dir)
   --allowlist PATH    lint allowlist file
@@ -40,6 +44,7 @@ struct Options {
     run_lint: bool,
     max_n: usize,
     fixture: Option<Fixture>,
+    byz_fixture: Option<ByzFixture>,
     witnesses: Option<PathBuf>,
     json: bool,
     root: PathBuf,
@@ -52,6 +57,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         run_lint: false,
         max_n: bounds::DEFAULT_MAX_N,
         fixture: None,
+        byz_fixture: None,
         witnesses: None,
         json: false,
         root: PathBuf::from("."),
@@ -87,8 +93,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--fixture" => {
                 let v = value_for("--fixture")?;
-                opts.fixture =
-                    Some(Fixture::parse(&v).ok_or_else(|| format!("unknown fixture {v:?}"))?);
+                match (Fixture::parse(&v), ByzFixture::parse(&v)) {
+                    (Some(fx), _) => opts.fixture = Some(fx),
+                    (None, Some(fx)) => opts.byz_fixture = Some(fx),
+                    (None, None) => return Err(format!("unknown fixture {v:?}")),
+                }
             }
             "--witnesses" => opts.witnesses = Some(PathBuf::from(value_for("--witnesses")?)),
             "--json" => opts.json = true,
@@ -106,12 +115,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn run_bounds(opts: &Options) -> Result<bool, String> {
     let outcome: SweepOutcome = bounds::sweep(opts.max_n, opts.fixture);
+    let byz: ByzSweepOutcome = byz_bounds::sweep(opts.max_n, opts.byz_fixture);
+    let combined = format!(
+        "{{\"crash\":{},\"byzantine\":{}}}",
+        outcome.to_json(),
+        byz.to_json()
+    );
     if let Some(path) = &opts.witnesses {
-        std::fs::write(path, outcome.to_json())
+        std::fs::write(path, &combined)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
     if opts.json {
-        println!("{}", outcome.to_json());
+        println!("{combined}");
     } else {
         println!(
             "bounds: model `{}`, {} configs checked up to n = {}, {} violations, {} tightness witnesses",
@@ -140,16 +155,48 @@ fn run_bounds(opts: &Options) -> Result<bool, String> {
             outcome.witnesses.len() - executed,
             executed
         );
+        println!(
+            "byz-bounds: model `{}`, {} configs checked up to n = {}, {} violations, {} tightness witnesses",
+            byz.model,
+            byz.configs_checked,
+            byz.max_n,
+            byz.violations.len(),
+            byz.witnesses.len()
+        );
+        for v in byz.violations.iter().take(20) {
+            println!(
+                "  VIOLATION n={} f={} {} [{}] {}",
+                v.n, v.f, v.variant, v.obligation, v.detail
+            );
+        }
+        if byz.violations.len() > 20 {
+            println!("  … and {} more", byz.violations.len() - 20);
+        }
+        let byz_executed = byz
+            .witnesses
+            .iter()
+            .filter(|w| w.executed.is_some())
+            .count();
+        println!(
+            "  witnesses: {} structural, {} executed against FastBft",
+            byz.witnesses.len() - byz_executed,
+            byz_executed
+        );
     }
-    Ok(outcome.is_clean())
+    Ok(outcome.is_clean() && byz.is_clean())
 }
 
 fn run_lint(opts: &Options) -> Result<bool, String> {
     let root = &opts.root;
-    let lint_dirs: Vec<PathBuf> = ["crates/core/src", "crates/baselines/src", "crates/smr/src"]
-        .iter()
-        .map(|d| root.join(d))
-        .collect();
+    let lint_dirs: Vec<PathBuf> = [
+        "crates/core/src",
+        "crates/baselines/src",
+        "crates/smr/src",
+        "crates/byz/src",
+    ]
+    .iter()
+    .map(|d| root.join(d))
+    .collect();
     for d in &lint_dirs {
         if !d.is_dir() {
             return Err(format!(
@@ -178,25 +225,27 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         Allowlist::default()
     };
 
-    let mut findings = Vec::new();
+    let mut raw = Vec::new();
     for file in &files {
-        findings.extend(
-            lint::lint_file(file, &enums)
-                .into_iter()
-                .filter(|f| !allow.allows(f)),
-        );
+        raw.extend(lint::lint_file(file, &enums));
     }
+    let findings: Vec<_> = raw.iter().filter(|f| !allow.allows(f)).collect();
+    let stale = allow.stale_entries(&raw);
     println!(
-        "lint: {} files, {} protocol enums, {} allowlist entries, {} findings",
+        "lint: {} files, {} protocol enums, {} allowlist entries ({} stale), {} findings",
         files.len(),
         enums.len(),
         allow.len(),
+        stale.len(),
         findings.len()
     );
     for f in &findings {
         println!("  {f}");
     }
-    Ok(findings.is_empty())
+    for entry in &stale {
+        println!("  STALE allowlist entry waives nothing: {entry}");
+    }
+    Ok(findings.is_empty() && stale.is_empty())
 }
 
 fn main() -> ExitCode {

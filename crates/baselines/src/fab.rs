@@ -1,0 +1,755 @@
+//! A FaB-Paxos-style fast Byzantine consensus baseline.
+//!
+//! Martin & Alvisi's *Fast Byzantine Consensus* (FaB Paxos, DSN'05 /
+//! TDSC'06) decides in two message delays — proposer broadcast, then
+//! one round of acceptor echoes — without signatures in the common
+//! case, at the price of larger quorums: fast quorums of
+//! `⌈(n+3f+1)/2⌉`, available under `f` Byzantine faults iff
+//! `n ≥ 5f+1`. Kuznetsov, Tonkikh & Zhang (arXiv:2102.12825) shave two
+//! processes by conditioning the fast path on an honest proposer
+//! (`⌈(n+3f−1)/2⌉` quorums, `n ≥ 5f−1` — optimal). [`FastBft`]
+//! implements both rules, selected by the
+//! [`ByzVariant`] inside its [`ByzConfig`].
+//!
+//! This is the Byzantine sibling of the crash-model baselines: where
+//! the paper's protocol two-steps with `max{2e+f, 2f+1}` crash-prone
+//! processes, the same latency under Byzantine faults costs `5f+1`
+//! (resp. `5f−1`) — the gap experiment E14 measures.
+//!
+//! **Scope (unsigned messages).** Like FaB's common case, messages
+//! carry no signatures, so safety against *arbitrary* Byzantine
+//! behavior holds for acceptors and learners (equivocation, forged
+//! echoes, forged recovery reports, silence — see obligations B1–B5 in
+//! `twostep-analysis`), while a Byzantine *recovery leader* could
+//! propose a fabricated value to a ballot it owns. The fuzz campaigns
+//! therefore keep `p0` (the ballot-0 proposer and first Ω leader)
+//! honest and attack the other roles, matching the honest-proposer
+//! conditioning of the `5f−1` variant.
+
+use serde::{Deserialize, Serialize};
+
+use twostep_telemetry::{ObserverHandle, Path};
+use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::quorum::{Collector, VoteTally};
+use twostep_types::{
+    Ballot, ByzConfig, ByzVariant, Corruptible, Duration, ProcessId, ProcessSet, Value, DELTA,
+};
+
+/// FaB wire messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FabMsg<V> {
+    /// A non-coordinator's proposal, forwarded to the ballot-0
+    /// coordinator `p0`.
+    Forward(V),
+    /// The coordinator's fast-round proposal, broadcast to all
+    /// acceptors.
+    Fast(V),
+    /// An acceptor's echo, broadcast to all learners. `Accepted(0, v)`
+    /// votes count toward fast quorums; slow-ballot echoes toward
+    /// `n−f` slow quorums.
+    Accepted(Ballot, V),
+    /// Recovery phase-1: a new leader opens ballot `b`.
+    NewBallot(Ballot),
+    /// Recovery phase-1 report.
+    Promise {
+        /// Ballot being joined.
+        bal: Ballot,
+        /// Last accepted ballot.
+        vbal: Ballot,
+        /// Last accepted value.
+        vval: Option<V>,
+        /// The reporter's own proposal — counted by the
+        /// [`ByzVariant::Tight`] certification rule (the
+        /// honest-proposer conditioning of arXiv:2102.12825).
+        proposed: Option<V>,
+    },
+    /// Recovery phase-2: the leader's certified proposal for ballot
+    /// `b`.
+    Slow(Ballot, V),
+    /// Decision gossip.
+    Decide(V),
+    /// Ω liveness beacon.
+    Heartbeat,
+}
+
+/// [`Corruptible`] plumbing so the `twostep-byz` injector can attack
+/// FaB traffic.
+///
+/// The corruptible surface is exactly the *first-party lies*: a
+/// process's own proposals, echoes, reports, and decide claims — the
+/// traffic the `f+1` / quorum thresholds are sized to absorb, since
+/// even signatures cannot stop a traitor from signing a lie about its
+/// own state. [`FabMsg::Slow`] is exempt: in FaB it is backed by a
+/// *progress certificate* of other processes' signed reports, which a
+/// Byzantine leader cannot fabricate, so honest acceptors reject any
+/// tampered copy — the injector models that rejection by leaving the
+/// message intact. (Without this signature abstraction a Byzantine
+/// recovery leader dictates arbitrary values: Agreement survives but
+/// no quorum arithmetic can restore Validity — the Byzantine fuzz
+/// campaign demonstrated exactly that before `Slow` was exempted.)
+/// Heartbeats carry nothing to corrupt.
+impl<V: Corruptible> Corruptible for FabMsg<V> {
+    fn forge_value(&mut self, salt: u64) -> bool {
+        match self {
+            FabMsg::Forward(v) | FabMsg::Fast(v) | FabMsg::Accepted(_, v) | FabMsg::Decide(v) => {
+                v.forge_value(salt)
+            }
+            FabMsg::Promise { vval, proposed, .. } => {
+                let forged_vval = match vval {
+                    Some(v) => v.forge_value(salt),
+                    None => false,
+                };
+                let forged_proposed = match proposed {
+                    Some(v) => v.forge_value(salt),
+                    None => false,
+                };
+                forged_vval || forged_proposed
+            }
+            FabMsg::Slow(..) | FabMsg::NewBallot(_) | FabMsg::Heartbeat => false,
+        }
+    }
+
+    fn lie_ballot(&mut self, salt: u64) -> bool {
+        let bump = |b: &mut Ballot| {
+            *b = Ballot::new(b.number().wrapping_add(salt % 5 + 1));
+        };
+        match self {
+            FabMsg::Accepted(b, _) | FabMsg::NewBallot(b) => {
+                bump(b);
+                true
+            }
+            FabMsg::Promise { vbal, .. } => {
+                bump(vbal);
+                true
+            }
+            // The certificate binds the ballot as well as the value.
+            FabMsg::Slow(..)
+            | FabMsg::Forward(_)
+            | FabMsg::Fast(_)
+            | FabMsg::Decide(_)
+            | FabMsg::Heartbeat => false,
+        }
+    }
+}
+
+/// FaB-style fast Byzantine consensus over `n ≥ 3f+1` processes.
+///
+/// Every process plays acceptor and learner; `p0` is the ballot-0
+/// proposer (FaB's distinguished coordinator) and the first Ω leader:
+///
+/// * **fast round (ballot 0)** — the coordinator broadcasts its value;
+///   an acceptor echoes the first coordinator value it receives to
+///   every learner; a learner decides `v` upon a *fast quorum*
+///   ([`ByzConfig::fast_quorum`]) of ballot-0 echoes for `v`. With a
+///   correct coordinator and ≤ `f` faults this takes two message
+///   delays whenever [`ByzConfig::fast_path_live`] holds.
+/// * **recovery (slow ballots)** — the Ω leader collects `n−f`
+///   [`FabMsg::Promise`] reports and *certifies* a value: the highest
+///   slow ballot with at least `f+1` matching reports wins; otherwise
+///   the fast-round value with the most reporters (at least `f+1`,
+///   counting own-proposal reports under [`ByzVariant::Tight`]);
+///   otherwise the leader's own proposal. A slow quorum of `n−f`
+///   ballot-`b` echoes decides. The `f+1` floor means no certificate
+///   can consist purely of Byzantine lies, and the fast-quorum size
+///   guarantees a fast-decided value out-counts any forgery.
+/// * **decide gossip** — deciders periodically rebroadcast
+///   [`FabMsg::Decide`]; a learner adopts a gossiped value only after
+///   `f+1` distinct senders report it, so forged decide claims from up
+///   to `f` traitors are inert.
+///
+/// # Example
+///
+/// ```rust
+/// use twostep_baselines::FastBft;
+/// use twostep_sim::SyncRunner;
+/// use twostep_types::{ByzConfig, ByzVariant, SystemConfig};
+///
+/// let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 1)?; // n = 6
+/// let sim = SystemConfig::new(6, 1, 1)?;
+/// let outcome = SyncRunner::new(sim).run(|p| FastBft::new(byz, p, 7u64));
+/// let (fast, v) = outcome.fast_deciders();
+/// assert_eq!(v, Some(7));
+/// assert_eq!(fast.len(), 6, "all learners decide in two steps");
+/// # Ok::<(), twostep_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastBft<V> {
+    cfg: ByzConfig,
+    me: ProcessId,
+    initial: Option<V>,
+    fast_sent: bool,
+    // Acceptor state.
+    bal: Ballot,
+    vbal: Ballot,
+    val: Option<V>,
+    // Learner state.
+    fast_tally: VoteTally<V>,
+    slow_ballot_seen: Ballot,
+    slow_tally: VoteTally<V>,
+    decide_tally: VoteTally<V>,
+    decided: Option<V>,
+    // Recovery-leader state.
+    my_ballot: Option<Ballot>,
+    promises: Collector<(Ballot, Option<V>, Option<V>)>,
+    phase_one_done: bool,
+    // Ω.
+    heard: ProcessSet,
+    suspected: ProcessSet,
+    obs: ObserverHandle,
+}
+
+const HEARTBEAT_PERIOD: Duration = DELTA;
+const SUSPECT_PERIOD: Duration = Duration::from_units(3 * DELTA.units());
+const INITIAL_TIMEOUT: Duration = Duration::from_units(2 * DELTA.units());
+const RETRY_PERIOD: Duration = Duration::from_units(5 * DELTA.units());
+
+/// The ballot-0 coordinator.
+const COORDINATOR: ProcessId = ProcessId::new(0);
+
+impl<V: Value> FastBft<V> {
+    /// Creates a FaB instance for `me` proposing `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `cfg`. (The configuration is
+    /// *not* required to satisfy the `5f+1` / `5f−1` fast-path bound:
+    /// experiment E14 and the analysis tightness witnesses run `n = 5f`
+    /// on purpose, to watch the fast path die.)
+    pub fn new(cfg: ByzConfig, me: ProcessId, initial: V) -> Self {
+        let mut fb = Self::passive(cfg, me);
+        fb.initial = Some(initial);
+        fb
+    }
+
+    /// Creates a *passive* instance: acceptor, learner, and potential
+    /// recovery leader, but proposes nothing until `propose(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for `cfg`.
+    pub fn passive(cfg: ByzConfig, me: ProcessId) -> Self {
+        assert!(
+            me.index() < cfg.n(),
+            "process {me} out of range for {cfg:?}"
+        );
+        FastBft {
+            cfg,
+            me,
+            initial: None,
+            fast_sent: false,
+            bal: Ballot::FAST,
+            vbal: Ballot::FAST,
+            val: None,
+            fast_tally: VoteTally::new(),
+            slow_ballot_seen: Ballot::FAST,
+            slow_tally: VoteTally::new(),
+            decide_tally: VoteTally::new(),
+            decided: None,
+            my_ballot: None,
+            promises: Collector::new(),
+            phase_one_done: false,
+            heard: ProcessSet::new(),
+            suspected: ProcessSet::new(),
+            obs: ObserverHandle::none(),
+        }
+    }
+
+    /// Attaches telemetry hooks (builder style). Fast-quorum decisions
+    /// report [`Path::Fast`], slow-quorum decisions [`Path::Slow`],
+    /// gossip-learned decisions [`Path::Learned`].
+    #[must_use]
+    pub fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The Byzantine configuration in force.
+    pub fn config(&self) -> ByzConfig {
+        self.cfg
+    }
+
+    /// The decision, if reached.
+    pub fn decided_value(&self) -> Option<&V> {
+        self.decided.as_ref()
+    }
+
+    fn leader(&self) -> ProcessId {
+        self.suspected
+            .complement(self.cfg.n())
+            .min()
+            .unwrap_or(self.me)
+    }
+
+    fn record_decision(&mut self, v: V, path: Path, eff: &mut Effects<V, FabMsg<V>>) {
+        if self.decided.is_none() {
+            self.decided = Some(v.clone());
+            self.obs.decided(self.me, path);
+            eff.decide(v);
+        } else if self.decided.as_ref() != Some(&v) {
+            eff.decide(v); // surfaced for the checkers
+        }
+    }
+
+    fn check_learned(&mut self, eff: &mut Effects<V, FabMsg<V>>) {
+        if self.decided.is_some() {
+            return;
+        }
+        if let Some(v) = self
+            .fast_tally
+            .max_value_with_count_at_least(self.cfg.fast_quorum())
+            .cloned()
+        {
+            self.record_decision(v, Path::Fast, eff);
+            return;
+        }
+        if let Some(v) = self
+            .slow_tally
+            .max_value_with_count_at_least(self.cfg.slow_quorum())
+            .cloned()
+        {
+            self.record_decision(v, Path::Slow, eff);
+        }
+    }
+
+    /// Slow certification: the highest slow ballot at which at least
+    /// `f+1` reporters agree on a value. `f+1` honest slow echoes are
+    /// guaranteed visible for any slow-decided value (obligation B5),
+    /// and `f` liars alone can never reach the threshold.
+    fn certify_slow(&self) -> Option<V> {
+        let mut ballots: Vec<Ballot> = self
+            .promises
+            .iter()
+            .map(|(_, (vbal, _, _))| *vbal)
+            .filter(|b| b.is_slow())
+            .collect();
+        ballots.sort_unstable();
+        ballots.dedup();
+        for b in ballots.into_iter().rev() {
+            let mut tally: VoteTally<V> = VoteTally::new();
+            for (q, (vbal, vval, _)) in self.promises.iter() {
+                if *vbal == b {
+                    if let Some(v) = vval {
+                        tally.record(q, v.clone());
+                    }
+                }
+            }
+            if let Some(v) = tally.max_value_with_count_at_least(self.cfg.cert_threshold()) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    /// Fast certification: the fast-round value with the most distinct
+    /// reporters, requiring at least `f+1` of them. Under the classic
+    /// rule a fast-decided value retains `fast_quorum − 2f` honest
+    /// reporters in every recovery quorum — a strict majority of the
+    /// fast reports (obligation B2) — so the max-count pick cannot be
+    /// diverted by `f` forgeries. [`ByzVariant::Tight`] additionally
+    /// counts each reporter's own proposal, the honest-proposer
+    /// conditioning that makes its two-smaller quorums certifiable.
+    fn certify_fast(&self) -> Option<V> {
+        let mut tally: VoteTally<V> = VoteTally::new();
+        for (q, (vbal, vval, proposed)) in self.promises.iter() {
+            if *vbal == Ballot::FAST {
+                if let Some(v) = vval {
+                    tally.record(q, v.clone());
+                }
+            }
+            if self.cfg.variant() == ByzVariant::Tight {
+                if let Some(v) = proposed {
+                    tally.record(q, v.clone());
+                }
+            }
+        }
+        let best = tally
+            .iter()
+            .map(|(v, set)| (set.len(), v))
+            .max_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)))?;
+        let (count, v) = best;
+        if count >= self.cfg.cert_threshold() {
+            Some(v.clone())
+        } else {
+            None
+        }
+    }
+
+    fn start_ballot(&mut self, eff: &mut Effects<V, FabMsg<V>>) {
+        let b = self.bal.next_owned_by(self.me, self.cfg.n());
+        self.obs.slow_path_entered(self.me);
+        self.my_ballot = Some(b);
+        self.promises.clear();
+        self.phase_one_done = false;
+        eff.broadcast_all(FabMsg::NewBallot(b), self.cfg.n());
+    }
+}
+
+impl<V: Value> Protocol<V> for FastBft<V> {
+    type Message = FabMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    fn on_start(&mut self, eff: &mut Effects<V, FabMsg<V>>) {
+        eff.broadcast_others(FabMsg::Heartbeat, self.cfg.n(), self.me);
+        eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
+        eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
+        eff.set_timer(TimerId::NEW_BALLOT, INITIAL_TIMEOUT);
+        if let Some(v) = self.initial.clone() {
+            if self.me == COORDINATOR {
+                self.fast_sent = true;
+                eff.broadcast_all(FabMsg::Fast(v), self.cfg.n());
+            } else {
+                eff.send(COORDINATOR, FabMsg::Forward(v));
+            }
+        }
+    }
+
+    fn on_propose(&mut self, value: V, eff: &mut Effects<V, FabMsg<V>>) {
+        if self.initial.is_none() {
+            self.initial = Some(value.clone());
+            if self.me == COORDINATOR && !self.fast_sent {
+                self.fast_sent = true;
+                eff.broadcast_all(FabMsg::Fast(value), self.cfg.n());
+            } else if self.me != COORDINATOR {
+                eff.send(COORDINATOR, FabMsg::Forward(value));
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: FabMsg<V>, eff: &mut Effects<V, FabMsg<V>>) {
+        self.heard.insert(from);
+        match msg {
+            FabMsg::Heartbeat => {}
+
+            FabMsg::Forward(v) => {
+                // Only the coordinator adopts forwarded proposals, and
+                // only if its own fast round has not started.
+                if self.me == COORDINATOR && !self.fast_sent {
+                    self.fast_sent = true;
+                    self.initial.get_or_insert(v.clone());
+                    eff.broadcast_all(FabMsg::Fast(v), self.cfg.n());
+                }
+            }
+
+            FabMsg::Fast(v) => {
+                // Acceptor: echo the first *coordinator* value of the
+                // fast round. The sender check stops non-coordinators
+                // from hijacking ballot 0 — a Byzantine coordinator can
+                // still equivocate, which is exactly what fast-quorum
+                // intersection (B1) must survive.
+                if from == COORDINATOR && self.bal == Ballot::FAST && self.val.is_none() {
+                    self.vbal = Ballot::FAST;
+                    self.val = Some(v.clone());
+                    eff.broadcast_all(FabMsg::Accepted(Ballot::FAST, v), self.cfg.n());
+                }
+            }
+
+            FabMsg::Accepted(b, v) => {
+                if b == Ballot::FAST {
+                    self.fast_tally.record(from, v);
+                } else {
+                    if b > self.slow_ballot_seen {
+                        self.slow_ballot_seen = b;
+                        self.slow_tally.clear();
+                    }
+                    if b == self.slow_ballot_seen {
+                        self.slow_tally.record(from, v);
+                    }
+                }
+                self.check_learned(eff);
+            }
+
+            FabMsg::NewBallot(b) => {
+                if from == b.owner(self.cfg.n()) && b > self.bal {
+                    self.obs.ballot_advanced(self.me);
+                    self.bal = b;
+                    eff.send(
+                        from,
+                        FabMsg::Promise {
+                            bal: b,
+                            vbal: self.vbal,
+                            vval: self.val.clone(),
+                            proposed: self.initial.clone(),
+                        },
+                    );
+                }
+            }
+
+            FabMsg::Promise {
+                bal,
+                vbal,
+                vval,
+                proposed,
+            } => {
+                if self.my_ballot == Some(bal) && !self.phase_one_done {
+                    self.promises.insert(from, (vbal, vval, proposed));
+                    if self.promises.len() >= self.cfg.slow_quorum() {
+                        self.phase_one_done = true;
+                        let chosen = self
+                            .certify_slow()
+                            .or_else(|| self.certify_fast())
+                            .or_else(|| self.initial.clone());
+                        if let Some(v) = chosen {
+                            eff.broadcast_all(FabMsg::Slow(bal, v), self.cfg.n());
+                        }
+                    }
+                }
+            }
+
+            FabMsg::Slow(b, v) => {
+                if from == b.owner(self.cfg.n()) && b >= self.bal && b.is_slow() {
+                    if b > self.bal {
+                        self.obs.ballot_advanced(self.me);
+                    }
+                    self.bal = b;
+                    self.vbal = b;
+                    self.val = Some(v.clone());
+                    eff.broadcast_all(FabMsg::Accepted(b, v), self.cfg.n());
+                }
+            }
+
+            FabMsg::Decide(v) => {
+                // Gossip is only adopted once `f+1` distinct senders
+                // report the same value: at least one of them is honest
+                // and really decided it, so a lone forged `Decide` (or
+                // any coalition of `f` liars) can never corrupt a
+                // learner. The Byzantine fuzz campaign found exactly
+                // that corruption before this threshold existed.
+                self.decide_tally.record(from, v);
+                if self.decided.is_none() {
+                    if let Some(v) = self
+                        .decide_tally
+                        .max_value_with_count_at_least(self.cfg.cert_threshold())
+                        .cloned()
+                    {
+                        self.record_decision(v, Path::Learned, eff);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, eff: &mut Effects<V, FabMsg<V>>) {
+        match timer {
+            TimerId::HEARTBEAT => {
+                eff.broadcast_others(FabMsg::Heartbeat, self.cfg.n(), self.me);
+                eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
+            }
+            TimerId::SUSPECT => {
+                let before = self.leader();
+                let mut trusted = self.heard;
+                trusted.insert(self.me);
+                self.suspected = trusted.complement(self.cfg.n());
+                self.heard = ProcessSet::new();
+                let after = self.leader();
+                if before != after {
+                    self.obs.leader_changed(self.me, after);
+                }
+                eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
+            }
+            TimerId::NEW_BALLOT => {
+                eff.set_timer(TimerId::NEW_BALLOT, RETRY_PERIOD);
+                if let Some(v) = self.decided.clone() {
+                    eff.broadcast_others(FabMsg::Decide(v), self.cfg.n(), self.me);
+                } else if self.leader() == self.me {
+                    self.start_ballot(eff);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn decision(&self) -> Option<V> {
+        self.decided.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_byz::{ByzBehavior, ByzPlan};
+    use twostep_sim::{SimulationBuilder, SyncRunner};
+    use twostep_types::{SystemConfig, Time};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A crash-model `SystemConfig` with the same `n`, to drive the
+    /// simulator (which only reads `n` and the crash sets from it).
+    fn sim_cfg(byz: ByzConfig) -> SystemConfig {
+        SystemConfig::new(byz.n(), byz.f(), byz.f()).unwrap()
+    }
+
+    #[test]
+    fn coordinator_value_decides_everywhere_at_two_delta() {
+        let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 1).unwrap(); // n=6
+        let outcome = SyncRunner::new(sim_cfg(byz)).run(|q| FastBft::new(byz, q, 7u64));
+        for i in 0..6 {
+            assert_eq!(
+                outcome.decision_time_of(p(i)),
+                Some(Time::ZERO + Duration::deltas(2)),
+                "p{i}"
+            );
+        }
+        assert!(outcome.agreement());
+    }
+
+    #[test]
+    fn contending_proposals_yield_the_coordinator_value() {
+        let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 1).unwrap();
+        let outcome =
+            SyncRunner::new(sim_cfg(byz)).run(|q| FastBft::new(byz, q, u64::from(q.as_u32())));
+        assert!(outcome.agreement());
+        assert_eq!(*outcome.decided_values()[0], 0, "p0 is the fast proposer");
+        let (fast, _) = outcome.fast_deciders();
+        assert_eq!(fast.len(), 6);
+    }
+
+    #[test]
+    fn fast_path_survives_f_silent_processes_at_the_bound() {
+        // n = 5f+1 = 11, f = 2: crashing f acceptors leaves exactly a
+        // fast quorum of 4f+1 = 9 echoes.
+        let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 2).unwrap();
+        let crashed: ProcessSet = [p(9), p(10)].into_iter().collect();
+        let outcome = SyncRunner::new(sim_cfg(byz))
+            .crashed(crashed)
+            .run(|q| FastBft::new(byz, q, 5u64));
+        let (fast, v) = outcome.fast_deciders();
+        assert_eq!(v, Some(5));
+        assert_eq!(fast.len(), 9, "all nine correct processes two-step");
+        assert_eq!(
+            outcome.decision_time_of(p(0)),
+            Some(Time::ZERO + Duration::deltas(2))
+        );
+    }
+
+    #[test]
+    fn below_the_bound_one_silence_kills_the_fast_path_but_not_agreement() {
+        // n = 5f = 5: the fast quorum (5) exceeds the honest capacity
+        // (4), so with one crash nobody two-steps — recovery certifies
+        // the fast-round value and finishes on the slow path.
+        let byz = ByzConfig::new(5, 1, ByzVariant::Fab).unwrap();
+        assert!(!byz.fast_path_live());
+        let crashed: ProcessSet = [p(4)].into_iter().collect();
+        let outcome = SyncRunner::new(sim_cfg(byz))
+            .crashed(crashed)
+            .horizon(Duration::deltas(60))
+            .run(|q| FastBft::new(byz, q, u64::from(q.as_u32())));
+        let (fast, _) = outcome.fast_deciders();
+        assert!(fast.is_empty(), "no fast quorum can form at n = 5f");
+        assert!(outcome.all_correct_decided());
+        assert!(outcome.agreement());
+        assert_eq!(
+            *outcome.decided_values()[0],
+            0,
+            "recovery must certify the fast-round value, not invent one"
+        );
+    }
+
+    #[test]
+    fn tight_variant_two_steps_with_two_fewer_processes() {
+        // n = 5f−1 = 9 at f = 2: the Tight fast quorum (7) still fits
+        // the honest capacity after f crashes.
+        let byz = ByzConfig::minimal_fast(ByzVariant::Tight, 2).unwrap();
+        assert_eq!(byz.n(), 9);
+        let crashed: ProcessSet = [p(7), p(8)].into_iter().collect();
+        let outcome = SyncRunner::new(sim_cfg(byz))
+            .crashed(crashed)
+            .run(|q| FastBft::new(byz, q, 3u64));
+        let (fast, v) = outcome.fast_deciders();
+        assert_eq!(v, Some(3));
+        assert_eq!(fast.len(), 7);
+    }
+
+    #[test]
+    fn equivocating_acceptor_cannot_break_honest_agreement() {
+        // One acceptor equivocates its echoes; the five honest
+        // acceptors still form a fast quorum for the true value, and
+        // every honest process decides it.
+        let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 1).unwrap(); // n=6
+        let plan = ByzPlan::honest(42).with(p(3), ByzBehavior::Equivocate);
+        let outcome = SyncRunner::new(sim_cfg(byz))
+            .horizon(Duration::deltas(60))
+            .run(|q| plan.wrap(FastBft::new(byz, q, 9u64)));
+        assert!(outcome.all_correct_decided());
+        assert!(outcome.agreement());
+        assert_eq!(*outcome.decided_values()[0], 9);
+    }
+
+    #[test]
+    fn forged_promises_cannot_divert_recovery() {
+        // n = 5f with one *forging* process: the fast path is dead
+        // (quorum 5 > 4 truthful echoes), so recovery runs with a
+        // Byzantine reporter in every promise quorum — certification
+        // must still pick the real fast-round value.
+        let byz = ByzConfig::new(5, 1, ByzVariant::Fab).unwrap();
+        let plan = ByzPlan::honest(7).with(p(4), ByzBehavior::Forge);
+        let outcome = SyncRunner::new(sim_cfg(byz))
+            .horizon(Duration::deltas(60))
+            .run(|q| plan.wrap(FastBft::new(byz, q, u64::from(q.as_u32()))));
+        let honest: Vec<u32> = (0..4)
+            .filter_map(|i| outcome.decision_time_of(p(i)).map(|_| i))
+            .collect();
+        assert!(!honest.is_empty(), "honest processes must decide");
+        let decided: Vec<&u64> = outcome.decided_values();
+        assert!(
+            decided.iter().all(|v| **v < 5),
+            "decision {decided:?} must be a real proposal, not a forgery"
+        );
+    }
+
+    #[test]
+    fn lone_forged_decide_gossip_is_inert() {
+        // A single (possibly forged) `Decide` claim must not be
+        // adopted; `f+1` matching reports — at least one honest — must.
+        let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 1).unwrap(); // f=1
+        let mut learner: FastBft<u64> = FastBft::passive(byz, p(5));
+        let mut eff = Effects::new();
+        learner.on_message(p(1), FabMsg::Decide(0x8000_0000_0000_0001), &mut eff);
+        assert_eq!(learner.decided_value(), None, "one report is no proof");
+        learner.on_message(p(2), FabMsg::Decide(7), &mut eff);
+        learner.on_message(p(3), FabMsg::Decide(7), &mut eff);
+        assert_eq!(learner.decided_value(), Some(&7));
+    }
+
+    #[test]
+    fn randomized_schedules_agree() {
+        for seed in 0u64..10 {
+            let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 1).unwrap();
+            let outcome = SimulationBuilder::new(sim_cfg(byz))
+                .delay_model(twostep_sim::RandomDelay::sub_delta(seed))
+                .delivery_order(twostep_sim::DeliveryOrder::randomized(seed))
+                .build(|q| FastBft::new(byz, q, u64::from(q.as_u32())))
+                .run_until_all_decided(Time::ZERO + Duration::deltas(120));
+            let decisions = outcome.trace.decisions();
+            if let Some((_, first, _)) = decisions.first() {
+                assert!(decisions.iter().all(|(_, v, _)| v == first), "seed {seed}");
+            }
+            assert!(outcome.all_correct_decided(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn corruptible_plumbing_reaches_every_payload() {
+        let mut m: FabMsg<u64> = FabMsg::Fast(7);
+        assert!(m.forge_value(1));
+        assert!(matches!(m, FabMsg::Fast(v) if v != 7));
+        assert!(!FabMsg::<u64>::Heartbeat.forge_value(1));
+        assert!(!FabMsg::<u64>::Heartbeat.lie_ballot(1));
+        let mut nb: FabMsg<u64> = FabMsg::NewBallot(Ballot::new(3));
+        assert!(!nb.forge_value(1), "NewBallot carries no value");
+        assert!(nb.lie_ballot(1));
+        assert!(matches!(nb, FabMsg::NewBallot(b) if b != Ballot::new(3)));
+        let mut pr: FabMsg<u64> = FabMsg::Promise {
+            bal: Ballot::new(2),
+            vbal: Ballot::FAST,
+            vval: Some(5),
+            proposed: None,
+        };
+        assert!(pr.forge_value(9));
+        assert!(pr.lie_ballot(9));
+    }
+}

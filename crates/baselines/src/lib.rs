@@ -17,6 +17,10 @@
 //!   datapoint that motivated the paper (two-step decisions with
 //!   `2f+1 = 2e+f-1` processes for `e = ⌈(f+1)/2⌉`). Command-leader
 //!   crash recovery is out of scope (see `DESIGN.md`).
+//! * [`FastBft`] — a FaB-Paxos-style fast *Byzantine* baseline
+//!   (`n ≥ 3f+1`, two-step iff `n ≥ 5f+1`, or `n ≥ 5f−1` under the
+//!   arXiv:2102.12825 honest-proposer rule): the comparison point for
+//!   the crash-vs-Byzantine bound gap of experiment E14.
 //!
 //! All three implement the same event-driven
 //! [`Protocol`](twostep_types::protocol::Protocol) abstraction as the
@@ -27,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod epaxos;
+pub mod fab;
 pub mod fastpaxos;
 pub mod paxos;
 
 pub use epaxos::EPaxosLite;
+pub use fab::{FabMsg, FastBft};
 pub use fastpaxos::FastPaxos;
 pub use paxos::Paxos;

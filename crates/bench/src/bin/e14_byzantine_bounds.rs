@@ -1,0 +1,344 @@
+//! E14: the price of Byzantium — crash two-step bounds versus the
+//! Byzantine fast-path bounds, measured head to head.
+//!
+//! The paper's crash-model bounds put two-step consensus at
+//! `n ≥ max{2e+f, 2f+1}` (task) and `n ≥ max{2e+f−1, 2f+1}` (object).
+//! Against *Byzantine* faults the fast path inflates to FaB's
+//! `n ≥ 5f+1` — or `5f−1` under the Tight variant's honest-proposer
+//! conditioning (arXiv:2102.12825) — because a fast quorum must
+//! intersect another in `f+1` honest processes *and* out-count `f`
+//! forged echoes. At `e = f` the premium is about `2f` extra processes
+//! for the same two-message-delay decision.
+//!
+//! The experiment runs every bound at its edge, under the faults it is
+//! priced for:
+//!
+//! * crash task/object at their minima, with 0 and `e` crashes — the
+//!   fast path holds 2Δ through crashes;
+//! * FastBft at `n = 5f+1` / `5f−1` with `f` seeded *equivocators*
+//!   (`twostep-byz` injection, coordinator honest) — the fast path
+//!   still decides in 2Δ because honest echoes alone fill the quorum;
+//! * FastBft one process below its bound with `f` faults — the fast
+//!   quorum no longer fits in the honest population, every decision
+//!   falls through to recovery, and the measured latency shows what the
+//!   missing process buys.
+//!
+//! Outputs:
+//! * stdout — the comparison table,
+//! * `results/e14_byzantine_bounds.txt` — the same table,
+//! * `BENCH_e14.json` — machine-readable rows for CI schema checks.
+//!
+//! Flags: `--smoke` (f = 1 only, CI-sized), `--max-f <N>` (sweep cap,
+//! default 2).
+
+use twostep_baselines::FastBft;
+use twostep_bench::{fmt_deltas, Table};
+use twostep_byz::{ByzBehavior, ByzPlan};
+use twostep_core::{ObjectConsensus, TaskConsensus};
+use twostep_sim::SyncRunner;
+use twostep_types::{ByzConfig, ByzVariant, Duration, ProcessId, ProcessSet, SystemConfig, Time};
+
+const HORIZON_DELTAS: u64 = 100;
+const SEED: u64 = 42;
+
+struct Row {
+    scenario: &'static str,
+    protocol: String,
+    n: usize,
+    f: usize,
+    faults: String,
+    fast_deciders: usize,
+    first_decision: Option<f64>,
+    last_decision: Option<f64>,
+    all_honest_decided: bool,
+    agreement: bool,
+}
+
+/// Collapses a run into a row, judging only the `honest` processes
+/// (crashed processes are not honest; Byzantine victims' claims are
+/// not evidence).
+fn assess(
+    scenario: &'static str,
+    protocol: String,
+    n: usize,
+    f: usize,
+    faults: String,
+    fast: usize,
+    observed: &[(Option<f64>, Option<u64>)],
+) -> Row {
+    let decided: Vec<f64> = observed.iter().filter_map(|(t, _)| *t).collect();
+    let firsts: Vec<u64> = observed.iter().filter_map(|(_, v)| *v).collect();
+    Row {
+        scenario,
+        protocol,
+        n,
+        f,
+        faults,
+        fast_deciders: fast,
+        first_decision: decided
+            .iter()
+            .copied()
+            .fold(None, |a: Option<f64>, t| Some(a.map_or(t, |x| x.min(t)))),
+        last_decision: if decided.len() == observed.len() {
+            decided
+                .iter()
+                .copied()
+                .fold(None, |a: Option<f64>, t| Some(a.map_or(t, |x| x.max(t))))
+        } else {
+            None
+        },
+        all_honest_decided: decided.len() == observed.len(),
+        agreement: firsts.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
+/// Runs FastBft under `plan`, with `crashed` processes down, and
+/// assesses the processes that are neither crashed nor Byzantine.
+fn run_fab(
+    scenario: &'static str,
+    byz: ByzConfig,
+    plan: &ByzPlan,
+    crashed: ProcessSet,
+    faults: String,
+) -> Row {
+    let sim = SystemConfig::new(byz.n(), byz.f(), byz.f()).expect("n >= 3f+1 is a valid config");
+    let outcome = SyncRunner::new(sim)
+        .crashed(crashed)
+        .horizon(Duration::deltas(HORIZON_DELTAS))
+        .run(|q| plan.wrap(FastBft::new(byz, q, 100 + u64::from(q.as_u32()))));
+    let honest: Vec<ProcessId> = (0..byz.n() as u32)
+        .map(ProcessId::new)
+        .filter(|p| plan.behavior_of(*p).is_honest() && !crashed.contains(*p))
+        .collect();
+    let (fast, _) = outcome.fast_deciders();
+    let fast_honest = honest.iter().filter(|p| fast.contains(**p)).count();
+    let observed: Vec<_> = honest
+        .iter()
+        .map(|p| {
+            (
+                outcome.latency_in_deltas(*p),
+                outcome.decision_of(*p).copied(),
+            )
+        })
+        .collect();
+    assess(
+        scenario,
+        byz.variant().name().to_string(),
+        byz.n(),
+        byz.f(),
+        faults,
+        fast_honest,
+        &observed,
+    )
+}
+
+/// The crash-model rows: task and object two-step at their minima,
+/// with `k` initial crashes hitting the lowest ids (as in E5), the
+/// favored max-value proposer being the last process.
+fn crash_rows(f: usize, k: usize, rows: &mut Vec<Row>) {
+    let down: ProcessSet = (0..k as u32).map(ProcessId::new).collect();
+    {
+        let cfg = SystemConfig::minimal_task(f, f).expect("minimal task configuration");
+        let proxy = ProcessId::new((cfg.n() - 1) as u32);
+        let outcome = SyncRunner::new(cfg)
+            .crashed(down)
+            .favoring(proxy)
+            .horizon(Duration::deltas(HORIZON_DELTAS))
+            .run(|q| TaskConsensus::new(cfg, q, 100 + u64::from(q.as_u32())));
+        let alive: Vec<ProcessId> = (0..cfg.n() as u32)
+            .map(ProcessId::new)
+            .filter(|p| !down.contains(*p))
+            .collect();
+        let (fast, _) = outcome.fast_deciders();
+        let observed: Vec<_> = alive
+            .iter()
+            .map(|p| {
+                (
+                    outcome.latency_in_deltas(*p),
+                    outcome.decision_of(*p).copied(),
+                )
+            })
+            .collect();
+        rows.push(assess(
+            "crash bound 2e+f",
+            "TwoStep(task)".into(),
+            cfg.n(),
+            f,
+            format!("{k} crashes"),
+            alive.iter().filter(|p| fast.contains(**p)).count(),
+            &observed,
+        ));
+    }
+    {
+        let cfg = SystemConfig::minimal_object(f, f).expect("minimal object configuration");
+        let proposer = ProcessId::new((cfg.n() - 1) as u32);
+        let outcome = SyncRunner::new(cfg)
+            .crashed(down)
+            .horizon(Duration::deltas(HORIZON_DELTAS))
+            .run_object(
+                |q| ObjectConsensus::<u64>::new(cfg, q),
+                vec![(proposer, 142, Time::ZERO)],
+            );
+        let alive: Vec<ProcessId> = (0..cfg.n() as u32)
+            .map(ProcessId::new)
+            .filter(|p| !down.contains(*p))
+            .collect();
+        let (fast, _) = outcome.fast_deciders();
+        let observed: Vec<_> = alive
+            .iter()
+            .map(|p| {
+                (
+                    outcome.latency_in_deltas(*p),
+                    outcome.decision_of(*p).copied(),
+                )
+            })
+            .collect();
+        rows.push(assess(
+            "crash bound 2e+f-1",
+            "TwoStep(object)".into(),
+            cfg.n(),
+            f,
+            format!("{k} crashes"),
+            alive.iter().filter(|p| fast.contains(**p)).count(),
+            &observed,
+        ));
+    }
+}
+
+/// The Byzantine rows for one variant at one `f`: at the bound with
+/// `f` equivocators, and one process below it with `f` crashes.
+fn byz_rows(variant: ByzVariant, f: usize, rows: &mut Vec<Row>) {
+    let at_bound = match ByzConfig::minimal_fast(variant, f) {
+        Ok(byz) => byz,
+        Err(_) => return,
+    };
+    // Victims are the top ids: never the ballot-0 coordinator p0 (the
+    // unsigned-BFT caveat — a Byzantine coordinator needs signatures to
+    // defend against, not quorums).
+    let mut plan = ByzPlan::honest(SEED);
+    for i in 0..f {
+        plan = plan.with(
+            ProcessId::new((at_bound.n() - 1 - i) as u32),
+            ByzBehavior::Equivocate,
+        );
+    }
+    rows.push(run_fab(
+        "byz bound, equivocation",
+        at_bound,
+        &plan,
+        ProcessSet::new(),
+        format!("{f} equivocators"),
+    ));
+
+    if let Ok(below) = ByzConfig::new(at_bound.n() - 1, f, variant) {
+        let crashed: ProcessSet = (0..f)
+            .map(|i| ProcessId::new((below.n() - 1 - i) as u32))
+            .collect();
+        rows.push(run_fab(
+            "one below byz bound",
+            below,
+            &ByzPlan::honest(SEED),
+            crashed,
+            format!("{f} crashes"),
+        ));
+    }
+}
+
+fn json_report(rows: &[Row]) -> String {
+    let mut body = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let fmt_opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.1}"));
+        body.push_str(&format!(
+            "\n    {{\"scenario\": \"{}\", \"protocol\": \"{}\", \"n\": {}, \"f\": {}, \
+             \"faults\": \"{}\", \"fast_deciders\": {}, \"first_decision_deltas\": {}, \
+             \"last_decision_deltas\": {}, \"all_honest_decided\": {}, \"agreement\": {}}}",
+            r.scenario,
+            r.protocol,
+            r.n,
+            r.f,
+            r.faults,
+            r.fast_deciders,
+            fmt_opt(r.first_decision),
+            fmt_opt(r.last_decision),
+            r.all_honest_decided,
+            r.agreement,
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"e14_byzantine_bounds\",\n  \
+         \"config\": {{\"seed\": {SEED}, \"horizon_deltas\": {HORIZON_DELTAS}}},\n  \
+         \"rows\": [{body}\n  ]\n}}\n"
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let max_f = args
+        .iter()
+        .position(|a| a == "--max-f")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(if smoke { 1 } else { 2 });
+
+    let mut rows: Vec<Row> = Vec::new();
+    for f in 1..=max_f {
+        crash_rows(f, 0, &mut rows);
+        crash_rows(f, f, &mut rows);
+        byz_rows(ByzVariant::Fab, f, &mut rows);
+        byz_rows(ByzVariant::Tight, f, &mut rows);
+    }
+
+    let mut table = Table::new(&[
+        "scenario",
+        "protocol",
+        "n",
+        "f",
+        "faults",
+        "fast deciders",
+        "first decision",
+        "last decision",
+        "all honest decided",
+        "agreement",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.scenario.to_string(),
+            r.protocol.clone(),
+            r.n.to_string(),
+            r.f.to_string(),
+            r.faults.clone(),
+            r.fast_deciders.to_string(),
+            fmt_deltas(r.first_decision),
+            fmt_deltas(r.last_decision),
+            if r.all_honest_decided { "yes" } else { "no" }.into(),
+            if r.agreement { "yes" } else { "VIOLATED" }.into(),
+        ]);
+    }
+
+    let title = format!(
+        "E14: crash vs Byzantine fast-path bounds (crash minima at e = f; \
+         FaB 5f+1 and Tight 5f-1 at and one below their bounds; seed {SEED}, \
+         horizon {HORIZON_DELTAS}Δ)"
+    );
+    table.print(&title);
+    println!(
+        "\nthe crash fast path costs max{{2e+f, 2f+1}} processes; the Byzantine\n\
+         one costs 5f+1 (or 5f-1 conditioned on an honest proposer) — about 2f\n\
+         more, because fast quorums must out-count forged echoes as well as\n\
+         intersect. one process below the bound the fast path goes vacant and\n\
+         every decision pays the recovery latency instead of 2Δ."
+    );
+
+    let _ = std::fs::create_dir_all("results");
+    let txt = format!("{title}\n\n{}", table.render());
+    if let Err(e) = std::fs::write("results/e14_byzantine_bounds.txt", txt) {
+        eprintln!("warning: could not write results/e14_byzantine_bounds.txt: {e}");
+    }
+    if let Err(e) = std::fs::write("BENCH_e14.json", json_report(&rows)) {
+        eprintln!("warning: could not write BENCH_e14.json: {e}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Byzantine fault injection for the `twostep` workspace.
+//!
+//! The source paper's lower bounds assume *crash* faults; ROADMAP item 4
+//! asks how the picture changes when up to `b` processes are actively
+//! malicious. This crate supplies the adversary: [`ByzProtocol`] wraps
+//! any [`Protocol`](twostep_types::protocol::Protocol) implementation
+//! and perturbs its *outgoing* effects according to a [`ByzBehavior`] —
+//!
+//! * **equivocation** — a broadcast is split into disjoint recipient
+//!   sets that receive conflicting values;
+//! * **value forgery** — embedded proposal/decision values are mutated;
+//! * **ballot lying** — embedded ballot numbers are mutated;
+//! * **selective silence** — individual sends are dropped.
+//!
+//! All perturbation is driven by a seeded [`SplitMix64`] stream, so a
+//! Byzantine schedule is exactly as replayable as a crash schedule: the
+//! pair `(seed, process)` fully determines every corruption. A
+//! [`ByzPlan`] assigns behaviors across a cluster and derives the
+//! per-process seeds, so the sim engine, `ManualExecutor`, and the
+//! fuzzer wrap victims with one call.
+//!
+//! The wrapper works at the [`Effects`](twostep_types::protocol::Effects)
+//! boundary — *between* the protocol and the engine — which is what
+//! keeps it engine-agnostic: the same wrapped protocol runs under the
+//! deterministic simulator, the model checker, and the threaded
+//! runtime, and honest processes run completely unwrapped code paths
+//! ([`ByzBehavior::Honest`] is a verified no-op).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod rng;
+mod wrapper;
+
+pub use behavior::{ByzBehavior, ByzPlan};
+pub use rng::SplitMix64;
+pub use wrapper::ByzProtocol;

@@ -1,0 +1,150 @@
+//! Property tests for the Byzantine injection layer, pinning the two
+//! guarantees every downstream consumer relies on:
+//!
+//! 1. **Replayability** — the same `(seed, behavior)` produces a
+//!    byte-identical mutated message stream, run after run, so fuzz
+//!    `--replay` lines and experiment seeds stay meaningful.
+//! 2. **Honest isolation** — the pass-through behavior never alters a
+//!    message: a wrapped honest process is indistinguishable from an
+//!    unwrapped one, so the oracles may trust every honest send.
+
+use proptest::prelude::*;
+
+use twostep_byz::{ByzBehavior, ByzPlan, ByzProtocol};
+use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::ProcessId;
+
+/// A minimal broadcaster: each proposal is broadcast to the other
+/// processes, giving the injector a deterministic stream to perturb.
+#[derive(Debug)]
+struct Voter {
+    me: ProcessId,
+    n: usize,
+    decided: Option<u64>,
+}
+
+impl Voter {
+    fn new(me: u32, n: usize) -> Self {
+        Voter {
+            me: ProcessId::new(me),
+            n,
+            decided: None,
+        }
+    }
+}
+
+impl Protocol<u64> for Voter {
+    type Message = u64;
+
+    fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    fn on_start(&mut self, _effects: &mut Effects<u64, u64>) {}
+
+    fn on_propose(&mut self, value: u64, effects: &mut Effects<u64, u64>) {
+        effects.broadcast_others(value, self.n, self.me);
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: u64, effects: &mut Effects<u64, u64>) {
+        if self.decided.is_none() {
+            self.decided = Some(msg);
+            effects.decide(msg);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, _effects: &mut Effects<u64, u64>) {}
+
+    fn decision(&self) -> Option<u64> {
+        self.decided
+    }
+}
+
+/// Drives `rounds` proposals through `p` and renders every resulting
+/// send as stable bytes (`to:msg` lines), so stream equality is literal
+/// byte equality.
+fn rendered_stream(p: &mut dyn Protocol<u64, Message = u64>, rounds: u64, base: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    for round in 0..rounds {
+        let mut eff = Effects::new();
+        p.on_propose(base.wrapping_add(round), &mut eff);
+        for (to, msg) in eff.sends {
+            out.extend_from_slice(format!("{}:{msg}\n", to.as_u32()).as_bytes());
+        }
+    }
+    out
+}
+
+fn behavior_from(index: usize) -> ByzBehavior {
+    ByzBehavior::ALL[index % ByzBehavior::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed ⇒ byte-identical mutated message streams, for every
+    /// behavior, across fresh wrapper instances.
+    #[test]
+    fn same_seed_yields_byte_identical_streams(
+        seed in any::<u64>(),
+        base in any::<u64>(),
+        behavior_index in 0usize..5,
+        n in 4usize..16,
+    ) {
+        let behavior = behavior_from(behavior_index);
+        let mut a = ByzProtocol::new(Voter::new(0, n), behavior, seed);
+        let mut b = ByzProtocol::new(Voter::new(0, n), behavior, seed);
+        prop_assert_eq!(
+            rendered_stream(&mut a, 6, base),
+            rendered_stream(&mut b, 6, base),
+            "behavior {} diverged", behavior
+        );
+        prop_assert_eq!(a.injections(), b.injections());
+    }
+
+    /// Mutations never alter messages from honest processes: under any
+    /// plan, a process without an assignment sends exactly what the
+    /// unwrapped protocol would.
+    #[test]
+    fn honest_processes_are_never_altered(
+        seed in any::<u64>(),
+        base in any::<u64>(),
+        victim_behavior in 0usize..5,
+        n in 4usize..16,
+    ) {
+        // p1 is the victim; p0 stays honest under the same plan.
+        let plan = ByzPlan::honest(seed)
+            .with(ProcessId::new(1), behavior_from(victim_behavior));
+        let mut raw = Voter::new(0, n);
+        let mut wrapped = plan.wrap(Voter::new(0, n));
+        prop_assert!(wrapped.behavior().is_honest());
+        prop_assert_eq!(
+            rendered_stream(&mut raw, 6, base),
+            rendered_stream(&mut wrapped, 6, base)
+        );
+        prop_assert_eq!(wrapped.injections(), 0);
+    }
+
+    /// Per-process streams are independent: wrapping the same victim
+    /// under plans that differ only in *other* victims replays the same
+    /// corruption stream.
+    #[test]
+    fn victim_streams_do_not_depend_on_other_victims(
+        seed in any::<u64>(),
+        base in any::<u64>(),
+        n in 4usize..16,
+    ) {
+        let solo = ByzPlan::honest(seed)
+            .with(ProcessId::new(1), ByzBehavior::Equivocate);
+        let crowd = ByzPlan::honest(seed)
+            .with(ProcessId::new(1), ByzBehavior::Equivocate)
+            .with(ProcessId::new(2), ByzBehavior::Silence)
+            .with(ProcessId::new(3), ByzBehavior::Forge);
+        let mut a = solo.wrap(Voter::new(1, n));
+        let mut b = crowd.wrap(Voter::new(1, n));
+        prop_assert_eq!(
+            rendered_stream(&mut a, 6, base),
+            rendered_stream(&mut b, 6, base)
+        );
+    }
+}

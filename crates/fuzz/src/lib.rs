@@ -34,7 +34,11 @@
 //! 8. [`mod@shard`] — sharded campaigns: `k` groups on shared nodes,
 //!    a shard-leader node crash/restart mid-load, and a per-shard
 //!    oracle with a cross-shard leakage check.
+//! 9. [`byzcamp`] — Byzantine campaigns: seeded equivocation/forgery
+//!    coalitions injected into the FaB-style fast-BFT baseline via
+//!    `twostep-byz`, judged by honest-only oracles.
 
+pub mod byzcamp;
 pub mod case;
 pub mod gen;
 pub mod oracle;
@@ -45,6 +49,10 @@ pub mod shard;
 pub mod shrink;
 pub mod witness;
 
+pub use byzcamp::{
+    check_byzantine, fuzz_byzantine, run_byzantine_iteration, ByzFailure, ByzFuzzConfig,
+    ByzFuzzOutcome, ByzRun,
+};
 pub use case::{run_case, run_case_observed, FuzzCase, FuzzProtocol, RunReport};
 pub use gen::gen_case;
 pub use oracle::{check_liveness, check_safety, Verdict};

@@ -20,11 +20,12 @@ use std::process::ExitCode;
 
 use twostep_core::Ablations;
 use twostep_fuzz::{
-    check_liveness, check_safety, fuzz_sharded, fuzz_with_progress, run_case, two_step_witness,
-    Failure, FuzzCase, FuzzConfig, FuzzProtocol, Schedule, ShardFuzzConfig,
+    check_liveness, check_safety, fuzz_byzantine, fuzz_sharded, fuzz_with_progress, run_case,
+    two_step_witness, ByzFuzzConfig, Failure, FuzzCase, FuzzConfig, FuzzProtocol, Schedule,
+    ShardFuzzConfig,
 };
 use twostep_telemetry::{Metrics, MetricsSnapshot, Path, RecoveryCase};
-use twostep_types::{ProcessId, SystemConfig};
+use twostep_types::{ByzConfig, ByzVariant, ProcessId, SystemConfig};
 
 const USAGE: &str = "\
 twostep-fuzz: deterministic schedule fuzzer with fault injection and shrinking
@@ -56,6 +57,15 @@ OPTIONS:
                           consensus groups on shared nodes, crashing and
                           restarting a shard-leader node mid-load, judged
                           per shard plus a cross-shard leakage check
+    --byzantine           run the Byzantine campaign instead: seeded
+                          equivocation/forgery coalitions (up to f victims,
+                          never the coordinator) injected into the FaB-style
+                          FastBft baseline, judged by honest-only
+                          Agreement/Validity/Integrity oracles
+    --variant <V>         fab | tight — the fast-quorum sizing for
+                          --byzantine (default fab); --f is the Byzantine
+                          bound, --n defaults to the variant's minimal
+                          fast-live size (5f+1 or 5f−1)
     --replay <SCHEDULE>   run one explicit schedule instead of fuzzing
                           (requires a single --protocol)
     --values <CSV>        initial values for --replay (default all zero)
@@ -76,6 +86,8 @@ struct Opts {
     shrink_budget: usize,
     liveness: bool,
     shards: usize,
+    byzantine: bool,
+    variant: ByzVariant,
     replay: Option<Schedule>,
     values: Option<Vec<u64>>,
     leader: u32,
@@ -95,6 +107,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         shrink_budget: 2000,
         liveness: false,
         shards: 1,
+        byzantine: false,
+        variant: ByzVariant::Fab,
         replay: None,
         values: None,
         leader: 0,
@@ -135,6 +149,14 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 if o.shards < 2 {
                     return Err("--shards needs at least 2 (1 is the flat fuzzer)".into());
                 }
+            }
+            "--byzantine" => o.byzantine = true,
+            "--variant" => {
+                o.variant = match value()?.as_str() {
+                    "fab" => ByzVariant::Fab,
+                    "tight" => ByzVariant::Tight,
+                    other => return Err(format!("unknown variant {other:?} (fab | tight)")),
+                };
             }
             "--replay" => {
                 let v = value()?;
@@ -385,6 +407,86 @@ fn run_sharded(o: &Opts) -> Result<bool, String> {
     }
 }
 
+/// The Byzantine campaign: seeded equivocation/forgery coalitions
+/// injected into the FaB-style `FastBft` baseline, judged by
+/// honest-only oracles (what the traitors claim to decide is noise).
+fn run_byzantine(o: &Opts) -> Result<bool, String> {
+    let byz = match o.n {
+        Some(n) => ByzConfig::new(n, o.f, o.variant),
+        None => ByzConfig::minimal_fast(o.variant, o.f),
+    }
+    .map_err(|e| format!("bad Byzantine configuration: {e}"))?;
+    let (metrics, observer) = Metrics::shared();
+    let fc = ByzFuzzConfig {
+        byz,
+        seed: o.seed,
+        iters: o.iters,
+    };
+    println!(
+        "fuzzing byzantine {}: n={} f={} fast-quorum={} seed={} iters={}",
+        byz.variant().name(),
+        byz.n(),
+        byz.f(),
+        byz.fast_quorum(),
+        o.seed,
+        o.iters,
+    );
+    let out = fuzz_byzantine(&fc, &observer);
+    let snap = metrics.snapshot();
+    println!(
+        "  injections: {} total (equivocate {}, forge {})",
+        snap.total_injections(),
+        snap.injections("equivocate"),
+        snap.injections("forge"),
+    );
+    match &out.failure {
+        None => {
+            println!(
+                "  clean: {} iterations, {} honest decide events, no violation",
+                out.iterations_run, out.decisions
+            );
+            if out.decisions == 0 {
+                println!("  WARNING: campaign never decided — vacuous pass");
+                return Ok(false);
+            }
+            Ok(true)
+        }
+        Some(fail) => {
+            let victims: Vec<String> = fail
+                .victims
+                .iter()
+                .map(|(p, b)| format!("{p}:{b:?}"))
+                .collect();
+            println!(
+                "counterexample found: variant={} n={} f={} iteration={} stream-seed={:#x}",
+                byz.variant().name(),
+                byz.n(),
+                byz.f(),
+                fail.iteration,
+                fail.stream_seed,
+            );
+            println!("  victims: {}", victims.join(" "));
+            println!(
+                "  property violated among honest processes: {} — {}",
+                fail.verdict.property(),
+                fail.verdict.detail()
+            );
+            println!(
+                "  replay: twostep-fuzz --byzantine --variant {} --f {} --n {} --seed {} --iters {}",
+                match o.variant {
+                    ByzVariant::Fab => "fab",
+                    ByzVariant::Tight => "tight",
+                },
+                byz.f(),
+                byz.n(),
+                o.seed,
+                fail.iteration + 1,
+            );
+            Ok(false)
+        }
+    }
+}
+
 fn run_fuzz(o: &Opts) -> Result<bool, String> {
     let mut clean = true;
     for &protocol in &o.protocols {
@@ -461,6 +563,8 @@ fn main() -> ExitCode {
     };
     let result = if opts.replay.is_some() {
         run_replay(&opts)
+    } else if opts.byzantine {
+        run_byzantine(&opts)
     } else if opts.shards >= 2 {
         run_sharded(&opts)
     } else {

@@ -46,6 +46,7 @@ pub struct Metrics {
     dropped: Counter,
     reconnects: Counter,
     bytes: Mutex<BTreeMap<String, ByteStats>>,
+    injections: Mutex<BTreeMap<String, u64>>,
     events: EventRing,
 }
 
@@ -83,6 +84,11 @@ impl Metrics {
             dropped: self.dropped.get(),
             reconnects: self.reconnects.get(),
             bytes_by_kind: self.bytes.lock().expect("byte map poisoned").clone(),
+            injections_by_behavior: self
+                .injections
+                .lock()
+                .expect("injection map poisoned")
+                .clone(),
         }
     }
 
@@ -181,6 +187,11 @@ impl ProtocolObserver for Metrics {
     fn reconnected(&self, _process: ProcessId) {
         self.reconnects.inc();
     }
+
+    fn fault_injected(&self, _process: ProcessId, behavior: &str) {
+        let mut map = self.injections.lock().expect("injection map poisoned");
+        *map.entry(behavior.to_string()).or_default() += 1;
+    }
 }
 
 /// A point-in-time copy of a [`Metrics`] aggregator.
@@ -212,6 +223,10 @@ pub struct MetricsSnapshot {
     pub reconnects: u64,
     /// Wire traffic per message kind.
     pub bytes_by_kind: BTreeMap<String, ByteStats>,
+    /// Byzantine fault injections per behavior (`equivocate`, `forge`,
+    /// `lie-ballot`, `silence`) — one count per actually-perturbed
+    /// message.
+    pub injections_by_behavior: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
@@ -233,6 +248,19 @@ impl MetricsSnapshot {
     /// Total decisions across all paths.
     pub fn total_decisions(&self) -> u64 {
         self.decisions.iter().sum()
+    }
+
+    /// Fault injections recorded under `behavior`.
+    pub fn injections(&self, behavior: &str) -> u64 {
+        self.injections_by_behavior
+            .get(behavior)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total fault injections across all behaviors.
+    pub fn total_injections(&self) -> u64 {
+        self.injections_by_behavior.values().sum()
     }
 
     /// Renders the snapshot in a text/Prometheus-style exposition
@@ -309,6 +337,15 @@ impl MetricsSnapshot {
                 "twostep_bytes_sent_total{{kind=\"{kind}\"}} {}",
                 stats.bytes
             );
+        }
+        if !self.injections_by_behavior.is_empty() {
+            out.push_str("# byzantine fault injections\n");
+            for (behavior, count) in &self.injections_by_behavior {
+                let _ = writeln!(
+                    out,
+                    "twostep_fault_injections_total{{behavior=\"{behavior}\"}} {count}"
+                );
+            }
         }
         if self.queue_depth.count > 0 {
             out.push_str("# replica queue depth\n");
@@ -462,6 +499,26 @@ mod tests {
         let text = s.render_text();
         assert!(text.contains("twostep_batch_size_max 16"));
         assert!(text.contains("twostep_amortized_latency_count 2"));
+    }
+
+    #[test]
+    fn injection_counters_accumulate_per_behavior() {
+        let m = Metrics::new();
+        m.fault_injected(p(2), "equivocate");
+        m.fault_injected(p(2), "equivocate");
+        m.fault_injected(p(3), "forge");
+        let s = m.snapshot();
+        assert_eq!(s.injections("equivocate"), 2);
+        assert_eq!(s.injections("forge"), 1);
+        assert_eq!(s.injections("silence"), 0);
+        assert_eq!(s.total_injections(), 3);
+        let text = s.render_text();
+        assert!(text.contains("twostep_fault_injections_total{behavior=\"equivocate\"} 2"));
+        assert!(text.contains("twostep_fault_injections_total{behavior=\"forge\"} 1"));
+        // The section is omitted entirely when no injections occurred.
+        assert!(!Metrics::new()
+            .render_text()
+            .contains("twostep_fault_injections_total"));
     }
 
     #[test]

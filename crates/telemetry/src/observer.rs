@@ -87,6 +87,16 @@ pub trait ProtocolObserver: fmt::Debug + Send + Sync {
         let _ = (from, to);
     }
 
+    /// The Byzantine fault-injection layer at `process` perturbed its
+    /// outgoing traffic: `behavior` names the injected behavior
+    /// (`"equivocate"`, `"forge"`, `"lie-ballot"`, `"silence"`). Called
+    /// once per actually-mutated or actually-dropped message, so the
+    /// per-behavior counters measure real injections, not wrapper
+    /// invocations.
+    fn fault_injected(&self, process: ProcessId, behavior: &str) {
+        let _ = (process, behavior);
+    }
+
     /// The transport at `process` re-established a broken connection.
     fn reconnected(&self, process: ProcessId) {
         let _ = process;
@@ -234,6 +244,14 @@ impl ObserverHandle {
             o.reconnected(process);
         }
     }
+
+    /// See [`ProtocolObserver::fault_injected`].
+    #[inline]
+    pub fn fault_injected(&self, process: ProcessId, behavior: &str) {
+        if let Some(o) = &self.0 {
+            o.fault_injected(process, behavior);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +287,7 @@ mod tests {
         h.bytes_sent(ProcessId::new(0), "TwoB", 16);
         h.message_dropped(ProcessId::new(0), ProcessId::new(1));
         h.reconnected(ProcessId::new(0));
+        h.fault_injected(ProcessId::new(0), "equivocate");
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub enum ConfigError {
         /// The resilience threshold.
         f: usize,
     },
+    /// `n < 3f+1`: Byzantine consensus is impossible below the
+    /// Pease–Shostak–Lamport resilience floor.
+    BelowByzantineResilience {
+        /// The process count.
+        n: usize,
+        /// The Byzantine resilience threshold.
+        f: usize,
+    },
     /// `n` is below the minimal process count a specific protocol family
     /// needs for `(e, f)` (Theorems 5 and 6, and Lamport's Fast Paxos
     /// bound).
@@ -72,6 +80,12 @@ impl fmt::Display for ConfigError {
                     "n={n} processes cannot tolerate f={f} failures (need n >= 2f+1)"
                 )
             }
+            ConfigError::BelowByzantineResilience { n, f } => {
+                write!(
+                    fmtr,
+                    "n={n} processes cannot tolerate f={f} byzantine failures (need n >= 3f+1)"
+                )
+            }
             ConfigError::BelowProtocolBound {
                 protocol,
                 n,
@@ -100,6 +114,7 @@ mod tests {
             ConfigError::ZeroResilience,
             ConfigError::FastThresholdExceedsResilience { e: 3, f: 2 },
             ConfigError::BelowResilienceBound { n: 4, f: 2 },
+            ConfigError::BelowByzantineResilience { n: 6, f: 2 },
             ConfigError::BelowProtocolBound {
                 protocol: "TwoStep(task)",
                 n: 5,

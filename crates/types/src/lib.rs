@@ -12,6 +12,9 @@
 //! * [`SystemConfig`] — a validated `(n, e, f)` triple together with all
 //!   the quorum arithmetic the paper's protocols need, and the
 //!   lower-bound formulas of Theorems 5 and 6.
+//! * [`ByzConfig`] — the Byzantine sibling of [`SystemConfig`]: a
+//!   validated `(n, f)` pair with FaB-style fast-quorum arithmetic and
+//!   the `5f+1` / `5f−1` fast-path bounds.
 //! * [`Time`] / [`Duration`] — virtual time for the discrete-event
 //!   simulator, with the message-delay bound `Δ` ([`DELTA`]) used to
 //!   define rounds and "two-step" decisions (decided by time `2Δ`).
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod ballot;
+mod byz;
 mod config;
 mod error;
 mod process;
@@ -50,6 +54,7 @@ mod time;
 mod value;
 
 pub use ballot::Ballot;
+pub use byz::{ByzConfig, ByzVariant, Corruptible};
 pub use config::{ProtocolKind, SystemConfig};
 pub use error::ConfigError;
 pub use process::{combinations, ProcessId, ProcessSet};

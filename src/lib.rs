@@ -9,7 +9,10 @@
 //! * [`sim`] — deterministic discrete-event simulator (Δ-rounds, GST,
 //!   crash injection, E-faulty synchronous runs).
 //! * [`core`] — the paper's protocol: task and object variants.
-//! * [`baselines`] — Paxos, Fast Paxos and EPaxos-lite comparators.
+//! * [`baselines`] — Paxos, Fast Paxos, EPaxos-lite and FaB-style
+//!   fast-BFT comparators.
+//! * [`byz`] — Byzantine fault injection: seeded, replayable
+//!   equivocation, forgery, ballot lying and selective silence.
 //! * [`runtime`] — thread-per-process deployment over in-memory or TCP
 //!   transports.
 //! * [`verify`] — trace checkers, bounded model checker, linearizability
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub use twostep_baselines as baselines;
+pub use twostep_byz as byz;
 pub use twostep_core as core;
 pub use twostep_runtime as runtime;
 pub use twostep_sim as sim;

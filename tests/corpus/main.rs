@@ -16,9 +16,11 @@
 
 use twostep_core::Ablations;
 use twostep_fuzz::{
-    check_safety, fuzz_sharded, run_case, FuzzCase, FuzzProtocol, Schedule, ShardFuzzConfig,
+    check_safety, fuzz_byzantine, fuzz_sharded, run_case, ByzFuzzConfig, FuzzCase, FuzzProtocol,
+    Schedule, ShardFuzzConfig,
 };
-use twostep_types::{ProcessId, SystemConfig};
+use twostep_telemetry::ObserverHandle;
+use twostep_types::{ByzConfig, ByzVariant, ProcessId, SystemConfig};
 
 /// Builds a corpus case from its replay-line ingredients.
 fn corpus_case(
@@ -151,6 +153,68 @@ fn two_shard_leader_crash_restart_campaign_is_clean() {
         out.failure
     );
     assert_eq!(out.decisions, 292, "campaign coverage drifted");
+}
+
+/// Clean-pass witness for the Byzantine campaign: 60 seeded iterations
+/// of FastBft at FaB's minimal fast-live size (n = 5f+1 = 6), each with
+/// a seeded equivocation/forgery victim (never the coordinator — the
+/// unsigned-BFT caveat), found no Agreement/Validity/Integrity
+/// violation among the honest processes. The honest decide-event count
+/// is pinned exactly: the campaign is deterministic, so drift in the
+/// injector, the executor, or FastBft shows up here before it can
+/// silently shrink coverage.
+///
+/// Reproduce with:
+///
+/// ```text
+/// cargo run -p twostep-fuzz -- --byzantine --f 1 --seed 42 --iters 60
+/// ```
+#[test]
+fn byzantine_equivocation_forgery_campaign_is_clean() {
+    let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 1).expect("minimal FaB configuration");
+    let fc = ByzFuzzConfig {
+        byz,
+        seed: 42,
+        iters: 60,
+    };
+    let out = fuzz_byzantine(&fc, &ObserverHandle::none());
+    assert!(
+        out.is_clean(),
+        "byzantine campaign found a violation: {:?}",
+        out.failure
+    );
+    assert_eq!(out.iterations_run, 60);
+    assert_eq!(
+        out.decisions, 300,
+        "campaign coverage drifted: expected the pinned honest decide-event count"
+    );
+}
+
+/// The Tight (5f−1) edge of the same campaign at f = 2: coalitions of
+/// up to two victims attack the narrower fast quorum, whose recovery
+/// certification deliberately trades the maxcount obligation (B6) for
+/// honest-proposer conditioning.
+///
+/// Reproduce with:
+///
+/// ```text
+/// cargo run -p twostep-fuzz -- --byzantine --variant tight --f 2 --seed 7 --iters 25
+/// ```
+#[test]
+fn byzantine_tight_variant_campaign_is_clean() {
+    let byz = ByzConfig::minimal_fast(ByzVariant::Tight, 2).expect("minimal Tight configuration");
+    let fc = ByzFuzzConfig {
+        byz,
+        seed: 7,
+        iters: 25,
+    };
+    let out = fuzz_byzantine(&fc, &ObserverHandle::none());
+    assert!(
+        out.is_clean(),
+        "tight byzantine campaign found a violation: {:?}",
+        out.failure
+    );
+    assert_eq!(out.decisions, 189, "campaign coverage drifted");
 }
 
 /// The paper's §B.1 adversary, re-encoded as a schedule: a fast decision
