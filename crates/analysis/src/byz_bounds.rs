@@ -13,13 +13,16 @@
 //!   *honest* process (`2·fq ≥ n+f+1`), so an equivocating coalition of
 //!   `f` processes cannot drive two conflicting fast decisions: the
 //!   honest process in the overlap echoes only one value.
-//! * **B2 recovery certification** — a fast-decided value keeps enough
-//!   honest witnesses inside every slow (view-change) quorum:
-//!   `fq + sq − n − f` honest survivors, which must reach the
-//!   certification threshold `f+1` for FaB (so forged `Promise`s are
-//!   outvoted), or at least `1` for Tight (whose recovery additionally
-//!   conditions on the honest proposer's own `proposed` reports — the
-//!   weaker floor is exactly what the two fewer processes buy).
+//! * **B2 recovery certification** — a fast decision survives a view
+//!   change. For FaB, a fast-decided value keeps `fq + sq − n − f`
+//!   honest witnesses inside every slow quorum, which must reach the
+//!   certification threshold `f+1` (so forged `Promise`s are outvoted).
+//!   Tight recovery certifies from the *coordinator's own report*,
+//!   which phase one waits for, so its obligation is quorum
+//!   feasibility: `sq ≤ n − f`, a promise quorum containing the
+//!   (honest, by conditioning) coordinator can always form — no
+//!   witness counting, which is exactly what the two fewer processes
+//!   buy.
 //! * **B3 slow honest intersection** — two slow quorums share an honest
 //!   process (`2·sq ≥ n+f+1`): ballots cannot fork.
 //! * **B4 fast availability, both directions** — the fast path is live
@@ -33,7 +36,13 @@
 //!   themselves) yet within the intersection of an accepting quorum
 //!   and the next view's promise quorum (`cert ≤ 2·sq − n`), the only
 //!   processes that can ever produce matching reports for a
-//!   slow-decided value.
+//!   slow-decided value. The full intersection counts because a
+//!   `Promise`'s slow `(vbal, vval)` pair quotes the ballot leader's
+//!   signed progress certificate: a Byzantine intersection member can
+//!   withhold its report (shrinking the quorum, not the intersection)
+//!   but cannot misreport the pair — load-bearing below `n = 4f+1`,
+//!   where only `n − 3f` of the `n − 2f` intersection members are
+//!   honest (see the `Corruptible` impl on `FabMsg`).
 //! * **B6 max-count recovery (FaB only)** — the fast quorum is large
 //!   enough that the most-reported value in a promise quorum is the
 //!   fast-decided one (`2·fq > n+3f`). The Tight variant *deliberately*
@@ -306,29 +315,47 @@ pub fn check_byz_model(model: &dyn ByzQuorumModel) -> Vec<ByzViolation> {
         );
     }
 
-    // B2: a fast decision keeps enough honest witnesses in every slow
-    // quorum. FaB's recovery counts matching (vbal, vval) reports and
-    // needs cert = f+1 of them honest; Tight additionally conditions on
-    // the honest proposer's `proposed` reports and only needs one
-    // honest witness from the quorum intersection.
-    let honest_witnesses = (fq + sq).saturating_sub(n + f);
-    let required = match variant {
-        ByzVariant::Fab => cert,
-        ByzVariant::Tight => 1,
-    };
-    if honest_witnesses < required {
-        violate(
-            "B2-recovery-certification",
-            format!(
-                "fq+sq−n−f = {honest_witnesses} < {required}: a fast-decided value \
-                 cannot be certified across a view change ({})",
-                match variant {
-                    ByzVariant::Fab => "needs f+1 matching honest reports",
-                    ByzVariant::Tight => "needs one honest witness plus the proposer rule",
-                }
-            ),
-            vec![("fast_quorum", ids(0..fq)), ("slow_quorum", ids(n - sq..n))],
-        );
+    // B2: a fast decision must survive recovery, per variant.
+    //
+    // FaB counts matching fast-round (vbal, vval) reports and needs
+    // cert = f+1 of them honest in every promise quorum:
+    // fq+sq−n−f ≥ cert. Tight instead certifies from the *coordinator's
+    // own report*, which phase one waits for — so its obligation is not
+    // a witness count but quorum feasibility: a promise quorum that
+    // includes the (honest, by conditioning) coordinator must be able
+    // to form from the n−f honest processes, i.e. sq ≤ n−f. This
+    // matches what `FastBft::certify_fast` actually reads; the earlier
+    // "one honest witness" form encoded an assumption the
+    // implementation never used (REVIEW.md, medium).
+    match variant {
+        ByzVariant::Fab => {
+            let honest_witnesses = (fq + sq).saturating_sub(n + f);
+            if honest_witnesses < cert {
+                violate(
+                    "B2-recovery-certification",
+                    format!(
+                        "fq+sq−n−f = {honest_witnesses} < cert = {cert}: a fast-decided \
+                         value cannot gather f+1 matching honest reports across a \
+                         view change"
+                    ),
+                    vec![("fast_quorum", ids(0..fq)), ("slow_quorum", ids(n - sq..n))],
+                );
+            }
+        }
+        ByzVariant::Tight => {
+            if sq > n.saturating_sub(f) {
+                violate(
+                    "B2-recovery-certification",
+                    format!(
+                        "sq = {sq} > n−f = {}: recovery waits for a promise quorum \
+                         containing the coordinator, which the {f} faulty processes \
+                         can starve forever",
+                        n.saturating_sub(f)
+                    ),
+                    vec![("honest_set", ids(0..n - f))],
+                );
+            }
+        }
     }
 
     // B3: two slow quorums share an honest process.
@@ -381,6 +408,10 @@ pub fn check_byz_model(model: &dyn ByzQuorumModel) -> Vec<ByzViolation> {
     // B5: the certification threshold must be unreachable for the f
     // forgers alone, yet achievable by the accepting/promise quorum
     // intersection — the only processes that can report a slow value.
+    // The *full* 2·sq−n intersection counts (not just its honest
+    // part): slow reports are certificate-pinned, so a Byzantine
+    // member can only withhold, which shrinks the quorum rather than
+    // the intersection.
     if cert <= f {
         violate(
             "B5-cert-threshold-placement",

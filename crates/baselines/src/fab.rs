@@ -16,15 +16,20 @@
 //! processes, the same latency under Byzantine faults costs `5f+1`
 //! (resp. `5f−1`) — the gap experiment E14 measures.
 //!
-//! **Scope (unsigned messages).** Like FaB's common case, messages
-//! carry no signatures, so safety against *arbitrary* Byzantine
-//! behavior holds for acceptors and learners (equivocation, forged
-//! echoes, forged recovery reports, silence — see obligations B1–B5 in
-//! `twostep-analysis`), while a Byzantine *recovery leader* could
-//! propose a fabricated value to a ballot it owns. The fuzz campaigns
-//! therefore keep `p0` (the ballot-0 proposer and first Ω leader)
-//! honest and attack the other roles, matching the honest-proposer
-//! conditioning of the `5f−1` variant.
+//! **Scope (unsigned common case, certified recovery).** Like FaB's
+//! common case, fast-round messages carry no signatures, so safety
+//! against *arbitrary* Byzantine behavior holds for acceptors and
+//! learners (equivocation, forged echoes, forged fast-round recovery
+//! reports, silence — see obligations B1–B5 in `twostep-analysis`).
+//! Recovery, as in FaB proper, leans on *signed progress certificates*:
+//! a ballot's [`FabMsg::Slow`] proposal, and any later [`FabMsg::Promise`]
+//! report quoting it, are certificate-backed and cannot be fabricated —
+//! see the [`Corruptible`] impl for the exact modeled surface. What the
+//! certificates cannot stop is a Byzantine *recovery leader* proposing a
+//! fabricated value to a ballot it owns, so the fuzz campaigns keep `p0`
+//! (the ballot-0 proposer and first Ω leader) honest and attack the
+//! other roles, matching the honest-proposer conditioning of the `5f−1`
+//! variant.
 
 use serde::{Deserialize, Serialize};
 
@@ -58,9 +63,9 @@ pub enum FabMsg<V> {
         vbal: Ballot,
         /// Last accepted value.
         vval: Option<V>,
-        /// The reporter's own proposal — counted by the
-        /// [`ByzVariant::Tight`] certification rule (the
-        /// honest-proposer conditioning of arXiv:2102.12825).
+        /// The reporter's own proposal. The *coordinator's* copy is
+        /// what the [`ByzVariant::Tight`] certification rule reads —
+        /// the honest-proposer conditioning of arXiv:2102.12825.
         proposed: Option<V>,
     },
     /// Recovery phase-2: the leader's certified proposal for ballot
@@ -76,17 +81,34 @@ pub enum FabMsg<V> {
 /// FaB traffic.
 ///
 /// The corruptible surface is exactly the *first-party lies*: a
-/// process's own proposals, echoes, reports, and decide claims — the
-/// traffic the `f+1` / quorum thresholds are sized to absorb, since
-/// even signatures cannot stop a traitor from signing a lie about its
-/// own state. [`FabMsg::Slow`] is exempt: in FaB it is backed by a
-/// *progress certificate* of other processes' signed reports, which a
-/// Byzantine leader cannot fabricate, so honest acceptors reject any
-/// tampered copy — the injector models that rejection by leaving the
-/// message intact. (Without this signature abstraction a Byzantine
-/// recovery leader dictates arbitrary values: Agreement survives but
-/// no quorum arithmetic can restore Validity — the Byzantine fuzz
-/// campaign demonstrated exactly that before `Slow` was exempted.)
+/// process's own proposals, echoes, fast-round reports, and decide
+/// claims — the traffic the `f+1` / quorum thresholds are sized to
+/// absorb, since even signatures cannot stop a traitor from signing a
+/// lie about its own state. Everything quoting a *ballot leader's*
+/// artifact is exempt, because in FaB recovery is backed by *progress
+/// certificates* of signed messages a traitor cannot fabricate, and
+/// honest processes reject any tampered copy — the injector models
+/// that rejection by leaving the fields intact:
+///
+/// * [`FabMsg::Slow`] entirely: a recovery proposal carries the
+///   leader's certificate binding both ballot and value. (Without this
+///   a Byzantine recovery leader dictates arbitrary values: Agreement
+///   survives but no quorum arithmetic can restore Validity — the
+///   Byzantine fuzz campaign demonstrated exactly that before `Slow`
+///   was exempted.)
+/// * A [`FabMsg::Promise`]'s slow-ballot `(vbal, vval)` pair: the
+///   report quotes the certified `Slow(vbal, vval)` it accepted, so a
+///   traitor can neither forge the value nor move the ballot. Only its
+///   *fast-round* claim (`vbal = 0`, an unsigned echo) and its own
+///   `proposed` remain corruptible. This is load-bearing below
+///   `n = 4f+1`: the intersection of an accepting quorum with a later
+///   promise quorum holds only `n−2f` processes, of which merely
+///   `n−3f` are honest — fewer than the `f+1` certification threshold
+///   at `n ≤ 4f` — so without the certificate a single forged report
+///   could strand an already-decided slow value (the
+///   `forged_slow_reports_cannot_break_floor_recovery` test pins the
+///   corner).
+///
 /// Heartbeats carry nothing to corrupt.
 impl<V: Corruptible> Corruptible for FabMsg<V> {
     fn forge_value(&mut self, salt: u64) -> bool {
@@ -94,10 +116,17 @@ impl<V: Corruptible> Corruptible for FabMsg<V> {
             FabMsg::Forward(v) | FabMsg::Fast(v) | FabMsg::Accepted(_, v) | FabMsg::Decide(v) => {
                 v.forge_value(salt)
             }
-            FabMsg::Promise { vval, proposed, .. } => {
+            FabMsg::Promise {
+                vbal,
+                vval,
+                proposed,
+                ..
+            } => {
                 let forged_vval = match vval {
-                    Some(v) => v.forge_value(salt),
-                    None => false,
+                    // First-party fast-round claim; a slow pair is
+                    // pinned to the ballot leader's certificate.
+                    Some(v) if vbal.is_fast() => v.forge_value(salt),
+                    _ => false,
                 };
                 let forged_proposed = match proposed {
                     Some(v) => v.forge_value(salt),
@@ -118,12 +147,11 @@ impl<V: Corruptible> Corruptible for FabMsg<V> {
                 bump(b);
                 true
             }
-            FabMsg::Promise { vbal, .. } => {
-                bump(vbal);
-                true
-            }
-            // The certificate binds the ballot as well as the value.
-            FabMsg::Slow(..)
+            // Promise: the certificate binds `vbal` to `vval` (see
+            // `forge_value`); Slow's certificate binds the ballot as
+            // well as the value.
+            FabMsg::Promise { .. }
+            | FabMsg::Slow(..)
             | FabMsg::Forward(_)
             | FabMsg::Fast(_)
             | FabMsg::Decide(_)
@@ -144,14 +172,17 @@ impl<V: Corruptible> Corruptible for FabMsg<V> {
 ///   correct coordinator and ≤ `f` faults this takes two message
 ///   delays whenever [`ByzConfig::fast_path_live`] holds.
 /// * **recovery (slow ballots)** — the Ω leader collects `n−f`
-///   [`FabMsg::Promise`] reports and *certifies* a value: the highest
-///   slow ballot with at least `f+1` matching reports wins; otherwise
-///   the fast-round value with the most reporters (at least `f+1`,
-///   counting own-proposal reports under [`ByzVariant::Tight`]);
-///   otherwise the leader's own proposal. A slow quorum of `n−f`
-///   ballot-`b` echoes decides. The `f+1` floor means no certificate
-///   can consist purely of Byzantine lies, and the fast-quorum size
-///   guarantees a fast-decided value out-counts any forgery.
+///   [`FabMsg::Promise`] reports (under [`ByzVariant::Tight`], waiting
+///   until the coordinator's report is among them) and *certifies* a
+///   value: the highest slow ballot with at least `f+1` matching
+///   certificate-backed reports wins; otherwise the fast-round value —
+///   for [`ByzVariant::Fab`] the one with the most reporters (at least
+///   `f+1`), for [`ByzVariant::Tight`] the coordinator's own reported
+///   value; otherwise the leader's own proposal. A slow quorum of
+///   `n−f` ballot-`b` echoes decides. The `f+1` floor means no
+///   collection of first-party lies can certify a value, and the FaB
+///   fast-quorum size guarantees a fast-decided value out-counts any
+///   forgery.
 /// * **decide gossip** — deciders periodically rebroadcast
 ///   [`FabMsg::Decide`]; a learner adopts a gossiped value only after
 ///   `f+1` distinct senders report it, so forged decide claims from up
@@ -312,9 +343,14 @@ impl<V: Value> FastBft<V> {
     }
 
     /// Slow certification: the highest slow ballot at which at least
-    /// `f+1` reporters agree on a value. `f+1` honest slow echoes are
-    /// guaranteed visible for any slow-decided value (obligation B5),
-    /// and `f` liars alone can never reach the threshold.
+    /// `f+1` reporters agree on a value. A slow-decided value's
+    /// accepting quorum meets every later promise quorum in
+    /// `2·(n−f)−n = n−2f ≥ f+1` reporters (obligation B5), and each of
+    /// those reports is pinned to the ballot leader's certificate (see
+    /// the [`Corruptible`] impl) — a Byzantine intersection member can
+    /// stay silent, which shrinks the quorum rather than the
+    /// intersection, but cannot misreport the pair. Conversely `f`
+    /// first-party liars alone can never reach the threshold.
     fn certify_slow(&self) -> Option<V> {
         let mut ballots: Vec<Ballot> = self
             .promises
@@ -340,37 +376,47 @@ impl<V: Value> FastBft<V> {
         None
     }
 
-    /// Fast certification: the fast-round value with the most distinct
-    /// reporters, requiring at least `f+1` of them. Under the classic
-    /// rule a fast-decided value retains `fast_quorum − 2f` honest
-    /// reporters in every recovery quorum — a strict majority of the
-    /// fast reports (obligation B2) — so the max-count pick cannot be
-    /// diverted by `f` forgeries. [`ByzVariant::Tight`] additionally
-    /// counts each reporter's own proposal, the honest-proposer
-    /// conditioning that makes its two-smaller quorums certifiable.
+    /// Fast certification, per variant.
+    ///
+    /// * [`ByzVariant::Fab`] — the fast-round value with the most
+    ///   distinct reporters, requiring at least `f+1`. The classic
+    ///   quorum keeps `fq+sq−n−f ≥ f+1` honest reporters of a
+    ///   fast-decided value in every promise quorum (obligation B2),
+    ///   and `2·fq > n+3f` (B6) stops any rival from out-counting
+    ///   them.
+    /// * [`ByzVariant::Tight`] — the coordinator's own report, which
+    ///   phase one waited for. Under the honest-proposer conditioning
+    ///   of arXiv:2102.12825 the only value the fast round can decide
+    ///   is the coordinator's, so that report *is* the certification:
+    ///   its fast-round echo if it has one, else its own proposal.
+    ///   This is where the two saved processes go — no witness
+    ///   counting (and no B6) is needed, at the price of trusting the
+    ///   coordinator.
     fn certify_fast(&self) -> Option<V> {
-        let mut tally: VoteTally<V> = VoteTally::new();
-        for (q, (vbal, vval, proposed)) in self.promises.iter() {
-            if *vbal == Ballot::FAST {
-                if let Some(v) = vval {
-                    tally.record(q, v.clone());
+        match self.cfg.variant() {
+            ByzVariant::Fab => {
+                let mut tally: VoteTally<V> = VoteTally::new();
+                for (q, (vbal, vval, _)) in self.promises.iter() {
+                    if *vbal == Ballot::FAST {
+                        if let Some(v) = vval {
+                            tally.record(q, v.clone());
+                        }
+                    }
+                }
+                let (count, v) = tally
+                    .iter()
+                    .map(|(v, set)| (set.len(), v))
+                    .max_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)))?;
+                (count >= self.cfg.cert_threshold()).then(|| v.clone())
+            }
+            ByzVariant::Tight => {
+                let (vbal, vval, proposed) = self.promises.get(COORDINATOR)?;
+                if vbal.is_fast() {
+                    vval.clone().or_else(|| proposed.clone())
+                } else {
+                    proposed.clone()
                 }
             }
-            if self.cfg.variant() == ByzVariant::Tight {
-                if let Some(v) = proposed {
-                    tally.record(q, v.clone());
-                }
-            }
-        }
-        let best = tally
-            .iter()
-            .map(|(v, set)| (set.len(), v))
-            .max_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)))?;
-        let (count, v) = best;
-        if count >= self.cfg.cert_threshold() {
-            Some(v.clone())
-        } else {
-            None
         }
     }
 
@@ -485,7 +531,15 @@ impl<V: Value> Protocol<V> for FastBft<V> {
             } => {
                 if self.my_ballot == Some(bal) && !self.phase_one_done {
                     self.promises.insert(from, (vbal, vval, proposed));
-                    if self.promises.len() >= self.cfg.slow_quorum() {
+                    // Tight certification reads the coordinator's
+                    // report, so its phase one additionally waits for
+                    // it — the coordinator is correct under the
+                    // honest-proposer conditioning, so the report
+                    // always arrives.
+                    let ready = self.promises.len() >= self.cfg.slow_quorum()
+                        && (self.cfg.variant() == ByzVariant::Fab
+                            || self.promises.contains(COORDINATOR));
+                    if ready {
                         self.phase_one_done = true;
                         let chosen = self
                             .certify_slow()
@@ -749,7 +803,165 @@ mod tests {
             vval: Some(5),
             proposed: None,
         };
-        assert!(pr.forge_value(9));
-        assert!(pr.lie_ballot(9));
+        assert!(pr.forge_value(9), "a fast-round claim is a first-party lie");
+        assert!(matches!(&pr, FabMsg::Promise { vval: Some(v), .. } if *v != 5));
+        assert!(!pr.lie_ballot(9), "promises are certificate-pinned");
+        let mut slow_pr: FabMsg<u64> = FabMsg::Promise {
+            bal: Ballot::new(2),
+            vbal: Ballot::new(1),
+            vval: Some(5),
+            proposed: None,
+        };
+        assert!(
+            !slow_pr.forge_value(9),
+            "a slow (vbal, vval) pair quotes the leader's certificate"
+        );
+        let mut mixed_pr: FabMsg<u64> = FabMsg::Promise {
+            bal: Ballot::new(2),
+            vbal: Ballot::new(1),
+            vval: Some(5),
+            proposed: Some(3),
+        };
+        assert!(mixed_pr.forge_value(9), "own proposal is still forgeable");
+        assert!(
+            matches!(&mixed_pr, FabMsg::Promise { vval: Some(5), proposed: Some(p), .. } if *p != 3),
+            "the certified pair survives while `proposed` is corrupted"
+        );
+    }
+
+    /// Drives `me` through Ω suspicion of everyone else and a
+    /// `NEW_BALLOT` firing, so it opens the first slow ballot it owns.
+    /// Returns the opened ballot.
+    fn become_recovery_leader(fb: &mut FastBft<u64>, n: usize) -> Ballot {
+        let mut eff = Effects::new();
+        fb.on_timer(TimerId::SUSPECT, &mut eff);
+        fb.on_timer(TimerId::NEW_BALLOT, &mut eff);
+        let b = Ballot::FAST.next_owned_by(fb.id(), n);
+        assert!(
+            eff.sends
+                .iter()
+                .any(|(_, m)| matches!(m, FabMsg::NewBallot(nb) if *nb == b)),
+            "leader must open ballot {b}"
+        );
+        b
+    }
+
+    #[test]
+    fn forged_slow_reports_cannot_break_floor_recovery() {
+        // The REVIEW.md high-severity corner: n = 3f+1 = 4, where the
+        // intersection of a slow-decided value's accepting quorum with
+        // a later promise quorum holds only n−2f = 2 reporters, of
+        // which just n−3f = 1 is guaranteed honest — below the f+1 = 2
+        // certification threshold if the Byzantine member could forge
+        // its report. The certificate pin on a Promise's slow
+        // (vbal, vval) pair is what closes the gap: the forger's
+        // attempt leaves the quoted pair intact, so the leader still
+        // sees two matching reports and re-proposes the decided value.
+        let byz = ByzConfig::new(4, 1, ByzVariant::Fab).unwrap();
+        let mut leader: FastBft<u64> = FastBft::passive(byz, p(2));
+        let b2 = become_recovery_leader(&mut leader, 4);
+
+        // Value 7 was slow-decided at ballot 1 by quorum {p0, p1, p3};
+        // the promise quorum is {p0, p2, p3}, so the intersection with
+        // the accepting quorum is {p0, p3} — and p3 is the traitor.
+        let mut byz_report: FabMsg<u64> = FabMsg::Promise {
+            bal: b2,
+            vbal: Ballot::new(1),
+            vval: Some(7),
+            proposed: Some(3),
+        };
+        assert!(byz_report.forge_value(0xDEAD), "forger attacks its report");
+
+        let mut eff = Effects::new();
+        leader.on_message(
+            p(2),
+            FabMsg::Promise {
+                bal: b2,
+                vbal: Ballot::FAST,
+                vval: None,
+                proposed: None,
+            },
+            &mut eff,
+        );
+        leader.on_message(
+            p(0),
+            FabMsg::Promise {
+                bal: b2,
+                vbal: Ballot::new(1),
+                vval: Some(7),
+                proposed: Some(0),
+            },
+            &mut eff,
+        );
+        leader.on_message(p(3), byz_report, &mut eff);
+
+        let slow: Vec<_> = eff
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                FabMsg::Slow(b, v) => Some((*b, *v)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slow.len(), 4, "phase two must broadcast to all");
+        assert!(
+            slow.iter().all(|(b, v)| *b == b2 && *v == 7),
+            "recovery must re-propose the slow-decided value, got {slow:?}"
+        );
+    }
+
+    #[test]
+    fn tight_recovery_waits_for_the_coordinator_report() {
+        // Tight certification reads the coordinator's report, so a
+        // promise quorum that excludes `p0` must not complete phase
+        // one — otherwise a fast decision only the coordinator can
+        // vouch for could be contradicted (the REVIEW.md medium
+        // finding, live at n = 4, f = 1 where honest fast witnesses
+        // inside a promise quorum can number just one).
+        let byz = ByzConfig::new(4, 1, ByzVariant::Tight).unwrap();
+        let mut leader: FastBft<u64> = FastBft::passive(byz, p(1));
+        let b1 = become_recovery_leader(&mut leader, 4);
+
+        let mut eff = Effects::new();
+        for i in [1u32, 2, 3] {
+            leader.on_message(
+                p(i),
+                FabMsg::Promise {
+                    bal: b1,
+                    vbal: Ballot::FAST,
+                    vval: None,
+                    proposed: Some(u64::from(i)),
+                },
+                &mut eff,
+            );
+        }
+        assert!(
+            !eff.sends.iter().any(|(_, m)| matches!(m, FabMsg::Slow(..))),
+            "a full quorum without p0 must not certify under Tight"
+        );
+
+        leader.on_message(
+            p(0),
+            FabMsg::Promise {
+                bal: b1,
+                vbal: Ballot::FAST,
+                vval: None,
+                proposed: Some(5),
+            },
+            &mut eff,
+        );
+        let slow: Vec<_> = eff
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                FabMsg::Slow(b, v) => Some((*b, *v)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slow.len(), 4);
+        assert!(
+            slow.iter().all(|(b, v)| *b == b1 && *v == 5),
+            "certification must be the coordinator's reported value, got {slow:?}"
+        );
     }
 }

@@ -162,7 +162,7 @@ impl ByzPlan {
     where
         V: Value,
         P: Protocol<V>,
-        P::Message: Corruptible,
+        P::Message: Corruptible + PartialEq,
     {
         let id = inner.id();
         let stream = SplitMix64::stream(self.seed, u64::from(id.as_u32()));
@@ -174,7 +174,7 @@ impl ByzPlan {
     where
         V: Value,
         P: Protocol<V>,
-        P::Message: Corruptible,
+        P::Message: Corruptible + PartialEq,
     {
         self.wrap_observed(inner, ObserverHandle::none())
     }

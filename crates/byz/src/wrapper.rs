@@ -43,7 +43,7 @@ impl<V, P> ByzProtocol<V, P>
 where
     V: Value,
     P: Protocol<V>,
-    P::Message: Corruptible,
+    P::Message: Corruptible + PartialEq,
 {
     /// Wraps `inner` with `behavior`, corrupting along the `seed`
     /// stream.
@@ -117,22 +117,21 @@ where
                 }
             }
             ByzBehavior::Equivocate => {
-                // Group the step's sends by message identity (Debug
-                // rendering — all protocol messages are plain data), in
+                // Group the step's sends by message equality, in
                 // first-appearance order so grouping is deterministic.
-                let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+                let mut groups: Vec<Vec<usize>> = Vec::new();
                 for i in start..effects.sends.len() {
-                    let key = format!("{:?}", effects.sends[i].1);
-                    match groups.iter_mut().find(|(k, _)| *k == key) {
-                        Some((_, idxs)) => idxs.push(i),
-                        None => groups.push((key, vec![i])),
+                    let m = &effects.sends[i].1;
+                    match groups.iter_mut().find(|g| effects.sends[g[0]].1 == *m) {
+                        Some(idxs) => idxs.push(i),
+                        None => groups.push(vec![i]),
                     }
                 }
                 // Each multi-recipient group is a (logical) broadcast:
                 // keep the original for the first half of the
                 // recipients and send one consistently forged value to
                 // the rest — conflicting votes to disjoint sets.
-                for (_, idxs) in groups {
+                for idxs in groups {
                     if idxs.len() < 2 {
                         continue;
                     }
@@ -152,7 +151,7 @@ impl<V, P> Protocol<V> for ByzProtocol<V, P>
 where
     V: Value,
     P: Protocol<V>,
-    P::Message: Corruptible,
+    P::Message: Corruptible + PartialEq,
 {
     type Message = P::Message;
 

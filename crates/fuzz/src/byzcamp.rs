@@ -1,10 +1,12 @@
-//! Byzantine campaigns: seeded equivocation and forgery against the
-//! FaB-style [`FastBft`] baseline, judged by honest-only oracles.
+//! Byzantine campaigns: seeded misbehavior against the FaB-style
+//! [`FastBft`] baseline, judged by honest-only oracles.
 //!
 //! The flat fuzzer and the sharded campaign inject *crash* faults; this
 //! campaign injects *Byzantine* ones. Per iteration it picks a seeded
-//! coalition of up to `f` victims, assigns each equivocation (the same
-//! step's sends split into two conflicting halves) or payload forgery
+//! coalition of up to `f` victims, assigns each one of the four
+//! [`ByzBehavior::MALICIOUS`] behaviors — equivocation (the same
+//! step's sends split into two conflicting halves), payload forgery,
+//! ballot lying, or selective silence —
 //! via [`ByzPlan`], wraps every process's [`FastBft`] in the injection
 //! layer, and drives the system through a seeded interleaving of
 //! deliveries and timer fires on the untimed [`ManualExecutor`] —
@@ -146,11 +148,8 @@ pub fn run_byzantine_iteration(
 
     let mut plan = ByzPlan::honest(stream_seed);
     for v in pick_victims(&mut rng, n, byz.f()) {
-        let behavior = if rng.chance(1, 2) {
-            ByzBehavior::Equivocate
-        } else {
-            ByzBehavior::Forge
-        };
+        let malicious = ByzBehavior::MALICIOUS;
+        let behavior = malicious[rng.below(malicious.len() as u64) as usize];
         plan = plan.with(v, behavior);
     }
 
@@ -343,6 +342,30 @@ mod tests {
         assert!(out.is_clean(), "unexpected violation: {:?}", out.failure);
         assert_eq!(out.iterations_run, 15);
         assert!(out.decisions > 0, "campaign never decided anything");
+    }
+
+    #[test]
+    fn floor_config_campaigns_are_clean() {
+        // n = 3f+1 = 4: the REVIEW.md corner where a promise quorum's
+        // intersection with an accepting quorum holds a single
+        // guaranteed-honest reporter (Fab), and where the Tight
+        // quorum can exclude the coordinator. Both must stay clean now
+        // that slow reports are certificate-pinned and Tight recovery
+        // waits for the coordinator.
+        for variant in [ByzVariant::Fab, ByzVariant::Tight] {
+            let fc = ByzFuzzConfig {
+                byz: ByzConfig::new(4, 1, variant).unwrap(),
+                seed: 21,
+                iters: 15,
+            };
+            let out = fuzz_byzantine(&fc, &ObserverHandle::default());
+            assert!(
+                out.is_clean(),
+                "{variant:?} floor violation: {:?}",
+                out.failure
+            );
+            assert!(out.decisions > 0, "{variant:?} floor campaign was vacuous");
+        }
     }
 
     #[test]

@@ -58,10 +58,11 @@ OPTIONS:
                           restarting a shard-leader node mid-load, judged
                           per shard plus a cross-shard leakage check
     --byzantine           run the Byzantine campaign instead: seeded
-                          equivocation/forgery coalitions (up to f victims,
-                          never the coordinator) injected into the FaB-style
-                          FastBft baseline, judged by honest-only
-                          Agreement/Validity/Integrity oracles
+                          coalitions of equivocating/forging/ballot-lying/
+                          silent victims (up to f, never the coordinator)
+                          injected into the FaB-style FastBft baseline,
+                          judged by honest-only Agreement/Validity/Integrity
+                          oracles
     --variant <V>         fab | tight — the fast-quorum sizing for
                           --byzantine (default fab); --f is the Byzantine
                           bound, --n defaults to the variant's minimal
@@ -407,7 +408,8 @@ fn run_sharded(o: &Opts) -> Result<bool, String> {
     }
 }
 
-/// The Byzantine campaign: seeded equivocation/forgery coalitions
+/// The Byzantine campaign: seeded coalitions drawing from all four
+/// malicious behaviors (equivocate, forge, lie-ballot, silence)
 /// injected into the FaB-style `FastBft` baseline, judged by
 /// honest-only oracles (what the traitors claim to decide is noise).
 fn run_byzantine(o: &Opts) -> Result<bool, String> {
@@ -434,10 +436,12 @@ fn run_byzantine(o: &Opts) -> Result<bool, String> {
     let out = fuzz_byzantine(&fc, &observer);
     let snap = metrics.snapshot();
     println!(
-        "  injections: {} total (equivocate {}, forge {})",
+        "  injections: {} total (equivocate {}, forge {}, lie-ballot {}, silence {})",
         snap.total_injections(),
         snap.injections("equivocate"),
         snap.injections("forge"),
+        snap.injections("lie-ballot"),
+        snap.injections("silence"),
     );
     match &out.failure {
         None => {

@@ -31,8 +31,9 @@ pub enum ByzVariant {
     Fab,
     /// The proposer-conditioned rule of arXiv:2102.12825: fast quorum
     /// `⌈(n+3f−1)/2⌉`, fast path available iff `n ≥ 5f−1` — optimal,
-    /// but its recovery certification additionally counts the
-    /// proposer's own report (see [`ByzConfig::cert_threshold`]).
+    /// but its recovery certifies fast-round state from the *honest
+    /// proposer's own report*, which recovery waits for, instead of
+    /// counting witnesses.
     Tight,
 }
 
@@ -155,7 +156,8 @@ impl ByzConfig {
     /// The classic size is exactly what makes count-based recovery
     /// safe: any fast-decided value retains a strict majority among the
     /// fast-vote reports visible in every recovery quorum, even after
-    /// `f` forged reports (obligation B2 in `twostep-analysis`).
+    /// `f` forged reports (obligations B2 and B6 in
+    /// `twostep-analysis`).
     pub const fn fast_quorum(&self) -> usize {
         let numerator = match self.variant {
             ByzVariant::Fab => self.n + 3 * self.f + 1,
@@ -172,10 +174,10 @@ impl ByzConfig {
     /// Certification threshold for recovery: a value may be adopted by
     /// a new ballot only if at least `f+1` distinct processes vouch for
     /// it, so the `f` Byzantine processes can never certify a forgery
-    /// by themselves. (The [`ByzVariant::Tight`] protocol reaches the
-    /// same count by additionally letting reporters vouch for their own
-    /// proposal — the honest-proposer conditioning of
-    /// arXiv:2102.12825.)
+    /// by themselves. (The [`ByzVariant::Tight`] protocol applies this
+    /// to slow-ballot reports only; its *fast-round* certification
+    /// instead reads the honest proposer's own report — the
+    /// honest-proposer conditioning of arXiv:2102.12825.)
     pub const fn cert_threshold(&self) -> usize {
         self.f + 1
     }
@@ -192,7 +194,9 @@ impl ByzConfig {
 
     /// The number of honest fast-voters guaranteed visible in any
     /// recovery quorum after discounting `f` possible forgeries:
-    /// `fq − 2f` (B2's left-hand side).
+    /// `fq − 2f` (the left-hand side of the FaB form of obligation B2
+    /// in `twostep-analysis`; the Tight variant certifies from the
+    /// coordinator's report instead of counting witnesses).
     pub const fn honest_fast_witnesses(&self) -> usize {
         self.fast_quorum().saturating_sub(2 * self.f)
     }

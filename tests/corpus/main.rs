@@ -157,7 +157,8 @@ fn two_shard_leader_crash_restart_campaign_is_clean() {
 
 /// Clean-pass witness for the Byzantine campaign: 60 seeded iterations
 /// of FastBft at FaB's minimal fast-live size (n = 5f+1 = 6), each with
-/// a seeded equivocation/forgery victim (never the coordinator — the
+/// a victim drawn from all four malicious behaviors — equivocate,
+/// forge, lie-ballot, silence — (never the coordinator — the
 /// unsigned-BFT caveat), found no Agreement/Validity/Integrity
 /// violation among the honest processes. The honest decide-event count
 /// is pinned exactly: the campaign is deterministic, so drift in the
@@ -170,7 +171,7 @@ fn two_shard_leader_crash_restart_campaign_is_clean() {
 /// cargo run -p twostep-fuzz -- --byzantine --f 1 --seed 42 --iters 60
 /// ```
 #[test]
-fn byzantine_equivocation_forgery_campaign_is_clean() {
+fn byzantine_malicious_coalition_campaign_is_clean() {
     let byz = ByzConfig::minimal_fast(ByzVariant::Fab, 1).expect("minimal FaB configuration");
     let fc = ByzFuzzConfig {
         byz,
@@ -215,6 +216,43 @@ fn byzantine_tight_variant_campaign_is_clean() {
         out.failure
     );
     assert_eq!(out.decisions, 189, "campaign coverage drifted");
+}
+
+/// The `n = 3f+1` floor of the Byzantine campaign, both variants — the
+/// REVIEW.md corner where an accepting quorum and a later promise
+/// quorum intersect in just `n−2f = 2` processes, only `n−3f = 1` of
+/// them guaranteed honest. A clean pass pins the two repairs: slow
+/// `Promise` reports are certificate-backed (a Forge victim in the
+/// intersection cannot strand a slow-decided value), and Tight
+/// recovery waits for the coordinator's report instead of counting
+/// witnesses it may not have.
+///
+/// Reproduce with:
+///
+/// ```text
+/// cargo run -p twostep-fuzz -- --byzantine --n 4 --f 1 --seed 21 --iters 30
+/// cargo run -p twostep-fuzz -- --byzantine --variant tight --n 4 --f 1 --seed 21 --iters 30
+/// ```
+#[test]
+fn byzantine_floor_campaigns_are_clean_for_both_variants() {
+    for variant in [ByzVariant::Fab, ByzVariant::Tight] {
+        let byz = ByzConfig::new(4, 1, variant).expect("3f+1 floor configuration");
+        let fc = ByzFuzzConfig {
+            byz,
+            seed: 21,
+            iters: 30,
+        };
+        let out = fuzz_byzantine(&fc, &ObserverHandle::none());
+        assert!(
+            out.is_clean(),
+            "{variant:?} floor campaign found a violation: {:?}",
+            out.failure
+        );
+        assert_eq!(
+            out.decisions, 90,
+            "{variant:?} floor campaign coverage drifted"
+        );
+    }
 }
 
 /// The paper's §B.1 adversary, re-encoded as a schedule: a fast decision
