@@ -18,8 +18,12 @@
 //!   fast-liveness bound carries a run with zero fast deciders.
 //! * [`lint`] — a source lint over the protocol crates rejecting
 //!   wildcard arms on protocol enums, `unwrap`/`expect`, unchecked
-//!   quorum arithmetic, and `debug_assert!`-only invariants, with an
-//!   audited allowlist.
+//!   quorum arithmetic, `debug_assert!`-only invariants, and relaxed
+//!   atomic orderings, with an audited allowlist.
+//! * [`model_check_gate`] — the exhaustive model checker
+//!   (`twostep_verify::ModelChecker`) swept over the paper's boundary
+//!   `(n, e, f)` configurations, with a seeded-broken fixture CI runs
+//!   inverted and a symmetry+POR reduction-ratio floor.
 //! * loom models (`tests/loom_models.rs`, behind `--features loom`) —
 //!   exhaustive interleaving checks for the telemetry observer handle
 //!   and the transport reconnect bookkeeping.
@@ -29,3 +33,4 @@ pub mod byz_bounds;
 pub mod lexer;
 pub mod lint;
 pub mod model;
+pub mod model_check_gate;

@@ -1,6 +1,6 @@
 //! Source-level lint for the protocol crates.
 //!
-//! Four rules, each encoding a convention the safety argument depends
+//! Five rules, each encoding a convention the safety argument depends
 //! on:
 //!
 //! * **`wildcard-arm`** — a `_ =>` arm in a `match` whose patterns
@@ -21,6 +21,14 @@
 //!   agreement loss.
 //! * **`debug-assert`** — `debug_assert!` family in protocol code:
 //!   safety invariants must hold in release builds too.
+//! * **`relaxed-atomic`** — `Ordering::Relaxed` in non-test code.
+//!   Relaxed operations provide no happens-before edge, so any use that
+//!   *publishes* state to another thread (a doorbell flag, a
+//!   reactor-wakeup, a queue head) is a silent race; the reactor's
+//!   doorbell correctly uses `Release`/`AcqRel` for exactly this
+//!   reason. The only legitimate uses are values that never guard other
+//!   memory — statistical counters and unique-token generators — and
+//!   each one must be audited into the allowlist.
 //!
 //! `#[cfg(test)]` modules are skipped entirely. Findings can be waived
 //! through an allowlist file ([`Allowlist`]) whose entries document an
@@ -35,11 +43,12 @@ use std::path::{Path, PathBuf};
 use crate::lexer::{blank_comments_and_strings, line_of, word_positions};
 
 /// Rule identifiers, as used in findings and allowlist entries.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 5] = [
     "wildcard-arm",
     "unwrap-expect",
     "unchecked-quorum-arith",
     "debug-assert",
+    "relaxed-atomic",
 ];
 
 /// One lint hit.
@@ -308,8 +317,31 @@ pub fn lint_file(file: &SourceFile, enums: &BTreeSet<String>) -> Vec<Finding> {
         start = idx + "debug_assert".len();
     }
 
+    // relaxed-atomic.
+    let mut start = 0;
+    while let Some(off) = blanked[start..].find("Ordering::Relaxed") {
+        let idx = start + off;
+        push(idx, "relaxed-atomic");
+        start = idx + "Ordering::Relaxed".len();
+    }
+
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
+}
+
+/// Like [`lint_file`], restricted to a subset of [`RULES`] — used for
+/// directories where only some conventions apply (e.g. the runtime and
+/// telemetry crates are not protocol handlers, but their atomics still
+/// deserve the `relaxed-atomic` audit).
+pub fn lint_file_rules(
+    file: &SourceFile,
+    enums: &BTreeSet<String>,
+    rules: &[&str],
+) -> Vec<Finding> {
+    lint_file(file, enums)
+        .into_iter()
+        .filter(|f| rules.contains(&f.rule))
+        .collect()
 }
 
 /// Whether `line` (blanked) contains a `+` or `-` used as an operator
@@ -563,6 +595,39 @@ mod tests {
         let hits = lint(src);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].rule, "debug-assert");
+    }
+
+    #[test]
+    fn relaxed_atomic_is_flagged_outside_tests() {
+        let src = "fn f(c: &std::sync::atomic::AtomicU64) -> u64 {\n\
+                   c.fetch_add(1, Ordering::Relaxed)\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn g(c: &A) { c.load(Ordering::Relaxed); } }";
+        let hits = lint(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "relaxed-atomic");
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn acquire_release_orderings_are_not_flagged() {
+        let src = "fn f(c: &A) { c.store(1, Ordering::Release); c.load(Ordering::Acquire); }";
+        assert_eq!(lint(src), vec![]);
+    }
+
+    #[test]
+    fn rule_filtering_drops_out_of_scope_findings() {
+        let src = "fn f(x: Option<u32>, c: &A) -> u32 {\n\
+                   c.fetch_add(1, Ordering::Relaxed);\n\
+                   x.unwrap()\n\
+                   }";
+        let f = file(src);
+        let enums = collect_enums(std::slice::from_ref(&f));
+        let all = lint_file(&f, &enums);
+        assert_eq!(all.len(), 2, "{all:?}");
+        let only_relaxed = lint_file_rules(&f, &enums, &["relaxed-atomic"]);
+        assert_eq!(only_relaxed.len(), 1, "{only_relaxed:?}");
+        assert_eq!(only_relaxed[0].rule, "relaxed-atomic");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! CI gate binary for the static-analysis suite.
 //!
 //! ```text
-//! twostep-analysis <bounds|lint|all> [options]
+//! twostep-analysis <bounds|lint|model-check|all> [options]
 //!   --all               shorthand for the `all` subcommand
 //!   --max-n N           bound-sweep cap (default 25)
 //!   --fixture NAME      run bounds against a seeded-broken model
@@ -14,6 +14,10 @@
 //!   --json              print the sweep outcome JSON to stdout
 //!   --root PATH         workspace root for the lint (default: cwd)
 //!   --allowlist PATH    lint allowlist (default: ROOT/crates/analysis/lint-allow.txt)
+//!   --workers N         model-check worker threads (default 4)
+//!   --report PATH       write the model-check sweep report to PATH
+//!   --seeded-broken     model-check only the seeded-broken fixture; CI
+//!                       asserts this exits nonzero
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations or lint findings, 2 usage error.
@@ -25,10 +29,11 @@ use twostep_analysis::bounds::{self, SweepOutcome};
 use twostep_analysis::byz_bounds::{self, ByzFixture, ByzSweepOutcome};
 use twostep_analysis::lint::{self, Allowlist};
 use twostep_analysis::model::Fixture;
+use twostep_analysis::model_check_gate;
 
 const USAGE: &str = "\
-usage: twostep-analysis <bounds|lint|all> [options]
-  --all               run both analyses (same as the `all` subcommand)
+usage: twostep-analysis <bounds|lint|model-check|all> [options]
+  --all               run every analysis (same as the `all` subcommand)
   --max-n N           bound-sweep cap (default 25)
   --fixture NAME      check a seeded-broken model instead of the real
                       arithmetic: broken-fast-quorum |
@@ -37,11 +42,16 @@ usage: twostep-analysis <bounds|lint|all> [options]
   --json              print sweep outcome JSON to stdout
   --root PATH         workspace root for the lint (default: current dir)
   --allowlist PATH    lint allowlist file
-                      (default: ROOT/crates/analysis/lint-allow.txt)";
+                      (default: ROOT/crates/analysis/lint-allow.txt)
+  --workers N         model-check worker threads (default 4)
+  --report PATH       write the model-check sweep report to PATH
+  --seeded-broken     model-check only the seeded-broken fixture
+                      (CI asserts this exits nonzero)";
 
 struct Options {
     run_bounds: bool,
     run_lint: bool,
+    run_model_check: bool,
     max_n: usize,
     fixture: Option<Fixture>,
     byz_fixture: Option<ByzFixture>,
@@ -49,12 +59,16 @@ struct Options {
     json: bool,
     root: PathBuf,
     allowlist: Option<PathBuf>,
+    workers: usize,
+    report: Option<PathBuf>,
+    seeded_broken: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         run_bounds: false,
         run_lint: false,
+        run_model_check: false,
         max_n: bounds::DEFAULT_MAX_N,
         fixture: None,
         byz_fixture: None,
@@ -62,6 +76,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         root: PathBuf::from("."),
         allowlist: None,
+        workers: 4,
+        report: None,
+        seeded_broken: false,
     };
     let mut it = args.iter();
     let mut saw_mode = false;
@@ -80,9 +97,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.run_lint = true;
                 saw_mode = true;
             }
+            "model-check" => {
+                opts.run_model_check = true;
+                saw_mode = true;
+            }
             "all" | "--all" => {
                 opts.run_bounds = true;
                 opts.run_lint = true;
+                opts.run_model_check = true;
                 saw_mode = true;
             }
             "--max-n" => {
@@ -99,6 +121,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     (None, None) => return Err(format!("unknown fixture {v:?}")),
                 }
             }
+            "--workers" => {
+                let v = value_for("--workers")?;
+                opts.workers = v
+                    .parse()
+                    .map_err(|_| format!("--workers: not a number: {v}"))?;
+            }
+            "--report" => opts.report = Some(PathBuf::from(value_for("--report")?)),
+            "--seeded-broken" => opts.seeded_broken = true,
             "--witnesses" => opts.witnesses = Some(PathBuf::from(value_for("--witnesses")?)),
             "--json" => opts.json = true,
             "--root" => opts.root = PathBuf::from(value_for("--root")?),
@@ -205,7 +235,25 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
             ));
         }
     }
+    // The runtime and telemetry crates are not protocol handlers, so
+    // the handler-shape rules (wildcard arms, quorum arithmetic, …)
+    // don't apply — but their atomics still get the relaxed-ordering
+    // audit.
+    let relaxed_only_dirs: Vec<PathBuf> = ["crates/runtime/src", "crates/telemetry/src"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    for d in &relaxed_only_dirs {
+        if !d.is_dir() {
+            return Err(format!(
+                "lint: {} is not a directory (set --root to the workspace root)",
+                d.display()
+            ));
+        }
+    }
     let files = lint::collect_sources(&lint_dirs).map_err(|e| format!("lint: {e}"))?;
+    let relaxed_files =
+        lint::collect_sources(&relaxed_only_dirs).map_err(|e| format!("lint: {e}"))?;
     // Protocol enums may be *declared* in twostep-types but matched in
     // the protocol crates, so the enum universe includes both.
     let enum_files = {
@@ -229,11 +277,14 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
     for file in &files {
         raw.extend(lint::lint_file(file, &enums));
     }
+    for file in &relaxed_files {
+        raw.extend(lint::lint_file_rules(file, &enums, &["relaxed-atomic"]));
+    }
     let findings: Vec<_> = raw.iter().filter(|f| !allow.allows(f)).collect();
     let stale = allow.stale_entries(&raw);
     println!(
         "lint: {} files, {} protocol enums, {} allowlist entries ({} stale), {} findings",
-        files.len(),
+        files.len() + relaxed_files.len(),
         enums.len(),
         allow.len(),
         stale.len(),
@@ -246,6 +297,28 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         println!("  STALE allowlist entry waives nothing: {entry}");
     }
     Ok(findings.is_empty() && stale.is_empty())
+}
+
+fn run_model_check(opts: &Options) -> Result<bool, String> {
+    if opts.seeded_broken {
+        let (found, report) = model_check_gate::run_seeded_broken(opts.workers);
+        print!("{report}");
+        if let Some(path) = &opts.report {
+            std::fs::write(path, &report)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        // The fixture is *supposed* to violate: finding the bug means
+        // the gate goes red (CI inverts this invocation).
+        return Ok(!found);
+    }
+    let outcome = model_check_gate::run_gate(opts.workers);
+    let report = outcome.render(opts.workers);
+    print!("{report}");
+    if let Some(path) = &opts.report {
+        std::fs::write(path, &report)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(outcome.is_clean())
 }
 
 fn main() -> ExitCode {
@@ -273,6 +346,15 @@ fn main() -> ExitCode {
     }
     if opts.run_lint {
         match run_lint(&opts) {
+            Ok(ok) => clean &= ok,
+            Err(msg) => {
+                eprintln!("twostep-analysis: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.run_model_check {
+        match run_model_check(&opts) {
             Ok(ok) => clean &= ok,
             Err(msg) => {
                 eprintln!("twostep-analysis: {msg}");

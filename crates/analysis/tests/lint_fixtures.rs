@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 
 use twostep_analysis::lint::{
-    collect_enums, collect_sources, lint_file, Allowlist, Finding, SourceFile,
+    collect_enums, collect_sources, lint_file, lint_file_rules, Allowlist, Finding, SourceFile,
 };
 
 fn fixture(name: &str) -> SourceFile {
@@ -78,17 +78,30 @@ fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
+/// Mirrors the binary's scan set (`run_lint` in `src/main.rs`): the
+/// protocol crates get every rule, the runtime/telemetry crates only
+/// the relaxed-atomic audit.
 fn workspace_findings() -> (Vec<Finding>, Allowlist) {
     let root = workspace_root();
-    let lint_dirs: Vec<PathBuf> = ["crates/core/src", "crates/baselines/src", "crates/smr/src"]
-        .iter()
-        .map(|d| root.join(d))
-        .collect();
+    let lint_dirs: Vec<PathBuf> = [
+        "crates/core/src",
+        "crates/baselines/src",
+        "crates/smr/src",
+        "crates/byz/src",
+    ]
+    .iter()
+    .map(|d| root.join(d))
+    .collect();
     let files = collect_sources(&lint_dirs).unwrap();
     assert!(
         !files.is_empty(),
         "protocol crates not found under {root:?}"
     );
+    let relaxed_files = collect_sources(&[
+        root.join("crates/runtime/src"),
+        root.join("crates/telemetry/src"),
+    ])
+    .unwrap();
     let enum_files = {
         let mut dirs = lint_dirs;
         dirs.push(root.join("crates/types/src"));
@@ -103,6 +116,11 @@ fn workspace_findings() -> (Vec<Finding>, Allowlist) {
     let findings = files
         .iter()
         .flat_map(|f| lint_file(f, &enums))
+        .chain(
+            relaxed_files
+                .iter()
+                .flat_map(|f| lint_file_rules(f, &enums, &["relaxed-atomic"])),
+        )
         .collect::<Vec<_>>();
     (findings, allow)
 }

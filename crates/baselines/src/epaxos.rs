@@ -36,6 +36,7 @@ use serde::{Deserialize, Serialize};
 
 use twostep_telemetry::{ObserverHandle, Path};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::relabel::RelabelHash;
 use twostep_types::{ProcessId, ProcessSet, SystemConfig, Value};
 
 /// EPaxos-lite wire messages.
@@ -53,6 +54,12 @@ pub enum EPaxosMsg<V: Ord> {
     /// Leader → replicas: the command is committed with these deps.
     Commit(V, BTreeSet<V>),
 }
+
+// The model checker's symmetry reduction asks message payloads for a
+// relabeled content hash; declining every permutation (the
+// [`RelabelHash`] default) soundly degrades symmetry to the identity
+// for this baseline.
+impl<V: Ord> RelabelHash for EPaxosMsg<V> {}
 
 /// How a command committed (latency class).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

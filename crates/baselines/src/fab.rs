@@ -36,6 +36,7 @@ use serde::{Deserialize, Serialize};
 use twostep_telemetry::{ObserverHandle, Path};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::{Collector, VoteTally};
+use twostep_types::relabel::{RelabelHash, Relabeling};
 use twostep_types::{
     Ballot, ByzConfig, ByzVariant, Corruptible, Duration, ProcessId, ProcessSet, Value, DELTA,
 };
@@ -75,6 +76,61 @@ pub enum FabMsg<V> {
     Decide(V),
     /// Ω liveness beacon.
     Heartbeat,
+}
+
+impl<V: std::hash::Hash> RelabelHash for FabMsg<V> {
+    /// Content hash with every embedded ballot mapped through `rl`.
+    /// FaB payloads carry no bare `ProcessId`s; ballots encode their
+    /// owner, so a ballot whose owner `rl` moves declines the
+    /// permutation (see [`Relabeling::ballot`]). Values are id-free
+    /// and hash directly.
+    fn relabel_hash(&self, rl: &Relabeling) -> Option<u64> {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        match self {
+            FabMsg::Forward(v) => {
+                0u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+            FabMsg::Fast(v) => {
+                1u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+            FabMsg::Accepted(b, v) => {
+                2u8.hash(&mut h);
+                rl.ballot(*b)?.hash(&mut h);
+                v.hash(&mut h);
+            }
+            FabMsg::NewBallot(b) => {
+                3u8.hash(&mut h);
+                rl.ballot(*b)?.hash(&mut h);
+            }
+            FabMsg::Promise {
+                bal,
+                vbal,
+                vval,
+                proposed,
+            } => {
+                4u8.hash(&mut h);
+                rl.ballot(*bal)?.hash(&mut h);
+                rl.ballot(*vbal)?.hash(&mut h);
+                vval.hash(&mut h);
+                proposed.hash(&mut h);
+            }
+            FabMsg::Slow(b, v) => {
+                5u8.hash(&mut h);
+                rl.ballot(*b)?.hash(&mut h);
+                v.hash(&mut h);
+            }
+            FabMsg::Decide(v) => {
+                6u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+            FabMsg::Heartbeat => 7u8.hash(&mut h),
+        }
+        Some(h.finish())
+    }
 }
 
 /// [`Corruptible`] plumbing so the `twostep-byz` injector can attack
@@ -226,6 +282,13 @@ pub struct FastBft<V> {
     // Ω.
     heard: ProcessSet,
     suspected: ProcessSet,
+    /// `Some(l)`: Ω is pinned to `l` and the heartbeat substrate is
+    /// disabled — the model-checking analogue of the two-step
+    /// protocols' `OmegaMode::Static`. Without it every delivery
+    /// mutates `heard`, which makes otherwise-identical states
+    /// distinct and defeats both the inert-mail scrub and the
+    /// symmetry reduction.
+    pinned: Option<ProcessId>,
     obs: ObserverHandle,
 }
 
@@ -281,8 +344,20 @@ impl<V: Value> FastBft<V> {
             phase_one_done: false,
             heard: ProcessSet::new(),
             suspected: ProcessSet::new(),
+            pinned: None,
             obs: ObserverHandle::none(),
         }
+    }
+
+    /// Pins Ω to `leader` and disables the heartbeat substrate
+    /// (builder style): no heartbeat broadcasts, no `HEARTBEAT` /
+    /// `SUSPECT` timers, and deliveries no longer feed the `heard`
+    /// set. Used by the model checker, where the failure-detector
+    /// machinery is replaced by explicit timer-budget exploration.
+    #[must_use]
+    pub fn pinned_leader(mut self, leader: ProcessId) -> Self {
+        self.pinned = Some(leader);
+        self
     }
 
     /// Attaches telemetry hooks (builder style). Fast-quorum decisions
@@ -305,6 +380,9 @@ impl<V: Value> FastBft<V> {
     }
 
     fn leader(&self) -> ProcessId {
+        if let Some(l) = self.pinned {
+            return l;
+        }
         self.suspected
             .complement(self.cfg.n())
             .min()
@@ -438,9 +516,11 @@ impl<V: Value> Protocol<V> for FastBft<V> {
     }
 
     fn on_start(&mut self, eff: &mut Effects<V, FabMsg<V>>) {
-        eff.broadcast_others(FabMsg::Heartbeat, self.cfg.n(), self.me);
-        eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
-        eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
+        if self.pinned.is_none() {
+            eff.broadcast_others(FabMsg::Heartbeat, self.cfg.n(), self.me);
+            eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
+            eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
+        }
         eff.set_timer(TimerId::NEW_BALLOT, INITIAL_TIMEOUT);
         if let Some(v) = self.initial.clone() {
             if self.me == COORDINATOR {
@@ -465,7 +545,9 @@ impl<V: Value> Protocol<V> for FastBft<V> {
     }
 
     fn on_message(&mut self, from: ProcessId, msg: FabMsg<V>, eff: &mut Effects<V, FabMsg<V>>) {
-        self.heard.insert(from);
+        if self.pinned.is_none() {
+            self.heard.insert(from);
+        }
         match msg {
             FabMsg::Heartbeat => {}
 
@@ -617,6 +699,147 @@ impl<V: Value> Protocol<V> for FastBft<V> {
 
     fn decision(&self) -> Option<V> {
         self.decided.clone()
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        // Structured hashing of the protocol-relevant state (the
+        // Debug-string default is orders of magnitude more expensive,
+        // and the model checker fingerprints millions of states).
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.me.hash(&mut h);
+        self.initial.hash(&mut h);
+        self.fast_sent.hash(&mut h);
+        self.bal.hash(&mut h);
+        self.vbal.hash(&mut h);
+        self.val.hash(&mut h);
+        self.slow_ballot_seen.hash(&mut h);
+        self.decided.hash(&mut h);
+        self.my_ballot.hash(&mut h);
+        self.phase_one_done.hash(&mut h);
+        self.heard.hash(&mut h);
+        self.suspected.hash(&mut h);
+        self.pinned.hash(&mut h);
+        for tally in [&self.fast_tally, &self.slow_tally, &self.decide_tally] {
+            for (v, set) in tally.iter() {
+                v.hash(&mut h);
+                set.hash(&mut h);
+            }
+            u8::MAX.hash(&mut h); // tally separator
+        }
+        for (q, (vbal, vval, proposed)) in self.promises.iter() {
+            q.hash(&mut h);
+            vbal.hash(&mut h);
+            vval.hash(&mut h);
+            proposed.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    fn state_fingerprint_relabeled(&self, rl: &twostep_types::relabel::Relabeling) -> Option<u64> {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Only the pinned-Ω mode is symmetric: with heartbeats live,
+        // `heard` is steered by delivery order in ways the fingerprint
+        // cannot relabel soundly mid-sweep. The pinned leader and the
+        // ballot-0 coordinator are structurally distinguished, so any
+        // permutation moving them is declined.
+        let leader = self.pinned?;
+        if !rl.fixes(leader) || !rl.fixes(COORDINATOR) {
+            return None;
+        }
+        let mut h = DefaultHasher::new();
+        rl.pid(self.me).hash(&mut h);
+        self.initial.hash(&mut h);
+        self.fast_sent.hash(&mut h);
+        rl.ballot(self.bal)?.hash(&mut h);
+        rl.ballot(self.vbal)?.hash(&mut h);
+        self.val.hash(&mut h);
+        rl.ballot(self.slow_ballot_seen)?.hash(&mut h);
+        self.decided.hash(&mut h);
+        match self.my_ballot {
+            None => None::<Ballot>.hash(&mut h),
+            Some(b) => Some(rl.ballot(b)?).hash(&mut h),
+        }
+        self.phase_one_done.hash(&mut h);
+        rl.pset(self.heard).hash(&mut h);
+        rl.pset(self.suspected).hash(&mut h);
+        leader.hash(&mut h);
+        for tally in [&self.fast_tally, &self.slow_tally, &self.decide_tally] {
+            // Keys iterate in value order, which `rl` does not disturb;
+            // only the voter sets need mapping.
+            for (v, set) in tally.iter() {
+                v.hash(&mut h);
+                rl.pset(set).hash(&mut h);
+            }
+            u8::MAX.hash(&mut h); // tally separator
+        }
+        // Promise quorum re-sorted by relabeled reporter so the hash is
+        // independent of collection order under `π`.
+        let mut entries: Vec<(ProcessId, u64)> = Vec::with_capacity(self.promises.len());
+        for (q, (vbal, vval, proposed)) in self.promises.iter() {
+            let mut eh = DefaultHasher::new();
+            rl.ballot(*vbal)?.hash(&mut eh);
+            vval.hash(&mut eh);
+            proposed.hash(&mut eh);
+            entries.push((rl.pid(q), eh.finish()));
+        }
+        entries.sort_unstable();
+        entries.hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// Permanent no-op classification for the model checker's
+    /// inert-mail scrub. Only meaningful in the pinned-Ω mode: with
+    /// heartbeats live every delivery feeds `heard`, which steers
+    /// future `SUSPECT` sweeps, so nothing is inert. Each `true` below
+    /// rests on monotonicity: `bal` / `slow_ballot_seen` never
+    /// decrease, `fast_sent` / `phase_one_done` (per ballot) /
+    /// `decided` / `val.is_some()` are never unset, tallies only grow,
+    /// and future `my_ballot` assignments come from
+    /// [`Ballot::next_owned_by`], which is strictly greater than the
+    /// then-current `bal`.
+    fn message_is_noop(&self, from: ProcessId, msg: &FabMsg<V>) -> bool {
+        if self.pinned.is_none() {
+            return false;
+        }
+        let n = self.cfg.n();
+        match msg {
+            FabMsg::Heartbeat => true,
+            FabMsg::Forward(_) => self.me != COORDINATOR || self.fast_sent,
+            FabMsg::Fast(_) => {
+                from != COORDINATOR || self.bal != Ballot::FAST || self.val.is_some()
+            }
+            FabMsg::Accepted(b, v) => {
+                if *b == Ballot::FAST {
+                    // Idempotent redelivery: the tally entry exists, so
+                    // neither the tally nor `check_learned`'s verdict
+                    // can change.
+                    self.fast_tally.voters(v).contains(from)
+                } else {
+                    *b < self.slow_ballot_seen
+                        || (*b == self.slow_ballot_seen && self.slow_tally.voters(v).contains(from))
+                }
+            }
+            FabMsg::NewBallot(b) => from != b.owner(n) || *b <= self.bal,
+            FabMsg::Promise { bal, .. } => {
+                if bal.owner(n) != self.me {
+                    return true;
+                }
+                match self.my_ballot {
+                    Some(mb) if *bal < mb => true,
+                    // Re-opening the same ballot is only possible while
+                    // `bal` trails it (`next_owned_by` skips past
+                    // otherwise), so a completed phase one at a
+                    // caught-up ballot is final.
+                    Some(mb) if *bal == mb => self.phase_one_done && self.bal >= mb,
+                    _ => *bal <= self.bal,
+                }
+            }
+            FabMsg::Slow(b, _) => from != b.owner(n) || !b.is_slow() || *b < self.bal,
+            FabMsg::Decide(v) => self.decide_tally.voters(v).contains(from),
+        }
     }
 }
 

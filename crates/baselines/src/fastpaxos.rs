@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use twostep_telemetry::{ObserverHandle, Path};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::{Collector, VoteTally};
+use twostep_types::relabel::RelabelHash;
 use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
 
 /// Fast Paxos wire messages.
@@ -35,6 +36,12 @@ pub enum FastPaxosMsg<V> {
     /// Ω liveness beacon.
     Heartbeat,
 }
+
+// The model checker's symmetry reduction asks message payloads for a
+// relabeled content hash; declining every permutation (the
+// [`RelabelHash`] default) soundly degrades symmetry to the identity
+// for this baseline.
+impl<V> RelabelHash for FastPaxosMsg<V> {}
 
 /// Fast Paxos over `n ≥ max{2e+f+1, 2f+1}` processes.
 ///

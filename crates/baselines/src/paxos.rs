@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use twostep_telemetry::{ObserverHandle, Path};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::quorum::Collector;
+use twostep_types::relabel::RelabelHash;
 use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
 
 /// Paxos wire messages.
@@ -30,6 +31,12 @@ pub enum PaxosMsg<V> {
     /// Ω liveness beacon.
     Heartbeat,
 }
+
+// The model checker's symmetry reduction asks message payloads for a
+// relabeled content hash; declining every permutation (the
+// [`RelabelHash`] default) soundly degrades symmetry to the identity
+// for this baseline.
+impl<V> RelabelHash for PaxosMsg<V> {}
 
 /// Leader-driven single-decree Paxos over `n ≥ 2f+1` processes.
 ///

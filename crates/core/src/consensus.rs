@@ -543,6 +543,109 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
         }
         h.finish()
     }
+
+    fn state_fingerprint_relabeled(&self, rl: &twostep_types::relabel::Relabeling) -> Option<u64> {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Decline permutations the behavior distinguishes. Heartbeat-mode
+        // Ω tracks who it `heard` from (not part of the fingerprint), so
+        // only the identity is safe; a pinned static leader must be a
+        // fixed point of `π`.
+        match self.omega.mode() {
+            OmegaMode::Heartbeats => {
+                if !rl.is_identity() {
+                    return None;
+                }
+            }
+            OmegaMode::Static(leader) => {
+                if !rl.fixes(leader) {
+                    return None;
+                }
+            }
+        }
+        let mut h = DefaultHasher::new();
+        rl.pid(self.me).hash(&mut h);
+        rl.ballot(self.bal)?.hash(&mut h);
+        rl.ballot(self.vbal)?.hash(&mut h);
+        self.val.hash(&mut h);
+        self.proposer.map(|p| rl.pid(p)).hash(&mut h);
+        self.initial_val.hash(&mut h);
+        self.decided.hash(&mut h);
+        rl.pset(self.fast_votes).hash(&mut h);
+        match self.my_ballot {
+            None => None::<Ballot>.hash(&mut h),
+            Some(b) => Some(rl.ballot(b)?).hash(&mut h),
+        }
+        self.oneb_done.hash(&mut h);
+        self.slow_value.hash(&mut h);
+        rl.pset(self.slow_votes).hash(&mut h);
+        self.observed.hash(&mut h);
+        self.startup_value.hash(&mut h);
+        rl.pid(self.omega.leader()).hash(&mut h);
+        rl.pset(self.omega.suspected()).hash(&mut h);
+        // The 1B quorum, re-sorted by relabeled reporter so the hash is
+        // independent of collection order under `π`.
+        let mut entries: Vec<(ProcessId, u64)> = Vec::with_capacity(self.onebs.len());
+        for (q, r) in self.onebs.iter() {
+            let mut eh = DefaultHasher::new();
+            rl.ballot(r.vbal)?.hash(&mut eh);
+            r.val.hash(&mut eh);
+            r.proposer.map(|p| rl.pid(p)).hash(&mut eh);
+            r.decided.hash(&mut eh);
+            entries.push((rl.pid(q), eh.finish()));
+        }
+        entries.sort_unstable();
+        entries.hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// Permanent no-op classification for the model checker's inert-mail
+    /// scrub. Every `true` below rests on a monotonicity argument:
+    /// `bal` never decreases, `val`/`initial_val`/`decided`/`observed`
+    /// are never cleared once set, and future `my_ballot` assignments
+    /// come from [`Ballot::next_owned_by`], which is strictly greater
+    /// than the then-current `bal`.
+    fn message_is_noop(&self, _from: ProcessId, msg: &Msg<V>) -> bool {
+        // In heartbeat mode every delivery feeds `omega.observe`, whose
+        // `heard` set steers future sweeps: nothing is ever inert.
+        if self.omega.uses_heartbeats() {
+            return false;
+        }
+        match msg {
+            Msg::Heartbeat => true,
+            Msg::Propose(v) => {
+                // Effect requires `observed = ⊥` (set once) or the vote
+                // precondition; the vote precondition is permanently dead
+                // once the ballot left FAST, a vote was cast, or our own
+                // (immutable once set) proposal rejects `v`.
+                self.observed.is_some()
+                    && (self.bal != Ballot::FAST
+                        || self.val.is_some()
+                        || self.initial_val.as_ref().is_some_and(|iv| {
+                            *v < *iv
+                                || (self.variant == Variant::Object
+                                    && !self.ablations.no_object_guard
+                                    && *v != *iv)
+                        }))
+            }
+            Msg::TwoB(b, v) if *b == Ballot::FAST => {
+                // A fast vote only counts toward our own proposal.
+                self.initial_val.as_ref().is_some_and(|iv| iv != v)
+            }
+            Msg::TwoB(b, _) => {
+                self.decided.is_some()
+                    || *b < self.bal
+                    || (*b == self.bal && self.my_ballot != Some(*b))
+            }
+            // Redelivering a known decision still rewrites `val` (which a
+            // later `2A` may have overwritten), and a *conflicting*
+            // decision is the violation witness itself: never inert.
+            Msg::Decide(_) => false,
+            Msg::OneA(b) => *b <= self.bal,
+            Msg::OneB { bal: b, .. } => *b <= self.bal && self.my_ballot != Some(*b),
+            Msg::TwoA(b, _) => *b < self.bal,
+        }
+    }
 }
 
 #[cfg(test)]

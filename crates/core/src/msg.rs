@@ -1,7 +1,11 @@
 //! Wire messages of the two-step protocol (Figure 1).
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
 use serde::{Deserialize, Serialize};
 
+use twostep_types::relabel::{RelabelHash, Relabeling};
 use twostep_types::{Ballot, ProcessId};
 
 /// Messages exchanged by [`crate::TwoStep`].
@@ -54,6 +58,56 @@ impl<V> Msg<V> {
             Msg::OneB { bal, .. } => Some(*bal),
             Msg::Propose(_) | Msg::Decide(_) | Msg::Heartbeat => None,
         }
+    }
+}
+
+impl<V: Hash> RelabelHash for Msg<V> {
+    /// Content hash with the embedded process ids (the `OneB` proposer
+    /// and every ballot owner) mapped through `rl`. Ballots whose
+    /// owner `rl` moves decline the permutation (see
+    /// [`Relabeling::ballot`]); values are id-free and hash directly.
+    fn relabel_hash(&self, rl: &Relabeling) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        match self {
+            Msg::Propose(v) => {
+                0u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+            Msg::OneA(b) => {
+                1u8.hash(&mut h);
+                rl.ballot(*b)?.hash(&mut h);
+            }
+            Msg::OneB {
+                bal,
+                vbal,
+                val,
+                proposer,
+                decided,
+            } => {
+                2u8.hash(&mut h);
+                rl.ballot(*bal)?.hash(&mut h);
+                rl.ballot(*vbal)?.hash(&mut h);
+                val.hash(&mut h);
+                proposer.map(|p| rl.pid(p)).hash(&mut h);
+                decided.hash(&mut h);
+            }
+            Msg::TwoA(b, v) => {
+                3u8.hash(&mut h);
+                rl.ballot(*b)?.hash(&mut h);
+                v.hash(&mut h);
+            }
+            Msg::TwoB(b, v) => {
+                4u8.hash(&mut h);
+                rl.ballot(*b)?.hash(&mut h);
+                v.hash(&mut h);
+            }
+            Msg::Decide(v) => {
+                5u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+            Msg::Heartbeat => 6u8.hash(&mut h),
+        }
+        Some(h.finish())
     }
 }
 

@@ -129,6 +129,14 @@ impl<V: Value> Protocol<V> for ObjectConsensus<V> {
     fn state_fingerprint(&self) -> u64 {
         self.0.state_fingerprint()
     }
+
+    fn state_fingerprint_relabeled(&self, rl: &twostep_types::relabel::Relabeling) -> Option<u64> {
+        self.0.state_fingerprint_relabeled(rl)
+    }
+
+    fn message_is_noop(&self, from: ProcessId, msg: &Msg<V>) -> bool {
+        self.0.message_is_noop(from, msg)
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
 use twostep_types::protocol::{Effects, Protocol, TimerId};
+use twostep_types::relabel::{RelabelHash, Relabeling};
 use twostep_types::{ProcessId, ProcessSet, SystemConfig, Value};
 
 /// Identifier of an in-flight message within a [`ManualExecutor`].
@@ -32,10 +33,21 @@ pub struct InFlight<M> {
     pub to: ProcessId,
     /// Payload.
     pub msg: M,
-    /// Payload hash, precomputed at send time so that global-state
-    /// fingerprints (used heavily by the model checker) do not re-format
-    /// the message on every visit.
-    payload_hash: u64,
+    /// Content-only payload hash, precomputed at send time so that
+    /// global-state fingerprints (used heavily by the model checker) do
+    /// not re-format the message on every visit.
+    content_hash: u64,
+}
+
+impl<M> InFlight<M> {
+    /// A stable content key for this message: a hash of the payload
+    /// alone (not the endpoints, not the send position). Two in-flight
+    /// messages with equal `(from, to, content_key)` are
+    /// interchangeable, which is what makes model-checker
+    /// counterexample scripts survive state-space reduction.
+    pub fn content_key(&self) -> u64 {
+        self.content_hash
+    }
 }
 
 /// An executor in which every delivery, crash and timer firing is an
@@ -46,7 +58,12 @@ pub struct ManualExecutor<V: Value, P: Protocol<V>> {
     procs: Vec<P>,
     alive: ProcessSet,
     started: Vec<bool>,
-    inflight: Vec<Option<InFlight<P::Message>>>,
+    /// Pending messages in increasing-id (send) order. Delivered and
+    /// dropped messages are removed outright rather than tombstoned, so
+    /// cloning an executor (which the model checker does per explored
+    /// transition) costs the *current* soup, not the whole history.
+    inflight: Vec<InFlight<P::Message>>,
+    next_id: usize,
     armed: Vec<BTreeSet<TimerId>>,
     decisions: Vec<Option<V>>,
     decide_log: Vec<(ProcessId, V)>,
@@ -65,6 +82,7 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
             alive: ProcessSet::full(n),
             started: vec![false; n],
             inflight: Vec::new(),
+            next_id: 0,
             armed: vec![BTreeSet::new(); n],
             decisions: vec![None; n],
             decide_log: Vec::new(),
@@ -157,14 +175,13 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
 
     /// The messages currently in flight.
     pub fn pending(&self) -> Vec<&InFlight<P::Message>> {
-        self.inflight.iter().flatten().collect()
+        self.inflight.iter().collect()
     }
 
     /// The ids of pending messages addressed to `p`.
     pub fn pending_to(&self, p: ProcessId) -> Vec<MsgId> {
         self.inflight
             .iter()
-            .flatten()
             .filter(|m| m.to == p)
             .map(|m| m.id)
             .collect()
@@ -177,20 +194,24 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
     {
         self.inflight
             .iter()
-            .flatten()
             .filter(|m| pred(m))
             .map(|m| m.id)
             .collect()
+    }
+
+    /// Removes the pending message with id `id`, if present. Ids are
+    /// assigned in increasing order and the soup stays sorted, so this
+    /// is a binary search plus a removal.
+    fn take_inflight(&mut self, id: MsgId) -> Option<InFlight<P::Message>> {
+        let i = self.inflight.binary_search_by_key(&id, |m| m.id).ok()?;
+        Some(self.inflight.remove(i))
     }
 
     /// Delivers the message with id `id`. Returns `false` if the message
     /// no longer exists or its receiver is crashed (the message is
     /// consumed either way, matching a crash swallowing a delivery).
     pub fn deliver(&mut self, id: MsgId) -> bool {
-        let Some(slot) = self.inflight.get_mut(id.0) else {
-            return false;
-        };
-        let Some(m) = slot.take() else {
+        let Some(m) = self.take_inflight(id) else {
             return false;
         };
         if !self.alive.contains(m.to) {
@@ -211,7 +232,30 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
 
     /// Removes a pending message without delivering it.
     pub fn drop_message(&mut self, id: MsgId) -> bool {
-        self.inflight.get_mut(id.0).and_then(Option::take).is_some()
+        self.take_inflight(id).is_some()
+    }
+
+    /// Removes every pending message that can never again have an
+    /// effect: mail addressed to crashed processes, and mail whose
+    /// receiver declares it a *permanent* no-op via
+    /// [`Protocol::message_is_noop`]. Returns how many were removed.
+    ///
+    /// This is the model checker's partial-order reduction: delivering
+    /// (or not delivering) inert mail produces indistinguishable
+    /// futures, so scrubbing it quotients away up to `2^k` interleaved
+    /// subsets per `k` inert messages. It is **only sound for callers
+    /// that never [`ManualExecutor::restart`]** — a restarted process
+    /// would have been able to receive the scrubbed mail.
+    pub fn scrub_inert_mail(&mut self) -> usize {
+        let before = self.inflight.len();
+        // `retain` needs `&self.procs` while `self.inflight` is
+        // mutably borrowed, so temporarily move the soup out.
+        let mut soup = std::mem::take(&mut self.inflight);
+        soup.retain(|m| {
+            self.alive.contains(m.to) && !self.procs[m.to.index()].message_is_noop(m.from, &m.msg)
+        });
+        self.inflight = soup;
+        before - self.inflight.len()
     }
 
     /// The timers currently armed at `p`.
@@ -238,19 +282,18 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
             }
         }
         for (to, msg) in eff.sends {
-            let id = MsgId(self.inflight.len());
+            let id = MsgId(self.next_id);
+            self.next_id += 1;
             let mut h = DefaultHasher::new();
-            p.hash(&mut h);
-            to.hash(&mut h);
             format!("{msg:?}").hash(&mut h);
-            let payload_hash = h.finish();
-            self.inflight.push(Some(InFlight {
+            let content_hash = h.finish();
+            self.inflight.push(InFlight {
                 id,
                 from: p,
                 to,
                 msg,
-                payload_hash,
-            }));
+                content_hash,
+            });
         }
         for (timer, _delay) in eff.timer_sets {
             self.armed[p.index()].insert(timer);
@@ -270,11 +313,15 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
         for p in &self.procs {
             p.state_fingerprint().hash(&mut h);
         }
-        // Pending messages as a multiset, order-independent: combine the
-        // precomputed per-message hashes commutatively.
+        // Pending messages as a multiset, order-independent: combine
+        // per-message (endpoints + content) hashes commutatively.
         let mut msg_acc: u64 = 0;
-        for m in self.inflight.iter().flatten() {
-            msg_acc = msg_acc.wrapping_add(m.payload_hash);
+        for m in &self.inflight {
+            let mut mh = DefaultHasher::new();
+            m.from.hash(&mut mh);
+            m.to.hash(&mut mh);
+            m.content_hash.hash(&mut mh);
+            msg_acc = msg_acc.wrapping_add(mh.finish());
         }
         msg_acc.hash(&mut h);
         for t in &self.armed {
@@ -284,6 +331,59 @@ impl<V: Value, P: Protocol<V>> ManualExecutor<V, P> {
             format!("{d:?}").hash(&mut h);
         }
         h.finish()
+    }
+}
+
+impl<V: Value, P: Protocol<V>> ManualExecutor<V, P>
+where
+    P::Message: RelabelHash,
+{
+    /// A fingerprint of the global state *as seen through the relabeling*
+    /// `rl`: every process id (slot order, liveness, timers, decisions,
+    /// message endpoints, ids embedded in protocol state and payloads) is
+    /// mapped through `π`. Two states whose relabeled fingerprints match
+    /// under some `π` are behaviorally isomorphic, which is what the
+    /// model checker's symmetry reduction canonicalizes over.
+    ///
+    /// Returns `None` if any process state or pending payload declines
+    /// the permutation (see [`Protocol::state_fingerprint_relabeled`] and
+    /// [`RelabelHash`]); the checker then falls back to the plain
+    /// [`ManualExecutor::fingerprint`].
+    pub fn fingerprint_relabeled(&self, rl: &Relabeling) -> Option<u64> {
+        let n = self.cfg.n();
+        debug_assert_eq!(rl.n(), n);
+        let mut h = DefaultHasher::new();
+        rl.pset(self.alive).bits().hash(&mut h);
+        for j in 0..n as u32 {
+            // Slot j of the relabeled state holds original process
+            // π⁻¹(j)'s data.
+            let orig = rl.preimage(ProcessId::new(j));
+            self.started[orig.index()].hash(&mut h);
+        }
+        for j in 0..n as u32 {
+            let orig = rl.preimage(ProcessId::new(j));
+            self.procs[orig.index()]
+                .state_fingerprint_relabeled(rl)?
+                .hash(&mut h);
+        }
+        let mut msg_acc: u64 = 0;
+        for m in &self.inflight {
+            let mut mh = DefaultHasher::new();
+            rl.pid(m.from).hash(&mut mh);
+            rl.pid(m.to).hash(&mut mh);
+            m.msg.relabel_hash(rl)?.hash(&mut mh);
+            msg_acc = msg_acc.wrapping_add(mh.finish());
+        }
+        msg_acc.hash(&mut h);
+        for j in 0..n as u32 {
+            let orig = rl.preimage(ProcessId::new(j));
+            self.armed[orig.index()].hash(&mut h);
+        }
+        for j in 0..n as u32 {
+            let orig = rl.preimage(ProcessId::new(j));
+            format!("{:?}", self.decisions[orig.index()]).hash(&mut h);
+        }
+        Some(h.finish())
     }
 }
 

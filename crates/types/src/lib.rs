@@ -50,6 +50,7 @@ mod error;
 mod process;
 pub mod protocol;
 pub mod quorum;
+pub mod relabel;
 mod time;
 mod value;
 

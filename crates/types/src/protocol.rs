@@ -19,6 +19,7 @@ use std::hash::{Hash, Hasher};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
+use crate::relabel::Relabeling;
 use crate::{Duration, ProcessId, Value};
 
 /// Identifies a logical timer within a protocol instance.
@@ -225,6 +226,45 @@ pub trait Protocol<V: Value>: Debug + Send {
         let mut h = DefaultHasher::new();
         format!("{self:?}").hash(&mut h);
         h.finish()
+    }
+
+    /// A fingerprint of the local state with every embedded process id
+    /// mapped through the relabeling `rl`, used by the model checker's
+    /// process-symmetry reduction. Returning `None` (the default)
+    /// declines the permutation: the checker then falls back to the
+    /// plain fingerprint for the enclosing global state, degrading the
+    /// reduction instead of risking unsoundness. Implementations must
+    /// decline any `rl` that moves a process their behavior
+    /// distinguishes (a pinned leader, a ballot owner, …).
+    fn state_fingerprint_relabeled(&self, rl: &Relabeling) -> Option<u64> {
+        let _ = rl;
+        None
+    }
+
+    /// Whether delivering `msg` from `from` would be a *permanent*
+    /// no-op at this process, used by the model checker's
+    /// partial-order reduction to scrub inert mail from the network.
+    ///
+    /// # Contract
+    ///
+    /// Returning `true` asserts that [`Protocol::on_message`] for this
+    /// `(from, msg)` pair would produce no effects and no
+    /// fingerprint-visible state change **now and in every future
+    /// state of this process** — not just in the current state.
+    /// Protocols establish the "every future state" half through
+    /// monotonicity: a ballot too stale to join now can never become
+    /// joinable because ballots only grow, a duplicate fast vote stays
+    /// a duplicate because vote sets only grow, and so on. A message
+    /// that is merely ignored *today* (e.g. a proposal arriving before
+    /// Ω stabilizes, when a later state would act on it) must return
+    /// `false`.
+    ///
+    /// The checker prunes the message outright when this returns
+    /// `true`, so a wrong `true` silently removes schedules from the
+    /// explored space — when in doubt, keep the default.
+    fn message_is_noop(&self, from: ProcessId, msg: &Self::Message) -> bool {
+        let _ = (from, msg);
+        false
     }
 }
 

@@ -12,8 +12,10 @@
 //! * [`model_check`] — a bounded-exhaustive explorer over
 //!   [`twostep_sim::ManualExecutor`] schedules: every interleaving of
 //!   message deliveries, bounded crashes and bounded timer firings, with
-//!   state-fingerprint pruning. Checks safety in *all* schedules, not
-//!   just sampled ones.
+//!   process-symmetry canonicalization, inert-mail partial-order
+//!   reduction, and a parallel work-stealing frontier. Checks safety in
+//!   *all* schedules, not just sampled ones, and emits counterexamples
+//!   replayable through `twostep-fuzz --replay`.
 //! * [`adversary`] — the paper's lower-bound proofs (§B.1, §B.2) turned
 //!   into executable schedules: below the tight bounds the constructed
 //!   interleavings drive the real protocol into an agreement violation;
@@ -36,6 +38,8 @@ pub use adversary::{
     task_at_bound, task_at_bound_with, task_below_bound, AdversaryReport,
 };
 pub use linearizability::{History, LinearizabilityError, Op};
-pub use model_check::{Action, CheckOutcome, ModelChecker};
+pub use model_check::{
+    fuzz_replay_tokens, replay_script, Action, CheckOutcome, ExploreStats, ModelChecker,
+};
 pub use props::{check_agreement, check_integrity, check_termination, check_validity, Violation};
 pub use twostep::{check_object_conformance, check_task_conformance, ConformanceReport};

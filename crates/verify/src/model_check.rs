@@ -1,4 +1,4 @@
-//! Bounded-exhaustive schedule exploration.
+//! Exhaustive state-space exploration over the two-step protocols.
 //!
 //! The simulator samples schedules; the model checker enumerates them.
 //! Starting from `start_all()` (plus optional client proposals), it
@@ -6,44 +6,132 @@
 //!
 //! * delivering any pending message,
 //! * crashing a process (up to a bound),
-//! * firing any armed timer (up to a per-process budget — timers like
+//! * firing an armed timer (up to a per-process budget — timers like
 //!   the new-ballot timer re-arm forever, so unbounded firing would
 //!   never terminate),
 //!
-//! pruning states already visited (by global fingerprint). At every
-//! state it checks Agreement over the full decide log and Validity
-//! against the proposed values. A violation yields a replayable
-//! [`Action`] script.
+//! pruning states already visited. At every state it checks Agreement
+//! over the full decide log and Validity against the proposed values. A
+//! violation yields a replayable [`Action`] script, convertible into the
+//! `twostep-fuzz --replay` token format by [`fuzz_replay_tokens`].
 //!
-//! State counts grow fast; this is meant for `n ≤ 5` and small budgets,
-//! which is exactly the regime of the paper's bounds (the interesting
-//! configurations are `n = 2e+f-2 … 2e+f`).
+//! # Reductions
+//!
+//! Three reductions keep the boundary configurations (`n = 2e+f−2 …
+//! 2e+f`, crash budgets up to `f`) tractable; all are sound in the sense
+//! that they can hide no Agreement/Validity violation:
+//!
+//! * **Process-symmetry canonicalization** (`symmetry(true)`, the
+//!   default). A state is keyed by the *minimum* relabeled fingerprint
+//!   over a group of replica-id permutations (see
+//!   [`twostep_types::relabel`]). The group fixes every distinguished
+//!   process (builder-declared, plus any `timer_processes`) and is
+//!   restricted to the stabilizer of the *root* state, so asymmetric
+//!   initial proposals shrink the group instead of breaking soundness.
+//!   States (or in-flight payloads) that cannot be relabeled under a
+//!   permutation decline it (`None`); a state declined by every group
+//!   element falls back to its plain fingerprint. Since Agreement and
+//!   Validity are invariant under replica-id permutations, a pruned
+//!   state violates iff its explored representative's orbit does.
+//! * **Partial-order reduction by inert-mail scrubbing** (`por(true)`,
+//!   the default). After every transition the engine drops from the
+//!   network soup all mail addressed to crashed processes (sound
+//!   because the checker has no restart action) and all mail the
+//!   receiver's protocol declares a *permanent* no-op
+//!   ([`Protocol::message_is_noop`]). Delivering such a message
+//!   commutes with every other action and has no visible effect, so
+//!   each inert message would otherwise double the residual state
+//!   space (delivered-or-not, interleaved everywhere) without changing
+//!   any verdict. This is an ample-set-style reduction where the inert
+//!   deliveries form singleton ample sets of globally independent,
+//!   invisible actions — executed eagerly as "drops".
+//! * **Duplicate-delivery merging.** Two pending messages with equal
+//!   `(from, to, content)` produce identical successors; only one is
+//!   expanded.
+//!
+//! Violations are checked at successor *creation*, before dedup — the
+//! decide log is deliberately not part of the fingerprint (its length
+//! grows without bound under re-delivery), so a violating state may
+//! share a fingerprint with an already-visited clean one and must not
+//! be merged away.
+//!
+//! # Parallelism
+//!
+//! `workers(k)` explores the frontier with `k` worker threads over a
+//! sharded visited-set: each worker expands frames from a local stack
+//! and offloads half of it to a shared injector when the injector runs
+//! dry. `workers(1)` (the default) is fully deterministic.
 
 use twostep_sim::ManualExecutor;
 use twostep_types::protocol::{Protocol, TimerId};
-use twostep_types::{ProcessId, SystemConfig, Value};
+use twostep_types::relabel::{RelabelHash, Relabeling};
+use twostep_types::{ProcessId, ProcessSet, SystemConfig, Value};
 
-use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// One schedule step in a counterexample script.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Deliveries are identified by *stable message content*
+/// (`(from, to, content_key)`, see
+/// [`twostep_sim::InFlight::content_key`]), not by pending-list
+/// position: positions shift under reduction and across replay
+/// environments, content does not. Two pending messages with the same
+/// triple are interchangeable by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
-    /// Deliver the in-flight message described by `(from, to, kind)`;
-    /// `index` is its position among pending messages at that point.
+    /// Deliver the pending message with this sender, receiver and
+    /// payload content key.
     Deliver {
-        /// Position in the pending list when taken.
-        index: usize,
         /// Sender.
         from: ProcessId,
         /// Receiver.
         to: ProcessId,
-        /// Debug rendering of the payload.
-        describe: String,
+        /// Stable payload hash ([`twostep_sim::InFlight::content_key`]).
+        key: u64,
     },
     /// Crash a process.
     Crash(ProcessId),
     /// Fire an armed timer.
     Fire(ProcessId, TimerId),
+}
+
+/// Counters describing one exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Distinct states visited (after reduction).
+    pub states: usize,
+    /// Transitions executed (successor states generated, pre-dedup).
+    pub transitions: usize,
+    /// Successors merged into an already-visited state.
+    pub deduped: usize,
+    /// Inert messages scrubbed by the partial-order reduction.
+    pub scrubbed: usize,
+    /// States keyed through the symmetry canonicalization.
+    pub sym_canonical: usize,
+    /// States where every permutation declined (plain-fingerprint
+    /// fallback).
+    pub sym_fallback: usize,
+    /// Wall-clock exploration time.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl ExploreStats {
+    /// Visited states per second of wall-clock exploration.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            self.states as f64
+        }
+    }
 }
 
 /// Result of a bounded exploration.
@@ -56,6 +144,8 @@ pub enum CheckOutcome {
         /// Whether exploration hit the state bound (so the result is a
         /// bounded guarantee, not a proof).
         truncated: bool,
+        /// Exploration counters.
+        stats: ExploreStats,
     },
     /// A schedule violating safety, with the script that reaches it.
     Violation {
@@ -65,6 +155,8 @@ pub enum CheckOutcome {
         script: Vec<Action>,
         /// Distinct states visited before finding it.
         states: usize,
+        /// Exploration counters.
+        stats: ExploreStats,
     },
 }
 
@@ -72,6 +164,14 @@ impl CheckOutcome {
     /// Whether the exploration found no violation.
     pub fn is_clean(&self) -> bool {
         matches!(self, CheckOutcome::Clean { .. })
+    }
+
+    /// The exploration counters, whichever way it ended.
+    pub fn stats(&self) -> &ExploreStats {
+        match self {
+            CheckOutcome::Clean { stats, .. } => stats,
+            CheckOutcome::Violation { stats, .. } => stats,
+        }
     }
 }
 
@@ -81,19 +181,30 @@ pub struct ModelChecker<V: Value> {
     max_crashes: usize,
     timer_budget: usize,
     timers: Vec<TimerId>,
+    timer_processes: Option<ProcessSet>,
     proposed: Vec<V>,
+    symmetry: bool,
+    por: bool,
+    workers: usize,
+    distinguished: ProcessSet,
 }
 
 impl<V: Value> ModelChecker<V> {
     /// Creates a checker with defaults: 200 000 states, no crashes, no
-    /// timer firings.
+    /// timer firings, symmetry + partial-order reduction on, one
+    /// worker.
     pub fn new() -> Self {
         ModelChecker {
             max_states: 200_000,
             max_crashes: 0,
             timer_budget: 0,
             timers: vec![TimerId::NEW_BALLOT],
+            timer_processes: None,
             proposed: Vec::new(),
+            symmetry: true,
+            por: true,
+            workers: 1,
+            distinguished: ProcessSet::new(),
         }
     }
 
@@ -118,9 +229,44 @@ impl<V: Value> ModelChecker<V> {
         self
     }
 
+    /// Restricts timer firings to the given processes (e.g. only the
+    /// pinned leader's new-ballot timer matters in a static-Ω sweep).
+    /// These processes are implicitly distinguished for the symmetry
+    /// reduction.
+    pub fn timer_processes(mut self, procs: ProcessSet) -> Self {
+        self.timer_processes = Some(procs);
+        self
+    }
+
     /// Declares the set of proposed values for the Validity check.
     pub fn proposed(mut self, values: Vec<V>) -> Self {
         self.proposed = values;
+        self
+    }
+
+    /// Enables or disables the process-symmetry canonicalization.
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
+    /// Enables or disables the inert-mail partial-order reduction.
+    pub fn por(mut self, on: bool) -> Self {
+        self.por = on;
+        self
+    }
+
+    /// Number of exploration worker threads (default 1, deterministic).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Marks processes whose identity the *environment* distinguishes
+    /// (beyond what the protocols themselves decline): the symmetry
+    /// group will fix them pointwise.
+    pub fn distinguished(mut self, procs: ProcessSet) -> Self {
+        self.distinguished = procs;
         self
     }
 
@@ -130,97 +276,165 @@ impl<V: Value> ModelChecker<V> {
     /// (typically: build, `start_all()`, issue proposals).
     pub fn run<P, F>(&self, cfg: SystemConfig, setup: F) -> CheckOutcome
     where
+        V: Sync,
         P: Protocol<V> + Clone,
+        P::Message: RelabelHash,
         F: Fn(SystemConfig) -> ManualExecutor<V, P>,
     {
-        // (executor, script, crashes_used, timer_fires_per_process)
-        type Frame<V, P> = (ManualExecutor<V, P>, Vec<Action>, usize, Vec<usize>);
-        let root = setup(cfg);
-        let mut visited: HashSet<u64> = HashSet::new();
-        let mut stack: Vec<Frame<V, P>> = Vec::new();
-        visited.insert(root.fingerprint());
-        stack.push((root, Vec::new(), 0, vec![0; cfg.n()]));
-        let mut states = 1usize;
+        self.explore(cfg, setup, None)
+    }
 
-        while let Some((ex, script, crashes, fires)) = stack.pop() {
-            // Safety checks on the popped state.
-            if let Some(report) = self.violated(&ex) {
-                return CheckOutcome::Violation {
+    /// Like [`ModelChecker::run`], additionally collecting the set of
+    /// decision vectors (`decisions()` snapshots) over all visited
+    /// states — the observable the reduction-equivalence tests compare
+    /// against unreduced exploration. The set is only complete when the
+    /// outcome is `Clean` and untruncated (a violation stops the
+    /// search).
+    pub fn run_collecting<P, F>(
+        &self,
+        cfg: SystemConfig,
+        setup: F,
+    ) -> (CheckOutcome, BTreeSet<Vec<Option<V>>>)
+    where
+        V: Sync,
+        P: Protocol<V> + Clone,
+        P::Message: RelabelHash,
+        F: Fn(SystemConfig) -> ManualExecutor<V, P>,
+    {
+        let collector = Mutex::new(BTreeSet::new());
+        let outcome = self.explore(cfg, setup, Some(&collector));
+        (outcome, collector.into_inner().unwrap())
+    }
+
+    fn explore<P, F>(
+        &self,
+        cfg: SystemConfig,
+        setup: F,
+        collect: Option<&Mutex<BTreeSet<Vec<Option<V>>>>>,
+    ) -> CheckOutcome
+    where
+        V: Sync,
+        P: Protocol<V> + Clone,
+        P::Message: RelabelHash,
+        F: Fn(SystemConfig) -> ManualExecutor<V, P>,
+    {
+        let start = Instant::now();
+        let n = cfg.n();
+        let mut root = setup(cfg);
+        let mut scrubbed_at_root = 0;
+        if self.por {
+            scrubbed_at_root = root.scrub_inert_mail();
+        }
+
+        // The symmetry group: permutations fixing every distinguished
+        // process, restricted to the stabilizer of the root state (a
+        // permutation that changes the root would equate runs of
+        // *different* systems, e.g. swapping processes with different
+        // initial proposals).
+        let mut distinguished = self.distinguished;
+        if let Some(tp) = self.timer_processes {
+            for p in tp.iter() {
+                distinguished.insert(p);
+            }
+        }
+        let identity = Relabeling::identity(n);
+        let group: Vec<Relabeling> = if self.symmetry {
+            match root.fingerprint_relabeled(&identity) {
+                None => vec![identity.clone()],
+                Some(root_fp) => Relabeling::permutations_fixing(n, distinguished)
+                    .into_iter()
+                    .filter(|rl| root.fingerprint_relabeled(rl) == Some(root_fp))
+                    .collect(),
+            }
+        } else {
+            vec![identity.clone()]
+        };
+
+        let shared = Shared {
+            visited: (0..VISITED_SHARDS)
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+            queue: Mutex::new(Vec::new()),
+            idle: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            truncated: AtomicBool::new(false),
+            violation: Mutex::new(None),
+            arena: Mutex::new(Vec::new()),
+            states: AtomicUsize::new(0),
+            transitions: AtomicUsize::new(0),
+            deduped: AtomicUsize::new(0),
+            scrubbed: AtomicUsize::new(scrubbed_at_root),
+            sym_canonical: AtomicUsize::new(0),
+            sym_fallback: AtomicUsize::new(0),
+        };
+        let engine = Engine {
+            checker: self,
+            group: &group,
+            shared: &shared,
+            collect,
+        };
+
+        // Seed with the root.
+        let root_fires = vec![0usize; n];
+        let (root_key, root_canonical) = engine.canonical_key(&root, &root_fires);
+        engine.record_key_scheme(root_canonical);
+        engine.insert_visited(root_key);
+        shared.states.store(1, Ordering::SeqCst);
+        if let Some(c) = collect {
+            c.lock().unwrap().insert(root.decisions().to_vec());
+        }
+        if let Some(report) = self.violated(&root) {
+            return CheckOutcome::Violation {
+                report,
+                script: Vec::new(),
+                states: 1,
+                stats: engine.stats_snapshot(start),
+            };
+        }
+        shared.in_flight.store(1, Ordering::SeqCst);
+        shared.queue.lock().unwrap().push(Frame {
+            ex: root,
+            node: ROOT_NODE,
+            crashes: 0,
+            fires: root_fires,
+        });
+
+        if self.workers == 1 {
+            engine.worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..self.workers {
+                    s.spawn(|| engine.worker());
+                }
+            });
+        }
+
+        let stats = engine.stats_snapshot(start);
+        let states = stats.states;
+        let violation = shared.violation.lock().unwrap().take();
+        match violation {
+            Some((report, node)) => {
+                let arena = shared.arena.lock().unwrap();
+                let mut script = Vec::new();
+                let mut cur = node;
+                while cur != ROOT_NODE {
+                    script.push(arena[cur].action);
+                    cur = arena[cur].parent;
+                }
+                script.reverse();
+                CheckOutcome::Violation {
                     report,
                     script,
                     states,
-                };
-            }
-            if states >= self.max_states {
-                return CheckOutcome::Clean {
-                    states,
-                    truncated: true,
-                };
-            }
-
-            // Enumerate successor actions.
-            // 1. Deliveries.
-            let pending: Vec<(usize, ProcessId, ProcessId, String)> = ex
-                .pending()
-                .iter()
-                .enumerate()
-                .map(|(i, m)| (i, m.from, m.to, format!("{:?}", m.msg)))
-                .collect();
-            for (index, from, to, describe) in pending {
-                let mut next = ex.clone();
-                let ids = next.pending_matching(|_| true);
-                next.deliver(ids[index]);
-                if visited.insert(next.fingerprint()) {
-                    states += 1;
-                    let mut s = script.clone();
-                    s.push(Action::Deliver {
-                        index,
-                        from,
-                        to,
-                        describe,
-                    });
-                    stack.push((next, s, crashes, fires.clone()));
+                    stats,
                 }
             }
-            // 2. Crashes.
-            if crashes < self.max_crashes {
-                for p in ex.alive().iter() {
-                    let mut next = ex.clone();
-                    next.crash(p);
-                    if visited.insert(next.fingerprint()) {
-                        states += 1;
-                        let mut s = script.clone();
-                        s.push(Action::Crash(p));
-                        stack.push((next, s, crashes + 1, fires.clone()));
-                    }
-                }
-            }
-            // 3. Timer firings.
-            for p in ex.alive().iter() {
-                if fires[p.index()] >= self.timer_budget {
-                    continue;
-                }
-                for timer in ex.armed_timers(p) {
-                    if !self.timers.contains(&timer) {
-                        continue;
-                    }
-                    let mut next = ex.clone();
-                    next.fire_timer(p, timer);
-                    if visited.insert(next.fingerprint()) {
-                        states += 1;
-                        let mut s = script.clone();
-                        s.push(Action::Fire(p, timer));
-                        let mut f2 = fires.clone();
-                        f2[p.index()] += 1;
-                        stack.push((next, s, crashes, f2));
-                    }
-                }
-            }
-        }
-
-        CheckOutcome::Clean {
-            states,
-            truncated: false,
+            None => CheckOutcome::Clean {
+                states,
+                truncated: shared.truncated.load(Ordering::SeqCst),
+                stats,
+            },
         }
     }
 
@@ -252,6 +466,391 @@ impl<V: Value> Default for ModelChecker<V> {
     }
 }
 
+/// Visited-set shards; keys are distributed by `key % VISITED_SHARDS`.
+const VISITED_SHARDS: usize = 64;
+/// Arena sentinel for "no parent" (the root state).
+const ROOT_NODE: usize = usize::MAX;
+
+/// Parent-pointer trace node: scripts are reconstructed by walking the
+/// arena backwards from the violating state, so frames carry one
+/// `usize` instead of a cloned `Vec<Action>` each.
+struct ArenaNode {
+    parent: usize,
+    action: Action,
+}
+
+struct Frame<V: Value, P: Protocol<V>> {
+    ex: ManualExecutor<V, P>,
+    node: usize,
+    crashes: usize,
+    fires: Vec<usize>,
+}
+
+struct Shared<V: Value, P: Protocol<V>> {
+    visited: Vec<Mutex<HashSet<u64>>>,
+    queue: Mutex<Vec<Frame<V, P>>>,
+    idle: Condvar,
+    /// Frames created but not yet fully expanded; 0 means exploration
+    /// is complete.
+    in_flight: AtomicUsize,
+    stop: AtomicBool,
+    truncated: AtomicBool,
+    violation: Mutex<Option<(String, usize)>>,
+    arena: Mutex<Vec<ArenaNode>>,
+    states: AtomicUsize,
+    transitions: AtomicUsize,
+    deduped: AtomicUsize,
+    scrubbed: AtomicUsize,
+    sym_canonical: AtomicUsize,
+    sym_fallback: AtomicUsize,
+}
+
+struct Engine<'a, V: Value, P: Protocol<V>> {
+    checker: &'a ModelChecker<V>,
+    group: &'a [Relabeling],
+    shared: &'a Shared<V, P>,
+    collect: Option<&'a Mutex<BTreeSet<Vec<Option<V>>>>>,
+}
+
+impl<'a, V: Value, P: Protocol<V> + Clone> Engine<'a, V, P>
+where
+    P::Message: RelabelHash,
+{
+    /// Canonical visited-set key of a state: the minimum relabeled
+    /// fingerprint over the symmetry group (with the per-process timer
+    /// budget residuals permuted alongside), or the plain fingerprint
+    /// when every permutation declines. The two schemes are tagged so
+    /// they occupy disjoint key spaces; within one run the scheme is
+    /// uniform because the identity permutation never declines for a
+    /// protocol that implements relabeled fingerprints at all.
+    fn canonical_key(&self, ex: &ManualExecutor<V, P>, fires: &[usize]) -> (u64, bool) {
+        let mut best: Option<u64> = None;
+        for rl in self.group {
+            if let Some(fp) = ex.fingerprint_relabeled(rl) {
+                let mut h = DefaultHasher::new();
+                1u8.hash(&mut h);
+                fp.hash(&mut h);
+                for j in 0..fires.len() {
+                    fires[rl.preimage(ProcessId::new(j as u32)).index()].hash(&mut h);
+                }
+                let key = h.finish();
+                best = Some(best.map_or(key, |b| b.min(key)));
+            }
+        }
+        match best {
+            Some(key) => (key, true),
+            None => {
+                let mut h = DefaultHasher::new();
+                0u8.hash(&mut h);
+                ex.fingerprint().hash(&mut h);
+                fires.hash(&mut h);
+                (h.finish(), false)
+            }
+        }
+    }
+
+    fn record_key_scheme(&self, canonical: bool) {
+        if canonical {
+            self.shared.sym_canonical.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.shared.sym_fallback.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn insert_visited(&self, key: u64) -> bool {
+        let shard = (key % VISITED_SHARDS as u64) as usize;
+        self.shared.visited[shard].lock().unwrap().insert(key)
+    }
+
+    fn stats_snapshot(&self, start: Instant) -> ExploreStats {
+        let s = self.shared;
+        ExploreStats {
+            states: s.states.load(Ordering::SeqCst),
+            transitions: s.transitions.load(Ordering::SeqCst),
+            deduped: s.deduped.load(Ordering::SeqCst),
+            scrubbed: s.scrubbed.load(Ordering::SeqCst),
+            sym_canonical: s.sym_canonical.load(Ordering::SeqCst),
+            sym_fallback: s.sym_fallback.load(Ordering::SeqCst),
+            elapsed: start.elapsed(),
+            workers: self.checker.workers,
+        }
+    }
+
+    fn halt(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _guard = self.shared.queue.lock().unwrap();
+        self.shared.idle.notify_all();
+    }
+
+    /// Worker loop: expand frames from a local stack, refill from (and
+    /// offload to) the shared injector.
+    fn worker(&self) {
+        let mut local: Vec<Frame<V, P>> = Vec::new();
+        loop {
+            let frame = match local.pop() {
+                Some(f) => f,
+                None => {
+                    let mut queue = self.shared.queue.lock().unwrap();
+                    loop {
+                        if self.shared.stop.load(Ordering::SeqCst)
+                            || self.shared.in_flight.load(Ordering::SeqCst) == 0
+                        {
+                            return;
+                        }
+                        if let Some(f) = queue.pop() {
+                            break f;
+                        }
+                        queue = self.shared.idle.wait(queue).unwrap();
+                    }
+                }
+            };
+            self.expand(frame, &mut local);
+            if self.shared.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last frame done: wake idle workers so they observe
+                // in_flight == 0 and exit.
+                let _guard = self.shared.queue.lock().unwrap();
+                self.shared.idle.notify_all();
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // Work stealing, donor side: when the injector is dry and
+            // we hold more than one frame, donate the older half.
+            if local.len() > 1 {
+                if let Ok(mut queue) = self.shared.queue.try_lock() {
+                    if queue.is_empty() {
+                        let donate = local.len() / 2;
+                        queue.extend(local.drain(..donate));
+                        self.shared.idle.notify_all();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies every enabled action to `frame`, pushing new states onto
+    /// `local`.
+    fn expand(&self, frame: Frame<V, P>, local: &mut Vec<Frame<V, P>>) {
+        let ck = self.checker;
+        let ex = &frame.ex;
+
+        // 1. Deliveries, one per distinct (from, to, content) triple —
+        //    duplicate messages yield identical successors.
+        let mut seen: HashSet<(ProcessId, ProcessId, u64)> = HashSet::new();
+        let deliveries: Vec<Action> = ex
+            .pending()
+            .iter()
+            .filter(|m| seen.insert((m.from, m.to, m.content_key())))
+            .map(|m| Action::Deliver {
+                from: m.from,
+                to: m.to,
+                key: m.content_key(),
+            })
+            .collect();
+        for action in deliveries {
+            self.push_successor(&frame, action, local);
+        }
+        // 2. Crashes.
+        if frame.crashes < ck.max_crashes {
+            for p in ex.alive().iter() {
+                self.push_successor(&frame, Action::Crash(p), local);
+            }
+        }
+        // 3. Timer firings.
+        for p in ex.alive().iter() {
+            if frame.fires[p.index()] >= ck.timer_budget {
+                continue;
+            }
+            if let Some(allowed) = ck.timer_processes {
+                if !allowed.contains(p) {
+                    continue;
+                }
+            }
+            for timer in ex.armed_timers(p) {
+                if !ck.timers.contains(&timer) {
+                    continue;
+                }
+                self.push_successor(&frame, Action::Fire(p, timer), local);
+            }
+        }
+    }
+
+    fn push_successor(&self, frame: &Frame<V, P>, action: Action, local: &mut Vec<Frame<V, P>>) {
+        if self.shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let ck = self.checker;
+        let mut next = frame.ex.clone();
+        let mut crashes = frame.crashes;
+        let mut fires = frame.fires.clone();
+        match action {
+            Action::Deliver { from, to, key } => {
+                let id = next
+                    .pending_matching(|m| m.from == from && m.to == to && m.content_key() == key)
+                    .into_iter()
+                    .next()
+                    .expect("enumerated delivery exists");
+                next.deliver(id);
+            }
+            Action::Crash(p) => {
+                next.crash(p);
+                crashes += 1;
+            }
+            Action::Fire(p, t) => {
+                next.fire_timer(p, t);
+                fires[p.index()] += 1;
+            }
+        }
+        self.shared.transitions.fetch_add(1, Ordering::SeqCst);
+        if ck.por {
+            let dropped = next.scrub_inert_mail();
+            if dropped > 0 {
+                self.shared.scrubbed.fetch_add(dropped, Ordering::SeqCst);
+            }
+        }
+
+        // Violation check *before* dedup: the decide log is not part of
+        // the fingerprint, so a violating state may collide with a
+        // clean visited one and must not be merged away.
+        if let Some(report) = ck.violated(&next) {
+            let node = {
+                let mut arena = self.shared.arena.lock().unwrap();
+                arena.push(ArenaNode {
+                    parent: frame.node,
+                    action,
+                });
+                arena.len() - 1
+            };
+            let mut slot = self.shared.violation.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some((report, node));
+            }
+            drop(slot);
+            self.halt();
+            return;
+        }
+
+        let (key, canonical) = self.canonical_key(&next, &fires);
+        if !self.insert_visited(key) {
+            self.shared.deduped.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        self.record_key_scheme(canonical);
+        let states = self.shared.states.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(c) = self.collect {
+            c.lock().unwrap().insert(next.decisions().to_vec());
+        }
+        if states >= ck.max_states {
+            self.shared.truncated.store(true, Ordering::SeqCst);
+            self.halt();
+            return;
+        }
+        let node = {
+            let mut arena = self.shared.arena.lock().unwrap();
+            arena.push(ArenaNode {
+                parent: frame.node,
+                action,
+            });
+            arena.len() - 1
+        };
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        local.push(Frame {
+            ex: next,
+            node,
+            crashes,
+            fires,
+        });
+    }
+}
+
+/// Replays a counterexample `script` against `ex` (typically a fresh
+/// executor from the same `setup` closure the checker ran). Returns
+/// `false` if any step did not apply — a sign the executor was built
+/// differently from the checked one.
+///
+/// Deliveries match the first pending message (in send order) with the
+/// scripted `(from, to, content_key)` triple; equal-triple duplicates
+/// are interchangeable, so the choice cannot change any decision.
+pub fn replay_script<V, P>(ex: &mut ManualExecutor<V, P>, script: &[Action]) -> bool
+where
+    V: Value,
+    P: Protocol<V>,
+{
+    for action in script {
+        match *action {
+            Action::Deliver { from, to, key } => {
+                let Some(id) = ex
+                    .pending_matching(|m| m.from == from && m.to == to && m.content_key() == key)
+                    .into_iter()
+                    .next()
+                else {
+                    return false;
+                };
+                ex.deliver(id);
+            }
+            Action::Crash(p) => ex.crash(p),
+            Action::Fire(p, t) => {
+                if !ex.fire_timer(p, t) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Renders `script` in the `twostep-fuzz --replay` token format
+/// (`i:K` deliver-by-index, `c:A` crash, `t:A.K` fire timer `K` of
+/// process `A`), replaying it against a fresh executor built by
+/// `setup` — which must match the closure handed to
+/// [`ModelChecker::run`].
+///
+/// The fuzzer addresses pending messages and armed timers
+/// *positionally*, and it never scrubs inert mail, so the positions are
+/// computed against the unreduced soup the fuzzer will actually see
+/// (scrubbed-in-the-checker messages linger there harmlessly: by
+/// construction they are permanent no-ops or addressed to the dead).
+/// Returns `None` if the script references a message or timer the
+/// replay executor does not have.
+pub fn fuzz_replay_tokens<V, P, F>(
+    cfg: SystemConfig,
+    setup: F,
+    script: &[Action],
+) -> Option<Vec<String>>
+where
+    V: Value,
+    P: Protocol<V>,
+    F: FnOnce(SystemConfig) -> ManualExecutor<V, P>,
+{
+    let mut ex = setup(cfg);
+    let mut out = Vec::with_capacity(script.len());
+    for action in script {
+        match *action {
+            Action::Deliver { from, to, key } => {
+                let (pos, id) = {
+                    let pending = ex.pending();
+                    let pos = pending
+                        .iter()
+                        .position(|m| m.from == from && m.to == to && m.content_key() == key)?;
+                    (pos, pending[pos].id)
+                };
+                out.push(format!("i:{pos}"));
+                ex.deliver(id);
+            }
+            Action::Crash(p) => {
+                out.push(format!("c:{}", p.as_u32()));
+                ex.crash(p);
+            }
+            Action::Fire(p, t) => {
+                let pos = ex.armed_timers(p).iter().position(|&x| x == t)?;
+                out.push(format!("t:{}.{pos}", p.as_u32()));
+                ex.fire_timer(p, t);
+            }
+        }
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +859,8 @@ mod tests {
 
     #[derive(Debug, Clone, Serialize, Deserialize)]
     struct M(u64);
+
+    impl RelabelHash for M {}
 
     /// Deliberately broken "consensus": decide the first value received.
     #[derive(Debug, Clone)]
@@ -289,6 +890,11 @@ mod tests {
         fn decision(&self) -> Option<u64> {
             self.decided
         }
+        fn message_is_noop(&self, _: ProcessId, _: &M) -> bool {
+            // Once decided, further messages change nothing — and
+            // `decided` is never cleared.
+            self.decided.is_some()
+        }
     }
 
     /// Trivially safe: never decides.
@@ -309,21 +915,28 @@ mod tests {
         fn decision(&self) -> Option<u64> {
             None
         }
+        fn message_is_noop(&self, _: ProcessId, _: &M) -> bool {
+            true
+        }
+    }
+
+    fn first_wins(cfg: SystemConfig) -> ManualExecutor<u64, FirstWins> {
+        let mut ex = ManualExecutor::new(cfg, |q| FirstWins {
+            me: q,
+            n: cfg.n(),
+            value: u64::from(q.as_u32()),
+            decided: None,
+        });
+        ex.start_all();
+        ex
     }
 
     #[test]
     fn finds_agreement_violation_in_broken_protocol() {
         let cfg = SystemConfig::new(3, 1, 1).unwrap();
-        let outcome = ModelChecker::new().proposed(vec![0, 1, 2]).run(cfg, |cfg| {
-            let mut ex = ManualExecutor::new(cfg, |q| FirstWins {
-                me: q,
-                n: cfg.n(),
-                value: u64::from(q.as_u32()),
-                decided: None,
-            });
-            ex.start_all();
-            ex
-        });
+        let outcome = ModelChecker::new()
+            .proposed(vec![0, 1, 2])
+            .run(cfg, first_wins);
         let CheckOutcome::Violation { report, script, .. } = outcome else {
             panic!("first-wins must violate agreement under some schedule");
         };
@@ -334,33 +947,12 @@ mod tests {
     #[test]
     fn counterexample_script_replays_to_the_violation() {
         let cfg = SystemConfig::new(3, 1, 1).unwrap();
-        let build = |cfg: SystemConfig| {
-            let mut ex = ManualExecutor::new(cfg, |q| FirstWins {
-                me: q,
-                n: cfg.n(),
-                value: u64::from(q.as_u32()),
-                decided: None,
-            });
-            ex.start_all();
-            ex
-        };
-        let CheckOutcome::Violation { script, .. } = ModelChecker::new().run(cfg, build) else {
+        let CheckOutcome::Violation { script, .. } = ModelChecker::new().run(cfg, first_wins)
+        else {
             panic!("expected a violation");
         };
-        // Replay.
-        let mut ex = build(cfg);
-        for action in &script {
-            match action {
-                Action::Deliver { index, .. } => {
-                    let ids = ex.pending_matching(|_| true);
-                    ex.deliver(ids[*index]);
-                }
-                Action::Crash(q) => ex.crash(*q),
-                Action::Fire(q, t) => {
-                    ex.fire_timer(*q, *t);
-                }
-            }
-        }
+        let mut ex = first_wins(cfg);
+        assert!(replay_script(&mut ex, &script), "script must apply");
         assert!(
             !ex.agreement(),
             "replayed script must reproduce the violation"
@@ -368,20 +960,86 @@ mod tests {
     }
 
     #[test]
+    fn violation_script_survives_reduction_toggles() {
+        // Content-keyed actions replay identically whether or not the
+        // finding run reduced its state space.
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        for (symmetry, por) in [(false, false), (true, false), (false, true), (true, true)] {
+            let outcome = ModelChecker::new()
+                .symmetry(symmetry)
+                .por(por)
+                .run(cfg, first_wins);
+            let CheckOutcome::Violation { script, .. } = outcome else {
+                panic!("expected a violation at symmetry={symmetry} por={por}");
+            };
+            let mut ex = first_wins(cfg);
+            assert!(replay_script(&mut ex, &script));
+            assert!(!ex.agreement(), "symmetry={symmetry} por={por}");
+        }
+    }
+
+    #[test]
+    fn fuzz_tokens_positionally_encode_the_script() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let CheckOutcome::Violation { script, .. } = ModelChecker::new().run(cfg, first_wins)
+        else {
+            panic!("expected a violation");
+        };
+        let tokens = fuzz_replay_tokens(cfg, first_wins, &script).expect("script must tokenize");
+        assert_eq!(tokens.len(), script.len());
+        assert!(tokens.iter().all(|t| t.starts_with("i:")));
+        // Decode the positional tokens the way the fuzzer does and
+        // check the violation still reproduces.
+        let mut ex = first_wins(cfg);
+        for t in &tokens {
+            let k: usize = t.strip_prefix("i:").unwrap().parse().unwrap();
+            let ids: Vec<_> = ex.pending().iter().map(|m| m.id).collect();
+            ex.deliver(ids[k % ids.len()]);
+        }
+        assert!(!ex.agreement());
+    }
+
+    #[test]
     fn clean_protocol_reports_clean() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = ModelChecker::<u64>::new().por(false).run(cfg, |cfg| {
+            let mut ex = ManualExecutor::new(cfg, Mute);
+            ex.start_all();
+            ex
+        });
+        match outcome {
+            CheckOutcome::Clean {
+                states, truncated, ..
+            } => {
+                assert!(!truncated);
+                assert!(states >= 2, "at least root + one delivery");
+            }
+            CheckOutcome::Violation { report, .. } => panic!("mute protocol violated: {report}"),
+        }
+    }
+
+    #[test]
+    fn por_scrubs_inert_mail() {
+        // Mute declares every message a permanent no-op: with POR on,
+        // the whole soup is scrubbed at the root and exploration
+        // collapses to the single root state.
         let cfg = SystemConfig::new(3, 1, 1).unwrap();
         let outcome = ModelChecker::<u64>::new().run(cfg, |cfg| {
             let mut ex = ManualExecutor::new(cfg, Mute);
             ex.start_all();
             ex
         });
-        match outcome {
-            CheckOutcome::Clean { states, truncated } => {
-                assert!(!truncated);
-                assert!(states >= 2, "at least root + one delivery");
-            }
-            CheckOutcome::Violation { report, .. } => panic!("mute protocol violated: {report}"),
-        }
+        let CheckOutcome::Clean {
+            states,
+            truncated,
+            stats,
+        } = outcome
+        else {
+            panic!("mute protocol must be clean");
+        };
+        assert!(!truncated);
+        assert_eq!(states, 1, "all mail was inert");
+        assert_eq!(stats.scrubbed, 3, "every Mute send scrubbed at root");
     }
 
     #[test]
@@ -427,11 +1085,47 @@ mod tests {
         // With crashes enabled, Mute stays clean and exploration
         // terminates (crashes only shrink behavior).
         let cfg = SystemConfig::new(3, 1, 1).unwrap();
-        let outcome = ModelChecker::<u64>::new().max_crashes(1).run(cfg, |cfg| {
-            let mut ex = ManualExecutor::new(cfg, Mute);
+        let outcome = ModelChecker::<u64>::new()
+            .max_crashes(1)
+            .por(false)
+            .run(cfg, |cfg| {
+                let mut ex = ManualExecutor::new(cfg, Mute);
+                ex.start_all();
+                ex
+            });
+        assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn parallel_exploration_matches_single_worker() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let build = |cfg: SystemConfig| {
+            let mut ex = ManualExecutor::new(cfg, |q| FirstWins {
+                me: q,
+                n: cfg.n(),
+                value: 7,
+                decided: None,
+            });
             ex.start_all();
             ex
-        });
-        assert!(outcome.is_clean());
+        };
+        let single = ModelChecker::<u64>::new().run(cfg, build);
+        let multi = ModelChecker::<u64>::new().workers(4).run(cfg, build);
+        let (CheckOutcome::Clean { states: s1, .. }, CheckOutcome::Clean { states: s2, .. }) =
+            (&single, &multi)
+        else {
+            panic!("same-value first-wins cannot violate");
+        };
+        assert_eq!(s1, s2, "visited-state count is schedule-independent");
+        assert_eq!(multi.stats().workers, 4);
+    }
+
+    #[test]
+    fn stats_report_rates_and_counters() {
+        let cfg = SystemConfig::new(3, 1, 1).unwrap();
+        let outcome = ModelChecker::new().run(cfg, first_wins);
+        let stats = outcome.stats();
+        assert!(stats.transitions >= stats.states - 1);
+        assert!(stats.states_per_sec() > 0.0);
     }
 }

@@ -33,7 +33,9 @@ fn model_check_task_fast_path_all_schedules() {
             ex
         });
     match outcome {
-        CheckOutcome::Clean { states, truncated } => {
+        CheckOutcome::Clean {
+            states, truncated, ..
+        } => {
             assert!(!truncated, "exploration must finish within the bound");
             assert!(
                 states > 50,
@@ -281,7 +283,9 @@ fn model_check_finds_object_guard_ablation_bug() {
             );
             assert!(!script.is_empty());
         }
-        CheckOutcome::Clean { states, truncated } => {
+        CheckOutcome::Clean {
+            states, truncated, ..
+        } => {
             panic!("model checker missed the ablation bug ({states} states, truncated={truncated})")
         }
     }

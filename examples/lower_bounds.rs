@@ -130,6 +130,7 @@ fn main() {
             report,
             script,
             states,
+            ..
         } => {
             println!("found after {states} states: {report}");
             println!("counterexample schedule ({} steps):", script.len());
@@ -137,7 +138,9 @@ fn main() {
                 println!("  {i:>2}. {action:?}");
             }
         }
-        CheckOutcome::Clean { states, truncated } => {
+        CheckOutcome::Clean {
+            states, truncated, ..
+        } => {
             panic!("missed the bug ({states} states, truncated={truncated})")
         }
     }
