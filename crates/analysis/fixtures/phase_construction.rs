@@ -1,0 +1,27 @@
+//! Lint fixture: typestate phase types constructed outside
+//! `crates/core`, which would bypass the constructors that force the
+//! `1A` broadcast and the decision effect.
+//! Expected findings: exactly two `phase-construction` (the struct
+//! literal and the associated-function call); the variant uses and the
+//! enum declaration below must stay clean.
+
+pub enum DemoEvent {
+    Decided { value: u64 },
+    Collecting,
+}
+
+pub fn forge_decision() -> Decided {
+    Decided { value: 7, path: 0 }
+}
+
+pub fn forge_recovery() -> RecoveryGt {
+    RecoveryGt::new(7)
+}
+
+pub fn legal_variant_use() -> DemoEvent {
+    DemoEvent::Decided { value: 7 }
+}
+
+pub fn legal_kind_check(e: &DemoEvent) -> bool {
+    matches!(e, DemoEvent::Collecting)
+}

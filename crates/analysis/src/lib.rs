@@ -28,6 +28,7 @@
 //!   exhaustive interleaving checks for the telemetry observer handle
 //!   and the transport reconnect bookkeeping.
 
+pub mod api;
 pub mod bounds;
 pub mod byz_bounds;
 pub mod lexer;

@@ -1,8 +1,10 @@
 //! CI gate binary for the static-analysis suite.
 //!
 //! ```text
-//! twostep-analysis <bounds|lint|model-check|all> [options]
+//! twostep-analysis <bounds|lint|api|model-check|all> [options]
 //!   --all               shorthand for the `all` subcommand
+//!   --bless             `api` only: regenerate docs/public-api.txt
+//!                       instead of diffing against it
 //!   --max-n N           bound-sweep cap (default 25)
 //!   --fixture NAME      run bounds against a seeded-broken model
 //!                       (broken-fast-quorum | broken-recovery-threshold
@@ -25,6 +27,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use twostep_analysis::api;
 use twostep_analysis::bounds::{self, SweepOutcome};
 use twostep_analysis::byz_bounds::{self, ByzFixture, ByzSweepOutcome};
 use twostep_analysis::lint::{self, Allowlist};
@@ -32,8 +35,10 @@ use twostep_analysis::model::Fixture;
 use twostep_analysis::model_check_gate;
 
 const USAGE: &str = "\
-usage: twostep-analysis <bounds|lint|model-check|all> [options]
+usage: twostep-analysis <bounds|lint|api|model-check|all> [options]
   --all               run every analysis (same as the `all` subcommand)
+  --bless             api: regenerate docs/public-api.txt instead of
+                      diffing against it
   --max-n N           bound-sweep cap (default 25)
   --fixture NAME      check a seeded-broken model instead of the real
                       arithmetic: broken-fast-quorum |
@@ -51,6 +56,8 @@ usage: twostep-analysis <bounds|lint|model-check|all> [options]
 struct Options {
     run_bounds: bool,
     run_lint: bool,
+    run_api: bool,
+    bless: bool,
     run_model_check: bool,
     max_n: usize,
     fixture: Option<Fixture>,
@@ -68,6 +75,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         run_bounds: false,
         run_lint: false,
+        run_api: false,
+        bless: false,
         run_model_check: false,
         max_n: bounds::DEFAULT_MAX_N,
         fixture: None,
@@ -97,6 +106,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.run_lint = true;
                 saw_mode = true;
             }
+            "api" => {
+                opts.run_api = true;
+                saw_mode = true;
+            }
             "model-check" => {
                 opts.run_model_check = true;
                 saw_mode = true;
@@ -104,9 +117,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "all" | "--all" => {
                 opts.run_bounds = true;
                 opts.run_lint = true;
+                opts.run_api = true;
                 opts.run_model_check = true;
                 saw_mode = true;
             }
+            "--bless" => opts.bless = true,
             "--max-n" => {
                 let v = value_for("--max-n")?;
                 opts.max_n = v
@@ -218,23 +233,14 @@ fn run_bounds(opts: &Options) -> Result<bool, String> {
 
 fn run_lint(opts: &Options) -> Result<bool, String> {
     let root = &opts.root;
-    let lint_dirs: Vec<PathBuf> = [
-        "crates/core/src",
-        "crates/baselines/src",
-        "crates/smr/src",
-        "crates/byz/src",
-    ]
-    .iter()
-    .map(|d| root.join(d))
-    .collect();
-    for d in &lint_dirs {
-        if !d.is_dir() {
-            return Err(format!(
-                "lint: {} is not a directory (set --root to the workspace root)",
-                d.display()
-            ));
-        }
-    }
+    // crates/core is the one place where constructing the typestate
+    // phase types is legal, so it gets every rule *except*
+    // phase-construction.
+    let core_dirs: Vec<PathBuf> = vec![root.join("crates/core/src")];
+    let lint_dirs: Vec<PathBuf> = ["crates/baselines/src", "crates/smr/src", "crates/byz/src"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
     // The runtime and telemetry crates are not protocol handlers, so
     // the handler-shape rules (wildcard arms, quorum arithmetic, …)
     // don't apply — but their atomics still get the relaxed-ordering
@@ -243,7 +249,18 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         .iter()
         .map(|d| root.join(d))
         .collect();
-    for d in &relaxed_only_dirs {
+    // The harness crates drive the protocol purely through its public
+    // seam; only the phase-construction boundary applies to them.
+    let phase_only_dirs: Vec<PathBuf> = ["crates/sim/src", "crates/verify/src", "crates/fuzz/src"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    for d in core_dirs
+        .iter()
+        .chain(&lint_dirs)
+        .chain(&relaxed_only_dirs)
+        .chain(&phase_only_dirs)
+    {
         if !d.is_dir() {
             return Err(format!(
                 "lint: {} is not a directory (set --root to the workspace root)",
@@ -251,13 +268,16 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
             ));
         }
     }
+    let core_files = lint::collect_sources(&core_dirs).map_err(|e| format!("lint: {e}"))?;
     let files = lint::collect_sources(&lint_dirs).map_err(|e| format!("lint: {e}"))?;
     let relaxed_files =
         lint::collect_sources(&relaxed_only_dirs).map_err(|e| format!("lint: {e}"))?;
+    let phase_files = lint::collect_sources(&phase_only_dirs).map_err(|e| format!("lint: {e}"))?;
     // Protocol enums may be *declared* in twostep-types but matched in
     // the protocol crates, so the enum universe includes both.
     let enum_files = {
-        let mut dirs = lint_dirs.clone();
+        let mut dirs = core_dirs.clone();
+        dirs.extend(lint_dirs.clone());
         dirs.push(root.join("crates/types/src"));
         lint::collect_sources(&dirs).map_err(|e| format!("lint: {e}"))?
     };
@@ -273,18 +293,29 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         Allowlist::default()
     };
 
+    let non_phase_rules: Vec<&str> = lint::RULES
+        .iter()
+        .copied()
+        .filter(|r| *r != "phase-construction")
+        .collect();
     let mut raw = Vec::new();
+    for file in &core_files {
+        raw.extend(lint::lint_file_rules(file, &enums, &non_phase_rules));
+    }
     for file in &files {
         raw.extend(lint::lint_file(file, &enums));
     }
     for file in &relaxed_files {
         raw.extend(lint::lint_file_rules(file, &enums, &["relaxed-atomic"]));
     }
+    for file in &phase_files {
+        raw.extend(lint::lint_file_rules(file, &enums, &["phase-construction"]));
+    }
     let findings: Vec<_> = raw.iter().filter(|f| !allow.allows(f)).collect();
     let stale = allow.stale_entries(&raw);
     println!(
         "lint: {} files, {} protocol enums, {} allowlist entries ({} stale), {} findings",
-        files.len() + relaxed_files.len(),
+        core_files.len() + files.len() + relaxed_files.len() + phase_files.len(),
         enums.len(),
         allow.len(),
         stale.len(),
@@ -297,6 +328,53 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
         println!("  STALE allowlist entry waives nothing: {entry}");
     }
     Ok(findings.is_empty() && stale.is_empty())
+}
+
+fn run_api(opts: &Options) -> Result<bool, String> {
+    let current = api::snapshot(&opts.root)?;
+    let path = api::snapshot_path(&opts.root);
+    if opts.bless {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, &current)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "api: blessed {} ({} lines)",
+            path.display(),
+            current.lines().count()
+        );
+        return Ok(true);
+    }
+    let committed = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {} ({e}); run `twostep-analysis api --bless`",
+            path.display()
+        )
+    })?;
+    if committed == current {
+        println!(
+            "api: {} matches the working tree ({} lines)",
+            path.display(),
+            current.lines().count()
+        );
+        return Ok(true);
+    }
+    let committed_set: std::collections::BTreeSet<&str> = committed.lines().collect();
+    let current_set: std::collections::BTreeSet<&str> = current.lines().collect();
+    println!(
+        "api: {} is out of date with the working tree:",
+        path.display()
+    );
+    for line in committed_set.difference(&current_set).take(20) {
+        println!("  - {line}");
+    }
+    for line in current_set.difference(&committed_set).take(20) {
+        println!("  + {line}");
+    }
+    println!("api: regenerate deliberately with `cargo run -p twostep-analysis -- api --bless`");
+    Ok(false)
 }
 
 fn run_model_check(opts: &Options) -> Result<bool, String> {
@@ -346,6 +424,15 @@ fn main() -> ExitCode {
     }
     if opts.run_lint {
         match run_lint(&opts) {
+            Ok(ok) => clean &= ok,
+            Err(msg) => {
+                eprintln!("twostep-analysis: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.run_api {
+        match run_api(&opts) {
             Ok(ok) => clean &= ok,
             Err(msg) => {
                 eprintln!("twostep-analysis: {msg}");

@@ -55,7 +55,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use twostep_baselines::FastBft;
-use twostep_core::{Ablations, Msg, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep_core::{Ablations, Msg, ObjectConsensus, OmegaMode, TaskConsensus, TwoStepBuilder};
 use twostep_sim::ManualExecutor;
 use twostep_types::protocol::{Protocol, TimerId};
 use twostep_types::{ByzConfig, ByzVariant, ProcessId, ProcessSet, SystemConfig};
@@ -254,13 +254,9 @@ fn task_executor(
     leader: ProcessId,
 ) -> ManualExecutor<u64, TaskConsensus<u64>> {
     let mut ex = ManualExecutor::new(cfg, |q| {
-        TaskConsensus::with_options(
-            cfg,
-            q,
-            values[q.index()],
-            OmegaMode::Static(leader),
-            Ablations::NONE,
-        )
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(leader))
+            .task(q, values[q.index()])
     });
     ex.start_all();
     ex
@@ -287,7 +283,9 @@ fn run_task(cfg: SystemConfig, max_states: usize, workers: usize) -> CheckOutcom
 fn object_executor(cfg: SystemConfig) -> ManualExecutor<u64, ObjectConsensus<u64>> {
     let last = p(cfg.n() as u32 - 1);
     let mut ex = ManualExecutor::new(cfg, |q| {
-        ObjectConsensus::<u64>::with_options(cfg, q, OmegaMode::Static(p(0)), Ablations::NONE)
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(p(0)))
+            .object::<u64>(q)
     });
     ex.start_all();
     ex.propose(p(0), 10);
@@ -388,7 +386,9 @@ fn stage_task(cfg: SystemConfig) -> (ManualExecutor<u64, TaskConsensus<u64>>, Ve
 fn stage_object(cfg: SystemConfig) -> (ManualExecutor<u64, ObjectConsensus<u64>>, Vec<Action>) {
     let n = cfg.n() as u32;
     let mut ex = ManualExecutor::new(cfg, |q| {
-        ObjectConsensus::<u64>::with_options(cfg, q, OmegaMode::Static(p(0)), Ablations::NONE)
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(p(0)))
+            .object::<u64>(q)
     });
     ex.start_all();
     ex.propose(p(0), 10);
@@ -761,15 +761,13 @@ pub fn run_seeded_broken(workers: usize) -> (bool, String) {
 /// executor and the matching `p:A=V` fuzz tokens.
 fn base_broken(cfg: SystemConfig) -> (ManualExecutor<u64, ObjectConsensus<u64>>, Vec<String>) {
     let mut ex = ManualExecutor::new(cfg, |q| {
-        ObjectConsensus::<u64>::with_options(
-            cfg,
-            q,
-            OmegaMode::Static(p(0)),
-            Ablations {
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(p(0)))
+            .ablations(Ablations {
                 no_object_guard: true,
                 ..Ablations::NONE
-            },
-        )
+            })
+            .object::<u64>(q)
     });
     ex.start_all();
     let mut tokens = Vec::new();

@@ -1,0 +1,24 @@
+//! The committed public-API snapshot matches the working tree.
+//!
+//! This is the same comparison the CI `api` gate runs: if it fails,
+//! the public surface of `twostep-core` or `twostep-types` changed
+//! without regenerating `docs/public-api.txt`. Intentional changes are
+//! blessed with `cargo run -p twostep-analysis -- api --bless`.
+
+use std::path::Path;
+
+use twostep_analysis::api;
+
+#[test]
+fn committed_snapshot_matches_working_tree() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let current = api::snapshot(&root).expect("snapshot extraction");
+    let path = api::snapshot_path(&root);
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert!(
+        committed == current,
+        "{} is out of date; regenerate with `cargo run -p twostep-analysis -- api --bless`",
+        path.display()
+    );
+}

@@ -16,7 +16,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use twostep_bench::{mean, percentile, Table};
-use twostep_core::{Ablations, Msg, OmegaMode, TaskConsensus};
+use twostep_core::{Msg, OmegaMode, TaskConsensus, TwoStepBuilder};
 use twostep_sim::{ManualExecutor, SimulationBuilder};
 use twostep_types::protocol::TimerId;
 use twostep_types::{Duration, ProcessId, SystemConfig, Time};
@@ -48,7 +48,9 @@ fn randomized_recovery(seed: u64) -> bool {
         } else {
             u64::from(q.as_u32())
         };
-        TaskConsensus::with_options(cfg, q, value, OmegaMode::Static(leader), Ablations::NONE)
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(leader))
+            .task(q, value)
     });
     ex.start_all();
 

@@ -1,15 +1,28 @@
-//! The shared state machine behind both protocol variants (Figure 1).
+//! The thin [`Protocol`] wrapper over the typestate phases (Figure 1).
+//!
+//! The protocol itself lives in [`crate::phase`] as one type per phase
+//! — [`FastVoting`](crate::phase::FastVoting),
+//! [`SlowBallot`](crate::phase::SlowBallot),
+//! [`Decided`](crate::phase::Decided) on the voter side;
+//! [`Collecting`](crate::phase::Collecting) /
+//! [`Proposing`](crate::phase::Proposing) on the leader side — with
+//! transitions that consume the source phase and force their sends.
+//! [`TwoStep`] is the enum-dispatch shell that keeps the engines (sim,
+//! fuzz, SMR, model checker) working unchanged at the [`Protocol`]
+//! seam: it owns the phase-independent [`Common`] state, routes each
+//! handler call to the current phase, and stores whichever phase the
+//! transition returned.
 
 use serde::{Deserialize, Serialize};
 
 use twostep_telemetry::{ObserverHandle, Path, RecoveryCase};
 use twostep_types::protocol::{Effects, Protocol, TimerId};
-use twostep_types::quorum::Collector;
 use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Value, DELTA};
 
 use crate::msg::Msg;
 use crate::omega::{Omega, OmegaMode};
-use crate::recovery::{select_value_explained, Report};
+use crate::phase::{Collecting, Leader, LeaderPhase, Phase, PhaseKind};
+use crate::recovery::Report;
 use crate::Ablations;
 
 /// Heartbeat broadcast period.
@@ -46,194 +59,37 @@ pub enum DecisionPath {
     Learned,
 }
 
-/// The two-step consensus state machine of Figure 1.
-///
-/// Use the [`crate::TaskConsensus`] / [`crate::ObjectConsensus`] wrappers
-/// unless you need variant-generic code.
+/// The phase-independent per-process state, shared by every phase type:
+/// configuration, Ω, the own proposal, the fast-vote tally, and the
+/// telemetry hooks. Transitions borrow it alongside the phase they
+/// consume.
 #[derive(Debug, Clone)]
-pub struct TwoStep<V> {
-    cfg: SystemConfig,
-    me: ProcessId,
-    variant: Variant,
-    ablations: Ablations,
-    omega: Omega,
-
-    // ---- Figure 1 per-process state ----
-    /// Current ballot (`bal`, line: initialised to the fast ballot 0).
-    bal: Ballot,
-    /// Last ballot in which this process voted (`vbal`).
-    vbal: Ballot,
-    /// Current vote (`val`), `⊥` if none.
-    val: Option<V>,
-    /// Proposer of `val` (`proposer`).
-    proposer: Option<ProcessId>,
+pub(crate) struct Common<V> {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) me: ProcessId,
+    pub(crate) variant: Variant,
+    pub(crate) ablations: Ablations,
+    pub(crate) omega: Omega,
     /// Own proposal (`initial_val`), `⊥` until proposed.
-    initial_val: Option<V>,
-    /// Decision (`decided`), `⊥` until decided.
-    decided: Option<V>,
-
-    // ---- fast-path vote collection (as proposer) ----
-    fast_votes: ProcessSet,
-
-    // ---- slow-ballot leadership ----
-    /// The ballot this process is currently leading, if any.
-    my_ballot: Option<Ballot>,
-    onebs: Collector<Report<V>>,
-    oneb_done: bool,
-    slow_value: Option<V>,
-    slow_votes: ProcessSet,
-
-    // ---- liveness extension (see crate docs) ----
+    pub(crate) initial_val: Option<V>,
     /// A proposal observed in a `Propose` message this process could not
     /// vote for; feeds only the recovery rule's final fallback branch.
-    observed: Option<V>,
-
-    // ---- bookkeeping ----
-    decision_path: Option<DecisionPath>,
+    pub(crate) observed: Option<V>,
+    /// Fast-path `2B(0, ·)` votes collected for our own proposal.
+    pub(crate) fast_votes: ProcessSet,
     /// Value pending proposal at startup (task variant).
-    startup_value: Option<V>,
-    /// Which recovery-rule case selected `slow_value` for the ballot
-    /// this process currently leads, if any (telemetry bookkeeping).
-    recovery_case: Option<RecoveryCase>,
-    /// Telemetry hooks; detached by default (see [`TwoStep::observed`]).
-    obs: ObserverHandle,
+    pub(crate) startup_value: Option<V>,
+    /// Which recovery-rule case selected the value for the ballot this
+    /// process currently leads, if any (telemetry bookkeeping).
+    pub(crate) recovery_case: Option<RecoveryCase>,
+    /// Telemetry hooks; detached by default.
+    pub(crate) obs: ObserverHandle,
 }
 
-impl<V: Value> TwoStep<V> {
-    /// Creates a task-variant instance that proposes `initial` at
-    /// startup.
-    pub fn task(cfg: SystemConfig, me: ProcessId, initial: V) -> Self {
-        Self::with_options(
-            cfg,
-            me,
-            Variant::Task,
-            Some(initial),
-            OmegaMode::Heartbeats,
-            Ablations::NONE,
-        )
-    }
-
-    /// Creates an object-variant instance (no proposal until
-    /// `propose(v)` is invoked).
-    pub fn object(cfg: SystemConfig, me: ProcessId) -> Self {
-        Self::with_options(
-            cfg,
-            me,
-            Variant::Object,
-            None,
-            OmegaMode::Heartbeats,
-            Ablations::NONE,
-        )
-    }
-
-    /// Fully parameterised constructor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `me` is out of range for `cfg`, or if a task-variant
-    /// instance is created without a startup value.
-    pub fn with_options(
-        cfg: SystemConfig,
-        me: ProcessId,
-        variant: Variant,
-        startup_value: Option<V>,
-        omega_mode: OmegaMode,
-        ablations: Ablations,
-    ) -> Self {
-        assert!(me.index() < cfg.n(), "process {me} out of range for {cfg}");
-        assert!(
-            variant == Variant::Object || startup_value.is_some(),
-            "the task variant requires an initial value"
-        );
-        TwoStep {
-            cfg,
-            me,
-            variant,
-            ablations,
-            omega: Omega::new(me, cfg.n(), omega_mode),
-            bal: Ballot::FAST,
-            vbal: Ballot::FAST,
-            val: None,
-            proposer: None,
-            initial_val: None,
-            decided: None,
-            fast_votes: ProcessSet::new(),
-            my_ballot: None,
-            onebs: Collector::new(),
-            oneb_done: false,
-            slow_value: None,
-            slow_votes: ProcessSet::new(),
-            observed: None,
-            decision_path: None,
-            startup_value,
-            recovery_case: None,
-            obs: ObserverHandle::none(),
-        }
-    }
-
-    /// Attaches telemetry hooks (builder style). The instance reports
-    /// fast-path decisions, slow-path entries, recovery-rule cases, Ω
-    /// leader changes and ballot advances through the handle; with the
-    /// default detached handle every report is a no-op.
-    pub fn observed(mut self, obs: ObserverHandle) -> Self {
-        self.obs = obs;
-        self
-    }
-
-    /// The system configuration.
-    pub fn config(&self) -> SystemConfig {
-        self.cfg
-    }
-
-    /// The variant this instance implements.
-    pub fn variant(&self) -> Variant {
-        self.variant
-    }
-
-    /// Current ballot.
-    pub fn ballot(&self) -> Ballot {
-        self.bal
-    }
-
-    /// Last ballot voted in.
-    pub fn voted_ballot(&self) -> Ballot {
-        self.vbal
-    }
-
-    /// Current vote.
-    pub fn vote(&self) -> Option<&V> {
-        self.val.as_ref()
-    }
-
-    /// Own proposal, if any.
-    pub fn initial_value(&self) -> Option<&V> {
-        self.initial_val.as_ref()
-    }
-
-    /// The decision, if reached.
-    pub fn decided_value(&self) -> Option<&V> {
-        self.decided.as_ref()
-    }
-
-    /// How the decision was reached, if decided.
-    pub fn decision_path(&self) -> Option<DecisionPath> {
-        self.decision_path
-    }
-
-    /// Which recovery-rule case selected the value of the slow ballot
-    /// this process most recently led, if any.
-    pub fn recovery_case(&self) -> Option<RecoveryCase> {
-        self.recovery_case
-    }
-
-    /// The telemetry decision path of this process, refining
-    /// [`DecisionPath::Slow`] by the recovery case that chose the
-    /// ballot's value ([`Path::RecoveryGt`] / [`Path::RecoveryEq`]).
-    pub fn telemetry_path(&self) -> Option<Path> {
-        self.decision_path.map(|p| self.refine_path(p))
-    }
-
-    fn refine_path(&self, path: DecisionPath) -> Path {
+impl<V: Value> Common<V> {
+    /// Refines [`DecisionPath::Slow`] by the recovery case that chose
+    /// the ballot's value.
+    pub(crate) fn refined_path(&self, path: DecisionPath) -> Path {
         match path {
             DecisionPath::Fast => Path::Fast,
             DecisionPath::Learned => Path::Learned,
@@ -243,165 +99,222 @@ impl<V: Value> TwoStep<V> {
                 .unwrap_or(Path::Slow),
         }
     }
+}
+
+/// The two-step consensus state machine of Figure 1, as a shell over
+/// the typestate phases.
+///
+/// There is no public constructor: build instances through
+/// [`crate::TwoStepBuilder`] (or the [`crate::TaskConsensus`] /
+/// [`crate::ObjectConsensus`] wrappers), which is what fixes the
+/// variant and arms the object red line on the birth phase.
+#[derive(Debug, Clone)]
+pub struct TwoStep<V> {
+    common: Common<V>,
+    phase: Phase<V>,
+    leader: Leader<V>,
+}
+
+impl<V: Value> TwoStep<V> {
+    /// Crate-internal constructor behind [`crate::TwoStepBuilder`].
+    ///
+    /// Panics if `me` is out of range for `cfg`. The old "task without
+    /// an initial value" panic no longer exists: the builder's `task`
+    /// terminal takes the value by parameter, so the state is
+    /// unrepresentable.
+    pub(crate) fn new_machine(
+        cfg: SystemConfig,
+        me: ProcessId,
+        variant: Variant,
+        startup_value: Option<V>,
+        omega_mode: OmegaMode,
+        ablations: Ablations,
+        obs: ObserverHandle,
+    ) -> Self {
+        assert!(me.index() < cfg.n(), "process {me} out of range for {cfg}");
+        let phase = match variant {
+            Variant::Task => crate::phase::FastVoting::task(),
+            Variant::Object => crate::phase::FastVoting::object(),
+        };
+        TwoStep {
+            common: Common {
+                cfg,
+                me,
+                variant,
+                ablations,
+                omega: Omega::new(me, cfg.n(), omega_mode),
+                initial_val: None,
+                observed: None,
+                fast_votes: ProcessSet::new(),
+                startup_value,
+                recovery_case: None,
+                obs,
+            },
+            phase: Phase::Fast(phase),
+            leader: Leader::Idle,
+        }
+    }
+
+    /// Attaches telemetry hooks (crate-internal; the builder and the
+    /// wrappers' `observed` methods are the public path).
+    pub(crate) fn observed(mut self, obs: ObserverHandle) -> Self {
+        self.common.obs = obs;
+        self
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.common.cfg
+    }
+
+    /// The variant this instance implements.
+    pub fn variant(&self) -> Variant {
+        self.common.variant
+    }
+
+    /// Which voter-side phase this process is in.
+    pub fn phase(&self) -> PhaseKind {
+        self.phase.kind()
+    }
+
+    /// Which leader-side phase this process is in.
+    pub fn leader_phase(&self) -> LeaderPhase {
+        self.leader.kind()
+    }
+
+    /// Current ballot.
+    pub fn ballot(&self) -> Ballot {
+        self.phase.bal()
+    }
+
+    /// Last ballot voted in.
+    pub fn voted_ballot(&self) -> Ballot {
+        self.phase.vbal()
+    }
+
+    /// Current vote.
+    pub fn vote(&self) -> Option<&V> {
+        self.phase.val()
+    }
+
+    /// Own proposal, if any.
+    pub fn initial_value(&self) -> Option<&V> {
+        self.common.initial_val.as_ref()
+    }
+
+    /// The decision, if reached.
+    pub fn decided_value(&self) -> Option<&V> {
+        self.phase.decided()
+    }
+
+    /// How the decision was reached, if decided.
+    pub fn decision_path(&self) -> Option<DecisionPath> {
+        if let Phase::Decided(d) = &self.phase {
+            Some(d.path())
+        } else {
+            None
+        }
+    }
+
+    /// Which recovery-rule case selected the value of the slow ballot
+    /// this process most recently led, if any.
+    pub fn recovery_case(&self) -> Option<RecoveryCase> {
+        self.common.recovery_case
+    }
+
+    /// The telemetry decision path of this process, refining
+    /// [`DecisionPath::Slow`] by the recovery case that chose the
+    /// ballot's value ([`Path::RecoveryGt`] / [`Path::RecoveryEq`]).
+    pub fn telemetry_path(&self) -> Option<Path> {
+        self.decision_path().map(|p| self.common.refined_path(p))
+    }
 
     /// The Ω leader-election state.
     pub fn omega(&self) -> &Omega {
-        &self.omega
+        &self.common.omega
     }
 
     /// Updates the leader hint of a statically-configured Ω (see
     /// [`Omega::set_static_leader`]); no-op in heartbeat mode.
     pub fn set_leader_hint(&mut self, leader: ProcessId) {
-        self.omega.set_static_leader(leader);
+        self.common.omega.set_static_leader(leader);
     }
 
     // ---- internal helpers ----
 
     /// Lines 2–5: `if val = ⊥ then initial_val ← v; send Propose(v)`.
     fn do_propose(&mut self, v: V, eff: &mut Effects<V, Msg<V>>) {
-        if self.val.is_none() && self.initial_val.is_none() {
-            self.initial_val = Some(v.clone());
-            eff.broadcast_others(Msg::Propose(v), self.cfg.n(), self.me);
-        }
-    }
-
-    fn record_decision(&mut self, v: V, path: DecisionPath, eff: &mut Effects<V, Msg<V>>) {
-        self.val = Some(v.clone());
-        if self.decided.is_none() {
-            self.decided = Some(v.clone());
-            self.decision_path = Some(path);
-            // Report the path before the engine drains the decision
-            // effect, so the engine's latency report joins onto it.
-            self.obs.decided(self.me, self.refine_path(path));
-            eff.decide(v);
-        } else if self.decided.as_ref() != Some(&v) {
-            // A second, conflicting decision: surface it so the trace
-            // checkers can flag the agreement violation (reachable only
-            // under ablations or below-bound configurations).
-            eff.decide(v);
-        }
-    }
-
-    /// Line 16, first disjunct: fast-path decision check.
-    fn try_fast_decide(&mut self, eff: &mut Effects<V, Msg<V>>) {
-        if self.bal != Ballot::FAST || self.decided.is_some() {
-            return;
-        }
-        let Some(v) = self.initial_val.clone() else {
-            return;
-        };
-        // `val ∈ {⊥, v}`: a vote for someone else's value blocks us.
-        if let Some(cur) = &self.val {
-            if *cur != v {
-                return;
-            }
-        }
-        let mut supporters = self.fast_votes;
-        supporters.insert(self.me); // `|P ∪ {p_i}| ≥ n - e`
-        if supporters.len() >= self.cfg.fast_quorum() {
-            self.record_decision(v.clone(), DecisionPath::Fast, eff);
-            eff.broadcast_others(Msg::Decide(v), self.cfg.n(), self.me);
-        }
-    }
-
-    /// §C.1: new-ballot initiation when Ω nominates us.
-    fn start_new_ballot(&mut self, eff: &mut Effects<V, Msg<V>>) {
-        let b = self.bal.next_owned_by(self.me, self.cfg.n());
-        self.my_ballot = Some(b);
-        self.onebs.clear();
-        self.oneb_done = false;
-        self.slow_value = None;
-        self.slow_votes = ProcessSet::new();
-        self.recovery_case = None;
-        self.obs.slow_path_entered(self.me);
-        eff.broadcast_all(Msg::OneA(b), self.cfg.n());
-    }
-
-    /// Lines 42–63: recovery once a `1B` quorum for our ballot is in.
-    fn try_complete_phase_one(&mut self, eff: &mut Effects<V, Msg<V>>) {
-        let Some(b) = self.my_ballot else { return };
-        if self.oneb_done || self.onebs.len() < self.cfg.slow_quorum() {
-            return;
-        }
-        self.oneb_done = true;
-        let (selected, case) = select_value_explained(
-            &self.cfg,
-            &self.onebs,
-            self.initial_val.as_ref(),
-            self.observed.as_ref(),
-            self.ablations,
-        );
-        self.recovery_case = Some(case);
-        self.obs.recovery_case(self.me, case);
-        if let Some(v) = selected {
-            self.slow_value = Some(v.clone());
-            eff.broadcast_all(Msg::TwoA(b, v), self.cfg.n());
+        if self.phase.val().is_none() && self.common.initial_val.is_none() {
+            self.common.initial_val = Some(v.clone());
+            eff.broadcast_others(Msg::Propose(v), self.common.cfg.n(), self.common.me);
         }
     }
 
     fn on_msg(&mut self, from: ProcessId, msg: Msg<V>, eff: &mut Effects<V, Msg<V>>) {
-        self.omega.observe(from);
+        self.common.omega.observe(from);
         match msg {
             Msg::Heartbeat => {}
 
-            // Lines 9–13.
+            // Lines 9–13: only the fast-voting phase can vote; the
+            // observed fallback is phase-independent.
             Msg::Propose(v) => {
-                if self.observed.is_none() {
-                    self.observed = Some(v.clone());
+                if self.common.observed.is_none() {
+                    self.common.observed = Some(v.clone());
                 }
-                let geq_initial = self.initial_val.as_ref().is_none_or(|iv| v >= *iv);
-                let object_guard = self.variant != Variant::Object
-                    || self.ablations.no_object_guard
-                    || self.initial_val.as_ref().is_none_or(|iv| v == *iv);
-                if self.bal == Ballot::FAST && self.val.is_none() && geq_initial && object_guard {
-                    self.val = Some(v.clone());
-                    self.proposer = Some(from);
-                    eff.send(from, Msg::TwoB(Ballot::FAST, v));
+                if let Phase::Fast(f) = &mut self.phase {
+                    f.consider(&self.common, from, &v, eff);
                 }
             }
 
             // Line 16: the two disjuncts of the 2B handler.
             Msg::TwoB(b, v) => {
                 if b == Ballot::FAST {
-                    // Votes for our own fast-path proposal.
-                    if self.initial_val.as_ref() == Some(&v) {
-                        self.fast_votes.insert(from);
-                        self.try_fast_decide(eff);
+                    // Votes for our own fast-path proposal. The tally
+                    // accrues in every phase; only the fast-voting phase
+                    // can still turn it into a decision.
+                    if self.common.initial_val.as_ref() == Some(&v) {
+                        self.common.fast_votes.insert(from);
+                        self.phase = match Phase::take(&mut self.phase) {
+                            Phase::Fast(f) => f.try_fast_decide(&mut self.common, eff),
+                            Phase::Slow(s) => Phase::Slow(s),
+                            Phase::Decided(d) => Phase::Decided(d),
+                        };
                     }
-                } else if self.bal == b
-                    && self.my_ballot == Some(b)
-                    && self.slow_value.as_ref() == Some(&v)
-                    && self.decided.is_none()
+                } else if self.phase.decided().is_none()
+                    && self.phase.bal() == b
+                    && self.leader.ballot() == Some(b)
+                    && self.leader.slow_value() == Some(&v)
                 {
-                    self.slow_votes.insert(from);
-                    if self.slow_votes.len() >= self.cfg.slow_quorum() {
-                        self.record_decision(v.clone(), DecisionPath::Slow, eff);
-                        eff.broadcast_others(Msg::Decide(v), self.cfg.n(), self.me);
+                    let quorum_in = if let Leader::Proposing(p) = &mut self.leader {
+                        p.record_vote(from, self.common.cfg.slow_quorum())
+                    } else {
+                        false
+                    };
+                    if quorum_in {
+                        self.phase = Phase::take(&mut self.phase).into_decided(
+                            v.clone(),
+                            DecisionPath::Slow,
+                            &mut self.common,
+                            eff,
+                        );
+                        eff.broadcast_others(Msg::Decide(v), self.common.cfg.n(), self.common.me);
                     }
                 }
             }
 
             // Lines 22–25.
             Msg::Decide(v) => {
-                self.record_decision(v, DecisionPath::Learned, eff);
+                self.phase = Phase::take(&mut self.phase).into_decided(
+                    v,
+                    DecisionPath::Learned,
+                    &mut self.common,
+                    eff,
+                );
             }
 
             // Lines 27–31.
             Msg::OneA(b) => {
-                if b > self.bal {
-                    self.bal = b;
-                    self.obs.ballot_advanced(self.me);
-                    eff.send(
-                        from,
-                        Msg::OneB {
-                            bal: b,
-                            vbal: self.vbal,
-                            val: self.val.clone(),
-                            proposer: self.proposer,
-                            decided: self.decided.clone(),
-                        },
-                    );
-                }
+                self.phase = Phase::take(&mut self.phase).on_one_a(&mut self.common, from, b, eff);
             }
 
             // Lines 42–63 (collection side).
@@ -412,31 +325,30 @@ impl<V: Value> TwoStep<V> {
                 proposer,
                 decided,
             } => {
-                if self.my_ballot == Some(bal) && !self.oneb_done {
-                    self.onebs.insert(
-                        from,
-                        Report {
-                            vbal,
-                            val,
-                            proposer,
-                            decided,
-                        },
-                    );
-                    self.try_complete_phase_one(eff);
+                if self.leader.ballot() == Some(bal) {
+                    self.leader = match Leader::take(&mut self.leader) {
+                        Leader::Collecting(c) => c.on_report(
+                            &mut self.common,
+                            from,
+                            Report {
+                                vbal,
+                                val,
+                                proposer,
+                                decided,
+                            },
+                            eff,
+                        ),
+                        // Phase one already complete: the quorum froze.
+                        Leader::Proposing(p) => Leader::Proposing(p),
+                        Leader::Idle => Leader::Idle,
+                    };
                 }
             }
 
             // Lines 65–69.
             Msg::TwoA(b, v) => {
-                if self.bal <= b {
-                    self.val = Some(v.clone());
-                    if b > self.bal {
-                        self.obs.ballot_advanced(self.me);
-                    }
-                    self.bal = b;
-                    self.vbal = b;
-                    eff.send(from, Msg::TwoB(b, v));
-                }
+                self.phase =
+                    Phase::take(&mut self.phase).on_two_a(&mut self.common, from, b, v, eff);
             }
         }
     }
@@ -446,23 +358,23 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
     type Message = Msg<V>;
 
     fn id(&self) -> ProcessId {
-        self.me
+        self.common.me
     }
 
     fn on_start(&mut self, eff: &mut Effects<V, Msg<V>>) {
         eff.set_timer(TimerId::NEW_BALLOT, INITIAL_BALLOT_DELAY);
-        if self.omega.uses_heartbeats() {
-            eff.broadcast_others(Msg::Heartbeat, self.cfg.n(), self.me);
+        if self.common.omega.uses_heartbeats() {
+            eff.broadcast_others(Msg::Heartbeat, self.common.cfg.n(), self.common.me);
             eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
             eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
         }
-        if let Some(v) = self.startup_value.take() {
+        if let Some(v) = self.common.startup_value.take() {
             self.do_propose(v, eff);
         }
     }
 
     fn on_propose(&mut self, value: V, eff: &mut Effects<V, Msg<V>>) {
-        match self.variant {
+        match self.common.variant {
             // The task variant's proposal is fixed at construction.
             Variant::Task => {}
             Variant::Object => self.do_propose(value, eff),
@@ -476,31 +388,37 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
     fn on_timer(&mut self, timer: TimerId, eff: &mut Effects<V, Msg<V>>) {
         match timer {
             TimerId::HEARTBEAT => {
-                eff.broadcast_others(Msg::Heartbeat, self.cfg.n(), self.me);
+                eff.broadcast_others(Msg::Heartbeat, self.common.cfg.n(), self.common.me);
                 eff.set_timer(TimerId::HEARTBEAT, HEARTBEAT_PERIOD);
             }
             TimerId::SUSPECT => {
-                let before = self.omega.leader();
-                self.omega.sweep();
-                let after = self.omega.leader();
+                let before = self.common.omega.leader();
+                self.common.omega.sweep();
+                let after = self.common.omega.leader();
                 if before != after {
-                    self.obs.leader_changed(self.me, after);
+                    self.common.obs.leader_changed(self.common.me, after);
                 }
                 eff.set_timer(TimerId::SUSPECT, SUSPECT_PERIOD);
             }
             TimerId::NEW_BALLOT => {
                 eff.set_timer(TimerId::NEW_BALLOT, BALLOT_RETRY);
-                if let Some(v) = self.decided.clone() {
+                if let Some(v) = self.phase.decided().cloned() {
                     // Decision gossip (liveness extension).
-                    eff.broadcast_others(Msg::Decide(v), self.cfg.n(), self.me);
+                    eff.broadcast_others(Msg::Decide(v), self.common.cfg.n(), self.common.me);
                     return;
                 }
-                if let Some(iv) = self.initial_val.clone() {
+                if let Some(iv) = self.common.initial_val.clone() {
                     // Proposal retransmission (liveness extension).
-                    eff.broadcast_others(Msg::Propose(iv), self.cfg.n(), self.me);
+                    eff.broadcast_others(Msg::Propose(iv), self.common.cfg.n(), self.common.me);
                 }
-                if self.omega.is_leader() {
-                    self.start_new_ballot(eff);
+                if self.common.omega.is_leader() {
+                    // §C.1: Collecting::open is the only way to start a
+                    // ballot, and it broadcasts the 1A as it constructs.
+                    self.leader = Leader::Collecting(Collecting::open(
+                        self.phase.bal(),
+                        &mut self.common,
+                        eff,
+                    ));
                 }
             }
             _ => {}
@@ -508,7 +426,7 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
     }
 
     fn decision(&self) -> Option<V> {
-        self.decided.clone()
+        self.phase.decided().cloned()
     }
 
     fn state_fingerprint(&self) -> u64 {
@@ -518,28 +436,30 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         let mut h = DefaultHasher::new();
-        self.me.hash(&mut h);
-        self.bal.hash(&mut h);
-        self.vbal.hash(&mut h);
-        self.val.hash(&mut h);
-        self.proposer.hash(&mut h);
-        self.initial_val.hash(&mut h);
-        self.decided.hash(&mut h);
-        self.fast_votes.hash(&mut h);
-        self.my_ballot.hash(&mut h);
-        self.oneb_done.hash(&mut h);
-        self.slow_value.hash(&mut h);
-        self.slow_votes.hash(&mut h);
-        self.observed.hash(&mut h);
-        self.startup_value.hash(&mut h);
-        self.omega.leader().hash(&mut h);
-        self.omega.suspected().hash(&mut h);
-        for (q, r) in self.onebs.iter() {
-            q.hash(&mut h);
-            r.vbal.hash(&mut h);
-            r.val.hash(&mut h);
-            r.proposer.hash(&mut h);
-            r.decided.hash(&mut h);
+        self.common.me.hash(&mut h);
+        self.phase.bal().hash(&mut h);
+        self.phase.vbal().hash(&mut h);
+        self.phase.val().hash(&mut h);
+        self.phase.proposer().hash(&mut h);
+        self.common.initial_val.hash(&mut h);
+        self.phase.decided().hash(&mut h);
+        self.common.fast_votes.hash(&mut h);
+        self.leader.ballot().hash(&mut h);
+        matches!(self.leader, Leader::Proposing(_)).hash(&mut h);
+        self.leader.slow_value().hash(&mut h);
+        self.leader.slow_votes().hash(&mut h);
+        self.common.observed.hash(&mut h);
+        self.common.startup_value.hash(&mut h);
+        self.common.omega.leader().hash(&mut h);
+        self.common.omega.suspected().hash(&mut h);
+        if let Some(onebs) = self.leader.reports() {
+            for (q, r) in onebs.iter() {
+                q.hash(&mut h);
+                r.vbal.hash(&mut h);
+                r.val.hash(&mut h);
+                r.proposer.hash(&mut h);
+                r.decided.hash(&mut h);
+            }
         }
         h.finish()
     }
@@ -551,7 +471,7 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
         // Ω tracks who it `heard` from (not part of the fingerprint), so
         // only the identity is safe; a pinned static leader must be a
         // fixed point of `π`.
-        match self.omega.mode() {
+        match self.common.omega.mode() {
             OmegaMode::Heartbeats => {
                 if !rl.is_identity() {
                     return None;
@@ -564,53 +484,60 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
             }
         }
         let mut h = DefaultHasher::new();
-        rl.pid(self.me).hash(&mut h);
-        rl.ballot(self.bal)?.hash(&mut h);
-        rl.ballot(self.vbal)?.hash(&mut h);
-        self.val.hash(&mut h);
-        self.proposer.map(|p| rl.pid(p)).hash(&mut h);
-        self.initial_val.hash(&mut h);
-        self.decided.hash(&mut h);
-        rl.pset(self.fast_votes).hash(&mut h);
-        match self.my_ballot {
+        rl.pid(self.common.me).hash(&mut h);
+        rl.ballot(self.phase.bal())?.hash(&mut h);
+        rl.ballot(self.phase.vbal())?.hash(&mut h);
+        self.phase.val().hash(&mut h);
+        self.phase.proposer().map(|p| rl.pid(p)).hash(&mut h);
+        self.common.initial_val.hash(&mut h);
+        self.phase.decided().hash(&mut h);
+        rl.pset(self.common.fast_votes).hash(&mut h);
+        match self.leader.ballot() {
             None => None::<Ballot>.hash(&mut h),
             Some(b) => Some(rl.ballot(b)?).hash(&mut h),
         }
-        self.oneb_done.hash(&mut h);
-        self.slow_value.hash(&mut h);
-        rl.pset(self.slow_votes).hash(&mut h);
-        self.observed.hash(&mut h);
-        self.startup_value.hash(&mut h);
-        rl.pid(self.omega.leader()).hash(&mut h);
-        rl.pset(self.omega.suspected()).hash(&mut h);
+        matches!(self.leader, Leader::Proposing(_)).hash(&mut h);
+        self.leader.slow_value().hash(&mut h);
+        rl.pset(self.leader.slow_votes()).hash(&mut h);
+        self.common.observed.hash(&mut h);
+        self.common.startup_value.hash(&mut h);
+        rl.pid(self.common.omega.leader()).hash(&mut h);
+        rl.pset(self.common.omega.suspected()).hash(&mut h);
         // The 1B quorum, re-sorted by relabeled reporter so the hash is
         // independent of collection order under `π`.
-        let mut entries: Vec<(ProcessId, u64)> = Vec::with_capacity(self.onebs.len());
-        for (q, r) in self.onebs.iter() {
-            let mut eh = DefaultHasher::new();
-            rl.ballot(r.vbal)?.hash(&mut eh);
-            r.val.hash(&mut eh);
-            r.proposer.map(|p| rl.pid(p)).hash(&mut eh);
-            r.decided.hash(&mut eh);
-            entries.push((rl.pid(q), eh.finish()));
+        if let Some(onebs) = self.leader.reports() {
+            let mut entries: Vec<(ProcessId, u64)> = Vec::with_capacity(onebs.len());
+            for (q, r) in onebs.iter() {
+                let mut eh = DefaultHasher::new();
+                rl.ballot(r.vbal)?.hash(&mut eh);
+                r.val.hash(&mut eh);
+                r.proposer.map(|p| rl.pid(p)).hash(&mut eh);
+                r.decided.hash(&mut eh);
+                entries.push((rl.pid(q), eh.finish()));
+            }
+            entries.sort_unstable();
+            entries.hash(&mut h);
+        } else {
+            // Hash the empty quorum the same way an empty collector did.
+            let entries: Vec<(ProcessId, u64)> = Vec::new();
+            entries.hash(&mut h);
         }
-        entries.sort_unstable();
-        entries.hash(&mut h);
         Some(h.finish())
     }
 
     /// Permanent no-op classification for the model checker's inert-mail
     /// scrub. Every `true` below rests on a monotonicity argument:
     /// `bal` never decreases, `val`/`initial_val`/`decided`/`observed`
-    /// are never cleared once set, and future `my_ballot` assignments
-    /// come from [`Ballot::next_owned_by`], which is strictly greater
-    /// than the then-current `bal`.
+    /// are never cleared once set, and future led ballots come from
+    /// [`Ballot::next_owned_by`], which is strictly greater than the
+    /// then-current `bal`.
     fn message_is_noop(&self, _from: ProcessId, msg: &Msg<V>) -> bool {
         // In heartbeat mode every delivery feeds `omega.observe`, whose
         // `heard` set steers future sweeps: nothing is ever inert.
-        if self.omega.uses_heartbeats() {
+        if self.common.omega.uses_heartbeats() {
             return false;
         }
+        let bal = self.phase.bal();
         match msg {
             Msg::Heartbeat => true,
             Msg::Propose(v) => {
@@ -618,32 +545,32 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
                 // precondition; the vote precondition is permanently dead
                 // once the ballot left FAST, a vote was cast, or our own
                 // (immutable once set) proposal rejects `v`.
-                self.observed.is_some()
-                    && (self.bal != Ballot::FAST
-                        || self.val.is_some()
-                        || self.initial_val.as_ref().is_some_and(|iv| {
+                self.common.observed.is_some()
+                    && (bal != Ballot::FAST
+                        || self.phase.val().is_some()
+                        || self.common.initial_val.as_ref().is_some_and(|iv| {
                             *v < *iv
-                                || (self.variant == Variant::Object
-                                    && !self.ablations.no_object_guard
+                                || (self.common.variant == Variant::Object
+                                    && !self.common.ablations.no_object_guard
                                     && *v != *iv)
                         }))
             }
             Msg::TwoB(b, v) if *b == Ballot::FAST => {
                 // A fast vote only counts toward our own proposal.
-                self.initial_val.as_ref().is_some_and(|iv| iv != v)
+                self.common.initial_val.as_ref().is_some_and(|iv| iv != v)
             }
             Msg::TwoB(b, _) => {
-                self.decided.is_some()
-                    || *b < self.bal
-                    || (*b == self.bal && self.my_ballot != Some(*b))
+                self.phase.decided().is_some()
+                    || *b < bal
+                    || (*b == bal && self.leader.ballot() != Some(*b))
             }
             // Redelivering a known decision still rewrites `val` (which a
             // later `2A` may have overwritten), and a *conflicting*
             // decision is the violation witness itself: never inert.
             Msg::Decide(_) => false,
-            Msg::OneA(b) => *b <= self.bal,
-            Msg::OneB { bal: b, .. } => *b <= self.bal && self.my_ballot != Some(*b),
-            Msg::TwoA(b, _) => *b < self.bal,
+            Msg::OneA(b) => *b <= bal,
+            Msg::OneB { bal: b, .. } => *b <= bal && self.leader.ballot() != Some(*b),
+            Msg::TwoA(b, _) => *b < bal,
         }
     }
 }
@@ -651,6 +578,7 @@ impl<V: Value> Protocol<V> for TwoStep<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{ObjectConsensus, TaskConsensus, TwoStepBuilder};
     use twostep_sim::ManualExecutor;
 
     fn cfg() -> SystemConfig {
@@ -663,17 +591,23 @@ mod tests {
     }
 
     /// Task setup without heartbeat noise and a pinned leader.
-    fn task_exec(leader: u32) -> ManualExecutor<u64, TwoStep<u64>> {
+    fn task_exec(leader: u32) -> ManualExecutor<u64, TaskConsensus<u64>> {
         let cfg = cfg();
-        ManualExecutor::new(cfg, |pid| {
-            TwoStep::with_options(
-                cfg,
-                pid,
-                Variant::Task,
-                Some(10 * (u64::from(pid.as_u32()) + 1)),
-                OmegaMode::Static(p(leader)),
-                Ablations::NONE,
-            )
+        ManualExecutor::new(cfg, move |pid| {
+            TwoStepBuilder::new(cfg)
+                .omega(OmegaMode::Static(p(leader)))
+                .task(pid, 10 * (u64::from(pid.as_u32()) + 1))
+        })
+    }
+
+    /// Object setup without heartbeat noise and a pinned leader.
+    fn object_exec(ablations: Ablations) -> ManualExecutor<u64, ObjectConsensus<u64>> {
+        let cfg = cfg();
+        ManualExecutor::new(cfg, move |pid| {
+            TwoStepBuilder::new(cfg)
+                .omega(OmegaMode::Static(p(0)))
+                .ablations(ablations)
+                .object(pid)
         })
     }
 
@@ -683,7 +617,9 @@ mod tests {
         ex.start(p(0));
         let proposes = ex.pending_matching(|m| matches!(m.msg, Msg::Propose(_)));
         assert_eq!(proposes.len(), 2, "Propose goes to Π \\ {{p0}}");
-        assert_eq!(ex.process(p(0)).initial_value(), Some(&10));
+        assert_eq!(ex.process(p(0)).inner().initial_value(), Some(&10));
+        assert_eq!(ex.process(p(0)).inner().phase(), PhaseKind::FastVoting);
+        assert_eq!(ex.process(p(0)).inner().leader_phase(), LeaderPhase::Idle);
     }
 
     #[test]
@@ -693,11 +629,11 @@ mod tests {
         // Deliver p2's Propose(30) to p1 first: p1 votes for it.
         let ids = ex.pending_matching(|m| m.from == p(2) && m.to == p(1));
         ex.deliver(ids[0]);
-        assert_eq!(ex.process(p(1)).vote(), Some(&30));
+        assert_eq!(ex.process(p(1)).inner().vote(), Some(&30));
         // p0's Propose(10) now fails the `val = ⊥` precondition.
         let ids = ex.pending_matching(|m| m.from == p(0) && m.to == p(1));
         ex.deliver(ids[0]);
-        assert_eq!(ex.process(p(1)).vote(), Some(&30));
+        assert_eq!(ex.process(p(1)).inner().vote(), Some(&30));
         // Exactly one fast 2B left p1, addressed to p2.
         let twobs =
             ex.pending_matching(|m| m.from == p(1) && matches!(m.msg, Msg::TwoB(Ballot::FAST, _)));
@@ -712,7 +648,7 @@ mod tests {
         // `v ≥ initial_val` precondition.
         let ids = ex.pending_matching(|m| m.from == p(0) && m.to == p(2));
         ex.deliver(ids[0]);
-        assert_eq!(ex.process(p(2)).vote(), None);
+        assert_eq!(ex.process(p(2)).inner().vote(), None);
         assert!(ex
             .pending_matching(|m| m.from == p(2) && matches!(m.msg, Msg::TwoB(..)))
             .is_empty());
@@ -733,6 +669,7 @@ mod tests {
         ex.deliver(ids[0]);
         assert_eq!(ex.decision_of(p(2)), Some(&30));
         assert_eq!(ex.process(p(2)).decision_path(), Some(DecisionPath::Fast));
+        assert_eq!(ex.process(p(2)).inner().phase(), PhaseKind::Decided);
         // Decide broadcast went out.
         let decides = ex.pending_matching(|m| matches!(m.msg, Msg::Decide(_)));
         assert_eq!(decides.len(), 2);
@@ -783,12 +720,17 @@ mod tests {
         ex.start_all();
         // p1 (leader) times out and starts ballot 1 (1 ≡ 1 mod 3).
         ex.fire_timer(p(1), TimerId::NEW_BALLOT);
+        assert_eq!(
+            ex.process(p(1)).inner().leader_phase(),
+            LeaderPhase::Collecting
+        );
         let oneas = ex.pending_matching(|m| matches!(m.msg, Msg::OneA(_)));
         assert_eq!(oneas.len(), 3, "1A goes to all of Π including self");
         // Deliver 1A to p0.
         let ids = ex.pending_matching(|m| m.to == p(0) && matches!(m.msg, Msg::OneA(_)));
         ex.deliver(ids[0]);
-        assert_eq!(ex.process(p(0)).ballot(), Ballot::new(1));
+        assert_eq!(ex.process(p(0)).inner().ballot(), Ballot::new(1));
+        assert_eq!(ex.process(p(0)).inner().phase(), PhaseKind::SlowBallot);
         let onebs = ex.pending_matching(|m| m.from == p(0) && matches!(m.msg, Msg::OneB { .. }));
         assert_eq!(onebs.len(), 1);
     }
@@ -803,7 +745,7 @@ mod tests {
         // A later 1A with the same ballot (replayed) is rejected.
         // Simulate by making p1 lead again without progress: next ballot
         // is 4 (> 1, ≡ 1 mod 3); deliver it, then replay nothing lower.
-        assert_eq!(ex.process(p(0)).ballot(), Ballot::new(1));
+        assert_eq!(ex.process(p(0)).inner().ballot(), Ballot::new(1));
     }
 
     #[test]
@@ -830,6 +772,11 @@ mod tests {
         for id in onebs.into_iter().take(2) {
             ex.deliver(id);
         }
+        // Phase one froze the quorum: the leader is now proposing.
+        assert_eq!(
+            ex.process(p(1)).inner().leader_phase(),
+            LeaderPhase::Proposing
+        );
         // Leader selected its own initial value (20) and sent 2A to all.
         let twoas = ex.pending_matching(|m| matches!(m.msg, Msg::TwoA(..)));
         assert_eq!(twoas.len(), 3);
@@ -891,17 +838,7 @@ mod tests {
 
     #[test]
     fn object_variant_red_line_blocks_conflicting_propose() {
-        let cfg = cfg();
-        let mut ex = ManualExecutor::new(cfg, |pid| {
-            TwoStep::<u64>::with_options(
-                cfg,
-                pid,
-                Variant::Object,
-                None,
-                OmegaMode::Static(p(0)),
-                Ablations::NONE,
-            )
-        });
+        let mut ex = object_exec(Ablations::NONE);
         ex.start_all();
         assert!(
             ex.pending().is_empty(),
@@ -919,7 +856,7 @@ mod tests {
         });
         ex.deliver(ids[0]);
         assert_eq!(
-            ex.process(p(0)).vote(),
+            ex.process(p(0)).inner().vote(),
             None,
             "red line must block the vote"
         );
@@ -930,24 +867,14 @@ mod tests {
             m.from == p(1) && m.to == p(2) && matches!(m.msg, Msg::Propose(_))
         });
         ex.deliver(ids[0]);
-        assert_eq!(ex.process(p(2)).vote(), Some(&99));
+        assert_eq!(ex.process(p(2)).inner().vote(), Some(&99));
     }
 
     #[test]
     fn object_guard_ablation_allows_conflicting_vote() {
-        let cfg = cfg();
-        let mut ex = ManualExecutor::new(cfg, |pid| {
-            TwoStep::<u64>::with_options(
-                cfg,
-                pid,
-                Variant::Object,
-                None,
-                OmegaMode::Static(p(0)),
-                Ablations {
-                    no_object_guard: true,
-                    ..Ablations::NONE
-                },
-            )
+        let mut ex = object_exec(Ablations {
+            no_object_guard: true,
+            ..Ablations::NONE
         });
         ex.start_all();
         ex.propose(p(0), 10);
@@ -957,7 +884,7 @@ mod tests {
         });
         ex.deliver(ids[0]);
         assert_eq!(
-            ex.process(p(0)).vote(),
+            ex.process(p(0)).inner().vote(),
             Some(&99),
             "ablation drops the red line"
         );
@@ -970,47 +897,24 @@ mod tests {
         let before = ex.pending().len();
         ex.propose(p(0), 12345);
         assert_eq!(ex.pending().len(), before);
-        assert_eq!(ex.process(p(0)).initial_value(), Some(&10));
+        assert_eq!(ex.process(p(0)).inner().initial_value(), Some(&10));
     }
 
     #[test]
     fn object_repeat_propose_is_idempotent() {
-        let cfg = cfg();
-        let mut ex = ManualExecutor::new(cfg, |pid| {
-            TwoStep::<u64>::with_options(
-                cfg,
-                pid,
-                Variant::Object,
-                None,
-                OmegaMode::Static(p(0)),
-                Ablations::NONE,
-            )
-        });
+        let mut ex = object_exec(Ablations::NONE);
         ex.start_all();
         ex.propose(p(0), 10);
         let first = ex.pending().len();
         ex.propose(p(0), 77);
         assert_eq!(ex.pending().len(), first, "second propose ignored");
-        assert_eq!(ex.process(p(0)).initial_value(), Some(&10));
-    }
-
-    #[test]
-    #[should_panic(expected = "task variant requires an initial value")]
-    fn task_without_value_panics() {
-        let _ = TwoStep::<u64>::with_options(
-            cfg(),
-            p(0),
-            Variant::Task,
-            None,
-            OmegaMode::Heartbeats,
-            Ablations::NONE,
-        );
+        assert_eq!(ex.process(p(0)).inner().initial_value(), Some(&10));
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_process_panics() {
-        let _ = TwoStep::<u64>::task(cfg(), p(9), 1);
+        let _ = TwoStepBuilder::new(cfg()).task(p(9), 1u64);
     }
 
     #[test]
@@ -1030,7 +934,7 @@ mod tests {
         }
         let ids = ex.pending_matching(|m| m.to == p(0) && matches!(m.msg, Msg::TwoA(..)));
         ex.deliver(ids[0]);
-        let st = ex.process(p(0));
+        let st = ex.process(p(0)).inner();
         assert_eq!(st.ballot(), Ballot::new(1));
         assert_eq!(st.voted_ballot(), Ballot::new(1));
         assert_eq!(st.vote(), Some(&20));
@@ -1041,16 +945,11 @@ mod tests {
         use twostep_telemetry::Metrics;
         let (metrics, obs) = Metrics::shared();
         let cfg = cfg();
-        let mut ex = ManualExecutor::new(cfg, |pid| {
-            TwoStep::with_options(
-                cfg,
-                pid,
-                Variant::Task,
-                Some(10 * (u64::from(pid.as_u32()) + 1)),
-                OmegaMode::Static(p(0)),
-                Ablations::NONE,
-            )
-            .observed(obs.clone())
+        let mut ex = ManualExecutor::new(cfg, move |pid| {
+            TwoStepBuilder::new(cfg)
+                .omega(OmegaMode::Static(p(0)))
+                .observed(obs.clone())
+                .task(pid, 10 * (u64::from(pid.as_u32()) + 1))
         });
         ex.start_all();
         for target in [p(0), p(1)] {
@@ -1063,7 +962,7 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.decided(twostep_telemetry::Path::Fast), 1);
         assert_eq!(snap.slow_entries, 0);
-        assert_eq!(ex.process(p(2)).telemetry_path(), Some(Path::Fast));
+        assert_eq!(ex.process(p(2)).inner().telemetry_path(), Some(Path::Fast));
     }
 
     #[test]
@@ -1071,16 +970,11 @@ mod tests {
         use twostep_telemetry::Metrics;
         let (metrics, obs) = Metrics::shared();
         let cfg = cfg();
-        let mut ex = ManualExecutor::new(cfg, |pid| {
-            TwoStep::with_options(
-                cfg,
-                pid,
-                Variant::Task,
-                Some(10 * (u64::from(pid.as_u32()) + 1)),
-                OmegaMode::Static(p(1)),
-                Ablations::NONE,
-            )
-            .observed(obs.clone())
+        let mut ex = ManualExecutor::new(cfg, move |pid| {
+            TwoStepBuilder::new(cfg)
+                .omega(OmegaMode::Static(p(1)))
+                .observed(obs.clone())
+                .task(pid, 10 * (u64::from(pid.as_u32()) + 1))
         });
         ex.start_all();
         for id in ex.pending_matching(|_| true) {
@@ -1112,7 +1006,7 @@ mod tests {
         // Every process adopted ballot 1 exactly once.
         assert_eq!(snap.ballot_advances, 3);
         assert_eq!(
-            ex.process(p(1)).recovery_case(),
+            ex.process(p(1)).inner().recovery_case(),
             Some(RecoveryCase::Fallback)
         );
     }
@@ -1132,8 +1026,10 @@ mod tests {
         ex.fire_timer(p(1), TimerId::NEW_BALLOT);
         let ids = ex.pending_matching(|m| m.to == p(2) && matches!(m.msg, Msg::OneA(_)));
         ex.deliver(ids[0]);
-        assert_eq!(ex.process(p(2)).ballot(), Ballot::new(1));
-        // Now the fast 2Bs arrive: bal ≠ 0 must block the fast decision.
+        assert_eq!(ex.process(p(2)).inner().ballot(), Ballot::new(1));
+        assert_eq!(ex.process(p(2)).inner().phase(), PhaseKind::SlowBallot);
+        // Now the fast 2Bs arrive: the slow phase has no fast-decide
+        // transition — the tally still accrues, but nothing can fire.
         for id in
             ex.pending_matching(|m| m.to == p(2) && matches!(m.msg, Msg::TwoB(Ballot::FAST, _)))
         {

@@ -12,13 +12,18 @@
 //!   `n ≥ max{2e+f-1, 2f+1}` (Theorem 6). This variant adds the paper's
 //!   red-line preconditions.
 //!
-//! Both variants share one state machine ([`TwoStep`]) that improves
-//! Fast Paxos's recovery to require up to two fewer processes. The key
-//! novelty is the value-selection rule run by a new leader
-//! ([`recovery::select_value`]): votes whose proposer is inside the `1B`
+//! Both variants are built through [`TwoStepBuilder`] and share one
+//! state-machine shell ([`TwoStep`]) over the typestate phases of
+//! [`phase`]: each protocol phase is a distinct type whose transitions
+//! consume `self` and issue their sends through the `Effects` sink, so
+//! an illegal transition (fast-deciding from a slow ballot, proposing
+//! without a frozen `1B` quorum, …) does not typecheck. The key novelty
+//! is the value-selection rule run by a new leader
+//! ([`recovery::classify`]): votes whose proposer is inside the `1B`
 //! quorum are *excluded* (such proposers can no longer take the fast
 //! path), and a surviving vote count of exactly `n-f-e` is resolved by a
-//! max-value tie-break.
+//! max-value tie-break — a tie-break that only exists on the
+//! [`recovery::RecoveryEq`] case type.
 //!
 //! # Liveness notes (documented deviations)
 //!
@@ -70,16 +75,20 @@
 #![warn(missing_docs)]
 
 mod ablation;
+mod builder;
 mod consensus;
 mod msg;
 mod object;
 mod omega;
+pub mod phase;
 pub mod recovery;
 mod task;
 
 pub use ablation::Ablations;
+pub use builder::TwoStepBuilder;
 pub use consensus::{DecisionPath, TwoStep, Variant};
 pub use msg::Msg;
 pub use object::ObjectConsensus;
 pub use omega::{Omega, OmegaMode};
+pub use phase::{LeaderPhase, PhaseKind};
 pub use task::TaskConsensus;

@@ -3,10 +3,9 @@
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{ProcessId, SystemConfig, Value};
 
-use crate::consensus::{DecisionPath, TwoStep, Variant};
+use crate::builder::TwoStepBuilder;
+use crate::consensus::{DecisionPath, TwoStep};
 use crate::msg::Msg;
-use crate::omega::OmegaMode;
-use crate::Ablations;
 
 /// The paper's protocol as a consensus **object** (Figure 1 *with* the
 /// red lines): processes propose values by explicitly invoking
@@ -47,38 +46,24 @@ use crate::Ablations;
 pub struct ObjectConsensus<V>(TwoStep<V>);
 
 impl<V: Value> ObjectConsensus<V> {
-    /// Creates an object instance for `me` (no proposal yet).
+    /// Creates an object instance for `me` (no proposal yet) with
+    /// default options — sugar for
+    /// [`TwoStepBuilder::object`](crate::TwoStepBuilder::object). Use
+    /// the builder to select an Ω mode, ablations, or telemetry.
     ///
     /// # Panics
     ///
     /// Panics if `me` is out of range for `cfg`.
     pub fn new(cfg: SystemConfig, me: ProcessId) -> Self {
-        ObjectConsensus(TwoStep::object(cfg, me))
+        TwoStepBuilder::new(cfg).object(me)
     }
 
-    /// Creates an object instance with explicit Ω mode and ablations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `me` is out of range for `cfg`.
-    pub fn with_options(
-        cfg: SystemConfig,
-        me: ProcessId,
-        omega: OmegaMode,
-        ablations: Ablations,
-    ) -> Self {
-        ObjectConsensus(TwoStep::with_options(
-            cfg,
-            me,
-            Variant::Object,
-            None,
-            omega,
-            ablations,
-        ))
+    /// Wraps a machine built by [`TwoStepBuilder`].
+    pub(crate) fn from_machine(inner: TwoStep<V>) -> Self {
+        ObjectConsensus(inner)
     }
 
-    /// Attaches telemetry hooks (builder style); see
-    /// [`TwoStep::observed`].
+    /// Attaches telemetry hooks (builder style).
     pub fn observed(self, obs: twostep_telemetry::ObserverHandle) -> Self {
         ObjectConsensus(self.0.observed(obs))
     }

@@ -1,0 +1,817 @@
+//! Protocol phases as types: the typestate core behind [`TwoStep`].
+//!
+//! Each phase of Figure 1 is a distinct type, and every transition is a
+//! method that *consumes* the source phase, returns the target phase,
+//! and takes the [`Effects`] sink — so a transition cannot occur without
+//! the sends the paper attaches to it (the 1B reply of lines 29–31, the
+//! 2B vote of line 69, the 2A broadcast of line 62, the `Decide`
+//! broadcast of line 17). Illegal transitions are not runtime bugs the
+//! lint or model checker must catch; they simply do not exist as
+//! methods.
+//!
+//! The voter-side phases (per-process state of Figure 1):
+//!
+//! * [`FastVoting`] — ballot 0, lines 9–16: the process may vote for a
+//!   `Propose` and may fast-decide its own proposal. The object
+//!   variant's red-line precondition exists only on states born from
+//!   the crate-internal `FastVoting::object` constructor.
+//! * [`SlowBallot`] — lines 27–31 and 65–69: the process has joined a
+//!   slow ballot; it answers `1A` with its report and votes on `2A`.
+//!   Entered from the crate-internal `FastVoting::join` /
+//!   `FastVoting::adopt` transitions and never left except by
+//!   deciding.
+//! * [`Decided`] — lines 16–25: a decision certificate plus the still
+//!   live ballot position, because a decided process keeps serving
+//!   `1B` reports (carrying `decided`, which recovery's
+//!   reported-decision branch resurrects) and `2B` votes.
+//!
+//! The leader-side phases (lines 42–63, one ballot at a time):
+//!
+//! * [`LeaderPhase::Idle`] — not coordinating.
+//! * [`Collecting`] — a `1A` broadcast is out (the crate-internal
+//!   `Collecting::open` is the only way in, and it broadcasts as it
+//!   constructs) and `1B` reports are accumulating.
+//! * [`Proposing`] — the `1B` quorum is frozen and the recovery rule
+//!   has chosen the ballot's value (`Collecting::propose`, which
+//!   consumes the collector and forces the `2A` broadcast).
+//!
+//! The recovery rule's two vote-count cases are themselves types —
+//! [`crate::recovery::RecoveryGt`] and [`crate::recovery::RecoveryEq`]
+//! — so the paper's max-value tie-break (line 58) only exists where the
+//! paper applies it: on the exact-threshold case.
+//!
+//! [`TwoStep`]: crate::TwoStep
+//! [`Effects`]: twostep_types::protocol::Effects
+
+use twostep_types::protocol::Effects;
+use twostep_types::quorum::Collector;
+use twostep_types::{Ballot, ProcessId, ProcessSet, Value};
+
+use crate::consensus::{Common, DecisionPath};
+use crate::msg::Msg;
+use crate::recovery::{classify, Recovery, Report};
+
+/// Which voter-side phase a process is in (observable shadow of the
+/// phase types, for tests and telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PhaseKind {
+    /// Ballot 0: may still vote fast and fast-decide.
+    FastVoting,
+    /// Joined a slow ballot; fast path permanently closed.
+    SlowBallot,
+    /// Holds a decision certificate.
+    Decided,
+}
+
+/// Which leader-side phase a process is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LeaderPhase {
+    /// Not coordinating a ballot.
+    Idle,
+    /// Collecting `1B` reports for an open ballot.
+    Collecting,
+    /// Phase one complete: the ballot's value is fixed (or the ballot
+    /// yields nothing) and `2B` votes are being counted.
+    Proposing,
+}
+
+// ---------------------------------------------------------------------
+// Voter-side phases
+// ---------------------------------------------------------------------
+
+/// The fast-voting phase: `bal = 0`, lines 9–16 of Figure 1.
+#[derive(Debug, Clone)]
+pub struct FastVoting<V> {
+    /// Current vote (`val`), `⊥` if none.
+    val: Option<V>,
+    /// Proposer of `val`.
+    proposer: Option<ProcessId>,
+    /// The object variant's red-line precondition, armed only by
+    /// [`FastVoting::object`]: a `Propose(v)` is accepted only if this
+    /// process has not proposed, or proposed the same `v`.
+    red_line: bool,
+}
+
+impl<V: Value> FastVoting<V> {
+    /// Birth state of the consensus *task* (Figure 1 without the red
+    /// lines).
+    pub(crate) fn task() -> Self {
+        FastVoting {
+            val: None,
+            proposer: None,
+            red_line: false,
+        }
+    }
+
+    /// Birth state of the consensus *object*, with the red-line vote
+    /// precondition armed. This constructor is the only source of the
+    /// red line: task-born states cannot acquire it.
+    pub(crate) fn object() -> Self {
+        FastVoting {
+            val: None,
+            proposer: None,
+            red_line: true,
+        }
+    }
+
+    /// Placeholder used while a transition is in flight; never
+    /// observable.
+    pub(crate) fn vacant() -> Self {
+        FastVoting {
+            val: None,
+            proposer: None,
+            red_line: false,
+        }
+    }
+
+    /// Current vote.
+    pub fn val(&self) -> Option<&V> {
+        self.val.as_ref()
+    }
+
+    /// Proposer of the current vote.
+    pub fn proposer(&self) -> Option<ProcessId> {
+        self.proposer
+    }
+
+    /// Whether the red-line precondition is armed (object variant).
+    pub fn red_line(&self) -> bool {
+        self.red_line
+    }
+
+    /// Lines 9–13: vote for a `Propose(v)` from `from` if the
+    /// preconditions hold (`val = ⊥`, `v ≥ initial_val`, and — only on
+    /// object-born states — the red line `initial_val ≠ ⊥ ⟹ v =
+    /// initial_val`). Voting sends the fast `2B` to the proposer.
+    pub(crate) fn consider(
+        &mut self,
+        common: &Common<V>,
+        from: ProcessId,
+        v: &V,
+        eff: &mut Effects<V, Msg<V>>,
+    ) {
+        let geq_initial = common.initial_val.as_ref().is_none_or(|iv| *v >= *iv);
+        let red_line_ok = !self.red_line
+            || common.ablations.no_object_guard
+            || common.initial_val.as_ref().is_none_or(|iv| *v == *iv);
+        if self.val.is_none() && geq_initial && red_line_ok {
+            self.val = Some(v.clone());
+            self.proposer = Some(from);
+            eff.send(from, Msg::TwoB(Ballot::FAST, v.clone()));
+        }
+    }
+
+    /// Line 16, first disjunct: fast-path decision check. Consumes the
+    /// phase; on success the `Decide` broadcast is forced by the
+    /// transition itself.
+    pub(crate) fn try_fast_decide(
+        self,
+        common: &mut Common<V>,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Phase<V> {
+        let Some(v) = common.initial_val.clone() else {
+            return Phase::Fast(self);
+        };
+        // `val ∈ {⊥, v}`: a vote for someone else's value blocks us.
+        if let Some(cur) = &self.val {
+            if *cur != v {
+                return Phase::Fast(self);
+            }
+        }
+        let mut supporters = common.fast_votes;
+        supporters.insert(common.me); // `|P ∪ {p_i}| ≥ n - e`
+        if supporters.len() >= common.cfg.fast_quorum() {
+            let n = common.cfg.n();
+            let me = common.me;
+            let decided = Decided::record(
+                Voter::Fast(self),
+                v.clone(),
+                DecisionPath::Fast,
+                common,
+                eff,
+            );
+            eff.broadcast_others(Msg::Decide(v), n, me);
+            Phase::Decided(decided)
+        } else {
+            Phase::Fast(self)
+        }
+    }
+
+    /// Lines 27–31: join slow ballot `b > 0`, leaving the fast phase
+    /// forever. The transition replies the `1B` report to `from`
+    /// (`decided` is the certificate of an already-decided voter, `⊥`
+    /// here on the undecided path).
+    pub(crate) fn join(
+        self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        decided: Option<V>,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> SlowBallot<V> {
+        common.obs.ballot_advanced(common.me);
+        eff.send(
+            from,
+            Msg::OneB {
+                bal: b,
+                vbal: Ballot::FAST,
+                val: self.val.clone(),
+                proposer: self.proposer,
+                decided,
+            },
+        );
+        SlowBallot {
+            bal: b,
+            vbal: Ballot::FAST,
+            val: self.val,
+            proposer: self.proposer,
+        }
+    }
+
+    /// Lines 65–69 with `b > 0`: adopt a `2A` value, voting `2B` and
+    /// leaving the fast phase.
+    pub(crate) fn adopt(
+        self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        v: V,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> SlowBallot<V> {
+        common.obs.ballot_advanced(common.me);
+        eff.send(from, Msg::TwoB(b, v.clone()));
+        SlowBallot {
+            bal: b,
+            vbal: b,
+            val: Some(v),
+            proposer: self.proposer,
+        }
+    }
+
+    /// Lines 65–69 with `b = 0` (a fast `2A`, unreachable from correct
+    /// peers but handled for uniformity): revote without leaving the
+    /// phase.
+    pub(crate) fn revote(&mut self, from: ProcessId, v: V, eff: &mut Effects<V, Msg<V>>) {
+        self.val = Some(v.clone());
+        eff.send(from, Msg::TwoB(Ballot::FAST, v));
+    }
+}
+
+/// The slow-ballot phase: `bal > 0`, lines 27–31 and 65–69.
+#[derive(Debug, Clone)]
+pub struct SlowBallot<V> {
+    /// Current ballot (`bal`).
+    bal: Ballot,
+    /// Last ballot voted in (`vbal`).
+    vbal: Ballot,
+    /// Current vote (`val`).
+    val: Option<V>,
+    /// Proposer of `val`.
+    proposer: Option<ProcessId>,
+}
+
+impl<V: Value> SlowBallot<V> {
+    /// Current ballot.
+    pub fn bal(&self) -> Ballot {
+        self.bal
+    }
+
+    /// Last voted ballot.
+    pub fn vbal(&self) -> Ballot {
+        self.vbal
+    }
+
+    /// Current vote.
+    pub fn val(&self) -> Option<&V> {
+        self.val.as_ref()
+    }
+
+    /// Proposer of the current vote.
+    pub fn proposer(&self) -> Option<ProcessId> {
+        self.proposer
+    }
+
+    /// Lines 27–31: advance to a higher ballot `b`, replying the `1B`
+    /// report. A stale `b ≤ bal` leaves the phase untouched.
+    pub(crate) fn on_one_a(
+        mut self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        decided: Option<V>,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Self {
+        if b > self.bal {
+            self.bal = b;
+            common.obs.ballot_advanced(common.me);
+            eff.send(
+                from,
+                Msg::OneB {
+                    bal: b,
+                    vbal: self.vbal,
+                    val: self.val.clone(),
+                    proposer: self.proposer,
+                    decided,
+                },
+            );
+        }
+        self
+    }
+
+    /// Lines 65–69: vote for a `2A` value at `b ≥ bal`.
+    pub(crate) fn on_two_a(
+        mut self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        v: V,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Self {
+        if self.bal <= b {
+            self.val = Some(v.clone());
+            if b > self.bal {
+                common.obs.ballot_advanced(common.me);
+            }
+            self.bal = b;
+            self.vbal = b;
+            eff.send(from, Msg::TwoB(b, v));
+        }
+        self
+    }
+}
+
+/// The undecided ballot position: fast or slow. Also lives on inside
+/// [`Decided`], because a decided process keeps serving reports and
+/// votes.
+#[derive(Debug, Clone)]
+pub(crate) enum Voter<V> {
+    /// Still at ballot 0.
+    Fast(FastVoting<V>),
+    /// In a slow ballot.
+    Slow(SlowBallot<V>),
+}
+
+impl<V: Value> Voter<V> {
+    pub(crate) fn bal(&self) -> Ballot {
+        match self {
+            Voter::Fast(_) => Ballot::FAST,
+            Voter::Slow(s) => s.bal,
+        }
+    }
+
+    pub(crate) fn vbal(&self) -> Ballot {
+        match self {
+            Voter::Fast(_) => Ballot::FAST,
+            Voter::Slow(s) => s.vbal,
+        }
+    }
+
+    pub(crate) fn val(&self) -> Option<&V> {
+        match self {
+            Voter::Fast(f) => f.val.as_ref(),
+            Voter::Slow(s) => s.val.as_ref(),
+        }
+    }
+
+    pub(crate) fn proposer(&self) -> Option<ProcessId> {
+        match self {
+            Voter::Fast(f) => f.proposer,
+            Voter::Slow(s) => s.proposer,
+        }
+    }
+
+    /// Overwrites the vote (line 23: a decision rewrites `val`).
+    pub(crate) fn set_val(&mut self, v: V) {
+        match self {
+            Voter::Fast(f) => f.val = Some(v),
+            Voter::Slow(s) => s.val = Some(v),
+        }
+    }
+
+    /// `1A` dispatch shared by the decided and undecided positions.
+    pub(crate) fn on_one_a(
+        self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        decided: Option<V>,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Voter<V> {
+        match self {
+            Voter::Fast(f) if b > Ballot::FAST => {
+                Voter::Slow(f.join(common, from, b, decided, eff))
+            }
+            Voter::Fast(f) => Voter::Fast(f),
+            Voter::Slow(s) => Voter::Slow(s.on_one_a(common, from, b, decided, eff)),
+        }
+    }
+
+    /// `2A` dispatch shared by the decided and undecided positions.
+    pub(crate) fn on_two_a(
+        self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        v: V,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Voter<V> {
+        match self {
+            Voter::Fast(mut f) if b == Ballot::FAST => {
+                f.revote(from, v, eff);
+                Voter::Fast(f)
+            }
+            Voter::Fast(f) => Voter::Slow(f.adopt(common, from, b, v, eff)),
+            Voter::Slow(s) => Voter::Slow(s.on_two_a(common, from, b, v, eff)),
+        }
+    }
+}
+
+/// The decided phase: a decision certificate (lines 16–25) plus the
+/// still-live ballot position.
+#[derive(Debug, Clone)]
+pub struct Decided<V> {
+    /// The ballot position keeps answering `1A`/`2A` so recovery can
+    /// learn the decision from this process's reports.
+    voter: Voter<V>,
+    /// The decision (`decided`).
+    value: V,
+    /// How it was reached.
+    path: DecisionPath,
+}
+
+impl<V: Value> Decided<V> {
+    /// Lines 17/21/24: records a decision, emitting the decision effect
+    /// — the only constructor, so a `Decided` state cannot exist
+    /// without its decision having been surfaced to the engine.
+    pub(crate) fn record(
+        mut voter: Voter<V>,
+        v: V,
+        path: DecisionPath,
+        common: &mut Common<V>,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Self {
+        voter.set_val(v.clone());
+        // Report the path before the engine drains the decision effect,
+        // so the engine's latency report joins onto it.
+        common.obs.decided(common.me, common.refined_path(path));
+        eff.decide(v.clone());
+        Decided {
+            voter,
+            value: v,
+            path,
+        }
+    }
+
+    /// The decided value.
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+
+    /// How the decision was reached.
+    pub fn path(&self) -> DecisionPath {
+        self.path
+    }
+
+    /// Lines 22–25 after deciding: a redundant `Decide` rewrites `val`;
+    /// a *conflicting* one is surfaced as a second decision effect so
+    /// the trace checkers can flag the agreement violation (reachable
+    /// only under ablations or below-bound configurations).
+    pub(crate) fn on_decide(&mut self, v: V, eff: &mut Effects<V, Msg<V>>) {
+        self.voter.set_val(v.clone());
+        if self.value != v {
+            eff.decide(v);
+        }
+    }
+
+    /// `1A` while decided: the report carries the certificate.
+    pub(crate) fn on_one_a(
+        mut self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Self {
+        let decided = Some(self.value.clone());
+        self.voter = self.voter.on_one_a(common, from, b, decided, eff);
+        self
+    }
+
+    /// `2A` while decided: still votes (the ballot may outrun the
+    /// certificate's propagation).
+    pub(crate) fn on_two_a(
+        mut self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        v: V,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Self {
+        self.voter = self.voter.on_two_a(common, from, b, v, eff);
+        self
+    }
+}
+
+/// The voter-side phase of one process: the enum the thin
+/// [`Protocol`](twostep_types::protocol::Protocol) wrapper dispatches
+/// over.
+#[derive(Debug, Clone)]
+pub(crate) enum Phase<V> {
+    /// Ballot 0 (lines 9–16).
+    Fast(FastVoting<V>),
+    /// A slow ballot (lines 27–31, 65–69).
+    Slow(SlowBallot<V>),
+    /// Decided (lines 16–25).
+    Decided(Decided<V>),
+}
+
+impl<V: Value> Phase<V> {
+    /// Takes the phase out of `slot` for a consuming transition,
+    /// leaving a vacant placeholder that is immediately overwritten.
+    pub(crate) fn take(slot: &mut Phase<V>) -> Phase<V> {
+        std::mem::replace(slot, Phase::Fast(FastVoting::vacant()))
+    }
+
+    /// The observable phase kind.
+    pub(crate) fn kind(&self) -> PhaseKind {
+        match self {
+            Phase::Fast(_) => PhaseKind::FastVoting,
+            Phase::Slow(_) => PhaseKind::SlowBallot,
+            Phase::Decided(_) => PhaseKind::Decided,
+        }
+    }
+
+    pub(crate) fn bal(&self) -> Ballot {
+        match self {
+            Phase::Fast(_) => Ballot::FAST,
+            Phase::Slow(s) => s.bal,
+            Phase::Decided(d) => d.voter.bal(),
+        }
+    }
+
+    pub(crate) fn vbal(&self) -> Ballot {
+        match self {
+            Phase::Fast(_) => Ballot::FAST,
+            Phase::Slow(s) => s.vbal,
+            Phase::Decided(d) => d.voter.vbal(),
+        }
+    }
+
+    pub(crate) fn val(&self) -> Option<&V> {
+        match self {
+            Phase::Fast(f) => f.val.as_ref(),
+            Phase::Slow(s) => s.val.as_ref(),
+            Phase::Decided(d) => d.voter.val(),
+        }
+    }
+
+    pub(crate) fn proposer(&self) -> Option<ProcessId> {
+        match self {
+            Phase::Fast(f) => f.proposer,
+            Phase::Slow(s) => s.proposer,
+            Phase::Decided(d) => d.voter.proposer(),
+        }
+    }
+
+    pub(crate) fn decided(&self) -> Option<&V> {
+        match self {
+            Phase::Decided(d) => Some(&d.value),
+            Phase::Fast(_) | Phase::Slow(_) => None,
+        }
+    }
+
+    /// Lines 17/21/24: moves the phase to [`Decided`], recording the
+    /// decision through [`Decided::record`]. Re-deciding rewrites `val`
+    /// (line 23); a *conflicting* re-decision surfaces a second
+    /// decision effect for the trace checkers.
+    pub(crate) fn into_decided(
+        self,
+        v: V,
+        path: DecisionPath,
+        common: &mut Common<V>,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Phase<V> {
+        match self {
+            Phase::Fast(f) => Phase::Decided(Decided::record(Voter::Fast(f), v, path, common, eff)),
+            Phase::Slow(s) => Phase::Decided(Decided::record(Voter::Slow(s), v, path, common, eff)),
+            Phase::Decided(mut d) => {
+                d.on_decide(v, eff);
+                Phase::Decided(d)
+            }
+        }
+    }
+
+    /// Lines 27–31 dispatch.
+    pub(crate) fn on_one_a(
+        self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Phase<V> {
+        match self {
+            Phase::Fast(f) if b > Ballot::FAST => Phase::Slow(f.join(common, from, b, None, eff)),
+            Phase::Fast(f) => Phase::Fast(f),
+            Phase::Slow(s) => Phase::Slow(s.on_one_a(common, from, b, None, eff)),
+            Phase::Decided(d) => Phase::Decided(d.on_one_a(common, from, b, eff)),
+        }
+    }
+
+    /// Lines 65–69 dispatch.
+    pub(crate) fn on_two_a(
+        self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        b: Ballot,
+        v: V,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Phase<V> {
+        match self {
+            Phase::Fast(mut f) if b == Ballot::FAST => {
+                f.revote(from, v, eff);
+                Phase::Fast(f)
+            }
+            Phase::Fast(f) => Phase::Slow(f.adopt(common, from, b, v, eff)),
+            Phase::Slow(s) => Phase::Slow(s.on_two_a(common, from, b, v, eff)),
+            Phase::Decided(d) => Phase::Decided(d.on_two_a(common, from, b, v, eff)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leader-side phases
+// ---------------------------------------------------------------------
+
+/// The leader-side state of one process: which coordination phase (if
+/// any) it is in for the ballot it owns.
+#[derive(Debug, Clone)]
+pub(crate) enum Leader<V> {
+    /// Not coordinating.
+    Idle,
+    /// Phase one in flight.
+    Collecting(Collecting<V>),
+    /// Phase one complete.
+    Proposing(Proposing<V>),
+}
+
+impl<V: Value> Leader<V> {
+    /// Takes the leader state out of `slot` for a consuming transition.
+    pub(crate) fn take(slot: &mut Leader<V>) -> Leader<V> {
+        std::mem::replace(slot, Leader::Idle)
+    }
+
+    /// The observable leader phase kind.
+    pub(crate) fn kind(&self) -> LeaderPhase {
+        match self {
+            Leader::Idle => LeaderPhase::Idle,
+            Leader::Collecting(_) => LeaderPhase::Collecting,
+            Leader::Proposing(_) => LeaderPhase::Proposing,
+        }
+    }
+
+    /// The ballot this process is coordinating, if any (`my_ballot`).
+    pub(crate) fn ballot(&self) -> Option<Ballot> {
+        match self {
+            Leader::Idle => None,
+            Leader::Collecting(c) => Some(c.bal),
+            Leader::Proposing(p) => Some(p.bal),
+        }
+    }
+
+    /// The frozen or accumulating `1B` quorum, if any.
+    pub(crate) fn reports(&self) -> Option<&Collector<Report<V>>> {
+        match self {
+            Leader::Idle => None,
+            Leader::Collecting(c) => Some(&c.onebs),
+            Leader::Proposing(p) => Some(&p.onebs),
+        }
+    }
+
+    /// The ballot's chosen value, once phase one completed.
+    pub(crate) fn slow_value(&self) -> Option<&V> {
+        match self {
+            Leader::Proposing(p) => p.value.as_ref(),
+            Leader::Idle | Leader::Collecting(_) => None,
+        }
+    }
+
+    /// The `2B` votes counted so far for the chosen value.
+    pub(crate) fn slow_votes(&self) -> ProcessSet {
+        match self {
+            Leader::Proposing(p) => p.votes,
+            Leader::Idle | Leader::Collecting(_) => ProcessSet::new(),
+        }
+    }
+}
+
+/// Phase one of a slow ballot, collection side (lines 42–45).
+#[derive(Debug, Clone)]
+pub struct Collecting<V> {
+    /// The ballot being coordinated.
+    bal: Ballot,
+    /// `1B` reports received so far.
+    onebs: Collector<Report<V>>,
+}
+
+impl<V: Value> Collecting<V> {
+    /// §C.1: opens the next ballot owned by this process, broadcasting
+    /// the `1A` — the only constructor, so an open ballot always has
+    /// its `1A` on the wire.
+    pub(crate) fn open(
+        current: Ballot,
+        common: &mut Common<V>,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Self {
+        let b = current.next_owned_by(common.me, common.cfg.n());
+        common.recovery_case = None;
+        common.obs.slow_path_entered(common.me);
+        eff.broadcast_all(Msg::OneA(b), common.cfg.n());
+        Collecting {
+            bal: b,
+            onebs: Collector::new(),
+        }
+    }
+
+    /// Lines 42–45: folds in one `1B` report; once a slow quorum is in,
+    /// completes phase one via [`Collecting::propose`].
+    pub(crate) fn on_report(
+        mut self,
+        common: &mut Common<V>,
+        from: ProcessId,
+        report: Report<V>,
+        eff: &mut Effects<V, Msg<V>>,
+    ) -> Leader<V> {
+        self.onebs.insert(from, report);
+        if self.onebs.len() >= common.cfg.slow_quorum() {
+            Leader::Proposing(self.propose(common, eff))
+        } else {
+            Leader::Collecting(self)
+        }
+    }
+
+    /// Lines 46–63: consumes the collector, runs the recovery rule over
+    /// the frozen quorum, and — if a value was selected — forces the
+    /// `2A` broadcast. The `> n-f-e` and `= n-f-e` cases arrive as the
+    /// distinct types [`crate::recovery::RecoveryGt`] /
+    /// [`crate::recovery::RecoveryEq`]: only the latter offers the
+    /// max-value tie-break.
+    fn propose(self, common: &mut Common<V>, eff: &mut Effects<V, Msg<V>>) -> Proposing<V> {
+        let (selected, case) = match classify(&common.cfg, &self.onebs, common.ablations) {
+            Recovery::ReportedDecision(v) => {
+                (Some(v), twostep_telemetry::RecoveryCase::ReportedDecision)
+            }
+            Recovery::SlowBallot(v) => (v, twostep_telemetry::RecoveryCase::SlowBallot),
+            Recovery::Gt(gt) => (Some(gt.into_value()), twostep_telemetry::RecoveryCase::Gt),
+            Recovery::Eq(eq) => {
+                let v = if common.ablations.no_max_tiebreak {
+                    eq.least_ablated()
+                } else {
+                    eq.greatest()
+                };
+                (Some(v), twostep_telemetry::RecoveryCase::Eq)
+            }
+            Recovery::Fallback => (
+                common
+                    .initial_val
+                    .clone()
+                    .or_else(|| common.observed.clone()),
+                twostep_telemetry::RecoveryCase::Fallback,
+            ),
+        };
+        common.recovery_case = Some(case);
+        common.obs.recovery_case(common.me, case);
+        if let Some(v) = &selected {
+            eff.broadcast_all(Msg::TwoA(self.bal, v.clone()), common.cfg.n());
+        }
+        Proposing {
+            bal: self.bal,
+            onebs: self.onebs,
+            value: selected,
+            votes: ProcessSet::new(),
+        }
+    }
+}
+
+/// Phase two of a slow ballot, leader side (lines 16 second disjunct,
+/// 18–21): the value is fixed and `2B` votes are being counted.
+#[derive(Debug, Clone)]
+pub struct Proposing<V> {
+    /// The ballot being coordinated.
+    bal: Ballot,
+    /// The frozen `1B` quorum phase one selected from.
+    onebs: Collector<Report<V>>,
+    /// The ballot's value (`⊥` when the recovery rule yielded nothing —
+    /// the ballot then simply never gathers votes, line 63's guard).
+    value: Option<V>,
+    /// `2B` votes received for `value`.
+    votes: ProcessSet,
+}
+
+impl<V: Value> Proposing<V> {
+    /// Counts one `2B` vote; returns whether a slow quorum is now in
+    /// (the caller then records the decision, which forces the `Decide`
+    /// broadcast).
+    pub(crate) fn record_vote(&mut self, from: ProcessId, slow_quorum: usize) -> bool {
+        self.votes.insert(from);
+        self.votes.len() >= slow_quorum
+    }
+}

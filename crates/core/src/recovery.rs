@@ -22,9 +22,18 @@
 //!    the crate docs — by any proposal the leader has merely observed,
 //!    which is equally safe in this branch).
 //!
-//! The rule is exposed as a pure function ([`select_value`]) so it can
-//! be property-tested (see the Lemma 7 generators in this module's
-//! tests) and micro-benchmarked in isolation.
+//! The rule is exposed in two forms:
+//!
+//! * [`classify`] — the typed API used by the protocol core: it returns
+//!   a [`Recovery`] verdict whose `> n-f-e` and `= n-f-e` cases are the
+//!   *distinct types* [`RecoveryGt`] and [`RecoveryEq`], so the
+//!   max-value tie-break of line 58 only exists where the paper applies
+//!   it (the exact-threshold case — [`RecoveryEq::greatest`]); the
+//!   above-threshold case, unique by Lemma 7, offers no choice at all.
+//! * [`select_value`] / [`select_value_explained`] — pure-function
+//!   wrappers over [`classify`] kept for property tests (see the
+//!   Lemma 7 generators in this module's tests), the lower-bound
+//!   witness replays in `crates/analysis`, and micro-benchmarks.
 
 use twostep_telemetry::RecoveryCase;
 use twostep_types::quorum::{Collector, VoteTally};
@@ -65,6 +74,175 @@ impl<V> Report<V> {
             decided: None,
         }
     }
+}
+
+/// The `> n-f-e` vote-count case of the recovery rule (line 54).
+///
+/// Lemma 7 proves the value reaching this count is unique, so the type
+/// carries exactly one value and offers no tie-break: the max-value
+/// choice of line 58 does not exist here, by construction.
+///
+/// Only [`classify`] (inside `crates/core`) creates instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryGt<V> {
+    value: V,
+}
+
+impl<V: Value> RecoveryGt<V> {
+    /// The unique value with more than `n-f-e` surviving votes.
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+
+    /// Consumes the verdict, yielding the mandated value.
+    pub fn into_value(self) -> V {
+        self.value
+    }
+}
+
+/// The `= n-f-e` vote-count case of the recovery rule (line 57).
+///
+/// Several values can tie at exactly `n-f-e` surviving votes; the
+/// paper's line 58 breaks the tie by taking the **greatest**. That
+/// tie-break exists only on this type — resolving it is the one
+/// decision the recovery rule leaves open, and [`RecoveryEq::greatest`]
+/// is the only safe resolution (E2's ablation study decides via
+/// [`RecoveryEq::least_ablated`] instead and demonstrably loses
+/// agreement).
+///
+/// Only [`classify`] (inside `crates/core`) creates instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEq<V> {
+    greatest: V,
+    least: V,
+}
+
+impl<V: Value> RecoveryEq<V> {
+    /// Line 58: the greatest value with exactly `n-f-e` surviving
+    /// votes — the paper's tie-break.
+    pub fn greatest(self) -> V {
+        self.greatest
+    }
+
+    /// The least tied value: the deliberately wrong tie-break used by
+    /// the `no_max_tiebreak` ablation (experiment E2).
+    pub fn least_ablated(self) -> V {
+        self.least
+    }
+}
+
+/// The recovery rule's verdict over a frozen `1B` quorum: which branch
+/// of lines 48–63 fired, with the two vote-count cases as distinct
+/// types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recovery<V> {
+    /// Line 48: some report carried a decision; it must be selected.
+    ReportedDecision(V),
+    /// Line 52: a slow-ballot vote exists; the vote of the highest such
+    /// ballot is adopted (classic Paxos; `None` only if that report's
+    /// vote was empty, which consistent reports never produce).
+    SlowBallot(Option<V>),
+    /// Line 54: a value holds **more than** `n-f-e` surviving votes.
+    Gt(RecoveryGt<V>),
+    /// Line 57: values hold **exactly** `n-f-e` surviving votes.
+    Eq(RecoveryEq<V>),
+    /// Line 60: nothing to resurrect; the leader falls back to its own
+    /// (or an observed) proposal.
+    Fallback,
+}
+
+/// Applies the selection rule to the `1B` quorum `reports`, returning
+/// the typed [`Recovery`] verdict.
+///
+/// # Panics
+///
+/// Panics if `reports` is smaller than a slow quorum of `n-f` — in
+/// release builds too: an undersized `1B` quorum silently selecting a
+/// value is exactly the failure mode Lemma 7 rules out, so it must
+/// never survive into production.
+pub fn classify<V: Value>(
+    cfg: &SystemConfig,
+    reports: &Collector<Report<V>>,
+    ablations: Ablations,
+) -> Recovery<V> {
+    // Release-mode check: selecting from fewer than n-f reports voids
+    // every quorum-intersection argument the rule rests on.
+    assert!(
+        reports.len() >= cfg.slow_quorum(),
+        "recovery needs a quorum of n-f reports, got {}",
+        reports.len()
+    );
+
+    // Line 48: a reported decision wins outright.
+    if let Some(v) = reports.iter().find_map(|(_, r)| r.decided.clone()) {
+        return Recovery::ReportedDecision(v);
+    }
+
+    // Line 46: the highest ballot in which anyone voted.
+    let bmax = reports
+        .iter()
+        .map(|(_, r)| r.vbal)
+        .max()
+        .unwrap_or(Ballot::FAST);
+
+    if bmax.is_slow() {
+        // Line 52: classic Paxos — adopt the vote of the highest ballot.
+        // All such votes carry the same value (Lemma C.2); pick the
+        // lowest reporter deterministically.
+        return Recovery::SlowBallot(
+            reports
+                .iter()
+                .find(|(_, r)| r.vbal == bmax)
+                .and_then(|(_, r)| r.val.clone()),
+        );
+    }
+
+    // bmax = 0: only fast-ballot votes exist. Line 47: restrict to
+    // R = {q ∈ Q | proposer_q ∉ Q}.
+    let quorum = reports.senders();
+    let mut tally: VoteTally<V> = VoteTally::new();
+    for (q, r) in reports.iter() {
+        let Some(v) = &r.val else { continue };
+        let in_r = match r.proposer {
+            Some(p) => !quorum.contains(p),
+            // A vote always has a proposer; tolerate reports without one
+            // by treating them as excluded-proposer votes.
+            None => true,
+        };
+        if in_r || ablations.no_proposer_exclusion {
+            tally.record(q, v.clone());
+        }
+    }
+
+    let threshold = cfg.recovery_threshold();
+
+    // Line 54: a value with more than n-f-e votes. Lemma 7 proves at
+    // most one value can reach this; the count argument
+    // (2(n-f-e)+2 ≤ n-f ⟺ n ≤ 2e+f-2) guarantees uniqueness for any
+    // vote multiset whenever n ≥ 2e+f-1, so assert it there — the
+    // lower-bound adversary (experiment E3) deliberately runs below the
+    // bound, where two values can exceed the threshold and this
+    // arbitrary pick is exactly what breaks agreement.
+    if let Some(v) = tally.values_with_count_at_least(threshold + 1).next() {
+        assert!(
+            !cfg.satisfies_object_bound()
+                || tally.values_with_count_at_least(threshold + 1).count() == 1,
+            "Lemma 7: the > n-f-e value must be unique at n >= 2e+f-1"
+        );
+        return Recovery::Gt(RecoveryGt { value: v.clone() });
+    }
+
+    // Line 57: values with exactly n-f-e votes. Both ends of the tie
+    // are fixed here so the only open decision — which end to take —
+    // lives on the RecoveryEq type itself.
+    let greatest = tally.max_value_with_count_exactly(threshold).cloned();
+    let least = tally.values_with_count_exactly(threshold).next().cloned();
+    if let (Some(greatest), Some(least)) = (greatest, least) {
+        return Recovery::Eq(RecoveryEq { greatest, least });
+    }
+
+    // Line 60: nothing to resurrect.
+    Recovery::Fallback
 }
 
 /// Applies the selection rule to the `1B` quorum `reports`.
@@ -108,88 +286,23 @@ pub fn select_value_explained<V: Value>(
     observed: Option<&V>,
     ablations: Ablations,
 ) -> (Option<V>, RecoveryCase) {
-    // Release-mode check: selecting from fewer than n-f reports voids
-    // every quorum-intersection argument the rule rests on.
-    assert!(
-        reports.len() >= cfg.slow_quorum(),
-        "recovery needs a quorum of n-f reports, got {}",
-        reports.len()
-    );
-
-    // Line 48: a reported decision wins outright.
-    if let Some(v) = reports.iter().find_map(|(_, r)| r.decided.clone()) {
-        return (Some(v), RecoveryCase::ReportedDecision);
-    }
-
-    // Line 46: the highest ballot in which anyone voted.
-    let bmax = reports
-        .iter()
-        .map(|(_, r)| r.vbal)
-        .max()
-        .unwrap_or(Ballot::FAST);
-
-    if bmax.is_slow() {
-        // Line 52: classic Paxos — adopt the vote of the highest ballot.
-        // All such votes carry the same value (Lemma C.2); pick the
-        // lowest reporter deterministically.
-        return (
-            reports
-                .iter()
-                .find(|(_, r)| r.vbal == bmax)
-                .and_then(|(_, r)| r.val.clone()),
-            RecoveryCase::SlowBallot,
-        );
-    }
-
-    // bmax = 0: only fast-ballot votes exist. Line 47: restrict to
-    // R = {q ∈ Q | proposer_q ∉ Q}.
-    let quorum = reports.senders();
-    let mut tally: VoteTally<V> = VoteTally::new();
-    for (q, r) in reports.iter() {
-        let Some(v) = &r.val else { continue };
-        let in_r = match r.proposer {
-            Some(p) => !quorum.contains(p),
-            // A vote always has a proposer; tolerate reports without one
-            // by treating them as excluded-proposer votes.
-            None => true,
-        };
-        if in_r || ablations.no_proposer_exclusion {
-            tally.record(q, v.clone());
+    match classify(cfg, reports, ablations) {
+        Recovery::ReportedDecision(v) => (Some(v), RecoveryCase::ReportedDecision),
+        Recovery::SlowBallot(v) => (v, RecoveryCase::SlowBallot),
+        Recovery::Gt(gt) => (Some(gt.into_value()), RecoveryCase::Gt),
+        Recovery::Eq(eq) => {
+            // Line 58's tie-break, or the least value under the ablation.
+            let v = if ablations.no_max_tiebreak {
+                eq.least_ablated()
+            } else {
+                eq.greatest()
+            };
+            (Some(v), RecoveryCase::Eq)
         }
+        // Line 60: the leader's own proposal; liveness extension: any
+        // observed proposal is equally valid here.
+        Recovery::Fallback => (my_initial.or(observed).cloned(), RecoveryCase::Fallback),
     }
-
-    let threshold = cfg.recovery_threshold();
-
-    // Line 54: a value with more than n-f-e votes. Lemma 7 proves at
-    // most one value can reach this; the count argument
-    // (2(n-f-e)+2 ≤ n-f ⟺ n ≤ 2e+f-2) guarantees uniqueness for any
-    // vote multiset whenever n ≥ 2e+f-1, so assert it there — the
-    // lower-bound adversary (experiment E3) deliberately runs below the
-    // bound, where two values can exceed the threshold and this
-    // arbitrary pick is exactly what breaks agreement.
-    if let Some(v) = tally.values_with_count_at_least(threshold + 1).next() {
-        assert!(
-            !cfg.satisfies_object_bound()
-                || tally.values_with_count_at_least(threshold + 1).count() == 1,
-            "Lemma 7: the > n-f-e value must be unique at n >= 2e+f-1"
-        );
-        return (Some(v.clone()), RecoveryCase::Gt);
-    }
-
-    // Line 57: values with exactly n-f-e votes — take the greatest
-    // (line 58), or the least under the tie-break ablation.
-    let exact = if ablations.no_max_tiebreak {
-        tally.values_with_count_exactly(threshold).next().cloned()
-    } else {
-        tally.max_value_with_count_exactly(threshold).cloned()
-    };
-    if let Some(v) = exact {
-        return (Some(v), RecoveryCase::Eq);
-    }
-
-    // Line 60: the leader's own proposal; liveness extension: any
-    // observed proposal is equally valid here.
-    (my_initial.or(observed).cloned(), RecoveryCase::Fallback)
 }
 
 #[cfg(test)]

@@ -3,10 +3,9 @@
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{ProcessId, SystemConfig, Value};
 
-use crate::consensus::{DecisionPath, TwoStep, Variant};
+use crate::builder::TwoStepBuilder;
+use crate::consensus::{DecisionPath, TwoStep};
 use crate::msg::Msg;
-use crate::omega::OmegaMode;
-use crate::Ablations;
 
 /// The paper's protocol as a consensus **task** (Figure 1 without the
 /// red lines): every process is born with an initial value which it
@@ -36,39 +35,24 @@ use crate::Ablations;
 pub struct TaskConsensus<V>(TwoStep<V>);
 
 impl<V: Value> TaskConsensus<V> {
-    /// Creates a task instance for `me` proposing `initial`.
+    /// Creates a task instance for `me` proposing `initial`, with
+    /// default options — sugar for
+    /// [`TwoStepBuilder::task`](crate::TwoStepBuilder::task). Use the
+    /// builder to select an Ω mode, ablations, or telemetry.
     ///
     /// # Panics
     ///
     /// Panics if `me` is out of range for `cfg`.
     pub fn new(cfg: SystemConfig, me: ProcessId, initial: V) -> Self {
-        TaskConsensus(TwoStep::task(cfg, me, initial))
+        TwoStepBuilder::new(cfg).task(me, initial)
     }
 
-    /// Creates a task instance with explicit Ω mode and ablations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `me` is out of range for `cfg`.
-    pub fn with_options(
-        cfg: SystemConfig,
-        me: ProcessId,
-        initial: V,
-        omega: OmegaMode,
-        ablations: Ablations,
-    ) -> Self {
-        TaskConsensus(TwoStep::with_options(
-            cfg,
-            me,
-            Variant::Task,
-            Some(initial),
-            omega,
-            ablations,
-        ))
+    /// Wraps a machine built by [`TwoStepBuilder`].
+    pub(crate) fn from_machine(inner: TwoStep<V>) -> Self {
+        TaskConsensus(inner)
     }
 
-    /// Attaches telemetry hooks (builder style); see
-    /// [`TwoStep::observed`].
+    /// Attaches telemetry hooks (builder style).
     pub fn observed(self, obs: twostep_telemetry::ObserverHandle) -> Self {
         TaskConsensus(self.0.observed(obs))
     }

@@ -2,7 +2,7 @@
 //! messages, and mid-ballot leader crashes — the corners a casual
 //! reading of Figure 1 glosses over.
 
-use twostep_core::{Ablations, Msg, OmegaMode, TaskConsensus};
+use twostep_core::{Msg, OmegaMode, TaskConsensus, TwoStepBuilder};
 use twostep_sim::{ManualExecutor, SimulationBuilder, SyncRunner};
 use twostep_types::protocol::TimerId;
 use twostep_types::{Ballot, Duration, ProcessId, ProcessSet, SystemConfig, Time};
@@ -21,13 +21,9 @@ fn dueling_exec() -> ManualExecutor<u64, TaskConsensus<u64>> {
     let cfg = cfg3();
     ManualExecutor::new(cfg, |q| {
         let leader = if q.index() == 0 { p(0) } else { p(1) };
-        TaskConsensus::with_options(
-            cfg,
-            q,
-            10 * (u64::from(q.as_u32()) + 1),
-            OmegaMode::Static(leader),
-            Ablations::NONE,
-        )
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(leader))
+            .task(q, 10 * (u64::from(q.as_u32()) + 1))
     })
 }
 
@@ -120,13 +116,9 @@ fn second_ballot_adopts_first_ballot_vote() {
     // via the bmax rule even though nobody decided.
     let cfg = cfg3();
     let mut ex = ManualExecutor::new(cfg, |q| {
-        TaskConsensus::with_options(
-            cfg,
-            q,
-            10 * (u64::from(q.as_u32()) + 1),
-            OmegaMode::Static(p(0)),
-            Ablations::NONE,
-        )
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(p(0)))
+            .task(q, 10 * (u64::from(q.as_u32()) + 1))
     });
     ex.start_all();
     for id in ex.pending_matching(|_| true) {
@@ -218,13 +210,9 @@ fn foreign_fast_votes_are_not_counted() {
     // quorum.
     let cfg = cfg3();
     let mut ex = ManualExecutor::new(cfg, |q| {
-        TaskConsensus::with_options(
-            cfg,
-            q,
-            10 * (u64::from(q.as_u32()) + 1),
-            OmegaMode::Static(p(0)),
-            Ablations::NONE,
-        )
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(p(0)))
+            .task(q, 10 * (u64::from(q.as_u32()) + 1))
     });
     ex.start_all();
     // p1 votes for p2's 30 — 2B(0, 30) addressed to p2; deliver p0's
@@ -269,7 +257,9 @@ fn conflicting_decide_messages_are_surfaced_not_hidden() {
     // Decide by hand.
     let cfg = cfg3();
     let mut ex = ManualExecutor::new(cfg, |q| {
-        TaskConsensus::with_options(cfg, q, 10, OmegaMode::Static(p(0)), Ablations::NONE)
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(p(0)))
+            .task(q, 10u64)
     });
     ex.start_all();
     // All propose 10; run p2's fast path.

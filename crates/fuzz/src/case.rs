@@ -7,7 +7,7 @@
 //! [`crate::gen::gen_case`]).
 
 use twostep_baselines::{EPaxosLite, FastPaxos, Paxos};
-use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep_core::{Ablations, OmegaMode, TwoStepBuilder};
 use twostep_sim::ManualExecutor;
 use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::Protocol;
@@ -142,10 +142,18 @@ pub fn run_case_observed(case: &FuzzCase, obs: ObserverHandle) -> RunReport {
     let values = case.values.clone();
     match case.protocol {
         FuzzProtocol::Task => run_schedule(case, |p| {
-            TaskConsensus::with_options(cfg, p, values[p.index()], omega, abl).observed(obs.clone())
+            TwoStepBuilder::new(cfg)
+                .omega(omega)
+                .ablations(abl)
+                .observed(obs.clone())
+                .task(p, values[p.index()])
         }),
         FuzzProtocol::Object => run_schedule(case, |p| {
-            ObjectConsensus::with_options(cfg, p, omega, abl).observed(obs.clone())
+            TwoStepBuilder::new(cfg)
+                .omega(omega)
+                .ablations(abl)
+                .observed(obs.clone())
+                .object(p)
         }),
         FuzzProtocol::Paxos => run_schedule(case, |p| {
             Paxos::new(cfg, p, values[p.index()]).observed(obs.clone())

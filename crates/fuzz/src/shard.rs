@@ -20,7 +20,7 @@
 //! deterministic: an iteration is fully described by `(root seed,
 //! iteration index)`, which is what a failure reports.
 
-use twostep_core::{Ablations, ObjectConsensus, OmegaMode};
+use twostep_core::{OmegaMode, TwoStepBuilder};
 use twostep_sim::ManualExecutor;
 use twostep_types::{ProcessId, SystemConfig};
 
@@ -152,12 +152,9 @@ pub fn run_sharded_iteration(fc: &ShardFuzzConfig, stream_seed: u64) -> Vec<RunR
         .map(|s| {
             let leader = fc.leader_of(s);
             ManualExecutor::new(cfg, move |q| {
-                ObjectConsensus::<u64>::with_options(
-                    cfg,
-                    q,
-                    OmegaMode::Static(leader),
-                    Ablations::NONE,
-                )
+                TwoStepBuilder::new(cfg)
+                    .omega(OmegaMode::Static(leader))
+                    .object::<u64>(q)
             })
         })
         .collect();

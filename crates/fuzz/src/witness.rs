@@ -12,7 +12,7 @@
 //! though it cannot violate safety.
 
 use twostep_baselines::{EPaxosLite, FastPaxos, Paxos};
-use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep_core::{OmegaMode, TwoStepBuilder};
 use twostep_sim::{SyncOutcome, SyncRunner};
 use twostep_types::protocol::Protocol;
 use twostep_types::{ProcessId, ProcessSet, SystemConfig, Time};
@@ -54,13 +54,9 @@ pub fn two_step_witness(protocol: FuzzProtocol, cfg: SystemConfig) -> Result<(),
             let outcome = witness_run(
                 cfg,
                 |p| {
-                    TaskConsensus::with_options(
-                        cfg,
-                        p,
-                        u64::from(p.as_u32()),
-                        omega,
-                        Ablations::NONE,
-                    )
+                    TwoStepBuilder::new(cfg)
+                        .omega(omega)
+                        .task(p, u64::from(p.as_u32()))
                 },
                 None,
             );
@@ -69,7 +65,7 @@ pub fn two_step_witness(protocol: FuzzProtocol, cfg: SystemConfig) -> Result<(),
         FuzzProtocol::Object => {
             let outcome = witness_run(
                 cfg,
-                |p| ObjectConsensus::with_options(cfg, p, omega, Ablations::NONE),
+                |p| TwoStepBuilder::new(cfg).omega(omega).object(p),
                 Some(7),
             );
             two_step_deciders(&outcome.trace)

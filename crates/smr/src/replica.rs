@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
-use twostep_core::{Msg, ObjectConsensus, Omega, OmegaMode};
+use twostep_core::{Msg, ObjectConsensus, Omega, OmegaMode, TwoStepBuilder};
 use twostep_telemetry::ObserverHandle;
 use twostep_types::protocol::{Effects, Protocol, TimerId};
 use twostep_types::{Duration, ProcessId, SystemConfig, Value, DELTA};
@@ -194,19 +194,19 @@ where
         eff: &mut Effects<C, SmrMsg<C>>,
     ) -> &mut ObjectConsensus<Batch<C>> {
         if !self.instances.contains_key(&slot) {
-            let mut inst = ObjectConsensus::with_options(
-                self.cfg,
-                self.me,
-                OmegaMode::Static(self.omega.leader()),
-                twostep_core::Ablations::NONE,
-            )
-            .observed(self.obs.clone());
+            let mut inst = TwoStepBuilder::new(self.cfg)
+                .omega(OmegaMode::Static(self.omega.leader()))
+                .observed(self.obs.clone())
+                .object(self.me);
             let mut inner = Effects::new();
             inst.on_start(&mut inner);
             self.instances.insert(slot, inst);
             self.route_inner(slot, inner, eff);
         }
-        self.instances.get_mut(&slot).expect("just inserted")
+        let Some(inst) = self.instances.get_mut(&slot) else {
+            unreachable!("instance for slot {slot} inserted above");
+        };
+        inst
     }
 
     /// Translates one instance's effects into SMR-level effects and

@@ -43,7 +43,7 @@
 //! forced pick decides 0. At `n = 2e+f-1` the uniqueness count
 //! `2(n-f-e)+2 > n-f` holds again and the strategy fails.
 
-use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep_core::{Ablations, OmegaMode, TwoStepBuilder};
 use twostep_sim::ManualExecutor;
 use twostep_types::protocol::TimerId;
 use twostep_types::{ProcessId, ProcessSet, SystemConfig};
@@ -121,7 +121,10 @@ fn run_task_splice_with(e: usize, f: usize, n: usize, ablations: Ablations) -> A
     let mut ex = ManualExecutor::new(cfg, |q| {
         // Values: E1 members propose 1, everyone else proposes 0.
         let value = if q.index() >= n - e { 1u64 } else { 0u64 };
-        TaskConsensus::with_options(cfg, q, value, OmegaMode::Static(leader), ablations)
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(leader))
+            .ablations(ablations)
+            .task(q, value)
     });
     let w = p(n - 1);
     let c = p(e);
@@ -224,7 +227,9 @@ fn run_object_splice(e: usize, f: usize, n: usize) -> AdversaryReport {
     let leader = e0_star[0];
 
     let mut ex = ManualExecutor::new(cfg, |q| {
-        ObjectConsensus::<u64>::with_options(cfg, q, OmegaMode::Static(leader), Ablations::NONE)
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(leader))
+            .object::<u64>(q)
     });
 
     let mut narrative = format!(
@@ -388,7 +393,10 @@ pub fn object_exclusion_demo(e: usize, f: usize, ablations: Ablations) -> Advers
     let leader = e1_star[0];
 
     let mut ex = ManualExecutor::new(cfg, |r| {
-        ObjectConsensus::<u64>::with_options(cfg, r, OmegaMode::Static(leader), ablations)
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(leader))
+            .ablations(ablations)
+            .object::<u64>(r)
     });
     let mut narrative = format!(
         "exclusion demo at {cfg}: F={f_set:?} E1*={e1_star:?} C={c_set:?} z={z} x={x} q={q}\n"
@@ -463,7 +471,10 @@ pub fn object_guard_demo(e: usize, f: usize, ablations: Ablations) -> AdversaryR
     let cfg = SystemConfig::new(n, e, f).expect("valid configuration");
     let leader = p(0);
     let mut ex = ManualExecutor::new(cfg, |r| {
-        ObjectConsensus::<u64>::with_options(cfg, r, OmegaMode::Static(leader), ablations)
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(leader))
+            .ablations(ablations)
+            .object::<u64>(r)
     });
     let w = p(n - 1);
     let c = p(e);

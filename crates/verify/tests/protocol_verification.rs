@@ -1,7 +1,7 @@
 //! Cross-crate verification: the real protocol under the model checker,
 //! and consensus-object linearizability over whole simulated runs.
 
-use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TwoStepBuilder};
 use twostep_sim::{DeliveryOrder, ManualExecutor, SimulationBuilder, TraceEvent};
 use twostep_types::protocol::TimerId;
 use twostep_types::{Duration, ProcessId, SystemConfig, Time};
@@ -21,13 +21,9 @@ fn model_check_task_fast_path_all_schedules() {
         .proposed(vec![10u64, 20, 30])
         .run(cfg, |cfg| {
             let mut ex = ManualExecutor::new(cfg, |q| {
-                TaskConsensus::with_options(
-                    cfg,
-                    q,
-                    10 * (u64::from(q.as_u32()) + 1),
-                    OmegaMode::Static(p(0)),
-                    Ablations::NONE,
-                )
+                TwoStepBuilder::new(cfg)
+                    .omega(OmegaMode::Static(p(0)))
+                    .task(q, 10 * (u64::from(q.as_u32()) + 1))
             });
             ex.start_all();
             ex
@@ -61,13 +57,9 @@ fn model_check_task_with_recovery_and_crash() {
         .max_states(400_000)
         .run(cfg, |cfg| {
             let mut ex = ManualExecutor::new(cfg, |q| {
-                TaskConsensus::with_options(
-                    cfg,
-                    q,
-                    10 * (u64::from(q.as_u32()) + 1),
-                    OmegaMode::Static(p(0)),
-                    Ablations::NONE,
-                )
+                TwoStepBuilder::new(cfg)
+                    .omega(OmegaMode::Static(p(0)))
+                    .task(q, 10 * (u64::from(q.as_u32()) + 1))
             });
             ex.start_all();
             ex
@@ -88,12 +80,9 @@ fn model_check_object_contention() {
         .max_states(400_000)
         .run(cfg, |cfg| {
             let mut ex = ManualExecutor::new(cfg, |q| {
-                ObjectConsensus::<u64>::with_options(
-                    cfg,
-                    q,
-                    OmegaMode::Static(p(0)),
-                    Ablations::NONE,
-                )
+                TwoStepBuilder::new(cfg)
+                    .omega(OmegaMode::Static(p(0)))
+                    .object::<u64>(q)
             });
             ex.start_all();
             ex.propose(p(0), 5);
@@ -224,15 +213,13 @@ fn model_check_finds_object_guard_ablation_bug() {
         .max_states(500_000)
         .run(cfg, |cfg| {
             let mut ex = ManualExecutor::new(cfg, |q| {
-                ObjectConsensus::<u64>::with_options(
-                    cfg,
-                    q,
-                    OmegaMode::Static(p(0)),
-                    Ablations {
+                TwoStepBuilder::new(cfg)
+                    .omega(OmegaMode::Static(p(0)))
+                    .ablations(Ablations {
                         no_object_guard: true,
                         ..Ablations::NONE
-                    },
-                )
+                    })
+                    .object::<u64>(q)
             });
             ex.start_all();
             // E0 = {p0, p1} and F0 = {p2} propose 0; E1 = {p3, p4}

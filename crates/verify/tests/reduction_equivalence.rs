@@ -23,7 +23,7 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
-use twostep_core::{Ablations, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep_core::{OmegaMode, TwoStepBuilder};
 use twostep_sim::ManualExecutor;
 use twostep_types::protocol::{Protocol, TimerId};
 use twostep_types::relabel::RelabelHash;
@@ -118,13 +118,9 @@ proptest! {
         let values = [v0, v1, v2];
         check_equivalence(cfg, crashes, move |cfg| {
             let mut ex = ManualExecutor::new(cfg, |q| {
-                TaskConsensus::with_options(
-                    cfg,
-                    q,
-                    values[q.index()],
-                    OmegaMode::Static(p(0)),
-                    Ablations::NONE,
-                )
+                TwoStepBuilder::new(cfg)
+                    .omega(OmegaMode::Static(p(0)))
+                    .task(q, values[q.index()])
             });
             ex.start_all();
             ex
@@ -144,12 +140,9 @@ proptest! {
         let cfg = cfg.unwrap();
         check_equivalence(cfg, crashes, move |cfg| {
             let mut ex = ManualExecutor::new(cfg, |q| {
-                ObjectConsensus::<u64>::with_options(
-                    cfg,
-                    q,
-                    OmegaMode::Static(p(0)),
-                    Ablations::NONE,
-                )
+                TwoStepBuilder::new(cfg)
+                    .omega(OmegaMode::Static(p(0)))
+                    .object::<u64>(q)
             });
             ex.start_all();
             ex.propose(p(0), v0);

@@ -6,7 +6,7 @@
 //! cargo run --example lower_bounds
 //! ```
 
-use twostep::core::{Ablations, Msg, ObjectConsensus, OmegaMode};
+use twostep::core::{Ablations, Msg, OmegaMode, TwoStepBuilder};
 use twostep::sim::ManualExecutor;
 use twostep::types::protocol::TimerId;
 use twostep::types::{ProcessId, SystemConfig};
@@ -81,15 +81,13 @@ fn main() {
         .max_states(500_000)
         .run(cfg, |cfg| {
             let mut ex = ManualExecutor::new(cfg, |q| {
-                ObjectConsensus::<u64>::with_options(
-                    cfg,
-                    q,
-                    OmegaMode::Static(p(0)),
-                    Ablations {
+                TwoStepBuilder::new(cfg)
+                    .omega(OmegaMode::Static(p(0)))
+                    .ablations(Ablations {
                         no_object_guard: true,
                         ..Ablations::NONE
-                    },
-                )
+                    })
+                    .object::<u64>(q)
             });
             ex.start_all();
             for i in 0..cfg.n() as u32 {

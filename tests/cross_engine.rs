@@ -5,7 +5,7 @@
 
 use std::time::Duration as WallDuration;
 
-use twostep::core::{Ablations, Msg, ObjectConsensus, OmegaMode, TaskConsensus};
+use twostep::core::{Msg, ObjectConsensus, OmegaMode, TaskConsensus, TwoStepBuilder};
 use twostep::runtime::Cluster;
 use twostep::sim::{ManualExecutor, SyncRunner};
 use twostep::types::protocol::Protocol;
@@ -34,13 +34,9 @@ fn simulator_and_manual_agree_on_the_fast_path() {
 
     // Manual replay of the same schedule.
     let mut ex = ManualExecutor::new(cfg, |q| {
-        TaskConsensus::with_options(
-            cfg,
-            q,
-            10 * (u64::from(q.as_u32()) + 1),
-            OmegaMode::Static(p(0)),
-            Ablations::NONE,
-        )
+        TwoStepBuilder::new(cfg)
+            .omega(OmegaMode::Static(p(0)))
+            .task(q, 10 * (u64::from(q.as_u32()) + 1))
     });
     ex.start_all();
     for target in [p(0), p(1)] {
